@@ -1,0 +1,256 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  1. paper-form g(u) (no binomial coefficients) vs the exact
+//     order-statistic win probability — induced payment difference;
+//  2. payment evaluation: integral form vs the paper's Euler ODE vs RK4 —
+//     accuracy against the integral reference across grid sizes;
+//  3. first-price vs second-price payment rule — winner payments and
+//     aggregator profit;
+//  4. scoring family (additive / Leontief / Cobb-Douglas / scaled product)
+//     — what the aggregator buys and what it pays;
+//  5. psi identical vs distinct per node (the paper's open question).
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "fmore/auction/game.hpp"
+#include "fmore/core/report.hpp"
+#include "fmore/stats/normalizer.hpp"
+
+namespace {
+
+using namespace fmore;
+
+const stats::UniformDistribution& theta_dist() {
+    static const stats::UniformDistribution d(0.5, 1.5);
+    return d;
+}
+
+auction::EquilibriumConfig eq_config(std::size_t n, std::size_t k,
+                                     auction::WinModel model) {
+    auction::EquilibriumConfig cfg;
+    cfg.num_bidders = n;
+    cfg.num_winners = k;
+    cfg.win_model = model;
+    return cfg;
+}
+
+void ablation_win_model() {
+    std::cout << "--- 1. paper g(u) vs exact order-statistic win probability ---\n";
+    std::vector<stats::MinMaxNormalizer> norms{stats::MinMaxNormalizer(0.0, 150.0),
+                                               stats::MinMaxNormalizer(0.0, 1.0)};
+    const auction::ScaledProductScoring scoring(25.0, 2, norms);
+    const auction::AdditiveCost cost({6.0 / 150.0, 2.0});
+    const auto paper = auction::EquilibriumSolver(
+                           scoring, cost, theta_dist(), {1.0, 0.05}, {150.0, 1.0},
+                           eq_config(100, 20, auction::WinModel::paper))
+                           .solve();
+    const auto exact = auction::EquilibriumSolver(
+                           scoring, cost, theta_dist(), {1.0, 0.05}, {150.0, 1.0},
+                           eq_config(100, 20, auction::WinModel::exact))
+                           .solve();
+    core::TablePrinter table(std::cout, {"theta", "p_paper", "p_exact", "rel_diff"});
+    for (const double theta : {0.55, 0.7, 0.85, 1.0, 1.15, 1.3, 1.45}) {
+        const double pp = paper.payment(theta);
+        const double pe = exact.payment(theta);
+        table.row({theta, pp, pe, (pe - pp) / pp}, 4);
+    }
+    std::cout << "takeaway: the dropped binomial coefficients bias win probability\n"
+                 "down at mid scores, so the paper-form strategy shades slightly\n"
+                 "differently; both stay individually rational.\n\n";
+}
+
+void ablation_payment_method() {
+    std::cout << "--- 2. payment evaluation: Euler ODE (paper) vs RK4 vs integral ---\n";
+    std::vector<stats::MinMaxNormalizer> norms{stats::MinMaxNormalizer(0.0, 150.0),
+                                               stats::MinMaxNormalizer(0.0, 1.0)};
+    const auction::ScaledProductScoring scoring(25.0, 2, norms);
+    const auction::AdditiveCost cost({6.0 / 150.0, 2.0});
+    core::TablePrinter table(std::cout,
+                             {"grid", "max|euler-int|", "max|rk4-int|", "ref_p(1.0)"});
+    for (const std::size_t grid : {64u, 128u, 256u, 512u, 1024u}) {
+        auction::EquilibriumConfig cfg = eq_config(100, 20, auction::WinModel::paper);
+        cfg.score_grid_points = grid;
+        const auto strategy = auction::EquilibriumSolver(scoring, cost, theta_dist(),
+                                                         {1.0, 0.05}, {150.0, 1.0}, cfg)
+                                  .solve();
+        double worst_euler = 0.0;
+        double worst_rk4 = 0.0;
+        for (double theta = 0.55; theta <= 1.35; theta += 0.05) {
+            const double ref = strategy.payment(theta, auction::PaymentMethod::integral);
+            worst_euler = std::max(
+                worst_euler,
+                std::fabs(strategy.payment(theta, auction::PaymentMethod::euler_ode) - ref));
+            worst_rk4 = std::max(
+                worst_rk4,
+                std::fabs(strategy.payment(theta, auction::PaymentMethod::rk4_ode) - ref));
+        }
+        table.row({static_cast<double>(grid), worst_euler, worst_rk4,
+                   strategy.payment(1.0)},
+                  5);
+    }
+    std::cout << "takeaway: Euler converges linearly toward the integral form —\n"
+                 "the paper's linear-time prescription is adequate at a few hundred\n"
+                 "steps; RK4 buys little because the stiff layer is seeded anyway.\n\n";
+}
+
+void ablation_payment_rule() {
+    std::cout << "--- 3. first-price vs second-price (second-score) rule ---\n";
+    std::vector<stats::MinMaxNormalizer> norms{stats::MinMaxNormalizer(0.0, 150.0),
+                                               stats::MinMaxNormalizer(0.0, 1.0)};
+    const auction::ScaledProductScoring scoring(25.0, 2, norms);
+    const auction::AdditiveCost cost({6.0 / 150.0, 2.0});
+    core::TablePrinter table(std::cout,
+                             {"rule", "mean_payment", "aggregator_V", "social_surplus"});
+    for (const auto rule : {auction::PaymentRule::first_price,
+                            auction::PaymentRule::second_price}) {
+        auction::WinnerDeterminationConfig wd;
+        wd.num_winners = 20;
+        wd.payment_rule = rule;
+        const auction::AuctionGame game(scoring, cost, theta_dist(), {1.0, 0.05},
+                                        {150.0, 1.0},
+                                        eq_config(100, 20, auction::WinModel::paper), wd);
+        stats::Rng rng(31);
+        double payment = 0.0;
+        double profit = 0.0;
+        double surplus = 0.0;
+        constexpr int reps = 10;
+        for (int r = 0; r < reps; ++r) {
+            const auto result = game.play(rng);
+            payment += result.mean_winner_payment / reps;
+            profit += result.aggregator_profit / reps;
+            surplus += result.social_surplus / reps;
+        }
+        table.row({rule == auction::PaymentRule::first_price ? "first" : "second",
+                   core::fixed(payment, 3), core::fixed(profit, 2),
+                   core::fixed(surplus, 2)});
+    }
+    std::cout << "takeaway: the second-score rule pays winners more (price set by\n"
+                 "the best loser) and costs the aggregator part of its profit;\n"
+                 "social surplus is unchanged — selection is identical (Thm 4).\n\n";
+}
+
+void ablation_scoring_family() {
+    std::cout << "--- 4. scoring family ---\n";
+    std::vector<stats::MinMaxNormalizer> norms{stats::MinMaxNormalizer(0.0, 150.0),
+                                               stats::MinMaxNormalizer(0.0, 1.0)};
+    struct Family {
+        const char* name;
+        std::unique_ptr<auction::ScoringRule> rule;
+    };
+    std::vector<Family> families;
+    families.push_back({"additive", std::make_unique<auction::AdditiveScoring>(
+                                        std::vector<double>{12.0, 12.0}, norms)});
+    families.push_back({"leontief", std::make_unique<auction::LeontiefScoring>(
+                                        std::vector<double>{24.0, 24.0}, norms)});
+    families.push_back({"cobb-douglas", std::make_unique<auction::CobbDouglasScoring>(
+                                            std::vector<double>{0.5, 0.5}, norms)});
+    families.push_back({"scaled-product",
+                        std::make_unique<auction::ScaledProductScoring>(25.0, 2, norms)});
+    const auction::AdditiveCost cost({6.0 / 150.0, 2.0});
+    core::TablePrinter table(std::cout, {"family", "q1*(th=1)", "q2*(th=1)",
+                                         "mean_payment", "winner_score"});
+    for (const Family& family : families) {
+        auction::WinnerDeterminationConfig wd;
+        wd.num_winners = 20;
+        const auction::AuctionGame game(*family.rule, cost, theta_dist(), {1.0, 0.05},
+                                        {150.0, 1.0},
+                                        eq_config(100, 20, auction::WinModel::paper), wd);
+        stats::Rng rng(37);
+        double payment = 0.0;
+        double score = 0.0;
+        constexpr int reps = 8;
+        for (int r = 0; r < reps; ++r) {
+            const auto result = game.play(rng);
+            payment += result.mean_winner_payment / reps;
+            score += result.mean_winner_score / reps;
+        }
+        const auto q = game.strategy().quality(1.0);
+        table.row({family.name, core::fixed(q[0], 1), core::fixed(q[1], 2),
+                   core::fixed(payment, 3), core::fixed(score, 3)});
+    }
+    std::cout << "takeaway: complementary (Leontief) scoring forces balanced\n"
+                 "provision; additive lets the cheap dimension dominate; the\n"
+                 "product families buy both — matching Section III.A's guidance.\n\n";
+}
+
+void ablation_psi_identical_vs_distinct() {
+    std::cout << "--- 5. psi identical vs distinct per node (paper's open question) ---\n";
+    std::vector<stats::MinMaxNormalizer> norms{stats::MinMaxNormalizer(0.0, 150.0),
+                                               stats::MinMaxNormalizer(0.0, 1.0)};
+    const auction::ScaledProductScoring scoring(25.0, 2, norms);
+    const auction::AdditiveCost cost({6.0 / 150.0, 2.0});
+    const auto strategy = auction::EquilibriumSolver(
+                              scoring, cost, theta_dist(), {1.0, 0.05}, {150.0, 1.0},
+                              eq_config(100, 20, auction::WinModel::paper))
+                              .solve();
+    stats::Rng rng(41);
+    std::vector<auction::Bid> bids;
+    std::vector<double> thetas;
+    for (std::size_t i = 0; i < 100; ++i) {
+        thetas.push_back(theta_dist().sample(rng));
+        bids.push_back(strategy.bid(i, thetas.back()));
+    }
+
+    auto run_variant = [&](const char* name, auction::WinnerDeterminationConfig wd) {
+        const auction::WinnerDetermination determination(scoring, wd);
+        stats::Rng vrng(43);
+        double mean_score = 0.0;
+        std::vector<int> wins(100, 0);
+        constexpr int reps = 400;
+        for (int r = 0; r < reps; ++r) {
+            const auto outcome = determination.run(bids, vrng);
+            for (const auto& w : outcome.winners) {
+                mean_score += w.score / (reps * 20.0);
+                ++wins[w.node];
+            }
+        }
+        std::size_t ever_selected = 0;
+        for (const int w : wins) {
+            if (w > 0) ++ever_selected;
+        }
+        std::cout << "  " << name << ": mean winner score " << core::fixed(mean_score, 3)
+                  << ", distinct nodes ever selected " << ever_selected << "/100\n";
+    };
+
+    auction::WinnerDeterminationConfig identical;
+    identical.num_winners = 20;
+    identical.psi = 0.6;
+    run_variant("identical psi=0.6      ", identical);
+
+    // Distinct: give high-theta (expensive, low-score) nodes a higher psi —
+    // an equity-flavoured assignment.
+    auction::WinnerDeterminationConfig distinct;
+    distinct.num_winners = 20;
+    distinct.psi = 0.6;
+    distinct.psi_per_node.resize(100);
+    for (std::size_t i = 0; i < 100; ++i) {
+        distinct.psi_per_node[i] = 0.3 + 0.6 * (thetas[i] - 0.5); // 0.3..0.9
+    }
+    run_variant("distinct psi~theta     ", distinct);
+
+    auction::WinnerDeterminationConfig inverse;
+    inverse.num_winners = 20;
+    inverse.psi = 0.6;
+    inverse.psi_per_node.resize(100);
+    for (std::size_t i = 0; i < 100; ++i) {
+        inverse.psi_per_node[i] = 0.9 - 0.6 * (thetas[i] - 0.5); // favour cheap nodes
+    }
+    run_variant("distinct psi~1/theta   ", inverse);
+
+    std::cout << "takeaway: distinct psi is a real lever — tilting acceptance toward\n"
+                 "expensive nodes broadens participation at a visible score cost,\n"
+                 "tilting toward cheap nodes nearly recovers plain FMore.\n";
+}
+
+} // namespace
+
+int main() {
+    std::cout << "Auction design ablations (DESIGN.md section 6)\n\n";
+    ablation_win_model();
+    ablation_payment_method();
+    ablation_payment_rule();
+    ablation_scoring_family();
+    ablation_psi_identical_vs_distinct();
+    return 0;
+}

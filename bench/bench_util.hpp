@@ -1,0 +1,112 @@
+#pragma once
+
+// Shared harness for the figure-reproduction benches. Every fig binary
+// follows the same pattern: run the relevant experiment for a few trials
+// per strategy (the paper averages five runs), print the measured series
+// next to the paper's reference points, and finish with the derived
+// headline quantities (rounds-to-accuracy, speedups).
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fmore/core/config.hpp"
+#include "fmore/core/realworld.hpp"
+#include "fmore/core/report.hpp"
+#include "fmore/core/simulation.hpp"
+#include "fmore/core/trials.hpp"
+
+namespace fmore::bench {
+
+/// Trials per strategy; override with FMORE_BENCH_TRIALS (1 for smoke runs,
+/// 5 to match the paper's protocol).
+inline std::size_t trial_count(std::size_t fallback = 3) {
+    if (const char* env = std::getenv("FMORE_BENCH_TRIALS")) {
+        const long v = std::atol(env);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+/// Run `trials` simulation trials of one strategy.
+inline std::vector<fl::RunResult> run_sim(const core::SimulationConfig& config,
+                                          core::Strategy strategy, std::size_t trials) {
+    std::vector<fl::RunResult> runs;
+    runs.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+        core::SimulationTrial trial(config, t);
+        runs.push_back(trial.run(strategy));
+    }
+    return runs;
+}
+
+/// Run `trials` testbed trials of one strategy.
+inline std::vector<fl::RunResult> run_real(const core::RealWorldConfig& config,
+                                           core::Strategy strategy, std::size_t trials) {
+    std::vector<fl::RunResult> runs;
+    runs.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+        core::RealWorldTrial trial(config, t);
+        runs.push_back(trial.run(strategy));
+    }
+    return runs;
+}
+
+/// One labelled accuracy/loss curve.
+struct NamedSeries {
+    std::string name;
+    core::AveragedSeries series;
+};
+
+/// Print round-by-round accuracy and loss for several strategies.
+inline void print_accuracy_loss(std::ostream& out, const std::vector<NamedSeries>& all) {
+    std::vector<std::string> headers{"round"};
+    for (const NamedSeries& s : all) headers.push_back(s.name + "_acc");
+    for (const NamedSeries& s : all) headers.push_back(s.name + "_loss");
+    core::TablePrinter table(out, headers);
+    const std::size_t rounds = all.front().series.rounds();
+    for (std::size_t r = 0; r < rounds; ++r) {
+        std::vector<double> row{static_cast<double>(r + 1)};
+        for (const NamedSeries& s : all) row.push_back(s.series.accuracy[r]);
+        for (const NamedSeries& s : all) row.push_back(s.series.loss[r]);
+        table.row(row);
+    }
+}
+
+/// Print the paper's reference points (approximate values read off the
+/// figure) so the shape comparison is explicit.
+inline void print_paper_reference(std::ostream& out, const std::string& what,
+                                  const std::vector<std::string>& lines) {
+    out << "\nPaper reference (" << what << ", approximate values read from figure):\n";
+    for (const std::string& line : lines) out << "  " << line << '\n';
+}
+
+/// First round reaching `target` (averaged runs), or nullopt.
+inline std::optional<std::size_t> rounds_to(const core::AveragedSeries& series,
+                                            double target) {
+    for (std::size_t r = 0; r < series.rounds(); ++r) {
+        if (series.accuracy[r] >= target) return r + 1;
+    }
+    return std::nullopt;
+}
+
+/// "x reached 50% in 8 rounds vs y in 15 -> 46.7% fewer rounds".
+inline void print_speedup(std::ostream& out, const std::string& fast_name,
+                          const core::AveragedSeries& fast, const std::string& slow_name,
+                          const core::AveragedSeries& slow, double target) {
+    const auto rf = rounds_to(fast, target);
+    const auto rs = rounds_to(slow, target);
+    out << "rounds to " << core::percent(target, 0) << ": " << fast_name << " = "
+        << (rf ? std::to_string(*rf) : std::string(">") + std::to_string(fast.rounds()))
+        << ", " << slow_name << " = "
+        << (rs ? std::to_string(*rs) : std::string(">") + std::to_string(slow.rounds()));
+    if (rf && rs && *rs > 0) {
+        const double saved = 1.0 - static_cast<double>(*rf) / static_cast<double>(*rs);
+        out << "  (" << fast_name << " saves " << core::percent(saved) << " of rounds)";
+    }
+    out << '\n';
+}
+
+} // namespace fmore::bench

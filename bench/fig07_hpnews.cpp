@@ -1,0 +1,20 @@
+// Fig. 7 — accuracy and loss for the LSTM on HPNews (synthetic Markov-chain
+// stand-in), FMore vs RandFL vs FixFL. Paper: at round 20 FMore 60.4%,
+// FixFL 40.6%.
+#include "fig_accuracy_common.hpp"
+
+int main() {
+    using namespace fmore::bench;
+    FigAccuracySpec spec;
+    spec.figure = "Fig. 7";
+    spec.dataset = fmore::core::DatasetKind::hpnews;
+    spec.model_name = "LSTM";
+    spec.paper_reference = {
+        "FMore : r4 ~0.30, r8 ~0.45, r12 ~0.52, r20 ~0.604",
+        "RandFL: r4 ~0.25, r8 ~0.36, r12 ~0.43, r20 ~0.50",
+        "FixFL : r4 ~0.22, r8 ~0.31, r12 ~0.36, r20 ~0.406",
+        "claim : FMore reaches 46% accuracy in ~68% fewer rounds than RandFL",
+    };
+    spec.speedup_target = 0.42;
+    return run_fig_accuracy(spec);
+}

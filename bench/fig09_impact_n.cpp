@@ -1,0 +1,90 @@
+// Fig. 9 — the impact of the population size N.
+//  (a) rounds needed to reach accuracy targets, N = 50 vs N = 100
+//      (more nodes -> more data diversity and better winners -> fewer
+//      rounds; the paper reports 28% fewer rounds to 84%).
+//  (b) equilibrium payment p and winner score versus N in [50, 200]
+//      (competition drives payments down and scores up).
+
+#include "bench_util.hpp"
+#include "fmore/auction/game.hpp"
+#include "fmore/stats/normalizer.hpp"
+
+namespace {
+
+using namespace fmore;
+
+void part_a() {
+    std::cout << "(a) rounds to reach accuracy, N=50 vs N=100 (MNIST-F, K=20)\n\n";
+    const std::size_t trials = bench::trial_count(2);
+    const std::vector<double> targets{0.70, 0.75, 0.78, 0.82, 0.84};
+
+    auto series_for = [&](std::size_t n) {
+        core::SimulationConfig config =
+            core::default_simulation(core::DatasetKind::mnist_f);
+        config.num_nodes = n;
+        // The paper grows the MARKET, not a fixed data pie cut finer: hold
+        // the per-node data distribution constant while N rises, so a
+        // larger N gives the aggregator genuinely better top-K picks.
+        config.train_samples = 90 * n;
+        config.rounds = 24;
+        return core::average_runs(bench::run_sim(config, core::Strategy::fmore, trials));
+    };
+    const auto n50 = series_for(50);
+    const auto n100 = series_for(100);
+
+    core::TablePrinter table(std::cout, {"accuracy", "rounds_N50", "rounds_N100"});
+    for (const double target : targets) {
+        const auto r50 = bench::rounds_to(n50, target);
+        const auto r100 = bench::rounds_to(n100, target);
+        table.row({std::string(core::percent(target, 0)),
+                   r50 ? std::to_string(*r50) : ">24", r100 ? std::to_string(*r100) : ">24"});
+    }
+    bench::print_paper_reference(std::cout, "Fig. 9(a)",
+                                 {"N=100 reaches 84% in ~28% fewer rounds than N=50;",
+                                  "per-round accuracy with N=100 dominates N=50."});
+}
+
+void part_b() {
+    std::cout << "\n(b) equilibrium payment p and winner score vs N (pure auction, K=20)\n\n";
+    const stats::UniformDistribution theta(0.5, 1.5);
+    const double data_hi = 150.0;
+    std::vector<stats::MinMaxNormalizer> norms;
+    norms.emplace_back(0.0, data_hi);
+    norms.emplace_back(0.0, 1.0);
+    const auction::ScaledProductScoring scoring(25.0, 2, norms);
+    const auction::AdditiveCost cost({6.0 / data_hi, 2.0});
+
+    core::TablePrinter table(std::cout, {"N", "payment_p", "winner_score"});
+    for (const std::size_t n : {50u, 80u, 110u, 140u, 170u, 200u}) {
+        auction::EquilibriumConfig eq;
+        eq.num_bidders = n;
+        eq.num_winners = 20;
+        auction::WinnerDeterminationConfig wd;
+        wd.num_winners = 20;
+        const auction::AuctionGame game(scoring, cost, theta, {1.0, 0.05},
+                                        {data_hi, 1.0}, eq, wd);
+        stats::Rng rng(99);
+        double payment = 0.0;
+        double score = 0.0;
+        constexpr int reps = 12;
+        for (int r = 0; r < reps; ++r) {
+            const auction::GameResult result = game.play(rng);
+            payment += result.mean_winner_payment;
+            score += result.mean_winner_score;
+        }
+        table.row({static_cast<double>(n), payment / reps, score / reps});
+    }
+    bench::print_paper_reference(
+        std::cout, "Fig. 9(b)",
+        {"payment p falls monotonically (~4600 -> ~3650 on the paper's scale)",
+         "winner score rises monotonically (~500 -> ~1300) as N grows 50 -> 200."});
+}
+
+} // namespace
+
+int main() {
+    std::cout << "Fig. 9: the impacts of parameter N\n\n";
+    part_a();
+    part_b();
+    return 0;
+}

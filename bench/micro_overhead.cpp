@@ -1,0 +1,149 @@
+// Micro-benchmarks backing the paper's "lightweight" claims (Sections III.A
+// and IV): an edge node computes its Nash-equilibrium bid in linear time
+// (Euler's method), and the aggregator's per-round work is scoring + a sort.
+// google-benchmark binary: run with --benchmark_filter=... as usual.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/winner_determination.hpp"
+#include "fmore/stats/normalizer.hpp"
+
+namespace {
+
+using namespace fmore;
+
+struct AuctionWorld {
+    AuctionWorld()
+        : theta(0.5, 1.5),
+          norms{stats::MinMaxNormalizer(0.0, 150.0), stats::MinMaxNormalizer(0.0, 1.0)},
+          scoring(25.0, 2, norms),
+          cost({6.0 / 150.0, 2.0}) {}
+
+    stats::UniformDistribution theta;
+    std::vector<stats::MinMaxNormalizer> norms;
+    auction::ScaledProductScoring scoring;
+    auction::AdditiveCost cost;
+};
+
+AuctionWorld& world() {
+    static AuctionWorld w;
+    return w;
+}
+
+/// Full strategy tabulation as a function of the score-grid size (the
+/// Euler/quadrature step count): should scale linearly -> the paper's
+/// "complexity of linear time" for a bidder.
+void BM_EquilibriumSolve(benchmark::State& state) {
+    auction::EquilibriumConfig cfg;
+    cfg.num_bidders = 100;
+    cfg.num_winners = 20;
+    cfg.score_grid_points = static_cast<std::size_t>(state.range(0));
+    cfg.theta_grid_points = 65;
+    const auction::EquilibriumSolver solver(world().scoring, world().cost, world().theta,
+                                            {1.0, 0.05}, {150.0, 1.0}, cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solver.solve());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EquilibriumSolve)->Range(64, 4096)->Complexity(benchmark::oN);
+
+/// Per-round bid computation once the strategy is tabulated — what a node
+/// actually does online. Should be O(1) lookups.
+void BM_BidLookup(benchmark::State& state) {
+    auction::EquilibriumConfig cfg;
+    cfg.num_bidders = 100;
+    cfg.num_winners = 20;
+    const auto strategy = auction::EquilibriumSolver(world().scoring, world().cost,
+                                                     world().theta, {1.0, 0.05},
+                                                     {150.0, 1.0}, cfg)
+                              .solve();
+    double theta = 0.5;
+    for (auto _ : state) {
+        theta = theta >= 1.5 ? 0.5 : theta + 1e-4;
+        benchmark::DoNotOptimize(strategy.bid(0, theta));
+    }
+}
+BENCHMARK(BM_BidLookup);
+
+/// Aggregator winner determination as a function of N: scoring, coin-flip
+/// shuffle and a sort -> O(N log N).
+void BM_WinnerDetermination(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auction::EquilibriumConfig cfg;
+    cfg.num_bidders = n;
+    cfg.num_winners = n / 5;
+    const auto strategy = auction::EquilibriumSolver(world().scoring, world().cost,
+                                                     world().theta, {1.0, 0.05},
+                                                     {150.0, 1.0}, cfg)
+                              .solve();
+    stats::Rng rng(5);
+    std::vector<auction::Bid> bids;
+    bids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        bids.push_back(strategy.bid(i, world().theta.sample(rng)));
+    }
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = n / 5;
+    const auction::WinnerDetermination determination(world().scoring, wd);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(determination.run(bids, rng));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WinnerDetermination)->Range(64, 8192)->Complexity(benchmark::oNLogN);
+
+/// Payment evaluation methods at equal grid size: the paper's Euler ODE
+/// versus the integral form versus RK4.
+void BM_PaymentMethod(benchmark::State& state) {
+    auction::EquilibriumConfig cfg;
+    cfg.num_bidders = 100;
+    cfg.num_winners = 20;
+    const auto strategy = auction::EquilibriumSolver(world().scoring, world().cost,
+                                                     world().theta, {1.0, 0.05},
+                                                     {150.0, 1.0}, cfg)
+                              .solve();
+    const auto method = static_cast<auction::PaymentMethod>(state.range(0));
+    double theta = 0.5;
+    for (auto _ : state) {
+        theta = theta >= 1.5 ? 0.5 : theta + 1e-4;
+        benchmark::DoNotOptimize(strategy.payment(theta, method));
+    }
+}
+BENCHMARK(BM_PaymentMethod)
+    ->Arg(static_cast<int>(auction::PaymentMethod::integral))
+    ->Arg(static_cast<int>(auction::PaymentMethod::euler_ode))
+    ->Arg(static_cast<int>(auction::PaymentMethod::rk4_ode));
+
+/// psi-FMore's probabilistic scan versus the plain top-K cut.
+void BM_PsiSelection(benchmark::State& state) {
+    const double psi = static_cast<double>(state.range(0)) / 10.0;
+    constexpr std::size_t n = 1000;
+    auction::EquilibriumConfig cfg;
+    cfg.num_bidders = n;
+    cfg.num_winners = 100;
+    const auto strategy = auction::EquilibriumSolver(world().scoring, world().cost,
+                                                     world().theta, {1.0, 0.05},
+                                                     {150.0, 1.0}, cfg)
+                              .solve();
+    stats::Rng rng(7);
+    std::vector<auction::Bid> bids;
+    for (std::size_t i = 0; i < n; ++i) {
+        bids.push_back(strategy.bid(i, world().theta.sample(rng)));
+    }
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = 100;
+    wd.psi = psi;
+    const auction::WinnerDetermination determination(world().scoring, wd);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(determination.run(bids, rng));
+    }
+}
+BENCHMARK(BM_PsiSelection)->Arg(10)->Arg(5)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

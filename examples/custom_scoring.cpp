@@ -1,0 +1,74 @@
+// Custom scoring rules: how an aggregator designs its bid-ask.
+//
+// Walks through the three utility families of Section III.A (perfect
+// substitution, perfect complements, Cobb-Douglas), shows how the same
+// bidder population responds to each, and uses Proposition 4 to pick
+// Cobb-Douglas weights that buy a target resource mix.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/validators.hpp"
+#include "fmore/core/report.hpp"
+#include "fmore/stats/normalizer.hpp"
+
+int main() {
+    using namespace fmore;
+
+    // Two resources, both normalized to [0, 1]: GPU-hours and bandwidth.
+    const stats::UniformDistribution theta(0.5, 1.5);
+    const auction::AdditiveCost cost({0.6, 0.4});
+
+    struct Candidate {
+        const char* description;
+        std::unique_ptr<auction::ScoringRule> rule;
+    };
+    std::vector<Candidate> candidates;
+    candidates.push_back({"perfect substitution  s = 1.5 q1 + 1.0 q2",
+                          std::make_unique<auction::AdditiveScoring>(
+                              std::vector<double>{1.5, 1.0})});
+    candidates.push_back({"perfect complements   s = min(2.4 q1, 2.4 q2)",
+                          std::make_unique<auction::LeontiefScoring>(
+                              std::vector<double>{2.4, 2.4})});
+    candidates.push_back({"Cobb-Douglas          s = 2.2 q1^0.6 q2^0.4 (via coeff)",
+                          std::make_unique<auction::CobbDouglasScoring>(
+                              std::vector<double>{0.6, 0.4})});
+
+    std::cout << "How the same bidder type (theta = 1.0) answers each rule:\n\n";
+    core::TablePrinter table(std::cout, {"q1*", "q2*", "ask_p", "surplus_u0"});
+    for (const Candidate& candidate : candidates) {
+        std::cout << candidate.description << '\n';
+        auction::EquilibriumConfig eq;
+        eq.num_bidders = 40;
+        eq.num_winners = 8;
+        const auto strategy =
+            auction::EquilibriumSolver(*candidate.rule, cost, theta, {0.01, 0.01},
+                                       {1.0, 1.0}, eq)
+                .solve();
+        const auto q = strategy.quality(1.0);
+        table.row({q[0], q[1], strategy.payment(1.0), strategy.max_surplus(1.0)}, 3);
+    }
+
+    // Proposition 4: the aggregator wants resources in the ratio 3:1 under
+    // estimated cost coefficients beta = (0.6, 0.4). Solve for alphas:
+    // q1/q2 = (a1 b2)/(a2 b1) = 3  ->  a1/a2 = 3 b1/b2 = 4.5.
+    std::cout << "\nProposition 4 guidance: target mix q1:q2 = 3:1 under "
+                 "beta=(0.6, 0.4)\n";
+    const std::vector<double> alphas{4.5 / 5.5, 1.0 / 5.5};
+    const std::vector<double> betas{0.6, 0.4};
+    const auto q_star = auction::proposition4_optimal_qualities(alphas, betas,
+                                                                /*theta=*/1.0,
+                                                                /*budget=*/2.0);
+    std::cout << "  alphas = (" << core::fixed(alphas[0], 3) << ", "
+              << core::fixed(alphas[1], 3) << ")  ->  q* = ("
+              << core::fixed(q_star[0], 3) << ", " << core::fixed(q_star[1], 3)
+              << "), ratio " << core::fixed(q_star[0] / q_star[1], 2) << ":1\n";
+
+    std::cout << "\nDesign notes (Section III.A):\n"
+                 "  * additive rules suit substitutable resources (CPU vs GPU);\n"
+                 "  * Leontief suits jointly-required resources (compute + uplink);\n"
+                 "  * Cobb-Douglas lets Proposition 4 dial the purchased mix.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/winner_determination.hpp"
+
+namespace fmore::auction {
+
+/// A complete one-round sealed-bid game over a population of N bidders:
+/// types are drawn i.i.d. from the theta distribution, every bidder plays
+/// the symmetric Nash-equilibrium strategy, and the aggregator picks K
+/// winners. This is the analytic engine behind the paper's Figs. 9(b) and
+/// 10(b) (payment / score versus N and K).
+struct GameResult {
+    AuctionOutcome outcome;
+    std::vector<double> thetas;          ///< drawn types, index = NodeId
+    double mean_winner_payment = 0.0;
+    double mean_winner_score = 0.0;
+    double aggregator_profit = 0.0;      ///< V = sum_W (U(q) - p), with U = s
+    double social_surplus = 0.0;         ///< sum_W (s(q) - c(q, theta))
+};
+
+class AuctionGame {
+public:
+    /// The scoring rule doubles as the aggregator's utility (U = s), the
+    /// Pareto-efficient configuration of the paper's Theorem 4.
+    AuctionGame(const ScoringRule& scoring, const CostModel& cost,
+                const stats::Distribution& theta_dist, QualityVector q_lo,
+                QualityVector q_hi, EquilibriumConfig eq_config,
+                WinnerDeterminationConfig wd_config);
+
+    /// Draw a fresh population and run one auction round.
+    [[nodiscard]] GameResult play(stats::Rng& rng,
+                                  PaymentMethod method = PaymentMethod::integral) const;
+
+    /// Run a round with caller-supplied types (for controlled experiments).
+    [[nodiscard]] GameResult play_with_types(const std::vector<double>& thetas,
+                                             stats::Rng& rng,
+                                             PaymentMethod method
+                                             = PaymentMethod::integral) const;
+
+    [[nodiscard]] const EquilibriumStrategy& strategy() const { return strategy_; }
+
+private:
+    const ScoringRule& scoring_;
+    const CostModel& cost_;
+    const stats::Distribution& theta_dist_;
+    EquilibriumStrategy strategy_;
+    WinnerDetermination determination_;
+    std::size_t num_bidders_;
+};
+
+} // namespace fmore::auction

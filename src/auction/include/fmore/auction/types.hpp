@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fmore::auction {
+
+/// Identifier of a bidder (edge node) within one auction round.
+using NodeId = std::size_t;
+
+/// Multi-dimensional resource quality vector q = (q_1, ..., q_m).
+///
+/// The paper's resources "include local data, computation capability,
+/// bandwidth, CPU cycle, etc." (Section III.A). Dimensions are positional;
+/// the scoring rule and cost model agree on the layout.
+using QualityVector = std::vector<double>;
+
+/// A sealed bid (q, p): declared qualities plus the expected payment
+/// (Section III.A step 2).
+struct Bid {
+    NodeId node = 0;
+    QualityVector quality;
+    double payment = 0.0;
+};
+
+/// A bid annotated with the aggregator's score S(q, p) = s(q) - p.
+struct ScoredBid {
+    Bid bid;
+    double score = 0.0;
+};
+
+/// Payment rule for winners. The paper supports both and uses first-price
+/// ("We use the first-price auction for simplicity", Section III.A step 3).
+/// Second price follows Che's second-score auction: each winner is paid the
+/// amount that would bring its score down to the best losing score.
+enum class PaymentRule : std::uint8_t {
+    first_price,
+    second_price,
+};
+
+/// One auction winner with the final payment owed by the aggregator.
+struct Winner {
+    NodeId node = 0;
+    double score = 0.0;
+    double payment = 0.0;
+};
+
+/// Result of a winner-determination round.
+struct AuctionOutcome {
+    std::vector<Winner> winners;     // in selection order (best score first)
+    std::vector<ScoredBid> ranking;  // all bids, descending score
+};
+
+} // namespace fmore::auction

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "fmore/auction/cost.hpp"
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/scoring.hpp"
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::auction {
+
+/// Verdict of a randomized incentive-compatibility audit (paper Theorem 5).
+struct IncentiveCompatibilityReport {
+    std::size_t trials = 0;
+    std::size_t violations = 0;
+    double worst_violation = 0.0; // largest score gain from misreporting
+    [[nodiscard]] bool holds() const { return violations == 0; }
+};
+
+/// Randomly perturb equilibrium bids into under-declared qualities
+/// (qhat_j < q_j for at least one j, as in the theorem's statement) and
+/// verify the score can only drop while the cost stays that of the truthful
+/// provision. `trials` random (theta, perturbation) pairs.
+IncentiveCompatibilityReport audit_incentive_compatibility(
+    const EquilibriumStrategy& strategy, const ScoringRule& scoring,
+    stats::Rng& rng, std::size_t trials = 256);
+
+/// Social surplus of a winner set: sum_W [s(q_i) - c(q_i, theta_i)]
+/// (paper Theorem 4). Pareto efficiency of FMore = no alternative quality
+/// choice for any winner raises this sum.
+double social_surplus(const ScoringRule& scoring, const CostModel& cost,
+                      const std::vector<QualityVector>& winner_qualities,
+                      const std::vector<double>& winner_thetas);
+
+/// Verdict of a Pareto-efficiency audit: perturb each winner's equilibrium
+/// quality in random directions and check the surplus never improves by more
+/// than `tol`.
+struct ParetoReport {
+    std::size_t trials = 0;
+    std::size_t improvements = 0;
+    double best_improvement = 0.0;
+    [[nodiscard]] bool holds() const { return improvements == 0; }
+};
+
+ParetoReport audit_pareto_efficiency(const EquilibriumStrategy& strategy,
+                                     const ScoringRule& scoring, const CostModel& cost,
+                                     const QualityVector& q_lo, const QualityVector& q_hi,
+                                     stats::Rng& rng, std::size_t trials = 256,
+                                     double tol = 1e-7);
+
+/// Individual-rationality audit: equilibrium payment covers cost for every
+/// grid type (pi >= 0, Section III.A(2)).
+bool individual_rationality_holds(const EquilibriumStrategy& strategy,
+                                  const CostModel& cost, std::size_t grid = 64,
+                                  double tol = 1e-9);
+
+/// Proposition 4 closed form: optimal quality mix under Cobb-Douglas
+/// utility s = prod q_i^{alpha_i} and additive cost theta * sum beta_i q_i
+/// with budget c0:  q_i* = alpha_i * c0 / (theta * beta_i * sum alpha).
+std::vector<double> proposition4_optimal_qualities(const std::vector<double>& alphas,
+                                                   const std::vector<double>& betas,
+                                                   double theta, double budget);
+
+} // namespace fmore::auction

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+
+namespace fmore::auction {
+
+/// Which win-probability formula g(u) the equilibrium solver uses.
+///
+/// `paper` is Eq. (9) of FMore:
+///     g(u) = sum_{i=1..K} [1 - H(u)]^{i-1} [H(u)]^{N-i}
+/// which omits the combinatorial coefficients of the exact order-statistic
+/// probability. It coincides with Che's K=1 form (H^{N-1}) and collapses to
+/// H^{N-2} at K=2, matching the paper's Proposition 1.
+///
+/// `exact` is the true probability that fewer than K of the N-1 opponents
+/// exceed the bidder's score:
+///     g(u) = sum_{j=0..K-1} C(N-1, j) [1 - H(u)]^j [H(u)]^{N-1-j}
+///
+/// Both are monotone increasing in H; the bench `ablation_auction` measures
+/// the payment difference the choice induces.
+enum class WinModel {
+    paper,
+    exact,
+};
+
+/// Paper Eq. (9). `h` is H(u) in [0,1]; `n` total bidders; `k` winners
+/// (1 <= k < n).
+double paper_win_probability(double h, std::size_t n, std::size_t k);
+
+/// Exact binomial tail: probability that at most k-1 of n-1 i.i.d. opponent
+/// scores exceed the bidder's (opponent above with probability 1-h).
+double exact_win_probability(double h, std::size_t n, std::size_t k);
+
+/// Dispatch on `model`.
+double win_probability(WinModel model, double h, std::size_t n, std::size_t k);
+
+/// log C(n, k) via lgamma; exact enough for n in the tens of thousands.
+double log_binomial_coefficient(std::size_t n, std::size_t k);
+
+/// The paper's Pr(psi) for psi-FMore (Section III.C):
+///     Pr(psi) = sum_{i=0..N-K} C(i+K, i) (1-psi)^i psi^K
+/// as printed in the paper. Note this is NOT a normalized probability: the
+/// standard negative-binomial tail uses C(i+K-1, i) (see below). We expose
+/// both so tests/benches can quantify the discrepancy.
+double psi_success_probability_paper(double psi, std::size_t n, std::size_t k);
+
+/// Negative-binomial form: probability that scanning nodes in score order,
+/// each accepted independently with probability psi, collects K winners
+/// within the first N nodes:
+///     Pr = sum_{i=0..N-K} C(i+K-1, i) (1-psi)^i psi^K
+double psi_success_probability_negbinomial(double psi, std::size_t n, std::size_t k);
+
+} // namespace fmore::auction

@@ -1,0 +1,55 @@
+#include "fmore/auction/game.hpp"
+
+#include <stdexcept>
+
+namespace fmore::auction {
+
+AuctionGame::AuctionGame(const ScoringRule& scoring, const CostModel& cost,
+                         const stats::Distribution& theta_dist, QualityVector q_lo,
+                         QualityVector q_hi, EquilibriumConfig eq_config,
+                         WinnerDeterminationConfig wd_config)
+    : scoring_(scoring),
+      cost_(cost),
+      theta_dist_(theta_dist),
+      strategy_(EquilibriumSolver(scoring, cost, theta_dist, std::move(q_lo),
+                                  std::move(q_hi), eq_config)
+                    .solve()),
+      determination_(scoring, wd_config),
+      num_bidders_(eq_config.num_bidders) {
+    if (wd_config.num_winners != eq_config.num_winners)
+        throw std::invalid_argument(
+            "AuctionGame: equilibrium K and winner-determination K must agree");
+}
+
+GameResult AuctionGame::play(stats::Rng& rng, PaymentMethod method) const {
+    std::vector<double> thetas(num_bidders_);
+    for (double& theta : thetas) theta = theta_dist_.sample(rng);
+    return play_with_types(thetas, rng, method);
+}
+
+GameResult AuctionGame::play_with_types(const std::vector<double>& thetas, stats::Rng& rng,
+                                        PaymentMethod method) const {
+    GameResult result;
+    result.thetas = thetas;
+    std::vector<Bid> bids;
+    bids.reserve(thetas.size());
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+        bids.push_back(strategy_.bid(i, thetas[i], method));
+    }
+    result.outcome = determination_.run(bids, rng);
+    for (const Winner& w : result.outcome.winners) {
+        const QualityVector q = strategy_.quality(thetas[w.node]);
+        result.mean_winner_payment += w.payment;
+        result.mean_winner_score += w.score;
+        result.aggregator_profit += scoring_.quality_score(q) - w.payment;
+        result.social_surplus += scoring_.quality_score(q) - cost_.cost(q, thetas[w.node]);
+    }
+    if (!result.outcome.winners.empty()) {
+        const auto n = static_cast<double>(result.outcome.winners.size());
+        result.mean_winner_payment /= n;
+        result.mean_winner_score /= n;
+    }
+    return result;
+}
+
+} // namespace fmore::auction

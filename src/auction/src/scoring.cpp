@@ -1,0 +1,75 @@
+#include "fmore/auction/scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::auction {
+
+WeightedScoringBase::WeightedScoringBase(std::vector<double> coefficients,
+                                         std::vector<stats::MinMaxNormalizer> normalizers)
+    : coefficients_(std::move(coefficients)), normalizers_(std::move(normalizers)) {
+    if (coefficients_.empty())
+        throw std::invalid_argument("scoring: need at least one coefficient");
+    if (!normalizers_.empty() && normalizers_.size() != coefficients_.size())
+        throw std::invalid_argument("scoring: normalizer/coefficient count mismatch");
+}
+
+double WeightedScoringBase::normalized(const QualityVector& q, std::size_t d) const {
+    return normalizers_.empty() ? q[d] : normalizers_[d].transform(q[d]);
+}
+
+void WeightedScoringBase::check_dims(const QualityVector& q) const {
+    if (q.size() != coefficients_.size())
+        throw std::invalid_argument("scoring: quality vector has wrong dimension");
+}
+
+double AdditiveScoring::quality_score(const QualityVector& q) const {
+    check_dims(q);
+    double total = 0.0;
+    for (std::size_t d = 0; d < q.size(); ++d) {
+        total += coefficients_[d] * normalized(q, d);
+    }
+    return total;
+}
+
+double LeontiefScoring::quality_score(const QualityVector& q) const {
+    check_dims(q);
+    double lowest = coefficients_[0] * normalized(q, 0);
+    for (std::size_t d = 1; d < q.size(); ++d) {
+        lowest = std::min(lowest, coefficients_[d] * normalized(q, d));
+    }
+    return lowest;
+}
+
+double CobbDouglasScoring::quality_score(const QualityVector& q) const {
+    check_dims(q);
+    double product = 1.0;
+    for (std::size_t d = 0; d < q.size(); ++d) {
+        const double qi = normalized(q, d);
+        if (qi < 0.0)
+            throw std::domain_error("CobbDouglasScoring: negative quality");
+        product *= std::pow(qi, coefficients_[d]);
+    }
+    return product;
+}
+
+ScaledProductScoring::ScaledProductScoring(double alpha, std::size_t dims,
+                                           std::vector<stats::MinMaxNormalizer> normalizers)
+    : alpha_(alpha), dims_(dims), normalizers_(std::move(normalizers)) {
+    if (dims_ == 0) throw std::invalid_argument("ScaledProductScoring: dims must be > 0");
+    if (!normalizers_.empty() && normalizers_.size() != dims_)
+        throw std::invalid_argument("ScaledProductScoring: normalizer count mismatch");
+}
+
+double ScaledProductScoring::quality_score(const QualityVector& q) const {
+    if (q.size() != dims_)
+        throw std::invalid_argument("ScaledProductScoring: quality vector has wrong dimension");
+    double product = alpha_;
+    for (std::size_t d = 0; d < dims_; ++d) {
+        product *= normalizers_.empty() ? q[d] : normalizers_[d].transform(q[d]);
+    }
+    return product;
+}
+
+} // namespace fmore::auction

@@ -1,0 +1,111 @@
+#include "fmore/auction/validators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::auction {
+
+IncentiveCompatibilityReport audit_incentive_compatibility(
+    const EquilibriumStrategy& strategy, const ScoringRule& scoring, stats::Rng& rng,
+    std::size_t trials) {
+    IncentiveCompatibilityReport report;
+    report.trials = trials;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const double theta =
+            rng.uniform(strategy.theta_lo(), strategy.theta_hi());
+        const QualityVector q = strategy.quality(theta);
+        const double p = strategy.payment(theta);
+        const double honest_score = scoring.score(q, p);
+
+        // Under-declare at least one dimension by a random fraction.
+        QualityVector q_hat = q;
+        const auto dim = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(q.size()) - 1));
+        q_hat[dim] *= rng.uniform(0.05, 0.95);
+        const double declared_score = scoring.score(q_hat, p);
+
+        if (declared_score > honest_score + 1e-12) {
+            ++report.violations;
+            report.worst_violation =
+                std::max(report.worst_violation, declared_score - honest_score);
+        }
+    }
+    return report;
+}
+
+double social_surplus(const ScoringRule& scoring, const CostModel& cost,
+                      const std::vector<QualityVector>& winner_qualities,
+                      const std::vector<double>& winner_thetas) {
+    if (winner_qualities.size() != winner_thetas.size())
+        throw std::invalid_argument("social_surplus: size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < winner_qualities.size(); ++i) {
+        total += scoring.quality_score(winner_qualities[i])
+                 - cost.cost(winner_qualities[i], winner_thetas[i]);
+    }
+    return total;
+}
+
+ParetoReport audit_pareto_efficiency(const EquilibriumStrategy& strategy,
+                                     const ScoringRule& scoring, const CostModel& cost,
+                                     const QualityVector& q_lo, const QualityVector& q_hi,
+                                     stats::Rng& rng, std::size_t trials, double tol) {
+    if (q_lo.size() != q_hi.size())
+        throw std::invalid_argument("audit_pareto_efficiency: bound mismatch");
+    ParetoReport report;
+    report.trials = trials;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const double theta = rng.uniform(strategy.theta_lo(), strategy.theta_hi());
+        const QualityVector q_star = strategy.quality(theta);
+        const double base = scoring.quality_score(q_star) - cost.cost(q_star, theta);
+
+        QualityVector q_alt(q_star.size());
+        for (std::size_t d = 0; d < q_alt.size(); ++d) {
+            q_alt[d] = rng.uniform(q_lo[d], q_hi[d]);
+        }
+        const double alt = scoring.quality_score(q_alt) - cost.cost(q_alt, theta);
+        if (alt > base + tol) {
+            ++report.improvements;
+            report.best_improvement = std::max(report.best_improvement, alt - base);
+        }
+    }
+    return report;
+}
+
+bool individual_rationality_holds(const EquilibriumStrategy& strategy,
+                                  const CostModel& cost, std::size_t grid, double tol) {
+    for (std::size_t j = 0; j < grid; ++j) {
+        const double theta = strategy.theta_lo()
+                             + (strategy.theta_hi() - strategy.theta_lo())
+                                   * static_cast<double>(j) / static_cast<double>(grid - 1);
+        const QualityVector q = strategy.quality(theta);
+        if (strategy.payment(theta) + tol < cost.cost(q, theta)) return false;
+    }
+    return true;
+}
+
+std::vector<double> proposition4_optimal_qualities(const std::vector<double>& alphas,
+                                                   const std::vector<double>& betas,
+                                                   double theta, double budget) {
+    if (alphas.size() != betas.size() || alphas.empty())
+        throw std::invalid_argument("proposition4: dimension mismatch");
+    if (!(theta > 0.0) || !(budget > 0.0))
+        throw std::invalid_argument("proposition4: theta and budget must be > 0");
+    double alpha_sum = 0.0;
+    for (const double a : alphas) {
+        if (!(a > 0.0)) throw std::invalid_argument("proposition4: alphas must be > 0");
+        alpha_sum += a;
+    }
+    std::vector<double> q(alphas.size());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        if (!(betas[i] > 0.0))
+            throw std::invalid_argument("proposition4: betas must be > 0");
+        // Lagrange solution of max prod q^alpha s.t. theta * sum beta q = c0:
+        // spend share alpha_i/sum(alpha) of the budget on resource i.
+        q[i] = (alphas[i] / alpha_sum) * budget / (theta * betas[i]);
+    }
+    return q;
+}
+
+} // namespace fmore::auction

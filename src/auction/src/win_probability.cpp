@@ -1,0 +1,86 @@
+#include "fmore/auction/win_probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::auction {
+
+namespace {
+
+void check_nk(std::size_t n, std::size_t k) {
+    if (k == 0) throw std::invalid_argument("win_probability: k must be >= 1");
+    if (k >= n) throw std::invalid_argument("win_probability: need k < n");
+}
+
+} // namespace
+
+double paper_win_probability(double h, std::size_t n, std::size_t k) {
+    check_nk(n, k);
+    h = std::clamp(h, 0.0, 1.0);
+    double total = 0.0;
+    for (std::size_t i = 1; i <= k; ++i) {
+        total += std::pow(1.0 - h, static_cast<double>(i - 1))
+                 * std::pow(h, static_cast<double>(n - i));
+    }
+    return std::clamp(total, 0.0, 1.0);
+}
+
+double exact_win_probability(double h, std::size_t n, std::size_t k) {
+    check_nk(n, k);
+    h = std::clamp(h, 0.0, 1.0);
+    const std::size_t opponents = n - 1;
+    double total = 0.0;
+    for (std::size_t j = 0; j + 1 <= k; ++j) {
+        // j opponents above the bidder's score.
+        if (h == 0.0 && opponents - j > 0) continue;
+        if (h == 1.0 && j > 0) continue;
+        const double log_term = log_binomial_coefficient(opponents, j)
+                                + static_cast<double>(j) * std::log1p(-std::min(h, 1.0 - 1e-300))
+                                + static_cast<double>(opponents - j)
+                                      * std::log(std::max(h, 1e-300));
+        total += std::exp(log_term);
+    }
+    return std::clamp(total, 0.0, 1.0);
+}
+
+double win_probability(WinModel model, double h, std::size_t n, std::size_t k) {
+    return model == WinModel::paper ? paper_win_probability(h, n, k)
+                                    : exact_win_probability(h, n, k);
+}
+
+double log_binomial_coefficient(std::size_t n, std::size_t k) {
+    if (k > n) throw std::invalid_argument("log_binomial_coefficient: k > n");
+    return std::lgamma(static_cast<double>(n + 1)) - std::lgamma(static_cast<double>(k + 1))
+           - std::lgamma(static_cast<double>(n - k + 1));
+}
+
+double psi_success_probability_paper(double psi, std::size_t n, std::size_t k) {
+    check_nk(n + 1, k); // allow k == n here: selecting everyone is legal
+    psi = std::clamp(psi, 0.0, 1.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i + k <= n; ++i) {
+        const double log_term = log_binomial_coefficient(i + k, i)
+                                + static_cast<double>(i) * std::log(std::max(1.0 - psi, 1e-300))
+                                + static_cast<double>(k) * std::log(std::max(psi, 1e-300));
+        total += std::exp(log_term);
+    }
+    return total;
+}
+
+double psi_success_probability_negbinomial(double psi, std::size_t n, std::size_t k) {
+    check_nk(n + 1, k);
+    psi = std::clamp(psi, 0.0, 1.0);
+    if (psi == 0.0) return 0.0;
+    if (psi == 1.0) return 1.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i + k <= n; ++i) {
+        const double log_term = log_binomial_coefficient(i + k - 1, i)
+                                + static_cast<double>(i) * std::log(1.0 - psi)
+                                + static_cast<double>(k) * std::log(psi);
+        total += std::exp(log_term);
+    }
+    return std::clamp(total, 0.0, 1.0);
+}
+
+} // namespace fmore::auction

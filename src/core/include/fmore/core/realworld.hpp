@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+
+#include "fmore/auction/cost.hpp"
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/scoring.hpp"
+#include "fmore/core/config.hpp"
+#include "fmore/fl/coordinator.hpp"
+#include "fmore/mec/cluster.hpp"
+#include "fmore/mec/population.hpp"
+#include "fmore/ml/model.hpp"
+
+namespace fmore::core {
+
+/// The testbed reproduction (Figs. 12-13): 31 heterogeneous nodes behind a
+/// switch, three-dimensional resource auction, and a wall-clock model so
+/// runs report seconds as well as rounds.
+class RealWorldTrial {
+public:
+    RealWorldTrial(const RealWorldConfig& config, std::size_t trial_index);
+
+    /// Supported strategies: fmore, psi_fmore, randfl, fixfl (the paper's
+    /// testbed section compares FMore and RandFL).
+    [[nodiscard]] fl::RunResult run(Strategy strategy);
+
+    [[nodiscard]] const RealWorldConfig& config() const { return config_; }
+    [[nodiscard]] const auction::EquilibriumStrategy& equilibrium() const {
+        return *equilibrium_;
+    }
+
+private:
+    [[nodiscard]] ml::Model make_model(std::uint64_t seed) const;
+    void rebuild_population();
+
+    RealWorldConfig config_;
+    std::uint64_t trial_seed_;
+    double data_cap_ = 1.0; ///< largest shard size (scoring/cost scale)
+    ml::Dataset train_;
+    ml::Dataset test_;
+    std::vector<ml::ClientShard> shards_;
+    std::unique_ptr<stats::UniformDistribution> theta_dist_;
+    std::unique_ptr<auction::AdditiveScoring> scoring_;
+    std::unique_ptr<auction::AdditiveCost> cost_;
+    std::unique_ptr<auction::EquilibriumStrategy> equilibrium_;
+    std::unique_ptr<mec::MecPopulation> population_;
+};
+
+} // namespace fmore::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fmore::core {
+
+/// Minimal fixed-width table printer for the bench binaries: every figure
+/// harness prints paper-reference rows next to measured rows so the shape
+/// comparison is a side-by-side read.
+class TablePrinter {
+public:
+    TablePrinter(std::ostream& out, std::vector<std::string> headers,
+                 std::size_t column_width = 12);
+
+    void row(const std::vector<std::string>& cells);
+    /// Convenience: format doubles with `precision` decimals.
+    void row(const std::vector<double>& cells, int precision = 4);
+
+private:
+    std::ostream& out_;
+    std::size_t columns_;
+    std::size_t width_;
+};
+
+/// Format helper: fixed-decimal string.
+std::string fixed(double value, int precision = 4);
+/// Format helper: percent with one decimal (0.513 -> "51.3%").
+std::string percent(double fraction, int precision = 1);
+
+/// Write aligned series as CSV (first column = round).
+void write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& columns);
+
+} // namespace fmore::core

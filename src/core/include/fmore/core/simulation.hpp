@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+
+#include "fmore/auction/cost.hpp"
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/scoring.hpp"
+#include "fmore/core/config.hpp"
+#include "fmore/fl/coordinator.hpp"
+#include "fmore/fl/metrics.hpp"
+#include "fmore/mec/auction_selector.hpp"
+#include "fmore/mec/population.hpp"
+#include "fmore/ml/model.hpp"
+#include "fmore/ml/synthetic.hpp"
+#include "fmore/stats/distributions.hpp"
+
+namespace fmore::core {
+
+/// One fully-assembled trial of the paper's simulator: dataset, non-IID
+/// shards, MEC population, solved equilibrium strategy, model and
+/// coordinator. Owns everything so lifetimes are trivial; build one per
+/// (config, trial) pair — construction costs well under a second.
+class SimulationTrial {
+public:
+    SimulationTrial(const SimulationConfig& config, std::size_t trial_index);
+
+    /// Run the federated experiment under one selection strategy. Each call
+    /// re-initializes the global model from the trial seed, so strategies
+    /// compared within a trial start from identical weights, data and
+    /// population state.
+    [[nodiscard]] fl::RunResult run(Strategy strategy);
+
+    /// Sealed-bid score board of the last FMore round (Fig. 8 inputs).
+    [[nodiscard]] const std::vector<double>& last_all_scores() const {
+        return last_all_scores_;
+    }
+
+    [[nodiscard]] const auction::EquilibriumStrategy& equilibrium() const {
+        return *equilibrium_;
+    }
+    [[nodiscard]] const ml::Dataset& train_set() const { return train_; }
+    [[nodiscard]] const ml::Dataset& test_set() const { return test_; }
+    [[nodiscard]] const std::vector<ml::ClientShard>& shards() const { return shards_; }
+    [[nodiscard]] const SimulationConfig& config() const { return config_; }
+
+private:
+    [[nodiscard]] ml::Model make_model(std::uint64_t seed) const;
+    void rebuild_population();
+
+    SimulationConfig config_;
+    std::uint64_t trial_seed_;
+    ml::Dataset train_;
+    ml::Dataset test_;
+    std::vector<ml::ClientShard> shards_;
+    std::unique_ptr<stats::UniformDistribution> theta_dist_;
+    std::unique_ptr<auction::ScoringRule> scoring_;
+    std::unique_ptr<auction::AdditiveCost> cost_;
+    std::unique_ptr<auction::EquilibriumStrategy> equilibrium_;
+    std::unique_ptr<mec::MecPopulation> population_;
+    std::vector<double> last_all_scores_;
+};
+
+} // namespace fmore::core

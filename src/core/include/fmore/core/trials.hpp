@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "fmore/fl/metrics.hpp"
+
+namespace fmore::core {
+
+/// Per-round series averaged over repeated trials — the paper reports "the
+/// average of five experiments".
+struct AveragedSeries {
+    std::vector<double> accuracy;  ///< index = round-1
+    std::vector<double> loss;
+    std::vector<double> payment;   ///< mean winner payment
+    std::vector<double> score;     ///< mean winner score
+    std::vector<double> seconds;   ///< mean per-round wall clock
+    std::vector<double> cumulative_seconds;
+
+    [[nodiscard]] std::size_t rounds() const { return accuracy.size(); }
+};
+
+/// Average aligned runs (all must have the same round count).
+AveragedSeries average_runs(const std::vector<fl::RunResult>& runs);
+
+/// Mean rounds-to-accuracy across runs; runs that never reach the target
+/// count as `penalty_rounds` (defaults to the run length).
+double mean_rounds_to_accuracy(const std::vector<fl::RunResult>& runs, double target,
+                               std::size_t penalty_rounds = 0);
+
+/// Mean seconds-to-accuracy (testbed experiments); non-reaching runs count
+/// their total duration.
+double mean_seconds_to_accuracy(const std::vector<fl::RunResult>& runs, double target);
+
+} // namespace fmore::core

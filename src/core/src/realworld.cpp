@@ -1,0 +1,175 @@
+#include "fmore/core/realworld.hpp"
+
+#include <stdexcept>
+
+#include "fmore/fl/selection.hpp"
+#include "fmore/mec/auction_selector.hpp"
+#include "fmore/ml/model_zoo.hpp"
+#include "fmore/ml/partition.hpp"
+#include "fmore/ml/synthetic.hpp"
+#include "fmore/stats/normalizer.hpp"
+
+namespace fmore::core {
+
+RealWorldTrial::RealWorldTrial(const RealWorldConfig& config, std::size_t trial_index)
+    : config_(config), trial_seed_(config.seed + 7000003ULL * (trial_index + 1)) {
+    stats::Rng rng(trial_seed_);
+
+    // The testbed trains CIFAR-10 (Fig. 12); the proxy dataset mirrors it.
+    stats::Rng data_rng = rng.split();
+    const std::size_t total = config_.train_samples + config_.test_samples;
+    ml::Dataset pool;
+    if (config_.dataset == DatasetKind::hpnews) {
+        pool = ml::make_synthetic_text(ml::hpnews_spec(total), data_rng);
+    } else {
+        // Harder than the simulator's CIFAR proxy: the real testbed trains
+        // actual CIFAR-10, which stays data-hungry for all 20 rounds (the
+        // paper's RandFL only reaches ~41%). The extra noise/overlap keeps
+        // the proxy in that regime so per-round data volume — what FMore
+        // buys — remains the binding constraint.
+        ml::ImageDatasetSpec spec = ml::cifar10_spec(total);
+        spec.noise = 0.85;
+        spec.prototype_overlap = 0.35;
+        pool = ml::make_synthetic_images(spec, data_rng);
+    }
+    const std::size_t vol = pool.sample_volume();
+    train_.sample_shape = pool.sample_shape;
+    train_.num_classes = pool.num_classes;
+    train_.features.assign(
+        pool.features.begin(),
+        pool.features.begin() + static_cast<std::ptrdiff_t>(config_.train_samples * vol));
+    train_.labels.assign(pool.labels.begin(),
+                         pool.labels.begin()
+                             + static_cast<std::ptrdiff_t>(config_.train_samples));
+    test_.sample_shape = pool.sample_shape;
+    test_.num_classes = pool.num_classes;
+    test_.features.assign(
+        pool.features.begin() + static_cast<std::ptrdiff_t>(config_.train_samples * vol),
+        pool.features.end());
+    test_.labels.assign(pool.labels.begin()
+                            + static_cast<std::ptrdiff_t>(config_.train_samples),
+                        pool.labels.end());
+
+    // Unlike the simulator, the testbed is NOT label-sharded: Section V.A
+    // only describes non-IID splits for the simulator, while the testbed
+    // "allocates data size over the range [2000, 10000]". Nodes therefore
+    // hold IID subsets of heterogeneous SIZE — per-round data volume, which
+    // FMore's scoring buys, is the binding resource (the paper's testbed
+    // accuracy story), not label coverage.
+    stats::Rng part_rng = rng.split();
+    shards_ = ml::partition_iid(train_, config_.num_nodes, part_rng);
+    ml::resize_shards(shards_, train_, config_.data_lo, config_.data_hi, part_rng);
+    std::size_t max_shard = 1;
+    for (const auto& shard : shards_) {
+        max_shard = std::max(max_shard, shard.indices.size());
+    }
+    data_cap_ = static_cast<double>(max_shard);
+
+    theta_dist_ = std::make_unique<stats::UniformDistribution>(config_.theta_lo,
+                                                               config_.theta_hi);
+
+    // Section V.A testbed scoring: S = 0.4 q_cpu + 0.3 q_bw + 0.3 q_data - p
+    // with each dimension min-max normalized over its advertised range.
+    mec::PopulationSpec pop_spec;
+    pop_spec.cpu_lo = config_.cpu_lo;
+    pop_spec.cpu_hi = config_.cpu_hi;
+    pop_spec.bandwidth_lo = config_.bandwidth_lo;
+    pop_spec.bandwidth_hi = config_.bandwidth_hi;
+    std::vector<stats::MinMaxNormalizer> norms;
+    norms.emplace_back(0.0, pop_spec.cpu_hi);
+    norms.emplace_back(0.0, pop_spec.bandwidth_hi);
+    norms.emplace_back(0.0, data_cap_);
+    scoring_ = std::make_unique<auction::AdditiveScoring>(
+        std::vector<double>{config_.alpha_cpu, config_.alpha_bandwidth, config_.alpha_data},
+        norms);
+
+    // Costs are quoted per normalized unit; convert to raw-resource prices.
+    // Each beta is kept below alpha_d / theta_hi so providing every resource
+    // stays profitable for all types — otherwise high-theta nodes would bid
+    // the data floor and train on nothing.
+    cost_ = std::make_unique<auction::AdditiveCost>(std::vector<double>{
+        0.15 / pop_spec.cpu_hi, 0.10 / pop_spec.bandwidth_hi, 0.20 / data_cap_});
+
+    auction::EquilibriumConfig eq;
+    eq.num_bidders = config_.num_nodes;
+    eq.num_winners = config_.winners;
+    eq.win_model = config_.win_model;
+    const auction::EquilibriumSolver solver(
+        *scoring_, *cost_, *theta_dist_, {0.25, 1.0, 1.0},
+        {pop_spec.cpu_hi, pop_spec.bandwidth_hi, data_cap_}, eq);
+    equilibrium_ = std::make_unique<auction::EquilibriumStrategy>(solver.solve());
+
+    rebuild_population();
+}
+
+void RealWorldTrial::rebuild_population() {
+    stats::Rng pop_rng(trial_seed_ ^ 0xabcdef12345ULL);
+    mec::PopulationSpec spec;
+    spec.cpu_lo = config_.cpu_lo;
+    spec.cpu_hi = config_.cpu_hi;
+    spec.bandwidth_lo = config_.bandwidth_lo;
+    spec.bandwidth_hi = config_.bandwidth_hi;
+    spec.dynamics.resource_jitter = config_.resource_jitter;
+    spec.dynamics.theta_jitter = config_.theta_jitter;
+    population_ = std::make_unique<mec::MecPopulation>(shards_, train_.num_classes,
+                                                       *theta_dist_, spec, pop_rng);
+}
+
+ml::Model RealWorldTrial::make_model(std::uint64_t seed) const {
+    if (config_.dataset == DatasetKind::hpnews) {
+        const ml::TextDatasetSpec text = ml::hpnews_spec(1);
+        return ml::make_lstm_classifier(
+            ml::TextSpec{text.vocab, text.seq_len, train_.num_classes}, seed);
+    }
+    return ml::make_cnn_deep(ml::ImageSpec{3, 14, 14, train_.num_classes}, seed);
+}
+
+fl::RunResult RealWorldTrial::run(Strategy strategy) {
+    rebuild_population();
+    ml::Model model = make_model(trial_seed_ ^ 0x5151ULL);
+
+    fl::CoordinatorConfig cc;
+    cc.rounds = config_.rounds;
+    cc.winners_per_round = config_.winners;
+    cc.local_epochs = config_.local_epochs;
+    cc.batch_size = config_.batch_size;
+    cc.learning_rate = config_.learning_rate;
+    cc.eval_cap = config_.eval_cap;
+    fl::Coordinator coordinator(model, train_, test_, shards_, cc);
+
+    mec::ClusterTimeConfig tc;
+    tc.model_bytes = config_.model_bytes;
+    tc.seconds_per_sample_core = config_.seconds_per_sample_core;
+    tc.round_overhead_s = config_.round_overhead_s;
+    const bool is_auction =
+        strategy == Strategy::fmore || strategy == Strategy::psi_fmore;
+    const mec::ClusterTimeModel time_model(*population_, tc, is_auction);
+
+    stats::Rng run_rng(trial_seed_ ^ 0xf00dULL);
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = config_.winners;
+    wd.payment_rule = config_.payment_rule;
+    wd.psi = strategy == Strategy::psi_fmore ? config_.psi : 1.0;
+
+    switch (strategy) {
+        case Strategy::fmore:
+        case Strategy::psi_fmore: {
+            mec::AuctionSelector selector(*population_, *scoring_, *equilibrium_, wd,
+                                          mec::cpu_bandwidth_data_extractor(),
+                                          /*data_dimension=*/2);
+            return coordinator.run(selector, run_rng, time_model.as_time_model());
+        }
+        case Strategy::randfl: {
+            fl::RandomSelector selector(config_.num_nodes);
+            return coordinator.run(selector, run_rng, time_model.as_time_model());
+        }
+        case Strategy::fixfl: {
+            stats::Rng fix_rng(trial_seed_ ^ 0xf1f1ULL);
+            fl::FixedSelector selector(config_.num_nodes, config_.winners, fix_rng);
+            return coordinator.run(selector, run_rng, time_model.as_time_model());
+        }
+    }
+    throw std::logic_error("RealWorldTrial: unknown strategy");
+}
+
+} // namespace fmore::core

@@ -1,0 +1,68 @@
+#include "fmore/core/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fmore::core {
+
+TablePrinter::TablePrinter(std::ostream& out, std::vector<std::string> headers,
+                           std::size_t column_width)
+    : out_(out), columns_(headers.size()), width_(column_width) {
+    if (columns_ == 0) throw std::invalid_argument("TablePrinter: no columns");
+    row(headers);
+    std::vector<std::string> rule(columns_);
+    for (std::string& cell : rule) cell = std::string(width_ - 2, '-');
+    row(rule);
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+    if (cells.size() != columns_)
+        throw std::invalid_argument("TablePrinter: wrong cell count");
+    for (const std::string& cell : cells) {
+        out_ << std::setw(static_cast<int>(width_)) << cell;
+    }
+    out_ << '\n';
+}
+
+void TablePrinter::row(const std::vector<double>& cells, int precision) {
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (const double value : cells) text.push_back(fixed(value, precision));
+    row(text);
+}
+
+std::string fixed(double value, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    return ss.str();
+}
+
+std::string percent(double fraction, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+    return ss.str();
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& columns) {
+    if (headers.size() != columns.size())
+        throw std::invalid_argument("write_csv: header/column mismatch");
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("write_csv: cannot open " + path);
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        file << headers[c] << (c + 1 == headers.size() ? '\n' : ',');
+    }
+    std::size_t rows = 0;
+    for (const auto& col : columns) rows = std::max(rows, col.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (r < columns[c].size()) file << columns[c][r];
+            file << (c + 1 == columns.size() ? '\n' : ',');
+        }
+    }
+}
+
+} // namespace fmore::core

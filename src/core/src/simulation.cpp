@@ -1,0 +1,206 @@
+#include "fmore/core/simulation.hpp"
+
+#include <stdexcept>
+
+#include "fmore/fl/selection.hpp"
+#include "fmore/ml/model_zoo.hpp"
+#include "fmore/ml/partition.hpp"
+#include "fmore/stats/normalizer.hpp"
+
+namespace fmore::core {
+
+namespace {
+
+/// Split one generated pool into train/test so both share prototypes.
+std::pair<ml::Dataset, ml::Dataset> make_dataset(DatasetKind kind, std::size_t train_n,
+                                                 std::size_t test_n, stats::Rng& rng) {
+    const std::size_t total = train_n + test_n;
+    ml::Dataset pool;
+    switch (kind) {
+        case DatasetKind::mnist_o:
+            pool = ml::make_synthetic_images(ml::mnist_o_spec(total), rng);
+            break;
+        case DatasetKind::mnist_f:
+            pool = ml::make_synthetic_images(ml::mnist_f_spec(total), rng);
+            break;
+        case DatasetKind::cifar10:
+            pool = ml::make_synthetic_images(ml::cifar10_spec(total), rng);
+            break;
+        case DatasetKind::hpnews:
+            pool = ml::make_synthetic_text(ml::hpnews_spec(total), rng);
+            break;
+    }
+    const std::size_t vol = pool.sample_volume();
+    ml::Dataset train;
+    train.sample_shape = pool.sample_shape;
+    train.num_classes = pool.num_classes;
+    train.features.assign(pool.features.begin(),
+                          pool.features.begin() + static_cast<std::ptrdiff_t>(train_n * vol));
+    train.labels.assign(pool.labels.begin(),
+                        pool.labels.begin() + static_cast<std::ptrdiff_t>(train_n));
+    ml::Dataset test;
+    test.sample_shape = pool.sample_shape;
+    test.num_classes = pool.num_classes;
+    test.features.assign(pool.features.begin() + static_cast<std::ptrdiff_t>(train_n * vol),
+                         pool.features.end());
+    test.labels.assign(pool.labels.begin() + static_cast<std::ptrdiff_t>(train_n),
+                       pool.labels.end());
+    return {std::move(train), std::move(test)};
+}
+
+} // namespace
+
+SimulationConfig default_simulation(DatasetKind dataset) {
+    SimulationConfig config;
+    config.dataset = dataset;
+    if (dataset == DatasetKind::hpnews) {
+        // Plain SGD on the LSTM needs a bigger step and more local work per
+        // round to land in the paper's Fig. 7 accuracy band.
+        config.learning_rate = 0.40;
+        config.local_epochs = 3;
+    }
+    return config;
+}
+
+std::string to_string(DatasetKind kind) {
+    switch (kind) {
+        case DatasetKind::mnist_o: return "MNIST-O";
+        case DatasetKind::mnist_f: return "MNIST-F";
+        case DatasetKind::cifar10: return "CIFAR-10";
+        case DatasetKind::hpnews: return "HPNews";
+    }
+    return "?";
+}
+
+std::string to_string(Strategy strategy) {
+    switch (strategy) {
+        case Strategy::fmore: return "FMore";
+        case Strategy::psi_fmore: return "psi-FMore";
+        case Strategy::randfl: return "RandFL";
+        case Strategy::fixfl: return "FixFL";
+    }
+    return "?";
+}
+
+SimulationTrial::SimulationTrial(const SimulationConfig& config, std::size_t trial_index)
+    : config_(config),
+      trial_seed_(config.seed + 1000003ULL * (trial_index + 1)) {
+    stats::Rng rng(trial_seed_);
+
+    stats::Rng data_rng = rng.split();
+    auto [train, test] = make_dataset(config_.dataset, config_.train_samples,
+                                      config_.test_samples, data_rng);
+    train_ = std::move(train);
+    test_ = std::move(test);
+
+    stats::Rng part_rng = rng.split();
+    shards_ = ml::partition_non_iid_variable(train_, config_.num_nodes, config_.shards_lo,
+                                             config_.shards_hi, part_rng);
+    ml::resize_shards(shards_, train_, config_.data_lo, config_.data_hi, part_rng);
+
+    theta_dist_ = std::make_unique<stats::UniformDistribution>(config_.theta_lo,
+                                                               config_.theta_hi);
+
+    // Scoring of Section V.A: S(q1, q2, p) = alpha * q1 * q2 - p with the
+    // data dimension min-max normalized over the advertised range.
+    const auto data_hi = static_cast<double>(config_.data_hi);
+    std::vector<stats::MinMaxNormalizer> norms;
+    norms.emplace_back(0.0, data_hi);
+    norms.emplace_back(0.0, 1.0);
+    scoring_ = std::make_unique<auction::ScaledProductScoring>(config_.alpha, 2, norms);
+
+    // Additive cost over the same units: beta_data is quoted per normalized
+    // data unit, so divide by the range to price raw sample counts.
+    cost_ = std::make_unique<auction::AdditiveCost>(
+        std::vector<double>{config_.beta_data / data_hi, config_.beta_category});
+
+    auction::EquilibriumConfig eq;
+    eq.num_bidders = config_.num_nodes;
+    eq.num_winners = config_.winners;
+    eq.win_model = config_.win_model;
+    const auction::EquilibriumSolver solver(*scoring_, *cost_, *theta_dist_,
+                                            {1.0, 0.05}, {data_hi, 1.0}, eq);
+    equilibrium_ = std::make_unique<auction::EquilibriumStrategy>(solver.solve());
+
+    rebuild_population();
+}
+
+void SimulationTrial::rebuild_population() {
+    stats::Rng pop_rng(trial_seed_ ^ 0xabcdef12345ULL);
+    mec::PopulationSpec spec;
+    spec.dynamics.resource_jitter = config_.resource_jitter;
+    spec.dynamics.theta_jitter = config_.theta_jitter;
+    population_ = std::make_unique<mec::MecPopulation>(shards_, train_.num_classes,
+                                                       *theta_dist_, spec, pop_rng);
+}
+
+ml::Model SimulationTrial::make_model(std::uint64_t seed) const {
+    switch (config_.dataset) {
+        case DatasetKind::mnist_o:
+        case DatasetKind::mnist_f: {
+            ml::ImageSpec spec{1, 12, 12, train_.num_classes};
+            return ml::make_cnn(spec, seed);
+        }
+        case DatasetKind::cifar10: {
+            ml::ImageSpec spec{3, 14, 14, train_.num_classes};
+            return ml::make_cnn_deep(spec, seed);
+        }
+        case DatasetKind::hpnews: {
+            const ml::TextDatasetSpec text = ml::hpnews_spec(1);
+            ml::TextSpec spec{text.vocab, text.seq_len, train_.num_classes};
+            return ml::make_lstm_classifier(spec, seed);
+        }
+    }
+    throw std::logic_error("SimulationTrial: unknown dataset");
+}
+
+fl::RunResult SimulationTrial::run(Strategy strategy) {
+    // Fresh population state per strategy so each sees the same dynamics.
+    rebuild_population();
+    ml::Model model = make_model(trial_seed_ ^ 0x5151ULL);
+
+    fl::CoordinatorConfig cc;
+    cc.rounds = config_.rounds;
+    cc.winners_per_round = config_.winners;
+    cc.local_epochs = config_.local_epochs;
+    cc.batch_size = config_.batch_size;
+    cc.learning_rate = config_.learning_rate;
+    cc.eval_cap = config_.eval_cap;
+    fl::Coordinator coordinator(model, train_, test_, shards_, cc);
+
+    stats::Rng run_rng(trial_seed_ ^ 0xf00dULL);
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = config_.winners;
+    wd.payment_rule = config_.payment_rule;
+    wd.psi = strategy == Strategy::psi_fmore ? config_.psi : 1.0;
+    wd.budget = config_.budget;
+
+    fl::RunResult result;
+    switch (strategy) {
+        case Strategy::fmore:
+        case Strategy::psi_fmore: {
+            mec::AuctionSelector selector(*population_, *scoring_, *equilibrium_, wd,
+                                          mec::data_category_extractor(),
+                                          /*data_dimension=*/0);
+            result = coordinator.run(selector, run_rng);
+            if (!result.rounds.empty()) {
+                last_all_scores_ = result.rounds.back().selection.all_scores;
+            }
+            break;
+        }
+        case Strategy::randfl: {
+            fl::RandomSelector selector(config_.num_nodes);
+            result = coordinator.run(selector, run_rng);
+            break;
+        }
+        case Strategy::fixfl: {
+            stats::Rng fix_rng(trial_seed_ ^ 0xf1f1ULL);
+            fl::FixedSelector selector(config_.num_nodes, config_.winners, fix_rng);
+            result = coordinator.run(selector, run_rng);
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace fmore::core

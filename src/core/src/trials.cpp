@@ -1,0 +1,61 @@
+#include "fmore/core/trials.hpp"
+
+#include <stdexcept>
+
+namespace fmore::core {
+
+AveragedSeries average_runs(const std::vector<fl::RunResult>& runs) {
+    if (runs.empty()) throw std::invalid_argument("average_runs: no runs");
+    const std::size_t rounds = runs.front().rounds.size();
+    for (const fl::RunResult& run : runs) {
+        if (run.rounds.size() != rounds)
+            throw std::invalid_argument("average_runs: round count mismatch");
+    }
+    AveragedSeries out;
+    out.accuracy.assign(rounds, 0.0);
+    out.loss.assign(rounds, 0.0);
+    out.payment.assign(rounds, 0.0);
+    out.score.assign(rounds, 0.0);
+    out.seconds.assign(rounds, 0.0);
+    const double inv = 1.0 / static_cast<double>(runs.size());
+    for (const fl::RunResult& run : runs) {
+        for (std::size_t r = 0; r < rounds; ++r) {
+            out.accuracy[r] += inv * run.rounds[r].test_accuracy;
+            out.loss[r] += inv * run.rounds[r].test_loss;
+            out.payment[r] += inv * run.rounds[r].mean_winner_payment;
+            out.score[r] += inv * run.rounds[r].mean_winner_score;
+            out.seconds[r] += inv * run.rounds[r].round_seconds;
+        }
+    }
+    out.cumulative_seconds.assign(rounds, 0.0);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        acc += out.seconds[r];
+        out.cumulative_seconds[r] = acc;
+    }
+    return out;
+}
+
+double mean_rounds_to_accuracy(const std::vector<fl::RunResult>& runs, double target,
+                               std::size_t penalty_rounds) {
+    if (runs.empty()) throw std::invalid_argument("mean_rounds_to_accuracy: no runs");
+    double total = 0.0;
+    for (const fl::RunResult& run : runs) {
+        const std::size_t penalty =
+            penalty_rounds > 0 ? penalty_rounds : run.rounds.size();
+        const auto reached = run.rounds_to_accuracy(target);
+        total += static_cast<double>(reached.value_or(penalty));
+    }
+    return total / static_cast<double>(runs.size());
+}
+
+double mean_seconds_to_accuracy(const std::vector<fl::RunResult>& runs, double target) {
+    if (runs.empty()) throw std::invalid_argument("mean_seconds_to_accuracy: no runs");
+    double total = 0.0;
+    for (const fl::RunResult& run : runs) {
+        total += run.seconds_to_accuracy(target).value_or(run.total_seconds());
+    }
+    return total / static_cast<double>(runs.size());
+}
+
+} // namespace fmore::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+
+#include "fmore/fl/metrics.hpp"
+#include "fmore/fl/selection.hpp"
+#include "fmore/ml/model.hpp"
+#include "fmore/ml/partition.hpp"
+
+namespace fmore::fl {
+
+/// Federated training hyperparameters (paper Algorithm 1 / Section V.A).
+struct CoordinatorConfig {
+    std::size_t rounds = 20;        ///< T — the paper's figures plot 20 rounds
+    std::size_t winners_per_round = 20; ///< K
+    std::size_t local_epochs = 1;
+    std::size_t batch_size = 16;
+    double learning_rate = 0.05;    ///< eta of Eq. 2
+    /// Evaluate at most this many test samples per round (0 = all); keeps
+    /// the benches fast without biasing comparisons (same subset each run).
+    std::size_t eval_cap = 0;
+};
+
+/// Optional per-round wall-clock model: given the selected clients and the
+/// samples each trained, return the round's duration in seconds. Provided
+/// by the MEC cluster simulator for the real-world experiments.
+using RoundTimeModel =
+    std::function<double(const SelectionRecord&, const std::vector<std::size_t>& samples)>;
+
+/// Orchestrates federated learning (paper Algorithm 1): per round the
+/// selector proposes K winners, each winner runs local SGD on its shard,
+/// and the coordinator FedAvg-aggregates and evaluates on the held-out
+/// test set.
+class Coordinator {
+public:
+    /// References must outlive the coordinator. `shards` maps client id ->
+    /// local data; a client's FedAvg weight D_i is the number of samples it
+    /// actually trained on this round.
+    Coordinator(ml::Model& model, const ml::Dataset& train, const ml::Dataset& test,
+                std::vector<ml::ClientShard> shards, CoordinatorConfig config);
+
+    [[nodiscard]] RunResult run(ClientSelector& selector, stats::Rng& rng,
+                                const RoundTimeModel& time_model = nullptr);
+
+    [[nodiscard]] const std::vector<ml::ClientShard>& shards() const { return shards_; }
+    [[nodiscard]] const CoordinatorConfig& config() const { return config_; }
+
+private:
+    ml::Model& model_;
+    const ml::Dataset& train_;
+    const ml::Dataset& test_;
+    std::vector<ml::ClientShard> shards_;
+    CoordinatorConfig config_;
+    std::vector<std::size_t> eval_indices_;
+};
+
+} // namespace fmore::fl

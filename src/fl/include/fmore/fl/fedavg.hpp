@@ -1,0 +1,14 @@
+#pragma once
+
+#include <vector>
+
+namespace fmore::fl {
+
+/// FedAvg global aggregation (paper Eq. 3):
+///     w(t+1) = sum_i D_i w_i(t+1) / sum_i D_i
+/// `client_params` holds the flat parameter vector of every participating
+/// client; `weights` the data sizes D_i.
+std::vector<float> federated_average(const std::vector<std::vector<float>>& client_params,
+                                     const std::vector<double>& weights);
+
+} // namespace fmore::fl

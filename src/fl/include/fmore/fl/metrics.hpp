@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fmore/fl/selection.hpp"
+
+namespace fmore::fl {
+
+/// Metrics of one federated round.
+struct RoundMetrics {
+    std::size_t round = 0;
+    double test_accuracy = 0.0;
+    double test_loss = 0.0;
+    double train_loss = 0.0;
+    double mean_winner_payment = 0.0;
+    double mean_winner_score = 0.0;
+    double round_seconds = 0.0; ///< filled by the MEC time model when present
+    SelectionRecord selection;
+};
+
+/// Full history of one federated run.
+struct RunResult {
+    std::vector<RoundMetrics> rounds;
+
+    [[nodiscard]] double final_accuracy() const;
+    [[nodiscard]] double final_loss() const;
+    /// First round index (1-based) whose test accuracy reaches `target`, or
+    /// nullopt if the run never got there.
+    [[nodiscard]] std::optional<std::size_t> rounds_to_accuracy(double target) const;
+    /// Cumulative wall-clock until `target` accuracy (MEC experiments).
+    [[nodiscard]] std::optional<double> seconds_to_accuracy(double target) const;
+    [[nodiscard]] double total_seconds() const;
+};
+
+} // namespace fmore::fl

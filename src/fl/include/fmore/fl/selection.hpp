@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::fl {
+
+/// Per-winner outcome of one selection round. `train_samples`, when set,
+/// caps how many of the client's local samples this round's contract covers
+/// (FMore winners train on the data volume they bid; RandFL/FixFL clients
+/// train on everything they have).
+struct SelectedClient {
+    std::size_t client = 0;
+    double payment = 0.0;
+    double score = 0.0;
+    std::optional<std::size_t> train_samples;
+};
+
+/// Result of one selection round, including the full score board when the
+/// strategy is auction-based (Fig. 8 plots the population-vs-winner score
+/// distributions).
+struct SelectionRecord {
+    std::vector<SelectedClient> selected;
+    std::vector<double> all_scores;      ///< descending; empty for non-auction strategies
+    /// Score of each client indexed by client id (empty for non-auction
+    /// strategies); lets benches look up what a *differently* selected
+    /// node would have scored on the same board.
+    std::vector<double> scores_by_node;
+};
+
+/// Strategy interface: which K clients train in a given round.
+class ClientSelector {
+public:
+    virtual ~ClientSelector() = default;
+    [[nodiscard]] virtual SelectionRecord select(std::size_t round, std::size_t k,
+                                                 stats::Rng& rng) = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// RandFL — the classic federated learning baseline: "the aggregator
+/// randomly chooses K nodes from all the N edge nodes" (Section II.B).
+class RandomSelector final : public ClientSelector {
+public:
+    explicit RandomSelector(std::size_t num_clients);
+    [[nodiscard]] SelectionRecord select(std::size_t round, std::size_t k,
+                                         stats::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "RandFL"; }
+
+private:
+    std::size_t num_clients_;
+};
+
+/// FixFL — "federated learning with fixed node selection" (Section V.A):
+/// one random set of K nodes is drawn up front and reused every round.
+class FixedSelector final : public ClientSelector {
+public:
+    FixedSelector(std::size_t num_clients, std::size_t k, stats::Rng& rng);
+    /// Pin an explicit winner set (tests).
+    explicit FixedSelector(std::vector<std::size_t> fixed);
+    [[nodiscard]] SelectionRecord select(std::size_t round, std::size_t k,
+                                         stats::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "FixFL"; }
+
+private:
+    std::vector<std::size_t> fixed_;
+};
+
+} // namespace fmore::fl

@@ -1,0 +1,101 @@
+#include "fmore/fl/coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fmore/fl/fedavg.hpp"
+
+namespace fmore::fl {
+
+Coordinator::Coordinator(ml::Model& model, const ml::Dataset& train,
+                         const ml::Dataset& test, std::vector<ml::ClientShard> shards,
+                         CoordinatorConfig config)
+    : model_(model),
+      train_(train),
+      test_(test),
+      shards_(std::move(shards)),
+      config_(config) {
+    if (shards_.empty()) throw std::invalid_argument("Coordinator: no client shards");
+    if (config_.rounds == 0) throw std::invalid_argument("Coordinator: zero rounds");
+    if (config_.winners_per_round == 0)
+        throw std::invalid_argument("Coordinator: zero winners per round");
+    eval_indices_.resize(test_.size());
+    for (std::size_t i = 0; i < eval_indices_.size(); ++i) eval_indices_[i] = i;
+    if (config_.eval_cap > 0 && config_.eval_cap < eval_indices_.size()) {
+        eval_indices_.resize(config_.eval_cap);
+    }
+}
+
+RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
+                           const RoundTimeModel& time_model) {
+    RunResult result;
+    std::vector<float> global = model_.get_parameters();
+
+    for (std::size_t round = 1; round <= config_.rounds; ++round) {
+        RoundMetrics metrics;
+        metrics.round = round;
+        metrics.selection = selector.select(round, config_.winners_per_round, rng);
+        const std::vector<SelectedClient>& picked = metrics.selection.selected;
+        if (picked.empty())
+            throw std::runtime_error("Coordinator: selector returned no clients");
+
+        std::vector<std::vector<float>> client_params;
+        std::vector<double> client_weights;
+        std::vector<std::size_t> client_samples;
+        client_params.reserve(picked.size());
+        client_weights.reserve(picked.size());
+        double train_loss_sum = 0.0;
+        double train_loss_weight = 0.0;
+
+        for (const SelectedClient& sel : picked) {
+            if (sel.client >= shards_.size())
+                throw std::out_of_range("Coordinator: selector picked unknown client");
+            const ml::ClientShard& shard = shards_[sel.client];
+            if (shard.indices.empty()) continue;
+
+            // Honour the contracted data volume: FMore winners train on the
+            // bid data size; baselines train on the full shard.
+            std::vector<std::size_t> local = shard.indices;
+            if (sel.train_samples.has_value() && *sel.train_samples < local.size()) {
+                rng.shuffle(local);
+                local.resize(std::max<std::size_t>(1, *sel.train_samples));
+            }
+
+            model_.set_parameters(global);
+            ml::TrainStats stats{};
+            for (std::size_t e = 0; e < config_.local_epochs; ++e) {
+                stats = model_.train_epoch(train_, local, config_.batch_size,
+                                           config_.learning_rate);
+            }
+            client_params.push_back(model_.get_parameters());
+            client_weights.push_back(static_cast<double>(local.size()));
+            client_samples.push_back(local.size());
+            train_loss_sum += stats.mean_loss * static_cast<double>(local.size());
+            train_loss_weight += static_cast<double>(local.size());
+
+            metrics.mean_winner_payment += sel.payment;
+            metrics.mean_winner_score += sel.score;
+        }
+        if (client_params.empty())
+            throw std::runtime_error("Coordinator: every selected client had an empty shard");
+
+        global = federated_average(client_params, client_weights);
+        model_.set_parameters(global);
+
+        const ml::EvalStats eval = model_.evaluate(test_, eval_indices_);
+        metrics.test_accuracy = eval.accuracy;
+        metrics.test_loss = eval.mean_loss;
+        metrics.train_loss =
+            train_loss_weight > 0.0 ? train_loss_sum / train_loss_weight : 0.0;
+        const auto n_sel = static_cast<double>(picked.size());
+        metrics.mean_winner_payment /= n_sel;
+        metrics.mean_winner_score /= n_sel;
+        if (time_model) {
+            metrics.round_seconds = time_model(metrics.selection, client_samples);
+        }
+        result.rounds.push_back(std::move(metrics));
+    }
+    return result;
+}
+
+} // namespace fmore::fl

@@ -1,0 +1,39 @@
+#include "fmore/fl/metrics.hpp"
+
+#include <stdexcept>
+
+namespace fmore::fl {
+
+double RunResult::final_accuracy() const {
+    if (rounds.empty()) throw std::logic_error("RunResult: empty run");
+    return rounds.back().test_accuracy;
+}
+
+double RunResult::final_loss() const {
+    if (rounds.empty()) throw std::logic_error("RunResult: empty run");
+    return rounds.back().test_loss;
+}
+
+std::optional<std::size_t> RunResult::rounds_to_accuracy(double target) const {
+    for (const RoundMetrics& r : rounds) {
+        if (r.test_accuracy >= target) return r.round;
+    }
+    return std::nullopt;
+}
+
+std::optional<double> RunResult::seconds_to_accuracy(double target) const {
+    double elapsed = 0.0;
+    for (const RoundMetrics& r : rounds) {
+        elapsed += r.round_seconds;
+        if (r.test_accuracy >= target) return elapsed;
+    }
+    return std::nullopt;
+}
+
+double RunResult::total_seconds() const {
+    double elapsed = 0.0;
+    for (const RoundMetrics& r : rounds) elapsed += r.round_seconds;
+    return elapsed;
+}
+
+} // namespace fmore::fl

@@ -1,0 +1,40 @@
+#include "fmore/fl/selection.hpp"
+
+#include <stdexcept>
+
+namespace fmore::fl {
+
+RandomSelector::RandomSelector(std::size_t num_clients) : num_clients_(num_clients) {
+    if (num_clients_ == 0) throw std::invalid_argument("RandomSelector: no clients");
+}
+
+SelectionRecord RandomSelector::select(std::size_t /*round*/, std::size_t k,
+                                       stats::Rng& rng) {
+    const std::size_t take = std::min(k, num_clients_);
+    SelectionRecord record;
+    for (const std::size_t idx : rng.sample_without_replacement(num_clients_, take)) {
+        record.selected.push_back(SelectedClient{idx, 0.0, 0.0, std::nullopt});
+    }
+    return record;
+}
+
+FixedSelector::FixedSelector(std::size_t num_clients, std::size_t k, stats::Rng& rng) {
+    if (num_clients == 0) throw std::invalid_argument("FixedSelector: no clients");
+    fixed_ = rng.sample_without_replacement(num_clients, std::min(k, num_clients));
+}
+
+FixedSelector::FixedSelector(std::vector<std::size_t> fixed) : fixed_(std::move(fixed)) {
+    if (fixed_.empty()) throw std::invalid_argument("FixedSelector: empty set");
+}
+
+SelectionRecord FixedSelector::select(std::size_t /*round*/, std::size_t k,
+                                      stats::Rng& /*rng*/) {
+    SelectionRecord record;
+    const std::size_t take = std::min(k, fixed_.size());
+    for (std::size_t i = 0; i < take; ++i) {
+        record.selected.push_back(SelectedClient{fixed_[i], 0.0, 0.0, std::nullopt});
+    }
+    return record;
+}
+
+} // namespace fmore::fl

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/winner_determination.hpp"
+#include "fmore/fl/selection.hpp"
+#include "fmore/mec/blacklist.hpp"
+#include "fmore/mec/population.hpp"
+
+namespace fmore::mec {
+
+/// Maps a node's available resources onto the quality dimensions the
+/// broadcast scoring rule prices. Experiments differ: the simulation uses
+/// (data size, category proportion), the testbed (cpu, bandwidth, data).
+using QualityExtractor =
+    std::function<auction::QualityVector(const ResourceState& available)>;
+
+/// Canned extractors for the paper's two setups.
+QualityExtractor data_category_extractor();
+QualityExtractor cpu_bandwidth_data_extractor();
+
+/// FMore's bid-ask / bid-collection / winner-determination loop as an
+/// fl::ClientSelector (steps 1-3 of Section III.A). Each round:
+///  1. the population's resources drift (MEC dynamics);
+///  2. every node computes its equilibrium quality q^s(theta), clips it to
+///     what it currently has available, and prices the (possibly capped)
+///     bid with the equilibrium markup rule b(u) — the shading depends only
+///     on the achieved score u, so capped bids stay on the equilibrium
+///     path;
+///  3. the aggregator scores all sealed bids and picks the top K (with the
+///     psi-FMore acceptance rule when psi < 1).
+///
+/// Winners train on the data volume they bid (`train_samples`), which is
+/// how the incentive layer feeds back into learning performance.
+class AuctionSelector final : public fl::ClientSelector {
+public:
+    /// `data_dimension` indexes which quality dimension is the data size
+    /// (caps the samples a winner trains on); pass npos when the scoring
+    /// rule prices no data dimension.
+    AuctionSelector(MecPopulation& population,
+                    const auction::ScoringRule& scoring,
+                    const auction::EquilibriumStrategy& strategy,
+                    auction::WinnerDeterminationConfig wd_config,
+                    QualityExtractor extractor, std::size_t data_dimension,
+                    auction::PaymentMethod payment_method
+                    = auction::PaymentMethod::integral);
+
+    [[nodiscard]] fl::SelectionRecord select(std::size_t round, std::size_t k,
+                                             stats::Rng& rng) override;
+    [[nodiscard]] std::string name() const override {
+        return wd_config_.psi < 1.0 ? "psi-FMore" : "FMore";
+    }
+
+    /// The sealed bids of the most recent round (inspection/benches).
+    [[nodiscard]] const std::vector<auction::Bid>& last_bids() const { return last_bids_; }
+
+    /// Enable the contract-compliance model (Section III.A step 4): winners
+    /// may under-deliver; detected defectors are blacklisted and excluded
+    /// from all later auctions.
+    void set_compliance(const ComplianceSpec& spec) { compliance_ = spec; }
+    [[nodiscard]] const Blacklist& blacklist() const { return blacklist_; }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+private:
+    MecPopulation& population_;
+    const auction::ScoringRule& scoring_;
+    const auction::EquilibriumStrategy& strategy_;
+    auction::WinnerDeterminationConfig wd_config_;
+    QualityExtractor extractor_;
+    std::size_t data_dimension_;
+    auction::PaymentMethod payment_method_;
+    std::vector<auction::Bid> last_bids_;
+    ComplianceSpec compliance_;
+    Blacklist blacklist_;
+};
+
+} // namespace fmore::mec

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::mec {
+
+/// The aggregator's blacklist (Section III.A step 4: "If any edge node does
+/// not comply with the contract, it will be put into the blacklist by the
+/// aggregator"). Banned nodes are excluded from every later bid-collection
+/// phase.
+class Blacklist {
+public:
+    void ban(std::size_t node) { banned_.insert(node); }
+    [[nodiscard]] bool contains(std::size_t node) const {
+        return banned_.count(node) > 0;
+    }
+    [[nodiscard]] std::size_t size() const { return banned_.size(); }
+    void clear() { banned_.clear(); }
+
+private:
+    std::unordered_set<std::size_t> banned_;
+};
+
+/// Stochastic contract-compliance model: a winner defects in a given round
+/// with probability `defect_probability`, delivering only
+/// `under_delivery_factor` of the promised data. The aggregator observes
+/// delivered volume (it counts the samples behind the returned update) and
+/// bans detected defectors.
+struct ComplianceSpec {
+    double defect_probability = 0.0;
+    double under_delivery_factor = 0.5;
+};
+
+/// One winner's contract outcome.
+struct ComplianceOutcome {
+    bool defected = false;
+    std::size_t delivered_samples = 0;
+};
+
+/// Roll the compliance dice for a winner promising `promised_samples`.
+ComplianceOutcome roll_compliance(const ComplianceSpec& spec,
+                                  std::size_t promised_samples, stats::Rng& rng);
+
+} // namespace fmore::mec

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "fmore/fl/coordinator.hpp"
+#include "fmore/mec/population.hpp"
+
+namespace fmore::mec {
+
+/// Wall-clock model of the paper's 32-machine testbed (Section V.A: i7
+/// CPUs, 1 Gbps Ethernet behind one switch). A synchronous round lasts as
+/// long as its slowest winner:
+///     t_round = max_i [ download_i + compute_i + upload_i ] + overhead
+/// with download/upload = model_bytes / bandwidth and
+/// compute = samples * seconds_per_sample_per_core / cores.
+struct ClusterTimeConfig {
+    double model_bytes = 4.0e6;            ///< ~1M float32 parameters
+    double seconds_per_sample_core = 0.004; ///< local SGD cost on one core
+    double round_overhead_s = 1.0;         ///< scheduling + aggregation
+    /// Extra per-round cost of the auction itself (bid ask + collection);
+    /// the paper argues this is negligible — keep it honest but small.
+    double auction_overhead_s = 0.05;
+};
+
+class ClusterTimeModel {
+public:
+    /// `population` supplies each node's bandwidth/cpu at call time; must
+    /// outlive the model.
+    ClusterTimeModel(const MecPopulation& population, ClusterTimeConfig config,
+                     bool auction_round);
+
+    /// Round duration given who was selected and how many samples each
+    /// winner trained on (parallel arrays).
+    [[nodiscard]] double round_seconds(const fl::SelectionRecord& selection,
+                                       const std::vector<std::size_t>& samples) const;
+
+    /// Adapter for fl::Coordinator.
+    [[nodiscard]] fl::RoundTimeModel as_time_model() const;
+
+    [[nodiscard]] const ClusterTimeConfig& config() const { return config_; }
+
+private:
+    const MecPopulation& population_;
+    ClusterTimeConfig config_;
+    bool auction_round_;
+};
+
+} // namespace fmore::mec

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::mec {
+
+/// Snapshot of an edge node's multi-dimensional resources — the quantities
+/// the paper auctions: "local data, computation capability, bandwidth, CPU
+/// cycle, etc." (Section III.A). `data_size` counts locally held training
+/// samples; `category_proportion` is the paper's q2, the fraction of label
+/// classes present locally.
+struct ResourceState {
+    double data_size = 0.0;
+    double category_proportion = 0.0;
+    double bandwidth_mbps = 0.0;
+    double cpu_cores = 0.0;
+};
+
+/// How a node's resources drift between rounds. The paper's walk-through
+/// notes bids change because "the available resources are changed" and "the
+/// private cost parameter theta is reestimated and revised" — we model both
+/// with bounded random walks.
+struct ResourceDynamics {
+    /// Per-round relative jitter of bandwidth/cpu (0 = static resources).
+    double resource_jitter = 0.10;
+    /// Per-round absolute jitter of theta (clamped to the distribution
+    /// support by the population).
+    double theta_jitter = 0.0;
+};
+
+/// One edge node: identity, private cost type, current resources and the
+/// hard caps it can never exceed (its shard size, NIC speed, core count).
+class EdgeNode {
+public:
+    EdgeNode(std::size_t id, double theta, ResourceState initial, ResourceState caps);
+
+    [[nodiscard]] std::size_t id() const { return id_; }
+    [[nodiscard]] double theta() const { return theta_; }
+    [[nodiscard]] const ResourceState& resources() const { return current_; }
+    [[nodiscard]] const ResourceState& caps() const { return caps_; }
+
+    /// One round of resource drift within [0, cap] per dimension plus theta
+    /// drift within [theta_lo, theta_hi].
+    void evolve(const ResourceDynamics& dynamics, double theta_lo, double theta_hi,
+                stats::Rng& rng);
+
+private:
+    std::size_t id_;
+    double theta_;
+    ResourceState current_;
+    ResourceState caps_;
+};
+
+} // namespace fmore::mec

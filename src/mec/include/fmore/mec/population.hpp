@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "fmore/mec/edge_node.hpp"
+#include "fmore/ml/partition.hpp"
+#include "fmore/stats/distributions.hpp"
+
+namespace fmore::mec {
+
+/// Ranges used to initialize the non-data resources of a population.
+struct PopulationSpec {
+    double bandwidth_lo = 10.0;    ///< Mbps
+    double bandwidth_hi = 1000.0;  ///< paper's testbed tops at 1 Gbps
+    double cpu_lo = 1.0;           ///< cores usable for training
+    double cpu_hi = 8.0;           ///< the testbed's i7
+    ResourceDynamics dynamics{};
+};
+
+/// The N edge nodes of one MEC deployment. Data resources come from the
+/// non-IID shards (the node's data size / label diversity are whatever its
+/// shard holds); bandwidth/CPU and the private theta are drawn here.
+class MecPopulation {
+public:
+    MecPopulation(const std::vector<ml::ClientShard>& shards, std::size_t num_classes,
+                  const stats::Distribution& theta_dist, const PopulationSpec& spec,
+                  stats::Rng& rng);
+
+    [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+    [[nodiscard]] const EdgeNode& node(std::size_t i) const { return nodes_.at(i); }
+    [[nodiscard]] const std::vector<EdgeNode>& nodes() const { return nodes_; }
+
+    /// One round of resource/theta drift across all nodes.
+    void evolve(stats::Rng& rng);
+
+    [[nodiscard]] double theta_lo() const { return theta_lo_; }
+    [[nodiscard]] double theta_hi() const { return theta_hi_; }
+
+private:
+    std::vector<EdgeNode> nodes_;
+    ResourceDynamics dynamics_;
+    double theta_lo_;
+    double theta_hi_;
+};
+
+} // namespace fmore::mec

@@ -1,0 +1,93 @@
+#include "fmore/mec/auction_selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::mec {
+
+QualityExtractor data_category_extractor() {
+    return [](const ResourceState& r) {
+        return auction::QualityVector{r.data_size, r.category_proportion};
+    };
+}
+
+QualityExtractor cpu_bandwidth_data_extractor() {
+    return [](const ResourceState& r) {
+        return auction::QualityVector{r.cpu_cores, r.bandwidth_mbps, r.data_size};
+    };
+}
+
+AuctionSelector::AuctionSelector(MecPopulation& population,
+                                 const auction::ScoringRule& scoring,
+                                 const auction::EquilibriumStrategy& strategy,
+                                 auction::WinnerDeterminationConfig wd_config,
+                                 QualityExtractor extractor, std::size_t data_dimension,
+                                 auction::PaymentMethod payment_method)
+    : population_(population),
+      scoring_(scoring),
+      strategy_(strategy),
+      wd_config_(wd_config),
+      extractor_(std::move(extractor)),
+      data_dimension_(data_dimension),
+      payment_method_(payment_method) {
+    if (!extractor_) throw std::invalid_argument("AuctionSelector: null extractor");
+}
+
+fl::SelectionRecord AuctionSelector::select(std::size_t round, std::size_t k,
+                                            stats::Rng& rng) {
+    // Round 1 bids on the initial resource state; drift applies afterwards.
+    if (round > 1) population_.evolve(rng);
+
+    last_bids_.clear();
+    last_bids_.reserve(population_.size());
+    for (const EdgeNode& node : population_.nodes()) {
+        // Blacklisted defaulters are shut out of bid collection.
+        if (blacklist_.contains(node.id())) continue;
+        const auction::QualityVector available = extractor_(node.resources());
+        auction::QualityVector q = strategy_.quality(node.theta());
+        if (q.size() != available.size())
+            throw std::logic_error("AuctionSelector: extractor/strategy dimension mismatch");
+        for (std::size_t d = 0; d < q.size(); ++d) q[d] = std::min(q[d], available[d]);
+        const double p = strategy_.payment_for(q, node.theta(), payment_method_);
+        last_bids_.push_back(auction::Bid{node.id(), std::move(q), p});
+    }
+
+    auction::WinnerDeterminationConfig wd = wd_config_;
+    wd.num_winners = k;
+    const auction::WinnerDetermination determination(scoring_, wd);
+    const auction::AuctionOutcome outcome = determination.run(last_bids_, rng);
+
+    fl::SelectionRecord record;
+    record.all_scores.reserve(outcome.ranking.size());
+    record.scores_by_node.assign(population_.size(), 0.0);
+    for (const auction::ScoredBid& sb : outcome.ranking) {
+        record.all_scores.push_back(sb.score);
+        record.scores_by_node[sb.bid.node] = sb.score;
+    }
+    std::vector<std::size_t> bid_of_node(population_.size(), npos);
+    for (std::size_t i = 0; i < last_bids_.size(); ++i) {
+        bid_of_node[last_bids_[i].node] = i;
+    }
+    for (const auction::Winner& w : outcome.winners) {
+        fl::SelectedClient sel;
+        sel.client = w.node;
+        sel.payment = w.payment;
+        sel.score = w.score;
+        if (data_dimension_ != npos) {
+            const auction::Bid& bid = last_bids_[bid_of_node[w.node]];
+            std::size_t promised = static_cast<std::size_t>(
+                std::max(1.0, std::floor(bid.quality[data_dimension_])));
+            // Contract compliance: defectors deliver less than they bid and
+            // are banned from future rounds once the shortfall is observed.
+            const ComplianceOutcome outcome_c =
+                roll_compliance(compliance_, promised, rng);
+            if (outcome_c.defected) blacklist_.ban(w.node);
+            sel.train_samples = outcome_c.delivered_samples;
+        }
+        record.selected.push_back(sel);
+    }
+    return record;
+}
+
+} // namespace fmore::mec

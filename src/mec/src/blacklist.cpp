@@ -1,0 +1,27 @@
+#include "fmore/mec/blacklist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::mec {
+
+ComplianceOutcome roll_compliance(const ComplianceSpec& spec,
+                                  std::size_t promised_samples, stats::Rng& rng) {
+    if (!(spec.defect_probability >= 0.0 && spec.defect_probability <= 1.0))
+        throw std::invalid_argument("ComplianceSpec: defect_probability out of range");
+    if (!(spec.under_delivery_factor >= 0.0 && spec.under_delivery_factor < 1.0))
+        throw std::invalid_argument("ComplianceSpec: under_delivery_factor out of [0,1)");
+    ComplianceOutcome out;
+    out.delivered_samples = promised_samples;
+    if (spec.defect_probability > 0.0 && rng.bernoulli(spec.defect_probability)) {
+        out.defected = true;
+        out.delivered_samples = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::floor(spec.under_delivery_factor
+                              * static_cast<double>(promised_samples))));
+    }
+    return out;
+}
+
+} // namespace fmore::mec

@@ -1,0 +1,43 @@
+#include "fmore/mec/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fmore::mec {
+
+ClusterTimeModel::ClusterTimeModel(const MecPopulation& population,
+                                   ClusterTimeConfig config, bool auction_round)
+    : population_(population), config_(config), auction_round_(auction_round) {
+    if (!(config_.model_bytes > 0.0))
+        throw std::invalid_argument("ClusterTimeModel: model_bytes must be > 0");
+}
+
+double ClusterTimeModel::round_seconds(const fl::SelectionRecord& selection,
+                                       const std::vector<std::size_t>& samples) const {
+    double slowest = 0.0;
+    std::size_t si = 0;
+    for (const fl::SelectedClient& sel : selection.selected) {
+        const EdgeNode& node = population_.node(sel.client);
+        const double bw_bytes_s =
+            std::max(1.0, node.resources().bandwidth_mbps) * 1.0e6 / 8.0;
+        const double transfer = 2.0 * config_.model_bytes / bw_bytes_s; // down + up
+        const double trained =
+            si < samples.size() ? static_cast<double>(samples[si]) : 0.0;
+        const double cores = std::max(0.25, node.resources().cpu_cores);
+        const double compute = trained * config_.seconds_per_sample_core / cores;
+        slowest = std::max(slowest, transfer + compute);
+        ++si;
+    }
+    double total = slowest + config_.round_overhead_s;
+    if (auction_round_) total += config_.auction_overhead_s;
+    return total;
+}
+
+fl::RoundTimeModel ClusterTimeModel::as_time_model() const {
+    return [this](const fl::SelectionRecord& selection,
+                  const std::vector<std::size_t>& samples) {
+        return round_seconds(selection, samples);
+    };
+}
+
+} // namespace fmore::mec

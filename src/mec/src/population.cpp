@@ -1,0 +1,39 @@
+#include "fmore/mec/population.hpp"
+
+#include <stdexcept>
+
+namespace fmore::mec {
+
+MecPopulation::MecPopulation(const std::vector<ml::ClientShard>& shards,
+                             std::size_t num_classes,
+                             const stats::Distribution& theta_dist,
+                             const PopulationSpec& spec, stats::Rng& rng)
+    : dynamics_(spec.dynamics),
+      theta_lo_(theta_dist.support_lo()),
+      theta_hi_(theta_dist.support_hi()) {
+    if (shards.empty()) throw std::invalid_argument("MecPopulation: no shards");
+    nodes_.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        ResourceState caps;
+        caps.data_size = static_cast<double>(shards[i].indices.size());
+        caps.category_proportion = shards[i].category_proportion(num_classes);
+        caps.bandwidth_mbps = rng.uniform(spec.bandwidth_lo, spec.bandwidth_hi);
+        caps.cpu_cores = rng.uniform(spec.cpu_lo, spec.cpu_hi);
+
+        // Nodes start somewhere inside their envelope, not pinned at it.
+        ResourceState initial = caps;
+        initial.bandwidth_mbps *= rng.uniform(0.6, 1.0);
+        initial.cpu_cores *= rng.uniform(0.6, 1.0);
+        initial.data_size *= rng.uniform(0.8, 1.0);
+
+        nodes_.emplace_back(i, theta_dist.sample(rng), initial, caps);
+    }
+}
+
+void MecPopulation::evolve(stats::Rng& rng) {
+    for (EdgeNode& node : nodes_) {
+        node.evolve(dynamics_, theta_lo_, theta_hi_, rng);
+    }
+}
+
+} // namespace fmore::mec

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "fmore/ml/layer.hpp"
+
+namespace fmore::ml {
+
+/// Elementwise rectified linear unit.
+class ReLU final : public Layer {
+public:
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+private:
+    Tensor cached_input_;
+};
+
+/// Elementwise tanh (used standalone in small MLP heads; the LSTM has its
+/// own fused gates).
+class Tanh final : public Layer {
+public:
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+private:
+    Tensor cached_output_;
+};
+
+/// Flatten [B, ...] to [B, volume].
+class Flatten final : public Layer {
+public:
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+private:
+    std::vector<std::size_t> cached_shape_;
+};
+
+} // namespace fmore::ml

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "fmore/ml/layer.hpp"
+
+namespace fmore::ml {
+
+/// 2-D convolution, stride 1, valid padding. Input [B, C, H, W], kernel
+/// [OC, C, KH, KW], output [B, OC, H-KH+1, W-KW+1]. Direct loops — the
+/// synthetic images are small (<= 16x16), so this stays fast without an
+/// im2col detour.
+class Conv2d final : public Layer {
+public:
+    Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    std::vector<ParamBlock> parameters() override;
+    void initialize(stats::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "Conv2d"; }
+
+private:
+    std::size_t in_c_;
+    std::size_t out_c_;
+    std::size_t k_;
+    std::vector<float> weight_;      // [out_c, in_c, k, k]
+    std::vector<float> bias_;        // [out_c]
+    std::vector<float> weight_grad_;
+    std::vector<float> bias_grad_;
+    Tensor cached_input_;
+};
+
+} // namespace fmore::ml

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "fmore/ml/layer.hpp"
+
+namespace fmore::ml {
+
+/// Fully connected layer: y = x W^T + b with x of shape [B, in], W of shape
+/// [out, in], b of shape [out].
+class Dense final : public Layer {
+public:
+    Dense(std::size_t in_features, std::size_t out_features);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    std::vector<ParamBlock> parameters() override;
+    void initialize(stats::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "Dense"; }
+
+    [[nodiscard]] std::size_t in_features() const { return in_; }
+    [[nodiscard]] std::size_t out_features() const { return out_; }
+
+private:
+    std::size_t in_;
+    std::size_t out_;
+    std::vector<float> weight_;      // [out, in]
+    std::vector<float> bias_;        // [out]
+    std::vector<float> weight_grad_;
+    std::vector<float> bias_grad_;
+    Tensor cached_input_;
+};
+
+} // namespace fmore::ml

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "fmore/ml/layer.hpp"
+
+namespace fmore::ml {
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate); at eval time
+/// it is the identity. The paper's CNN/LSTM stacks use dropout between
+/// blocks.
+class Dropout final : public Layer {
+public:
+    explicit Dropout(double rate);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    void attach_rng(stats::Rng* rng) override { rng_ = rng; }
+    [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+private:
+    double rate_;
+    stats::Rng* rng_ = nullptr;
+    std::vector<float> mask_;
+};
+
+} // namespace fmore::ml

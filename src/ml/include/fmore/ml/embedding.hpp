@@ -1,0 +1,30 @@
+#pragma once
+
+#include "fmore/ml/layer.hpp"
+
+namespace fmore::ml {
+
+/// Token embedding: input [B, T] of token ids (stored as floats), output
+/// [B, T, E]. First layer of the text (LSTM) models; backward scatters
+/// gradients into the used rows and returns an empty tensor (no upstream
+/// layer).
+class Embedding final : public Layer {
+public:
+    Embedding(std::size_t vocab_size, std::size_t embed_dim);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    std::vector<ParamBlock> parameters() override;
+    void initialize(stats::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "Embedding"; }
+
+private:
+    std::size_t vocab_;
+    std::size_t dim_;
+    std::vector<float> table_;      // [vocab, dim]
+    std::vector<float> table_grad_;
+    std::vector<std::size_t> cached_ids_;
+    std::vector<std::size_t> cached_shape_;
+};
+
+} // namespace fmore::ml

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fmore/ml/tensor.hpp"
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::ml {
+
+/// A trainable parameter block: values plus the gradient accumulated by the
+/// most recent backward pass. Layers expose their blocks so the model can
+/// flatten/restore parameters (FedAvg needs that) and run SGD generically.
+struct ParamBlock {
+    std::vector<float>* values = nullptr;
+    std::vector<float>* grads = nullptr;
+};
+
+/// Base class for all layers. The training loop is single-threaded per
+/// model: forward caches whatever backward needs, and backward must be
+/// called with the gradient of the loss w.r.t. this layer's output,
+/// returning the gradient w.r.t. its input.
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    [[nodiscard]] virtual Tensor forward(const Tensor& input, bool training) = 0;
+    [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;
+
+    /// Parameter blocks (empty for stateless layers).
+    virtual std::vector<ParamBlock> parameters() { return {}; }
+
+    /// Initialize parameters (weight init draws from `rng`); stateless
+    /// layers ignore it. Called once when the layer joins a model.
+    virtual void initialize(stats::Rng& /*rng*/) {}
+
+    /// Stochastic layers (dropout) draw from the model's generator.
+    virtual void attach_rng(stats::Rng* /*rng*/) {}
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+} // namespace fmore::ml

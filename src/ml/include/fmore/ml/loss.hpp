@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "fmore/ml/tensor.hpp"
+
+namespace fmore::ml {
+
+/// Fused softmax + cross-entropy over logits [B, C] with integer labels.
+/// forward() returns mean loss; backward() returns d(loss)/d(logits)
+/// (already divided by the batch size).
+class SoftmaxCrossEntropy {
+public:
+    double forward(const Tensor& logits, const std::vector<int>& labels);
+    [[nodiscard]] Tensor backward() const;
+
+    /// Row-wise argmax of the last forward's probabilities.
+    [[nodiscard]] std::vector<int> predictions() const;
+
+private:
+    Tensor probs_;
+    std::vector<int> labels_;
+};
+
+/// Fraction of correct predictions.
+double accuracy(const std::vector<int>& predictions, const std::vector<int>& labels);
+
+} // namespace fmore::ml

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fmore/ml/dataset.hpp"
+#include "fmore/ml/layer.hpp"
+#include "fmore/ml/loss.hpp"
+
+namespace fmore::ml {
+
+/// Metrics from one local training epoch.
+struct TrainStats {
+    double mean_loss = 0.0;
+    std::size_t samples = 0;
+};
+
+/// Metrics from one evaluation pass.
+struct EvalStats {
+    double mean_loss = 0.0;
+    double accuracy = 0.0;
+    std::size_t samples = 0;
+};
+
+/// Sequential container of layers with the flat-parameter interface FedAvg
+/// needs (Eq. 3 of the paper averages whole parameter vectors).
+class Model {
+public:
+    explicit Model(std::uint64_t seed = 42);
+    Model(Model&&) = default;
+    Model& operator=(Model&&) = default;
+
+    /// Append a layer; it is initialized immediately from the model RNG.
+    void add(std::unique_ptr<Layer> layer);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training);
+    void backward(const Tensor& grad_loss);
+    void zero_grad();
+    /// Vanilla SGD update: w -= lr * grad (paper Eq. 2, eta = step size).
+    void sgd_step(double learning_rate);
+
+    [[nodiscard]] std::size_t parameter_count();
+    [[nodiscard]] std::vector<float> get_parameters();
+    void set_parameters(const std::vector<float>& flat);
+
+    /// One local epoch of minibatch SGD over the given sample indices
+    /// (shuffled internally).
+    TrainStats train_epoch(const Dataset& data, const std::vector<std::size_t>& indices,
+                           std::size_t batch_size, double learning_rate);
+
+    /// Loss/accuracy over the given indices (all samples when empty).
+    EvalStats evaluate(const Dataset& data, const std::vector<std::size_t>& indices = {});
+
+    [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+
+private:
+    std::vector<ParamBlock> all_parameters();
+
+    std::vector<std::unique_ptr<Layer>> layers_;
+    stats::Rng rng_;
+    SoftmaxCrossEntropy loss_;
+};
+
+} // namespace fmore::ml

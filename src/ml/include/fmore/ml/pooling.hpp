@@ -1,0 +1,21 @@
+#pragma once
+
+#include "fmore/ml/layer.hpp"
+
+namespace fmore::ml {
+
+/// 2x2 max pooling with stride 2 over [B, C, H, W]; odd trailing rows or
+/// columns are dropped (floor semantics, as in the paper's Keras-style
+/// models).
+class MaxPool2d final : public Layer {
+public:
+    [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+private:
+    std::vector<std::size_t> cached_shape_;
+    std::vector<std::size_t> argmax_; // flat index into the input per output cell
+};
+
+} // namespace fmore::ml

@@ -1,0 +1,56 @@
+#include "fmore/ml/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::ml {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+    cached_input_ = input;
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i] < 0.0F) out[i] = 0.0F;
+    }
+    return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+    if (grad_output.size() != cached_input_.size())
+        throw std::invalid_argument("ReLU::backward: shape mismatch");
+    Tensor grad = grad_output;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+        if (cached_input_[i] <= 0.0F) grad[i] = 0.0F;
+    }
+    return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+    cached_output_ = out;
+    return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+    if (grad_output.size() != cached_output_.size())
+        throw std::invalid_argument("Tanh::backward: shape mismatch");
+    Tensor grad = grad_output;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+        const float y = cached_output_[i];
+        grad[i] *= 1.0F - y * y;
+    }
+    return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() < 1) throw std::invalid_argument("Flatten: rank-0 input");
+    cached_shape_ = input.shape();
+    const std::size_t batch = input.dim(0);
+    return input.reshaped({batch, input.size() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+    return grad_output.reshaped(cached_shape_);
+}
+
+} // namespace fmore::ml

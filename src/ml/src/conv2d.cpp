@@ -1,0 +1,115 @@
+#include "fmore/ml/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::ml {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      weight_(out_channels * in_channels * kernel * kernel, 0.0F),
+      bias_(out_channels, 0.0F),
+      weight_grad_(weight_.size(), 0.0F),
+      bias_grad_(out_channels, 0.0F) {
+    if (in_c_ == 0 || out_c_ == 0 || k_ == 0)
+        throw std::invalid_argument("Conv2d: zero-sized configuration");
+}
+
+void Conv2d::initialize(stats::Rng& rng) {
+    const double fan_in = static_cast<double>(in_c_ * k_ * k_);
+    const double bound = std::sqrt(6.0 / fan_in);
+    for (float& w : weight_) w = static_cast<float>(rng.uniform(-bound, bound));
+    for (float& b : bias_) b = 0.0F;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() != 4 || input.dim(1) != in_c_)
+        throw std::invalid_argument("Conv2d::forward: expected [B, C, H, W] input");
+    const std::size_t batch = input.dim(0);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    if (h < k_ || w < k_)
+        throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
+    const std::size_t oh = h - k_ + 1;
+    const std::size_t ow = w - k_ + 1;
+    cached_input_ = input;
+
+    Tensor out({batch, out_c_, oh, ow});
+    const float* x = input.data();
+    float* y = out.data();
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t oc = 0; oc < out_c_; ++oc) {
+            float* ymap = y + ((b * out_c_ + oc) * oh) * ow;
+            const float bias = bias_[oc];
+            for (std::size_t i = 0; i < oh * ow; ++i) ymap[i] = bias;
+            for (std::size_t ic = 0; ic < in_c_; ++ic) {
+                const float* xmap = x + ((b * in_c_ + ic) * h) * w;
+                const float* ker = weight_.data() + ((oc * in_c_ + ic) * k_) * k_;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        float acc = 0.0F;
+                        for (std::size_t ky = 0; ky < k_; ++ky) {
+                            const float* xrow = xmap + (oy + ky) * w + ox;
+                            const float* krow = ker + ky * k_;
+                            for (std::size_t kx = 0; kx < k_; ++kx) acc += xrow[kx] * krow[kx];
+                        }
+                        ymap[oy * ow + ox] += acc;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+    const std::size_t batch = cached_input_.dim(0);
+    const std::size_t h = cached_input_.dim(2);
+    const std::size_t w = cached_input_.dim(3);
+    const std::size_t oh = h - k_ + 1;
+    const std::size_t ow = w - k_ + 1;
+    if (grad_output.size() != batch * out_c_ * oh * ow)
+        throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+
+    Tensor grad_input(cached_input_.shape());
+    const float* x = cached_input_.data();
+    const float* gy = grad_output.data();
+    float* gx = grad_input.data();
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t oc = 0; oc < out_c_; ++oc) {
+            const float* gymap = gy + ((b * out_c_ + oc) * oh) * ow;
+            for (std::size_t i = 0; i < oh * ow; ++i) bias_grad_[oc] += gymap[i];
+            for (std::size_t ic = 0; ic < in_c_; ++ic) {
+                const float* xmap = x + ((b * in_c_ + ic) * h) * w;
+                float* gxmap = gx + ((b * in_c_ + ic) * h) * w;
+                const float* ker = weight_.data() + ((oc * in_c_ + ic) * k_) * k_;
+                float* gker = weight_grad_.data() + ((oc * in_c_ + ic) * k_) * k_;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const float g = gymap[oy * ow + ox];
+                        if (g == 0.0F) continue;
+                        for (std::size_t ky = 0; ky < k_; ++ky) {
+                            const float* xrow = xmap + (oy + ky) * w + ox;
+                            float* gxrow = gxmap + (oy + ky) * w + ox;
+                            const float* krow = ker + ky * k_;
+                            float* gkrow = gker + ky * k_;
+                            for (std::size_t kx = 0; kx < k_; ++kx) {
+                                gkrow[kx] += g * xrow[kx];
+                                gxrow[kx] += g * krow[kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<ParamBlock> Conv2d::parameters() {
+    return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+} // namespace fmore::ml

@@ -1,0 +1,39 @@
+#include "fmore/ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace fmore::ml {
+
+Tensor Dataset::gather(const std::vector<std::size_t>& indices) const {
+    const std::size_t vol = sample_volume();
+    std::vector<std::size_t> shape;
+    shape.push_back(indices.size());
+    for (const std::size_t d : sample_shape) shape.push_back(d);
+    Tensor batch(std::move(shape));
+    float* dst = batch.data();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] >= size()) throw std::out_of_range("Dataset::gather: bad index");
+        const float* src = features.data() + indices[i] * vol;
+        for (std::size_t j = 0; j < vol; ++j) dst[i * vol + j] = src[j];
+    }
+    return batch;
+}
+
+std::vector<int> Dataset::gather_labels(const std::vector<std::size_t>& indices) const {
+    std::vector<int> out(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] >= size())
+            throw std::out_of_range("Dataset::gather_labels: bad index");
+        out[i] = labels[indices[i]];
+    }
+    return out;
+}
+
+void Dataset::push_sample(const std::vector<float>& feat, int label) {
+    if (feat.size() != sample_volume())
+        throw std::invalid_argument("Dataset::push_sample: feature size mismatch");
+    features.insert(features.end(), feat.begin(), feat.end());
+    labels.push_back(label);
+}
+
+} // namespace fmore::ml

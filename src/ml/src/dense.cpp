@@ -1,0 +1,76 @@
+#include "fmore/ml/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::ml {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_(in_features * out_features, 0.0F),
+      bias_(out_features, 0.0F),
+      weight_grad_(in_features * out_features, 0.0F),
+      bias_grad_(out_features, 0.0F) {
+    if (in_ == 0 || out_ == 0) throw std::invalid_argument("Dense: zero-sized layer");
+}
+
+void Dense::initialize(stats::Rng& rng) {
+    // He/Kaiming-uniform: suits the ReLU nets we build.
+    const double bound = std::sqrt(6.0 / static_cast<double>(in_));
+    for (float& w : weight_) w = static_cast<float>(rng.uniform(-bound, bound));
+    for (float& b : bias_) b = 0.0F;
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() < 2 || input.size() % in_ != 0)
+        throw std::invalid_argument("Dense::forward: input incompatible with in_features");
+    const std::size_t batch = input.size() / in_;
+    cached_input_ = input;
+    Tensor out({batch, out_});
+    const float* x = input.data();
+    float* y = out.data();
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float* xb = x + b * in_;
+        float* yb = y + b * out_;
+        for (std::size_t o = 0; o < out_; ++o) {
+            const float* wrow = weight_.data() + o * in_;
+            float acc = bias_[o];
+            for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * xb[i];
+            yb[o] = acc;
+        }
+    }
+    return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+    const std::size_t batch = cached_input_.size() / in_;
+    if (grad_output.size() != batch * out_)
+        throw std::invalid_argument("Dense::backward: grad shape mismatch");
+    Tensor grad_input(cached_input_.shape());
+    const float* x = cached_input_.data();
+    const float* gy = grad_output.data();
+    float* gx = grad_input.data();
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float* xb = x + b * in_;
+        const float* gyb = gy + b * out_;
+        float* gxb = gx + b * in_;
+        for (std::size_t o = 0; o < out_; ++o) {
+            const float g = gyb[o];
+            bias_grad_[o] += g;
+            float* wgrow = weight_grad_.data() + o * in_;
+            const float* wrow = weight_.data() + o * in_;
+            for (std::size_t i = 0; i < in_; ++i) {
+                wgrow[i] += g * xb[i];
+                gxb[i] += g * wrow[i];
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<ParamBlock> Dense::parameters() {
+    return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+} // namespace fmore::ml

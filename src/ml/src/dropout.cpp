@@ -1,0 +1,42 @@
+#include "fmore/ml/dropout.hpp"
+
+#include <stdexcept>
+
+namespace fmore::ml {
+
+Dropout::Dropout(double rate) : rate_(rate) {
+    if (!(rate >= 0.0 && rate < 1.0))
+        throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+    if (!training || rate_ == 0.0) {
+        mask_.assign(input.size(), 1.0F);
+        return input;
+    }
+    if (rng_ == nullptr)
+        throw std::logic_error("Dropout: no RNG attached (layer must live in a Model)");
+    const auto keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+    mask_.resize(input.size());
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (rng_->bernoulli(rate_)) {
+            mask_[i] = 0.0F;
+            out[i] = 0.0F;
+        } else {
+            mask_[i] = keep_scale;
+            out[i] *= keep_scale;
+        }
+    }
+    return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+    if (grad_output.size() != mask_.size())
+        throw std::invalid_argument("Dropout::backward: shape mismatch");
+    Tensor grad = grad_output;
+    for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= mask_[i];
+    return grad;
+}
+
+} // namespace fmore::ml

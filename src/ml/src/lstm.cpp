@@ -1,0 +1,172 @@
+#include "fmore/ml/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::ml {
+
+namespace {
+
+inline float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
+
+} // namespace
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim)
+    : input_(input_dim),
+      hidden_(hidden_dim),
+      w_(4 * hidden_dim * input_dim, 0.0F),
+      u_(4 * hidden_dim * hidden_dim, 0.0F),
+      b_(4 * hidden_dim, 0.0F),
+      w_grad_(w_.size(), 0.0F),
+      u_grad_(u_.size(), 0.0F),
+      b_grad_(b_.size(), 0.0F) {
+    if (input_ == 0 || hidden_ == 0) throw std::invalid_argument("Lstm: zero-sized");
+}
+
+void Lstm::initialize(stats::Rng& rng) {
+    const double wb = std::sqrt(6.0 / static_cast<double>(input_ + hidden_));
+    const double ub = std::sqrt(6.0 / static_cast<double>(2 * hidden_));
+    for (float& x : w_) x = static_cast<float>(rng.uniform(-wb, wb));
+    for (float& x : u_) x = static_cast<float>(rng.uniform(-ub, ub));
+    // Forget-gate bias at 1: the standard trick so early training does not
+    // wash out the cell state.
+    for (std::size_t i = 0; i < b_.size(); ++i) {
+        b_[i] = (i >= hidden_ && i < 2 * hidden_) ? 1.0F : 0.0F;
+    }
+}
+
+Tensor Lstm::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() != 3 || input.dim(2) != input_)
+        throw std::invalid_argument("Lstm::forward: expected [B, T, E] input");
+    const std::size_t batch = input.dim(0);
+    const std::size_t seq = input.dim(1);
+    cached_input_ = input;
+    cached_batch_ = batch;
+    cached_seq_ = seq;
+
+    const std::size_t h4 = 4 * hidden_;
+    gates_.assign(seq * batch * h4, 0.0F);
+    cells_.assign((seq + 1) * batch * hidden_, 0.0F);
+    hiddens_.assign((seq + 1) * batch * hidden_, 0.0F);
+
+    const float* x = input.data();
+    for (std::size_t t = 0; t < seq; ++t) {
+        const float* h_prev = hiddens_.data() + t * batch * hidden_;
+        const float* c_prev = cells_.data() + t * batch * hidden_;
+        float* h_next = hiddens_.data() + (t + 1) * batch * hidden_;
+        float* c_next = cells_.data() + (t + 1) * batch * hidden_;
+        float* gate_t = gates_.data() + t * batch * h4;
+        for (std::size_t bi = 0; bi < batch; ++bi) {
+            const float* xt = x + (bi * seq + t) * input_;
+            const float* hp = h_prev + bi * hidden_;
+            const float* cp = c_prev + bi * hidden_;
+            float* z = gate_t + bi * h4;
+            for (std::size_t r = 0; r < h4; ++r) {
+                float acc = b_[r];
+                const float* wrow = w_.data() + r * input_;
+                for (std::size_t e = 0; e < input_; ++e) acc += wrow[e] * xt[e];
+                const float* urow = u_.data() + r * hidden_;
+                for (std::size_t hh = 0; hh < hidden_; ++hh) acc += urow[hh] * hp[hh];
+                z[r] = acc;
+            }
+            float* hn = h_next + bi * hidden_;
+            float* cn = c_next + bi * hidden_;
+            for (std::size_t hh = 0; hh < hidden_; ++hh) {
+                const float ig = sigmoid(z[hh]);
+                const float fg = sigmoid(z[hidden_ + hh]);
+                const float gg = std::tanh(z[2 * hidden_ + hh]);
+                const float og = sigmoid(z[3 * hidden_ + hh]);
+                // Store post-activation values for backward.
+                z[hh] = ig;
+                z[hidden_ + hh] = fg;
+                z[2 * hidden_ + hh] = gg;
+                z[3 * hidden_ + hh] = og;
+                cn[hh] = fg * cp[hh] + ig * gg;
+                hn[hh] = og * std::tanh(cn[hh]);
+            }
+        }
+    }
+
+    Tensor out({batch, hidden_});
+    const float* h_last = hiddens_.data() + seq * batch * hidden_;
+    for (std::size_t i = 0; i < batch * hidden_; ++i) out[i] = h_last[i];
+    return out;
+}
+
+Tensor Lstm::backward(const Tensor& grad_output) {
+    const std::size_t batch = cached_batch_;
+    const std::size_t seq = cached_seq_;
+    const std::size_t h4 = 4 * hidden_;
+    if (grad_output.size() != batch * hidden_)
+        throw std::invalid_argument("Lstm::backward: grad shape mismatch");
+
+    Tensor grad_input({batch, seq, input_});
+    std::vector<float> dh(batch * hidden_, 0.0F);
+    std::vector<float> dc(batch * hidden_, 0.0F);
+    for (std::size_t i = 0; i < batch * hidden_; ++i) dh[i] = grad_output[i];
+
+    const float* x = cached_input_.data();
+    float* gx = grad_input.data();
+    std::vector<float> dz(h4, 0.0F);
+
+    for (std::size_t t = seq; t-- > 0;) {
+        const float* gate_t = gates_.data() + t * batch * h4;
+        const float* c_prev = cells_.data() + t * batch * hidden_;
+        const float* c_next = cells_.data() + (t + 1) * batch * hidden_;
+        const float* h_prev = hiddens_.data() + t * batch * hidden_;
+        for (std::size_t bi = 0; bi < batch; ++bi) {
+            const float* z = gate_t + bi * h4;
+            const float* cp = c_prev + bi * hidden_;
+            const float* cn = c_next + bi * hidden_;
+            const float* hp = h_prev + bi * hidden_;
+            const float* xt = x + (bi * seq + t) * input_;
+            float* dhb = dh.data() + bi * hidden_;
+            float* dcb = dc.data() + bi * hidden_;
+
+            for (std::size_t hh = 0; hh < hidden_; ++hh) {
+                const float ig = z[hh];
+                const float fg = z[hidden_ + hh];
+                const float gg = z[2 * hidden_ + hh];
+                const float og = z[3 * hidden_ + hh];
+                const float tanh_c = std::tanh(cn[hh]);
+                const float dh_t = dhb[hh];
+                const float dc_t = dcb[hh] + dh_t * og * (1.0F - tanh_c * tanh_c);
+                // Pre-activation gradients.
+                dz[hh] = dc_t * gg * ig * (1.0F - ig);
+                dz[hidden_ + hh] = dc_t * cp[hh] * fg * (1.0F - fg);
+                dz[2 * hidden_ + hh] = dc_t * ig * (1.0F - gg * gg);
+                dz[3 * hidden_ + hh] = dh_t * tanh_c * og * (1.0F - og);
+                // Pass cell gradient to t-1.
+                dcb[hh] = dc_t * fg;
+            }
+
+            float* gxt = gx + (bi * seq + t) * input_;
+            // dh for t-1 is accumulated fresh from U^T dz.
+            for (std::size_t hh = 0; hh < hidden_; ++hh) dhb[hh] = 0.0F;
+            for (std::size_t r = 0; r < h4; ++r) {
+                const float g = dz[r];
+                if (g == 0.0F) continue;
+                b_grad_[r] += g;
+                float* wgrow = w_grad_.data() + r * input_;
+                const float* wrow = w_.data() + r * input_;
+                for (std::size_t e = 0; e < input_; ++e) {
+                    wgrow[e] += g * xt[e];
+                    gxt[e] += g * wrow[e];
+                }
+                float* ugrow = u_grad_.data() + r * hidden_;
+                const float* urow = u_.data() + r * hidden_;
+                for (std::size_t hh = 0; hh < hidden_; ++hh) {
+                    ugrow[hh] += g * hp[hh];
+                    dhb[hh] += g * urow[hh];
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<ParamBlock> Lstm::parameters() {
+    return {{&w_, &w_grad_}, {&u_, &u_grad_}, {&b_, &b_grad_}};
+}
+
+} // namespace fmore::ml

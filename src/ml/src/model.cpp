@@ -1,0 +1,141 @@
+#include "fmore/ml/model.hpp"
+
+#include <stdexcept>
+
+namespace fmore::ml {
+
+Model::Model(std::uint64_t seed) : rng_(seed) {}
+
+void Model::add(std::unique_ptr<Layer> layer) {
+    layer->initialize(rng_);
+    layer->attach_rng(&rng_);
+    layers_.push_back(std::move(layer));
+}
+
+Tensor Model::forward(const Tensor& input, bool training) {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x, training);
+    return x;
+}
+
+void Model::backward(const Tensor& grad_loss) {
+    Tensor g = grad_loss;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        g = (*it)->backward(g);
+    }
+}
+
+std::vector<ParamBlock> Model::all_parameters() {
+    std::vector<ParamBlock> blocks;
+    for (auto& layer : layers_) {
+        for (const ParamBlock& block : layer->parameters()) blocks.push_back(block);
+    }
+    return blocks;
+}
+
+void Model::zero_grad() {
+    for (const ParamBlock& block : all_parameters()) {
+        for (float& g : *block.grads) g = 0.0F;
+    }
+}
+
+void Model::sgd_step(double learning_rate) {
+    const auto lr = static_cast<float>(learning_rate);
+    for (const ParamBlock& block : all_parameters()) {
+        for (std::size_t i = 0; i < block.values->size(); ++i) {
+            (*block.values)[i] -= lr * (*block.grads)[i];
+        }
+    }
+}
+
+std::size_t Model::parameter_count() {
+    std::size_t total = 0;
+    for (const ParamBlock& block : all_parameters()) total += block.values->size();
+    return total;
+}
+
+std::vector<float> Model::get_parameters() {
+    std::vector<float> flat;
+    flat.reserve(parameter_count());
+    for (const ParamBlock& block : all_parameters()) {
+        flat.insert(flat.end(), block.values->begin(), block.values->end());
+    }
+    return flat;
+}
+
+void Model::set_parameters(const std::vector<float>& flat) {
+    std::size_t offset = 0;
+    for (auto& layer : layers_) {
+        for (const ParamBlock& block : layer->parameters()) {
+            if (offset + block.values->size() > flat.size())
+                throw std::invalid_argument("Model::set_parameters: vector too short");
+            for (std::size_t i = 0; i < block.values->size(); ++i) {
+                (*block.values)[i] = flat[offset + i];
+            }
+            offset += block.values->size();
+        }
+    }
+    if (offset != flat.size())
+        throw std::invalid_argument("Model::set_parameters: vector size mismatch");
+}
+
+TrainStats Model::train_epoch(const Dataset& data, const std::vector<std::size_t>& indices,
+                              std::size_t batch_size, double learning_rate) {
+    if (indices.empty()) return {};
+    if (batch_size == 0) throw std::invalid_argument("train_epoch: batch_size must be > 0");
+    std::vector<std::size_t> order = indices;
+    rng_.shuffle(order);
+
+    TrainStats out;
+    double loss_sum = 0.0;
+    for (std::size_t start = 0; start < order.size(); start += batch_size) {
+        const std::size_t end = std::min(order.size(), start + batch_size);
+        const std::vector<std::size_t> batch_idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                                 order.begin() + static_cast<std::ptrdiff_t>(end));
+        const Tensor batch = data.gather(batch_idx);
+        const std::vector<int> labels = data.gather_labels(batch_idx);
+
+        zero_grad();
+        const Tensor logits = forward(batch, /*training=*/true);
+        const double loss = loss_.forward(logits, labels);
+        backward(loss_.backward());
+        sgd_step(learning_rate);
+
+        loss_sum += loss * static_cast<double>(batch_idx.size());
+        out.samples += batch_idx.size();
+    }
+    out.mean_loss = loss_sum / static_cast<double>(out.samples);
+    return out;
+}
+
+EvalStats Model::evaluate(const Dataset& data, const std::vector<std::size_t>& indices) {
+    std::vector<std::size_t> idx = indices;
+    if (idx.empty()) {
+        idx.resize(data.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    }
+    EvalStats out;
+    double loss_sum = 0.0;
+    std::size_t hits = 0;
+    constexpr std::size_t eval_batch = 128;
+    for (std::size_t start = 0; start < idx.size(); start += eval_batch) {
+        const std::size_t end = std::min(idx.size(), start + eval_batch);
+        const std::vector<std::size_t> batch_idx(idx.begin() + static_cast<std::ptrdiff_t>(start),
+                                                 idx.begin() + static_cast<std::ptrdiff_t>(end));
+        const Tensor batch = data.gather(batch_idx);
+        const std::vector<int> labels = data.gather_labels(batch_idx);
+        const Tensor logits = forward(batch, /*training=*/false);
+        const double loss = loss_.forward(logits, labels);
+        const std::vector<int> preds = loss_.predictions();
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            if (preds[i] == labels[i]) ++hits;
+        }
+        loss_sum += loss * static_cast<double>(batch_idx.size());
+        out.samples += batch_idx.size();
+    }
+    out.mean_loss = loss_sum / static_cast<double>(out.samples);
+    out.accuracy = static_cast<double>(hits) / static_cast<double>(out.samples);
+    return out;
+}
+
+} // namespace fmore::ml

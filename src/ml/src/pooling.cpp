@@ -1,0 +1,61 @@
+#include "fmore/ml/pooling.hpp"
+
+#include <stdexcept>
+
+namespace fmore::ml {
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+    if (input.rank() != 4)
+        throw std::invalid_argument("MaxPool2d::forward: expected [B, C, H, W]");
+    const std::size_t batch = input.dim(0);
+    const std::size_t c = input.dim(1);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    const std::size_t oh = h / 2;
+    const std::size_t ow = w / 2;
+    if (oh == 0 || ow == 0)
+        throw std::invalid_argument("MaxPool2d::forward: input too small to pool");
+    cached_shape_ = input.shape();
+
+    Tensor out({batch, c, oh, ow});
+    argmax_.assign(out.size(), 0);
+    const float* x = input.data();
+    float* y = out.data();
+    std::size_t oi = 0;
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const std::size_t plane = (b * c + ch) * h * w;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox, ++oi) {
+                    const std::size_t base = plane + (2 * oy) * w + 2 * ox;
+                    std::size_t best = base;
+                    float best_v = x[base];
+                    const std::size_t candidates[3] = {base + 1, base + w, base + w + 1};
+                    for (const std::size_t idx : candidates) {
+                        if (x[idx] > best_v) {
+                            best_v = x[idx];
+                            best = idx;
+                        }
+                    }
+                    y[oi] = best_v;
+                    argmax_[oi] = best;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+    if (grad_output.size() != argmax_.size())
+        throw std::invalid_argument("MaxPool2d::backward: grad shape mismatch");
+    Tensor grad_input(cached_shape_);
+    float* gx = grad_input.data();
+    const float* gy = grad_output.data();
+    for (std::size_t i = 0; i < argmax_.size(); ++i) {
+        gx[argmax_[i]] += gy[i];
+    }
+    return grad_input;
+}
+
+} // namespace fmore::ml

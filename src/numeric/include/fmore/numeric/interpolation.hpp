@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+namespace fmore::numeric {
+
+/// Piecewise-linear interpolant over strictly increasing knots.
+///
+/// The equilibrium solver tabulates the type-to-score map u0(theta) on a
+/// grid and needs both u0 and its inverse as functions; this class provides
+/// the forward map, and a second instance built on swapped (monotone)
+/// samples provides the inverse.
+class LinearInterpolator {
+public:
+    /// xs must be strictly increasing and the same length as ys (>= 2).
+    LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+    /// Evaluate at x, clamping to the end values outside the knot range.
+    [[nodiscard]] double operator()(double x) const;
+
+    [[nodiscard]] double x_min() const { return xs_.front(); }
+    [[nodiscard]] double x_max() const { return xs_.back(); }
+    [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+    [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+
+    /// Build the inverse interpolant of a strictly monotone function given
+    /// as (xs, ys) samples; works for increasing or decreasing ys.
+    static LinearInterpolator inverse_of(const std::vector<double>& xs,
+                                         const std::vector<double>& ys);
+
+private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+} // namespace fmore::numeric

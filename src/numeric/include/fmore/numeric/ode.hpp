@@ -1,0 +1,39 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace fmore::numeric {
+
+/// Right-hand side of a scalar first-order ODE y' = f(x, y).
+using OdeRhs = std::function<double(double x, double y)>;
+
+/// One (x, y) sample of an ODE trajectory.
+struct OdePoint {
+    double x;
+    double y;
+};
+
+/// Explicit (forward) Euler integration of y' = f(x, y) from x0 to x1 with
+/// `steps` uniform steps, starting at y(x0) = y0.
+///
+/// This is the method the paper prescribes for edge nodes (Section IV,
+/// Eq. 13-14): "we can use classic numerical methods, e.g., the Euler method
+/// ... to get the result of p^s(theta) ... with the complexity of linear
+/// time". The returned trajectory has steps+1 points including both ends.
+/// x1 may be smaller than x0 (integration runs backwards).
+std::vector<OdePoint> euler(const OdeRhs& f, double x0, double x1, double y0,
+                            std::size_t steps);
+
+/// Classic fourth-order Runge-Kutta with the same interface; the paper also
+/// names "the Runge-Kutte method" as an option. Used in ablations to show
+/// Euler's linear-time accuracy is adequate.
+std::vector<OdePoint> runge_kutta4(const OdeRhs& f, double x0, double x1, double y0,
+                                   std::size_t steps);
+
+/// Convenience: final value only.
+double euler_final(const OdeRhs& f, double x0, double x1, double y0, std::size_t steps);
+double runge_kutta4_final(const OdeRhs& f, double x0, double x1, double y0,
+                          std::size_t steps);
+
+} // namespace fmore::numeric

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace fmore::numeric {
+
+/// Result of a scalar maximization.
+struct ScalarOptimum {
+    double x;
+    double value;
+};
+
+/// Result of a multivariate maximization.
+struct VectorOptimum {
+    std::vector<double> x;
+    double value;
+};
+
+/// Golden-section search for the maximum of a unimodal f on [lo, hi].
+/// `tol` is the final bracket width on x.
+ScalarOptimum golden_section_maximize(const std::function<double(double)>& f, double lo,
+                                      double hi, double tol = 1e-9);
+
+/// Robust global-ish maximizer: coarse grid scan followed by golden-section
+/// refinement around the best grid cell. Handles the possibly multi-modal
+/// s(q) - c(q, theta) objectives the quality-choice step can face.
+ScalarOptimum grid_refine_maximize(const std::function<double(double)>& f, double lo,
+                                   double hi, std::size_t grid_points = 64,
+                                   double tol = 1e-9);
+
+/// Coordinate-ascent maximizer over a box [lo_i, hi_i]^m for the
+/// multi-dimensional quality choice (Proposition 3): repeatedly optimize one
+/// coordinate with grid_refine while holding the others fixed, until the
+/// objective improves by less than `tol` or `max_sweeps` is hit.
+VectorOptimum coordinate_ascent_maximize(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    std::size_t grid_points = 32, std::size_t max_sweeps = 24, double tol = 1e-10);
+
+} // namespace fmore::numeric

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace fmore::numeric {
+
+/// Bisection root of f on [lo, hi]; requires a sign change. Returns nullopt
+/// if f(lo) and f(hi) have the same sign.
+std::optional<double> bisect(const std::function<double(double)>& f, double lo, double hi,
+                             double tol = 1e-12, std::size_t max_iter = 200);
+
+/// Brent's method: inverse-quadratic interpolation with bisection fallback.
+/// Same contract as `bisect`, converges much faster on smooth functions.
+std::optional<double> brent(const std::function<double(double)>& f, double lo, double hi,
+                            double tol = 1e-12, std::size_t max_iter = 200);
+
+} // namespace fmore::numeric

@@ -1,0 +1,59 @@
+#include "fmore/numeric/interpolation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fmore::numeric {
+
+LinearInterpolator::LinearInterpolator(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+    if (xs_.size() != ys_.size())
+        throw std::invalid_argument("LinearInterpolator: size mismatch");
+    if (xs_.size() < 2) throw std::invalid_argument("LinearInterpolator: need >= 2 knots");
+    for (std::size_t i = 1; i < xs_.size(); ++i) {
+        if (!(xs_[i] > xs_[i - 1]))
+            throw std::invalid_argument("LinearInterpolator: xs must be strictly increasing");
+    }
+}
+
+double LinearInterpolator::operator()(double x) const {
+    if (x <= xs_.front()) return ys_.front();
+    if (x >= xs_.back()) return ys_.back();
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    const auto hi = static_cast<std::size_t>(it - xs_.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+    return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+LinearInterpolator LinearInterpolator::inverse_of(const std::vector<double>& xs,
+                                                  const std::vector<double>& ys) {
+    if (xs.size() != ys.size() || xs.size() < 2)
+        throw std::invalid_argument("inverse_of: bad sample arrays");
+    const bool increasing = ys.back() > ys.front();
+    std::vector<double> inv_x = ys;
+    std::vector<double> inv_y = xs;
+    if (!increasing) {
+        std::reverse(inv_x.begin(), inv_x.end());
+        std::reverse(inv_y.begin(), inv_y.end());
+    }
+    // Collapse numerically-equal neighbours so the knot sequence is strictly
+    // increasing; the function must be monotone for the inverse to exist.
+    std::vector<double> cx;
+    std::vector<double> cy;
+    cx.reserve(inv_x.size());
+    cy.reserve(inv_y.size());
+    for (std::size_t i = 0; i < inv_x.size(); ++i) {
+        if (!cx.empty() && inv_x[i] <= cx.back()) {
+            if (inv_x[i] < cx.back() - 1e-12)
+                throw std::invalid_argument("inverse_of: samples are not monotone");
+            continue;
+        }
+        cx.push_back(inv_x[i]);
+        cy.push_back(inv_y[i]);
+    }
+    if (cx.size() < 2) throw std::invalid_argument("inverse_of: degenerate monotone range");
+    return LinearInterpolator(std::move(cx), std::move(cy));
+}
+
+} // namespace fmore::numeric

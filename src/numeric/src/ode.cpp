@@ -1,0 +1,54 @@
+#include "fmore/numeric/ode.hpp"
+
+#include <stdexcept>
+
+namespace fmore::numeric {
+
+std::vector<OdePoint> euler(const OdeRhs& f, double x0, double x1, double y0,
+                            std::size_t steps) {
+    if (steps == 0) throw std::invalid_argument("euler: steps must be > 0");
+    std::vector<OdePoint> out;
+    out.reserve(steps + 1);
+    const double h = (x1 - x0) / static_cast<double>(steps);
+    double x = x0;
+    double y = y0;
+    out.push_back({x, y});
+    for (std::size_t i = 0; i < steps; ++i) {
+        y += h * f(x, y);
+        x = x0 + static_cast<double>(i + 1) * h;
+        out.push_back({x, y});
+    }
+    return out;
+}
+
+std::vector<OdePoint> runge_kutta4(const OdeRhs& f, double x0, double x1, double y0,
+                                   std::size_t steps) {
+    if (steps == 0) throw std::invalid_argument("runge_kutta4: steps must be > 0");
+    std::vector<OdePoint> out;
+    out.reserve(steps + 1);
+    const double h = (x1 - x0) / static_cast<double>(steps);
+    double x = x0;
+    double y = y0;
+    out.push_back({x, y});
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double k1 = f(x, y);
+        const double k2 = f(x + 0.5 * h, y + 0.5 * h * k1);
+        const double k3 = f(x + 0.5 * h, y + 0.5 * h * k2);
+        const double k4 = f(x + h, y + h * k3);
+        y += (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+        x = x0 + static_cast<double>(i + 1) * h;
+        out.push_back({x, y});
+    }
+    return out;
+}
+
+double euler_final(const OdeRhs& f, double x0, double x1, double y0, std::size_t steps) {
+    return euler(f, x0, x1, y0, steps).back().y;
+}
+
+double runge_kutta4_final(const OdeRhs& f, double x0, double x1, double y0,
+                          std::size_t steps) {
+    return runge_kutta4(f, x0, x1, y0, steps).back().y;
+}
+
+} // namespace fmore::numeric

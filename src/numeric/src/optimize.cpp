@@ -1,0 +1,93 @@
+#include "fmore/numeric/optimize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::numeric {
+
+ScalarOptimum golden_section_maximize(const std::function<double(double)>& f, double lo,
+                                      double hi, double tol) {
+    if (!(lo <= hi)) throw std::invalid_argument("golden_section: lo > hi");
+    constexpr double inv_phi = 0.6180339887498949; // 1/golden ratio
+    double a = lo;
+    double b = hi;
+    double x1 = b - inv_phi * (b - a);
+    double x2 = a + inv_phi * (b - a);
+    double f1 = f(x1);
+    double f2 = f(x2);
+    while (b - a > tol) {
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + inv_phi * (b - a);
+            f2 = f(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - inv_phi * (b - a);
+            f1 = f(x1);
+        }
+    }
+    const double x = 0.5 * (a + b);
+    return {x, f(x)};
+}
+
+ScalarOptimum grid_refine_maximize(const std::function<double(double)>& f, double lo,
+                                   double hi, std::size_t grid_points, double tol) {
+    if (!(lo <= hi)) throw std::invalid_argument("grid_refine: lo > hi");
+    if (grid_points < 2) grid_points = 2;
+    double best_x = lo;
+    double best_v = f(lo);
+    const double h = (hi - lo) / static_cast<double>(grid_points - 1);
+    for (std::size_t i = 1; i < grid_points; ++i) {
+        const double x = lo + static_cast<double>(i) * h;
+        const double v = f(x);
+        if (v > best_v) {
+            best_v = v;
+            best_x = x;
+        }
+    }
+    // Refine inside the neighbouring cells of the best grid point.
+    const double a = std::max(lo, best_x - h);
+    const double b = std::min(hi, best_x + h);
+    const ScalarOptimum refined = golden_section_maximize(f, a, b, tol);
+    return refined.value >= best_v ? refined : ScalarOptimum{best_x, best_v};
+}
+
+VectorOptimum coordinate_ascent_maximize(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& lo, const std::vector<double>& hi, std::size_t grid_points,
+    std::size_t max_sweeps, double tol) {
+    if (lo.size() != hi.size())
+        throw std::invalid_argument("coordinate_ascent: bound size mismatch");
+    if (lo.empty()) throw std::invalid_argument("coordinate_ascent: empty bounds");
+    const std::size_t m = lo.size();
+    std::vector<double> x(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        if (!(lo[i] <= hi[i]))
+            throw std::invalid_argument("coordinate_ascent: lo > hi in some dimension");
+        x[i] = 0.5 * (lo[i] + hi[i]);
+    }
+    double best = f(x);
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        const double before = best;
+        for (std::size_t d = 0; d < m; ++d) {
+            auto slice = [&](double xi) {
+                std::vector<double> probe = x;
+                probe[d] = xi;
+                return f(probe);
+            };
+            const ScalarOptimum opt = grid_refine_maximize(slice, lo[d], hi[d], grid_points);
+            if (opt.value > best) {
+                best = opt.value;
+                x[d] = opt.x;
+            }
+        }
+        if (best - before < tol) break;
+    }
+    return {x, best};
+}
+
+} // namespace fmore::numeric

@@ -1,0 +1,90 @@
+#include "fmore/numeric/root_finding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::numeric {
+
+std::optional<double> bisect(const std::function<double(double)>& f, double lo, double hi,
+                             double tol, std::size_t max_iter) {
+    if (!(lo <= hi)) throw std::invalid_argument("bisect: lo > hi");
+    double fa = f(lo);
+    double fb = f(hi);
+    if (fa == 0.0) return lo;
+    if (fb == 0.0) return hi;
+    if ((fa > 0.0) == (fb > 0.0)) return std::nullopt;
+    double a = lo;
+    double b = hi;
+    for (std::size_t it = 0; it < max_iter && (b - a) > tol; ++it) {
+        const double mid = 0.5 * (a + b);
+        const double fm = f(mid);
+        if (fm == 0.0) return mid;
+        if ((fm > 0.0) == (fa > 0.0)) {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+std::optional<double> brent(const std::function<double(double)>& f, double lo, double hi,
+                            double tol, std::size_t max_iter) {
+    double a = lo;
+    double b = hi;
+    double fa = f(a);
+    double fb = f(b);
+    if (fa == 0.0) return a;
+    if (fb == 0.0) return b;
+    if ((fa > 0.0) == (fb > 0.0)) return std::nullopt;
+    if (std::fabs(fa) < std::fabs(fb)) {
+        std::swap(a, b);
+        std::swap(fa, fb);
+    }
+    double c = a;
+    double fc = fa;
+    bool used_bisection = true;
+    double d = 0.0;
+    for (std::size_t it = 0; it < max_iter; ++it) {
+        if (fb == 0.0 || std::fabs(b - a) < tol) return b;
+        double s;
+        if (fa != fc && fb != fc) {
+            // Inverse quadratic interpolation.
+            s = a * fb * fc / ((fa - fb) * (fa - fc)) + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb));
+        } else {
+            // Secant step.
+            s = b - fb * (b - a) / (fb - fa);
+        }
+        const double lo_bound = (3.0 * a + b) / 4.0;
+        const bool out_of_range = !((s > std::min(lo_bound, b)) && (s < std::max(lo_bound, b)));
+        const bool slow_prev = used_bisection ? std::fabs(s - b) >= std::fabs(b - c) / 2.0
+                                              : std::fabs(s - b) >= std::fabs(c - d) / 2.0;
+        const bool tiny_prev = used_bisection ? std::fabs(b - c) < tol : std::fabs(c - d) < tol;
+        if (out_of_range || slow_prev || tiny_prev) {
+            s = 0.5 * (a + b);
+            used_bisection = true;
+        } else {
+            used_bisection = false;
+        }
+        const double fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if ((fa > 0.0) != (fs > 0.0)) {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if (std::fabs(fa) < std::fabs(fb)) {
+            std::swap(a, b);
+            std::swap(fa, fb);
+        }
+    }
+    return b;
+}
+
+} // namespace fmore::numeric

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::stats {
+
+/// Abstract continuous distribution on a bounded support.
+///
+/// The paper's private-cost parameter theta is "independently and identically
+/// distributed over [theta_lo, theta_hi] with positive, continuously
+/// differentiable density f" (Section III.A(2)). Concrete families below
+/// satisfy that; `EmpiricalCdf` (separate header) covers the "learned from
+/// historical data" case.
+class Distribution {
+public:
+    virtual ~Distribution() = default;
+
+    /// Cumulative distribution function F(x); clamps outside the support.
+    [[nodiscard]] virtual double cdf(double x) const = 0;
+
+    /// Density f(x); zero outside the support.
+    [[nodiscard]] virtual double pdf(double x) const = 0;
+
+    /// Inverse CDF (quantile) for p in [0,1].
+    [[nodiscard]] virtual double quantile(double p) const = 0;
+
+    /// Support bounds [lo, hi].
+    [[nodiscard]] virtual double support_lo() const = 0;
+    [[nodiscard]] virtual double support_hi() const = 0;
+
+    /// Draw a sample.
+    [[nodiscard]] virtual double sample(Rng& rng) const;
+};
+
+/// Uniform distribution on [lo, hi]; the default theta model in our
+/// simulations (matching the paper's lack of a stated family).
+class UniformDistribution final : public Distribution {
+public:
+    UniformDistribution(double lo, double hi);
+
+    [[nodiscard]] double cdf(double x) const override;
+    [[nodiscard]] double pdf(double x) const override;
+    [[nodiscard]] double quantile(double p) const override;
+    [[nodiscard]] double support_lo() const override { return lo_; }
+    [[nodiscard]] double support_hi() const override { return hi_; }
+
+private:
+    double lo_;
+    double hi_;
+};
+
+/// Normal distribution truncated to [lo, hi]; models clustered cost
+/// parameters (most nodes near the mean, a few cheap/expensive outliers).
+class TruncatedNormalDistribution final : public Distribution {
+public:
+    TruncatedNormalDistribution(double mean, double stddev, double lo, double hi);
+
+    [[nodiscard]] double cdf(double x) const override;
+    [[nodiscard]] double pdf(double x) const override;
+    [[nodiscard]] double quantile(double p) const override;
+    [[nodiscard]] double support_lo() const override { return lo_; }
+    [[nodiscard]] double support_hi() const override { return hi_; }
+
+private:
+    [[nodiscard]] double phi(double z) const;      // standard normal pdf
+    [[nodiscard]] double big_phi(double z) const;  // standard normal cdf
+
+    double mean_;
+    double stddev_;
+    double lo_;
+    double hi_;
+    double z_lo_;
+    double z_hi_;
+    double mass_; // big_phi(z_hi_) - big_phi(z_lo_)
+};
+
+/// Power-law-shaped Beta(a,b) rescaled to [lo, hi]. With a<b mass sits near
+/// lo (many low-cost nodes); with a>b near hi. Used in ablations on how the
+/// theta distribution shifts equilibrium payments.
+class ScaledBetaDistribution final : public Distribution {
+public:
+    ScaledBetaDistribution(double alpha, double beta, double lo, double hi);
+
+    [[nodiscard]] double cdf(double x) const override;
+    [[nodiscard]] double pdf(double x) const override;
+    [[nodiscard]] double quantile(double p) const override;
+    [[nodiscard]] double support_lo() const override { return lo_; }
+    [[nodiscard]] double support_hi() const override { return hi_; }
+
+private:
+    [[nodiscard]] double regularized_incomplete_beta(double x) const;
+
+    double alpha_;
+    double beta_;
+    double lo_;
+    double hi_;
+    double log_beta_fn_; // log B(alpha, beta)
+};
+
+} // namespace fmore::stats

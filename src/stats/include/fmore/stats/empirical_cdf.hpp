@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "fmore/stats/distributions.hpp"
+
+namespace fmore::stats {
+
+/// Empirical CDF with linear interpolation between order statistics.
+///
+/// The paper (Section III.A(2)) has each edge node "learn its private cost
+/// parameter theta and get the CDF F(theta) from the historical data". This
+/// class is that learned F: it is built from past theta observations and
+/// plugs into the equilibrium solver exactly like an analytic Distribution.
+///
+/// The interpolated form (rather than the step function) keeps F continuous
+/// and strictly increasing between the sample extremes, which the
+/// equilibrium machinery needs (the paper assumes a positive density f).
+class EmpiricalCdf final : public Distribution {
+public:
+    /// Build from raw samples; throws if fewer than two distinct values.
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    [[nodiscard]] double cdf(double x) const override;
+    /// Piecewise-constant density implied by the interpolated CDF.
+    [[nodiscard]] double pdf(double x) const override;
+    [[nodiscard]] double quantile(double p) const override;
+    [[nodiscard]] double support_lo() const override { return sorted_.front(); }
+    [[nodiscard]] double support_hi() const override { return sorted_.back(); }
+
+    [[nodiscard]] std::size_t sample_count() const { return sorted_.size(); }
+
+    /// Kolmogorov-Smirnov distance to a reference distribution, evaluated at
+    /// the sample points. Used by tests to show the learned F converges to
+    /// the true theta distribution as history grows.
+    [[nodiscard]] double ks_distance(const Distribution& reference) const;
+
+private:
+    std::vector<double> sorted_;
+};
+
+} // namespace fmore::stats

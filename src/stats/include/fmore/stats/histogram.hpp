@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fmore::stats {
+
+/// Fixed-width histogram over [lo, hi].
+///
+/// Fig. 8 of the paper plots "the distribution of score" — the proportion of
+/// winners falling in each score bucket against the whole population. The
+/// bench harness builds those series from this type.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bin_count);
+
+    void add(double x);
+    void add_all(const std::vector<double>& xs);
+
+    [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+    [[nodiscard]] std::size_t count(std::size_t bin) const;
+    [[nodiscard]] std::size_t total() const { return total_; }
+    /// Fraction of all observations in `bin` (0 if histogram is empty).
+    [[nodiscard]] double proportion(std::size_t bin) const;
+    /// Inclusive-exclusive bounds of `bin`.
+    [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+    /// Midpoint of `bin` (x-axis value for plotting).
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace fmore::stats

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fmore::stats {
+
+/// Deterministic, seedable random source used across the whole project.
+///
+/// All stochastic components (cost-parameter draws, resource dynamics,
+/// dataset synthesis, tie-breaking coin flips, psi-FMore acceptance) take a
+/// `Rng&` so experiments are reproducible from a single seed, mirroring the
+/// paper's "average of five experiments" protocol where each trial gets its
+/// own derived seed.
+class Rng {
+public:
+    using engine_type = std::mt19937_64;
+
+    explicit Rng(std::uint64_t seed = 0x5eedf00dULL) : engine_(seed) {}
+
+    /// Uniform real in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Standard normal draw scaled to (mean, stddev).
+    double normal(double mean, double stddev);
+
+    /// Bernoulli trial; the paper's coin flip for score ties and the
+    /// psi-FMore per-node acceptance test.
+    bool bernoulli(double p_true);
+
+    /// Fisher-Yates shuffle of an index vector.
+    void shuffle(std::vector<std::size_t>& items);
+
+    /// Sample `k` distinct indices from [0, n) without replacement.
+    std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+    /// Derive an independent child generator (for per-trial / per-node
+    /// streams); uses splitmix-style mixing of the next engine output.
+    Rng split();
+
+    engine_type& engine() { return engine_; }
+
+private:
+    engine_type engine_;
+};
+
+} // namespace fmore::stats

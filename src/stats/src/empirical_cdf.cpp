@@ -1,0 +1,65 @@
+#include "fmore/stats/empirical_cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+    if (sorted_.size() < 2)
+        throw std::invalid_argument("EmpiricalCdf: need at least 2 samples");
+    std::sort(sorted_.begin(), sorted_.end());
+    if (sorted_.front() == sorted_.back())
+        throw std::invalid_argument("EmpiricalCdf: all samples identical");
+}
+
+double EmpiricalCdf::cdf(double x) const {
+    if (x <= sorted_.front()) return 0.0;
+    if (x >= sorted_.back()) return 1.0;
+    // Position of x among order statistics; interpolate the plotting
+    // positions i/(n-1) so that F(min)=0 and F(max)=1.
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    const auto hi_idx = static_cast<std::size_t>(it - sorted_.begin());
+    const std::size_t lo_idx = hi_idx - 1;
+    const double x_lo = sorted_[lo_idx];
+    const double x_hi = sorted_[hi_idx];
+    const double n1 = static_cast<double>(sorted_.size() - 1);
+    const double f_lo = static_cast<double>(lo_idx) / n1;
+    const double f_hi = static_cast<double>(hi_idx) / n1;
+    if (x_hi == x_lo) return f_hi;
+    return f_lo + (f_hi - f_lo) * (x - x_lo) / (x_hi - x_lo);
+}
+
+double EmpiricalCdf::pdf(double x) const {
+    if (x < sorted_.front() || x > sorted_.back()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    auto hi_idx = static_cast<std::size_t>(it - sorted_.begin());
+    if (hi_idx == 0) hi_idx = 1;
+    if (hi_idx >= sorted_.size()) hi_idx = sorted_.size() - 1;
+    const std::size_t lo_idx = hi_idx - 1;
+    const double dx = sorted_[hi_idx] - sorted_[lo_idx];
+    const double n1 = static_cast<double>(sorted_.size() - 1);
+    if (dx <= 0.0) return 0.0;
+    return (1.0 / n1) / dx;
+}
+
+double EmpiricalCdf::quantile(double p) const {
+    p = std::clamp(p, 0.0, 1.0);
+    const double n1 = static_cast<double>(sorted_.size() - 1);
+    const double pos = p * n1;
+    const auto lo_idx = static_cast<std::size_t>(std::floor(pos));
+    if (lo_idx >= sorted_.size() - 1) return sorted_.back();
+    const double frac = pos - static_cast<double>(lo_idx);
+    return sorted_[lo_idx] + frac * (sorted_[lo_idx + 1] - sorted_[lo_idx]);
+}
+
+double EmpiricalCdf::ks_distance(const Distribution& reference) const {
+    double worst = 0.0;
+    for (const double x : sorted_) {
+        worst = std::max(worst, std::fabs(cdf(x) - reference.cdf(x)));
+    }
+    return worst;
+}
+
+} // namespace fmore::stats

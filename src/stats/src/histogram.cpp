@@ -1,0 +1,48 @@
+#include "fmore/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), counts_(bin_count, 0) {
+    if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+    if (bin_count == 0) throw std::invalid_argument("Histogram: need at least 1 bin");
+}
+
+void Histogram::add(double x) {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::ptrdiff_t>(std::floor(t * static_cast<double>(counts_.size())));
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+    for (const double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::count: bad bin");
+    return counts_[bin];
+}
+
+double Histogram::proportion(std::size_t bin) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_range: bad bin");
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return {lo_ + static_cast<double>(bin) * width, lo_ + static_cast<double>(bin + 1) * width};
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+    const auto [a, b] = bin_range(bin);
+    return 0.5 * (a + b);
+}
+
+} // namespace fmore::stats

@@ -1,0 +1,130 @@
+// Tests for the extension features beyond the paper's core mechanism:
+// the aggregator budget constraint (the paper's stated future work) and
+// per-node psi (its open question on identical-vs-distinct psi).
+
+#include <gtest/gtest.h>
+
+#include "fmore/auction/winner_determination.hpp"
+
+namespace fmore::auction {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+protected:
+    ExtensionsTest() : scoring_({1.0, 1.0}) {}
+
+    static std::vector<Bid> bids() {
+        // Scores 0.7, 0.6, 0.5, 0.4, 0.2 with payments 0.3/0.2/0.1/0.5/0.1.
+        return {
+            {0, {0.5, 0.5}, 0.3},   {1, {0.4, 0.4}, 0.2},  {2, {0.3, 0.3}, 0.1},
+            {3, {0.45, 0.45}, 0.5}, {4, {0.15, 0.15}, 0.1},
+        };
+    }
+
+    AdditiveScoring scoring_;
+};
+
+TEST_F(ExtensionsTest, ZeroBudgetMeansUnconstrained) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 4;
+    cfg.budget = 0.0;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(1);
+    EXPECT_EQ(wd.run(bids(), rng).winners.size(), 4u);
+}
+
+TEST_F(ExtensionsTest, BudgetTruncatesWinnerPrefix) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 4;
+    cfg.budget = 0.55; // 0.3 + 0.2 fits; +0.1 would need 0.6
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(2);
+    const auto outcome = wd.run(bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 2u);
+    EXPECT_EQ(outcome.winners[0].node, 0u);
+    EXPECT_EQ(outcome.winners[1].node, 1u);
+    double spent = 0.0;
+    for (const Winner& w : outcome.winners) spent += w.payment;
+    EXPECT_LE(spent, cfg.budget + 1e-12);
+}
+
+TEST_F(ExtensionsTest, BudgetDoesNotSkipToCheaperBids) {
+    // The truncation is a prefix: node 2 (cheap, 0.1) must NOT be admitted
+    // once node 1 broke the budget — skipping would reward underbidding a
+    // slot you could not honestly win.
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 3;
+    cfg.budget = 0.35; // node 0 fits (0.3); node 1 (0.2) breaks the budget
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(3);
+    const auto outcome = wd.run(bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 1u);
+    EXPECT_EQ(outcome.winners[0].node, 0u);
+}
+
+TEST_F(ExtensionsTest, BudgetSmallerThanBestBidYieldsNoWinners) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    cfg.budget = 0.05;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(4);
+    EXPECT_TRUE(wd.run(bids(), rng).winners.empty());
+}
+
+TEST_F(ExtensionsTest, BudgetAppliesToSecondPricePayments) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    cfg.payment_rule = PaymentRule::second_price;
+    // Second-price payments: winner 0 pays 1.0-0.5=0.5, winner 1 pays 0.3.
+    cfg.budget = 0.6;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(5);
+    const auto outcome = wd.run(bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 1u);
+    EXPECT_NEAR(outcome.winners[0].payment, 0.5, 1e-12);
+}
+
+TEST_F(ExtensionsTest, PerNodePsiOverridesGlobal) {
+    // Node 4 has psi = 1 while everyone else has ~0: node 4 must win a slot
+    // almost immediately despite ranking last.
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    cfg.psi = 0.05;
+    cfg.psi_per_node.assign(5, 0.05);
+    cfg.psi_per_node[4] = 1.0;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(6);
+    int node4_wins = 0;
+    constexpr int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+        for (const Winner& w : wd.run(bids(), rng).winners) {
+            if (w.node == 4) ++node4_wins;
+        }
+    }
+    EXPECT_GT(node4_wins, trials / 2);
+}
+
+TEST_F(ExtensionsTest, PerNodePsiFallsBackToGlobalForUnlistedNodes) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 5;
+    cfg.psi = 1.0;
+    cfg.psi_per_node = {1.0, 1.0}; // nodes 2..4 use the global psi = 1
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(7);
+    EXPECT_EQ(wd.run(bids(), rng).winners.size(), 5u);
+}
+
+TEST_F(ExtensionsTest, PerNodePsiStillFillsK) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 3;
+    cfg.psi = 0.5;
+    cfg.psi_per_node.assign(5, 0.1);
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(8);
+    for (int t = 0; t < 50; ++t) {
+        EXPECT_EQ(wd.run(bids(), rng).winners.size(), 3u);
+    }
+}
+
+} // namespace
+} // namespace fmore::auction

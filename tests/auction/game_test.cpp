@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "fmore/auction/game.hpp"
+
+namespace fmore::auction {
+namespace {
+
+class GameTest : public ::testing::Test {
+protected:
+    GameTest() : scoring_(25.0, 2), cost_({3.0, 3.0}), theta_(0.5, 1.5) {}
+
+    AuctionGame make_game(std::size_t n, std::size_t k,
+                          PaymentRule rule = PaymentRule::first_price) const {
+        EquilibriumConfig eq;
+        eq.num_bidders = n;
+        eq.num_winners = k;
+        WinnerDeterminationConfig wd;
+        wd.num_winners = k;
+        wd.payment_rule = rule;
+        return AuctionGame(scoring_, cost_, theta_, {0.01, 0.01}, {1.0, 1.0}, eq, wd);
+    }
+
+    ScaledProductScoring scoring_;
+    AdditiveCost cost_;
+    stats::UniformDistribution theta_;
+};
+
+TEST_F(GameTest, ProducesExactlyKWinners) {
+    const auto game = make_game(50, 10);
+    stats::Rng rng(1);
+    const GameResult result = game.play(rng);
+    EXPECT_EQ(result.outcome.winners.size(), 10u);
+    EXPECT_EQ(result.outcome.ranking.size(), 50u);
+    EXPECT_EQ(result.thetas.size(), 50u);
+}
+
+TEST_F(GameTest, WinnersAreLowestThetaTypes) {
+    // With i.i.d. strategies and no caps, scores decrease in theta, so the
+    // winner set must be the K smallest types.
+    const auto game = make_game(40, 8);
+    stats::Rng rng(2);
+    const GameResult result = game.play(rng);
+    std::vector<double> sorted = result.thetas;
+    std::sort(sorted.begin(), sorted.end());
+    const double cutoff = sorted[8 - 1];
+    for (const Winner& w : result.outcome.winners) {
+        EXPECT_LE(result.thetas[w.node], cutoff + 1e-9);
+    }
+}
+
+TEST_F(GameTest, AggregatorProfitNonNegative) {
+    // V = sum (U(q) - p) with U = s; equilibrium payments shade below s(q)
+    // for this configuration, so the aggregator's IR constraint holds.
+    const auto game = make_game(60, 12);
+    stats::Rng rng(3);
+    for (int t = 0; t < 5; ++t) {
+        const GameResult result = game.play(rng);
+        EXPECT_GE(result.aggregator_profit, 0.0);
+        EXPECT_GE(result.social_surplus, 0.0);
+    }
+}
+
+TEST_F(GameTest, WinnerProfitsNonNegative) {
+    const auto game = make_game(30, 6);
+    stats::Rng rng(4);
+    const GameResult result = game.play(rng);
+    for (const Winner& w : result.outcome.winners) {
+        const double theta = result.thetas[w.node];
+        const QualityVector q = game.strategy().quality(theta);
+        EXPECT_GE(w.payment, cost_.cost(q, theta) - 1e-9);
+    }
+}
+
+TEST_F(GameTest, SecondPricePaysAtLeastFirstPriceAsk) {
+    const auto game = make_game(30, 6, PaymentRule::second_price);
+    stats::Rng rng(5);
+    const GameResult result = game.play(rng);
+    for (const Winner& w : result.outcome.winners) {
+        const double theta = result.thetas[w.node];
+        EXPECT_GE(w.payment, game.strategy().payment(theta) - 1e-9);
+    }
+}
+
+TEST_F(GameTest, PlayWithTypesIsDeterministicGivenRng) {
+    const auto game = make_game(20, 4);
+    std::vector<double> types;
+    stats::Rng seed_rng(6);
+    for (int i = 0; i < 20; ++i) types.push_back(theta_.sample(seed_rng));
+    stats::Rng r1(7);
+    stats::Rng r2(7);
+    const GameResult a = game.play_with_types(types, r1);
+    const GameResult b = game.play_with_types(types, r2);
+    ASSERT_EQ(a.outcome.winners.size(), b.outcome.winners.size());
+    for (std::size_t i = 0; i < a.outcome.winners.size(); ++i) {
+        EXPECT_EQ(a.outcome.winners[i].node, b.outcome.winners[i].node);
+        EXPECT_DOUBLE_EQ(a.outcome.winners[i].payment, b.outcome.winners[i].payment);
+    }
+}
+
+TEST_F(GameTest, MismatchedKRejected) {
+    EquilibriumConfig eq;
+    eq.num_bidders = 20;
+    eq.num_winners = 4;
+    WinnerDeterminationConfig wd;
+    wd.num_winners = 5;
+    EXPECT_THROW(
+        AuctionGame(scoring_, cost_, theta_, {0.01, 0.01}, {1.0, 1.0}, eq, wd),
+        std::invalid_argument);
+}
+
+// Fig. 9(b) direction: mean winner payment decreases as N grows.
+TEST_F(GameTest, PaymentFallsWithMoreBidders) {
+    stats::Rng rng(8);
+    double p_small = 0.0;
+    double p_large = 0.0;
+    constexpr int reps = 8;
+    for (int t = 0; t < reps; ++t) {
+        p_small += make_game(30, 10).play(rng).mean_winner_payment;
+        p_large += make_game(120, 10).play(rng).mean_winner_payment;
+    }
+    EXPECT_LT(p_large, p_small);
+}
+
+// Fig. 10(b) direction: mean winner payment rises with K.
+TEST_F(GameTest, PaymentRisesWithMoreWinners) {
+    stats::Rng rng(9);
+    double p_small = 0.0;
+    double p_large = 0.0;
+    constexpr int reps = 8;
+    for (int t = 0; t < reps; ++t) {
+        p_small += make_game(100, 5).play(rng).mean_winner_payment;
+        p_large += make_game(100, 30).play(rng).mean_winner_payment;
+    }
+    EXPECT_GT(p_large, p_small);
+}
+
+} // namespace
+} // namespace fmore::auction

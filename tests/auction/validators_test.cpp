@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "fmore/auction/validators.hpp"
+
+namespace fmore::auction {
+namespace {
+
+class ValidatorsTest : public ::testing::Test {
+protected:
+    ValidatorsTest() : scoring_(25.0, 2), cost_({3.0, 3.0}), theta_(0.5, 1.5) {
+        EquilibriumConfig eq;
+        eq.num_bidders = 50;
+        eq.num_winners = 10;
+        strategy_ = std::make_unique<EquilibriumStrategy>(
+            EquilibriumSolver(scoring_, cost_, theta_, {0.01, 0.01}, {1.0, 1.0}, eq)
+                .solve());
+    }
+
+    ScaledProductScoring scoring_;
+    AdditiveCost cost_;
+    stats::UniformDistribution theta_;
+    std::unique_ptr<EquilibriumStrategy> strategy_;
+};
+
+// Theorem 5: under-declaring quality only lowers the score.
+TEST_F(ValidatorsTest, IncentiveCompatibilityHolds) {
+    stats::Rng rng(1);
+    const auto report = audit_incentive_compatibility(*strategy_, scoring_, rng, 512);
+    EXPECT_TRUE(report.holds()) << "violations=" << report.violations
+                                << " worst=" << report.worst_violation;
+    EXPECT_EQ(report.trials, 512u);
+}
+
+// Theorem 4: the equilibrium quality choice maximizes the social surplus
+// term of each winner, so no perturbation improves it.
+TEST_F(ValidatorsTest, ParetoEfficiencyHolds) {
+    stats::Rng rng(2);
+    const auto report = audit_pareto_efficiency(*strategy_, scoring_, cost_, {0.01, 0.01},
+                                                {1.0, 1.0}, rng, 512, 5e-3);
+    EXPECT_TRUE(report.holds()) << "improvements=" << report.improvements
+                                << " best=" << report.best_improvement;
+}
+
+TEST_F(ValidatorsTest, IndividualRationalityHolds) {
+    EXPECT_TRUE(individual_rationality_holds(*strategy_, cost_));
+}
+
+TEST_F(ValidatorsTest, SocialSurplusSumsWinners) {
+    const std::vector<QualityVector> qs{{0.5, 0.5}, {1.0, 1.0}};
+    const std::vector<double> thetas{1.0, 1.0};
+    // s = 25*q1*q2, c = 3(q1+q2): (6.25-3) + (25-6) = 22.25.
+    EXPECT_NEAR(social_surplus(scoring_, cost_, qs, thetas), 22.25, 1e-12);
+    EXPECT_THROW(social_surplus(scoring_, cost_, qs, {1.0}), std::invalid_argument);
+}
+
+// Proposition 4 closed form against a brute-force Lagrange check.
+TEST(Proposition4, RatiosMatchClosedForm) {
+    const std::vector<double> alphas{0.5, 0.3, 0.2};
+    const std::vector<double> betas{0.2, 0.3, 0.5};
+    const double theta = 1.2;
+    const double budget = 10.0;
+    const auto q = proposition4_optimal_qualities(alphas, betas, theta, budget);
+    ASSERT_EQ(q.size(), 3u);
+    // q_i*/q_j* = (alpha_i beta_j) / (alpha_j beta_i).
+    EXPECT_NEAR(q[0] / q[1], (alphas[0] * betas[1]) / (alphas[1] * betas[0]), 1e-9);
+    EXPECT_NEAR(q[1] / q[2], (alphas[1] * betas[2]) / (alphas[2] * betas[1]), 1e-9);
+    // Budget exactly exhausted: theta * sum beta q = c0.
+    double spend = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) spend += betas[i] * q[i];
+    EXPECT_NEAR(theta * spend, budget, 1e-9);
+}
+
+TEST(Proposition4, BeatsRandomAllocationsOnCobbDouglasUtility) {
+    const std::vector<double> alphas{0.6, 0.4};
+    const std::vector<double> betas{0.5, 0.5};
+    const double theta = 1.0;
+    const double budget = 4.0;
+    const auto q_star = proposition4_optimal_qualities(alphas, betas, theta, budget);
+    auto utility = [&](const std::vector<double>& q) {
+        return std::pow(q[0], alphas[0]) * std::pow(q[1], alphas[1]);
+    };
+    const double best = utility(q_star);
+    stats::Rng rng(3);
+    for (int t = 0; t < 200; ++t) {
+        // Random allocation on the same budget line.
+        const double share = rng.uniform(0.01, 0.99);
+        const std::vector<double> q{share * budget / (theta * betas[0]),
+                                    (1.0 - share) * budget / (theta * betas[1])};
+        EXPECT_LE(utility(q), best + 1e-9);
+    }
+}
+
+TEST(Proposition4, RejectsBadInput) {
+    EXPECT_THROW(proposition4_optimal_qualities({0.5}, {0.5, 0.5}, 1.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(proposition4_optimal_qualities({0.5}, {0.5}, 0.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(proposition4_optimal_qualities({0.5}, {0.0}, 1.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(proposition4_optimal_qualities({-0.5}, {0.5}, 1.0, 1.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fmore::auction

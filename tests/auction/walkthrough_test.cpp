@@ -1,0 +1,95 @@
+// Locks the full winner-determination pipeline to the paper's walk-through
+// (Section III.B, Fig. 3): five nodes, Leontief scoring over normalized
+// (data, bandwidth), K = 3, first price. Scores are asserted in
+// scoring_test.cpp; here we assert the *winner sets* and ranking order.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fmore/auction/winner_determination.hpp"
+
+namespace fmore::auction {
+namespace {
+
+class WalkthroughRound : public ::testing::Test {
+protected:
+    WalkthroughRound() {
+        std::vector<stats::MinMaxNormalizer> norms;
+        norms.emplace_back(1000.0, 5000.0);
+        norms.emplace_back(5.0, 100.0);
+        scoring_ = std::make_unique<LeontiefScoring>(std::vector<double>{0.5, 0.5}, norms);
+        WinnerDeterminationConfig cfg;
+        cfg.num_winners = 3;
+        cfg.payment_rule = PaymentRule::first_price;
+        determination_ = std::make_unique<WinnerDetermination>(*scoring_, cfg);
+    }
+
+    static std::set<NodeId> winner_set(const AuctionOutcome& outcome) {
+        std::set<NodeId> ids;
+        for (const Winner& w : outcome.winners) ids.insert(w.node);
+        return ids;
+    }
+
+    std::unique_ptr<LeontiefScoring> scoring_;
+    std::unique_ptr<WinnerDetermination> determination_;
+};
+
+TEST_F(WalkthroughRound, RoundOneSelectsADE) {
+    // A=0, B=1, C=2, D=3, E=4 with the paper's round-1 bids.
+    const std::vector<Bid> bids = {
+        {0, {4000.0, 85.0}, 0.20}, {1, {3000.0, 35.0}, 0.10}, {2, {3500.0, 75.0}, 0.18},
+        {3, {5000.0, 85.0}, 0.20}, {4, {5000.0, 100.0}, 0.20},
+    };
+    stats::Rng rng(1);
+    const AuctionOutcome outcome = determination_->run(bids, rng);
+    EXPECT_EQ(winner_set(outcome), (std::set<NodeId>{0, 3, 4}));
+    // Ranking order from the paper: E, D, A, C, B.
+    ASSERT_EQ(outcome.ranking.size(), 5u);
+    EXPECT_EQ(outcome.ranking[0].bid.node, 4u);
+    EXPECT_EQ(outcome.ranking[1].bid.node, 3u);
+    EXPECT_EQ(outcome.ranking[2].bid.node, 0u);
+    EXPECT_EQ(outcome.ranking[3].bid.node, 2u);
+    EXPECT_EQ(outcome.ranking[4].bid.node, 1u);
+    // First price: winners pay their asks.
+    for (const Winner& w : outcome.winners) {
+        EXPECT_DOUBLE_EQ(w.payment, bids[w.node].payment);
+    }
+}
+
+TEST_F(WalkthroughRound, RoundTwoSelectsACE) {
+    const std::vector<Bid> bids = {
+        {0, {4000.0, 85.0}, 0.16}, {1, {3500.0, 45.0}, 0.10}, {2, {4000.0, 80.0}, 0.15},
+        {3, {4000.0, 80.0}, 0.20}, {4, {5000.0, 100.0}, 0.30},
+    };
+    stats::Rng rng(2);
+    const AuctionOutcome outcome = determination_->run(bids, rng);
+    EXPECT_EQ(winner_set(outcome), (std::set<NodeId>{0, 2, 4}));
+    // Ranking order from the paper: C, A, E, D, B.
+    EXPECT_EQ(outcome.ranking[0].bid.node, 2u);
+    EXPECT_EQ(outcome.ranking[1].bid.node, 0u);
+    EXPECT_EQ(outcome.ranking[2].bid.node, 4u);
+    EXPECT_EQ(outcome.ranking[3].bid.node, 3u);
+    EXPECT_EQ(outcome.ranking[4].bid.node, 1u);
+}
+
+TEST_F(WalkthroughRound, NodeCWinsByLoweringItsAsk) {
+    // The paper's narrative: C moved from rank 4 to rank 1 between rounds by
+    // offering more data at a lower ask. Verify the mechanism responds to
+    // the ask alone, holding quality fixed.
+    const std::vector<Bid> expensive = {
+        {2, {4000.0, 80.0}, 0.30}, {0, {4000.0, 85.0}, 0.16}, {4, {5000.0, 100.0}, 0.30},
+    };
+    const std::vector<Bid> cheap = {
+        {2, {4000.0, 80.0}, 0.15}, {0, {4000.0, 85.0}, 0.16}, {4, {5000.0, 100.0}, 0.30},
+    };
+    stats::Rng rng(3);
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 1;
+    const WinnerDetermination single(*scoring_, cfg);
+    EXPECT_NE(single.run(expensive, rng).winners[0].node, 2u);
+    EXPECT_EQ(single.run(cheap, rng).winners[0].node, 2u);
+}
+
+} // namespace
+} // namespace fmore::auction

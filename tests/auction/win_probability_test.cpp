@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fmore/auction/win_probability.hpp"
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::auction {
+namespace {
+
+TEST(PaperWinProbability, MatchesCheFormAtKEqualsOne) {
+    // K=1 reduces to H^{N-1} (Che Theorem 2's exponent).
+    for (double h : {0.1, 0.4, 0.7, 0.95}) {
+        EXPECT_NEAR(paper_win_probability(h, 10, 1), std::pow(h, 9), 1e-12);
+    }
+}
+
+TEST(PaperWinProbability, CollapsesToProposition1AtKEqualsTwo) {
+    // Sum_{i=1}^{2} (1-H)^{i-1} H^{N-i} = H^{N-2}, the paper's Prop. 1 form.
+    for (double h : {0.2, 0.5, 0.8}) {
+        EXPECT_NEAR(paper_win_probability(h, 10, 2), std::pow(h, 8), 1e-12);
+    }
+}
+
+TEST(PaperWinProbability, BoundaryValues) {
+    EXPECT_DOUBLE_EQ(paper_win_probability(1.0, 100, 20), 1.0);
+    EXPECT_DOUBLE_EQ(paper_win_probability(0.0, 100, 20), 0.0);
+}
+
+TEST(PaperWinProbability, MonotoneInH) {
+    double prev = 0.0;
+    for (double h = 0.0; h <= 1.0; h += 0.01) {
+        const double g = paper_win_probability(h, 100, 20);
+        EXPECT_GE(g, prev - 1e-12);
+        prev = g;
+    }
+}
+
+TEST(ExactWinProbability, MatchesPaperAtKEqualsOne) {
+    // With one winner the exact binomial tail also collapses to H^{N-1}.
+    for (double h : {0.2, 0.6, 0.9}) {
+        EXPECT_NEAR(exact_win_probability(h, 8, 1), std::pow(h, 7), 1e-10);
+    }
+}
+
+TEST(ExactWinProbability, MonteCarloAgreement) {
+    // Simulate N-1 opponents with uniform score CDF; count how often fewer
+    // than K beat the bidder's quantile-h score.
+    stats::Rng rng(5);
+    const std::size_t n = 20;
+    const std::size_t k = 5;
+    const double h = 0.65;
+    int wins = 0;
+    constexpr int trials = 40000;
+    for (int t = 0; t < trials; ++t) {
+        int above = 0;
+        for (std::size_t o = 0; o + 1 < n; ++o) {
+            if (rng.uniform(0.0, 1.0) > h) ++above;
+        }
+        if (above < static_cast<int>(k)) ++wins;
+    }
+    EXPECT_NEAR(static_cast<double>(wins) / trials, exact_win_probability(h, n, k), 0.01);
+}
+
+TEST(ExactWinProbability, AlwaysAtLeastPaperForm) {
+    // Dropping the binomial coefficients can only shrink the sum; the
+    // paper's g(u) underestimates the true win probability for K >= 2
+    // (relevant to the ablation bench).
+    for (double h = 0.05; h < 1.0; h += 0.05) {
+        EXPECT_GE(exact_win_probability(h, 50, 10) + 1e-12,
+                  paper_win_probability(h, 50, 10));
+    }
+}
+
+TEST(WinProbability, DispatchesOnModel) {
+    const double h = 0.5;
+    EXPECT_DOUBLE_EQ(win_probability(WinModel::paper, h, 30, 6),
+                     paper_win_probability(h, 30, 6));
+    EXPECT_DOUBLE_EQ(win_probability(WinModel::exact, h, 30, 6),
+                     exact_win_probability(h, 30, 6));
+}
+
+TEST(WinProbability, RejectsDegenerateGames) {
+    EXPECT_THROW(paper_win_probability(0.5, 10, 0), std::invalid_argument);
+    EXPECT_THROW(paper_win_probability(0.5, 10, 10), std::invalid_argument);
+    EXPECT_THROW(exact_win_probability(0.5, 5, 5), std::invalid_argument);
+}
+
+TEST(LogBinomial, SmallValuesExact) {
+    EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+    EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 0)), 1.0, 1e-9);
+    EXPECT_NEAR(std::exp(log_binomial_coefficient(52, 5)), 2598960.0, 1e-3);
+    EXPECT_THROW(log_binomial_coefficient(3, 4), std::invalid_argument);
+}
+
+TEST(PsiSuccess, NegBinomialMatchesMonteCarlo) {
+    // Scan nodes in order, accept each with prob psi; success = K accepted
+    // within N. This is the construction behind psi-FMore.
+    stats::Rng rng(9);
+    const std::size_t n = 30;
+    const std::size_t k = 6;
+    const double psi = 0.4;
+    int success = 0;
+    constexpr int trials = 30000;
+    for (int t = 0; t < trials; ++t) {
+        std::size_t accepted = 0;
+        for (std::size_t i = 0; i < n && accepted < k; ++i) {
+            if (rng.bernoulli(psi)) ++accepted;
+        }
+        if (accepted == k) ++success;
+    }
+    EXPECT_NEAR(static_cast<double>(success) / trials,
+                psi_success_probability_negbinomial(psi, n, k), 0.01);
+}
+
+TEST(PsiSuccess, ApproachesOneForLargeN) {
+    // "the probability Pr(psi) approaches to one with many appropriate
+    // parameters" (Section III.C).
+    EXPECT_GT(psi_success_probability_negbinomial(0.5, 200, 20), 0.999);
+    EXPECT_GT(psi_success_probability_negbinomial(0.2, 400, 20), 0.999);
+}
+
+TEST(PsiSuccess, PsiOneIsCertainty) {
+    EXPECT_NEAR(psi_success_probability_negbinomial(1.0, 50, 10), 1.0, 1e-12);
+}
+
+TEST(PsiSuccess, MonotoneInPsi) {
+    double prev = 0.0;
+    for (double psi = 0.05; psi <= 1.0; psi += 0.05) {
+        const double p = psi_success_probability_negbinomial(psi, 40, 10);
+        EXPECT_GE(p, prev - 1e-12);
+        prev = p;
+    }
+}
+
+TEST(PsiSuccess, PaperFormulaOvercounts) {
+    // The paper prints C(i+K, i) instead of the negative-binomial
+    // C(i+K-1, i); quantify that the printed form exceeds a probability.
+    const double paper = psi_success_probability_paper(0.5, 30, 6);
+    const double negbin = psi_success_probability_negbinomial(0.5, 30, 6);
+    EXPECT_GT(paper, negbin);
+    EXPECT_GT(paper, 1.0); // not a normalized probability
+    EXPECT_LE(negbin, 1.0);
+}
+
+} // namespace
+} // namespace fmore::auction

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fmore/auction/winner_determination.hpp"
+
+namespace fmore::auction {
+namespace {
+
+class WinnerDeterminationTest : public ::testing::Test {
+protected:
+    WinnerDeterminationTest() : scoring_({1.0, 1.0}) {}
+
+    static std::vector<Bid> five_bids() {
+        // Quality scores: 1.0, 0.8, 0.6, 0.9, 0.3; payments chosen so
+        // ranking is E? compute S: 0.7, 0.6, 0.5, 0.4, 0.2.
+        return {
+            {0, {0.5, 0.5}, 0.3},  // s=1.0 S=0.7
+            {1, {0.4, 0.4}, 0.2},  // s=0.8 S=0.6
+            {2, {0.3, 0.3}, 0.1},  // s=0.6 S=0.5
+            {3, {0.45, 0.45}, 0.5},// s=0.9 S=0.4
+            {4, {0.15, 0.15}, 0.1},// s=0.3 S=0.2
+        };
+    }
+
+    AdditiveScoring scoring_;
+};
+
+TEST_F(WinnerDeterminationTest, TopKByScore) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 3;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(1);
+    const auto outcome = wd.run(five_bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 3u);
+    EXPECT_EQ(outcome.winners[0].node, 0u);
+    EXPECT_EQ(outcome.winners[1].node, 1u);
+    EXPECT_EQ(outcome.winners[2].node, 2u);
+}
+
+TEST_F(WinnerDeterminationTest, RankingIsDescendingAndComplete) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(2);
+    const auto outcome = wd.run(five_bids(), rng);
+    ASSERT_EQ(outcome.ranking.size(), 5u);
+    for (std::size_t i = 1; i < outcome.ranking.size(); ++i) {
+        EXPECT_GE(outcome.ranking[i - 1].score, outcome.ranking[i].score);
+    }
+}
+
+TEST_F(WinnerDeterminationTest, FirstPricePaysBid) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    cfg.payment_rule = PaymentRule::first_price;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(3);
+    const auto outcome = wd.run(five_bids(), rng);
+    EXPECT_DOUBLE_EQ(outcome.winners[0].payment, 0.3);
+    EXPECT_DOUBLE_EQ(outcome.winners[1].payment, 0.2);
+}
+
+TEST_F(WinnerDeterminationTest, SecondPricePaysToBestLosingScore) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    cfg.payment_rule = PaymentRule::second_price;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(4);
+    const auto outcome = wd.run(five_bids(), rng);
+    // Best losing score is node 2's 0.5; winner 0 (s=1.0) is paid 1.0-0.5.
+    EXPECT_NEAR(outcome.winners[0].payment, 0.5, 1e-12);
+    // Winner 1 (s=0.8) would be paid 0.3 but bid 0.2 -> gets 0.3 >= bid.
+    EXPECT_NEAR(outcome.winners[1].payment, 0.3, 1e-12);
+}
+
+TEST_F(WinnerDeterminationTest, SecondPriceNeverBelowOwnAsk) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 4;
+    cfg.payment_rule = PaymentRule::second_price;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(5);
+    const auto outcome = wd.run(five_bids(), rng);
+    for (const Winner& w : outcome.winners) {
+        EXPECT_GE(w.payment, five_bids()[w.node].payment - 1e-12);
+    }
+}
+
+TEST_F(WinnerDeterminationTest, FewerBidsThanKSelectsAll) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 10;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(6);
+    const auto outcome = wd.run(five_bids(), rng);
+    EXPECT_EQ(outcome.winners.size(), 5u);
+}
+
+TEST_F(WinnerDeterminationTest, TiesAreBrokenRandomly) {
+    // Two identical bids; over many runs each should win the single slot
+    // about half the time ("ties are resolved by the flip of a coin").
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 1;
+    const WinnerDetermination wd(scoring_, cfg);
+    const std::vector<Bid> bids = {{0, {0.5, 0.5}, 0.2}, {1, {0.5, 0.5}, 0.2}};
+    stats::Rng rng(7);
+    int first_wins = 0;
+    constexpr int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        const auto outcome = wd.run(bids, rng);
+        if (outcome.winners[0].node == 0) ++first_wins;
+    }
+    EXPECT_NEAR(static_cast<double>(first_wins) / trials, 0.5, 0.05);
+}
+
+TEST_F(WinnerDeterminationTest, PsiOneMatchesPlainFMore) {
+    WinnerDeterminationConfig plain;
+    plain.num_winners = 3;
+    WinnerDeterminationConfig psi1;
+    psi1.num_winners = 3;
+    psi1.psi = 1.0;
+    const WinnerDetermination a(scoring_, plain);
+    const WinnerDetermination b(scoring_, psi1);
+    stats::Rng r1(8);
+    stats::Rng r2(8);
+    const auto oa = a.run(five_bids(), r1);
+    const auto ob = b.run(five_bids(), r2);
+    ASSERT_EQ(oa.winners.size(), ob.winners.size());
+    for (std::size_t i = 0; i < oa.winners.size(); ++i) {
+        EXPECT_EQ(oa.winners[i].node, ob.winners[i].node);
+    }
+}
+
+TEST_F(WinnerDeterminationTest, SmallPsiStillFillsK) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 3;
+    cfg.psi = 0.05;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(9);
+    for (int t = 0; t < 50; ++t) {
+        EXPECT_EQ(wd.run(five_bids(), rng).winners.size(), 3u);
+    }
+}
+
+TEST_F(WinnerDeterminationTest, PsiLetsLowScorersIn) {
+    // With psi = 0.3 the bottom-ranked node must win sometimes; with
+    // psi = 1 never.
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    cfg.psi = 0.3;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(10);
+    int bottom_wins = 0;
+    constexpr int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+        for (const Winner& w : wd.run(five_bids(), rng).winners) {
+            if (w.node == 4) ++bottom_wins;
+        }
+    }
+    EXPECT_GT(bottom_wins, 0);
+    EXPECT_LT(bottom_wins, trials / 2);
+}
+
+TEST_F(WinnerDeterminationTest, PsiPreservesScoreOrderBias) {
+    // Higher-ranked nodes must still win more often under psi-FMore.
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    cfg.psi = 0.5;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(11);
+    std::vector<int> wins(5, 0);
+    constexpr int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        for (const Winner& w : wd.run(five_bids(), rng).winners) ++wins[w.node];
+    }
+    EXPECT_GT(wins[0], wins[2]);
+    EXPECT_GT(wins[1], wins[3]);
+    EXPECT_GT(wins[2], wins[4]);
+}
+
+TEST_F(WinnerDeterminationTest, RejectsBadConfig) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 0;
+    EXPECT_THROW(WinnerDetermination(scoring_, cfg), std::invalid_argument);
+    cfg.num_winners = 2;
+    cfg.psi = 0.0;
+    EXPECT_THROW(WinnerDetermination(scoring_, cfg), std::invalid_argument);
+    cfg.psi = 1.5;
+    EXPECT_THROW(WinnerDetermination(scoring_, cfg), std::invalid_argument);
+}
+
+TEST_F(WinnerDeterminationTest, EmptyBidPoolYieldsNoWinners) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 3;
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(12);
+    const auto outcome = wd.run({}, rng);
+    EXPECT_TRUE(outcome.winners.empty());
+    EXPECT_TRUE(outcome.ranking.empty());
+}
+
+} // namespace
+} // namespace fmore::auction

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fmore/core/report.hpp"
+
+namespace fmore::core {
+namespace {
+
+TEST(TablePrinter, HeaderAndRows) {
+    std::ostringstream out;
+    TablePrinter table(out, {"a", "b"}, 8);
+    table.row({1.0, 2.5}, 1);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("a"), std::string::npos);
+    EXPECT_NE(text.find("b"), std::string::npos);
+    EXPECT_NE(text.find("1.0"), std::string::npos);
+    EXPECT_NE(text.find("2.5"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWrongCellCount) {
+    std::ostringstream out;
+    TablePrinter table(out, {"a", "b"});
+    EXPECT_THROW(table.row(std::vector<double>{1.0}), std::invalid_argument);
+    EXPECT_THROW(TablePrinter(out, {}), std::invalid_argument);
+}
+
+TEST(Format, FixedAndPercent) {
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(1.0, 0), "1");
+    EXPECT_EQ(percent(0.513), "51.3%");
+    EXPECT_EQ(percent(0.5, 0), "50%");
+}
+
+TEST(WriteCsv, RoundTrip) {
+    const std::string path = "/tmp/fmore_report_test.csv";
+    write_csv(path, {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}});
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,3");
+    std::getline(in, line);
+    EXPECT_EQ(line, "2,4");
+    std::remove(path.c_str());
+}
+
+TEST(WriteCsv, RaggedColumnsPadded) {
+    const std::string path = "/tmp/fmore_report_ragged.csv";
+    write_csv(path, {"x", "y"}, {{1.0}, {3.0, 4.0}});
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line); // header
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,3");
+    std::getline(in, line);
+    EXPECT_EQ(line, ",4");
+    std::remove(path.c_str());
+}
+
+TEST(WriteCsv, RejectsMismatch) {
+    EXPECT_THROW(write_csv("/tmp/x.csv", {"a"}, {{1.0}, {2.0}}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace fmore::core

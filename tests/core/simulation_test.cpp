@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "fmore/core/realworld.hpp"
+#include "fmore/core/simulation.hpp"
+
+namespace fmore::core {
+namespace {
+
+/// Tiny configuration so the whole trial runs in well under a second.
+SimulationConfig tiny_config() {
+    SimulationConfig config;
+    config.train_samples = 900;
+    config.test_samples = 300;
+    config.num_nodes = 20;
+    config.winners = 5;
+    config.rounds = 3;
+    config.data_lo = 10;
+    config.data_hi = 40;
+    config.eval_cap = 200;
+    return config;
+}
+
+TEST(SimulationTrial, BuildsConsistentWorld) {
+    const SimulationTrial trial(tiny_config(), 0);
+    EXPECT_EQ(trial.shards().size(), 20u);
+    EXPECT_EQ(trial.train_set().size(), 900u);
+    EXPECT_EQ(trial.test_set().size(), 300u);
+    EXPECT_EQ(trial.equilibrium().num_bidders(), 20u);
+    EXPECT_EQ(trial.equilibrium().num_winners(), 5u);
+}
+
+TEST(SimulationTrial, AllStrategiesRun) {
+    SimulationTrial trial(tiny_config(), 0);
+    for (const Strategy s : {Strategy::fmore, Strategy::psi_fmore, Strategy::randfl,
+                             Strategy::fixfl}) {
+        const fl::RunResult result = trial.run(s);
+        ASSERT_EQ(result.rounds.size(), 3u) << to_string(s);
+        for (const auto& round : result.rounds) {
+            EXPECT_EQ(round.selection.selected.size(), 5u);
+            EXPECT_GE(round.test_accuracy, 0.0);
+            EXPECT_LE(round.test_accuracy, 1.0);
+        }
+    }
+}
+
+TEST(SimulationTrial, FMoreRecordsAuctionArtifacts) {
+    SimulationTrial trial(tiny_config(), 0);
+    const fl::RunResult result = trial.run(Strategy::fmore);
+    EXPECT_GT(result.rounds.back().mean_winner_payment, 0.0);
+    EXPECT_EQ(trial.last_all_scores().size(), 20u);
+    for (const auto& sel : result.rounds.back().selection.selected) {
+        EXPECT_TRUE(sel.train_samples.has_value());
+    }
+}
+
+TEST(SimulationTrial, BaselinesHaveNoPayments) {
+    SimulationTrial trial(tiny_config(), 0);
+    const fl::RunResult result = trial.run(Strategy::randfl);
+    EXPECT_DOUBLE_EQ(result.rounds.back().mean_winner_payment, 0.0);
+    EXPECT_TRUE(result.rounds.back().selection.all_scores.empty());
+}
+
+TEST(SimulationTrial, TrialsAreReproducible) {
+    SimulationTrial a(tiny_config(), 1);
+    SimulationTrial b(tiny_config(), 1);
+    const auto ra = a.run(Strategy::fmore);
+    const auto rb = b.run(Strategy::fmore);
+    ASSERT_EQ(ra.rounds.size(), rb.rounds.size());
+    for (std::size_t r = 0; r < ra.rounds.size(); ++r) {
+        EXPECT_DOUBLE_EQ(ra.rounds[r].test_accuracy, rb.rounds[r].test_accuracy);
+    }
+}
+
+TEST(SimulationTrial, DifferentTrialsDiffer) {
+    SimulationTrial a(tiny_config(), 0);
+    SimulationTrial b(tiny_config(), 1);
+    const auto ra = a.run(Strategy::fmore);
+    const auto rb = b.run(Strategy::fmore);
+    bool any_diff = false;
+    for (std::size_t r = 0; r < ra.rounds.size(); ++r) {
+        if (ra.rounds[r].test_accuracy != rb.rounds[r].test_accuracy) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(DefaultSimulation, AdjustsLstmHyperparameters) {
+    const SimulationConfig img = default_simulation(DatasetKind::mnist_o);
+    const SimulationConfig txt = default_simulation(DatasetKind::hpnews);
+    EXPECT_GT(txt.learning_rate, img.learning_rate);
+    EXPECT_GT(txt.local_epochs, img.local_epochs);
+    EXPECT_EQ(txt.dataset, DatasetKind::hpnews);
+}
+
+TEST(Names, ToStringCoversAllEnumerators) {
+    EXPECT_EQ(to_string(DatasetKind::mnist_o), "MNIST-O");
+    EXPECT_EQ(to_string(DatasetKind::mnist_f), "MNIST-F");
+    EXPECT_EQ(to_string(DatasetKind::cifar10), "CIFAR-10");
+    EXPECT_EQ(to_string(DatasetKind::hpnews), "HPNews");
+    EXPECT_EQ(to_string(Strategy::fmore), "FMore");
+    EXPECT_EQ(to_string(Strategy::psi_fmore), "psi-FMore");
+    EXPECT_EQ(to_string(Strategy::randfl), "RandFL");
+    EXPECT_EQ(to_string(Strategy::fixfl), "FixFL");
+}
+
+TEST(RealWorldTrial, RunsWithWallClock) {
+    RealWorldConfig config;
+    config.train_samples = 900;
+    config.test_samples = 300;
+    config.num_nodes = 12;
+    config.winners = 4;
+    config.rounds = 2;
+    config.data_lo = 20;
+    config.data_hi = 60;
+    config.eval_cap = 150;
+    RealWorldTrial trial(config, 0);
+    const fl::RunResult fmore = trial.run(Strategy::fmore);
+    ASSERT_EQ(fmore.rounds.size(), 2u);
+    for (const auto& round : fmore.rounds) {
+        EXPECT_GT(round.round_seconds, 0.0);
+    }
+    const fl::RunResult rand = trial.run(Strategy::randfl);
+    EXPECT_GT(rand.total_seconds(), 0.0);
+}
+
+} // namespace
+} // namespace fmore::core

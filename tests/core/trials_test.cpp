@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "fmore/core/trials.hpp"
+
+namespace fmore::core {
+namespace {
+
+fl::RunResult make_run(std::vector<double> accs, double secs_per_round) {
+    fl::RunResult run;
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+        fl::RoundMetrics m;
+        m.round = i + 1;
+        m.test_accuracy = accs[i];
+        m.test_loss = 1.0 - accs[i];
+        m.mean_winner_payment = 2.0;
+        m.mean_winner_score = 3.0;
+        m.round_seconds = secs_per_round;
+        run.rounds.push_back(m);
+    }
+    return run;
+}
+
+TEST(AverageRuns, PointwiseMeans) {
+    const auto avg = average_runs({make_run({0.2, 0.4}, 10.0), make_run({0.4, 0.8}, 20.0)});
+    ASSERT_EQ(avg.rounds(), 2u);
+    EXPECT_DOUBLE_EQ(avg.accuracy[0], 0.3);
+    EXPECT_DOUBLE_EQ(avg.accuracy[1], 0.6);
+    EXPECT_DOUBLE_EQ(avg.loss[0], 0.7);
+    EXPECT_DOUBLE_EQ(avg.seconds[0], 15.0);
+    EXPECT_DOUBLE_EQ(avg.cumulative_seconds[1], 30.0);
+    EXPECT_DOUBLE_EQ(avg.payment[0], 2.0);
+    EXPECT_DOUBLE_EQ(avg.score[1], 3.0);
+}
+
+TEST(AverageRuns, RejectsMismatchedOrEmpty) {
+    EXPECT_THROW(average_runs({}), std::invalid_argument);
+    EXPECT_THROW(average_runs({make_run({0.1}, 1.0), make_run({0.1, 0.2}, 1.0)}),
+                 std::invalid_argument);
+}
+
+TEST(MeanRoundsToAccuracy, AveragesWithPenalty) {
+    // Run A reaches 0.5 at round 2, run B never does (3 rounds -> penalty 3).
+    const std::vector<fl::RunResult> runs{make_run({0.3, 0.6, 0.7}, 0.0),
+                                          make_run({0.1, 0.2, 0.3}, 0.0)};
+    EXPECT_DOUBLE_EQ(mean_rounds_to_accuracy(runs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(mean_rounds_to_accuracy(runs, 0.5, 10), 6.0);
+    EXPECT_THROW(mean_rounds_to_accuracy({}, 0.5), std::invalid_argument);
+}
+
+TEST(MeanSecondsToAccuracy, AccumulatesAndPenalizes) {
+    const std::vector<fl::RunResult> runs{make_run({0.3, 0.6}, 10.0),
+                                          make_run({0.1, 0.2}, 10.0)};
+    // Run A: 20 s to 0.5; run B: never -> total 20 s.
+    EXPECT_DOUBLE_EQ(mean_seconds_to_accuracy(runs, 0.5), 20.0);
+}
+
+} // namespace
+} // namespace fmore::core

@@ -1,0 +1,89 @@
+// The full fl-layer pipeline driven by the auction selector, exercising the
+// extension knobs end-to-end: psi acceptance, per-round budget, compliance
+// blacklisting — all through fl::Coordinator rounds.
+
+#include <gtest/gtest.h>
+
+#include "fmore/core/simulation.hpp"
+
+namespace fmore::core {
+namespace {
+
+SimulationConfig tiny() {
+    SimulationConfig config;
+    config.train_samples = 900;
+    config.test_samples = 200;
+    config.num_nodes = 20;
+    config.winners = 5;
+    config.rounds = 3;
+    config.data_lo = 10;
+    config.data_hi = 40;
+    config.eval_cap = 100;
+    return config;
+}
+
+TEST(AuctionPipeline, BudgetLimitsWinnersPerRound) {
+    SimulationConfig config = tiny();
+    // First find the unconstrained per-round spend.
+    double spend = 0.0;
+    {
+        SimulationTrial probe(config, 0);
+        const auto run = probe.run(Strategy::fmore);
+        for (const auto& sel : run.rounds.front().selection.selected) {
+            spend += sel.payment;
+        }
+    }
+    config.budget = 0.5 * spend;
+    SimulationTrial trial(config, 0);
+    const auto run = trial.run(Strategy::fmore);
+    for (const auto& round : run.rounds) {
+        EXPECT_LT(round.selection.selected.size(), 5u);
+        EXPECT_GE(round.selection.selected.size(), 1u);
+        double round_spend = 0.0;
+        for (const auto& sel : round.selection.selected) round_spend += sel.payment;
+        EXPECT_LE(round_spend, config.budget + 1e-9);
+    }
+}
+
+TEST(AuctionPipeline, GenerousBudgetChangesNothing) {
+    SimulationConfig config = tiny();
+    SimulationTrial base_trial(config, 0);
+    const auto base = base_trial.run(Strategy::fmore);
+    config.budget = 1e9;
+    SimulationTrial rich_trial(config, 0);
+    const auto rich = rich_trial.run(Strategy::fmore);
+    ASSERT_EQ(base.rounds.size(), rich.rounds.size());
+    for (std::size_t r = 0; r < base.rounds.size(); ++r) {
+        EXPECT_EQ(base.rounds[r].selection.selected.size(),
+                  rich.rounds[r].selection.selected.size());
+        EXPECT_DOUBLE_EQ(base.rounds[r].test_accuracy, rich.rounds[r].test_accuracy);
+    }
+}
+
+TEST(AuctionPipeline, PsiRunsProduceFullWinnerSets) {
+    SimulationConfig config = tiny();
+    config.psi = 0.4;
+    SimulationTrial trial(config, 0);
+    const auto run = trial.run(Strategy::psi_fmore);
+    for (const auto& round : run.rounds) {
+        EXPECT_EQ(round.selection.selected.size(), 5u);
+    }
+}
+
+TEST(AuctionPipeline, ScoresByNodeAlignWithAllScores) {
+    SimulationTrial trial(tiny(), 0);
+    const auto run = trial.run(Strategy::fmore);
+    for (const auto& round : run.rounds) {
+        const auto& by_node = round.selection.scores_by_node;
+        ASSERT_EQ(by_node.size(), 20u);
+        std::vector<double> sorted = by_node;
+        std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+        ASSERT_EQ(sorted.size(), round.selection.all_scores.size());
+        for (std::size_t i = 0; i < sorted.size(); ++i) {
+            EXPECT_NEAR(sorted[i], round.selection.all_scores[i], 1e-9);
+        }
+    }
+}
+
+} // namespace
+} // namespace fmore::core

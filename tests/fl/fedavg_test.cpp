@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "fmore/fl/fedavg.hpp"
+
+namespace fmore::fl {
+namespace {
+
+TEST(FedAvg, EqualWeightsIsMean) {
+    const std::vector<std::vector<float>> params{{1.0F, 2.0F}, {3.0F, 4.0F}};
+    const auto avg = federated_average(params, {1.0, 1.0});
+    EXPECT_FLOAT_EQ(avg[0], 2.0F);
+    EXPECT_FLOAT_EQ(avg[1], 3.0F);
+}
+
+TEST(FedAvg, WeightsByDataSize) {
+    // Paper Eq. 3: w = sum D_i w_i / sum D_i.
+    const std::vector<std::vector<float>> params{{0.0F}, {10.0F}};
+    const auto avg = federated_average(params, {3.0, 1.0});
+    EXPECT_FLOAT_EQ(avg[0], 2.5F);
+}
+
+TEST(FedAvg, SingleClientIsIdentity) {
+    const std::vector<std::vector<float>> params{{5.0F, -1.0F, 2.0F}};
+    const auto avg = federated_average(params, {42.0});
+    EXPECT_EQ(avg, params[0]);
+}
+
+TEST(FedAvg, InvariantToWeightScale) {
+    const std::vector<std::vector<float>> params{{1.0F}, {2.0F}, {3.0F}};
+    const auto a = federated_average(params, {1.0, 2.0, 3.0});
+    const auto b = federated_average(params, {10.0, 20.0, 30.0});
+    EXPECT_NEAR(a[0], b[0], 1e-6);
+}
+
+TEST(FedAvg, RejectsBadInput) {
+    EXPECT_THROW(federated_average({}, {}), std::invalid_argument);
+    EXPECT_THROW(federated_average({{1.0F}}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(federated_average({{1.0F}, {1.0F, 2.0F}}, {1.0, 1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(federated_average({{1.0F}}, {0.0}), std::invalid_argument);
+    EXPECT_THROW(federated_average({{1.0F}}, {-1.0}), std::invalid_argument);
+}
+
+TEST(FedAvg, AccumulatesInDoublePrecision) {
+    // Many small-weight clients must not lose mass to float rounding.
+    std::vector<std::vector<float>> params(1000, {1.0F});
+    std::vector<double> weights(1000, 1.0);
+    const auto avg = federated_average(params, weights);
+    EXPECT_NEAR(avg[0], 1.0F, 1e-6);
+}
+
+} // namespace
+} // namespace fmore::fl

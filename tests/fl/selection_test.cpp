@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fmore/fl/selection.hpp"
+
+namespace fmore::fl {
+namespace {
+
+TEST(RandomSelector, PicksKDistinctClients) {
+    RandomSelector selector(100);
+    stats::Rng rng(1);
+    const auto record = selector.select(1, 20, rng);
+    EXPECT_EQ(record.selected.size(), 20u);
+    std::set<std::size_t> unique;
+    for (const auto& sel : record.selected) {
+        EXPECT_LT(sel.client, 100u);
+        unique.insert(sel.client);
+        EXPECT_FALSE(sel.train_samples.has_value());
+    }
+    EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(RandomSelector, UniformOverRounds) {
+    RandomSelector selector(10);
+    stats::Rng rng(2);
+    std::vector<int> counts(10, 0);
+    constexpr int rounds = 5000;
+    for (int r = 0; r < rounds; ++r) {
+        for (const auto& sel : selector.select(r, 3, rng).selected) ++counts[sel.client];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / rounds, 0.3, 0.03);
+    }
+}
+
+TEST(RandomSelector, CapsAtPopulation) {
+    RandomSelector selector(5);
+    stats::Rng rng(3);
+    EXPECT_EQ(selector.select(1, 10, rng).selected.size(), 5u);
+    EXPECT_THROW(RandomSelector(0), std::invalid_argument);
+}
+
+TEST(FixedSelector, SameSetEveryRound) {
+    stats::Rng init(4);
+    FixedSelector selector(50, 8, init);
+    stats::Rng rng(5);
+    const auto first = selector.select(1, 8, rng);
+    for (int r = 2; r <= 10; ++r) {
+        const auto record = selector.select(r, 8, rng);
+        ASSERT_EQ(record.selected.size(), first.selected.size());
+        for (std::size_t i = 0; i < record.selected.size(); ++i) {
+            EXPECT_EQ(record.selected[i].client, first.selected[i].client);
+        }
+    }
+}
+
+TEST(FixedSelector, ExplicitSet) {
+    FixedSelector selector({3, 1, 4});
+    stats::Rng rng(6);
+    const auto record = selector.select(1, 3, rng);
+    EXPECT_EQ(record.selected[0].client, 3u);
+    EXPECT_EQ(record.selected[1].client, 1u);
+    EXPECT_EQ(record.selected[2].client, 4u);
+    // Asking for fewer winners truncates.
+    EXPECT_EQ(selector.select(2, 2, rng).selected.size(), 2u);
+    EXPECT_THROW(FixedSelector(std::vector<std::size_t>{}), std::invalid_argument);
+}
+
+TEST(Selectors, NamesMatchPaper) {
+    RandomSelector r(10);
+    stats::Rng init(7);
+    FixedSelector f(10, 2, init);
+    EXPECT_EQ(r.name(), "RandFL");
+    EXPECT_EQ(f.name(), "FixFL");
+}
+
+} // namespace
+} // namespace fmore::fl

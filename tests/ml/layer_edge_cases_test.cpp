@@ -1,0 +1,111 @@
+// Additional layer edge cases: multi-channel convolution against hand
+// computation, LSTM numerical stability over long sequences, pooling with
+// negative inputs, and embedding reuse across batches.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fmore/ml/conv2d.hpp"
+#include "fmore/ml/embedding.hpp"
+#include "fmore/ml/lstm.hpp"
+#include "fmore/ml/pooling.hpp"
+
+namespace fmore::ml {
+namespace {
+
+TEST(Conv2dEdge, MultiChannelSumsAcrossInputs) {
+    // Two input channels, one output, 1x1 kernel with weights (2, 3):
+    // y = 2*c0 + 3*c1 + bias.
+    Conv2d conv(2, 1, 1);
+    auto params = conv.parameters();
+    *params[0].values = {2.0F, 3.0F};
+    *params[1].values = {0.5F};
+    const Tensor x({1, 2, 2, 2}, {// channel 0
+                                  1.0F, 2.0F, 3.0F, 4.0F,
+                                  // channel 1
+                                  10.0F, 20.0F, 30.0F, 40.0F});
+    const Tensor y = conv.forward(x, false);
+    ASSERT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(y[0], 2.0F * 1.0F + 3.0F * 10.0F + 0.5F);
+    EXPECT_FLOAT_EQ(y[3], 2.0F * 4.0F + 3.0F * 40.0F + 0.5F);
+}
+
+TEST(Conv2dEdge, MultipleOutputChannelsIndependent) {
+    Conv2d conv(1, 2, 1);
+    auto params = conv.parameters();
+    *params[0].values = {1.0F, -1.0F}; // oc0 copies, oc1 negates
+    *params[1].values = {0.0F, 0.0F};
+    const Tensor x({1, 1, 1, 2}, {3.0F, -4.0F});
+    const Tensor y = conv.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], 3.0F);
+    EXPECT_FLOAT_EQ(y[1], -4.0F);
+    EXPECT_FLOAT_EQ(y[2], -3.0F);
+    EXPECT_FLOAT_EQ(y[3], 4.0F);
+}
+
+TEST(MaxPoolEdge, AllNegativeInputs) {
+    MaxPool2d pool;
+    const Tensor x({1, 1, 2, 2}, {-5.0F, -1.0F, -3.0F, -9.0F});
+    const Tensor y = pool.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], -1.0F);
+}
+
+TEST(LstmEdge, LongSequenceStaysFinite) {
+    Lstm lstm(4, 8);
+    stats::Rng rng(1);
+    lstm.initialize(rng);
+    Tensor x({1, 200, 4});
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+    const Tensor h = lstm.forward(x, false);
+    EXPECT_TRUE(h.all_finite());
+    const Tensor g = lstm.backward(Tensor({1, 8}, std::vector<float>(8, 1.0F)));
+    EXPECT_TRUE(g.all_finite());
+}
+
+TEST(LstmEdge, ZeroInputGivesBoundedStableOutput) {
+    Lstm lstm(3, 4);
+    stats::Rng rng(2);
+    lstm.initialize(rng);
+    const Tensor x({2, 6, 3}); // zeros
+    const Tensor h = lstm.forward(x, false);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+        EXPECT_LT(std::fabs(h[i]), 1.0F);
+    }
+}
+
+TEST(LstmEdge, BatchElementsAreIndependent) {
+    Lstm lstm(2, 3);
+    stats::Rng rng(3);
+    lstm.initialize(rng);
+    // Same sequence twice in one batch must give identical rows.
+    Tensor x({2, 4, 2});
+    for (std::size_t t = 0; t < 4; ++t) {
+        for (std::size_t e = 0; e < 2; ++e) {
+            const auto v = static_cast<float>(rng.uniform(-1.0, 1.0));
+            x[(0 * 4 + t) * 2 + e] = v;
+            x[(1 * 4 + t) * 2 + e] = v;
+        }
+    }
+    const Tensor h = lstm.forward(x, false);
+    for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_FLOAT_EQ(h[j], h[3 + j]);
+    }
+}
+
+TEST(EmbeddingEdge, RepeatedForwardAccumulatesGradsAcrossCalls) {
+    Embedding emb(4, 1);
+    auto params = emb.parameters();
+    *params[0].values = {0.0F, 0.0F, 0.0F, 0.0F};
+    const Tensor ids({1, 1}, {2.0F});
+    (void)emb.forward(ids, true);
+    (void)emb.backward(Tensor({1, 1, 1}, {1.0F}));
+    (void)emb.forward(ids, true);
+    (void)emb.backward(Tensor({1, 1, 1}, {1.0F}));
+    EXPECT_FLOAT_EQ((*params[0].grads)[2], 2.0F); // grads accumulate until zero_grad
+}
+
+} // namespace
+} // namespace fmore::ml

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fmore/ml/loss.hpp"
+
+namespace fmore::ml {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({2, 4});
+    const double value = loss.forward(logits, {0, 3});
+    EXPECT_NEAR(value, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectHasLowLoss) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({1, 3}, {10.0F, 0.0F, 0.0F});
+    EXPECT_LT(loss.forward(logits, {0}), 1e-3);
+    const Tensor wrong({1, 3}, {10.0F, 0.0F, 0.0F});
+    EXPECT_GT(loss.forward(wrong, {1}), 5.0);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({2, 3}, {1.0F, 2.0F, 0.5F, -1.0F, 0.0F, 1.0F});
+    (void)loss.forward(logits, {1, 2});
+    const Tensor grad = loss.backward();
+    for (std::size_t b = 0; b < 2; ++b) {
+        double row = 0.0;
+        for (std::size_t c = 0; c < 3; ++c) row += grad[b * 3 + c];
+        EXPECT_NEAR(row, 0.0, 1e-6);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, GradientSignAtLabel) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({1, 2}, {0.0F, 0.0F});
+    (void)loss.forward(logits, {0});
+    const Tensor grad = loss.backward();
+    EXPECT_LT(grad[0], 0.0F); // pushes label prob up
+    EXPECT_GT(grad[1], 0.0F);
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForLargeLogits) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({1, 3}, {1000.0F, 999.0F, 998.0F});
+    const double value = loss.forward(logits, {0});
+    EXPECT_TRUE(std::isfinite(value));
+    EXPECT_LT(value, 1.0);
+}
+
+TEST(SoftmaxCrossEntropy, PredictionsAreArgmax) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({2, 3}, {0.1F, 0.9F, 0.2F, 2.0F, -1.0F, 0.0F});
+    (void)loss.forward(logits, {0, 0});
+    const auto preds = loss.predictions();
+    EXPECT_EQ(preds[0], 1);
+    EXPECT_EQ(preds[1], 0);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadInput) {
+    SoftmaxCrossEntropy loss;
+    EXPECT_THROW(loss.forward(Tensor({2, 3}), {0}), std::invalid_argument);
+    EXPECT_THROW(loss.forward(Tensor({1, 3}), {7}), std::out_of_range);
+    SoftmaxCrossEntropy fresh;
+    EXPECT_THROW(fresh.backward(), std::logic_error);
+}
+
+TEST(Accuracy, CountsMatches) {
+    EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(accuracy({0}, {0}), 1.0);
+    EXPECT_THROW(accuracy({}, {}), std::invalid_argument);
+    EXPECT_THROW(accuracy({1}, {1, 2}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace fmore::ml

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "fmore/ml/partition.hpp"
+#include "fmore/ml/synthetic.hpp"
+
+namespace fmore::ml {
+namespace {
+
+Dataset image_data(std::size_t n, std::uint64_t seed) {
+    stats::Rng rng(seed);
+    ImageDatasetSpec spec;
+    spec.samples = n;
+    return make_synthetic_images(spec, rng);
+}
+
+TEST(PartitionNonIid, CoversDatasetWithoutOverlap) {
+    const Dataset data = image_data(1000, 1);
+    stats::Rng rng(2);
+    const auto shards = partition_non_iid(data, 20, 2, rng);
+    ASSERT_EQ(shards.size(), 20u);
+    std::set<std::size_t> seen;
+    std::size_t total = 0;
+    for (const auto& shard : shards) {
+        for (const std::size_t idx : shard.indices) {
+            EXPECT_TRUE(seen.insert(idx).second) << "duplicate sample " << idx;
+        }
+        total += shard.indices.size();
+    }
+    EXPECT_EQ(total, data.size());
+}
+
+TEST(PartitionNonIid, ShardsHaveFewLabels) {
+    // With 2 contiguous label shards each, clients should see far fewer
+    // classes than the full 10 (the non-IID property of McMahan et al.).
+    const Dataset data = image_data(2000, 3);
+    stats::Rng rng(4);
+    const auto shards = partition_non_iid(data, 50, 2, rng);
+    double mean_labels = 0.0;
+    for (const auto& shard : shards) {
+        mean_labels += static_cast<double>(shard.distinct_labels());
+    }
+    mean_labels /= 50.0;
+    EXPECT_LT(mean_labels, 4.5);
+    EXPECT_GE(mean_labels, 1.0);
+}
+
+TEST(PartitionNonIid, HistogramsMatchIndices) {
+    const Dataset data = image_data(500, 5);
+    stats::Rng rng(6);
+    const auto shards = partition_non_iid(data, 10, 2, rng);
+    for (const auto& shard : shards) {
+        std::size_t total = 0;
+        for (const std::size_t c : shard.label_count) total += c;
+        EXPECT_EQ(total, shard.indices.size());
+        for (const std::size_t idx : shard.indices) {
+            EXPECT_GT(shard.label_count[static_cast<std::size_t>(data.labels[idx])], 0u);
+        }
+    }
+}
+
+TEST(PartitionNonIid, RejectsBadArguments) {
+    const Dataset data = image_data(100, 7);
+    stats::Rng rng(8);
+    EXPECT_THROW(partition_non_iid(data, 0, 2, rng), std::invalid_argument);
+    EXPECT_THROW(partition_non_iid(data, 10, 0, rng), std::invalid_argument);
+    EXPECT_THROW(partition_non_iid(data, 200, 2, rng), std::invalid_argument);
+}
+
+TEST(PartitionNonIidVariable, ShardCountsVaryWithinRange) {
+    const Dataset data = image_data(3000, 9);
+    stats::Rng rng(10);
+    const auto shards = partition_non_iid_variable(data, 60, 1, 5, rng);
+    ASSERT_EQ(shards.size(), 60u);
+    std::set<std::size_t> label_counts;
+    for (const auto& shard : shards) {
+        EXPECT_FALSE(shard.indices.empty());
+        label_counts.insert(shard.distinct_labels());
+    }
+    // Diversity must actually vary across clients.
+    EXPECT_GE(label_counts.size(), 3u);
+}
+
+TEST(PartitionNonIidVariable, CategoryProportionInUnitRange) {
+    const Dataset data = image_data(1500, 11);
+    stats::Rng rng(12);
+    const auto shards = partition_non_iid_variable(data, 30, 1, 4, rng);
+    for (const auto& shard : shards) {
+        const double q2 = shard.category_proportion(data.num_classes);
+        EXPECT_GT(q2, 0.0);
+        EXPECT_LE(q2, 1.0);
+    }
+}
+
+TEST(PartitionIid, BalancedAndDiverse) {
+    const Dataset data = image_data(1000, 13);
+    stats::Rng rng(14);
+    const auto shards = partition_iid(data, 10, rng);
+    for (const auto& shard : shards) {
+        EXPECT_NEAR(static_cast<double>(shard.indices.size()), 100.0, 1.0);
+        // Random splits see most classes.
+        EXPECT_GE(shard.distinct_labels(), 7u);
+    }
+}
+
+TEST(ResizeShards, RespectsBoundsAndRebuildsHistograms) {
+    const Dataset data = image_data(2000, 15);
+    stats::Rng rng(16);
+    auto shards = partition_non_iid_variable(data, 20, 2, 4, rng);
+    resize_shards(shards, data, 10, 40, rng);
+    for (const auto& shard : shards) {
+        EXPECT_LE(shard.indices.size(), 40u);
+        EXPECT_GE(shard.indices.size(), 1u);
+        std::size_t total = 0;
+        for (const std::size_t c : shard.label_count) total += c;
+        EXPECT_EQ(total, shard.indices.size());
+    }
+    EXPECT_THROW(resize_shards(shards, data, 50, 40, rng), std::invalid_argument);
+}
+
+TEST(ClientShard, DistinctLabelHelpers) {
+    ClientShard shard;
+    shard.label_count = {3, 0, 1, 0};
+    EXPECT_EQ(shard.distinct_labels(), 2u);
+    EXPECT_DOUBLE_EQ(shard.category_proportion(4), 0.5);
+    EXPECT_DOUBLE_EQ(shard.category_proportion(0), 0.0);
+}
+
+} // namespace
+} // namespace fmore::ml

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "fmore/numeric/interpolation.hpp"
+
+namespace fmore::numeric {
+namespace {
+
+TEST(LinearInterpolator, ExactAtKnots) {
+    const LinearInterpolator f({0.0, 1.0, 2.0}, {5.0, 7.0, 4.0});
+    EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(f(1.0), 7.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 4.0);
+}
+
+TEST(LinearInterpolator, MidpointsAreAverages) {
+    const LinearInterpolator f({0.0, 2.0}, {0.0, 10.0});
+    EXPECT_DOUBLE_EQ(f(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(f(0.5), 2.5);
+}
+
+TEST(LinearInterpolator, ClampsOutsideRange) {
+    const LinearInterpolator f({0.0, 1.0}, {3.0, 8.0});
+    EXPECT_DOUBLE_EQ(f(-1.0), 3.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 8.0);
+}
+
+TEST(LinearInterpolator, RejectsBadKnots) {
+    EXPECT_THROW(LinearInterpolator({0.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(LinearInterpolator({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(LinearInterpolator({1.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(LinearInterpolator({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(InverseOf, InvertsIncreasingFunction) {
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys{1.0, 3.0, 7.0, 15.0};
+    const auto inv = LinearInterpolator::inverse_of(xs, ys);
+    EXPECT_DOUBLE_EQ(inv(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(inv(15.0), 3.0);
+    EXPECT_DOUBLE_EQ(inv(5.0), 1.5);
+}
+
+TEST(InverseOf, InvertsDecreasingFunction) {
+    // The equilibrium solver inverts the decreasing map theta -> u0(theta).
+    const std::vector<double> xs{0.5, 1.0, 1.5};
+    const std::vector<double> ys{21.0, 17.0, 13.0};
+    const auto inv = LinearInterpolator::inverse_of(xs, ys);
+    EXPECT_DOUBLE_EQ(inv(21.0), 0.5);
+    EXPECT_DOUBLE_EQ(inv(13.0), 1.5);
+    EXPECT_NEAR(inv(17.0), 1.0, 1e-12);
+    EXPECT_NEAR(inv(15.0), 1.25, 1e-12);
+}
+
+TEST(InverseOf, CollapsesPlateaus) {
+    // A flat stretch (equal u0 for neighbouring thetas after the isotonic
+    // cleanup) must not break inversion.
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys{10.0, 8.0, 8.0, 5.0};
+    const auto inv = LinearInterpolator::inverse_of(xs, ys);
+    EXPECT_DOUBLE_EQ(inv(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(inv(5.0), 3.0);
+}
+
+TEST(InverseOf, RejectsNonMonotone) {
+    const std::vector<double> xs{0.0, 1.0, 2.0};
+    const std::vector<double> ys{0.0, 2.0, 1.0};
+    EXPECT_THROW(LinearInterpolator::inverse_of(xs, ys), std::invalid_argument);
+}
+
+TEST(InverseOf, RoundTripsThroughForwardMap) {
+    const std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0};
+    const std::vector<double> ys{0.0, 0.25, 1.0, 2.25, 4.0}; // y = x^2 sampled
+    const LinearInterpolator fwd(xs, ys);
+    const auto inv = LinearInterpolator::inverse_of(xs, ys);
+    for (double x = 0.0; x <= 2.0; x += 0.25) {
+        EXPECT_NEAR(inv(fwd(x)), x, 1e-12);
+    }
+}
+
+} // namespace
+} // namespace fmore::numeric

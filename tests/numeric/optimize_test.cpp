@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fmore/numeric/optimize.hpp"
+
+namespace fmore::numeric {
+namespace {
+
+TEST(GoldenSection, FindsParabolaPeak) {
+    const auto opt = golden_section_maximize(
+        [](double x) { return -(x - 1.7) * (x - 1.7) + 4.0; }, 0.0, 5.0);
+    EXPECT_NEAR(opt.x, 1.7, 1e-6);
+    EXPECT_NEAR(opt.value, 4.0, 1e-10);
+}
+
+TEST(GoldenSection, PeakAtBoundary) {
+    const auto opt = golden_section_maximize([](double x) { return x; }, 0.0, 2.0);
+    EXPECT_NEAR(opt.x, 2.0, 1e-6);
+}
+
+TEST(GridRefine, HandlesMultimodal) {
+    // Two peaks; the global one is at x ~ 4.71 (height 2), local at ~1.57.
+    const auto f = [](double x) {
+        return std::sin(x) < 0 ? -2.0 * std::sin(x) : std::sin(x);
+    };
+    const auto opt = grid_refine_maximize(f, 0.0, 6.28, 64);
+    EXPECT_NEAR(opt.x, 4.712, 5e-3);
+    EXPECT_NEAR(opt.value, 2.0, 1e-5);
+}
+
+TEST(GridRefine, DegenerateIntervalReturnsPoint) {
+    const auto opt = grid_refine_maximize([](double x) { return -x * x; }, 2.0, 2.0);
+    EXPECT_DOUBLE_EQ(opt.x, 2.0);
+}
+
+TEST(GridRefine, RejectsInvertedBounds) {
+    EXPECT_THROW(grid_refine_maximize([](double x) { return x; }, 1.0, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(CoordinateAscent, SeparableQuadratic) {
+    const auto f = [](const std::vector<double>& q) {
+        return -(q[0] - 0.3) * (q[0] - 0.3) - (q[1] - 0.8) * (q[1] - 0.8);
+    };
+    const auto opt = coordinate_ascent_maximize(f, {0.0, 0.0}, {1.0, 1.0});
+    EXPECT_NEAR(opt.x[0], 0.3, 1e-4);
+    EXPECT_NEAR(opt.x[1], 0.8, 1e-4);
+}
+
+TEST(CoordinateAscent, BilinearObjectiveFindsCorner) {
+    // The paper's simulator objective s - c = 25*q1*q2 - theta*(6 q1 + 2 q2)
+    // on the unit box has its max at a corner.
+    const double theta = 0.5;
+    const auto f = [theta](const std::vector<double>& q) {
+        return 25.0 * q[0] * q[1] - theta * (6.0 * q[0] + 2.0 * q[1]);
+    };
+    const auto opt = coordinate_ascent_maximize(f, {0.0, 0.0}, {1.0, 1.0});
+    EXPECT_NEAR(opt.x[0], 1.0, 1e-6);
+    EXPECT_NEAR(opt.x[1], 1.0, 1e-6);
+    EXPECT_NEAR(opt.value, 25.0 - theta * 8.0, 1e-9);
+}
+
+TEST(CoordinateAscent, CobbDouglasInterior) {
+    // max (q1 q2)^{1/4} - (q1 + q2)/2: first-order conditions give
+    // q1 = q2 = 1/4 with value (1/16)^{1/4} - 1/4 = 1/4.
+    const auto f = [](const std::vector<double>& q) {
+        return std::pow(q[0] * q[1], 0.25) - 0.5 * (q[0] + q[1]);
+    };
+    const auto opt = coordinate_ascent_maximize(f, {0.001, 0.001}, {1.0, 1.0}, 64, 48);
+    EXPECT_NEAR(opt.x[0], 0.25, 2e-2);
+    EXPECT_NEAR(opt.x[1], 0.25, 2e-2);
+    EXPECT_NEAR(opt.value, 0.25, 1e-3);
+}
+
+TEST(CoordinateAscent, RejectsBadBounds) {
+    const auto f = [](const std::vector<double>&) { return 0.0; };
+    EXPECT_THROW(coordinate_ascent_maximize(f, {0.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(coordinate_ascent_maximize(f, {}, {}), std::invalid_argument);
+    EXPECT_THROW(coordinate_ascent_maximize(f, {1.0}, {0.0}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace fmore::numeric

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "fmore/stats/histogram.hpp"
+
+namespace fmore::stats {
+namespace {
+
+TEST(Histogram, AssignsToCorrectBins) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(2.5);  // bin 1
+    h.add(9.9);  // bin 4
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+    Histogram h(0.0, 1.0, 4);
+    h.add(-3.0);
+    h.add(5.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, UpperEdgeGoesToLastBin) {
+    Histogram h(0.0, 1.0, 4);
+    h.add(1.0);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, ProportionsSumToOne) {
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) / 10.0 + 0.05);
+    double total = 0.0;
+    for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.proportion(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyHistogramHasZeroProportions) {
+    const Histogram h(0.0, 1.0, 3);
+    EXPECT_DOUBLE_EQ(h.proportion(0), 0.0);
+}
+
+TEST(Histogram, BinGeometry) {
+    const Histogram h(100.0, 1000.0, 9);
+    const auto [lo, hi] = h.bin_range(0);
+    EXPECT_DOUBLE_EQ(lo, 100.0);
+    EXPECT_DOUBLE_EQ(hi, 200.0);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), 150.0);
+    EXPECT_DOUBLE_EQ(h.bin_center(8), 950.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+    EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, AddAllMatchesIndividualAdds) {
+    Histogram a(0.0, 1.0, 4);
+    Histogram b(0.0, 1.0, 4);
+    const std::vector<double> xs{0.1, 0.3, 0.6, 0.9, 0.2};
+    for (const double x : xs) a.add(x);
+    b.add_all(xs);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a.count(i), b.count(i));
+}
+
+} // namespace
+} // namespace fmore::stats

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "fmore/stats/normalizer.hpp"
+
+namespace fmore::stats {
+namespace {
+
+TEST(MinMaxNormalizer, MapsRangeToUnitInterval) {
+    const MinMaxNormalizer norm(1000.0, 5000.0);
+    EXPECT_DOUBLE_EQ(norm.transform(1000.0), 0.0);
+    EXPECT_DOUBLE_EQ(norm.transform(5000.0), 1.0);
+    EXPECT_DOUBLE_EQ(norm.transform(3000.0), 0.5);
+}
+
+TEST(MinMaxNormalizer, PaperWalkthroughValues) {
+    // Section III.B normalizes data in [1000, 5000] and bandwidth in
+    // [5, 100]; node A's (4000, 85Mb) maps to (0.75, 80/95).
+    const MinMaxNormalizer data(1000.0, 5000.0);
+    const MinMaxNormalizer bw(5.0, 100.0);
+    EXPECT_NEAR(data.transform(4000.0), 0.75, 1e-12);
+    EXPECT_NEAR(bw.transform(85.0), 80.0 / 95.0, 1e-12);
+}
+
+TEST(MinMaxNormalizer, ClampsOutOfRange) {
+    const MinMaxNormalizer norm(0.0, 10.0);
+    EXPECT_DOUBLE_EQ(norm.transform(-5.0), 0.0);
+    EXPECT_DOUBLE_EQ(norm.transform(15.0), 1.0);
+}
+
+TEST(MinMaxNormalizer, InverseRoundTrips) {
+    const MinMaxNormalizer norm(-4.0, 6.0);
+    for (double x : {-4.0, -1.0, 0.0, 3.7, 6.0}) {
+        EXPECT_NEAR(norm.inverse(norm.transform(x)), x, 1e-12);
+    }
+}
+
+TEST(MinMaxNormalizer, FitFromValues) {
+    const auto norm = MinMaxNormalizer::fit({3.0, 9.0, 5.0, 7.0});
+    EXPECT_DOUBLE_EQ(norm.lo(), 3.0);
+    EXPECT_DOUBLE_EQ(norm.hi(), 9.0);
+    EXPECT_DOUBLE_EQ(norm.transform(6.0), 0.5);
+}
+
+TEST(MinMaxNormalizer, FitRejectsDegenerate) {
+    EXPECT_THROW(MinMaxNormalizer::fit({1.0}), std::invalid_argument);
+    EXPECT_THROW(MinMaxNormalizer::fit({2.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(MinMaxNormalizer(5.0, 5.0), std::invalid_argument);
+}
+
+TEST(MinMaxNormalizer, DefaultIsIdentityOnUnitInterval) {
+    const MinMaxNormalizer norm;
+    EXPECT_DOUBLE_EQ(norm.transform(0.3), 0.3);
+}
+
+} // namespace
+} // namespace fmore::stats
