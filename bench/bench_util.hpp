@@ -30,28 +30,18 @@ inline std::size_t trial_count(std::size_t fallback = 3) {
     return fallback;
 }
 
-/// Run `trials` simulation trials of one strategy.
+/// Run `trials` simulation trials of one strategy on the parallel trial
+/// runner (thread count auto-sized; override with FMORE_TRIAL_THREADS).
+/// Results are deterministic for a fixed config.seed regardless of threads.
 inline std::vector<fl::RunResult> run_sim(const core::SimulationConfig& config,
                                           core::Strategy strategy, std::size_t trials) {
-    std::vector<fl::RunResult> runs;
-    runs.reserve(trials);
-    for (std::size_t t = 0; t < trials; ++t) {
-        core::SimulationTrial trial(config, t);
-        runs.push_back(trial.run(strategy));
-    }
-    return runs;
+    return core::run_simulation_trials(config, strategy, trials);
 }
 
-/// Run `trials` testbed trials of one strategy.
+/// Run `trials` testbed trials of one strategy on the parallel trial runner.
 inline std::vector<fl::RunResult> run_real(const core::RealWorldConfig& config,
                                            core::Strategy strategy, std::size_t trials) {
-    std::vector<fl::RunResult> runs;
-    runs.reserve(trials);
-    for (std::size_t t = 0; t < trials; ++t) {
-        core::RealWorldTrial trial(config, t);
-        runs.push_back(trial.run(strategy));
-    }
-    return runs;
+    return core::run_realworld_trials(config, strategy, trials);
 }
 
 /// One labelled accuracy/loss curve.

@@ -2,7 +2,7 @@
 // a non-IID image workload — in a few lines using the experiment layer.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
 
 #include <cstdlib>

@@ -1,5 +1,11 @@
 #pragma once
 
+/// @file equilibrium.hpp
+/// The expected-utility Nash equilibrium of the first-score sealed-bid
+/// auction (paper Theorem 1, built on Che 1993): EquilibriumSolver
+/// tabulates the symmetric strategy t^ne(theta) = (q^s, p^s) that every
+/// rational edge node follows; EquilibriumStrategy is the queryable result.
+
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -129,6 +135,12 @@ private:
 /// any strategy it produces.
 class EquilibriumSolver {
 public:
+    /// @param scoring    the broadcast scoring rule s(q)
+    /// @param cost       the bidders' common cost model c(q, theta)
+    /// @param theta_dist distribution F of the private type theta
+    /// @param q_lo       per-dimension lower bounds of feasible quality
+    /// @param q_hi       per-dimension upper bounds (same length as q_lo)
+    /// @param config     grid sizes, N, K and the win-probability model
     EquilibriumSolver(const ScoringRule& scoring, const CostModel& cost,
                       const stats::Distribution& theta_dist, QualityVector q_lo,
                       QualityVector q_hi, EquilibriumConfig config);

@@ -1,5 +1,11 @@
 #pragma once
 
+/// @file scoring.hpp
+/// The aggregator's scoring rules S(q, p) = s(q) - p (paper Eq. 4) in the
+/// four utility families named by the paper: additive (perfect
+/// substitutes), Leontief (perfect complements), Cobb-Douglas, and the
+/// simulator's scaled product alpha * q1 * q2.
+
 #include <memory>
 #include <vector>
 
@@ -22,12 +28,21 @@ public:
     virtual ~ScoringRule() = default;
 
     /// s(q): the quality part of the score.
+    /// @param q declared quality vector; must have exactly dimensions()
+    ///          entries with every dimension non-negative
+    /// @return the aggregator's valuation of q, before subtracting payment
+    /// @throws std::invalid_argument on a dimension-count mismatch
+    /// @throws std::domain_error on negative qualities
     [[nodiscard]] virtual double quality_score(const QualityVector& q) const = 0;
 
     /// S(q, p) = s(q) - p.
+    /// @param q declared quality vector
+    /// @param payment the payment p asked by the bidder
+    /// @return the full score used for winner determination
     [[nodiscard]] double score(const QualityVector& q, double payment) const {
         return quality_score(q) - payment;
     }
+    /// @overload
     [[nodiscard]] double score(const Bid& bid) const {
         return score(bid.quality, bid.payment);
     }

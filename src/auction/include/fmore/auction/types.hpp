@@ -1,5 +1,11 @@
 #pragma once
 
+/// @file types.hpp
+/// Vocabulary types of the multi-dimensional procurement auction
+/// (paper Section III.A): bids, scored bids, winners, payment rules and the
+/// outcome of one winner-determination round. Every other auction header
+/// builds on these.
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,9 +25,9 @@ using QualityVector = std::vector<double>;
 /// A sealed bid (q, p): declared qualities plus the expected payment
 /// (Section III.A step 2).
 struct Bid {
-    NodeId node = 0;
-    QualityVector quality;
-    double payment = 0.0;
+    NodeId node = 0;        ///< bidder submitting this bid
+    QualityVector quality;  ///< declared resource vector q
+    double payment = 0.0;   ///< asked payment p
 };
 
 /// A bid annotated with the aggregator's score S(q, p) = s(q) - p.
@@ -41,15 +47,15 @@ enum class PaymentRule : std::uint8_t {
 
 /// One auction winner with the final payment owed by the aggregator.
 struct Winner {
-    NodeId node = 0;
-    double score = 0.0;
-    double payment = 0.0;
+    NodeId node = 0;      ///< winning bidder
+    double score = 0.0;   ///< score its bid achieved
+    double payment = 0.0; ///< payment under the configured PaymentRule
 };
 
 /// Result of a winner-determination round.
 struct AuctionOutcome {
-    std::vector<Winner> winners;     // in selection order (best score first)
-    std::vector<ScoredBid> ranking;  // all bids, descending score
+    std::vector<Winner> winners;     ///< in selection order (best score first)
+    std::vector<ScoredBid> ranking;  ///< all bids, descending score
 };
 
 } // namespace fmore::auction

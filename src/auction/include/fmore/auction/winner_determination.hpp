@@ -1,5 +1,12 @@
 #pragma once
 
+/// @file winner_determination.hpp
+/// The aggregator's side of one auction round (paper Section III.A step 3
+/// and Algorithm 1 lines 7-9): rank sealed bids by score with coin-flip
+/// ties, select K winners — optionally with psi-FMore probabilistic
+/// acceptance or a payment budget — and assign first- or second-score
+/// payments.
+
 #include <vector>
 
 #include "fmore/auction/scoring.hpp"
@@ -45,6 +52,10 @@ public:
     /// Run one determination round over the collected sealed bids.
     /// Fewer than K bids simply yields fewer winners (the aggregator's timer
     /// expired with a short bid pool).
+    /// @param bids the sealed bids collected this round
+    /// @param rng  randomness source for coin-flip ties and psi acceptance
+    /// @return winners in selection order plus the full descending-score
+    ///         ranking (Fig. 8 input)
     [[nodiscard]] AuctionOutcome run(const std::vector<Bid>& bids, stats::Rng& rng) const;
 
     [[nodiscard]] const WinnerDeterminationConfig& config() const { return config_; }

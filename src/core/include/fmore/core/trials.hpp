@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
+#include "fmore/core/config.hpp"
 #include "fmore/fl/metrics.hpp"
 
 namespace fmore::core {
@@ -30,5 +33,72 @@ double mean_rounds_to_accuracy(const std::vector<fl::RunResult>& runs, double ta
 /// Mean seconds-to-accuracy (testbed experiments); non-reaching runs count
 /// their total duration.
 double mean_seconds_to_accuracy(const std::vector<fl::RunResult>& runs, double target);
+
+// ---------------------------------------------------------------------------
+// Parallel trial runner
+// ---------------------------------------------------------------------------
+
+/// Knobs of the multi-threaded trial runner. The defaults auto-size from
+/// the machine.
+struct TrialRunnerOptions {
+    /// Worker-thread count. 0 = auto: the `FMORE_TRIAL_THREADS` environment
+    /// variable when set, otherwise `std::thread::hardware_concurrency()`;
+    /// always capped at the trial count. An explicit value here wins over
+    /// the environment. A resolved count of 1 runs inline on the calling
+    /// thread (no pool), which is exactly the old serial loop.
+    std::size_t threads = 0;
+
+    /// Trials claimed per work-steal. 0 = auto (currently 1: a single trial
+    /// costs far more than one atomic fetch, so fine-grained claiming gives
+    /// the best load balance). Raise only if a future workload makes trials
+    /// sub-millisecond.
+    std::size_t batch = 0;
+};
+
+/// One unit of work: build and run trial `trial_index`, return its history.
+/// Must be safe to call concurrently from multiple threads with distinct
+/// indices (the SimulationTrial / RealWorldTrial factories are: each trial
+/// owns its dataset, population, model and RNG streams).
+using TrialFn = std::function<fl::RunResult(std::size_t trial_index)>;
+
+/// Resolve the effective worker count `run_trials` will use for `trials`
+/// units of work (applies the env override, hardware default and cap).
+[[nodiscard]] std::size_t resolve_trial_threads(std::size_t requested, std::size_t trials);
+
+/// Run `trials` independent trials of `fn` across a worker pool.
+///
+/// Results are written into slot `trial_index` of the returned vector, so
+/// the output — and anything derived from it, e.g. `average_runs` — is
+/// bit-identical for a given root seed regardless of thread count or OS
+/// scheduling. Determinism rests on the repo-wide seeding discipline: every
+/// trial derives its own RNG streams from (config.seed, trial_index) alone,
+/// never from shared or global state.
+///
+/// The first exception thrown by any trial is rethrown on the calling
+/// thread after the pool drains.
+std::vector<fl::RunResult> run_trials(std::size_t trials, const TrialFn& fn,
+                                      const TrialRunnerOptions& options = {});
+
+/// `run_trials` over `SimulationTrial` — the paper's N=100 simulator
+/// (Figs. 4-11). Equivalent to the old serial loop
+/// `for t: SimulationTrial(config, t).run(strategy)` but parallel.
+std::vector<fl::RunResult> run_simulation_trials(const SimulationConfig& config,
+                                                 Strategy strategy, std::size_t trials,
+                                                 const TrialRunnerOptions& options = {});
+
+/// `run_trials` over `RealWorldTrial` — the 31-node testbed reproduction
+/// with the wall-clock model (Figs. 12-13).
+std::vector<fl::RunResult> run_realworld_trials(const RealWorldConfig& config,
+                                                Strategy strategy, std::size_t trials,
+                                                const TrialRunnerOptions& options = {});
+
+/// Convenience: parallel trials + `average_runs`, the "average of five
+/// experiments" protocol in one call.
+AveragedSeries averaged_simulation(const SimulationConfig& config, Strategy strategy,
+                                   std::size_t trials,
+                                   const TrialRunnerOptions& options = {});
+AveragedSeries averaged_realworld(const RealWorldConfig& config, Strategy strategy,
+                                  std::size_t trials,
+                                  const TrialRunnerOptions& options = {});
 
 } // namespace fmore::core

@@ -1,6 +1,15 @@
 #include "fmore/core/trials.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+
+#include "fmore/core/realworld.hpp"
+#include "fmore/core/simulation.hpp"
 
 namespace fmore::core {
 
@@ -56,6 +65,109 @@ double mean_seconds_to_accuracy(const std::vector<fl::RunResult>& runs, double t
         total += run.seconds_to_accuracy(target).value_or(run.total_seconds());
     }
     return total / static_cast<double>(runs.size());
+}
+
+std::size_t resolve_trial_threads(std::size_t requested, std::size_t trials) {
+    if (trials <= 1) return trials;
+    std::size_t threads = requested;
+    if (threads == 0) {
+        if (const char* env = std::getenv("FMORE_TRIAL_THREADS")) {
+            const long v = std::atol(env);
+            if (v > 0) threads = static_cast<std::size_t>(v);
+        }
+    }
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? hw : 1;
+    }
+    return std::min(threads, trials);
+}
+
+std::vector<fl::RunResult> run_trials(std::size_t trials, const TrialFn& fn,
+                                      const TrialRunnerOptions& options) {
+    if (!fn) throw std::invalid_argument("run_trials: null trial function");
+    std::vector<fl::RunResult> results(trials);
+    if (trials == 0) return results;
+
+    const std::size_t threads = resolve_trial_threads(options.threads, trials);
+    if (threads <= 1) {
+        for (std::size_t t = 0; t < trials; ++t) results[t] = fn(t);
+        return results;
+    }
+
+    const std::size_t batch = options.batch > 0 ? options.batch : 1;
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t begin = next.fetch_add(batch, std::memory_order_relaxed);
+            if (begin >= trials) return;
+            const std::size_t end = std::min(trials, begin + batch);
+            for (std::size_t t = begin; t < end; ++t) {
+                try {
+                    results[t] = fn(t);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                    // Fail fast: exhaust the counter so other workers stop
+                    // claiming instead of finishing the whole sweep.
+                    next.store(trials, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    try {
+        for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    } catch (...) {
+        // Thread creation failed (resource limits); drain the workers that
+        // did start, then propagate — never destroy a joinable thread.
+        next.store(trials, std::memory_order_relaxed);
+        for (std::thread& th : pool) th.join();
+        throw;
+    }
+    for (std::thread& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+}
+
+std::vector<fl::RunResult> run_simulation_trials(const SimulationConfig& config,
+                                                 Strategy strategy, std::size_t trials,
+                                                 const TrialRunnerOptions& options) {
+    return run_trials(
+        trials,
+        [&config, strategy](std::size_t t) {
+            SimulationTrial trial(config, t);
+            return trial.run(strategy);
+        },
+        options);
+}
+
+std::vector<fl::RunResult> run_realworld_trials(const RealWorldConfig& config,
+                                                Strategy strategy, std::size_t trials,
+                                                const TrialRunnerOptions& options) {
+    return run_trials(
+        trials,
+        [&config, strategy](std::size_t t) {
+            RealWorldTrial trial(config, t);
+            return trial.run(strategy);
+        },
+        options);
+}
+
+AveragedSeries averaged_simulation(const SimulationConfig& config, Strategy strategy,
+                                   std::size_t trials, const TrialRunnerOptions& options) {
+    return average_runs(run_simulation_trials(config, strategy, trials, options));
+}
+
+AveragedSeries averaged_realworld(const RealWorldConfig& config, Strategy strategy,
+                                  std::size_t trials, const TrialRunnerOptions& options) {
+    return average_runs(run_realworld_trials(config, strategy, trials, options));
 }
 
 } // namespace fmore::core
