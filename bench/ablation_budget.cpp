@@ -9,34 +9,34 @@ int main() {
     using namespace fmore;
     std::cout << "Budget-constrained FMore (extension; paper Section VII future work)\n\n";
 
-    core::SimulationConfig base = core::default_simulation(core::DatasetKind::mnist_f);
-    base.rounds = 14;
+    const core::ExperimentSpec base = core::named_scenario("ablation/budget");
     const std::size_t trials = bench::trial_count(2);
 
     // Reference spend of the unconstrained auction.
     double reference_spend = 0.0;
     {
-        core::SimulationTrial trial(base, 0);
-        const fl::RunResult run = trial.run(core::Strategy::fmore);
+        core::ExperimentTrial trial(base, 0);
+        const fl::RunResult run = trial.run("fmore");
         for (const auto& sel : run.rounds.front().selection.selected) {
             reference_spend += sel.payment;
         }
     }
-    std::cout << "unconstrained per-round spend (K=" << base.winners
+    std::cout << "unconstrained per-round spend (K=" << base.auction.winners
               << "): " << core::fixed(reference_spend, 2) << "\n\n";
 
     core::TablePrinter table(std::cout, {"budget", "mean_winners", "mean_spend",
                                          "final_acc"});
     for (const double fraction : {0.0, 1.0, 0.75, 0.5, 0.25}) {
-        core::SimulationConfig config = base;
-        config.budget = fraction == 0.0 ? 0.0 : reference_spend * fraction;
+        core::ExperimentSpec spec = base;
+        spec.auction.budget = fraction == 0.0 ? 0.0 : reference_spend * fraction;
+        if (spec.auction.budget > 0.0) spec.auction.mechanism = "budget_feasible";
         double winners = 0.0;
         double spend = 0.0;
         double acc = 0.0;
         std::size_t rounds_seen = 0;
         for (std::size_t t = 0; t < trials; ++t) {
-            core::SimulationTrial trial(config, t);
-            const fl::RunResult run = trial.run(core::Strategy::fmore);
+            core::ExperimentTrial trial(spec, t);
+            const fl::RunResult run = trial.run("fmore");
             acc += run.final_accuracy() / static_cast<double>(trials);
             for (const auto& round : run.rounds) {
                 winners += static_cast<double>(round.selection.selected.size());
@@ -47,7 +47,7 @@ int main() {
         winners /= static_cast<double>(rounds_seen);
         spend /= static_cast<double>(rounds_seen);
         table.row({fraction == 0.0 ? std::string("none")
-                                   : core::fixed(config.budget, 2),
+                                   : core::fixed(spec.auction.budget, 2),
                    core::fixed(winners, 1), core::fixed(spend, 2), core::percent(acc)});
     }
 

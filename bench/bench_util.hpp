@@ -1,10 +1,11 @@
 #pragma once
 
 // Shared harness for the figure-reproduction benches. Every fig binary
-// follows the same pattern: run the relevant experiment for a few trials
-// per strategy (the paper averages five runs), print the measured series
-// next to the paper's reference points, and finish with the derived
-// headline quantities (rounds-to-accuracy, speedups).
+// follows the same pattern: fetch its named scenario from the
+// ScenarioRegistry (tweaking the spec where the figure sweeps a knob), run
+// a few trials per selection policy on the parallel runner, print the
+// measured series next to the paper's reference points, and finish with
+// the derived headline quantities (rounds-to-accuracy, speedups).
 
 #include <cstdlib>
 #include <iostream>
@@ -12,58 +13,33 @@
 #include <string>
 #include <vector>
 
-#include "fmore/core/config.hpp"
-#include "fmore/core/realworld.hpp"
+#include "fmore/core/experiment.hpp"
 #include "fmore/core/report.hpp"
-#include "fmore/core/simulation.hpp"
+#include "fmore/core/scenarios.hpp"
 #include "fmore/core/trials.hpp"
 
 namespace fmore::bench {
 
-/// Trials per strategy; override with FMORE_BENCH_TRIALS (1 for smoke runs,
-/// 5 to match the paper's protocol).
+/// Trials per policy; override with FMORE_BENCH_TRIALS (1 for smoke runs,
+/// 5 to match the paper's protocol). One contract shared with
+/// run_scenario via core::bench_trial_count.
 inline std::size_t trial_count(std::size_t fallback = 3) {
-    if (const char* env = std::getenv("FMORE_BENCH_TRIALS")) {
-        const long v = std::atol(env);
-        if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return fallback;
+    return core::bench_trial_count(fallback);
 }
 
-/// Run `trials` simulation trials of one strategy on the parallel trial
+/// Run `trials` trials of one selection policy on the parallel trial
 /// runner (thread count auto-sized; override with FMORE_TRIAL_THREADS).
-/// Results are deterministic for a fixed config.seed regardless of threads.
-inline std::vector<fl::RunResult> run_sim(const core::SimulationConfig& config,
-                                          core::Strategy strategy, std::size_t trials) {
-    return core::run_simulation_trials(config, strategy, trials);
+/// Results are deterministic for a fixed spec.seed regardless of threads.
+inline std::vector<fl::RunResult> run_spec(const core::ExperimentSpec& spec,
+                                           const std::string& policy,
+                                           std::size_t trials) {
+    return core::run_experiment_trials(spec, policy, trials);
 }
 
-/// Run `trials` testbed trials of one strategy on the parallel trial runner.
-inline std::vector<fl::RunResult> run_real(const core::RealWorldConfig& config,
-                                           core::Strategy strategy, std::size_t trials) {
-    return core::run_realworld_trials(config, strategy, trials);
-}
-
-/// One labelled accuracy/loss curve.
-struct NamedSeries {
-    std::string name;
-    core::AveragedSeries series;
-};
-
-/// Print round-by-round accuracy and loss for several strategies.
-inline void print_accuracy_loss(std::ostream& out, const std::vector<NamedSeries>& all) {
-    std::vector<std::string> headers{"round"};
-    for (const NamedSeries& s : all) headers.push_back(s.name + "_acc");
-    for (const NamedSeries& s : all) headers.push_back(s.name + "_loss");
-    core::TablePrinter table(out, headers);
-    const std::size_t rounds = all.front().series.rounds();
-    for (std::size_t r = 0; r < rounds; ++r) {
-        std::vector<double> row{static_cast<double>(r + 1)};
-        for (const NamedSeries& s : all) row.push_back(s.series.accuracy[r]);
-        for (const NamedSeries& s : all) row.push_back(s.series.loss[r]);
-        table.row(row);
-    }
-}
+/// One labelled accuracy/loss curve (alias of the core type the table
+/// printer consumes).
+using core::NamedSeries;
+using core::print_accuracy_loss;
 
 /// Print the paper's reference points (approximate values read off the
 /// figure) so the shape comparison is explicit.

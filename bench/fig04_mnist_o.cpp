@@ -6,7 +6,7 @@ int main() {
     using namespace fmore::bench;
     FigAccuracySpec spec;
     spec.figure = "Fig. 4";
-    spec.dataset = fmore::core::DatasetKind::mnist_o;
+    spec.scenario = "paper/fig04";
     spec.model_name = "CNN";
     spec.paper_reference = {
         "FMore : r4 ~0.85, r8 ~0.93, r12 ~0.95, r20 ~0.97",

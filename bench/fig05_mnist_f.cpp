@@ -6,7 +6,7 @@ int main() {
     using namespace fmore::bench;
     FigAccuracySpec spec;
     spec.figure = "Fig. 5";
-    spec.dataset = fmore::core::DatasetKind::mnist_f;
+    spec.scenario = "paper/fig05";
     spec.model_name = "CNN";
     spec.paper_reference = {
         "FMore : r4 ~0.70, r8 ~0.78, r12 ~0.82, r20 ~0.86",

@@ -7,7 +7,7 @@ int main() {
     using namespace fmore::bench;
     FigAccuracySpec spec;
     spec.figure = "Fig. 6";
-    spec.dataset = fmore::core::DatasetKind::cifar10;
+    spec.scenario = "paper/fig06";
     spec.model_name = "CNN";
     spec.paper_reference = {
         "FMore : r4 ~0.30, r8 ~0.42, r12 ~0.50, r20 ~0.58",

@@ -7,7 +7,7 @@ int main() {
     using namespace fmore::bench;
     FigAccuracySpec spec;
     spec.figure = "Fig. 7";
-    spec.dataset = fmore::core::DatasetKind::hpnews;
+    spec.scenario = "paper/fig07";
     spec.model_name = "LSTM";
     spec.paper_reference = {
         "FMore : r4 ~0.30, r8 ~0.45, r12 ~0.52, r20 ~0.604",

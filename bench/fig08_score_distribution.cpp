@@ -17,8 +17,16 @@ namespace {
 using namespace fmore;
 
 void run_dataset(core::DatasetKind dataset) {
-    core::SimulationConfig config = core::default_simulation(dataset);
-    config.rounds = 10; // selection statistics stabilize quickly
+    core::ExperimentSpec spec = core::named_scenario("paper/fig08");
+    spec.training.dataset = dataset;
+    if (dataset == core::DatasetKind::hpnews) {
+        // Match the per-dataset hyperparameters of the accuracy figures.
+        const core::ExperimentSpec lstm = core::default_experiment(dataset);
+        spec.training.learning_rate = lstm.training.learning_rate;
+        spec.training.local_epochs = lstm.training.local_epochs;
+    }
+    const std::size_t num_nodes = spec.population.num_nodes;
+    const std::size_t winners = spec.auction.winners;
     const std::size_t trials = bench::trial_count(2);
 
     stats::Rng pick_rng(1234);
@@ -28,11 +36,11 @@ void run_dataset(core::DatasetKind dataset) {
     std::vector<double> fix_scores;
 
     for (std::size_t t = 0; t < trials; ++t) {
-        core::SimulationTrial trial(config, t);
-        const fl::RunResult run = trial.run(core::Strategy::fmore);
+        core::ExperimentTrial trial(spec, t);
+        const fl::RunResult run = trial.run("fmore");
         // Fixed set per trial for the FixFL column.
         const std::vector<std::size_t> fixed =
-            pick_rng.sample_without_replacement(config.num_nodes, config.winners);
+            pick_rng.sample_without_replacement(num_nodes, winners);
         for (const auto& round : run.rounds) {
             const auto& by_node = round.selection.scores_by_node;
             total_scores.insert(total_scores.end(), by_node.begin(), by_node.end());
@@ -40,7 +48,7 @@ void run_dataset(core::DatasetKind dataset) {
                 fmore_scores.push_back(sel.score);
             }
             for (const std::size_t node :
-                 pick_rng.sample_without_replacement(config.num_nodes, config.winners)) {
+                 pick_rng.sample_without_replacement(num_nodes, winners)) {
                 rand_scores.push_back(by_node[node]);
             }
             for (const std::size_t node : fixed) {

@@ -19,15 +19,13 @@ void part_a() {
     const std::vector<double> targets{0.70, 0.75, 0.78, 0.82, 0.84};
 
     auto series_for = [&](std::size_t n) {
-        core::SimulationConfig config =
-            core::default_simulation(core::DatasetKind::mnist_f);
-        config.num_nodes = n;
+        core::ExperimentSpec spec = core::named_scenario("paper/fig09");
+        spec.population.num_nodes = n;
         // The paper grows the MARKET, not a fixed data pie cut finer: hold
         // the per-node data distribution constant while N rises, so a
         // larger N gives the aggregator genuinely better top-K picks.
-        config.train_samples = 90 * n;
-        config.rounds = 24;
-        return core::average_runs(bench::run_sim(config, core::Strategy::fmore, trials));
+        spec.training.train_samples = 90 * n;
+        return core::averaged_experiment(spec, "fmore", trials);
     };
     const auto n50 = series_for(50);
     const auto n100 = series_for(100);

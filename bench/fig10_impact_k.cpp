@@ -19,11 +19,9 @@ void part_a() {
     const std::vector<double> targets{0.70, 0.75, 0.78, 0.82, 0.84};
 
     auto series_for = [&](std::size_t k) {
-        core::SimulationConfig config =
-            core::default_simulation(core::DatasetKind::mnist_f);
-        config.winners = k;
-        config.rounds = 24;
-        return core::average_runs(bench::run_sim(config, core::Strategy::fmore, trials));
+        core::ExperimentSpec spec = core::named_scenario("paper/fig10");
+        spec.auction.winners = k;
+        return core::averaged_experiment(spec, "fmore", trials);
     };
     const auto k5 = series_for(5);
     const auto k25 = series_for(25);

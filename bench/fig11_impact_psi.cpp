@@ -11,24 +11,20 @@ namespace {
 
 using namespace fmore;
 
-core::SimulationConfig small_data_config() {
-    core::SimulationConfig config = core::default_simulation(core::DatasetKind::mnist_f);
-    // Small-data regime: shards are thin so repeated top-score selection
-    // overfits to few nodes and diversity has real value.
-    config.data_lo = 10;
-    config.data_hi = 45;
-    config.rounds = 30;
-    return config;
+// Small-data regime: shards are thin so repeated top-score selection
+// overfits to few nodes and diversity has real value (the registered
+// "paper/fig11" preset).
+core::ExperimentSpec small_data_spec() {
+    return core::named_scenario("paper/fig11");
 }
 
 void part_a() {
     std::cout << "(a) training speed: psi=0.3 vs psi=0.9 (small-data MNIST-F)\n\n";
     const std::size_t trials = bench::trial_count(2);
     auto series_for = [&](double psi) {
-        core::SimulationConfig config = small_data_config();
-        config.psi = psi;
-        return core::average_runs(
-            bench::run_sim(config, core::Strategy::psi_fmore, trials));
+        core::ExperimentSpec spec = small_data_spec();
+        spec.auction.psi = psi;
+        return core::averaged_experiment(spec, "psi_fmore", trials);
     };
     const auto lo = series_for(0.3);
     const auto hi = series_for(0.9);
@@ -52,16 +48,16 @@ void part_b() {
     const std::size_t trials = bench::trial_count(2);
     core::TablePrinter table(std::cout, {"psi", "top10", "top20", "top30"});
     for (const double psi : {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
-        core::SimulationConfig config = small_data_config();
-        config.psi = psi;
-        config.rounds = 8;
+        core::ExperimentSpec spec = small_data_spec();
+        spec.auction.psi = psi;
+        spec.training.rounds = 8;
         double top10 = 0.0;
         double top20 = 0.0;
         double top30 = 0.0;
         std::size_t rounds_seen = 0;
         for (std::size_t t = 0; t < trials; ++t) {
-            core::SimulationTrial trial(config, t);
-            const fl::RunResult run = trial.run(core::Strategy::psi_fmore);
+            core::ExperimentTrial trial(spec, t);
+            const fl::RunResult run = trial.run("psi_fmore");
             for (const auto& round : run.rounds) {
                 // all_scores is descending; the score at index m-1 is the
                 // m-th best. Count winners above each cutoff.

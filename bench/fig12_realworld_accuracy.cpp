@@ -8,17 +8,15 @@
 
 int main() {
     using namespace fmore;
-    core::RealWorldConfig config;
+    const core::ExperimentSpec spec = core::named_scenario("paper/fig12");
     const std::size_t trials = bench::trial_count(2);
 
     std::cout << "Fig. 12: realistic deployment accuracy/loss (CIFAR-10, "
-              << config.num_nodes << " nodes, K=" << config.winners << ", " << trials
-              << " trial(s) averaged)\n\n";
+              << spec.population.num_nodes << " nodes, K=" << spec.auction.winners
+              << ", " << trials << " trial(s) averaged)\n\n";
 
-    const auto fmore =
-        core::average_runs(bench::run_real(config, core::Strategy::fmore, trials));
-    const auto rand =
-        core::average_runs(bench::run_real(config, core::Strategy::randfl, trials));
+    const auto fmore = core::averaged_experiment(spec, "fmore", trials);
+    const auto rand = core::averaged_experiment(spec, "randfl", trials);
 
     bench::print_accuracy_loss(std::cout, {{"FMore", fmore}, {"RandFL", rand}});
     bench::print_paper_reference(

@@ -8,14 +8,15 @@
 
 int main() {
     using namespace fmore;
-    core::RealWorldConfig config;
+    const core::ExperimentSpec spec = core::named_scenario("paper/fig13");
     const std::size_t trials = bench::trial_count(2);
 
     std::cout << "Fig. 13: realistic deployment training time (CIFAR-10, "
-              << config.num_nodes << " nodes, K=" << config.winners << ")\n\n";
+              << spec.population.num_nodes << " nodes, K=" << spec.auction.winners
+              << ")\n\n";
 
-    const auto fmore_runs = bench::run_real(config, core::Strategy::fmore, trials);
-    const auto rand_runs = bench::run_real(config, core::Strategy::randfl, trials);
+    const auto fmore_runs = bench::run_spec(spec, "fmore", trials);
+    const auto rand_runs = bench::run_spec(spec, "randfl", trials);
     const auto fmore = core::average_runs(fmore_runs);
     const auto rand = core::average_runs(rand_runs);
 

@@ -1,8 +1,8 @@
 #pragma once
 
 // Shared driver for Figs. 4-7: accuracy & loss vs round for FMore, RandFL
-// and FixFL on one dataset. Each fig binary supplies its dataset and the
-// paper's reference points.
+// and FixFL on one dataset. Each fig binary names its scenario and supplies
+// the paper's reference points.
 
 #include "bench_util.hpp"
 
@@ -10,30 +10,30 @@ namespace fmore::bench {
 
 struct FigAccuracySpec {
     const char* figure;                 ///< e.g. "Fig. 4"
-    core::DatasetKind dataset;
+    const char* scenario;               ///< e.g. "paper/fig04"
     const char* model_name;             ///< "CNN" / "LSTM"
     std::vector<std::string> paper_reference;
     double speedup_target;              ///< accuracy the paper quotes a speedup at
 };
 
-inline int run_fig_accuracy(const FigAccuracySpec& spec) {
-    const core::SimulationConfig config = core::default_simulation(spec.dataset);
+inline int run_fig_accuracy(const FigAccuracySpec& fig) {
+    const core::ExperimentSpec spec = core::named_scenario(fig.scenario);
     const std::size_t trials = trial_count();
 
-    std::cout << spec.figure << ": accuracy and loss for " << spec.model_name << " with "
-              << core::to_string(spec.dataset) << " (N=" << config.num_nodes
-              << ", K=" << config.winners << ", non-IID, " << trials
-              << " trial(s) averaged)\n\n";
+    std::cout << fig.figure << ": accuracy and loss for " << fig.model_name << " with "
+              << core::to_string(spec.training.dataset)
+              << " (N=" << spec.population.num_nodes << ", K=" << spec.auction.winners
+              << ", non-IID, " << trials << " trial(s) averaged)\n\n";
 
-    const auto fmore = core::average_runs(run_sim(config, core::Strategy::fmore, trials));
-    const auto rand = core::average_runs(run_sim(config, core::Strategy::randfl, trials));
-    const auto fix = core::average_runs(run_sim(config, core::Strategy::fixfl, trials));
+    const auto fmore = core::averaged_experiment(spec, "fmore", trials);
+    const auto rand = core::averaged_experiment(spec, "randfl", trials);
+    const auto fix = core::averaged_experiment(spec, "fixfl", trials);
 
     print_accuracy_loss(std::cout, {{"FMore", fmore}, {"RandFL", rand}, {"FixFL", fix}});
-    print_paper_reference(std::cout, spec.figure, spec.paper_reference);
+    print_paper_reference(std::cout, fig.figure, fig.paper_reference);
 
     std::cout << "\nDerived comparisons (measured):\n";
-    print_speedup(std::cout, "FMore", fmore, "RandFL", rand, spec.speedup_target);
+    print_speedup(std::cout, "FMore", fmore, "RandFL", rand, fig.speedup_target);
     std::cout << "final accuracy: FMore " << core::percent(fmore.accuracy.back())
               << ", RandFL " << core::percent(rand.accuracy.back()) << ", FixFL "
               << core::percent(fix.accuracy.back()) << '\n';

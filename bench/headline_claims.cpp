@@ -20,9 +20,9 @@ struct DatasetOutcome {
 };
 
 DatasetOutcome measure(core::DatasetKind dataset, double target, std::size_t trials) {
-    const core::SimulationConfig config = core::default_simulation(dataset);
-    const auto fmore_runs = bench::run_sim(config, core::Strategy::fmore, trials);
-    const auto rand_runs = bench::run_sim(config, core::Strategy::randfl, trials);
+    const core::ExperimentSpec spec = core::default_experiment(dataset);
+    const auto fmore_runs = bench::run_spec(spec, "fmore", trials);
+    const auto rand_runs = bench::run_spec(spec, "randfl", trials);
     const auto fmore = core::average_runs(fmore_runs);
     const auto rand = core::average_runs(rand_runs);
 
@@ -66,9 +66,9 @@ int main() {
               << "   (paper claims +28% for the LSTM model)\n";
 
     std::cout << "\n--- testbed (31 nodes + aggregator, CIFAR-10) ---\n";
-    core::RealWorldConfig rw;
-    const auto fmore_runs = bench::run_real(rw, core::Strategy::fmore, trials);
-    const auto rand_runs = bench::run_real(rw, core::Strategy::randfl, trials);
+    const core::ExperimentSpec rw = core::named_scenario("testbed/default");
+    const auto fmore_runs = bench::run_spec(rw, "fmore", trials);
+    const auto rand_runs = bench::run_spec(rw, "randfl", trials);
     const auto fmore = core::average_runs(fmore_runs);
     const auto rand = core::average_runs(rand_runs);
     const double acc_gain =

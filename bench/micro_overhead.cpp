@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <memory>
 
 #include "fmore/auction/equilibrium.hpp"
 #include "fmore/auction/winner_determination.hpp"
+#include "fmore/core/equilibrium_cache.hpp"
 #include "fmore/stats/normalizer.hpp"
 
 namespace {
@@ -96,6 +98,38 @@ void BM_WinnerDetermination(benchmark::State& state) {
 }
 BENCHMARK(BM_WinnerDetermination)->Range(64, 8192)->Complexity(benchmark::oNLogN);
 
+/// The O(N log K) selection path (full_ranking = false): the ranking stops
+/// after the K(+1) entries winner selection needs, a partial sort instead
+/// of the full one. K is held at 20 while N grows, so the curve should be
+/// near-linear in N — the ROADMAP's sharding prerequisite. Winners are
+/// bit-identical to the full path (tests/auction/mechanism_test.cpp).
+void BM_WinnerDeterminationTopK(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t k = 20;
+    auction::EquilibriumConfig cfg;
+    cfg.num_bidders = n;
+    cfg.num_winners = k;
+    const auto strategy = auction::EquilibriumSolver(world().scoring, world().cost,
+                                                     world().theta, {1.0, 0.05},
+                                                     {150.0, 1.0}, cfg)
+                              .solve();
+    stats::Rng rng(5);
+    std::vector<auction::Bid> bids;
+    bids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        bids.push_back(strategy.bid(i, world().theta.sample(rng)));
+    }
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = k;
+    wd.full_ranking = false;
+    const auction::WinnerDetermination determination(world().scoring, wd);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(determination.run(bids, rng));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WinnerDeterminationTopK)->Range(64, 8192)->Complexity(benchmark::oN);
+
 /// Payment evaluation methods at equal grid size: the paper's Euler ODE
 /// versus the integral form versus RK4.
 void BM_PaymentMethod(benchmark::State& state) {
@@ -143,6 +177,38 @@ void BM_PsiSelection(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_PsiSelection)->Arg(10)->Arg(5)->Arg(2);
+
+/// The equilibrium-solve cache: a cold solve versus a keyed hit. The hit
+/// path is what every trial after the first pays in a sweep — compare with
+/// BM_EquilibriumSolve to see the amortized setup saving.
+void BM_EquilibriumCacheHit(benchmark::State& state) {
+    core::EquilibriumCache& cache = core::EquilibriumCache::instance();
+    cache.clear();
+    auto build = [] {
+        auto norms = std::vector<stats::MinMaxNormalizer>{
+            stats::MinMaxNormalizer(0.0, 150.0), stats::MinMaxNormalizer(0.0, 1.0)};
+        auto scoring = std::make_unique<auction::ScaledProductScoring>(25.0, 2, norms);
+        auto cost = std::make_unique<auction::AdditiveCost>(
+            std::vector<double>{6.0 / 150.0, 2.0});
+        auto theta = std::make_unique<stats::UniformDistribution>(0.5, 1.5);
+        auction::EquilibriumConfig cfg;
+        cfg.num_bidders = 100;
+        cfg.num_winners = 20;
+        const auction::EquilibriumSolver solver(*scoring, *cost, *theta, {1.0, 0.05},
+                                                {150.0, 1.0}, cfg);
+        auction::EquilibriumStrategy strategy = solver.solve();
+        return std::make_shared<const core::SolvedEquilibrium>(
+            std::move(scoring), std::move(cost), std::move(theta), std::move(strategy));
+    };
+    (void)cache.get_or_solve("bench|warm", build); // pay the miss once
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get_or_solve("bench|warm", build));
+    }
+    const auto stats = cache.stats();
+    state.counters["hits"] = static_cast<double>(stats.hits);
+    state.counters["misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_EquilibriumCacheHit);
 
 } // namespace
 

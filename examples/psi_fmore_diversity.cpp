@@ -10,29 +10,28 @@
 #include <set>
 
 #include "fmore/auction/win_probability.hpp"
+#include "fmore/core/experiment.hpp"
 #include "fmore/core/report.hpp"
-#include "fmore/core/simulation.hpp"
 
 int main() {
     using namespace fmore;
 
-    core::SimulationConfig config = core::default_simulation(core::DatasetKind::mnist_f);
-    config.rounds = 16;
-    config.data_lo = 8;   // tiny shards: the paper's "local data size is
-    config.data_hi = 30;  // tremendously small" scenario
-    config.resource_jitter = 0.0; // stable resources
-    config.theta_jitter = 0.0;
+    core::ExperimentSpec spec = core::default_experiment(core::DatasetKind::mnist_f);
+    spec.training.rounds = 16;
+    spec.population.data_lo = 8;   // tiny shards: the paper's "local data size is
+    spec.population.data_hi = 30;  // tremendously small" scenario
+    spec.population.resource_jitter = 0.0; // stable resources
+    spec.population.theta_jitter = 0.0;
 
-    std::cout << "psi-FMore under tiny stable shards (MNIST-F, N=" << config.num_nodes
-              << ", K=" << config.winners << ")\n\n";
+    std::cout << "psi-FMore under tiny stable shards (MNIST-F, N="
+              << spec.population.num_nodes << ", K=" << spec.auction.winners << ")\n\n";
 
     core::TablePrinter table(std::cout, {"psi", "distinct_winners", "mean_labels/round",
                                          "final_acc"});
     for (const double psi : {1.0, 0.6, 0.3}) {
-        config.psi = psi;
-        core::SimulationTrial trial(config, 0);
-        const fl::RunResult run =
-            trial.run(psi >= 1.0 ? core::Strategy::fmore : core::Strategy::psi_fmore);
+        spec.auction.psi = psi;
+        core::ExperimentTrial trial(spec, 0);
+        const fl::RunResult run = trial.run(psi >= 1.0 ? "fmore" : "psi_fmore");
 
         std::set<std::size_t> distinct;
         double label_cover = 0.0;
@@ -56,10 +55,10 @@ int main() {
     core::TablePrinter pr(std::cout, {"psi", "Pr_negbinomial", "paper_formula"});
     for (const double psi : {0.2, 0.4, 0.6, 0.8}) {
         pr.row({psi,
-                auction::psi_success_probability_negbinomial(psi, config.num_nodes,
-                                                             config.winners),
-                auction::psi_success_probability_paper(psi, config.num_nodes,
-                                                       config.winners)},
+                auction::psi_success_probability_negbinomial(
+                    psi, spec.population.num_nodes, spec.auction.winners),
+                auction::psi_success_probability_paper(psi, spec.population.num_nodes,
+                                                       spec.auction.winners)},
                4);
     }
     std::cout << "\n(The paper's printed formula uses C(i+K, i) and exceeds 1 — the\n"

@@ -8,29 +8,28 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "fmore/core/experiment.hpp"
 #include "fmore/core/report.hpp"
-#include "fmore/core/simulation.hpp"
 
 int main(int argc, char** argv) {
     using namespace fmore;
 
-    core::SimulationConfig config;
-    config.dataset = core::DatasetKind::mnist_o;
-    config.rounds = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 12;
+    core::ExperimentSpec spec = core::default_experiment(core::DatasetKind::mnist_o);
+    spec.training.rounds = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 12;
 
-    std::cout << "FMore quickstart: " << core::to_string(config.dataset) << ", N="
-              << config.num_nodes << ", K=" << config.winners << ", " << config.rounds
-              << " rounds\n\n";
+    std::cout << "FMore quickstart: " << core::to_string(spec.training.dataset) << ", N="
+              << spec.population.num_nodes << ", K=" << spec.auction.winners << ", "
+              << spec.training.rounds << " rounds\n\n";
 
-    core::SimulationTrial trial(config, /*trial_index=*/0);
-    const fl::RunResult fmore = trial.run(core::Strategy::fmore);
-    const fl::RunResult rand = trial.run(core::Strategy::randfl);
-    const fl::RunResult fix = trial.run(core::Strategy::fixfl);
+    core::ExperimentTrial trial(spec, /*trial_index=*/0);
+    const fl::RunResult fmore = trial.run("fmore");
+    const fl::RunResult rand = trial.run("randfl");
+    const fl::RunResult fix = trial.run("fixfl");
 
     core::TablePrinter table(std::cout,
                              {"round", "FMore_acc", "RandFL_acc", "FixFL_acc",
                               "FMore_loss", "RandFL_loss", "FixFL_loss"});
-    for (std::size_t r = 0; r < config.rounds; ++r) {
+    for (std::size_t r = 0; r < spec.training.rounds; ++r) {
         table.row({static_cast<double>(r + 1), fmore.rounds[r].test_accuracy,
                    rand.rounds[r].test_accuracy, fix.rounds[r].test_accuracy,
                    fmore.rounds[r].test_loss, rand.rounds[r].test_loss,

@@ -1,0 +1,229 @@
+// run_scenario: drive any named or file-based experiment from the command
+// line — the one CLI the whole experiment surface hangs off.
+//
+//   run_scenario --list                          # what scenarios exist
+//   run_scenario paper/fig04                     # reproduce Fig. 4's world
+//   run_scenario paper/fig12 --trials 2          # testbed, 2 trials
+//   run_scenario paper/fig05 --policies fmore,randfl
+//   run_scenario paper/fig11 --set auction.psi=0.3 --policies psi_fmore
+//   run_scenario sim/default --set auction.mechanism=second_score
+//   run_scenario --file my_scenario.txt          # key=value spec file
+//   run_scenario paper/fig04 --dump              # print the resolved spec
+//
+// `--set section.key=value` overrides any spec field; `--dump` prints the
+// resolved key=value form (paste it into a file to fork a scenario). The
+// output table for `paper/fig04` with the default policies is bit-identical
+// to bench/fig04_mnist_o's measured table for the same seed and trial
+// count — both drive core::averaged_experiment over the same registered
+// spec and print through core::print_accuracy_loss.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fmore/core/report.hpp"
+#include "fmore/core/scenarios.hpp"
+#include "fmore/core/trials.hpp"
+
+namespace {
+
+using namespace fmore;
+
+int usage(std::ostream& out, int exit_code) {
+    out << "usage: run_scenario <scenario> [options]\n"
+           "       run_scenario --file <spec.txt> [options]\n"
+           "       run_scenario --list\n"
+           "options:\n"
+           "  --policies a,b,c   selection policies to run (default:\n"
+           "                     fmore,randfl,fixfl; testbed: fmore,randfl)\n"
+           "  --trials N         trials per policy (default: FMORE_BENCH_TRIALS or 3)\n"
+           "  --set key=value    override a spec field (repeatable)\n"
+           "  --dump             print the resolved spec and exit\n"
+           "  --validate         validate the resolved spec and exit\n";
+    return exit_code;
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream stream(text);
+    while (std::getline(stream, token, ',')) {
+        if (!token.empty()) out.push_back(token);
+    }
+    return out;
+}
+
+std::string policy_label(const std::string& policy) {
+    if (policy == "fmore") return "FMore";
+    if (policy == "psi_fmore") return "psi-FMore";
+    if (policy == "randfl") return "RandFL";
+    if (policy == "fixfl") return "FixFL";
+    return policy;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string scenario;
+    std::string spec_file;
+    std::string policies_arg;
+    std::size_t trials = core::bench_trial_count();
+    std::vector<std::pair<std::string, std::string>> overrides;
+    bool dump = false;
+    bool validate_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "run_scenario: " << flag << " needs a value\n";
+                std::exit(usage(std::cerr, 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+        if (arg == "--list") {
+            const auto entries = core::ScenarioRegistry::instance().list();
+            std::size_t width = 0;
+            for (const auto& entry : entries) width = std::max(width, entry.name.size());
+            for (const auto& entry : entries) {
+                std::cout << "  " << entry.name
+                          << std::string(width - entry.name.size() + 2, ' ')
+                          << entry.description << '\n';
+            }
+            return 0;
+        }
+        if (arg == "--file") {
+            spec_file = next_value("--file");
+        } else if (arg == "--policies") {
+            policies_arg = next_value("--policies");
+        } else if (arg == "--trials") {
+            const std::string value = next_value("--trials");
+            char* end = nullptr;
+            errno = 0;
+            const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0'
+                || value.find('-') != std::string::npos || errno == ERANGE
+                || parsed == 0 || parsed > 100000) {
+                std::cerr << "run_scenario: --trials needs a positive integer, got '"
+                          << value << "'\n";
+                return 2;
+            }
+            trials = static_cast<std::size_t>(parsed);
+        } else if (arg == "--set") {
+            const std::string assignment = next_value("--set");
+            const std::size_t eq = assignment.find('=');
+            if (eq == std::string::npos) {
+                std::cerr << "run_scenario: --set expects key=value, got '" << assignment
+                          << "'\n";
+                return 2;
+            }
+            overrides.emplace_back(assignment.substr(0, eq), assignment.substr(eq + 1));
+        } else if (arg == "--dump") {
+            dump = true;
+        } else if (arg == "--validate") {
+            validate_only = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "run_scenario: unknown option '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        } else if (scenario.empty()) {
+            scenario = arg;
+        } else {
+            std::cerr << "run_scenario: more than one scenario named ('" << scenario
+                      << "' and '" << arg << "')\n";
+            return 2;
+        }
+    }
+    if (scenario.empty() && spec_file.empty()) return usage(std::cerr, 2);
+    if (!scenario.empty() && !spec_file.empty()) {
+        std::cerr << "run_scenario: both a scenario ('" << scenario
+                  << "') and --file ('" << spec_file
+                  << "') were given; pick one spec source\n";
+        return 2;
+    }
+
+    try {
+        core::ExperimentSpec spec;
+        if (!spec_file.empty()) {
+            std::ifstream in(spec_file);
+            if (!in) {
+                std::cerr << "run_scenario: cannot open spec file '" << spec_file
+                          << "'\n";
+                return 1;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            spec = core::parse_experiment_spec(text.str());
+        } else {
+            spec = core::named_scenario(scenario);
+        }
+        for (const auto& [key, value] : overrides) {
+            core::apply_key_value(spec, key, value);
+        }
+
+        if (dump) {
+            std::cout << core::to_text(spec);
+            return 0;
+        }
+        const std::vector<std::string> problems = core::validate(spec);
+        if (!problems.empty()) {
+            std::cerr << "run_scenario: the resolved spec has " << problems.size()
+                      << " problem(s):\n";
+            for (const std::string& problem : problems)
+                std::cerr << "  - " << problem << '\n';
+            return 1;
+        }
+        if (validate_only) {
+            std::cout << "spec OK\n";
+            return 0;
+        }
+
+        std::vector<std::string> policies = split_commas(policies_arg);
+        if (policies.empty()) {
+            policies = spec.kind == core::ExperimentKind::testbed
+                           ? std::vector<std::string>{"fmore", "randfl"}
+                           : std::vector<std::string>{"fmore", "randfl", "fixfl"};
+        }
+
+        const std::string title = scenario.empty() ? spec_file : scenario;
+        std::cout << title << ": " << core::to_string(spec.training.dataset)
+                  << ", N=" << spec.population.num_nodes
+                  << ", K=" << spec.auction.winners << ", " << spec.training.rounds
+                  << " rounds, " << trials << " trial(s) averaged\n\n";
+
+        std::vector<core::NamedSeries> all;
+        for (const std::string& policy : policies) {
+            all.push_back(core::NamedSeries{
+                policy_label(policy), core::averaged_experiment(spec, policy, trials)});
+        }
+        core::print_accuracy_loss(std::cout, all);
+
+        if (spec.timing.enabled) {
+            std::cout << "\ncumulative training time by round (seconds):\n";
+            std::vector<std::string> headers{"round"};
+            for (const core::NamedSeries& s : all) headers.push_back(s.name + "_s");
+            core::TablePrinter table(std::cout, headers);
+            for (std::size_t r = 0; r < all.front().series.rounds(); ++r) {
+                std::vector<double> row{static_cast<double>(r + 1)};
+                for (const core::NamedSeries& s : all)
+                    row.push_back(s.series.cumulative_seconds[r]);
+                table.row(row, 2);
+            }
+        }
+
+        std::cout << "\nfinal accuracy:";
+        for (const core::NamedSeries& s : all) {
+            std::cout << ' ' << s.name << ' ' << core::percent(s.series.accuracy.back());
+        }
+        std::cout << '\n';
+        return 0;
+    } catch (const std::exception& error) {
+        std::cerr << "run_scenario: " << error.what() << '\n';
+        return 1;
+    }
+}

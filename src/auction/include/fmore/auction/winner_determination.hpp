@@ -2,13 +2,17 @@
 
 /// @file winner_determination.hpp
 /// The aggregator's side of one auction round (paper Section III.A step 3
-/// and Algorithm 1 lines 7-9): rank sealed bids by score with coin-flip
-/// ties, select K winners — optionally with psi-FMore probabilistic
-/// acceptance or a payment budget — and assign first- or second-score
-/// payments.
+/// and Algorithm 1 lines 7-9), as a thin driver over the pluggable
+/// `Mechanism` seam (mechanism.hpp): rank sealed bids by score with
+/// coin-flip ties, select K winners and assign payments. The paper's
+/// behaviors — first-/second-score payments, psi-FMore probabilistic
+/// acceptance, the payment-budget extension — are registered mechanisms
+/// resolved from the config's knobs.
 
+#include <memory>
 #include <vector>
 
+#include "fmore/auction/mechanism.hpp"
 #include "fmore/auction/scoring.hpp"
 #include "fmore/auction/types.hpp"
 #include "fmore/stats/rng.hpp"
@@ -16,63 +20,44 @@
 namespace fmore::auction {
 
 /// Winner-determination configuration (paper Section III.A step 3 and the
-/// psi-FMore extension of Section III.C).
-struct WinnerDeterminationConfig {
-    std::size_t num_winners = 20;  ///< K
-    PaymentRule payment_rule = PaymentRule::first_price;
-    /// psi-FMore acceptance probability. 1.0 reproduces plain FMore: nodes
-    /// in descending score order are accepted deterministically. For
-    /// psi < 1 each node is accepted with probability psi; scanning repeats
-    /// over the remaining nodes until K are chosen (the construction behind
-    /// the paper's Pr(psi) formula), so the winner set always reaches
-    /// min(K, #bids) nodes.
-    double psi = 1.0;
-    /// Optional per-node acceptance probabilities, indexed by NodeId; when
-    /// non-empty it overrides `psi` for listed nodes. The paper's
-    /// conclusion leaves "whether the probability psi should be identical
-    /// or distinct for each node" open — this knob implements the distinct
-    /// variant (measured in bench/ablation_auction).
-    std::vector<double> psi_per_node;
-    /// Safety valve for tiny psi: after this many full passes the remaining
-    /// slots are filled deterministically in score order.
-    std::size_t max_psi_passes = 64;
-    /// Aggregator budget B (extension; the paper's conclusion lists the
-    /// budget constraint as future work). Winners are admitted in selection
-    /// order only while the running payment total stays within B; 0 means
-    /// unconstrained. Applies to the payments of the configured rule.
-    double budget = 0.0;
-};
+/// psi-FMore extension of Section III.C). Alias of the mechanism parameter
+/// bag: set `mechanism` to pick a registry entry by name, or leave it empty
+/// to derive the mechanism from the legacy knobs exactly as before the
+/// registry existed.
+using WinnerDeterminationConfig = MechanismSpec;
 
-/// Sorts scored bids, breaks ties with a coin flip ("Ties are resolved by
-/// the flip of a coin", Section V.A), selects winners and assigns payments.
+/// Drives one `Mechanism` over the collected sealed bids. Construction
+/// resolves the mechanism through `MechanismRegistry` (or accepts one
+/// directly), so new auction variants plug in without touching this class.
 class WinnerDetermination {
 public:
+    /// Resolve the mechanism from `config` (explicit `config.mechanism`
+    /// name, else derived from the knobs — see `resolve_mechanism_name`).
+    /// @throws std::invalid_argument on invalid knobs or an unknown name
     WinnerDetermination(const ScoringRule& scoring, WinnerDeterminationConfig config);
+
+    /// Drive a caller-supplied mechanism (e.g. a custom registration or a
+    /// hand-built instance); `config()` reports the spec it was given.
+    WinnerDetermination(const ScoringRule& scoring, WinnerDeterminationConfig config,
+                        std::shared_ptr<const Mechanism> mechanism);
 
     /// Run one determination round over the collected sealed bids.
     /// Fewer than K bids simply yields fewer winners (the aggregator's timer
     /// expired with a short bid pool).
     /// @param bids the sealed bids collected this round
     /// @param rng  randomness source for coin-flip ties and psi acceptance
-    /// @return winners in selection order plus the full descending-score
-    ///         ranking (Fig. 8 input)
+    /// @return winners in selection order plus the descending-score ranking
+    ///         (complete by default — the Fig. 8 input; truncated to the
+    ///         top K(+1) when `config.full_ranking` is false)
     [[nodiscard]] AuctionOutcome run(const std::vector<Bid>& bids, stats::Rng& rng) const;
 
     [[nodiscard]] const WinnerDeterminationConfig& config() const { return config_; }
+    [[nodiscard]] const Mechanism& mechanism() const { return *mechanism_; }
 
 private:
-    /// Descending-score ranking with randomized tie order.
-    [[nodiscard]] std::vector<ScoredBid> rank(const std::vector<Bid>& bids,
-                                              stats::Rng& rng) const;
-    /// Indices (into the ranking) of the selected winners.
-    [[nodiscard]] std::vector<std::size_t> select(const std::vector<ScoredBid>& ranking,
-                                                  stats::Rng& rng) const;
-    [[nodiscard]] double payment_for(const std::vector<ScoredBid>& ranking,
-                                     std::size_t winner_rank,
-                                     double best_losing_score) const;
-
     const ScoringRule& scoring_;
     WinnerDeterminationConfig config_;
+    std::shared_ptr<const Mechanism> mechanism_;
 };
 
 } // namespace fmore::auction

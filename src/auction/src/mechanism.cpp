@@ -1,0 +1,288 @@
+#include "fmore/auction/mechanism.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "fmore/util/registry.hpp"
+
+namespace fmore::auction {
+
+// ---------------------------------------------------------------------------
+// Mechanism
+// ---------------------------------------------------------------------------
+
+AuctionOutcome Mechanism::run(const ScoringRule& scoring, const std::vector<Bid>& bids,
+                              stats::Rng& rng) const {
+    AuctionOutcome outcome;
+    outcome.ranking = rank(scoring, bids, rng);
+    const std::vector<std::size_t> chosen = select(outcome.ranking, rng);
+    outcome.winners = price(scoring, outcome.ranking, chosen);
+    return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// ScoreAuctionMechanism
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void check_probability(double value, const std::string& what) {
+    if (!(value > 0.0 && value <= 1.0) || std::isnan(value))
+        throw std::invalid_argument(what + " = " + std::to_string(value)
+                                    + ": must be a finite probability in (0, 1]"
+                                      " (1.0 disables probabilistic acceptance)");
+}
+
+} // namespace
+
+ScoreAuctionMechanism::ScoreAuctionMechanism(MechanismSpec spec, std::string name)
+    : spec_(std::move(spec)), name_(std::move(name)) {
+    if (spec_.num_winners == 0)
+        throw std::invalid_argument("ScoreAuctionMechanism: K (num_winners) must be >= 1");
+    check_probability(spec_.psi, "ScoreAuctionMechanism: psi");
+    for (std::size_t i = 0; i < spec_.psi_per_node.size(); ++i) {
+        check_probability(spec_.psi_per_node[i], "ScoreAuctionMechanism: psi_per_node["
+                                                     + std::to_string(i) + "]");
+    }
+    if (!(spec_.budget >= 0.0) || std::isinf(spec_.budget))
+        throw std::invalid_argument("ScoreAuctionMechanism: budget = "
+                                    + std::to_string(spec_.budget)
+                                    + ": must be finite and >= 0 (0 = unconstrained)");
+}
+
+std::string ScoreAuctionMechanism::name() const {
+    return name_.empty() ? resolve_mechanism_name(spec_) : name_;
+}
+
+std::vector<ScoredBid> ScoreAuctionMechanism::rank(const ScoringRule& scoring,
+                                                   const std::vector<Bid>& bids,
+                                                   stats::Rng& rng) const {
+    std::vector<ScoredBid> ranking;
+    ranking.reserve(bids.size());
+    for (const Bid& bid : bids) {
+        ranking.push_back({bid, scoring.score(bid)});
+    }
+    // Random shuffle first, then sort by score: bids with exactly equal
+    // scores end up in coin-flip order ("Ties are resolved by the flip of a
+    // coin", Section V.A).
+    std::vector<std::size_t> order(ranking.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    std::vector<ScoredBid> shuffled;
+    shuffled.reserve(ranking.size());
+    for (const std::size_t i : order) shuffled.push_back(std::move(ranking[i]));
+
+    // The psi scan walks the whole board and `full_ranking` is the Fig. 8
+    // contract, so both force the complete sort.
+    const bool probabilistic = spec_.psi < 1.0 || !spec_.psi_per_node.empty();
+    std::size_t top = shuffled.size();
+    if (!spec_.full_ranking && !probabilistic) {
+        top = std::min<std::size_t>(shuffled.size(), spec_.num_winners);
+        // Second-score payments price against the best loser, rank K.
+        if (spec_.payment_rule == PaymentRule::second_price)
+            top = std::min<std::size_t>(shuffled.size(), top + 1);
+    }
+
+    // Comparing (score desc, shuffled position asc) is a strict total order
+    // whose result is exactly what stable_sort on the shuffled vector
+    // produces, so the partial path returns a bit-identical top segment.
+    if (top >= shuffled.size()) {
+        std::stable_sort(shuffled.begin(), shuffled.end(),
+                         [](const ScoredBid& a, const ScoredBid& b) {
+                             return a.score > b.score;
+                         });
+        return shuffled;
+    }
+    std::vector<std::size_t> idx(shuffled.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(top),
+                      idx.end(), [&shuffled](std::size_t a, std::size_t b) {
+                          if (shuffled[a].score != shuffled[b].score)
+                              return shuffled[a].score > shuffled[b].score;
+                          return a < b;
+                      });
+    std::vector<ScoredBid> head;
+    head.reserve(top);
+    for (std::size_t i = 0; i < top; ++i) head.push_back(std::move(shuffled[idx[i]]));
+    return head;
+}
+
+std::vector<std::size_t> ScoreAuctionMechanism::select(const std::vector<ScoredBid>& ranking,
+                                                       stats::Rng& rng) const {
+    const std::size_t want = std::min<std::size_t>(spec_.num_winners, ranking.size());
+    std::vector<std::size_t> chosen;
+    chosen.reserve(want);
+    auto psi_for = [this](NodeId node) {
+        if (spec_.psi_per_node.empty()) return spec_.psi;
+        if (node >= spec_.psi_per_node.size())
+            throw std::out_of_range(
+                "ScoreAuctionMechanism: psi_per_node has "
+                + std::to_string(spec_.psi_per_node.size()) + " entries but bidder NodeId "
+                + std::to_string(node)
+                + " is out of range; per-node psi is indexed by NodeId and must cover "
+                  "every bidder");
+        return spec_.psi_per_node[node];
+    };
+    if (spec_.psi >= 1.0 && spec_.psi_per_node.empty()) {
+        for (std::size_t i = 0; i < want; ++i) chosen.push_back(i);
+        return chosen;
+    }
+    std::vector<bool> taken(ranking.size(), false);
+    std::size_t passes = 0;
+    while (chosen.size() < want && passes < spec_.max_psi_passes) {
+        for (std::size_t i = 0; i < ranking.size() && chosen.size() < want; ++i) {
+            if (taken[i]) continue;
+            if (rng.bernoulli(psi_for(ranking[i].bid.node))) {
+                taken[i] = true;
+                chosen.push_back(i);
+            }
+        }
+        ++passes;
+    }
+    // Deterministic fill if psi was so small that the passes budget ran out.
+    for (std::size_t i = 0; i < ranking.size() && chosen.size() < want; ++i) {
+        if (!taken[i]) {
+            taken[i] = true;
+            chosen.push_back(i);
+        }
+    }
+    return chosen;
+}
+
+double ScoreAuctionMechanism::payment_for(const ScoringRule& scoring,
+                                          const std::vector<ScoredBid>& ranking,
+                                          std::size_t winner_rank,
+                                          double best_losing_score) const {
+    const ScoredBid& winner = ranking[winner_rank];
+    if (spec_.payment_rule == PaymentRule::first_price) {
+        return winner.bid.payment;
+    }
+    // Second-score payment: pay the winner enough that its score would drop
+    // to the best losing score, i.e. p = s(q) - S_loser. Never below its own
+    // ask (IR for the winner).
+    const double s_q = scoring.quality_score(winner.bid.quality);
+    return std::max(winner.bid.payment, s_q - best_losing_score);
+}
+
+std::vector<Winner> ScoreAuctionMechanism::price(const ScoringRule& scoring,
+                                                 const std::vector<ScoredBid>& ranking,
+                                                 const std::vector<std::size_t>& chosen) const {
+    // Best losing score for second-price payments: the highest-ranked bid
+    // that was not selected; a reserve score of zero if everyone won.
+    double best_losing_score = 0.0;
+    if (spec_.payment_rule == PaymentRule::second_price) {
+        std::vector<bool> selected(ranking.size(), false);
+        for (const std::size_t i : chosen) selected[i] = true;
+        for (std::size_t i = 0; i < ranking.size(); ++i) {
+            if (!selected[i]) {
+                best_losing_score = ranking[i].score;
+                break;
+            }
+        }
+    }
+
+    std::vector<Winner> winners;
+    winners.reserve(chosen.size());
+    double spent = 0.0;
+    for (const std::size_t i : chosen) {
+        const ScoredBid& sb = ranking[i];
+        const double payment = payment_for(scoring, ranking, i, best_losing_score);
+        if (spec_.budget > 0.0 && spent + payment > spec_.budget) {
+            // Budget-feasible prefix in selection order; cheaper lower-score
+            // bids are NOT pulled forward (that would break monotonicity and
+            // with it incentive compatibility).
+            break;
+        }
+        spent += payment;
+        winners.push_back(Winner{sb.bid.node, sb.score, payment});
+    }
+    return winners;
+}
+
+// ---------------------------------------------------------------------------
+// MechanismRegistry
+// ---------------------------------------------------------------------------
+
+struct MechanismRegistry::Impl {
+    util::NamedRegistry<MechanismFactory> registry{"MechanismRegistry", "mechanism"};
+};
+
+namespace {
+
+/// Built-in factory: the configurable score auction under a fixed display
+/// name, with the headline knob pinned so e.g. "second_score" always prices
+/// second-score no matter what the spec's payment_rule says.
+MechanismFactory score_auction_factory(std::string name,
+                                       void (*pin)(MechanismSpec&)) {
+    return [name = std::move(name), pin](const MechanismSpec& spec) {
+        MechanismSpec pinned = spec;
+        if (pin != nullptr) pin(pinned);
+        return std::make_unique<ScoreAuctionMechanism>(std::move(pinned), name);
+    };
+}
+
+} // namespace
+
+MechanismRegistry::MechanismRegistry() : impl_(std::make_shared<Impl>()) {
+    // The four paper mechanisms. Each honours every other spec knob, so the
+    // pre-registry knob combinations (psi + budget + second score) keep
+    // composing bit-identically.
+    impl_->registry.replace("first_score", score_auction_factory(
+        "first_score", +[](MechanismSpec& s) { s.payment_rule = PaymentRule::first_price; }));
+    impl_->registry.replace("second_score", score_auction_factory(
+        "second_score",
+        +[](MechanismSpec& s) { s.payment_rule = PaymentRule::second_price; }));
+    impl_->registry.replace("psi_fmore", score_auction_factory("psi_fmore", nullptr));
+    impl_->registry.replace("budget_feasible",
+                            score_auction_factory("budget_feasible", nullptr));
+}
+
+MechanismRegistry& MechanismRegistry::instance() {
+    static MechanismRegistry registry;
+    return registry;
+}
+
+void MechanismRegistry::add(const std::string& name, MechanismFactory factory) {
+    util::require_factory(factory, "MechanismRegistry", "add", name);
+    impl_->registry.add(name, std::move(factory));
+}
+
+void MechanismRegistry::replace(const std::string& name, MechanismFactory factory) {
+    util::require_factory(factory, "MechanismRegistry", "replace", name);
+    impl_->registry.replace(name, std::move(factory));
+}
+
+void MechanismRegistry::remove(const std::string& name) { impl_->registry.remove(name); }
+
+bool MechanismRegistry::contains(const std::string& name) const {
+    return impl_->registry.contains(name);
+}
+
+std::vector<std::string> MechanismRegistry::names() const {
+    return impl_->registry.names();
+}
+
+std::unique_ptr<Mechanism> MechanismRegistry::create(const std::string& name,
+                                                     const MechanismSpec& spec) const {
+    std::unique_ptr<Mechanism> mechanism = impl_->registry.get(name)(spec);
+    if (!mechanism)
+        throw std::logic_error("MechanismRegistry: factory for '" + name
+                               + "' returned null");
+    return mechanism;
+}
+
+std::string resolve_mechanism_name(const MechanismSpec& spec) {
+    if (!spec.mechanism.empty()) return spec.mechanism;
+    if (spec.budget > 0.0) return "budget_feasible";
+    if (spec.psi < 1.0 || !spec.psi_per_node.empty()) return "psi_fmore";
+    if (spec.payment_rule == PaymentRule::second_price) return "second_score";
+    return "first_score";
+}
+
+std::unique_ptr<Mechanism> make_mechanism(const MechanismSpec& spec) {
+    return MechanismRegistry::instance().create(resolve_mechanism_name(spec), spec);
+}
+
+} // namespace fmore::auction

@@ -1,123 +1,25 @@
 #include "fmore/auction/winner_determination.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace fmore::auction {
 
 WinnerDetermination::WinnerDetermination(const ScoringRule& scoring,
                                          WinnerDeterminationConfig config)
-    : scoring_(scoring), config_(config) {
-    if (config_.num_winners == 0)
-        throw std::invalid_argument("WinnerDetermination: K must be >= 1");
-    if (!(config_.psi > 0.0 && config_.psi <= 1.0))
-        throw std::invalid_argument("WinnerDetermination: psi must be in (0, 1]");
-}
+    : scoring_(scoring), config_(std::move(config)), mechanism_(make_mechanism(config_)) {}
 
-std::vector<ScoredBid> WinnerDetermination::rank(const std::vector<Bid>& bids,
-                                                 stats::Rng& rng) const {
-    std::vector<ScoredBid> ranking;
-    ranking.reserve(bids.size());
-    for (const Bid& bid : bids) {
-        ranking.push_back({bid, scoring_.score(bid)});
-    }
-    // Random shuffle first, then stable sort by score: bids with exactly
-    // equal scores end up in coin-flip order.
-    std::vector<std::size_t> order(ranking.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    rng.shuffle(order);
-    std::vector<ScoredBid> shuffled;
-    shuffled.reserve(ranking.size());
-    for (const std::size_t i : order) shuffled.push_back(std::move(ranking[i]));
-    std::stable_sort(shuffled.begin(), shuffled.end(),
-                     [](const ScoredBid& a, const ScoredBid& b) { return a.score > b.score; });
-    return shuffled;
-}
-
-std::vector<std::size_t> WinnerDetermination::select(const std::vector<ScoredBid>& ranking,
-                                                     stats::Rng& rng) const {
-    const std::size_t want = std::min<std::size_t>(config_.num_winners, ranking.size());
-    std::vector<std::size_t> chosen;
-    chosen.reserve(want);
-    auto psi_for = [this](NodeId node) {
-        if (node < config_.psi_per_node.size()) return config_.psi_per_node[node];
-        return config_.psi;
-    };
-    if (config_.psi >= 1.0 && config_.psi_per_node.empty()) {
-        for (std::size_t i = 0; i < want; ++i) chosen.push_back(i);
-        return chosen;
-    }
-    std::vector<bool> taken(ranking.size(), false);
-    std::size_t passes = 0;
-    while (chosen.size() < want && passes < config_.max_psi_passes) {
-        for (std::size_t i = 0; i < ranking.size() && chosen.size() < want; ++i) {
-            if (taken[i]) continue;
-            if (rng.bernoulli(psi_for(ranking[i].bid.node))) {
-                taken[i] = true;
-                chosen.push_back(i);
-            }
-        }
-        ++passes;
-    }
-    // Deterministic fill if psi was so small that the passes budget ran out.
-    for (std::size_t i = 0; i < ranking.size() && chosen.size() < want; ++i) {
-        if (!taken[i]) {
-            taken[i] = true;
-            chosen.push_back(i);
-        }
-    }
-    return chosen;
-}
-
-double WinnerDetermination::payment_for(const std::vector<ScoredBid>& ranking,
-                                        std::size_t winner_rank,
-                                        double best_losing_score) const {
-    const ScoredBid& winner = ranking[winner_rank];
-    if (config_.payment_rule == PaymentRule::first_price) {
-        return winner.bid.payment;
-    }
-    // Second-score payment: pay the winner enough that its score would drop
-    // to the best losing score, i.e. p = s(q) - S_loser. Never below its own
-    // ask (IR for the winner).
-    const double s_q = scoring_.quality_score(winner.bid.quality);
-    return std::max(winner.bid.payment, s_q - best_losing_score);
+WinnerDetermination::WinnerDetermination(const ScoringRule& scoring,
+                                         WinnerDeterminationConfig config,
+                                         std::shared_ptr<const Mechanism> mechanism)
+    : scoring_(scoring), config_(std::move(config)), mechanism_(std::move(mechanism)) {
+    if (!mechanism_)
+        throw std::invalid_argument("WinnerDetermination: null mechanism");
 }
 
 AuctionOutcome WinnerDetermination::run(const std::vector<Bid>& bids,
                                         stats::Rng& rng) const {
-    AuctionOutcome outcome;
-    outcome.ranking = rank(bids, rng);
-    const std::vector<std::size_t> chosen = select(outcome.ranking, rng);
-
-    // Best losing score for second-price payments: the highest-ranked bid
-    // that was not selected; a reserve score of zero if everyone won.
-    double best_losing_score = 0.0;
-    if (config_.payment_rule == PaymentRule::second_price) {
-        std::vector<bool> selected(outcome.ranking.size(), false);
-        for (const std::size_t i : chosen) selected[i] = true;
-        for (std::size_t i = 0; i < outcome.ranking.size(); ++i) {
-            if (!selected[i]) {
-                best_losing_score = outcome.ranking[i].score;
-                break;
-            }
-        }
-    }
-
-    outcome.winners.reserve(chosen.size());
-    double spent = 0.0;
-    for (const std::size_t i : chosen) {
-        const ScoredBid& sb = outcome.ranking[i];
-        const double payment = payment_for(outcome.ranking, i, best_losing_score);
-        if (config_.budget > 0.0 && spent + payment > config_.budget) {
-            // Budget-feasible prefix in selection order; cheaper lower-score
-            // bids are NOT pulled forward (that would break monotonicity and
-            // with it incentive compatibility).
-            break;
-        }
-        spent += payment;
-        outcome.winners.push_back(Winner{sb.bid.node, sb.score, payment});
-    }
-    return outcome;
+    return mechanism_->run(scoring_, bids, rng);
 }
 
 } // namespace fmore::auction

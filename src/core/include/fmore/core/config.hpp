@@ -1,7 +1,15 @@
 #pragma once
 
+/// @file config.hpp
+/// Legacy flat experiment configs. These are the *compatibility* surface:
+/// new code should hold a `core::ExperimentSpec` (experiment.hpp), which
+/// subsumes both structs; the experiment layer materializes these
+/// internally via `to_simulation_config` / `to_realworld_config`, and those
+/// converters are the only sanctioned construction sites outside tests.
+
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fmore/auction/types.hpp"
 #include "fmore/auction/win_probability.hpp"
@@ -54,11 +62,17 @@ struct SimulationConfig {
     double theta_hi = 1.5;
     double beta_data = 6.0;        ///< cost weight of the (normalized) data dim
     double beta_category = 2.0;    ///< cost weight of the category dim
-    double psi = 1.0;              ///< used by Strategy::psi_fmore
+    double psi = 1.0;              ///< used by the psi_fmore policy
+    /// Optional per-node acceptance probabilities (distinct-psi variant),
+    /// indexed by NodeId; empty = identical psi for everyone.
+    std::vector<double> psi_per_node;
     /// Aggregator budget per round (extension; the paper's future work).
     /// 0 disables the constraint; otherwise winners are admitted in score
     /// order while total payment fits the budget.
     double budget = 0.0;
+    /// MechanismRegistry key; "" derives the mechanism from the knobs above
+    /// (see auction::resolve_mechanism_name).
+    std::string mechanism;
     auction::PaymentRule payment_rule = auction::PaymentRule::first_price;
     auction::WinModel win_model = auction::WinModel::paper;
     double resource_jitter = 0.08; ///< MEC dynamics
@@ -114,6 +128,12 @@ struct RealWorldConfig {
     double theta_lo = 0.8;
     double theta_hi = 1.2;
     double psi = 1.0;
+    /// Optional per-node acceptance probabilities, indexed by NodeId.
+    std::vector<double> psi_per_node;
+    /// Per-round payment budget (0 = unconstrained).
+    double budget = 0.0;
+    /// MechanismRegistry key; "" derives the mechanism from the knobs.
+    std::string mechanism;
     auction::PaymentRule payment_rule = auction::PaymentRule::first_price;
     auction::WinModel win_model = auction::WinModel::paper;
     double resource_jitter = 0.10;

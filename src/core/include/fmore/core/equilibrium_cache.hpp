@@ -1,0 +1,83 @@
+#pragma once
+
+/// @file equilibrium_cache.hpp
+/// Keyed cache of solved equilibrium strategies. Tabulating Theorem 1 is
+/// the dominant setup cost of a trial, yet a multi-trial sweep usually
+/// solves the *same* game every time: the solver's inputs (scoring, cost,
+/// theta distribution, N, K, grids) depend only on the experiment spec, not
+/// on the trial index. One tabulation therefore serves every trial of a
+/// sweep — the ROADMAP's "equilibrium solve caching" item, measured in
+/// bench/micro_overhead.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fmore/auction/cost.hpp"
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/scoring.hpp"
+#include "fmore/stats/distributions.hpp"
+
+namespace fmore::core {
+
+/// A tabulated strategy bundled with the scoring/cost/type objects its
+/// internal tables reference. The strategy holds raw pointers into
+/// `scoring` and `cost`, so they must live exactly as long as it does —
+/// keeping all four in one shared, immutable bundle makes the lifetime
+/// trivial for every trial that shares it. All members are deeply const
+/// after construction; sharing across trial-runner threads is safe.
+struct SolvedEquilibrium {
+    SolvedEquilibrium(std::unique_ptr<const auction::ScoringRule> scoring_in,
+                      std::unique_ptr<const auction::CostModel> cost_in,
+                      std::unique_ptr<const stats::Distribution> theta_in,
+                      auction::EquilibriumStrategy strategy_in)
+        : scoring(std::move(scoring_in)),
+          cost(std::move(cost_in)),
+          theta(std::move(theta_in)),
+          strategy(std::move(strategy_in)) {}
+
+    std::unique_ptr<const auction::ScoringRule> scoring;
+    std::unique_ptr<const auction::CostModel> cost;
+    std::unique_ptr<const stats::Distribution> theta;
+    auction::EquilibriumStrategy strategy;
+};
+
+struct EquilibriumCacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+};
+
+/// Process-wide map from a caller-built key to a shared SolvedEquilibrium.
+/// A miss publishes its slot (as a future) before solving, so concurrent
+/// trials of one sweep never duplicate a tabulation — same-key callers
+/// wait on the in-flight solve while different-key solves run in parallel;
+/// the map's mutex is never held across a solve. Entries are never
+/// evicted (`clear` aside): the population is bounded by the distinct
+/// solver configurations a process runs.
+class EquilibriumCache {
+public:
+    [[nodiscard]] static EquilibriumCache& instance();
+
+    using Builder = std::function<std::shared_ptr<const SolvedEquilibrium>()>;
+
+    /// Return the cached bundle for `key`, or run `build` and cache its
+    /// result. The key must capture every solver input (the experiment
+    /// layer builds it from the spec); the builder must be a pure function
+    /// of those inputs — the solver is deterministic, so cached and fresh
+    /// tables are bit-identical.
+    [[nodiscard]] std::shared_ptr<const SolvedEquilibrium>
+    get_or_solve(const std::string& key, const Builder& build);
+
+    [[nodiscard]] EquilibriumCacheStats stats() const;
+    /// Drop all entries and zero the counters (tests; memory pressure).
+    void clear();
+
+private:
+    EquilibriumCache() = default;
+    struct Impl;
+    [[nodiscard]] Impl& impl() const;
+};
+
+} // namespace fmore::core

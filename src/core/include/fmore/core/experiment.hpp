@@ -1,0 +1,203 @@
+#pragma once
+
+/// @file experiment.hpp
+/// The unified experiment surface: one `ExperimentSpec` composed of
+/// sub-specs (population, auction, training, timing) subsumes the legacy
+/// `SimulationConfig` / `RealWorldConfig` pair. Specs serialize to and
+/// parse from key=value text, validate with actionable messages, and drive
+/// trials through `ExperimentTrial` — the facade benches, examples and the
+/// `run_scenario` CLI all share. Named presets live in scenarios.hpp.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fmore/auction/win_probability.hpp"
+#include "fmore/core/config.hpp"
+#include "fmore/core/realworld.hpp"
+#include "fmore/core/simulation.hpp"
+#include "fmore/fl/metrics.hpp"
+
+namespace fmore::core {
+
+/// Which of the paper's two worlds the spec assembles. The kind picks the
+/// scoring family and data split the paper ties to each setup: `simulation`
+/// is the N=100 simulator (two-dimensional scaled-product scoring
+/// alpha*q1*q2, non-IID label shards, Section V.A), `testbed` the 31-node
+/// deployment (three-dimensional additive scoring over cpu/bandwidth/data,
+/// IID shards of heterogeneous size, wall-clock model, Sections V.A/V.C).
+enum class ExperimentKind : std::uint8_t {
+    simulation,
+    testbed,
+};
+
+/// The edge-node population: how many nodes, what data/resources they hold
+/// and how both drift between rounds (MEC dynamics).
+struct PopulationSpec {
+    std::size_t num_nodes = 100;  ///< N
+    std::size_t shards_lo = 1;    ///< per-node label-shard count range; the
+    std::size_t shards_hi = 5;    ///< spread drives category diversity (simulation)
+    std::size_t data_lo = 20;     ///< per-node sample range after resizing
+    std::size_t data_hi = 150;
+    double cpu_lo = 1.0;          ///< cores usable for training (testbed)
+    double cpu_hi = 8.0;
+    double bandwidth_lo = 200.0;  ///< Mbps (testbed)
+    double bandwidth_hi = 1000.0;
+    double theta_lo = 0.5;        ///< private cost-type support
+    double theta_hi = 1.5;
+    double resource_jitter = 0.08;
+    double theta_jitter = 0.02;
+};
+
+/// The incentive layer: mechanism name, winner-set size, scoring and cost
+/// coefficients, and the extension knobs (psi, budget).
+struct AuctionSpec {
+    /// MechanismRegistry key; "" lets the legacy knobs decide (psi < 1 ->
+    /// psi_fmore, budget > 0 -> budget_feasible, ...). Anything registered
+    /// — including mechanisms registered outside this repo — is valid.
+    std::string mechanism;
+    std::size_t winners = 20;       ///< K
+    double alpha = 25.0;            ///< scaled-product coefficient (simulation)
+    double alpha_cpu = 0.4;         ///< additive weights (testbed scoring)
+    double alpha_bandwidth = 0.3;
+    double alpha_data = 0.3;
+    double beta_data = 6.0;         ///< cost weight of the (normalized) data dim
+    double beta_category = 2.0;     ///< cost weight of the category dim
+    double psi = 1.0;               ///< psi-FMore acceptance probability
+    std::vector<double> psi_per_node;  ///< distinct-psi variant, indexed by NodeId
+    double budget = 0.0;            ///< per-round payment budget; 0 = off
+    auction::PaymentRule payment_rule = auction::PaymentRule::first_price;
+    auction::WinModel win_model = auction::WinModel::paper;
+};
+
+/// The learning workload: dataset, split sizes and SGD hyperparameters.
+struct TrainingSpec {
+    DatasetKind dataset = DatasetKind::mnist_o;
+    std::size_t train_samples = 9000;
+    std::size_t test_samples = 1500;
+    std::size_t rounds = 20;        ///< T
+    std::size_t local_epochs = 1;
+    std::size_t batch_size = 16;
+    double learning_rate = 0.08;
+    std::size_t eval_cap = 1000;
+};
+
+/// The wall-clock model (testbed experiments; see mec::ClusterTimeConfig).
+/// `enabled` is kind-implied — the testbed always models wall-clock time
+/// and the simulator never does — and validation rejects a mismatch so the
+/// knob cannot silently disagree with what the engine actually runs.
+struct TimingSpec {
+    bool enabled = false;
+    double model_bytes = 1.7e7;
+    double seconds_per_sample_core = 0.05;
+    double round_overhead_s = 1.0;
+};
+
+/// Everything needed to reproduce one experiment, simulator or testbed.
+struct ExperimentSpec {
+    ExperimentKind kind = ExperimentKind::simulation;
+    std::uint64_t seed = 7;
+    PopulationSpec population;
+    AuctionSpec auction;
+    TrainingSpec training;
+    TimingSpec timing;
+};
+
+[[nodiscard]] bool operator==(const PopulationSpec&, const PopulationSpec&);
+[[nodiscard]] bool operator==(const AuctionSpec&, const AuctionSpec&);
+[[nodiscard]] bool operator==(const TrainingSpec&, const TrainingSpec&);
+[[nodiscard]] bool operator==(const TimingSpec&, const TimingSpec&);
+[[nodiscard]] bool operator==(const ExperimentSpec&, const ExperimentSpec&);
+
+[[nodiscard]] std::string to_string(ExperimentKind kind);
+
+/// Simulator defaults for `dataset` with the per-dataset hyperparameters
+/// applied — spec-level twin of `default_simulation`.
+[[nodiscard]] ExperimentSpec default_experiment(DatasetKind dataset);
+/// Testbed defaults — spec-level twin of `RealWorldConfig{}`.
+[[nodiscard]] ExperimentSpec default_testbed_experiment();
+
+// ---------------------------------------------------------------------------
+// Compatibility shims — the only sanctioned way to build the legacy config
+// structs. Everything outside src/core should hold an ExperimentSpec.
+// ---------------------------------------------------------------------------
+
+/// @throws std::invalid_argument when `spec.kind` is not `simulation`
+[[nodiscard]] SimulationConfig to_simulation_config(const ExperimentSpec& spec);
+/// @throws std::invalid_argument when `spec.kind` is not `testbed`
+[[nodiscard]] RealWorldConfig to_realworld_config(const ExperimentSpec& spec);
+[[nodiscard]] ExperimentSpec from_simulation_config(const SimulationConfig& config);
+[[nodiscard]] ExperimentSpec from_realworld_config(const RealWorldConfig& config);
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+/// Every problem found, one actionable message per entry ("auction.psi =
+/// -0.5: must be ..."); empty means the spec is runnable.
+[[nodiscard]] std::vector<std::string> validate(const ExperimentSpec& spec);
+/// @throws std::invalid_argument joining all validation messages
+void validate_or_throw(const ExperimentSpec& spec);
+
+// ---------------------------------------------------------------------------
+// key=value text (de)serialization
+// ---------------------------------------------------------------------------
+
+/// Render the spec as "section.key = value" lines (doubles at full
+/// round-trip precision). `parse_experiment_spec(to_text(spec)) == spec`.
+[[nodiscard]] std::string to_text(const ExperimentSpec& spec);
+
+/// Apply one "section.key" assignment to `spec` in place (the CLI's
+/// `--set key=value`).
+/// @throws std::invalid_argument for unknown keys (listing the section's
+///         keys) or unparseable values
+void apply_key_value(ExperimentSpec& spec, const std::string& key,
+                     const std::string& value);
+
+/// Parse key=value text (one assignment per line; '#' starts a comment;
+/// blank lines ignored). Starts from simulation defaults — put a
+/// `kind = testbed` line first (or start from a named scenario) when
+/// writing testbed scenario files, since later keys override earlier ones
+/// but `kind` never re-materializes defaults.
+/// @throws std::invalid_argument with the offending line number and text
+[[nodiscard]] ExperimentSpec parse_experiment_spec(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Running a spec
+// ---------------------------------------------------------------------------
+
+/// One fully-assembled trial of `spec` — the facade over the simulator and
+/// testbed engines. Construction validates the spec (throwing with every
+/// problem listed), builds the world for `trial_index` and reuses any
+/// cached equilibrium tabulation (equilibrium_cache.hpp).
+class ExperimentTrial {
+public:
+    ExperimentTrial(const ExperimentSpec& spec, std::size_t trial_index);
+
+    /// Run the federated experiment under a named selection policy
+    /// ("fmore", "psi_fmore", "randfl", "fixfl", or any PolicyRegistry
+    /// registration). Each call re-initializes the model and population
+    /// from the trial seed, so policies compared within a trial start from
+    /// identical state.
+    [[nodiscard]] fl::RunResult run(const std::string& policy);
+    /// Legacy-enum overload.
+    [[nodiscard]] fl::RunResult run(Strategy strategy);
+
+    /// Sealed-bid score board of the last auction-backed round (Fig. 8).
+    [[nodiscard]] const std::vector<double>& last_all_scores() const;
+    /// Per-client shards of this trial's world.
+    [[nodiscard]] const std::vector<ml::ClientShard>& shards() const;
+
+    [[nodiscard]] const ExperimentSpec& spec() const { return spec_; }
+
+private:
+    ExperimentSpec spec_;
+    std::unique_ptr<SimulationTrial> simulation_;
+    std::unique_ptr<RealWorldTrial> testbed_;
+};
+
+/// Registry name of the selection policy a legacy Strategy maps to.
+[[nodiscard]] std::string to_policy_name(Strategy strategy);
+
+} // namespace fmore::core

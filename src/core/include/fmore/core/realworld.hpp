@@ -1,17 +1,19 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
-#include "fmore/auction/cost.hpp"
-#include "fmore/auction/equilibrium.hpp"
-#include "fmore/auction/scoring.hpp"
 #include "fmore/core/config.hpp"
+#include "fmore/core/equilibrium_cache.hpp"
 #include "fmore/fl/coordinator.hpp"
+#include "fmore/fl/metrics.hpp"
 #include "fmore/mec/cluster.hpp"
 #include "fmore/mec/population.hpp"
 #include "fmore/ml/model.hpp"
 
 namespace fmore::core {
+
+struct ExperimentSpec;
 
 /// The testbed reproduction (Figs. 12-13): 31 heterogeneous nodes behind a
 /// switch, three-dimensional resource auction, and a wall-clock model so
@@ -19,14 +21,25 @@ namespace fmore::core {
 class RealWorldTrial {
 public:
     RealWorldTrial(const RealWorldConfig& config, std::size_t trial_index);
+    /// Spec-first construction (validates, then converts through the
+    /// compat shim).
+    RealWorldTrial(const ExperimentSpec& spec, std::size_t trial_index);
 
-    /// Supported strategies: fmore, psi_fmore, randfl, fixfl (the paper's
-    /// testbed section compares FMore and RandFL).
+    /// Run under a named selection policy (fl::PolicyRegistry); the paper's
+    /// testbed section compares FMore and RandFL.
+    [[nodiscard]] fl::RunResult run(const std::string& policy);
+    /// Legacy-enum overload.
     [[nodiscard]] fl::RunResult run(Strategy strategy);
 
+    /// Sealed-bid score board of the last auction-backed round.
+    [[nodiscard]] const std::vector<double>& last_all_scores() const {
+        return last_all_scores_;
+    }
+
+    [[nodiscard]] const std::vector<ml::ClientShard>& shards() const { return shards_; }
     [[nodiscard]] const RealWorldConfig& config() const { return config_; }
     [[nodiscard]] const auction::EquilibriumStrategy& equilibrium() const {
-        return *equilibrium_;
+        return solved_->strategy;
     }
 
 private:
@@ -40,10 +53,9 @@ private:
     ml::Dataset test_;
     std::vector<ml::ClientShard> shards_;
     std::unique_ptr<stats::UniformDistribution> theta_dist_;
-    std::unique_ptr<auction::AdditiveScoring> scoring_;
-    std::unique_ptr<auction::AdditiveCost> cost_;
-    std::unique_ptr<auction::EquilibriumStrategy> equilibrium_;
+    std::shared_ptr<const SolvedEquilibrium> solved_;
     std::unique_ptr<mec::MecPopulation> population_;
+    std::vector<double> last_all_scores_;
 };
 
 } // namespace fmore::core

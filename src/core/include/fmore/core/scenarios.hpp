@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file scenarios.hpp
+/// Named experiment presets. Every paper figure (and each extension study)
+/// is a registered `ExperimentSpec` factory, so benches, examples, tests
+/// and the `run_scenario` CLI all start from the same definitions —
+/// "paper/fig04" means the same world everywhere. Downstream code registers
+/// its own scenarios; nothing here is closed.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fmore/core/experiment.hpp"
+
+namespace fmore::core {
+
+/// Process-wide string-keyed registry of experiment presets. The paper
+/// scenarios are registered on first use. All methods are thread-safe.
+class ScenarioRegistry {
+public:
+    [[nodiscard]] static ScenarioRegistry& instance();
+
+    using ScenarioFactory = std::function<ExperimentSpec()>;
+
+    struct Entry {
+        std::string name;
+        std::string description;
+    };
+
+    /// @throws std::invalid_argument on an empty/duplicate name or null
+    ///         factory (use `replace` to overwrite deliberately)
+    void add(const std::string& name, const std::string& description,
+             ScenarioFactory factory);
+    void replace(const std::string& name, const std::string& description,
+                 ScenarioFactory factory);
+    void remove(const std::string& name);
+
+    [[nodiscard]] bool contains(const std::string& name) const;
+    /// All registered scenarios with their descriptions, sorted by name.
+    [[nodiscard]] std::vector<Entry> list() const;
+
+    /// Materialize the preset registered under `name`.
+    /// @throws std::invalid_argument for unknown names, listing what is
+    ///         registered so the typo is obvious
+    [[nodiscard]] ExperimentSpec get(const std::string& name) const;
+
+private:
+    ScenarioRegistry();
+    struct Impl;
+    std::shared_ptr<Impl> impl_;
+};
+
+/// Shorthand for `ScenarioRegistry::instance().get(name)`.
+[[nodiscard]] ExperimentSpec named_scenario(const std::string& name);
+
+} // namespace fmore::core

@@ -1,14 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
-#include "fmore/auction/cost.hpp"
-#include "fmore/auction/equilibrium.hpp"
-#include "fmore/auction/scoring.hpp"
 #include "fmore/core/config.hpp"
+#include "fmore/core/equilibrium_cache.hpp"
 #include "fmore/fl/coordinator.hpp"
 #include "fmore/fl/metrics.hpp"
-#include "fmore/mec/auction_selector.hpp"
 #include "fmore/mec/population.hpp"
 #include "fmore/ml/model.hpp"
 #include "fmore/ml/synthetic.hpp"
@@ -16,18 +14,28 @@
 
 namespace fmore::core {
 
+struct ExperimentSpec;
+
 /// One fully-assembled trial of the paper's simulator: dataset, non-IID
 /// shards, MEC population, solved equilibrium strategy, model and
-/// coordinator. Owns everything so lifetimes are trivial; build one per
-/// (config, trial) pair — construction costs well under a second.
+/// coordinator. Owns (or shares, for the cached equilibrium) everything so
+/// lifetimes are trivial; build one per (config, trial) pair —
+/// construction costs well under a second, and the equilibrium tabulation
+/// is reused across trials via core::EquilibriumCache.
 class SimulationTrial {
 public:
     SimulationTrial(const SimulationConfig& config, std::size_t trial_index);
+    /// Spec-first construction (validates, then converts through the
+    /// compat shim).
+    SimulationTrial(const ExperimentSpec& spec, std::size_t trial_index);
 
-    /// Run the federated experiment under one selection strategy. Each call
-    /// re-initializes the global model from the trial seed, so strategies
-    /// compared within a trial start from identical weights, data and
-    /// population state.
+    /// Run the federated experiment under one selection policy resolved
+    /// from fl::PolicyRegistry ("fmore", "psi_fmore", "randfl", "fixfl", or
+    /// any custom registration). Each call re-initializes the global model
+    /// from the trial seed, so policies compared within a trial start from
+    /// identical weights, data and population state.
+    [[nodiscard]] fl::RunResult run(const std::string& policy);
+    /// Legacy-enum overload.
     [[nodiscard]] fl::RunResult run(Strategy strategy);
 
     /// Sealed-bid score board of the last FMore round (Fig. 8 inputs).
@@ -36,7 +44,7 @@ public:
     }
 
     [[nodiscard]] const auction::EquilibriumStrategy& equilibrium() const {
-        return *equilibrium_;
+        return solved_->strategy;
     }
     [[nodiscard]] const ml::Dataset& train_set() const { return train_; }
     [[nodiscard]] const ml::Dataset& test_set() const { return test_; }
@@ -53,9 +61,7 @@ private:
     ml::Dataset test_;
     std::vector<ml::ClientShard> shards_;
     std::unique_ptr<stats::UniformDistribution> theta_dist_;
-    std::unique_ptr<auction::ScoringRule> scoring_;
-    std::unique_ptr<auction::AdditiveCost> cost_;
-    std::unique_ptr<auction::EquilibriumStrategy> equilibrium_;
+    std::shared_ptr<const SolvedEquilibrium> solved_;
     std::unique_ptr<mec::MecPopulation> population_;
     std::vector<double> last_all_scores_;
 };

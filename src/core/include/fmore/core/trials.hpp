@@ -2,9 +2,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "fmore/core/config.hpp"
+#include "fmore/core/experiment.hpp"
 #include "fmore/fl/metrics.hpp"
 
 namespace fmore::core {
@@ -33,6 +36,17 @@ double mean_rounds_to_accuracy(const std::vector<fl::RunResult>& runs, double ta
 /// Mean seconds-to-accuracy (testbed experiments); non-reaching runs count
 /// their total duration.
 double mean_seconds_to_accuracy(const std::vector<fl::RunResult>& runs, double target);
+
+/// One labelled accuracy/loss curve (bench tables, run_scenario output).
+struct NamedSeries {
+    std::string name;
+    AveragedSeries series;
+};
+
+/// Print round-by-round accuracy and loss for several policies — the
+/// table format every figure bench and the run_scenario CLI share (which
+/// is what makes their outputs diffable against each other).
+void print_accuracy_loss(std::ostream& out, const std::vector<NamedSeries>& all);
 
 // ---------------------------------------------------------------------------
 // Parallel trial runner
@@ -65,6 +79,13 @@ using TrialFn = std::function<fl::RunResult(std::size_t trial_index)>;
 /// units of work (applies the env override, hardware default and cap).
 [[nodiscard]] std::size_t resolve_trial_threads(std::size_t requested, std::size_t trials);
 
+/// Trials per policy for benches and the scenario CLI: the
+/// `FMORE_BENCH_TRIALS` environment override when positive, else
+/// `fallback`. One definition so the fig benches and `run_scenario`
+/// resolve identical trial counts from the same environment (their tables
+/// are diffable only then).
+[[nodiscard]] std::size_t bench_trial_count(std::size_t fallback = 3);
+
 /// Run `trials` independent trials of `fn` across a worker pool.
 ///
 /// Results are written into slot `trial_index` of the returned vector, so
@@ -92,8 +113,20 @@ std::vector<fl::RunResult> run_realworld_trials(const RealWorldConfig& config,
                                                 Strategy strategy, std::size_t trials,
                                                 const TrialRunnerOptions& options = {});
 
+/// `run_trials` over `ExperimentTrial` — the unified entry point: builds
+/// the spec's world (simulator or testbed) per trial index and runs the
+/// named selection policy. Everything spec-driven (benches, examples,
+/// run_scenario) goes through here.
+std::vector<fl::RunResult> run_experiment_trials(const ExperimentSpec& spec,
+                                                 const std::string& policy,
+                                                 std::size_t trials,
+                                                 const TrialRunnerOptions& options = {});
+
 /// Convenience: parallel trials + `average_runs`, the "average of five
 /// experiments" protocol in one call.
+AveragedSeries averaged_experiment(const ExperimentSpec& spec, const std::string& policy,
+                                   std::size_t trials,
+                                   const TrialRunnerOptions& options = {});
 AveragedSeries averaged_simulation(const SimulationConfig& config, Strategy strategy,
                                    std::size_t trials,
                                    const TrialRunnerOptions& options = {});

@@ -1,0 +1,83 @@
+#include "fmore/core/equilibrium_cache.hpp"
+
+#include <future>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace fmore::core {
+
+struct EquilibriumCache::Impl {
+    // Each entry is a shared_future so a miss publishes its slot before
+    // solving: same-key waiters block on the future (one solve per key)
+    // while different-key solves run concurrently — the map mutex is never
+    // held across a tabulation.
+    using Entry = std::shared_future<std::shared_ptr<const SolvedEquilibrium>>;
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+};
+
+EquilibriumCache::Impl& EquilibriumCache::impl() const {
+    static Impl impl;
+    return impl;
+}
+
+EquilibriumCache& EquilibriumCache::instance() {
+    static EquilibriumCache cache;
+    return cache;
+}
+
+std::shared_ptr<const SolvedEquilibrium>
+EquilibriumCache::get_or_solve(const std::string& key, const Builder& build) {
+    if (!build) throw std::invalid_argument("EquilibriumCache: null builder");
+    Impl& state = impl();
+    std::promise<std::shared_ptr<const SolvedEquilibrium>> promise;
+    Impl::Entry published;
+    {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        const auto it = state.entries.find(key);
+        if (it != state.entries.end()) {
+            ++state.hits;
+            published = it->second;
+        } else {
+            ++state.misses;
+            state.entries.emplace(key, promise.get_future().share());
+        }
+    }
+    // Wait (if the first solve is still running) outside the lock so hits
+    // never serialize other keys behind an in-flight tabulation.
+    if (published.valid()) return published.get();
+    try {
+        std::shared_ptr<const SolvedEquilibrium> solved = build();
+        if (!solved)
+            throw std::logic_error("EquilibriumCache: builder returned null for key '"
+                                   + key + "'");
+        promise.set_value(solved);
+        return solved;
+    } catch (...) {
+        // Un-publish the failed slot so a later call can retry, and wake any
+        // waiters with the error.
+        promise.set_exception(std::current_exception());
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        state.entries.erase(key);
+        throw;
+    }
+}
+
+EquilibriumCacheStats EquilibriumCache::stats() const {
+    Impl& state = impl();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    return EquilibriumCacheStats{state.hits, state.misses, state.entries.size()};
+}
+
+void EquilibriumCache::clear() {
+    Impl& state = impl();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.entries.clear();
+    state.hits = 0;
+    state.misses = 0;
+}
+
+} // namespace fmore::core

@@ -1,0 +1,695 @@
+#include "fmore/core/experiment.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "fmore/auction/mechanism.hpp"
+#include "fmore/fl/policy.hpp"
+
+namespace fmore::core {
+
+// ---------------------------------------------------------------------------
+// Equality
+// ---------------------------------------------------------------------------
+
+bool operator==(const PopulationSpec& a, const PopulationSpec& b) {
+    return a.num_nodes == b.num_nodes && a.shards_lo == b.shards_lo
+           && a.shards_hi == b.shards_hi && a.data_lo == b.data_lo
+           && a.data_hi == b.data_hi && a.cpu_lo == b.cpu_lo && a.cpu_hi == b.cpu_hi
+           && a.bandwidth_lo == b.bandwidth_lo && a.bandwidth_hi == b.bandwidth_hi
+           && a.theta_lo == b.theta_lo && a.theta_hi == b.theta_hi
+           && a.resource_jitter == b.resource_jitter && a.theta_jitter == b.theta_jitter;
+}
+
+bool operator==(const AuctionSpec& a, const AuctionSpec& b) {
+    return a.mechanism == b.mechanism && a.winners == b.winners && a.alpha == b.alpha
+           && a.alpha_cpu == b.alpha_cpu && a.alpha_bandwidth == b.alpha_bandwidth
+           && a.alpha_data == b.alpha_data && a.beta_data == b.beta_data
+           && a.beta_category == b.beta_category && a.psi == b.psi
+           && a.psi_per_node == b.psi_per_node && a.budget == b.budget
+           && a.payment_rule == b.payment_rule && a.win_model == b.win_model;
+}
+
+bool operator==(const TrainingSpec& a, const TrainingSpec& b) {
+    return a.dataset == b.dataset && a.train_samples == b.train_samples
+           && a.test_samples == b.test_samples && a.rounds == b.rounds
+           && a.local_epochs == b.local_epochs && a.batch_size == b.batch_size
+           && a.learning_rate == b.learning_rate && a.eval_cap == b.eval_cap;
+}
+
+bool operator==(const TimingSpec& a, const TimingSpec& b) {
+    return a.enabled == b.enabled && a.model_bytes == b.model_bytes
+           && a.seconds_per_sample_core == b.seconds_per_sample_core
+           && a.round_overhead_s == b.round_overhead_s;
+}
+
+bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
+    return a.kind == b.kind && a.seed == b.seed && a.population == b.population
+           && a.auction == b.auction && a.training == b.training && a.timing == b.timing;
+}
+
+// ---------------------------------------------------------------------------
+// Defaults
+// ---------------------------------------------------------------------------
+
+std::string to_string(ExperimentKind kind) {
+    switch (kind) {
+        case ExperimentKind::simulation: return "simulation";
+        case ExperimentKind::testbed: return "testbed";
+    }
+    return "?";
+}
+
+// Both default factories lift the legacy defaults through the shims so the
+// numbers live in exactly one place (config.hpp / default_simulation).
+
+ExperimentSpec default_experiment(DatasetKind dataset) {
+    return from_simulation_config(default_simulation(dataset));
+}
+
+ExperimentSpec default_testbed_experiment() {
+    return from_realworld_config(RealWorldConfig{});
+}
+
+// ---------------------------------------------------------------------------
+// Compatibility shims
+// ---------------------------------------------------------------------------
+
+SimulationConfig to_simulation_config(const ExperimentSpec& spec) {
+    if (spec.kind != ExperimentKind::simulation)
+        throw std::invalid_argument(
+            "to_simulation_config: spec.kind is 'testbed'; use to_realworld_config "
+            "(or run through ExperimentTrial, which dispatches on kind)");
+    SimulationConfig config;
+    config.dataset = spec.training.dataset;
+    config.train_samples = spec.training.train_samples;
+    config.test_samples = spec.training.test_samples;
+    config.num_nodes = spec.population.num_nodes;
+    config.winners = spec.auction.winners;
+    config.rounds = spec.training.rounds;
+    config.shards_lo = spec.population.shards_lo;
+    config.shards_hi = spec.population.shards_hi;
+    config.data_lo = spec.population.data_lo;
+    config.data_hi = spec.population.data_hi;
+    config.alpha = spec.auction.alpha;
+    config.theta_lo = spec.population.theta_lo;
+    config.theta_hi = spec.population.theta_hi;
+    config.beta_data = spec.auction.beta_data;
+    config.beta_category = spec.auction.beta_category;
+    config.psi = spec.auction.psi;
+    config.psi_per_node = spec.auction.psi_per_node;
+    config.budget = spec.auction.budget;
+    config.mechanism = spec.auction.mechanism;
+    config.payment_rule = spec.auction.payment_rule;
+    config.win_model = spec.auction.win_model;
+    config.resource_jitter = spec.population.resource_jitter;
+    config.theta_jitter = spec.population.theta_jitter;
+    config.local_epochs = spec.training.local_epochs;
+    config.batch_size = spec.training.batch_size;
+    config.learning_rate = spec.training.learning_rate;
+    config.eval_cap = spec.training.eval_cap;
+    config.seed = spec.seed;
+    return config;
+}
+
+RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
+    if (spec.kind != ExperimentKind::testbed)
+        throw std::invalid_argument(
+            "to_realworld_config: spec.kind is 'simulation'; use to_simulation_config "
+            "(or run through ExperimentTrial, which dispatches on kind)");
+    RealWorldConfig config;
+    config.dataset = spec.training.dataset;
+    config.train_samples = spec.training.train_samples;
+    config.test_samples = spec.training.test_samples;
+    config.num_nodes = spec.population.num_nodes;
+    config.winners = spec.auction.winners;
+    config.rounds = spec.training.rounds;
+    config.data_lo = spec.population.data_lo;
+    config.data_hi = spec.population.data_hi;
+    config.cpu_lo = spec.population.cpu_lo;
+    config.cpu_hi = spec.population.cpu_hi;
+    config.bandwidth_lo = spec.population.bandwidth_lo;
+    config.bandwidth_hi = spec.population.bandwidth_hi;
+    config.alpha_cpu = spec.auction.alpha_cpu;
+    config.alpha_bandwidth = spec.auction.alpha_bandwidth;
+    config.alpha_data = spec.auction.alpha_data;
+    config.theta_lo = spec.population.theta_lo;
+    config.theta_hi = spec.population.theta_hi;
+    config.psi = spec.auction.psi;
+    config.psi_per_node = spec.auction.psi_per_node;
+    config.budget = spec.auction.budget;
+    config.mechanism = spec.auction.mechanism;
+    config.payment_rule = spec.auction.payment_rule;
+    config.win_model = spec.auction.win_model;
+    config.resource_jitter = spec.population.resource_jitter;
+    config.theta_jitter = spec.population.theta_jitter;
+    config.local_epochs = spec.training.local_epochs;
+    config.batch_size = spec.training.batch_size;
+    config.learning_rate = spec.training.learning_rate;
+    config.eval_cap = spec.training.eval_cap;
+    config.model_bytes = spec.timing.model_bytes;
+    config.seconds_per_sample_core = spec.timing.seconds_per_sample_core;
+    config.round_overhead_s = spec.timing.round_overhead_s;
+    config.seed = spec.seed;
+    return config;
+}
+
+ExperimentSpec from_simulation_config(const SimulationConfig& config) {
+    ExperimentSpec spec;
+    spec.kind = ExperimentKind::simulation;
+    spec.seed = config.seed;
+    spec.population.num_nodes = config.num_nodes;
+    spec.population.shards_lo = config.shards_lo;
+    spec.population.shards_hi = config.shards_hi;
+    spec.population.data_lo = config.data_lo;
+    spec.population.data_hi = config.data_hi;
+    spec.population.theta_lo = config.theta_lo;
+    spec.population.theta_hi = config.theta_hi;
+    spec.population.resource_jitter = config.resource_jitter;
+    spec.population.theta_jitter = config.theta_jitter;
+    spec.auction.mechanism = config.mechanism;
+    spec.auction.winners = config.winners;
+    spec.auction.alpha = config.alpha;
+    spec.auction.beta_data = config.beta_data;
+    spec.auction.beta_category = config.beta_category;
+    spec.auction.psi = config.psi;
+    spec.auction.psi_per_node = config.psi_per_node;
+    spec.auction.budget = config.budget;
+    spec.auction.payment_rule = config.payment_rule;
+    spec.auction.win_model = config.win_model;
+    spec.training.dataset = config.dataset;
+    spec.training.train_samples = config.train_samples;
+    spec.training.test_samples = config.test_samples;
+    spec.training.rounds = config.rounds;
+    spec.training.local_epochs = config.local_epochs;
+    spec.training.batch_size = config.batch_size;
+    spec.training.learning_rate = config.learning_rate;
+    spec.training.eval_cap = config.eval_cap;
+    spec.timing.enabled = false;
+    return spec;
+}
+
+ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
+    ExperimentSpec spec;
+    spec.kind = ExperimentKind::testbed;
+    spec.seed = config.seed;
+    spec.population.num_nodes = config.num_nodes;
+    spec.population.data_lo = config.data_lo;
+    spec.population.data_hi = config.data_hi;
+    spec.population.cpu_lo = config.cpu_lo;
+    spec.population.cpu_hi = config.cpu_hi;
+    spec.population.bandwidth_lo = config.bandwidth_lo;
+    spec.population.bandwidth_hi = config.bandwidth_hi;
+    spec.population.theta_lo = config.theta_lo;
+    spec.population.theta_hi = config.theta_hi;
+    spec.population.resource_jitter = config.resource_jitter;
+    spec.population.theta_jitter = config.theta_jitter;
+    spec.auction.mechanism = config.mechanism;
+    spec.auction.winners = config.winners;
+    spec.auction.alpha_cpu = config.alpha_cpu;
+    spec.auction.alpha_bandwidth = config.alpha_bandwidth;
+    spec.auction.alpha_data = config.alpha_data;
+    spec.auction.psi = config.psi;
+    spec.auction.psi_per_node = config.psi_per_node;
+    spec.auction.budget = config.budget;
+    spec.auction.payment_rule = config.payment_rule;
+    spec.auction.win_model = config.win_model;
+    spec.training.dataset = config.dataset;
+    spec.training.train_samples = config.train_samples;
+    spec.training.test_samples = config.test_samples;
+    spec.training.rounds = config.rounds;
+    spec.training.local_epochs = config.local_epochs;
+    spec.training.batch_size = config.batch_size;
+    spec.training.learning_rate = config.learning_rate;
+    spec.training.eval_cap = config.eval_cap;
+    spec.timing.enabled = true;
+    spec.timing.model_bytes = config.model_bytes;
+    spec.timing.seconds_per_sample_core = config.seconds_per_sample_core;
+    spec.timing.round_overhead_s = config.round_overhead_s;
+    return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool bad(double value) { return std::isnan(value) || std::isinf(value); }
+
+std::string num(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%g", value);
+    return buffer;
+}
+
+} // namespace
+
+std::vector<std::string> validate(const ExperimentSpec& spec) {
+    std::vector<std::string> errors;
+    auto fail = [&errors](const std::string& message) { errors.push_back(message); };
+
+    const PopulationSpec& pop = spec.population;
+    if (pop.num_nodes == 0) fail("population.num_nodes = 0: need at least one edge node");
+    if (pop.shards_lo == 0 || pop.shards_lo > pop.shards_hi)
+        fail("population.shards_lo.." + std::to_string(pop.shards_lo) + ".."
+             + std::to_string(pop.shards_hi)
+             + ": need 1 <= shards_lo <= shards_hi (per-node label-shard range)");
+    if (pop.data_lo == 0 || pop.data_lo > pop.data_hi)
+        fail("population.data_lo = " + std::to_string(pop.data_lo) + ", data_hi = "
+             + std::to_string(pop.data_hi) + ": need 1 <= data_lo <= data_hi");
+    if (bad(pop.theta_lo) || bad(pop.theta_hi) || !(pop.theta_lo > 0.0)
+        || !(pop.theta_hi > pop.theta_lo))
+        fail("population.theta = [" + num(pop.theta_lo) + ", " + num(pop.theta_hi)
+             + "]: need 0 < theta_lo < theta_hi (private cost-type support)");
+    if (bad(pop.resource_jitter) || pop.resource_jitter < 0.0)
+        fail("population.resource_jitter = " + num(pop.resource_jitter)
+             + ": must be finite and >= 0");
+    if (bad(pop.theta_jitter) || pop.theta_jitter < 0.0)
+        fail("population.theta_jitter = " + num(pop.theta_jitter)
+             + ": must be finite and >= 0");
+    if (spec.kind == ExperimentKind::testbed) {
+        if (!(pop.cpu_lo > 0.0) || !(pop.cpu_hi >= pop.cpu_lo))
+            fail("population.cpu = [" + num(pop.cpu_lo) + ", " + num(pop.cpu_hi)
+                 + "]: need 0 < cpu_lo <= cpu_hi");
+        if (!(pop.bandwidth_lo > 0.0) || !(pop.bandwidth_hi >= pop.bandwidth_lo))
+            fail("population.bandwidth = [" + num(pop.bandwidth_lo) + ", "
+                 + num(pop.bandwidth_hi) + "]: need 0 < bandwidth_lo <= bandwidth_hi");
+    }
+
+    const AuctionSpec& auc = spec.auction;
+    if (auc.winners == 0) fail("auction.winners = 0: K must be >= 1");
+    if (pop.num_nodes > 0 && auc.winners >= pop.num_nodes)
+        fail("auction.winners = " + std::to_string(auc.winners)
+             + " but population.num_nodes = " + std::to_string(pop.num_nodes)
+             + ": the equilibrium needs K < N (losing must be possible)");
+    if (bad(auc.psi) || !(auc.psi > 0.0 && auc.psi <= 1.0))
+        fail("auction.psi = " + num(auc.psi)
+             + ": must be a finite probability in (0, 1] (1.0 disables "
+               "probabilistic acceptance)");
+    for (std::size_t i = 0; i < auc.psi_per_node.size(); ++i) {
+        const double p = auc.psi_per_node[i];
+        if (bad(p) || !(p > 0.0 && p <= 1.0)) {
+            fail("auction.psi_per_node[" + std::to_string(i) + "] = " + num(p)
+                 + ": must be a finite probability in (0, 1]");
+            break; // one message per problem class keeps the list readable
+        }
+    }
+    if (!auc.psi_per_node.empty() && auc.psi_per_node.size() < pop.num_nodes)
+        fail("auction.psi_per_node has " + std::to_string(auc.psi_per_node.size())
+             + " entries but population.num_nodes = " + std::to_string(pop.num_nodes)
+             + ": per-node psi is indexed by NodeId and must cover every node");
+    if (bad(auc.budget) || auc.budget < 0.0)
+        fail("auction.budget = " + num(auc.budget)
+             + ": must be finite and >= 0 (0 = unconstrained)");
+    if (auc.mechanism == "first_score"
+        && auc.payment_rule == auction::PaymentRule::second_price)
+        fail("auction.mechanism = 'first_score' but auction.payment_rule = "
+             "'second_price': the first_score mechanism pins first-score payments, "
+             "so the rule would be silently ignored — set mechanism = second_score "
+             "(or drop the payment_rule override)");
+    if (!auc.mechanism.empty()
+        && !auction::MechanismRegistry::instance().contains(auc.mechanism)) {
+        std::string known;
+        for (const std::string& name : auction::MechanismRegistry::instance().names()) {
+            if (!known.empty()) known += ", ";
+            known += name;
+        }
+        fail("auction.mechanism = '" + auc.mechanism
+             + "': not in the MechanismRegistry (registered: " + known + ")");
+    }
+    if (spec.kind == ExperimentKind::simulation) {
+        if (bad(auc.alpha) || !(auc.alpha > 0.0))
+            fail("auction.alpha = " + num(auc.alpha)
+                 + ": the scaled-product scoring coefficient must be > 0");
+        if (bad(auc.beta_data) || auc.beta_data <= 0.0 || bad(auc.beta_category)
+            || auc.beta_category <= 0.0)
+            fail("auction.beta_data/beta_category = " + num(auc.beta_data) + "/"
+                 + num(auc.beta_category) + ": cost weights must be > 0");
+    } else {
+        if (bad(auc.alpha_cpu) || auc.alpha_cpu < 0.0 || bad(auc.alpha_bandwidth)
+            || auc.alpha_bandwidth < 0.0 || bad(auc.alpha_data) || auc.alpha_data < 0.0)
+            fail("auction.alpha_cpu/alpha_bandwidth/alpha_data = " + num(auc.alpha_cpu)
+                 + "/" + num(auc.alpha_bandwidth) + "/" + num(auc.alpha_data)
+                 + ": additive scoring weights must be finite and >= 0");
+    }
+
+    const TrainingSpec& train = spec.training;
+    if (train.train_samples == 0 || train.test_samples == 0)
+        fail("training.train_samples/test_samples = "
+             + std::to_string(train.train_samples) + "/"
+             + std::to_string(train.test_samples) + ": both must be >= 1");
+    if (train.rounds == 0) fail("training.rounds = 0: need at least one round");
+    if (train.local_epochs == 0) fail("training.local_epochs = 0: need at least one");
+    if (train.batch_size == 0) fail("training.batch_size = 0: need at least one");
+    if (bad(train.learning_rate) || !(train.learning_rate > 0.0))
+        fail("training.learning_rate = " + num(train.learning_rate) + ": must be > 0");
+
+    const TimingSpec& timing = spec.timing;
+    if (spec.kind == ExperimentKind::testbed && !timing.enabled)
+        fail("timing.enabled = false on a testbed spec: the testbed engine always "
+             "models wall-clock time (it cannot be switched off); leave it true");
+    if (spec.kind == ExperimentKind::simulation && timing.enabled)
+        fail("timing.enabled = true on a simulation spec: the simulator has no "
+             "wall-clock model; use kind = testbed for timed experiments");
+    if (timing.enabled) {
+        if (bad(timing.model_bytes) || !(timing.model_bytes > 0.0))
+            fail("timing.model_bytes = " + num(timing.model_bytes) + ": must be > 0");
+        if (bad(timing.seconds_per_sample_core)
+            || !(timing.seconds_per_sample_core > 0.0))
+            fail("timing.seconds_per_sample_core = " + num(timing.seconds_per_sample_core)
+                 + ": must be > 0");
+        if (bad(timing.round_overhead_s) || timing.round_overhead_s < 0.0)
+            fail("timing.round_overhead_s = " + num(timing.round_overhead_s)
+                 + ": must be finite and >= 0");
+    }
+    return errors;
+}
+
+void validate_or_throw(const ExperimentSpec& spec) {
+    const std::vector<std::string> errors = validate(spec);
+    if (errors.empty()) return;
+    std::ostringstream message;
+    message << "ExperimentSpec: " << errors.size() << " problem(s):";
+    for (const std::string& error : errors) message << "\n  - " << error;
+    throw std::invalid_argument(message.str());
+}
+
+// ---------------------------------------------------------------------------
+// key=value (de)serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string format_double(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        throw std::invalid_argument("ExperimentSpec: " + key + " = '" + value
+                                    + "': not a number");
+    return parsed;
+}
+
+std::size_t parse_size(const std::string& key, const std::string& value) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || value.find('-') != std::string::npos
+        || errno == ERANGE)
+        throw std::invalid_argument("ExperimentSpec: " + key + " = '" + value
+                                    + "': not a non-negative integer (or out of range)");
+    return static_cast<std::size_t>(parsed);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+    return static_cast<std::uint64_t>(parse_size(key, value));
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+    if (value == "true" || value == "1") return true;
+    if (value == "false" || value == "0") return false;
+    throw std::invalid_argument("ExperimentSpec: " + key + " = '" + value
+                                + "': expected true/false");
+}
+
+std::string format_list(const std::vector<double>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out += ',';
+        out += format_double(values[i]);
+    }
+    return out;
+}
+
+std::vector<double> parse_list(const std::string& key, const std::string& value) {
+    std::vector<double> out;
+    if (value.empty()) return out;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string token = value.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        out.push_back(parse_double(key, token));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::string format_dataset(DatasetKind kind) {
+    switch (kind) {
+        case DatasetKind::mnist_o: return "mnist_o";
+        case DatasetKind::mnist_f: return "mnist_f";
+        case DatasetKind::cifar10: return "cifar10";
+        case DatasetKind::hpnews: return "hpnews";
+    }
+    return "?";
+}
+
+DatasetKind parse_dataset(const std::string& key, const std::string& value) {
+    if (value == "mnist_o") return DatasetKind::mnist_o;
+    if (value == "mnist_f") return DatasetKind::mnist_f;
+    if (value == "cifar10") return DatasetKind::cifar10;
+    if (value == "hpnews") return DatasetKind::hpnews;
+    throw std::invalid_argument("ExperimentSpec: " + key + " = '" + value
+                                + "': expected mnist_o, mnist_f, cifar10 or hpnews");
+}
+
+/// One serializable spec field; getter renders, setter parses.
+struct Field {
+    const char* key;
+    std::string (*get)(const ExperimentSpec&);
+    void (*set)(ExperimentSpec&, const std::string&);
+};
+
+#define FMORE_FIELD_DOUBLE(key, expr)                                                    \
+    Field{key, [](const ExperimentSpec& s) { return format_double(s.expr); },            \
+          [](ExperimentSpec& s, const std::string& v) { s.expr = parse_double(key, v); }}
+#define FMORE_FIELD_SIZE(key, expr)                                                      \
+    Field{key, [](const ExperimentSpec& s) { return std::to_string(s.expr); },           \
+          [](ExperimentSpec& s, const std::string& v) { s.expr = parse_size(key, v); }}
+
+const std::vector<Field>& fields() {
+    static const std::vector<Field> all = {
+        Field{"kind",
+              [](const ExperimentSpec& s) { return to_string(s.kind); },
+              [](ExperimentSpec& s, const std::string& v) {
+                  if (v == "simulation") s.kind = ExperimentKind::simulation;
+                  else if (v == "testbed") s.kind = ExperimentKind::testbed;
+                  else
+                      throw std::invalid_argument("ExperimentSpec: kind = '" + v
+                                                  + "': expected simulation or testbed");
+              }},
+        Field{"seed", [](const ExperimentSpec& s) { return std::to_string(s.seed); },
+              [](ExperimentSpec& s, const std::string& v) {
+                  s.seed = parse_u64("seed", v);
+              }},
+        FMORE_FIELD_SIZE("population.num_nodes", population.num_nodes),
+        FMORE_FIELD_SIZE("population.shards_lo", population.shards_lo),
+        FMORE_FIELD_SIZE("population.shards_hi", population.shards_hi),
+        FMORE_FIELD_SIZE("population.data_lo", population.data_lo),
+        FMORE_FIELD_SIZE("population.data_hi", population.data_hi),
+        FMORE_FIELD_DOUBLE("population.cpu_lo", population.cpu_lo),
+        FMORE_FIELD_DOUBLE("population.cpu_hi", population.cpu_hi),
+        FMORE_FIELD_DOUBLE("population.bandwidth_lo", population.bandwidth_lo),
+        FMORE_FIELD_DOUBLE("population.bandwidth_hi", population.bandwidth_hi),
+        FMORE_FIELD_DOUBLE("population.theta_lo", population.theta_lo),
+        FMORE_FIELD_DOUBLE("population.theta_hi", population.theta_hi),
+        FMORE_FIELD_DOUBLE("population.resource_jitter", population.resource_jitter),
+        FMORE_FIELD_DOUBLE("population.theta_jitter", population.theta_jitter),
+        Field{"auction.mechanism",
+              [](const ExperimentSpec& s) { return s.auction.mechanism; },
+              [](ExperimentSpec& s, const std::string& v) { s.auction.mechanism = v; }},
+        FMORE_FIELD_SIZE("auction.winners", auction.winners),
+        FMORE_FIELD_DOUBLE("auction.alpha", auction.alpha),
+        FMORE_FIELD_DOUBLE("auction.alpha_cpu", auction.alpha_cpu),
+        FMORE_FIELD_DOUBLE("auction.alpha_bandwidth", auction.alpha_bandwidth),
+        FMORE_FIELD_DOUBLE("auction.alpha_data", auction.alpha_data),
+        FMORE_FIELD_DOUBLE("auction.beta_data", auction.beta_data),
+        FMORE_FIELD_DOUBLE("auction.beta_category", auction.beta_category),
+        FMORE_FIELD_DOUBLE("auction.psi", auction.psi),
+        Field{"auction.psi_per_node",
+              [](const ExperimentSpec& s) { return format_list(s.auction.psi_per_node); },
+              [](ExperimentSpec& s, const std::string& v) {
+                  s.auction.psi_per_node = parse_list("auction.psi_per_node", v);
+              }},
+        FMORE_FIELD_DOUBLE("auction.budget", auction.budget),
+        Field{"auction.payment_rule",
+              [](const ExperimentSpec& s) {
+                  return std::string(s.auction.payment_rule
+                                             == auction::PaymentRule::first_price
+                                         ? "first_price"
+                                         : "second_price");
+              },
+              [](ExperimentSpec& s, const std::string& v) {
+                  if (v == "first_price")
+                      s.auction.payment_rule = auction::PaymentRule::first_price;
+                  else if (v == "second_price")
+                      s.auction.payment_rule = auction::PaymentRule::second_price;
+                  else
+                      throw std::invalid_argument(
+                          "ExperimentSpec: auction.payment_rule = '" + v
+                          + "': expected first_price or second_price");
+              }},
+        Field{"auction.win_model",
+              [](const ExperimentSpec& s) {
+                  return std::string(s.auction.win_model == auction::WinModel::paper
+                                         ? "paper"
+                                         : "exact");
+              },
+              [](ExperimentSpec& s, const std::string& v) {
+                  if (v == "paper") s.auction.win_model = auction::WinModel::paper;
+                  else if (v == "exact") s.auction.win_model = auction::WinModel::exact;
+                  else
+                      throw std::invalid_argument("ExperimentSpec: auction.win_model = '"
+                                                  + v + "': expected paper or exact");
+              }},
+        Field{"training.dataset",
+              [](const ExperimentSpec& s) { return format_dataset(s.training.dataset); },
+              [](ExperimentSpec& s, const std::string& v) {
+                  s.training.dataset = parse_dataset("training.dataset", v);
+              }},
+        FMORE_FIELD_SIZE("training.train_samples", training.train_samples),
+        FMORE_FIELD_SIZE("training.test_samples", training.test_samples),
+        FMORE_FIELD_SIZE("training.rounds", training.rounds),
+        FMORE_FIELD_SIZE("training.local_epochs", training.local_epochs),
+        FMORE_FIELD_SIZE("training.batch_size", training.batch_size),
+        FMORE_FIELD_DOUBLE("training.learning_rate", training.learning_rate),
+        FMORE_FIELD_SIZE("training.eval_cap", training.eval_cap),
+        Field{"timing.enabled",
+              [](const ExperimentSpec& s) {
+                  return std::string(s.timing.enabled ? "true" : "false");
+              },
+              [](ExperimentSpec& s, const std::string& v) {
+                  s.timing.enabled = parse_bool("timing.enabled", v);
+              }},
+        FMORE_FIELD_DOUBLE("timing.model_bytes", timing.model_bytes),
+        FMORE_FIELD_DOUBLE("timing.seconds_per_sample_core",
+                           timing.seconds_per_sample_core),
+        FMORE_FIELD_DOUBLE("timing.round_overhead_s", timing.round_overhead_s),
+    };
+    return all;
+}
+
+#undef FMORE_FIELD_DOUBLE
+#undef FMORE_FIELD_SIZE
+
+std::string trim(const std::string& text) {
+    std::size_t first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos) return {};
+    std::size_t last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+} // namespace
+
+std::string to_text(const ExperimentSpec& spec) {
+    std::string out;
+    for (const Field& field : fields()) {
+        out += field.key;
+        out += " = ";
+        out += field.get(spec);
+        out += '\n';
+    }
+    return out;
+}
+
+void apply_key_value(ExperimentSpec& spec, const std::string& key,
+                     const std::string& value) {
+    for (const Field& field : fields()) {
+        if (key == field.key) {
+            field.set(spec, value);
+            return;
+        }
+    }
+    std::ostringstream message;
+    message << "ExperimentSpec: unknown key '" << key << "'; known keys: ";
+    for (std::size_t i = 0; i < fields().size(); ++i) {
+        if (i != 0) message << ", ";
+        message << fields()[i].key;
+    }
+    throw std::invalid_argument(message.str());
+}
+
+ExperimentSpec parse_experiment_spec(const std::string& text) {
+    ExperimentSpec spec;
+    std::istringstream stream(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        const std::string stripped = trim(line);
+        if (stripped.empty()) continue;
+        const std::size_t eq = stripped.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument("ExperimentSpec: line " + std::to_string(line_no)
+                                        + " ('" + stripped
+                                        + "') is not a 'key = value' assignment");
+        const std::string key = trim(stripped.substr(0, eq));
+        const std::string value = trim(stripped.substr(eq + 1));
+        try {
+            apply_key_value(spec, key, value);
+        } catch (const std::invalid_argument& error) {
+            throw std::invalid_argument("line " + std::to_string(line_no) + ": "
+                                        + error.what());
+        }
+    }
+    return spec;
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentTrial
+// ---------------------------------------------------------------------------
+
+ExperimentTrial::ExperimentTrial(const ExperimentSpec& spec, std::size_t trial_index)
+    : spec_(spec) {
+    validate_or_throw(spec_);
+    if (spec_.kind == ExperimentKind::simulation) {
+        simulation_ = std::make_unique<SimulationTrial>(to_simulation_config(spec_),
+                                                        trial_index);
+    } else {
+        testbed_ = std::make_unique<RealWorldTrial>(to_realworld_config(spec_),
+                                                    trial_index);
+    }
+}
+
+fl::RunResult ExperimentTrial::run(const std::string& policy) {
+    return simulation_ ? simulation_->run(policy) : testbed_->run(policy);
+}
+
+fl::RunResult ExperimentTrial::run(Strategy strategy) {
+    return run(to_policy_name(strategy));
+}
+
+const std::vector<double>& ExperimentTrial::last_all_scores() const {
+    return simulation_ ? simulation_->last_all_scores() : testbed_->last_all_scores();
+}
+
+const std::vector<ml::ClientShard>& ExperimentTrial::shards() const {
+    return simulation_ ? simulation_->shards() : testbed_->shards();
+}
+
+std::string to_policy_name(Strategy strategy) {
+    switch (strategy) {
+        case Strategy::fmore: return "fmore";
+        case Strategy::psi_fmore: return "psi_fmore";
+        case Strategy::randfl: return "randfl";
+        case Strategy::fixfl: return "fixfl";
+    }
+    throw std::logic_error("to_policy_name: unknown strategy");
+}
+
+} // namespace fmore::core

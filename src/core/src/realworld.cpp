@@ -1,7 +1,10 @@
 #include "fmore/core/realworld.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "fmore/core/experiment.hpp"
+#include "fmore/fl/policy.hpp"
 #include "fmore/fl/selection.hpp"
 #include "fmore/mec/auction_selector.hpp"
 #include "fmore/ml/model_zoo.hpp"
@@ -10,6 +13,25 @@
 #include "fmore/stats/normalizer.hpp"
 
 namespace fmore::core {
+
+namespace {
+
+/// Every input of the testbed's equilibrium tabulation, hex-exact. Note
+/// `data_cap` (the largest shard) is trial-dependent, so cross-trial hits
+/// happen only when the partition landed on the same cap — unlike the
+/// simulator the testbed key is not purely config-derived.
+std::string equilibrium_cache_key(const RealWorldConfig& config, double data_cap) {
+    std::ostringstream key;
+    key << std::hexfloat << "testbed|alpha=" << config.alpha_cpu << ','
+        << config.alpha_bandwidth << ',' << config.alpha_data
+        << "|cpu_hi=" << config.cpu_hi << "|bandwidth_hi=" << config.bandwidth_hi
+        << "|data_cap=" << data_cap << "|theta=" << config.theta_lo << ','
+        << config.theta_hi << "|N=" << config.num_nodes << "|K=" << config.winners
+        << "|win_model=" << static_cast<int>(config.win_model);
+    return key.str();
+}
+
+} // namespace
 
 RealWorldTrial::RealWorldTrial(const RealWorldConfig& config, std::size_t trial_index)
     : config_(config), trial_seed_(config.seed + 7000003ULL * (trial_index + 1)) {
@@ -68,39 +90,57 @@ RealWorldTrial::RealWorldTrial(const RealWorldConfig& config, std::size_t trial_
     theta_dist_ = std::make_unique<stats::UniformDistribution>(config_.theta_lo,
                                                                config_.theta_hi);
 
-    // Section V.A testbed scoring: S = 0.4 q_cpu + 0.3 q_bw + 0.3 q_data - p
-    // with each dimension min-max normalized over its advertised range.
-    mec::PopulationSpec pop_spec;
-    pop_spec.cpu_lo = config_.cpu_lo;
-    pop_spec.cpu_hi = config_.cpu_hi;
-    pop_spec.bandwidth_lo = config_.bandwidth_lo;
-    pop_spec.bandwidth_hi = config_.bandwidth_hi;
-    std::vector<stats::MinMaxNormalizer> norms;
-    norms.emplace_back(0.0, pop_spec.cpu_hi);
-    norms.emplace_back(0.0, pop_spec.bandwidth_hi);
-    norms.emplace_back(0.0, data_cap_);
-    scoring_ = std::make_unique<auction::AdditiveScoring>(
-        std::vector<double>{config_.alpha_cpu, config_.alpha_bandwidth, config_.alpha_data},
-        norms);
+    solved_ = EquilibriumCache::instance().get_or_solve(
+        equilibrium_cache_key(config_, data_cap_), [this] {
+            // Section V.A testbed scoring:
+            // S = 0.4 q_cpu + 0.3 q_bw + 0.3 q_data - p with each dimension
+            // min-max normalized over its advertised range.
+            std::vector<stats::MinMaxNormalizer> norms;
+            norms.emplace_back(0.0, config_.cpu_hi);
+            norms.emplace_back(0.0, config_.bandwidth_hi);
+            norms.emplace_back(0.0, data_cap_);
+            auto scoring = std::make_unique<auction::AdditiveScoring>(
+                std::vector<double>{config_.alpha_cpu, config_.alpha_bandwidth,
+                                    config_.alpha_data},
+                norms);
 
-    // Costs are quoted per normalized unit; convert to raw-resource prices.
-    // Each beta is kept below alpha_d / theta_hi so providing every resource
-    // stays profitable for all types — otherwise high-theta nodes would bid
-    // the data floor and train on nothing.
-    cost_ = std::make_unique<auction::AdditiveCost>(std::vector<double>{
-        0.15 / pop_spec.cpu_hi, 0.10 / pop_spec.bandwidth_hi, 0.20 / data_cap_});
+            // Costs are quoted per normalized unit; convert to raw-resource
+            // prices. Each beta is kept below alpha_d / theta_hi so
+            // providing every resource stays profitable for all types —
+            // otherwise high-theta nodes would bid the data floor and train
+            // on nothing.
+            auto cost = std::make_unique<auction::AdditiveCost>(std::vector<double>{
+                0.15 / config_.cpu_hi, 0.10 / config_.bandwidth_hi, 0.20 / data_cap_});
+            auto theta = std::make_unique<stats::UniformDistribution>(config_.theta_lo,
+                                                                      config_.theta_hi);
 
-    auction::EquilibriumConfig eq;
-    eq.num_bidders = config_.num_nodes;
-    eq.num_winners = config_.winners;
-    eq.win_model = config_.win_model;
-    const auction::EquilibriumSolver solver(
-        *scoring_, *cost_, *theta_dist_, {0.25, 1.0, 1.0},
-        {pop_spec.cpu_hi, pop_spec.bandwidth_hi, data_cap_}, eq);
-    equilibrium_ = std::make_unique<auction::EquilibriumStrategy>(solver.solve());
+            auction::EquilibriumConfig eq;
+            eq.num_bidders = config_.num_nodes;
+            eq.num_winners = config_.winners;
+            eq.win_model = config_.win_model;
+            const auction::EquilibriumSolver solver(
+                *scoring, *cost, *theta, {0.25, 1.0, 1.0},
+                {config_.cpu_hi, config_.bandwidth_hi, data_cap_}, eq);
+            auction::EquilibriumStrategy strategy = solver.solve();
+            return std::make_shared<const SolvedEquilibrium>(
+                std::move(scoring), std::move(cost), std::move(theta),
+                std::move(strategy));
+        });
 
     rebuild_population();
 }
+
+namespace {
+
+RealWorldConfig validated_config(const ExperimentSpec& spec) {
+    validate_or_throw(spec);
+    return to_realworld_config(spec);
+}
+
+} // namespace
+
+RealWorldTrial::RealWorldTrial(const ExperimentSpec& spec, std::size_t trial_index)
+    : RealWorldTrial(validated_config(spec), trial_index) {}
 
 void RealWorldTrial::rebuild_population() {
     stats::Rng pop_rng(trial_seed_ ^ 0xabcdef12345ULL);
@@ -124,7 +164,7 @@ ml::Model RealWorldTrial::make_model(std::uint64_t seed) const {
     return ml::make_cnn_deep(ml::ImageSpec{3, 14, 14, train_.num_classes}, seed);
 }
 
-fl::RunResult RealWorldTrial::run(Strategy strategy) {
+fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
     rebuild_population();
     ml::Model model = make_model(trial_seed_ ^ 0x5151ULL);
 
@@ -137,39 +177,47 @@ fl::RunResult RealWorldTrial::run(Strategy strategy) {
     cc.eval_cap = config_.eval_cap;
     fl::Coordinator coordinator(model, train_, test_, shards_, cc);
 
+    fl::PolicyContext context;
+    context.num_clients = config_.num_nodes;
+    context.winners = config_.winners;
+    context.trial_seed = trial_seed_;
+    context.make_auction_selector =
+        [this](const fl::PolicyContext& ctx) -> std::unique_ptr<fl::ClientSelector> {
+        auction::WinnerDeterminationConfig wd;
+        wd.mechanism = config_.mechanism;
+        wd.num_winners = config_.winners;
+        wd.payment_rule = config_.payment_rule;
+        wd.psi = ctx.probabilistic_acceptance ? config_.psi : 1.0;
+        if (ctx.probabilistic_acceptance) wd.psi_per_node = config_.psi_per_node;
+        wd.budget = config_.budget;
+        return std::make_unique<mec::AuctionSelector>(
+            *population_, *solved_->scoring, solved_->strategy, wd,
+            mec::cpu_bandwidth_data_extractor(), /*data_dimension=*/2);
+    };
+
+    const std::unique_ptr<fl::SelectionPolicy> policy = fl::make_policy(policy_name);
+    const std::unique_ptr<fl::ClientSelector> selector = policy->make_selector(context);
+
+    // The wall-clock model: auction-selected rounds ship only the purchased
+    // data volume; baseline rounds ship whole shards.
     mec::ClusterTimeConfig tc;
     tc.model_bytes = config_.model_bytes;
     tc.seconds_per_sample_core = config_.seconds_per_sample_core;
     tc.round_overhead_s = config_.round_overhead_s;
-    const bool is_auction =
-        strategy == Strategy::fmore || strategy == Strategy::psi_fmore;
+    const bool is_auction = selector->contracts_data_volume();
     const mec::ClusterTimeModel time_model(*population_, tc, is_auction);
 
     stats::Rng run_rng(trial_seed_ ^ 0xf00dULL);
-    auction::WinnerDeterminationConfig wd;
-    wd.num_winners = config_.winners;
-    wd.payment_rule = config_.payment_rule;
-    wd.psi = strategy == Strategy::psi_fmore ? config_.psi : 1.0;
-
-    switch (strategy) {
-        case Strategy::fmore:
-        case Strategy::psi_fmore: {
-            mec::AuctionSelector selector(*population_, *scoring_, *equilibrium_, wd,
-                                          mec::cpu_bandwidth_data_extractor(),
-                                          /*data_dimension=*/2);
-            return coordinator.run(selector, run_rng, time_model.as_time_model());
-        }
-        case Strategy::randfl: {
-            fl::RandomSelector selector(config_.num_nodes);
-            return coordinator.run(selector, run_rng, time_model.as_time_model());
-        }
-        case Strategy::fixfl: {
-            stats::Rng fix_rng(trial_seed_ ^ 0xf1f1ULL);
-            fl::FixedSelector selector(config_.num_nodes, config_.winners, fix_rng);
-            return coordinator.run(selector, run_rng, time_model.as_time_model());
-        }
+    fl::RunResult result = coordinator.run(*selector, run_rng, time_model.as_time_model());
+    if (!result.rounds.empty()
+        && !result.rounds.back().selection.all_scores.empty()) {
+        last_all_scores_ = result.rounds.back().selection.all_scores;
     }
-    throw std::logic_error("RealWorldTrial: unknown strategy");
+    return result;
+}
+
+fl::RunResult RealWorldTrial::run(Strategy strategy) {
+    return run(to_policy_name(strategy));
 }
 
 } // namespace fmore::core

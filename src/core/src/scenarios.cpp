@@ -1,0 +1,149 @@
+#include "fmore/core/scenarios.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fmore/util/registry.hpp"
+
+namespace fmore::core {
+
+namespace {
+
+/// Figs. 9/10 sweep N/K from a longer-horizon MNIST-F base.
+ExperimentSpec impact_base() {
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_f);
+    spec.training.rounds = 24;
+    return spec;
+}
+
+/// Fig. 11's small-data regime: shards are thin so repeated top-score
+/// selection overfits to few nodes and psi-diversity has real value.
+ExperimentSpec small_data_psi() {
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_f);
+    spec.population.data_lo = 10;
+    spec.population.data_hi = 45;
+    spec.training.rounds = 30;
+    return spec;
+}
+
+} // namespace
+
+namespace {
+
+struct Registration {
+    std::string description;
+    ScenarioRegistry::ScenarioFactory factory;
+};
+
+} // namespace
+
+struct ScenarioRegistry::Impl {
+    util::NamedRegistry<Registration> registry{"ScenarioRegistry", "scenario"};
+};
+
+ScenarioRegistry::ScenarioRegistry() : impl_(std::make_shared<Impl>()) {
+    auto add_builtin = [this](const char* name, const char* description,
+                              ScenarioFactory factory) {
+        impl_->registry.replace(name, Registration{description, std::move(factory)});
+    };
+    add_builtin("sim/default",
+        "The paper's simulator defaults (N=100, K=20, MNIST-O)",
+        [] { return default_experiment(DatasetKind::mnist_o); });
+    add_builtin("testbed/default",
+        "The paper's 31-node testbed defaults (CIFAR-10, wall-clock model)",
+        [] { return default_testbed_experiment(); });
+    add_builtin("paper/fig04",
+        "Fig. 4: accuracy/loss, CNN on MNIST-O, FMore vs RandFL vs FixFL",
+        [] { return default_experiment(DatasetKind::mnist_o); });
+    add_builtin("paper/fig05",
+        "Fig. 5: accuracy/loss, CNN on MNIST-F",
+        [] { return default_experiment(DatasetKind::mnist_f); });
+    add_builtin("paper/fig06",
+        "Fig. 6: accuracy/loss, deeper CNN on CIFAR-10",
+        [] { return default_experiment(DatasetKind::cifar10); });
+    add_builtin("paper/fig07",
+        "Fig. 7: accuracy/loss, LSTM on HPNews",
+        [] { return default_experiment(DatasetKind::hpnews); });
+    add_builtin("paper/fig08",
+        "Fig. 8 base: winner-score distribution board (CIFAR-10; the bench "
+        "also overrides training.dataset = hpnews for panel b)",
+        [] {
+            ExperimentSpec spec = default_experiment(DatasetKind::cifar10);
+            spec.training.rounds = 10; // selection statistics stabilize quickly
+            return spec;
+        });
+    add_builtin("paper/fig09",
+        "Fig. 9 base: impact of N (the bench sweeps population.num_nodes and "
+        "grows training.train_samples with the market)",
+        [] { return impact_base(); });
+    add_builtin("paper/fig10",
+        "Fig. 10 base: impact of K (the bench sweeps auction.winners)",
+        [] { return impact_base(); });
+    add_builtin("paper/fig11",
+        "Fig. 11 base: impact of psi in the small-data regime (run with the "
+        "psi_fmore policy; the bench sweeps auction.psi)",
+        [] { return small_data_psi(); });
+    add_builtin("paper/fig12",
+        "Fig. 12: testbed accuracy/loss, FMore vs RandFL",
+        [] { return default_testbed_experiment(); });
+    add_builtin("paper/fig13",
+        "Fig. 13: testbed wall-clock time per round and time-to-accuracy",
+        [] { return default_testbed_experiment(); });
+    add_builtin("ablation/budget",
+        "Budget-constrained FMore: the prefix rule under a shrinking per-round "
+        "payment budget (the bench sweeps auction.budget)",
+        [] {
+            ExperimentSpec spec = default_experiment(DatasetKind::mnist_f);
+            spec.training.rounds = 14;
+            return spec;
+        });
+    add_builtin("ablation/second_score",
+        "Second-score payments on the simulator defaults (mechanism = "
+        "second_score; winners are paid the best losing score)",
+        [] {
+            ExperimentSpec spec = default_experiment(DatasetKind::mnist_f);
+            spec.auction.mechanism = "second_score";
+            spec.auction.payment_rule = auction::PaymentRule::second_price;
+            return spec;
+        });
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void ScenarioRegistry::add(const std::string& name, const std::string& description,
+                           ScenarioFactory factory) {
+    util::require_factory(factory, "ScenarioRegistry", "add", name);
+    impl_->registry.add(name, Registration{description, std::move(factory)});
+}
+
+void ScenarioRegistry::replace(const std::string& name, const std::string& description,
+                               ScenarioFactory factory) {
+    util::require_factory(factory, "ScenarioRegistry", "replace", name);
+    impl_->registry.replace(name, Registration{description, std::move(factory)});
+}
+
+void ScenarioRegistry::remove(const std::string& name) { impl_->registry.remove(name); }
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+    return impl_->registry.contains(name);
+}
+
+std::vector<ScenarioRegistry::Entry> ScenarioRegistry::list() const {
+    std::vector<Entry> out;
+    for (auto& [name, registration] : impl_->registry.entries())
+        out.push_back(Entry{name, registration.description});
+    return out;
+}
+
+ExperimentSpec ScenarioRegistry::get(const std::string& name) const {
+    return impl_->registry.get(name).factory();
+}
+
+ExperimentSpec named_scenario(const std::string& name) {
+    return ScenarioRegistry::instance().get(name);
+}
+
+} // namespace fmore::core

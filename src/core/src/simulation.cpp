@@ -1,8 +1,12 @@
 #include "fmore/core/simulation.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "fmore/core/experiment.hpp"
+#include "fmore/fl/policy.hpp"
 #include "fmore/fl/selection.hpp"
+#include "fmore/mec/auction_selector.hpp"
 #include "fmore/ml/model_zoo.hpp"
 #include "fmore/ml/partition.hpp"
 #include "fmore/stats/normalizer.hpp"
@@ -46,6 +50,18 @@ std::pair<ml::Dataset, ml::Dataset> make_dataset(DatasetKind kind, std::size_t t
     test.labels.assign(pool.labels.begin() + static_cast<std::ptrdiff_t>(train_n),
                        pool.labels.end());
     return {std::move(train), std::move(test)};
+}
+
+/// Every input of the simulator's equilibrium tabulation, hex-exact.
+std::string equilibrium_cache_key(const SimulationConfig& config) {
+    std::ostringstream key;
+    key << std::hexfloat << "sim|alpha=" << config.alpha
+        << "|beta_data=" << config.beta_data << "|beta_category=" << config.beta_category
+        << "|data_hi=" << static_cast<double>(config.data_hi)
+        << "|theta=" << config.theta_lo << ',' << config.theta_hi
+        << "|N=" << config.num_nodes << "|K=" << config.winners
+        << "|win_model=" << static_cast<int>(config.win_model);
+    return key.str();
 }
 
 } // namespace
@@ -101,29 +117,53 @@ SimulationTrial::SimulationTrial(const SimulationConfig& config, std::size_t tri
     theta_dist_ = std::make_unique<stats::UniformDistribution>(config_.theta_lo,
                                                                config_.theta_hi);
 
-    // Scoring of Section V.A: S(q1, q2, p) = alpha * q1 * q2 - p with the
-    // data dimension min-max normalized over the advertised range.
-    const auto data_hi = static_cast<double>(config_.data_hi);
-    std::vector<stats::MinMaxNormalizer> norms;
-    norms.emplace_back(0.0, data_hi);
-    norms.emplace_back(0.0, 1.0);
-    scoring_ = std::make_unique<auction::ScaledProductScoring>(config_.alpha, 2, norms);
+    // The tabulated strategy depends only on the config (never the trial
+    // index), so a multi-trial sweep solves it once and shares the bundle.
+    solved_ = EquilibriumCache::instance().get_or_solve(
+        equilibrium_cache_key(config_), [this] {
+            // Scoring of Section V.A: S(q1, q2, p) = alpha * q1 * q2 - p
+            // with the data dimension min-max normalized over the
+            // advertised range.
+            const auto data_hi = static_cast<double>(config_.data_hi);
+            std::vector<stats::MinMaxNormalizer> norms;
+            norms.emplace_back(0.0, data_hi);
+            norms.emplace_back(0.0, 1.0);
+            auto scoring = std::make_unique<auction::ScaledProductScoring>(config_.alpha,
+                                                                           2, norms);
+            // Additive cost over the same units: beta_data is quoted per
+            // normalized data unit, so divide by the range to price raw
+            // sample counts.
+            auto cost = std::make_unique<auction::AdditiveCost>(std::vector<double>{
+                config_.beta_data / data_hi, config_.beta_category});
+            auto theta = std::make_unique<stats::UniformDistribution>(config_.theta_lo,
+                                                                      config_.theta_hi);
 
-    // Additive cost over the same units: beta_data is quoted per normalized
-    // data unit, so divide by the range to price raw sample counts.
-    cost_ = std::make_unique<auction::AdditiveCost>(
-        std::vector<double>{config_.beta_data / data_hi, config_.beta_category});
-
-    auction::EquilibriumConfig eq;
-    eq.num_bidders = config_.num_nodes;
-    eq.num_winners = config_.winners;
-    eq.win_model = config_.win_model;
-    const auction::EquilibriumSolver solver(*scoring_, *cost_, *theta_dist_,
-                                            {1.0, 0.05}, {data_hi, 1.0}, eq);
-    equilibrium_ = std::make_unique<auction::EquilibriumStrategy>(solver.solve());
+            auction::EquilibriumConfig eq;
+            eq.num_bidders = config_.num_nodes;
+            eq.num_winners = config_.winners;
+            eq.win_model = config_.win_model;
+            const auction::EquilibriumSolver solver(*scoring, *cost, *theta, {1.0, 0.05},
+                                                    {data_hi, 1.0}, eq);
+            auction::EquilibriumStrategy strategy = solver.solve();
+            return std::make_shared<const SolvedEquilibrium>(
+                std::move(scoring), std::move(cost), std::move(theta),
+                std::move(strategy));
+        });
 
     rebuild_population();
 }
+
+namespace {
+
+SimulationConfig validated_config(const ExperimentSpec& spec) {
+    validate_or_throw(spec);
+    return to_simulation_config(spec);
+}
+
+} // namespace
+
+SimulationTrial::SimulationTrial(const ExperimentSpec& spec, std::size_t trial_index)
+    : SimulationTrial(validated_config(spec), trial_index) {}
 
 void SimulationTrial::rebuild_population() {
     stats::Rng pop_rng(trial_seed_ ^ 0xabcdef12345ULL);
@@ -154,8 +194,8 @@ ml::Model SimulationTrial::make_model(std::uint64_t seed) const {
     throw std::logic_error("SimulationTrial: unknown dataset");
 }
 
-fl::RunResult SimulationTrial::run(Strategy strategy) {
-    // Fresh population state per strategy so each sees the same dynamics.
+fl::RunResult SimulationTrial::run(const std::string& policy_name) {
+    // Fresh population state per policy so each sees the same dynamics.
     rebuild_population();
     ml::Model model = make_model(trial_seed_ ^ 0x5151ULL);
 
@@ -168,39 +208,38 @@ fl::RunResult SimulationTrial::run(Strategy strategy) {
     cc.eval_cap = config_.eval_cap;
     fl::Coordinator coordinator(model, train_, test_, shards_, cc);
 
-    stats::Rng run_rng(trial_seed_ ^ 0xf00dULL);
-    auction::WinnerDeterminationConfig wd;
-    wd.num_winners = config_.winners;
-    wd.payment_rule = config_.payment_rule;
-    wd.psi = strategy == Strategy::psi_fmore ? config_.psi : 1.0;
-    wd.budget = config_.budget;
+    fl::PolicyContext context;
+    context.num_clients = config_.num_nodes;
+    context.winners = config_.winners;
+    context.trial_seed = trial_seed_;
+    context.make_auction_selector =
+        [this](const fl::PolicyContext& ctx) -> std::unique_ptr<fl::ClientSelector> {
+        auction::WinnerDeterminationConfig wd;
+        wd.mechanism = config_.mechanism;
+        wd.num_winners = config_.winners;
+        wd.payment_rule = config_.payment_rule;
+        wd.psi = ctx.probabilistic_acceptance ? config_.psi : 1.0;
+        if (ctx.probabilistic_acceptance) wd.psi_per_node = config_.psi_per_node;
+        wd.budget = config_.budget;
+        return std::make_unique<mec::AuctionSelector>(
+            *population_, *solved_->scoring, solved_->strategy, wd,
+            mec::data_category_extractor(), /*data_dimension=*/0);
+    };
 
-    fl::RunResult result;
-    switch (strategy) {
-        case Strategy::fmore:
-        case Strategy::psi_fmore: {
-            mec::AuctionSelector selector(*population_, *scoring_, *equilibrium_, wd,
-                                          mec::data_category_extractor(),
-                                          /*data_dimension=*/0);
-            result = coordinator.run(selector, run_rng);
-            if (!result.rounds.empty()) {
-                last_all_scores_ = result.rounds.back().selection.all_scores;
-            }
-            break;
-        }
-        case Strategy::randfl: {
-            fl::RandomSelector selector(config_.num_nodes);
-            result = coordinator.run(selector, run_rng);
-            break;
-        }
-        case Strategy::fixfl: {
-            stats::Rng fix_rng(trial_seed_ ^ 0xf1f1ULL);
-            fl::FixedSelector selector(config_.num_nodes, config_.winners, fix_rng);
-            result = coordinator.run(selector, run_rng);
-            break;
-        }
+    const std::unique_ptr<fl::SelectionPolicy> policy = fl::make_policy(policy_name);
+    const std::unique_ptr<fl::ClientSelector> selector = policy->make_selector(context);
+
+    stats::Rng run_rng(trial_seed_ ^ 0xf00dULL);
+    fl::RunResult result = coordinator.run(*selector, run_rng);
+    if (!result.rounds.empty()
+        && !result.rounds.back().selection.all_scores.empty()) {
+        last_all_scores_ = result.rounds.back().selection.all_scores;
     }
     return result;
+}
+
+fl::RunResult SimulationTrial::run(Strategy strategy) {
+    return run(to_policy_name(strategy));
 }
 
 } // namespace fmore::core

@@ -5,10 +5,12 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <ostream>
 #include <stdexcept>
 #include <thread>
 
 #include "fmore/core/realworld.hpp"
+#include "fmore/core/report.hpp"
 #include "fmore/core/simulation.hpp"
 
 namespace fmore::core {
@@ -65,6 +67,29 @@ double mean_seconds_to_accuracy(const std::vector<fl::RunResult>& runs, double t
         total += run.seconds_to_accuracy(target).value_or(run.total_seconds());
     }
     return total / static_cast<double>(runs.size());
+}
+
+void print_accuracy_loss(std::ostream& out, const std::vector<NamedSeries>& all) {
+    if (all.empty()) throw std::invalid_argument("print_accuracy_loss: no series");
+    std::vector<std::string> headers{"round"};
+    for (const NamedSeries& s : all) headers.push_back(s.name + "_acc");
+    for (const NamedSeries& s : all) headers.push_back(s.name + "_loss");
+    TablePrinter table(out, headers);
+    const std::size_t rounds = all.front().series.rounds();
+    for (std::size_t r = 0; r < rounds; ++r) {
+        std::vector<double> row{static_cast<double>(r + 1)};
+        for (const NamedSeries& s : all) row.push_back(s.series.accuracy[r]);
+        for (const NamedSeries& s : all) row.push_back(s.series.loss[r]);
+        table.row(row);
+    }
+}
+
+std::size_t bench_trial_count(std::size_t fallback) {
+    if (const char* env = std::getenv("FMORE_BENCH_TRIALS")) {
+        const long v = std::atol(env);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return fallback;
 }
 
 std::size_t resolve_trial_threads(std::size_t requested, std::size_t trials) {
@@ -158,6 +183,27 @@ std::vector<fl::RunResult> run_realworld_trials(const RealWorldConfig& config,
             return trial.run(strategy);
         },
         options);
+}
+
+std::vector<fl::RunResult> run_experiment_trials(const ExperimentSpec& spec,
+                                                 const std::string& policy,
+                                                 std::size_t trials,
+                                                 const TrialRunnerOptions& options) {
+    // Validate once up front so a bad spec fails with the full message list
+    // instead of one exception per worker thread.
+    validate_or_throw(spec);
+    return run_trials(
+        trials,
+        [&spec, &policy](std::size_t t) {
+            ExperimentTrial trial(spec, t);
+            return trial.run(policy);
+        },
+        options);
+}
+
+AveragedSeries averaged_experiment(const ExperimentSpec& spec, const std::string& policy,
+                                   std::size_t trials, const TrialRunnerOptions& options) {
+    return average_runs(run_experiment_trials(spec, policy, trials, options));
 }
 
 AveragedSeries averaged_simulation(const SimulationConfig& config, Strategy strategy,

@@ -1,0 +1,90 @@
+#pragma once
+
+/// @file policy.hpp
+/// The open client-selection seam: a SelectionPolicy builds the
+/// ClientSelector a federated run drives, and a string-keyed registry maps
+/// policy names ("fmore", "psi_fmore", "randfl", "fixfl", or anything a
+/// library registers) to factories. This replaces the closed Strategy-enum
+/// switch the experiment layer used to carry — RandFL/FixFL/FMore are
+/// policies, not cases.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fmore/fl/selection.hpp"
+
+namespace fmore::fl {
+
+struct PolicyContext;
+
+/// Experiment-layer hook that builds an auction-backed selector. The fl
+/// module knows nothing about MEC populations or equilibria; the trial that
+/// owns them installs this closure so auction policies can ask for "the
+/// auction selector of this world" without fl depending on mec.
+using AuctionSelectorFactory =
+    std::function<std::unique_ptr<ClientSelector>(const PolicyContext&)>;
+
+/// Everything a policy may need to assemble its selector for one run.
+struct PolicyContext {
+    std::size_t num_clients = 0;  ///< N
+    std::size_t winners = 0;      ///< K
+    /// Trial-scoped seed; policies that draw setup randomness (FixFL's
+    /// one-time winner set) derive their stream from it, never from shared
+    /// state, preserving the repo's determinism discipline.
+    std::uint64_t trial_seed = 0;
+    /// Set by the psi_fmore policy before invoking the auction factory; the
+    /// experiment layer maps it to its configured psi (plain FMore runs
+    /// with psi = 1 regardless of the configured value).
+    bool probabilistic_acceptance = false;
+    /// Installed by auction-capable experiment layers; nullptr otherwise
+    /// (auction policies then throw with an actionable message).
+    AuctionSelectorFactory make_auction_selector;
+};
+
+/// A named client-selection policy: a factory for ClientSelectors.
+class SelectionPolicy {
+public:
+    virtual ~SelectionPolicy() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+    /// Build the selector that will drive one federated run.
+    /// @throws std::invalid_argument when the context lacks what the policy
+    ///         needs (e.g. an auction policy without an auction factory)
+    [[nodiscard]] virtual std::unique_ptr<ClientSelector>
+    make_selector(const PolicyContext& context) const = 0;
+};
+
+using PolicyFactory = std::function<std::unique_ptr<SelectionPolicy>()>;
+
+/// Process-wide registry of selection policies. The four paper strategies
+/// are registered on first use; tests and downstream code add their own.
+/// All methods are thread-safe.
+class PolicyRegistry {
+public:
+    [[nodiscard]] static PolicyRegistry& instance();
+
+    /// @throws std::invalid_argument on an empty/duplicate name or null
+    ///         factory (use `replace` to overwrite deliberately)
+    void add(const std::string& name, PolicyFactory factory);
+    void replace(const std::string& name, PolicyFactory factory);
+    void remove(const std::string& name);
+
+    [[nodiscard]] bool contains(const std::string& name) const;
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    /// @throws std::invalid_argument for unknown names, listing what is
+    ///         registered
+    [[nodiscard]] std::unique_ptr<SelectionPolicy> create(const std::string& name) const;
+
+private:
+    PolicyRegistry();
+    struct Impl;
+    std::shared_ptr<Impl> impl_;
+};
+
+/// Shorthand for `PolicyRegistry::instance().create(name)`.
+[[nodiscard]] std::unique_ptr<SelectionPolicy> make_policy(const std::string& name);
+
+} // namespace fmore::fl

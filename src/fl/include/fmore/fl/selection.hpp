@@ -38,6 +38,12 @@ public:
     [[nodiscard]] virtual SelectionRecord select(std::size_t round, std::size_t k,
                                                  stats::Rng& rng) = 0;
     [[nodiscard]] virtual std::string name() const = 0;
+    /// True when winners train only on the data volume their accepted bid
+    /// covers (`SelectedClient::train_samples`). Wall-clock models use this
+    /// to decide between contracted-volume and whole-shard round timing, so
+    /// custom auction-style selectors must override it — it is a capability
+    /// flag, not a type check.
+    [[nodiscard]] virtual bool contracts_data_volume() const { return false; }
 };
 
 /// RandFL — the classic federated learning baseline: "the aggregator

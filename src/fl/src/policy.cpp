@@ -1,0 +1,116 @@
+#include "fmore/fl/policy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fmore/util/registry.hpp"
+
+namespace fmore::fl {
+
+namespace {
+
+/// RandFL — uniform random K of N each round (Section II.B).
+class RandFlPolicy final : public SelectionPolicy {
+public:
+    [[nodiscard]] std::string name() const override { return "randfl"; }
+    [[nodiscard]] std::unique_ptr<ClientSelector>
+    make_selector(const PolicyContext& context) const override {
+        return std::make_unique<RandomSelector>(context.num_clients);
+    }
+};
+
+/// FixFL — one random winner set drawn up front and reused every round
+/// (Section V.A). The draw's stream is derived from the trial seed alone,
+/// so a trial's fixed set is identical no matter where the policy is built.
+class FixFlPolicy final : public SelectionPolicy {
+public:
+    [[nodiscard]] std::string name() const override { return "fixfl"; }
+    [[nodiscard]] std::unique_ptr<ClientSelector>
+    make_selector(const PolicyContext& context) const override {
+        stats::Rng fix_rng(context.trial_seed ^ 0xf1f1ULL);
+        return std::make_unique<FixedSelector>(context.num_clients, context.winners,
+                                               fix_rng);
+    }
+};
+
+/// FMore / psi-FMore — delegate to the experiment layer's auction factory
+/// (Algorithm 1); psi-FMore flips the probabilistic-acceptance flag the
+/// factory maps to its configured psi.
+class AuctionPolicy final : public SelectionPolicy {
+public:
+    AuctionPolicy(std::string name, bool probabilistic)
+        : name_(std::move(name)), probabilistic_(probabilistic) {}
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] std::unique_ptr<ClientSelector>
+    make_selector(const PolicyContext& context) const override {
+        if (!context.make_auction_selector)
+            throw std::invalid_argument(
+                "SelectionPolicy '" + name_
+                + "': the PolicyContext has no auction-selector factory; auction "
+                  "policies need an experiment layer that installs "
+                  "PolicyContext::make_auction_selector (non-auction baselines: "
+                  "randfl, fixfl)");
+        PolicyContext ctx = context;
+        ctx.probabilistic_acceptance = probabilistic_;
+        return context.make_auction_selector(ctx);
+    }
+
+private:
+    std::string name_;
+    bool probabilistic_;
+};
+
+} // namespace
+
+struct PolicyRegistry::Impl {
+    util::NamedRegistry<PolicyFactory> registry{"PolicyRegistry", "selection policy"};
+};
+
+
+PolicyRegistry::PolicyRegistry() : impl_(std::make_shared<Impl>()) {
+    impl_->registry.replace("randfl", [] { return std::make_unique<RandFlPolicy>(); });
+    impl_->registry.replace("fixfl", [] { return std::make_unique<FixFlPolicy>(); });
+    impl_->registry.replace("fmore", [] {
+        return std::make_unique<AuctionPolicy>("fmore", false);
+    });
+    impl_->registry.replace("psi_fmore", [] {
+        return std::make_unique<AuctionPolicy>("psi_fmore", true);
+    });
+}
+
+PolicyRegistry& PolicyRegistry::instance() {
+    static PolicyRegistry registry;
+    return registry;
+}
+
+void PolicyRegistry::add(const std::string& name, PolicyFactory factory) {
+    util::require_factory(factory, "PolicyRegistry", "add", name);
+    impl_->registry.add(name, std::move(factory));
+}
+
+void PolicyRegistry::replace(const std::string& name, PolicyFactory factory) {
+    util::require_factory(factory, "PolicyRegistry", "replace", name);
+    impl_->registry.replace(name, std::move(factory));
+}
+
+void PolicyRegistry::remove(const std::string& name) { impl_->registry.remove(name); }
+
+bool PolicyRegistry::contains(const std::string& name) const {
+    return impl_->registry.contains(name);
+}
+
+std::vector<std::string> PolicyRegistry::names() const { return impl_->registry.names(); }
+
+std::unique_ptr<SelectionPolicy> PolicyRegistry::create(const std::string& name) const {
+    std::unique_ptr<SelectionPolicy> policy = impl_->registry.get(name)();
+    if (!policy)
+        throw std::logic_error("PolicyRegistry: factory for '" + name
+                               + "' returned null");
+    return policy;
+}
+
+std::unique_ptr<SelectionPolicy> make_policy(const std::string& name) {
+    return PolicyRegistry::instance().create(name);
+}
+
+} // namespace fmore::fl

@@ -51,6 +51,11 @@ public:
     [[nodiscard]] std::string name() const override {
         return wd_config_.psi < 1.0 ? "psi-FMore" : "FMore";
     }
+    /// Winners train on the data volume they bid (when a data dimension is
+    /// configured) — the signal wall-clock models key round timing on.
+    [[nodiscard]] bool contracts_data_volume() const override {
+        return data_dimension_ != npos;
+    }
 
     /// The sealed bids of the most recent round (inspection/benches).
     [[nodiscard]] const std::vector<auction::Bid>& last_bids() const { return last_bids_; }

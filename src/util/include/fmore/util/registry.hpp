@@ -1,0 +1,118 @@
+#pragma once
+
+/// @file registry.hpp
+/// The one string-keyed registry implementation behind every extension
+/// seam (auction::MechanismRegistry, fl::PolicyRegistry,
+/// core::ScenarioRegistry): thread-safe add/replace/remove/lookup with the
+/// shared error-message discipline — duplicate adds throw and point at
+/// replace(), unknown lookups throw and list what is registered.
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fmore::util {
+
+/// Shared guard for registries whose values wrap a callable: rejects a
+/// null factory with the registry's own message shape, so the wording
+/// cannot drift between seams.
+template <class Factory>
+void require_factory(const Factory& factory, const std::string& class_name,
+                     const char* op, const std::string& name) {
+    if (!factory)
+        throw std::invalid_argument(class_name + "::" + op + ": null factory for '"
+                                    + name + "'");
+}
+
+/// Thread-safe map from names to registrations. `class_name` ("e.g.
+/// "MechanismRegistry") and `noun` (e.g. "mechanism") only shape the error
+/// messages. Values are returned by copy so no lock outlives a call;
+/// registrations are expected to be cheap-to-copy factories.
+template <class Value>
+class NamedRegistry {
+public:
+    NamedRegistry(std::string class_name, std::string noun)
+        : class_name_(std::move(class_name)), noun_(std::move(noun)) {}
+
+    /// @throws std::invalid_argument on an empty or already-taken name
+    void add(const std::string& name, Value value) {
+        check_name(name, "add");
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (entries_.count(name) != 0)
+            throw std::invalid_argument(class_name_ + "::add: '" + name
+                                        + "' is already registered (use replace() to "
+                                          "overwrite deliberately)");
+        entries_.emplace(name, std::move(value));
+    }
+
+    /// Register or overwrite without the duplicate check.
+    void replace(const std::string& name, Value value) {
+        check_name(name, "replace");
+        const std::lock_guard<std::mutex> lock(mutex_);
+        entries_.insert_or_assign(name, std::move(value));
+    }
+
+    /// No-op when absent.
+    void remove(const std::string& name) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(name);
+    }
+
+    [[nodiscard]] bool contains(const std::string& name) const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.count(name) != 0;
+    }
+
+    /// All registered names, sorted.
+    [[nodiscard]] std::vector<std::string> names() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<std::string> out;
+        out.reserve(entries_.size());
+        for (const auto& [name, value] : entries_) out.push_back(name);
+        return out;
+    }
+
+    /// Snapshot of every (name, value), sorted by name.
+    [[nodiscard]] std::vector<std::pair<std::string, Value>> entries() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return {entries_.begin(), entries_.end()};
+    }
+
+    /// The registration under `name`.
+    /// @throws std::invalid_argument for unknown names, listing what is
+    ///         registered so the typo is obvious
+    [[nodiscard]] Value get(const std::string& name) const {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = entries_.find(name);
+            if (it != entries_.end()) return it->second;
+        }
+        std::ostringstream message;
+        message << class_name_ << ": unknown " << noun_ << " '" << name
+                << "'; registered: ";
+        const std::vector<std::string> known = names();
+        for (std::size_t i = 0; i < known.size(); ++i) {
+            if (i != 0) message << ", ";
+            message << known[i];
+        }
+        throw std::invalid_argument(message.str());
+    }
+
+private:
+    void check_name(const std::string& name, const char* op) const {
+        if (name.empty())
+            throw std::invalid_argument(class_name_ + "::" + op + ": empty " + noun_
+                                        + " name");
+    }
+
+    std::string class_name_;
+    std::string noun_;
+    mutable std::mutex mutex_;
+    std::map<std::string, Value> entries_;
+};
+
+} // namespace fmore::util

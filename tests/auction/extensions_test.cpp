@@ -104,11 +104,24 @@ TEST_F(ExtensionsTest, PerNodePsiOverridesGlobal) {
     EXPECT_GT(node4_wins, trials / 2);
 }
 
-TEST_F(ExtensionsTest, PerNodePsiFallsBackToGlobalForUnlistedNodes) {
+TEST_F(ExtensionsTest, PerNodePsiRejectsOutOfRangeNodeIds) {
+    // A short psi_per_node table used to fall back to the global psi for
+    // unlisted nodes — silently, which hid mis-sized tables. It now throws
+    // with the offending NodeId spelled out.
     WinnerDeterminationConfig cfg;
     cfg.num_winners = 5;
     cfg.psi = 1.0;
-    cfg.psi_per_node = {1.0, 1.0}; // nodes 2..4 use the global psi = 1
+    cfg.psi_per_node = {1.0, 1.0}; // bidders 2..4 are NOT covered
+    const WinnerDetermination wd(scoring_, cfg);
+    stats::Rng rng(7);
+    EXPECT_THROW((void)wd.run(bids(), rng), std::out_of_range);
+}
+
+TEST_F(ExtensionsTest, PerNodePsiCoveringAllBiddersFillsK) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 5;
+    cfg.psi = 1.0;
+    cfg.psi_per_node.assign(5, 1.0);
     const WinnerDetermination wd(scoring_, cfg);
     stats::Rng rng(7);
     EXPECT_EQ(wd.run(bids(), rng).winners.size(), 5u);

@@ -1,0 +1,380 @@
+// The Mechanism seam: registry resolution, the four built-in mechanisms
+// (second-score payments and budget-truncation edge cases in particular),
+// the O(N log K) partial-ranking path, and — the openness contract — a
+// custom mechanism registered from test code without touching src/auction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "fmore/auction/mechanism.hpp"
+#include "fmore/auction/winner_determination.hpp"
+
+namespace fmore::auction {
+namespace {
+
+class MechanismTest : public ::testing::Test {
+protected:
+    MechanismTest() : scoring_({1.0, 1.0}) {}
+
+    static std::vector<Bid> bids() {
+        // Scores 0.7, 0.6, 0.5, 0.4, 0.2 with payments 0.3/0.2/0.1/0.5/0.1.
+        return {
+            {0, {0.5, 0.5}, 0.3},   {1, {0.4, 0.4}, 0.2},  {2, {0.3, 0.3}, 0.1},
+            {3, {0.45, 0.45}, 0.5}, {4, {0.15, 0.15}, 0.1},
+        };
+    }
+
+    AdditiveScoring scoring_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismTest, RegistryResolvesTheFourPaperMechanisms) {
+    auto& registry = MechanismRegistry::instance();
+    const std::vector<std::string> expected{"budget_feasible", "first_score",
+                                            "psi_fmore", "second_score"};
+    for (const std::string& name : expected) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+        MechanismSpec spec;
+        spec.num_winners = 2;
+        const auto mechanism = registry.create(name, spec);
+        ASSERT_NE(mechanism, nullptr);
+        EXPECT_EQ(mechanism->name(), name);
+    }
+    const std::vector<std::string> names = registry.names();
+    for (const std::string& name : expected) {
+        EXPECT_NE(std::find(names.begin(), names.end(), name), names.end());
+    }
+}
+
+TEST_F(MechanismTest, UnknownNameErrorListsRegisteredMechanisms) {
+    MechanismSpec spec;
+    try {
+        (void)MechanismRegistry::instance().create("no_such_mechanism", spec);
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("no_such_mechanism"), std::string::npos);
+        EXPECT_NE(what.find("first_score"), std::string::npos);
+    }
+}
+
+TEST_F(MechanismTest, LegacyKnobsDeriveTheExpectedName) {
+    MechanismSpec spec;
+    EXPECT_EQ(resolve_mechanism_name(spec), "first_score");
+    spec.payment_rule = PaymentRule::second_price;
+    EXPECT_EQ(resolve_mechanism_name(spec), "second_score");
+    spec.psi = 0.5;
+    EXPECT_EQ(resolve_mechanism_name(spec), "psi_fmore");
+    spec.budget = 1.0;
+    EXPECT_EQ(resolve_mechanism_name(spec), "budget_feasible");
+    spec.mechanism = "first_score"; // explicit name wins over every knob
+    EXPECT_EQ(resolve_mechanism_name(spec), "first_score");
+}
+
+TEST_F(MechanismTest, WinnerDeterminationReportsItsMechanism) {
+    WinnerDeterminationConfig cfg;
+    cfg.num_winners = 2;
+    cfg.payment_rule = PaymentRule::second_price;
+    const WinnerDetermination wd(scoring_, cfg);
+    EXPECT_EQ(wd.mechanism().name(), "second_score");
+}
+
+// ---------------------------------------------------------------------------
+// Second-score payments
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismTest, SecondScoreWinnerPaysBestLosingScore) {
+    MechanismSpec spec;
+    spec.num_winners = 2;
+    const auto mechanism = MechanismRegistry::instance().create("second_score", spec);
+    stats::Rng rng(3);
+    const AuctionOutcome outcome = mechanism->run(scoring_, bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 2u);
+    // Best losing score is node 2's S = 0.5. Each winner pays
+    // s(q) - S_loser: node 0 pays 1.0 - 0.5 = 0.5, node 1 pays 0.8 - 0.5 =
+    // 0.3 — both above their asks (0.3, 0.2), so no IR floor kicks in.
+    EXPECT_EQ(outcome.winners[0].node, 0u);
+    EXPECT_NEAR(outcome.winners[0].payment, 0.5, 1e-12);
+    EXPECT_EQ(outcome.winners[1].node, 1u);
+    EXPECT_NEAR(outcome.winners[1].payment, 0.3, 1e-12);
+}
+
+TEST_F(MechanismTest, SecondScoreTightMarginPricesAgainstTheBestLoser) {
+    std::vector<Bid> tight = bids();
+    tight[2].payment = 0.001; // node 2's score becomes 0.599, just losing to 0.6
+    MechanismSpec spec;
+    spec.num_winners = 2;
+    const auto mechanism = MechanismRegistry::instance().create("second_score", spec);
+    stats::Rng rng(4);
+    const AuctionOutcome outcome = mechanism->run(scoring_, tight, rng);
+    ASSERT_EQ(outcome.winners.size(), 2u);
+    // Node 1: s = 0.8, best losing score 0.599 -> pays 0.201 (>= ask 0.2).
+    EXPECT_NEAR(outcome.winners[1].payment, 0.201, 1e-12);
+}
+
+TEST_F(MechanismTest, SecondScorePaymentNeverBelowTheAsk) {
+    // Under deterministic top-K a winner always outranks every loser, so
+    // s(q) - S_loser >= ask by construction; only psi selection can admit a
+    // winner that ranks BELOW the best loser, and there the IR floor (pay
+    // at least your ask) must bind. Sweep seeds until it does.
+    MechanismSpec spec;
+    spec.num_winners = 2;
+    spec.psi = 0.3;
+    spec.payment_rule = PaymentRule::second_price;
+    const auto mechanism = MechanismRegistry::instance().create("psi_fmore", spec);
+    const std::vector<Bid> pool = bids();
+    bool floor_hit = false;
+    for (std::uint64_t seed = 0; seed < 200 && !floor_hit; ++seed) {
+        stats::Rng rng(seed);
+        const AuctionOutcome outcome = mechanism->run(scoring_, pool, rng);
+        double best_losing = 0.0;
+        for (const ScoredBid& sb : outcome.ranking) {
+            const bool won = std::any_of(
+                outcome.winners.begin(), outcome.winners.end(),
+                [&](const Winner& w) { return w.node == sb.bid.node; });
+            if (!won) {
+                best_losing = sb.score;
+                break;
+            }
+        }
+        for (const Winner& w : outcome.winners) {
+            const double ask = pool[w.node].payment;
+            EXPECT_GE(w.payment, ask - 1e-12); // IR for every winner, always
+            if (w.score < best_losing) {
+                EXPECT_NEAR(w.payment, ask, 1e-12); // the floor is the ask
+                floor_hit = true;
+            }
+        }
+    }
+    EXPECT_TRUE(floor_hit) << "psi selection never exercised the IR floor";
+}
+
+TEST_F(MechanismTest, SecondScoreFactoryPinsThePaymentRule) {
+    // Even a spec that says first_price prices second-score when created
+    // under the "second_score" registry name.
+    MechanismSpec spec;
+    spec.num_winners = 2;
+    spec.payment_rule = PaymentRule::first_price;
+    const auto mechanism = MechanismRegistry::instance().create("second_score", spec);
+    stats::Rng rng(6);
+    const AuctionOutcome outcome = mechanism->run(scoring_, bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 2u);
+    EXPECT_NEAR(outcome.winners[0].payment, 0.5, 1e-12); // not the 0.3 ask
+}
+
+// ---------------------------------------------------------------------------
+// Budget-truncation edge cases
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismTest, BudgetSmallerThanFirstPaymentAdmitsNobody) {
+    MechanismSpec spec;
+    spec.num_winners = 3;
+    spec.budget = 0.2; // first winner (node 0) asks 0.3 > 0.2
+    const auto mechanism = MechanismRegistry::instance().create("budget_feasible", spec);
+    stats::Rng rng(7);
+    const AuctionOutcome outcome = mechanism->run(scoring_, bids(), rng);
+    EXPECT_TRUE(outcome.winners.empty());
+    EXPECT_EQ(outcome.ranking.size(), 5u); // the board is still complete
+}
+
+TEST_F(MechanismTest, BudgetExactlyEqualToPrefixSumAdmitsTheWholePrefix) {
+    MechanismSpec spec;
+    spec.num_winners = 3;
+    spec.budget = 0.3 + 0.2 + 0.1; // asks of the top three, to the cent
+    const auto mechanism = MechanismRegistry::instance().create("budget_feasible", spec);
+    stats::Rng rng(8);
+    const AuctionOutcome outcome = mechanism->run(scoring_, bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 3u); // boundary is inclusive
+    double spent = 0.0;
+    for (const Winner& w : outcome.winners) spent += w.payment;
+    EXPECT_NEAR(spent, 0.6, 1e-12);
+}
+
+TEST_F(MechanismTest, BudgetOneCentShortDropsTheLastWinner) {
+    MechanismSpec spec;
+    spec.num_winners = 3;
+    spec.budget = 0.6 - 0.01;
+    const auto mechanism = MechanismRegistry::instance().create("budget_feasible", spec);
+    stats::Rng rng(9);
+    const AuctionOutcome outcome = mechanism->run(scoring_, bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 2u);
+    EXPECT_EQ(outcome.winners[0].node, 0u);
+    EXPECT_EQ(outcome.winners[1].node, 1u);
+}
+
+TEST_F(MechanismTest, BudgetTruncationDoesNotPullCheaperBidsForward) {
+    // Node 3 (rank 4, ask 0.5) would fit a 0.35 budget after node 0 eats
+    // 0.3 — but the prefix rule stops at the first overflow (node 1, ask
+    // 0.2) rather than skipping ahead, preserving monotonicity.
+    MechanismSpec spec;
+    spec.num_winners = 5;
+    spec.budget = 0.35;
+    const auto mechanism = MechanismRegistry::instance().create("budget_feasible", spec);
+    stats::Rng rng(10);
+    const AuctionOutcome outcome = mechanism->run(scoring_, bids(), rng);
+    ASSERT_EQ(outcome.winners.size(), 1u);
+    EXPECT_EQ(outcome.winners[0].node, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Spec validation
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismTest, RejectsNaNAndOutOfRangePsi) {
+    MechanismSpec spec;
+    spec.psi = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(ScoreAuctionMechanism{spec}, std::invalid_argument);
+    spec.psi = -0.25;
+    EXPECT_THROW(ScoreAuctionMechanism{spec}, std::invalid_argument);
+    spec.psi = 0.5;
+    spec.psi_per_node = {0.5, std::numeric_limits<double>::quiet_NaN()};
+    EXPECT_THROW(ScoreAuctionMechanism{spec}, std::invalid_argument);
+    spec.psi_per_node = {0.5, -1.0};
+    EXPECT_THROW(ScoreAuctionMechanism{spec}, std::invalid_argument);
+    spec.psi_per_node = {0.5, 0.5};
+    EXPECT_NO_THROW(ScoreAuctionMechanism{spec});
+}
+
+TEST_F(MechanismTest, RejectsNegativeOrInfiniteBudget) {
+    MechanismSpec spec;
+    spec.budget = -1.0;
+    EXPECT_THROW(ScoreAuctionMechanism{spec}, std::invalid_argument);
+    spec.budget = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(ScoreAuctionMechanism{spec}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// O(N log K) partial-ranking path
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismTest, TopKPathMatchesFullSortBitForBit) {
+    // Random bids (with deliberate score ties from duplicated bids) must
+    // produce the same winners and payments on both paths for the same RNG
+    // stream, under first- and second-score pricing.
+    stats::Rng gen(42);
+    std::vector<Bid> pool;
+    for (std::size_t i = 0; i < 64; ++i) {
+        const double q = gen.uniform(0.0, 0.5);
+        pool.push_back({i, {q, q}, gen.uniform(0.0, 0.3)});
+        if (i % 7 == 0) // exact-tie twin with a distinct node id
+            pool.push_back({100 + i, {q, q}, pool.back().payment});
+    }
+    for (const PaymentRule rule :
+         {PaymentRule::first_price, PaymentRule::second_price}) {
+        MechanismSpec full;
+        full.num_winners = 10;
+        full.payment_rule = rule;
+        MechanismSpec partial = full;
+        partial.full_ranking = false;
+        const ScoreAuctionMechanism full_mechanism(full);
+        const ScoreAuctionMechanism partial_mechanism(partial);
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            stats::Rng rng_full(seed);
+            stats::Rng rng_partial(seed);
+            const AuctionOutcome a = full_mechanism.run(scoring_, pool, rng_full);
+            const AuctionOutcome b = partial_mechanism.run(scoring_, pool, rng_partial);
+            ASSERT_EQ(a.winners.size(), b.winners.size());
+            for (std::size_t i = 0; i < a.winners.size(); ++i) {
+                EXPECT_EQ(a.winners[i].node, b.winners[i].node) << "seed " << seed;
+                EXPECT_EQ(a.winners[i].payment, b.winners[i].payment);
+                EXPECT_EQ(a.winners[i].score, b.winners[i].score);
+            }
+            // The truncated board holds exactly the entries selection needs.
+            const std::size_t expect_top =
+                10 + (rule == PaymentRule::second_price ? 1 : 0);
+            EXPECT_EQ(b.ranking.size(), expect_top);
+            for (std::size_t i = 0; i < expect_top; ++i) {
+                EXPECT_EQ(a.ranking[i].bid.node, b.ranking[i].bid.node);
+            }
+        }
+    }
+}
+
+TEST_F(MechanismTest, TopKPathFallsBackToFullSortUnderPsi) {
+    MechanismSpec spec;
+    spec.num_winners = 2;
+    spec.psi = 0.5;
+    spec.full_ranking = false;
+    const ScoreAuctionMechanism mechanism(spec);
+    stats::Rng rng(11);
+    const AuctionOutcome outcome = mechanism.run(scoring_, bids(), rng);
+    EXPECT_EQ(outcome.ranking.size(), 5u); // psi scans the whole board
+    EXPECT_EQ(outcome.winners.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Custom mechanisms plug in from outside src/auction
+// ---------------------------------------------------------------------------
+
+/// A reserve-price mechanism defined entirely in test code: bids scoring
+/// below the reserve are never admitted, even if slots stay empty (the
+/// "reserve prices" variant PAPERS.md points at).
+class ReserveScoreMechanism final : public ScoreAuctionMechanism {
+public:
+    ReserveScoreMechanism(MechanismSpec spec, double reserve)
+        : ScoreAuctionMechanism(std::move(spec), "test/reserve"), reserve_(reserve) {}
+
+    [[nodiscard]] std::vector<std::size_t>
+    select(const std::vector<ScoredBid>& ranking, stats::Rng& rng) const override {
+        std::vector<std::size_t> chosen = ScoreAuctionMechanism::select(ranking, rng);
+        std::erase_if(chosen,
+                      [&](std::size_t i) { return ranking[i].score < reserve_; });
+        return chosen;
+    }
+
+private:
+    double reserve_;
+};
+
+TEST_F(MechanismTest, CustomMechanismRegistersAndRunsThroughTheSeam) {
+    auto& registry = MechanismRegistry::instance();
+    registry.replace("test/reserve", [](const MechanismSpec& spec) {
+        return std::make_unique<ReserveScoreMechanism>(spec, /*reserve=*/0.45);
+    });
+    ASSERT_TRUE(registry.contains("test/reserve"));
+
+    // Resolved by name through the ordinary WinnerDetermination driver.
+    WinnerDeterminationConfig cfg;
+    cfg.mechanism = "test/reserve";
+    cfg.num_winners = 4;
+    const WinnerDetermination wd(scoring_, cfg);
+    EXPECT_EQ(wd.mechanism().name(), "test/reserve");
+    stats::Rng rng(12);
+    const AuctionOutcome outcome = wd.run(bids(), rng);
+    // Scores 0.7, 0.6, 0.5 pass the 0.45 reserve; 0.4 and 0.2 do not —
+    // only 3 of the 4 slots fill.
+    ASSERT_EQ(outcome.winners.size(), 3u);
+    std::set<NodeId> winners;
+    for (const Winner& w : outcome.winners) winners.insert(w.node);
+    EXPECT_EQ(winners, (std::set<NodeId>{0, 1, 2}));
+
+    registry.remove("test/reserve");
+    EXPECT_FALSE(registry.contains("test/reserve"));
+}
+
+TEST_F(MechanismTest, DuplicateRegistrationThrowsButReplaceWins) {
+    auto& registry = MechanismRegistry::instance();
+    registry.replace("test/dup", [](const MechanismSpec& spec) {
+        return std::make_unique<ScoreAuctionMechanism>(spec, "test/dup");
+    });
+    EXPECT_THROW(registry.add("test/dup",
+                              [](const MechanismSpec& spec) {
+                                  return std::make_unique<ScoreAuctionMechanism>(
+                                      spec, "test/dup");
+                              }),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(registry.replace("test/dup", [](const MechanismSpec& spec) {
+        return std::make_unique<ScoreAuctionMechanism>(spec, "test/dup2");
+    }));
+    registry.remove("test/dup");
+}
+
+} // namespace
+} // namespace fmore::auction

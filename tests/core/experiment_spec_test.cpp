@@ -1,0 +1,310 @@
+// The unified ExperimentSpec surface: serialize -> parse round trips,
+// validation messages, compat shims against the legacy configs, named
+// scenarios, the ExperimentTrial facade (bit-identical to the engine it
+// wraps) and the equilibrium-solve cache.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "fmore/auction/mechanism.hpp"
+#include "fmore/core/equilibrium_cache.hpp"
+#include "fmore/core/experiment.hpp"
+#include "fmore/core/scenarios.hpp"
+#include "fmore/core/trials.hpp"
+
+namespace fmore::core {
+namespace {
+
+ExperimentSpec tiny_spec() {
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_o);
+    spec.training.train_samples = 400;
+    spec.training.test_samples = 120;
+    spec.population.num_nodes = 12;
+    spec.auction.winners = 4;
+    spec.training.rounds = 2;
+    spec.population.data_lo = 10;
+    spec.population.data_hi = 40;
+    spec.training.eval_cap = 100;
+    return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentSpecText, SimulationRoundTripIsExact) {
+    ExperimentSpec spec = default_experiment(DatasetKind::hpnews);
+    spec.seed = 1234567890123ULL;
+    spec.auction.mechanism = "psi_fmore";
+    spec.auction.psi = 0.37;
+    spec.auction.psi_per_node = {0.25, 1.0, 0.625, 1.0 / 3.0};
+    spec.auction.budget = 17.25;
+    spec.auction.payment_rule = auction::PaymentRule::second_price;
+    spec.auction.win_model = auction::WinModel::exact;
+    spec.training.learning_rate = 0.123456789012345; // full-precision survivor
+    const ExperimentSpec parsed = parse_experiment_spec(to_text(spec));
+    EXPECT_TRUE(parsed == spec);
+}
+
+TEST(ExperimentSpecText, TestbedRoundTripIsExact) {
+    ExperimentSpec spec = default_testbed_experiment();
+    spec.timing.model_bytes = 3.14159e7;
+    spec.population.bandwidth_lo = 123.5;
+    const ExperimentSpec parsed = parse_experiment_spec(to_text(spec));
+    EXPECT_TRUE(parsed == spec);
+}
+
+TEST(ExperimentSpecText, ParserHandlesCommentsAndBlankLines) {
+    const ExperimentSpec parsed = parse_experiment_spec(
+        "# a scenario file\n"
+        "\n"
+        "kind = testbed   # switches scoring family\n"
+        "  population.num_nodes = 31  \n"
+        "auction.winners=8\n");
+    EXPECT_EQ(parsed.kind, ExperimentKind::testbed);
+    EXPECT_EQ(parsed.population.num_nodes, 31u);
+    EXPECT_EQ(parsed.auction.winners, 8u);
+}
+
+TEST(ExperimentSpecText, ParserReportsLineAndUnknownKeys) {
+    try {
+        (void)parse_experiment_spec("population.num_nodes = 10\nnot_a_key = 3\n");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos);
+        EXPECT_NE(what.find("not_a_key"), std::string::npos);
+        EXPECT_NE(what.find("auction.winners"), std::string::npos); // suggests keys
+    }
+    EXPECT_THROW((void)parse_experiment_spec("just some words\n"), std::invalid_argument);
+    EXPECT_THROW((void)parse_experiment_spec("auction.psi = high\n"),
+                 std::invalid_argument);
+}
+
+TEST(ExperimentSpecText, ApplyKeyValueOverridesOneField) {
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_o);
+    apply_key_value(spec, "auction.mechanism", "second_score");
+    apply_key_value(spec, "auction.psi_per_node", "0.5,0.75,1");
+    apply_key_value(spec, "training.dataset", "cifar10");
+    EXPECT_EQ(spec.auction.mechanism, "second_score");
+    EXPECT_EQ(spec.auction.psi_per_node, (std::vector<double>{0.5, 0.75, 1.0}));
+    EXPECT_EQ(spec.training.dataset, DatasetKind::cifar10);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentSpecValidate, DefaultsAreValid) {
+    EXPECT_TRUE(validate(default_experiment(DatasetKind::mnist_o)).empty());
+    EXPECT_TRUE(validate(default_testbed_experiment()).empty());
+}
+
+TEST(ExperimentSpecValidate, MessagesNameTheOffendingKey) {
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_o);
+    spec.auction.psi = std::numeric_limits<double>::quiet_NaN();
+    spec.auction.winners = 200; // >= num_nodes
+    spec.auction.mechanism = "wireless_cellular"; // not registered
+    spec.auction.psi_per_node = {0.5, -2.0};
+    const std::vector<std::string> problems = validate(spec);
+    ASSERT_EQ(problems.size(), 5u); // psi, winners, mechanism, entry, length
+    auto mentions = [&problems](const std::string& token) {
+        for (const std::string& p : problems)
+            if (p.find(token) != std::string::npos) return true;
+        return false;
+    };
+    EXPECT_TRUE(mentions("auction.psi "));
+    EXPECT_TRUE(mentions("auction.winners"));
+    EXPECT_TRUE(mentions("wireless_cellular"));
+    EXPECT_TRUE(mentions("psi_per_node[1]"));
+    EXPECT_TRUE(mentions("must cover every node"));
+    EXPECT_THROW(validate_or_throw(spec), std::invalid_argument);
+}
+
+TEST(ExperimentSpecValidate, RegisteredCustomMechanismPassesValidation) {
+    auto& registry = auction::MechanismRegistry::instance();
+    registry.replace("test/spec_mechanism", [](const auction::MechanismSpec& ms) {
+        return std::make_unique<auction::ScoreAuctionMechanism>(ms,
+                                                                "test/spec_mechanism");
+    });
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_o);
+    spec.auction.mechanism = "test/spec_mechanism";
+    EXPECT_TRUE(validate(spec).empty());
+    registry.remove("test/spec_mechanism");
+    EXPECT_FALSE(validate(spec).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Compat shims
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentSpecCompat, SimulationShimsAreLossless) {
+    SimulationConfig config = default_simulation(DatasetKind::hpnews);
+    config.psi = 0.6;
+    config.budget = 12.0;
+    config.mechanism = "psi_fmore";
+    config.psi_per_node = {0.5, 0.75};
+    const ExperimentSpec spec = from_simulation_config(config);
+    const SimulationConfig back = to_simulation_config(spec);
+    EXPECT_EQ(back.dataset, config.dataset);
+    EXPECT_EQ(back.num_nodes, config.num_nodes);
+    EXPECT_EQ(back.winners, config.winners);
+    EXPECT_EQ(back.learning_rate, config.learning_rate);
+    EXPECT_EQ(back.local_epochs, config.local_epochs);
+    EXPECT_EQ(back.psi, config.psi);
+    EXPECT_EQ(back.psi_per_node, config.psi_per_node);
+    EXPECT_EQ(back.budget, config.budget);
+    EXPECT_EQ(back.mechanism, config.mechanism);
+    EXPECT_EQ(back.seed, config.seed);
+    // And the spec-level defaults agree with the config-level defaults.
+    EXPECT_TRUE(from_simulation_config(default_simulation(DatasetKind::mnist_f))
+                == default_experiment(DatasetKind::mnist_f));
+}
+
+TEST(ExperimentSpecCompat, TestbedShimsAreLossless) {
+    const RealWorldConfig config;
+    const ExperimentSpec spec = from_realworld_config(config);
+    EXPECT_TRUE(spec == default_testbed_experiment());
+    const RealWorldConfig back = to_realworld_config(spec);
+    EXPECT_EQ(back.num_nodes, config.num_nodes);
+    EXPECT_EQ(back.winners, config.winners);
+    EXPECT_EQ(back.cpu_hi, config.cpu_hi);
+    EXPECT_EQ(back.model_bytes, config.model_bytes);
+    EXPECT_EQ(back.seed, config.seed);
+}
+
+TEST(ExperimentSpecCompat, KindMismatchThrowsWithGuidance) {
+    EXPECT_THROW((void)to_realworld_config(default_experiment(DatasetKind::mnist_o)),
+                 std::invalid_argument);
+    EXPECT_THROW((void)to_simulation_config(default_testbed_experiment()),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+TEST(Scenarios, PaperPresetsAreRegisteredAndValid) {
+    auto& registry = ScenarioRegistry::instance();
+    for (const char* name :
+         {"paper/fig04", "paper/fig05", "paper/fig06", "paper/fig07", "paper/fig08",
+          "paper/fig09", "paper/fig10", "paper/fig11", "paper/fig12", "paper/fig13",
+          "sim/default", "testbed/default"}) {
+        ASSERT_TRUE(registry.contains(name)) << name;
+        const ExperimentSpec spec = registry.get(name);
+        EXPECT_TRUE(validate(spec).empty()) << name;
+    }
+    EXPECT_EQ(named_scenario("paper/fig04").training.dataset, DatasetKind::mnist_o);
+    EXPECT_EQ(named_scenario("paper/fig12").kind, ExperimentKind::testbed);
+    EXPECT_TRUE(named_scenario("paper/fig12").timing.enabled);
+}
+
+TEST(Scenarios, UnknownScenarioErrorListsWhatExists) {
+    try {
+        (void)named_scenario("paper/fig99");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("paper/fig99"), std::string::npos);
+        EXPECT_NE(what.find("paper/fig04"), std::string::npos);
+    }
+}
+
+TEST(Scenarios, DownstreamRegistrationWorks) {
+    auto& registry = ScenarioRegistry::instance();
+    registry.replace("test/custom", "a test scenario", [] {
+        ExperimentSpec spec = default_experiment(DatasetKind::mnist_f);
+        spec.auction.winners = 7;
+        return spec;
+    });
+    EXPECT_EQ(named_scenario("test/custom").auction.winners, 7u);
+    registry.remove("test/custom");
+    EXPECT_FALSE(registry.contains("test/custom"));
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentTrial facade + the runner
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentTrialTest, MatchesTheUnderlyingSimulationEngineBitForBit) {
+    const ExperimentSpec spec = tiny_spec();
+    ExperimentTrial facade(spec, /*trial_index=*/0);
+    SimulationTrial engine(to_simulation_config(spec), /*trial_index=*/0);
+    const fl::RunResult a = facade.run("fmore");
+    const fl::RunResult b = engine.run(Strategy::fmore);
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+        EXPECT_EQ(a.rounds[r].test_accuracy, b.rounds[r].test_accuracy);
+        EXPECT_EQ(a.rounds[r].test_loss, b.rounds[r].test_loss);
+        EXPECT_EQ(a.rounds[r].mean_winner_payment, b.rounds[r].mean_winner_payment);
+    }
+    EXPECT_EQ(facade.last_all_scores(), engine.last_all_scores());
+    EXPECT_EQ(facade.shards().size(), engine.shards().size());
+}
+
+TEST(ExperimentTrialTest, LegacyStrategyOverloadEqualsPolicyName) {
+    const ExperimentSpec spec = tiny_spec();
+    ExperimentTrial a(spec, 0);
+    ExperimentTrial b(spec, 0);
+    const fl::RunResult by_name = a.run("fixfl");
+    const fl::RunResult by_enum = b.run(Strategy::fixfl);
+    ASSERT_EQ(by_name.rounds.size(), by_enum.rounds.size());
+    for (std::size_t r = 0; r < by_name.rounds.size(); ++r) {
+        EXPECT_EQ(by_name.rounds[r].test_accuracy, by_enum.rounds[r].test_accuracy);
+    }
+}
+
+TEST(ExperimentTrialTest, ConstructionRejectsInvalidSpecs) {
+    ExperimentSpec spec = tiny_spec();
+    spec.auction.psi = -1.0;
+    EXPECT_THROW(ExperimentTrial(spec, 0), std::invalid_argument);
+}
+
+TEST(ExperimentTrialTest, RunnerDrivesSpecsAcrossTrials) {
+    const ExperimentSpec spec = tiny_spec();
+    const auto runs = run_experiment_trials(spec, "randfl", 2);
+    ASSERT_EQ(runs.size(), 2u);
+    for (const auto& run : runs) EXPECT_EQ(run.rounds.size(), spec.training.rounds);
+    const AveragedSeries series = averaged_experiment(spec, "randfl", 2);
+    EXPECT_EQ(series.rounds(), spec.training.rounds);
+}
+
+// ---------------------------------------------------------------------------
+// Equilibrium cache
+// ---------------------------------------------------------------------------
+
+TEST(EquilibriumCacheTest, SecondTrialOfASweepHitsTheCache) {
+    EquilibriumCache::instance().clear();
+    const ExperimentSpec spec = tiny_spec();
+    ExperimentTrial first(spec, 0);
+    const auto after_first = EquilibriumCache::instance().stats();
+    EXPECT_EQ(after_first.misses, 1u);
+    EXPECT_EQ(after_first.entries, 1u);
+    ExperimentTrial second(spec, 1);
+    const auto after_second = EquilibriumCache::instance().stats();
+    EXPECT_EQ(after_second.misses, 1u); // same game -> no re-solve
+    EXPECT_GE(after_second.hits, 1u);
+    // Different K -> different game -> a genuine miss.
+    ExperimentSpec other = spec;
+    other.auction.winners = 3;
+    ExperimentTrial third(other, 0);
+    EXPECT_EQ(EquilibriumCache::instance().stats().misses, 2u);
+}
+
+TEST(EquilibriumCacheTest, CachedTrialsStayDeterministic) {
+    EquilibriumCache::instance().clear();
+    const ExperimentSpec spec = tiny_spec();
+    ExperimentTrial cold(spec, 0); // pays the solve
+    ExperimentTrial warm(spec, 0); // shares the tabulation
+    const fl::RunResult a = cold.run("fmore");
+    const fl::RunResult b = warm.run("fmore");
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+        EXPECT_EQ(a.rounds[r].test_accuracy, b.rounds[r].test_accuracy);
+        EXPECT_EQ(a.rounds[r].mean_winner_payment, b.rounds[r].mean_winner_payment);
+    }
+}
+
+} // namespace
+} // namespace fmore::core

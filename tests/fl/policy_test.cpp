@@ -1,0 +1,128 @@
+// The SelectionPolicy seam: registry resolution, the built-in policies'
+// behavior against the raw selectors they wrap, context plumbing for
+// auction-backed policies, and downstream registration.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fmore/fl/policy.hpp"
+
+namespace fmore::fl {
+namespace {
+
+PolicyContext basic_context() {
+    PolicyContext context;
+    context.num_clients = 10;
+    context.winners = 3;
+    context.trial_seed = 77;
+    return context;
+}
+
+TEST(PolicyRegistryTest, ResolvesTheFourPaperPolicies) {
+    auto& registry = PolicyRegistry::instance();
+    for (const char* name : {"fmore", "psi_fmore", "randfl", "fixfl"}) {
+        ASSERT_TRUE(registry.contains(name)) << name;
+        const auto policy = registry.create(name);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_EQ(policy->name(), name);
+    }
+}
+
+TEST(PolicyRegistryTest, UnknownPolicyErrorListsRegisteredNames) {
+    try {
+        (void)make_policy("round_robin");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("round_robin"), std::string::npos);
+        EXPECT_NE(what.find("randfl"), std::string::npos);
+    }
+}
+
+TEST(PolicyRegistryTest, RandFlPolicyMatchesRandomSelector) {
+    const auto policy = make_policy("randfl");
+    const auto selector = policy->make_selector(basic_context());
+    RandomSelector reference(10);
+    stats::Rng a(5);
+    stats::Rng b(5);
+    const SelectionRecord lhs = selector->select(1, 3, a);
+    const SelectionRecord rhs = reference.select(1, 3, b);
+    ASSERT_EQ(lhs.selected.size(), rhs.selected.size());
+    for (std::size_t i = 0; i < lhs.selected.size(); ++i) {
+        EXPECT_EQ(lhs.selected[i].client, rhs.selected[i].client);
+    }
+}
+
+TEST(PolicyRegistryTest, FixFlPolicyDrawsItsSetFromTheTrialSeed) {
+    const auto policy = make_policy("fixfl");
+    const auto first = policy->make_selector(basic_context());
+    const auto second = policy->make_selector(basic_context());
+    stats::Rng rng(1);
+    const SelectionRecord a = first->select(1, 3, rng);
+    const SelectionRecord b = second->select(1, 3, rng);
+    ASSERT_EQ(a.selected.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(a.selected[i].client, b.selected[i].client); // same seed, same set
+    }
+    PolicyContext other = basic_context();
+    other.trial_seed = 78;
+    const auto third = policy->make_selector(other);
+    const SelectionRecord c = third->select(1, 3, rng);
+    std::set<std::size_t> set_a;
+    std::set<std::size_t> set_c;
+    for (const auto& s : a.selected) set_a.insert(s.client);
+    for (const auto& s : c.selected) set_c.insert(s.client);
+    EXPECT_NE(set_a, set_c); // different trial, different fixed set
+}
+
+TEST(PolicyRegistryTest, AuctionPoliciesNeedTheExperimentHook) {
+    try {
+        (void)make_policy("fmore")->make_selector(basic_context());
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        EXPECT_NE(std::string(error.what()).find("make_auction_selector"),
+                  std::string::npos);
+    }
+}
+
+TEST(PolicyRegistryTest, PsiFmoreFlagsProbabilisticAcceptance) {
+    PolicyContext context = basic_context();
+    bool seen_probabilistic = false;
+    context.make_auction_selector =
+        [&seen_probabilistic](const PolicyContext& ctx) -> std::unique_ptr<ClientSelector> {
+        seen_probabilistic = ctx.probabilistic_acceptance;
+        return std::make_unique<RandomSelector>(ctx.num_clients); // stand-in
+    };
+    (void)make_policy("fmore")->make_selector(context);
+    EXPECT_FALSE(seen_probabilistic);
+    (void)make_policy("psi_fmore")->make_selector(context);
+    EXPECT_TRUE(seen_probabilistic);
+}
+
+/// A policy registered from test code: always picks clients 0..k-1.
+class FirstKPolicy final : public SelectionPolicy {
+public:
+    [[nodiscard]] std::string name() const override { return "test/first_k"; }
+    [[nodiscard]] std::unique_ptr<ClientSelector>
+    make_selector(const PolicyContext& context) const override {
+        std::vector<std::size_t> fixed(context.winners);
+        for (std::size_t i = 0; i < fixed.size(); ++i) fixed[i] = i;
+        return std::make_unique<FixedSelector>(std::move(fixed));
+    }
+};
+
+TEST(PolicyRegistryTest, DownstreamPolicyRegistersWithoutCoreEdits) {
+    auto& registry = PolicyRegistry::instance();
+    registry.replace("test/first_k", [] { return std::make_unique<FirstKPolicy>(); });
+    const auto selector = make_policy("test/first_k")->make_selector(basic_context());
+    stats::Rng rng(9);
+    const SelectionRecord record = selector->select(1, 3, rng);
+    ASSERT_EQ(record.selected.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(record.selected[i].client, i);
+    registry.remove("test/first_k");
+    EXPECT_FALSE(registry.contains("test/first_k"));
+}
+
+} // namespace
+} // namespace fmore::fl
