@@ -7,6 +7,7 @@
 
 #include "bench_util.hpp"
 #include "fmore/auction/game.hpp"
+#include "fmore/core/sweep.hpp"
 #include "fmore/stats/normalizer.hpp"
 
 namespace {
@@ -18,13 +19,13 @@ void part_a() {
     const std::size_t trials = bench::trial_count(2);
     const std::vector<double> targets{0.70, 0.75, 0.78, 0.82, 0.84};
 
-    auto series_for = [&](std::size_t k) {
-        core::ExperimentSpec spec = core::named_scenario("paper/fig10");
-        spec.auction.winners = k;
-        return core::averaged_experiment(spec, "fmore", trials);
-    };
-    const auto k5 = series_for(5);
-    const auto k25 = series_for(25);
+    // The K grid is a sweep over the registered scenario — the same
+    // machinery as `run_scenario --sweep auction.winners=5,25`.
+    const std::vector<core::SweepPoint> points = core::expand_sweep(
+        core::named_scenario("paper/fig10"),
+        {core::parse_sweep_axis("auction.winners=5,25")});
+    const auto k5 = core::averaged_experiment(points[0].spec, "fmore", trials);
+    const auto k25 = core::averaged_experiment(points[1].spec, "fmore", trials);
 
     core::TablePrinter table(std::cout, {"accuracy", "rounds_K5", "rounds_K25"});
     for (const double target : targets) {

@@ -1,0 +1,308 @@
+// micro_kernels: the performance ledger of the compute substrate. Measures
+//  (1) the ml::gemm micro-kernel against the naive triple loop (GFLOP/s),
+//  (2) Conv2d / Dense / Lstm forward+backward at the paper's MNIST/HPNews
+//      shapes, GEMM path vs the FMORE_NAIVE_KERNELS reference loops,
+//  (3) end-to-end round time of the `paper/fig04` scenario: the pre-PR
+//      baseline (naive kernels, serial round) vs the GEMM path at 1/2/4/8
+//      round threads,
+// and writes everything to a machine-readable BENCH_kernels.json so future
+// PRs have a perf trajectory to regress against.
+//
+//   micro_kernels [--smoke] [--out path.json]
+//
+// --smoke shrinks repetitions (CI); the JSON is written either way.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fmore/core/experiment.hpp"
+#include "fmore/core/scenarios.hpp"
+#include "fmore/fl/metrics.hpp"
+#include "fmore/ml/conv2d.hpp"
+#include "fmore/ml/dense.hpp"
+#include "fmore/ml/gemm.hpp"
+#include "fmore/ml/lstm.hpp"
+#include "fmore/ml/tensor.hpp"
+#include "fmore/stats/rng.hpp"
+
+#ifdef _WIN32
+#include <cstdlib>
+static void set_env(const char* k, const char* v) { _putenv_s(k, v); }
+#else
+#include <cstdlib>
+static void set_env(const char* k, const char* v) { setenv(k, v, 1); }
+#endif
+
+namespace {
+
+using namespace fmore;
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// Time `fn` over `reps` repetitions, best-of to shed scheduler noise.
+template <typename Fn>
+double best_seconds(std::size_t reps, Fn&& fn) {
+    double best = 1e300;
+    for (std::size_t r = 0; r < reps; ++r) {
+        const auto start = clock_type::now();
+        fn();
+        best = std::min(best, seconds_since(start));
+    }
+    return best;
+}
+
+std::vector<float> random_vec(std::size_t n, stats::Rng& rng) {
+    std::vector<float> out(n);
+    for (float& v : out) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return out;
+}
+
+/// Naive reference GEMM (the kernel's semantics, textbook loops).
+void naive_gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                const float* b, float* c) {
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = c[i * n + j];
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+struct GemmResult {
+    std::size_t m, n, k;
+    double naive_gflops;
+    double gemm_gflops;
+};
+
+GemmResult bench_gemm(std::size_t m, std::size_t n, std::size_t k, std::size_t reps) {
+    stats::Rng rng(42);
+    const std::vector<float> a = random_vec(m * k, rng);
+    const std::vector<float> b = random_vec(k * n, rng);
+    std::vector<float> c(m * n, 0.0F);
+    const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n)
+                         * static_cast<double>(k);
+    const double t_naive =
+        best_seconds(reps, [&] { naive_gemm(m, n, k, a.data(), b.data(), c.data()); });
+    const double t_fast = best_seconds(reps, [&] {
+        ml::gemm_acc(m, n, k, a.data(), static_cast<std::ptrdiff_t>(k), 1, b.data(),
+                     static_cast<std::ptrdiff_t>(n), c.data(),
+                     static_cast<std::ptrdiff_t>(n));
+    });
+    return {m, n, k, flops / t_naive / 1e9, flops / t_fast / 1e9};
+}
+
+struct LayerResult {
+    std::string name;
+    std::string shape;
+    double fwd_naive_us, fwd_gemm_us;
+    double bwd_naive_us, bwd_gemm_us;
+};
+
+/// Forward+backward timings of one layer under both kernel paths.
+template <typename MakeLayer>
+LayerResult bench_layer(const std::string& name, const std::string& shape,
+                        MakeLayer&& make, const std::vector<std::size_t>& in_shape,
+                        std::size_t reps) {
+    stats::Rng rng(7);
+    auto layer = make();
+    layer->initialize(rng);
+    ml::Tensor input(in_shape);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    LayerResult out{name, shape, 0, 0, 0, 0};
+    for (const bool naive : {true, false}) {
+        ml::set_naive_kernels(naive ? 1 : 0);
+        ml::Tensor y = layer->forward(input, true);
+        ml::Tensor gy(y.shape());
+        for (std::size_t i = 0; i < gy.size(); ++i)
+            gy[i] = static_cast<float>(rng.uniform(-0.1, 0.1));
+        const double t_f =
+            best_seconds(reps, [&] { y = layer->forward(input, true); });
+        const double t_b =
+            best_seconds(reps, [&] { ml::Tensor gx = layer->backward(gy); });
+        if (naive) {
+            out.fwd_naive_us = t_f * 1e6;
+            out.bwd_naive_us = t_b * 1e6;
+        } else {
+            out.fwd_gemm_us = t_f * 1e6;
+            out.bwd_gemm_us = t_b * 1e6;
+        }
+    }
+    ml::set_naive_kernels(-1);
+    return out;
+}
+
+struct RoundResult {
+    double naive_serial_ms = 0.0; ///< the pre-PR configuration
+    double gemm_serial_ms = 0.0;
+    std::vector<std::pair<std::size_t, double>> gemm_threads_ms; ///< (threads, ms)
+};
+
+/// Mean per-round wall time of `paper/fig04` (FMore policy, 1 trial).
+double time_round_ms(const core::ExperimentSpec& spec, std::size_t threads) {
+    set_env("FMORE_ROUND_THREADS", std::to_string(threads).c_str());
+    core::ExperimentTrial trial(spec, 0);
+    const auto start = clock_type::now();
+    const fl::RunResult result = trial.run("fmore");
+    const double total = seconds_since(start);
+    set_env("FMORE_ROUND_THREADS", "0");
+    return total * 1e3 / static_cast<double>(result.rounds.size());
+}
+
+RoundResult bench_round(bool smoke) {
+    core::ExperimentSpec spec = core::named_scenario("paper/fig04");
+    spec.training.rounds = smoke ? 2 : 5;
+
+    RoundResult out;
+    ml::set_naive_kernels(1);
+    out.naive_serial_ms = time_round_ms(spec, 1);
+    ml::set_naive_kernels(0);
+    out.gemm_serial_ms = time_round_ms(spec, 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        out.gemm_threads_ms.emplace_back(threads, time_round_ms(spec, threads));
+    }
+    ml::set_naive_kernels(-1);
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string out_path = "BENCH_kernels.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: micro_kernels [--smoke] [--out path.json]\n";
+            return 2;
+        }
+    }
+    const std::size_t reps = smoke ? 3 : 20;
+
+    std::cout << "micro_kernels: GEMM-backed ml kernels vs the naive reference"
+              << (smoke ? " (smoke)" : "") << "\n\n";
+
+    // (1) Raw GEMM across representative shapes: the tiny conv-lowered
+    // matmuls the CNNs actually run, plus square sizes for the trajectory.
+    std::vector<GemmResult> gemms;
+    gemms.push_back(bench_gemm(8, 100, 9, reps * 50));    // MNIST conv1 per image
+    gemms.push_back(bench_gemm(16, 25, 72, reps * 50));   // CIFAR conv2 per image
+    gemms.push_back(bench_gemm(16, 64, 800, reps * 10));  // MNIST dense, batch 16
+    gemms.push_back(bench_gemm(64, 64, 64, reps * 10));
+    gemms.push_back(bench_gemm(128, 128, 128, reps));
+    std::cout << "GEMM (GFLOP/s):\n";
+    for (const GemmResult& g : gemms) {
+        std::printf("  %4zux%-4zux%-4zu  naive %6.2f   gemm %6.2f   speedup %.2fx\n",
+                    g.m, g.n, g.k, g.naive_gflops, g.gemm_gflops,
+                    g.gemm_gflops / g.naive_gflops);
+    }
+
+    // (2) The layers at the shapes the paper's models use.
+    std::vector<LayerResult> layers;
+    layers.push_back(bench_layer(
+        "conv2d", "B16 1x12x12 -> 8@3x3",
+        [] { return std::make_unique<ml::Conv2d>(1, 8, 3); },
+        {16, 1, 12, 12}, reps * 5));
+    layers.push_back(bench_layer(
+        "conv2d_deep", "B16 8x6x6 -> 16@3x3",
+        [] { return std::make_unique<ml::Conv2d>(8, 16, 3); },
+        {16, 8, 6, 6}, reps * 5));
+    layers.push_back(bench_layer(
+        "dense", "B16 800 -> 64",
+        [] { return std::make_unique<ml::Dense>(800, 64); },
+        {16, 800}, reps * 5));
+    layers.push_back(bench_layer(
+        "lstm", "B16 T16 E16 H32",
+        [] { return std::make_unique<ml::Lstm>(16, 32); },
+        {16, 16, 16}, reps));
+    std::cout << "\nlayers (microseconds per call, naive -> gemm):\n";
+    for (const LayerResult& l : layers) {
+        std::printf("  %-12s %-22s fwd %8.1f -> %8.1f (%.2fx)   bwd %8.1f -> %8.1f (%.2fx)\n",
+                    l.name.c_str(), l.shape.c_str(), l.fwd_naive_us, l.fwd_gemm_us,
+                    l.fwd_naive_us / l.fwd_gemm_us, l.bwd_naive_us, l.bwd_gemm_us,
+                    l.bwd_naive_us / l.bwd_gemm_us);
+    }
+
+    // (3) End-to-end rounds: pre-PR baseline vs the new path at 1/2/4/8
+    // round threads.
+    std::cout << "\npaper/fig04 round time (ms/round, 1 trial):\n";
+    const RoundResult round = bench_round(smoke);
+    std::printf("  naive kernels, serial round (pre-PR baseline): %8.1f\n",
+                round.naive_serial_ms);
+    std::printf("  gemm kernels,  1 thread:  %8.1f  (%.2fx vs baseline)\n",
+                round.gemm_serial_ms, round.naive_serial_ms / round.gemm_serial_ms);
+    double best_parallel = round.gemm_serial_ms;
+    for (const auto& [threads, ms] : round.gemm_threads_ms) {
+        std::printf("  gemm kernels, %2zu threads: %8.1f  (%.2fx vs baseline)\n", threads,
+                    ms, round.naive_serial_ms / ms);
+        best_parallel = std::min(best_parallel, ms);
+    }
+
+    // Machine-readable ledger.
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::cerr << "micro_kernels: cannot write " << out_path << '\n';
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"smoke\": %s,\n", smoke ? "true" : "false");
+    // The parallel-round axis needs hardware threads; record what this box
+    // had so the threads rows are interpretable.
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"gemm\": [\n");
+    for (std::size_t i = 0; i < gemms.size(); ++i) {
+        const GemmResult& g = gemms[i];
+        std::fprintf(f,
+                     "    {\"m\": %zu, \"n\": %zu, \"k\": %zu, \"naive_gflops\": %.4g, "
+                     "\"gemm_gflops\": %.4g, \"speedup\": %.4g}%s\n",
+                     g.m, g.n, g.k, g.naive_gflops, g.gemm_gflops,
+                     g.gemm_gflops / g.naive_gflops, i + 1 < gemms.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"layers\": [\n");
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const LayerResult& l = layers[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"shape\": \"%s\", \"fwd_naive_us\": %.4g, "
+            "\"fwd_gemm_us\": %.4g, \"fwd_speedup\": %.4g, \"bwd_naive_us\": %.4g, "
+            "\"bwd_gemm_us\": %.4g, \"bwd_speedup\": %.4g}%s\n",
+            l.name.c_str(), l.shape.c_str(), l.fwd_naive_us, l.fwd_gemm_us,
+            l.fwd_naive_us / l.fwd_gemm_us, l.bwd_naive_us, l.bwd_gemm_us,
+            l.bwd_naive_us / l.bwd_gemm_us, i + 1 < layers.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"round\": {\n    \"scenario\": \"paper/fig04\",\n");
+    std::fprintf(f, "    \"baseline_naive_serial_ms\": %.4g,\n", round.naive_serial_ms);
+    std::fprintf(f, "    \"gemm_serial_ms\": %.4g,\n", round.gemm_serial_ms);
+    std::fprintf(f, "    \"gemm_threads_ms\": {");
+    for (std::size_t i = 0; i < round.gemm_threads_ms.size(); ++i) {
+        const auto& [threads, ms] = round.gemm_threads_ms[i];
+        std::fprintf(f, "\"%zu\": %.4g%s", threads, ms,
+                     i + 1 < round.gemm_threads_ms.size() ? ", " : "");
+    }
+    const double at8 = round.gemm_threads_ms.empty()
+                           ? round.gemm_serial_ms
+                           : round.gemm_threads_ms.back().second;
+    std::fprintf(f, "},\n    \"speedup_at_8_threads_vs_baseline\": %.4g,\n",
+                 round.naive_serial_ms / at8);
+    std::fprintf(f, "    \"best_speedup_vs_baseline\": %.4g\n  }\n}\n",
+                 round.naive_serial_ms / best_parallel);
+    std::fclose(f);
+    std::cout << "\nwrote " << out_path << '\n';
+    return 0;
+}

@@ -9,9 +9,14 @@
 //   run_scenario sim/default --set auction.mechanism=second_score
 //   run_scenario --file my_scenario.txt          # key=value spec file
 //   run_scenario paper/fig04 --dump              # print the resolved spec
+//   run_scenario paper/fig10 --sweep auction.winners=5,25 --policies fmore
 //
 // `--set section.key=value` overrides any spec field; `--dump` prints the
-// resolved key=value form (paste it into a file to fork a scenario). The
+// resolved key=value form (paste it into a file to fork a scenario).
+// `--sweep key=a,b,c` (repeatable) grids the scenario over spec overrides
+// and prints one table per grid point — the generic replacement for the
+// hand-rolled parameter loops the fig09/fig10/fig11 benches used to carry.
+// The
 // output table for `paper/fig04` with the default policies is bit-identical
 // to bench/fig04_mnist_o's measured table for the same seed and trial
 // count — both drive core::averaged_experiment over the same registered
@@ -28,6 +33,7 @@
 
 #include "fmore/core/report.hpp"
 #include "fmore/core/scenarios.hpp"
+#include "fmore/core/sweep.hpp"
 #include "fmore/core/trials.hpp"
 
 namespace {
@@ -43,7 +49,9 @@ int usage(std::ostream& out, int exit_code) {
            "                     fmore,randfl,fixfl; testbed: fmore,randfl)\n"
            "  --trials N         trials per policy (default: FMORE_BENCH_TRIALS or 3)\n"
            "  --set key=value    override a spec field (repeatable)\n"
-           "  --dump             print the resolved spec and exit\n"
+           "  --sweep key=a,b,c  grid over spec overrides (repeatable; cross\n"
+           "                     product, one result table per grid point)\n"
+           "  --dump             print the resolved spec (pre-sweep) and exit\n"
            "  --validate         validate the resolved spec and exit\n";
     return exit_code;
 }
@@ -74,6 +82,7 @@ int main(int argc, char** argv) {
     std::string policies_arg;
     std::size_t trials = core::bench_trial_count();
     std::vector<std::pair<std::string, std::string>> overrides;
+    std::vector<core::SweepAxis> sweep_axes;
     bool dump = false;
     bool validate_only = false;
 
@@ -124,6 +133,14 @@ int main(int argc, char** argv) {
                 return 2;
             }
             overrides.emplace_back(assignment.substr(0, eq), assignment.substr(eq + 1));
+        } else if (arg == "--sweep") {
+            const std::string axis = next_value("--sweep");
+            try {
+                sweep_axes.push_back(core::parse_sweep_axis(axis));
+            } catch (const std::exception& error) {
+                std::cerr << "run_scenario: " << error.what() << '\n';
+                return 2;
+            }
         } else if (arg == "--dump") {
             dump = true;
         } else if (arg == "--validate") {
@@ -170,16 +187,23 @@ int main(int argc, char** argv) {
             std::cout << core::to_text(spec);
             return 0;
         }
-        const std::vector<std::string> problems = core::validate(spec);
-        if (!problems.empty()) {
-            std::cerr << "run_scenario: the resolved spec has " << problems.size()
-                      << " problem(s):\n";
+
+        const std::vector<core::SweepPoint> points =
+            core::expand_sweep(spec, sweep_axes);
+        for (const core::SweepPoint& point : points) {
+            const std::vector<std::string> problems = core::validate(point.spec);
+            if (problems.empty()) continue;
+            std::cerr << "run_scenario: the resolved spec"
+                      << (point.label.empty() ? "" : " (" + point.label + ")")
+                      << " has " << problems.size() << " problem(s):\n";
             for (const std::string& problem : problems)
                 std::cerr << "  - " << problem << '\n';
             return 1;
         }
         if (validate_only) {
-            std::cout << "spec OK\n";
+            std::cout << (points.size() == 1 ? "spec OK\n"
+                                             : std::to_string(points.size())
+                                                   + " sweep point(s) OK\n");
             return 0;
         }
 
@@ -191,36 +215,47 @@ int main(int argc, char** argv) {
         }
 
         const std::string title = scenario.empty() ? spec_file : scenario;
-        std::cout << title << ": " << core::to_string(spec.training.dataset)
-                  << ", N=" << spec.population.num_nodes
-                  << ", K=" << spec.auction.winners << ", " << spec.training.rounds
-                  << " rounds, " << trials << " trial(s) averaged\n\n";
+        bool first = true;
+        for (const core::SweepPoint& point : points) {
+            if (!first) std::cout << '\n';
+            first = false;
+            const core::ExperimentSpec& run_spec = point.spec;
+            std::cout << title;
+            if (!point.label.empty()) std::cout << " [" << point.label << ']';
+            std::cout << ": " << core::to_string(run_spec.training.dataset)
+                      << ", N=" << run_spec.population.num_nodes
+                      << ", K=" << run_spec.auction.winners << ", "
+                      << run_spec.training.rounds << " rounds, " << trials
+                      << " trial(s) averaged\n\n";
 
-        std::vector<core::NamedSeries> all;
-        for (const std::string& policy : policies) {
-            all.push_back(core::NamedSeries{
-                policy_label(policy), core::averaged_experiment(spec, policy, trials)});
-        }
-        core::print_accuracy_loss(std::cout, all);
-
-        if (spec.timing.enabled) {
-            std::cout << "\ncumulative training time by round (seconds):\n";
-            std::vector<std::string> headers{"round"};
-            for (const core::NamedSeries& s : all) headers.push_back(s.name + "_s");
-            core::TablePrinter table(std::cout, headers);
-            for (std::size_t r = 0; r < all.front().series.rounds(); ++r) {
-                std::vector<double> row{static_cast<double>(r + 1)};
-                for (const core::NamedSeries& s : all)
-                    row.push_back(s.series.cumulative_seconds[r]);
-                table.row(row, 2);
+            std::vector<core::NamedSeries> all;
+            for (const std::string& policy : policies) {
+                all.push_back(core::NamedSeries{
+                    policy_label(policy),
+                    core::averaged_experiment(run_spec, policy, trials)});
             }
-        }
+            core::print_accuracy_loss(std::cout, all);
 
-        std::cout << "\nfinal accuracy:";
-        for (const core::NamedSeries& s : all) {
-            std::cout << ' ' << s.name << ' ' << core::percent(s.series.accuracy.back());
+            if (run_spec.timing.enabled) {
+                std::cout << "\ncumulative training time by round (seconds):\n";
+                std::vector<std::string> headers{"round"};
+                for (const core::NamedSeries& s : all) headers.push_back(s.name + "_s");
+                core::TablePrinter table(std::cout, headers);
+                for (std::size_t r = 0; r < all.front().series.rounds(); ++r) {
+                    std::vector<double> row{static_cast<double>(r + 1)};
+                    for (const core::NamedSeries& s : all)
+                        row.push_back(s.series.cumulative_seconds[r]);
+                    table.row(row, 2);
+                }
+            }
+
+            std::cout << "\nfinal accuracy:";
+            for (const core::NamedSeries& s : all) {
+                std::cout << ' ' << s.name << ' '
+                          << core::percent(s.series.accuracy.back());
+            }
+            std::cout << '\n';
         }
-        std::cout << '\n';
         return 0;
     } catch (const std::exception& error) {
         std::cerr << "run_scenario: " << error.what() << '\n';

@@ -75,6 +75,9 @@ struct SimulationConfig {
     std::string mechanism;
     auction::PaymentRule payment_rule = auction::PaymentRule::first_price;
     auction::WinModel win_model = auction::WinModel::paper;
+    /// Record the full Fig. 8 score board each round (O(N log N) sort);
+    /// false keeps only what winner selection needs (O(N log K)).
+    bool full_scoreboard = true;
     double resource_jitter = 0.08; ///< MEC dynamics
     double theta_jitter = 0.02;
 
@@ -136,6 +139,8 @@ struct RealWorldConfig {
     std::string mechanism;
     auction::PaymentRule payment_rule = auction::PaymentRule::first_price;
     auction::WinModel win_model = auction::WinModel::paper;
+    /// Record the full Fig. 8 score board each round (see SimulationConfig).
+    bool full_scoreboard = true;
     double resource_jitter = 0.10;
     double theta_jitter = 0.02;
 

@@ -69,6 +69,14 @@ struct AuctionSpec {
     double budget = 0.0;            ///< per-round payment budget; 0 = off
     auction::PaymentRule payment_rule = auction::PaymentRule::first_price;
     auction::WinModel win_model = auction::WinModel::paper;
+    /// When true every round records the complete descending score board
+    /// (`SelectionRecord::all_scores` — the Fig. 8 input). When false the
+    /// mechanism only orders what winner selection needs (top K, plus the
+    /// best loser under second-score payments): an O(N log K) partial sort
+    /// instead of O(N log N), worthwhile at large N. Winners, payments and
+    /// every round metric are bit-identical either way; only the recorded
+    /// score board is truncated.
+    bool full_scoreboard = true;
 };
 
 /// The learning workload: dataset, split sizes and SGD hyperparameters.

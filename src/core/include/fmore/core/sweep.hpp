@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file sweep.hpp
+/// Grid sweeps over ExperimentSpec overrides — the machinery behind
+/// `run_scenario --sweep key=a,b,c` and the parameter-impact benches
+/// (fig09/fig10/fig11 style "same world, one knob varied" studies).
+/// An axis is one spec key with several candidate values; a sweep is the
+/// cross product of its axes, each point a fully-overridden spec labelled
+/// by the assignments that produced it.
+
+#include <string>
+#include <vector>
+
+#include "fmore/core/experiment.hpp"
+
+namespace fmore::core {
+
+/// One sweep dimension: a spec key (any `apply_key_value` key) and the
+/// values to try, in order.
+struct SweepAxis {
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/// One grid point: the overridden spec plus a human-readable label like
+/// "auction.winners=5, auction.psi=0.3".
+struct SweepPoint {
+    std::string label;
+    ExperimentSpec spec;
+};
+
+/// Parse "key=a,b,c" into an axis.
+/// @throws std::invalid_argument on a missing '=', empty key or empty
+///         value list
+[[nodiscard]] SweepAxis parse_sweep_axis(const std::string& text);
+
+/// Cross product of `axes` over `base`, first axis outermost (its value
+/// changes slowest). Values are applied through `apply_key_value`, so any
+/// serializable spec field can be swept; the specs are NOT validated here
+/// (the runner validates per point, like any other spec source).
+/// @throws std::invalid_argument for unknown keys or unparseable values,
+///         and for an axis with no values
+[[nodiscard]] std::vector<SweepPoint> expand_sweep(const ExperimentSpec& base,
+                                                   const std::vector<SweepAxis>& axes);
+
+} // namespace fmore::core

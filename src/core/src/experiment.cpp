@@ -32,7 +32,8 @@ bool operator==(const AuctionSpec& a, const AuctionSpec& b) {
            && a.alpha_data == b.alpha_data && a.beta_data == b.beta_data
            && a.beta_category == b.beta_category && a.psi == b.psi
            && a.psi_per_node == b.psi_per_node && a.budget == b.budget
-           && a.payment_rule == b.payment_rule && a.win_model == b.win_model;
+           && a.payment_rule == b.payment_rule && a.win_model == b.win_model
+           && a.full_scoreboard == b.full_scoreboard;
 }
 
 bool operator==(const TrainingSpec& a, const TrainingSpec& b) {
@@ -107,6 +108,7 @@ SimulationConfig to_simulation_config(const ExperimentSpec& spec) {
     config.mechanism = spec.auction.mechanism;
     config.payment_rule = spec.auction.payment_rule;
     config.win_model = spec.auction.win_model;
+    config.full_scoreboard = spec.auction.full_scoreboard;
     config.resource_jitter = spec.population.resource_jitter;
     config.theta_jitter = spec.population.theta_jitter;
     config.local_epochs = spec.training.local_epochs;
@@ -146,6 +148,7 @@ RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
     config.mechanism = spec.auction.mechanism;
     config.payment_rule = spec.auction.payment_rule;
     config.win_model = spec.auction.win_model;
+    config.full_scoreboard = spec.auction.full_scoreboard;
     config.resource_jitter = spec.population.resource_jitter;
     config.theta_jitter = spec.population.theta_jitter;
     config.local_epochs = spec.training.local_epochs;
@@ -182,6 +185,7 @@ ExperimentSpec from_simulation_config(const SimulationConfig& config) {
     spec.auction.budget = config.budget;
     spec.auction.payment_rule = config.payment_rule;
     spec.auction.win_model = config.win_model;
+    spec.auction.full_scoreboard = config.full_scoreboard;
     spec.training.dataset = config.dataset;
     spec.training.train_samples = config.train_samples;
     spec.training.test_samples = config.test_samples;
@@ -219,6 +223,7 @@ ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
     spec.auction.budget = config.budget;
     spec.auction.payment_rule = config.payment_rule;
     spec.auction.win_model = config.win_model;
+    spec.auction.full_scoreboard = config.full_scoreboard;
     spec.training.dataset = config.dataset;
     spec.training.train_samples = config.train_samples;
     spec.training.test_samples = config.test_samples;
@@ -525,6 +530,13 @@ const std::vector<Field>& fields() {
                   s.auction.psi_per_node = parse_list("auction.psi_per_node", v);
               }},
         FMORE_FIELD_DOUBLE("auction.budget", auction.budget),
+        Field{"auction.full_scoreboard",
+              [](const ExperimentSpec& s) {
+                  return std::string(s.auction.full_scoreboard ? "true" : "false");
+              },
+              [](ExperimentSpec& s, const std::string& v) {
+                  s.auction.full_scoreboard = parse_bool("auction.full_scoreboard", v);
+              }},
         Field{"auction.payment_rule",
               [](const ExperimentSpec& s) {
                   return std::string(s.auction.payment_rule

@@ -221,6 +221,7 @@ fl::RunResult SimulationTrial::run(const std::string& policy_name) {
         wd.psi = ctx.probabilistic_acceptance ? config_.psi : 1.0;
         if (ctx.probabilistic_acceptance) wd.psi_per_node = config_.psi_per_node;
         wd.budget = config_.budget;
+        wd.full_ranking = config_.full_scoreboard;
         return std::make_unique<mec::AuctionSelector>(
             *population_, *solved_->scoring, solved_->strategy, wd,
             mec::data_category_extractor(), /*data_dimension=*/0);

@@ -1,0 +1,51 @@
+#include "fmore/core/sweep.hpp"
+
+#include <stdexcept>
+
+namespace fmore::core {
+
+SweepAxis parse_sweep_axis(const std::string& text) {
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos || eq == 0)
+        throw std::invalid_argument("sweep axis '" + text
+                                    + "': expected key=value1,value2,...");
+    SweepAxis axis;
+    axis.key = text.substr(0, eq);
+    std::size_t start = eq + 1;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string token = text.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!token.empty()) axis.values.push_back(token);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    if (axis.values.empty())
+        throw std::invalid_argument("sweep axis '" + text + "': no values after '='");
+    return axis;
+}
+
+std::vector<SweepPoint> expand_sweep(const ExperimentSpec& base,
+                                     const std::vector<SweepAxis>& axes) {
+    std::vector<SweepPoint> points{SweepPoint{"", base}};
+    for (const SweepAxis& axis : axes) {
+        if (axis.values.empty())
+            throw std::invalid_argument("expand_sweep: axis '" + axis.key
+                                        + "' has no values");
+        std::vector<SweepPoint> next;
+        next.reserve(points.size() * axis.values.size());
+        for (const SweepPoint& point : points) {
+            for (const std::string& value : axis.values) {
+                SweepPoint expanded = point;
+                apply_key_value(expanded.spec, axis.key, value);
+                if (!expanded.label.empty()) expanded.label += ", ";
+                expanded.label += axis.key + "=" + value;
+                next.push_back(std::move(expanded));
+            }
+        }
+        points = std::move(next);
+    }
+    return points;
+}
+
+} // namespace fmore::core

@@ -12,6 +12,7 @@
 #include "fmore/core/realworld.hpp"
 #include "fmore/core/report.hpp"
 #include "fmore/core/simulation.hpp"
+#include "fmore/util/thread_pool.hpp"
 
 namespace fmore::core {
 
@@ -102,8 +103,10 @@ std::size_t resolve_trial_threads(std::size_t requested, std::size_t trials) {
         }
     }
     if (threads == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads = hw > 0 ? hw : 1;
+        // The process-wide budget (FMORE_THREADS, else the hardware
+        // concurrency) — so the documented cap actually binds the default
+        // sizing; only an explicit request can overdraw it.
+        threads = util::thread_budget();
     }
     return std::min(threads, trials);
 }
@@ -120,12 +123,21 @@ std::vector<fl::RunResult> run_trials(std::size_t trials, const TrialFn& fn,
         return results;
     }
 
+    // Register the workers with the process-wide thread budget for the
+    // sweep's duration: round-level parallelism inside each trial
+    // auto-sizes from what is left, so trials x clients never
+    // oversubscribes the machine.
+    const util::ThreadLease lease(threads, /*exact=*/true);
+
     const std::size_t batch = options.batch > 0 ? options.batch : 1;
     std::atomic<std::size_t> next{0};
     std::mutex error_mutex;
     std::exception_ptr first_error;
 
     auto worker = [&] {
+        // This thread is one of the lease's counted workers; nested
+        // round-level auto-sizing must not bill it a second slot.
+        const util::CountedThreadScope counted;
         for (;;) {
             const std::size_t begin = next.fetch_add(batch, std::memory_order_relaxed);
             if (begin >= trials) return;

@@ -19,6 +19,13 @@ struct CoordinatorConfig {
     /// Evaluate at most this many test samples per round (0 = all); keeps
     /// the benches fast without biasing comparisons (same subset each run).
     std::size_t eval_cap = 0;
+    /// Worker threads for the intra-round parallelism (client training and
+    /// evaluation). 0 = auto: the `FMORE_ROUND_THREADS` environment
+    /// variable when set, otherwise whatever the process-wide
+    /// `util::ThreadBudget` has not already leased to the trial runner —
+    /// which is what keeps trials x clients from oversubscribing. Round
+    /// metrics are bit-identical for every value.
+    std::size_t round_threads = 0;
 };
 
 /// Optional per-round wall-clock model: given the selected clients and the
@@ -31,6 +38,15 @@ using RoundTimeModel =
 /// selector proposes K winners, each winner runs local SGD on its shard,
 /// and the coordinator FedAvg-aggregates and evaluates on the held-out
 /// test set.
+///
+/// The K local trainings of a round are independent and run concurrently
+/// on the shared `util::ThreadPool`, each on a thread-local clone of the
+/// model seeded from a per-client stream drawn in selection order; results
+/// land in selection-order slots and are aggregated in that fixed order, so
+/// round metrics are bit-identical to the serial path for any thread count
+/// (the same guarantee the trial runner gives across trials). Evaluation
+/// splits its fixed 128-sample batches over the same workers and reduces
+/// per-batch records in batch order — again bit-identical.
 class Coordinator {
 public:
     /// References must outlive the coordinator. `shards` maps client id ->
@@ -46,12 +62,33 @@ public:
     [[nodiscard]] const CoordinatorConfig& config() const { return config_; }
 
 private:
+    /// One client's unit of work for a round, fixed in the serial pre-pass.
+    struct ClientTask {
+        std::size_t slot = 0;            ///< selection-order slot
+        const SelectedClient* selected = nullptr;
+        std::vector<std::size_t> local;  ///< training sample indices
+        std::uint64_t seed = 0;          ///< per-client training stream
+    };
+    /// What a trained client hands back, slot-addressed.
+    struct ClientUpdate {
+        std::vector<float> params;
+        ml::TrainStats stats;
+    };
+
+    void train_clients(const std::vector<float>& global, std::vector<ClientTask>& tasks,
+                       std::vector<ClientUpdate>& updates, std::size_t workers);
+    [[nodiscard]] ml::EvalStats evaluate_global(std::size_t workers,
+                                                const std::vector<float>& global);
+
     ml::Model& model_;
     const ml::Dataset& train_;
     const ml::Dataset& test_;
     std::vector<ml::ClientShard> shards_;
     CoordinatorConfig config_;
     std::vector<std::size_t> eval_indices_;
+    /// Thread-local model clones, one per worker slot; slot 0 is the
+    /// calling thread. Built lazily, reused across rounds.
+    std::vector<std::unique_ptr<ml::Model>> worker_models_;
 };
 
 } // namespace fmore::fl

@@ -24,7 +24,11 @@ struct SelectedClient {
 /// distributions).
 struct SelectionRecord {
     std::vector<SelectedClient> selected;
-    std::vector<double> all_scores;      ///< descending; empty for non-auction strategies
+    /// Descending scores; empty for non-auction strategies. Complete by
+    /// default; truncated to the entries winner selection needed when the
+    /// experiment opts out of the full board
+    /// (`AuctionSpec::full_scoreboard = false`, the O(N log K) path).
+    std::vector<double> all_scores;
     /// Score of each client indexed by client id (empty for non-auction
     /// strategies); lets benches look up what a *differently* selected
     /// node would have scored on the same board.

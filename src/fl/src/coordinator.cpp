@@ -1,9 +1,11 @@
 #include "fmore/fl/coordinator.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "fmore/fl/fedavg.hpp"
+#include "fmore/util/thread_pool.hpp"
 
 namespace fmore::fl {
 
@@ -26,6 +28,69 @@ Coordinator::Coordinator(ml::Model& model, const ml::Dataset& train,
     }
 }
 
+void Coordinator::train_clients(const std::vector<float>& global,
+                                std::vector<ClientTask>& tasks,
+                                std::vector<ClientUpdate>& updates,
+                                std::size_t workers) {
+    // One clone trains one client at a time: set the round's global
+    // parameters, reset the training stream to the client's seed, run the
+    // local epochs. The computation is a pure function of (global, task),
+    // so which worker slot executes it cannot matter.
+    auto train_one = [&](ml::Model& model, const ClientTask& task) {
+        model.set_parameters(global);
+        model.reseed(task.seed);
+        ml::TrainStats stats{};
+        for (std::size_t e = 0; e < config_.local_epochs; ++e) {
+            stats = model.train_epoch(train_, task.local, config_.batch_size,
+                                      config_.learning_rate);
+        }
+        ClientUpdate& update = updates[task.slot];
+        update.params = model.get_parameters();
+        update.stats = stats;
+    };
+
+    if (workers <= 1) {
+        // Serial path: the coordinator's own model is the (only) worker.
+        for (const ClientTask& task : tasks) train_one(model_, task);
+        return;
+    }
+
+    if (worker_models_.size() < workers) worker_models_.resize(workers);
+    util::ThreadPool::shared().parallel_for(
+        tasks.size(), workers - 1, [&](std::size_t slot, std::size_t i) {
+            std::unique_ptr<ml::Model>& local = worker_models_[slot];
+            if (!local) local = std::make_unique<ml::Model>(model_.clone());
+            train_one(*local, tasks[i]);
+        });
+}
+
+ml::EvalStats Coordinator::evaluate_global(std::size_t workers,
+                                           const std::vector<float>& global) {
+    const std::size_t batches =
+        (eval_indices_.size() + ml::kEvalBatch - 1) / ml::kEvalBatch;
+    const std::size_t chunks = std::min(workers, batches);
+    if (chunks <= 1) return model_.evaluate(test_, eval_indices_);
+
+    // Batch boundaries are fixed by ml::kEvalBatch (never by the worker
+    // count) and records are reduced in batch order, so any chunking is
+    // bit-identical to the serial pass.
+    std::vector<ml::EvalBatch> records(batches);
+    if (worker_models_.size() < chunks) worker_models_.resize(chunks);
+    const std::size_t per_chunk = (batches + chunks - 1) / chunks;
+    util::ThreadPool::shared().parallel_for(
+        chunks, workers - 1, [&](std::size_t slot, std::size_t c) {
+            const std::size_t lo = c * per_chunk;
+            const std::size_t hi = std::min(batches, lo + per_chunk);
+            if (lo >= hi) return;
+            std::unique_ptr<ml::Model>& local = worker_models_[slot];
+            if (!local) local = std::make_unique<ml::Model>(model_.clone());
+            local->set_parameters(global);
+            local->evaluate_batches(test_, eval_indices_, ml::kEvalBatch, lo, hi,
+                                    records.data());
+        });
+    return ml::reduce_eval_batches(records);
+}
+
 RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
                            const RoundTimeModel& time_model) {
     RunResult result;
@@ -39,50 +104,89 @@ RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
         if (picked.empty())
             throw std::runtime_error("Coordinator: selector returned no clients");
 
-        std::vector<std::vector<float>> client_params;
-        std::vector<double> client_weights;
-        std::vector<std::size_t> client_samples;
-        client_params.reserve(picked.size());
-        client_weights.reserve(picked.size());
-        double train_loss_sum = 0.0;
-        double train_loss_weight = 0.0;
-
+        // Serial pre-pass in selection order: everything that touches the
+        // shared round RNG (contracted-volume subsampling, the per-client
+        // training seeds) happens here, so the stream is independent of
+        // scheduling.
+        std::vector<ClientTask> tasks;
+        tasks.reserve(picked.size());
         for (const SelectedClient& sel : picked) {
             if (sel.client >= shards_.size())
                 throw std::out_of_range("Coordinator: selector picked unknown client");
             const ml::ClientShard& shard = shards_[sel.client];
             if (shard.indices.empty()) continue;
 
+            ClientTask task;
+            task.slot = tasks.size();
+            task.selected = &sel;
             // Honour the contracted data volume: FMore winners train on the
             // bid data size; baselines train on the full shard.
-            std::vector<std::size_t> local = shard.indices;
-            if (sel.train_samples.has_value() && *sel.train_samples < local.size()) {
-                rng.shuffle(local);
-                local.resize(std::max<std::size_t>(1, *sel.train_samples));
+            task.local = shard.indices;
+            if (sel.train_samples.has_value() && *sel.train_samples < task.local.size()) {
+                rng.shuffle(task.local);
+                task.local.resize(std::max<std::size_t>(1, *sel.train_samples));
             }
-
-            model_.set_parameters(global);
-            ml::TrainStats stats{};
-            for (std::size_t e = 0; e < config_.local_epochs; ++e) {
-                stats = model_.train_epoch(train_, local, config_.batch_size,
-                                           config_.learning_rate);
-            }
-            client_params.push_back(model_.get_parameters());
-            client_weights.push_back(static_cast<double>(local.size()));
-            client_samples.push_back(local.size());
-            train_loss_sum += stats.mean_loss * static_cast<double>(local.size());
-            train_loss_weight += static_cast<double>(local.size());
-
-            metrics.mean_winner_payment += sel.payment;
-            metrics.mean_winner_score += sel.score;
+            task.seed = rng.engine()();
+            tasks.push_back(std::move(task));
         }
-        if (client_params.empty())
+        if (tasks.empty())
             throw std::runtime_error("Coordinator: every selected client had an empty shard");
+
+        // Size the round's workers, capped at the widest parallel section
+        // (client trainings or eval batches). Explicit overrides
+        // (config/FMORE_ROUND_THREADS) are honoured even when they overdraw
+        // the budget, but still recorded so sibling levels see them; the
+        // auto path *claims* its workers atomically — concurrent
+        // coordinators split what is free instead of each reading the same
+        // remainder — and the calling thread takes a slot of its own unless
+        // a trial-level lease already counted it.
+        const std::size_t eval_batches =
+            (eval_indices_.size() + ml::kEvalBatch - 1) / ml::kEvalBatch;
+        const std::size_t cap = std::max(tasks.size(), eval_batches);
+        const std::size_t explicit_req =
+            util::explicit_round_threads(config_.round_threads);
+        std::size_t workers = 1;
+        std::optional<util::ThreadLease> lease;
+        if (cap > 1) {
+            if (explicit_req > 0) {
+                workers = std::min(explicit_req, cap);
+                lease.emplace(workers - 1, /*exact=*/true);
+            } else if (util::ThreadBudget::current_thread_counted()) {
+                lease.emplace(cap - 1); // helpers only; the caller is paid for
+                workers = 1 + lease->granted();
+            } else {
+                lease.emplace(cap); // the caller claims its own slot too
+                workers = std::max<std::size_t>(1, lease->granted());
+            }
+        }
+
+        std::vector<ClientUpdate> updates(tasks.size());
+        train_clients(global, tasks, updates, std::min(workers, tasks.size()));
+
+        // Fixed-order aggregation over the selection-order slots.
+        std::vector<std::vector<float>> client_params;
+        std::vector<double> client_weights;
+        std::vector<std::size_t> client_samples;
+        client_params.reserve(tasks.size());
+        client_weights.reserve(tasks.size());
+        double train_loss_sum = 0.0;
+        double train_loss_weight = 0.0;
+        for (ClientTask& task : tasks) {
+            ClientUpdate& update = updates[task.slot];
+            const auto weight = static_cast<double>(task.local.size());
+            client_params.push_back(std::move(update.params));
+            client_weights.push_back(weight);
+            client_samples.push_back(task.local.size());
+            train_loss_sum += update.stats.mean_loss * weight;
+            train_loss_weight += weight;
+            metrics.mean_winner_payment += task.selected->payment;
+            metrics.mean_winner_score += task.selected->score;
+        }
 
         global = federated_average(client_params, client_weights);
         model_.set_parameters(global);
 
-        const ml::EvalStats eval = model_.evaluate(test_, eval_indices_);
+        const ml::EvalStats eval = evaluate_global(workers, global);
         metrics.test_accuracy = eval.accuracy;
         metrics.test_loss = eval.mean_loss;
         metrics.train_loss =

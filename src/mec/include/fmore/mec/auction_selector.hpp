@@ -33,6 +33,11 @@ QualityExtractor cpu_bandwidth_data_extractor();
 ///
 /// Winners train on the data volume they bid (`train_samples`), which is
 /// how the incentive layer feeds back into learning performance.
+///
+/// The ranking cost is governed by `wd_config.full_ranking`: true records
+/// the complete Fig. 8 score board in each round's SelectionRecord; false
+/// uses the O(N log K) partial-ranking path (winners bit-identical, the
+/// recorded board truncated to what selection needed).
 class AuctionSelector final : public fl::ClientSelector {
 public:
     /// `data_dimension` indexes which quality dimension is the data size

@@ -9,6 +9,9 @@ class ReLU final : public Layer {
 public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<ReLU>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "ReLU"; }
 
 private:
@@ -21,6 +24,9 @@ class Tanh final : public Layer {
 public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Tanh>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "Tanh"; }
 
 private:
@@ -32,6 +38,9 @@ class Flatten final : public Layer {
 public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Flatten>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "Flatten"; }
 
 private:

@@ -5,9 +5,10 @@
 namespace fmore::ml {
 
 /// 2-D convolution, stride 1, valid padding. Input [B, C, H, W], kernel
-/// [OC, C, KH, KW], output [B, OC, H-KH+1, W-KW+1]. Direct loops — the
-/// synthetic images are small (<= 16x16), so this stays fast without an
-/// im2col detour.
+/// [OC, C, KH, KW], output [B, OC, H-KH+1, W-KW+1]. The default path
+/// lowers each image through im2col onto the `ml::gemm` micro-kernel
+/// (gemm.hpp); `FMORE_NAIVE_KERNELS=1` selects the original direct loops,
+/// which the fast path matches bit-for-bit.
 class Conv2d final : public Layer {
 public:
     Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel);
@@ -16,6 +17,9 @@ public:
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     std::vector<ParamBlock> parameters() override;
     void initialize(stats::Rng& rng) override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Conv2d>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "Conv2d"; }
 
 private:
@@ -27,6 +31,7 @@ private:
     std::vector<float> weight_grad_;
     std::vector<float> bias_grad_;
     Tensor cached_input_;
+    std::vector<float> col_;         // im2col scratch, reused across batches
 };
 
 } // namespace fmore::ml

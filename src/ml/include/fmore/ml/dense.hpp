@@ -5,7 +5,9 @@
 namespace fmore::ml {
 
 /// Fully connected layer: y = x W^T + b with x of shape [B, in], W of shape
-/// [out, in], b of shape [out].
+/// [out, in], b of shape [out]. The default path runs on the `ml::gemm`
+/// micro-kernel (bit-identical to the textbook loops, which
+/// `FMORE_NAIVE_KERNELS=1` keeps selectable as the reference).
 class Dense final : public Layer {
 public:
     Dense(std::size_t in_features, std::size_t out_features);
@@ -14,6 +16,9 @@ public:
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     std::vector<ParamBlock> parameters() override;
     void initialize(stats::Rng& rng) override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Dense>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "Dense"; }
 
     [[nodiscard]] std::size_t in_features() const { return in_; }
@@ -27,6 +32,7 @@ private:
     std::vector<float> weight_grad_;
     std::vector<float> bias_grad_;
     Tensor cached_input_;
+    std::vector<float> wt_;          // W^T scratch for the forward GEMM
 };
 
 } // namespace fmore::ml

@@ -15,6 +15,9 @@ public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     void attach_rng(stats::Rng* rng) override { rng_ = rng; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Dropout>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "Dropout"; }
 
 private:

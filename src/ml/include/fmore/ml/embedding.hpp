@@ -16,6 +16,9 @@ public:
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     std::vector<ParamBlock> parameters() override;
     void initialize(stats::Rng& rng) override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Embedding>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "Embedding"; }
 
 private:

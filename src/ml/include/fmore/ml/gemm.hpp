@@ -1,0 +1,111 @@
+#pragma once
+
+/// @file gemm.hpp
+/// The micro-kernel substrate of the ml layer: a register-blocked,
+/// cache-friendly float GEMM plus the im2col/col2im lowering that turns
+/// convolutions into matrix multiplies. `Conv2d`, `Dense` and `Lstm`'s gate
+/// matmuls are all built on these kernels; `FMORE_NAIVE_KERNELS=1` (or
+/// `set_naive_kernels`) switches every layer back to the original textbook
+/// loops, which stay compiled as the reference implementation.
+///
+/// ## Bit-exactness contract
+///
+/// The fast path is not merely "close" to the naive loops — it is
+/// bit-identical. Every kernel accumulates each output element's terms in
+/// the exact summation order of the reference loops (ascending k, single
+/// running accumulator seeded from C), and vectorization is only applied
+/// across *independent* accumulators (the unit-stride j dimension), which
+/// never reassociates any single element's sum. Fused-multiply-add
+/// contraction, when the compiler applies it, applies to the identical
+/// `acc += a * b` operation in both paths. This is what lets the naive
+/// escape hatch double as an exact equivalence oracle in tests, and keeps
+/// every experiment's metrics unchanged by the kernel rewrite.
+
+#include <cstddef>
+
+namespace fmore::ml {
+
+/// True when the original textbook loops should be used instead of the
+/// GEMM-backed kernels. Defaults to the `FMORE_NAIVE_KERNELS` environment
+/// variable ("1"/"true" enables); `set_naive_kernels` overrides at runtime.
+[[nodiscard]] bool use_naive_kernels();
+
+/// Runtime override for tests/benches: 0 = force fast kernels, 1 = force
+/// naive loops, -1 = back to the environment default.
+void set_naive_kernels(int mode);
+
+/// C[i*c_row + j] += sum_{k} A[i*a_row + k*a_col] * B[k*b_row + j]
+/// for i in [0,m), j in [0,n), k in [0,kk).
+///
+/// B and C are indexed with unit stride in j (the vectorized dimension);
+/// A may be any strided layout (a_col = leading-dimension stride expresses
+/// a transposed A without materializing it). Accumulation per element is a
+/// single running sum over ascending k seeded from the existing C value —
+/// the bit-exact order of a textbook `acc += a*b` loop.
+void gemm_acc(std::size_t m, std::size_t n, std::size_t kk,
+              const float* a, std::ptrdiff_t a_row, std::ptrdiff_t a_col,
+              const float* b, std::ptrdiff_t b_row,
+              float* c, std::ptrdiff_t c_row);
+
+/// `gemm_acc` with the k dimension processed in consecutive groups of
+/// `group` terms: each group is summed in a fresh accumulator that is then
+/// added to the running C value. Matches reference loops that keep a local
+/// per-block accumulator (Conv2d's per-input-channel partial sums).
+/// `group` == 0 or >= kk degenerates to `gemm_acc`.
+void gemm_acc_grouped(std::size_t m, std::size_t n, std::size_t kk,
+                      const float* a, std::ptrdiff_t a_row, std::ptrdiff_t a_col,
+                      const float* b, std::ptrdiff_t b_row,
+                      float* c, std::ptrdiff_t c_row, std::size_t group);
+
+/// Geometry of one 2-D convolution (single image). `Conv2d` itself is
+/// stride-1/valid; the stride/pad generality is exercised by the generic
+/// helpers and their tests so future layers can reuse the lowering.
+struct ConvShape {
+    std::size_t in_c = 1;
+    std::size_t h = 0, w = 0;      ///< input spatial dims
+    std::size_t kh = 0, kw = 0;    ///< kernel dims
+    std::size_t stride_h = 1, stride_w = 1;
+    std::size_t pad_h = 0, pad_w = 0;
+
+    [[nodiscard]] std::size_t out_h() const {
+        return (h + 2 * pad_h - kh) / stride_h + 1;
+    }
+    [[nodiscard]] std::size_t out_w() const {
+        return (w + 2 * pad_w - kw) / stride_w + 1;
+    }
+    /// Rows of the column matrix: in_c * kh * kw.
+    [[nodiscard]] std::size_t col_rows() const { return in_c * kh * kw; }
+    /// Columns of the column matrix: out_h * out_w.
+    [[nodiscard]] std::size_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Lower one image x[in_c][h][w] to col[col_rows][col_cols] (row index
+/// (ic*kh + ky)*kw + kx, column index oy*out_w + ox). Out-of-bounds taps
+/// (padding) contribute 0.
+void im2col(const float* x, const ConvShape& s, float* col);
+
+/// Transposed layout: colt[col_cols][col_rows] — the B operand for the
+/// weight-gradient GEMM, where the patch dimension must be unit stride.
+void im2col_t(const float* x, const ConvShape& s, float* colt);
+
+/// Adjoint of im2col: scatter-add col[col_rows][col_cols] back into
+/// gx[in_c][h][w] (gx is accumulated into, not overwritten).
+void col2im_add(const float* col, const ConvShape& s, float* gx);
+
+/// Convolution forward for one image via im2col + grouped GEMM:
+/// y[oc][p] = bias[oc] + sum over the patch of weight[oc][ic][ky][kx] *
+/// x-tap, with a per-input-channel partial accumulator (`group = kh*kw`) so
+/// the result is bit-identical to the direct per-channel loops. `col` is
+/// caller scratch of size col_rows()*col_cols(); y is overwritten.
+void conv2d_forward_gemm(const float* x, const float* weight, const float* bias,
+                         std::size_t out_c, const ConvShape& s, float* col, float* y);
+
+/// Convolution input-gradient for one image, bit-identical to the direct
+/// scatter loops: per (oc, ic) the kernel taps are walked in descending
+/// (ky, kx) order — which is exactly the ascending output-pixel order of
+/// the reference — with a vectorized saxpy over each output row.
+/// Stride-1 only (what Conv2d uses); gx is accumulated into.
+void conv2d_input_grad(const float* gy, const float* weight, std::size_t out_c,
+                       const ConvShape& s, float* gx);
+
+} // namespace fmore::ml

@@ -20,13 +20,19 @@ struct ParamBlock {
 /// Base class for all layers. The training loop is single-threaded per
 /// model: forward caches whatever backward needs, and backward must be
 /// called with the gradient of the loss w.r.t. this layer's output,
-/// returning the gradient w.r.t. its input.
+/// returning the gradient w.r.t. its input. Concurrency happens one level
+/// up — `Model::clone()` gives each worker its own layer stack.
 class Layer {
 public:
     virtual ~Layer() = default;
 
     [[nodiscard]] virtual Tensor forward(const Tensor& input, bool training) = 0;
     [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;
+
+    /// Deep copy (parameters, gradients and caches). The copy still points
+    /// at the source's RNG until the owning model re-attaches its own —
+    /// `Model::clone()` does; manual callers must `attach_rng` themselves.
+    [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
 
     /// Parameter blocks (empty for stateless layers).
     virtual std::vector<ParamBlock> parameters() { return {}; }

@@ -21,6 +21,9 @@ public:
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     std::vector<ParamBlock> parameters() override;
     void initialize(stats::Rng& rng) override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Lstm>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "Lstm"; }
 
     [[nodiscard]] std::size_t hidden_dim() const { return hidden_; }
@@ -42,6 +45,12 @@ private:
     std::vector<float> hiddens_;    // (T+1) * B * H hidden states (h_0 = 0)
     std::size_t cached_batch_ = 0;
     std::size_t cached_seq_ = 0;
+
+    // Scratch of the GEMM path (gemm.hpp): transposed weights for the gate
+    // matmuls and the per-timestep pre-activation gradient block.
+    std::vector<float> wt_;  // [E, 4H]
+    std::vector<float> ut_;  // [H, 4H]
+    std::vector<float> dz_all_; // [B, 4H]
 };
 
 } // namespace fmore::ml

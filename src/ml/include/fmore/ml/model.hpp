@@ -22,16 +22,43 @@ struct EvalStats {
     std::size_t samples = 0;
 };
 
+/// Evaluation minibatch size. One definition shared by `Model::evaluate`
+/// and the coordinator's parallel evaluator: batch boundaries are part of
+/// the serial-vs-parallel bit-identity contract, so the partitioning must
+/// never fork.
+inline constexpr std::size_t kEvalBatch = 128;
+
+/// Raw sums of one evaluation minibatch — the parallel evaluator's unit of
+/// work. Batch records are reduced in fixed batch order so totals are
+/// bit-identical no matter how batches were distributed over workers.
+struct EvalBatch {
+    double mean_loss = 0.0;
+    std::size_t hits = 0;
+    std::size_t samples = 0;
+};
+
 /// Sequential container of layers with the flat-parameter interface FedAvg
 /// needs (Eq. 3 of the paper averages whole parameter vectors).
 class Model {
 public:
     explicit Model(std::uint64_t seed = 42);
-    Model(Model&&) = default;
-    Model& operator=(Model&&) = default;
+    Model(Model&& other) noexcept;
+    Model& operator=(Model&& other) noexcept;
 
     /// Append a layer; it is initialized immediately from the model RNG.
     void add(std::unique_ptr<Layer> layer);
+
+    /// Deep copy: layers (parameters, gradients, caches) and the RNG state,
+    /// with the copies re-attached to the new model's own RNG. The backbone
+    /// of round-level parallelism: each worker trains its own clone.
+    [[nodiscard]] Model clone() const;
+
+    /// Reset the model RNG to a fresh seed. Per-client training streams in
+    /// the parallel coordinator are derived this way, so a client's local
+    /// SGD (minibatch shuffles, dropout masks) is a pure function of
+    /// (global parameters, client seed) — independent of which thread runs
+    /// it or what trained before.
+    void reseed(std::uint64_t seed);
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training);
     void backward(const Tensor& grad_loss);
@@ -51,14 +78,30 @@ public:
     /// Loss/accuracy over the given indices (all samples when empty).
     EvalStats evaluate(const Dataset& data, const std::vector<std::size_t>& indices = {});
 
+    /// Evaluate minibatches [batch_lo, batch_hi) of `indices` (split into
+    /// `batch_size`-sample batches, last one ragged) into
+    /// `out[batch_lo..batch_hi)`. `evaluate` == evaluate_batches over the
+    /// whole range + `reduce_eval_batches`; coordinators call this from
+    /// several workers (each with its own model clone) over disjoint
+    /// chunks.
+    void evaluate_batches(const Dataset& data, const std::vector<std::size_t>& indices,
+                          std::size_t batch_size, std::size_t batch_lo,
+                          std::size_t batch_hi, EvalBatch* out);
+
     [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
 
 private:
     std::vector<ParamBlock> all_parameters();
+    void reattach_layers();
 
     std::vector<std::unique_ptr<Layer>> layers_;
     stats::Rng rng_;
     SoftmaxCrossEntropy loss_;
 };
+
+/// Fold per-batch eval records (in batch order) into totals — the exact
+/// accumulation the serial `Model::evaluate` performs, so parallel and
+/// serial evaluation agree bit-for-bit.
+[[nodiscard]] EvalStats reduce_eval_batches(const std::vector<EvalBatch>& batches);
 
 } // namespace fmore::ml

@@ -11,6 +11,9 @@ class MaxPool2d final : public Layer {
 public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<MaxPool2d>(*this);
+    }
     [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
 
 private:

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fmore/ml/gemm.hpp"
+
 namespace fmore::ml {
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel)
@@ -39,6 +41,23 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
     Tensor out({batch, out_c_, oh, ow});
     const float* x = input.data();
     float* y = out.data();
+
+    if (!use_naive_kernels()) {
+        ConvShape shape;
+        shape.in_c = in_c_;
+        shape.h = h;
+        shape.w = w;
+        shape.kh = k_;
+        shape.kw = k_;
+        const std::size_t p = oh * ow;
+        col_.resize(shape.col_rows() * p);
+        for (std::size_t b = 0; b < batch; ++b) {
+            conv2d_forward_gemm(x + b * in_c_ * h * w, weight_.data(), bias_.data(),
+                                out_c_, shape, col_.data(), y + b * out_c_ * p);
+        }
+        return out;
+    }
+
     for (std::size_t b = 0; b < batch; ++b) {
         for (std::size_t oc = 0; oc < out_c_; ++oc) {
             float* ymap = y + ((b * out_c_ + oc) * oh) * ow;
@@ -77,6 +96,36 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     const float* x = cached_input_.data();
     const float* gy = grad_output.data();
     float* gx = grad_input.data();
+
+    if (!use_naive_kernels()) {
+        ConvShape shape;
+        shape.in_c = in_c_;
+        shape.h = h;
+        shape.w = w;
+        shape.kh = k_;
+        shape.kw = k_;
+        const std::size_t p = oh * ow;
+        const std::size_t rows = shape.col_rows();
+        col_.resize(p * rows); // transposed layout for the weight-grad GEMM
+        for (std::size_t b = 0; b < batch; ++b) {
+            const float* gymap = gy + b * out_c_ * p;
+            for (std::size_t oc = 0; oc < out_c_; ++oc) {
+                const float* row = gymap + oc * p;
+                for (std::size_t i = 0; i < p; ++i) bias_grad_[oc] += row[i];
+            }
+            // dW[oc][kk] += sum_p gy[oc][p] * patch[p][kk]; patch-major colT
+            // keeps kk unit-stride for the kernel.
+            im2col_t(x + b * in_c_ * h * w, shape, col_.data());
+            gemm_acc(out_c_, rows, p,
+                     gymap, static_cast<std::ptrdiff_t>(p), 1,
+                     col_.data(), static_cast<std::ptrdiff_t>(rows),
+                     weight_grad_.data(), static_cast<std::ptrdiff_t>(rows));
+            conv2d_input_grad(gymap, weight_.data(), out_c_, shape,
+                              gx + b * in_c_ * h * w);
+        }
+        return grad_input;
+    }
+
     for (std::size_t b = 0; b < batch; ++b) {
         for (std::size_t oc = 0; oc < out_c_; ++oc) {
             const float* gymap = gy + ((b * out_c_ + oc) * oh) * ow;

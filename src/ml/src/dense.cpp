@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fmore/ml/gemm.hpp"
+
 namespace fmore::ml {
 
 Dense::Dense(std::size_t in_features, std::size_t out_features)
@@ -30,6 +32,27 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
     Tensor out({batch, out_});
     const float* x = input.data();
     float* y = out.data();
+
+    if (!use_naive_kernels()) {
+        // y = bias; y += x * W^T. A one-off transpose of W keeps the GEMM's
+        // vectorized dimension (out) unit-stride in its B operand; it costs
+        // O(in*out) against the O(batch*in*out) multiply.
+        wt_.resize(in_ * out_);
+        for (std::size_t o = 0; o < out_; ++o) {
+            const float* wrow = weight_.data() + o * in_;
+            for (std::size_t i = 0; i < in_; ++i) wt_[i * out_ + o] = wrow[i];
+        }
+        for (std::size_t b = 0; b < batch; ++b) {
+            float* yb = y + b * out_;
+            for (std::size_t o = 0; o < out_; ++o) yb[o] = bias_[o];
+        }
+        gemm_acc(batch, out_, in_,
+                 x, static_cast<std::ptrdiff_t>(in_), 1,
+                 wt_.data(), static_cast<std::ptrdiff_t>(out_),
+                 y, static_cast<std::ptrdiff_t>(out_));
+        return out;
+    }
+
     for (std::size_t b = 0; b < batch; ++b) {
         const float* xb = x + b * in_;
         float* yb = y + b * out_;
@@ -51,6 +74,27 @@ Tensor Dense::backward(const Tensor& grad_output) {
     const float* x = cached_input_.data();
     const float* gy = grad_output.data();
     float* gx = grad_input.data();
+
+    if (!use_naive_kernels()) {
+        for (std::size_t b = 0; b < batch; ++b) {
+            const float* gyb = gy + b * out_;
+            for (std::size_t o = 0; o < out_; ++o) bias_grad_[o] += gyb[o];
+        }
+        // dW[o][i] += sum_b gy[b][o] * x[b][i]: A indexed transposed via
+        // strides, no materialized copy.
+        gemm_acc(out_, in_, batch,
+                 gy, 1, static_cast<std::ptrdiff_t>(out_),
+                 x, static_cast<std::ptrdiff_t>(in_),
+                 weight_grad_.data(), static_cast<std::ptrdiff_t>(in_));
+        // dx = gy * W (W's [out, in] layout is already what the kernel
+        // wants: the summed dimension indexes rows).
+        gemm_acc(batch, in_, out_,
+                 gy, static_cast<std::ptrdiff_t>(out_), 1,
+                 weight_.data(), static_cast<std::ptrdiff_t>(in_),
+                 gx, static_cast<std::ptrdiff_t>(in_));
+        return grad_input;
+    }
+
     for (std::size_t b = 0; b < batch; ++b) {
         const float* xb = x + b * in_;
         const float* gyb = gy + b * out_;

@@ -1,5 +1,7 @@
 #include "fmore/ml/dropout.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace fmore::ml {
@@ -19,8 +21,26 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
     const auto keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
     mask_.resize(input.size());
     Tensor out = input;
+
+    // One engine draw yields four 16-bit lanes, each an independent
+    // Bernoulli trial against a fixed-point threshold — a quarter of the
+    // generator work of per-element draws, which profile as a major cost of
+    // a training batch. Rates that are multiples of 1/65536 (e.g. the 0.25
+    // the paper's models use) are represented exactly.
+    const auto threshold = static_cast<std::uint64_t>(
+        std::llround(rate_ * 65536.0));
+    auto& engine = rng_->engine();
+    std::uint64_t bits = 0;
+    std::size_t lanes = 0;
     for (std::size_t i = 0; i < out.size(); ++i) {
-        if (rng_->bernoulli(rate_)) {
+        if (lanes == 0) {
+            bits = engine();
+            lanes = 4;
+        }
+        const std::uint64_t lane = bits & 0xFFFFULL;
+        bits >>= 16;
+        --lanes;
+        if (lane < threshold) {
             mask_[i] = 0.0F;
             out[i] = 0.0F;
         } else {

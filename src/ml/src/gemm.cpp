@@ -1,0 +1,598 @@
+#include "fmore/ml/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+// Vectorization hint for the unit-stride j loops. Independent accumulators
+// only — never a reduction — so the hint cannot reassociate any single
+// element's sum and bit-exactness is preserved. Compiled away to nothing
+// when the build has no OpenMP-simd support.
+#if defined(FMORE_OPENMP_SIMD)
+#define FMORE_SIMD _Pragma("omp simd")
+#else
+#define FMORE_SIMD
+#endif
+
+namespace fmore::ml {
+
+// ---------------------------------------------------------------------------
+// Kernel selection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<int> g_naive_mode{-1};
+
+bool env_naive() {
+    const char* env = std::getenv("FMORE_NAIVE_KERNELS");
+    if (env == nullptr) return false;
+    const std::string value(env);
+    return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+} // namespace
+
+bool use_naive_kernels() {
+    const int mode = g_naive_mode.load(std::memory_order_relaxed);
+    if (mode >= 0) return mode != 0;
+    static const bool from_env = env_naive();
+    return from_env;
+}
+
+void set_naive_kernels(int mode) {
+    g_naive_mode.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                       std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM micro-kernels
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Register-block width along j. 16 floats = 2-4 SIMD registers on
+/// SSE/AVX/NEON; with the 4-row i-block below the hot loop keeps 8-16
+/// vector accumulators live, enough to hide FMA latency.
+constexpr std::size_t kNR = 16;
+/// Register-block height along i.
+constexpr std::size_t kMR = 4;
+
+using diff = std::ptrdiff_t;
+
+/// Scalar reference element: seed + sum_k a[k]*b[k], ascending k.
+inline float dot_from(float seed, const float* a, diff a_col, const float* b,
+                      diff b_row, std::size_t kk) {
+    float acc = seed;
+    for (std::size_t k = 0; k < kk; ++k) {
+        acc += a[static_cast<diff>(k) * a_col] * b[static_cast<diff>(k) * b_row];
+    }
+    return acc;
+}
+
+/// Scalar grouped element: seed + sum over groups of (fresh per-group sum).
+inline float dot_from_grouped(float seed, const float* a, diff a_col, const float* b,
+                              diff b_row, std::size_t kk, std::size_t group) {
+    float acc = seed;
+    for (std::size_t k0 = 0; k0 < kk; k0 += group) {
+        const std::size_t kend = std::min(kk, k0 + group);
+        float part = 0.0F;
+        for (std::size_t k = k0; k < kend; ++k) {
+            part += a[static_cast<diff>(k) * a_col] * b[static_cast<diff>(k) * b_row];
+        }
+        acc += part;
+    }
+    return acc;
+}
+
+/// One kMR x NR register tile of gemm_acc (NR = 16, 8 or 4). Four rows in
+/// flight keep enough independent FMA chains to hide latency even when the
+/// j extent is narrow (e.g. conv weight-gradients, where n = kh*kw).
+template <std::size_t NR>
+inline void tile_mr_w(std::size_t kk, const float* a, diff a_row, diff a_col,
+                      const float* b, diff b_row, float* c, diff c_row) {
+    float acc[kMR][NR];
+    for (std::size_t r = 0; r < kMR; ++r) {
+        const float* crow = c + static_cast<diff>(r) * c_row;
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) acc[r][jj] = crow[jj];
+    }
+    for (std::size_t k = 0; k < kk; ++k) {
+        const float* brow = b + static_cast<diff>(k) * b_row;
+        const float a0 = a[static_cast<diff>(k) * a_col];
+        const float a1 = a[a_row + static_cast<diff>(k) * a_col];
+        const float a2 = a[2 * a_row + static_cast<diff>(k) * a_col];
+        const float a3 = a[3 * a_row + static_cast<diff>(k) * a_col];
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) {
+            const float bv = brow[jj];
+            acc[0][jj] += a0 * bv;
+            acc[1][jj] += a1 * bv;
+            acc[2][jj] += a2 * bv;
+            acc[3][jj] += a3 * bv;
+        }
+    }
+    for (std::size_t r = 0; r < kMR; ++r) {
+        float* crow = c + static_cast<diff>(r) * c_row;
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) crow[jj] = acc[r][jj];
+    }
+}
+
+/// One 1 x NR tile of gemm_acc (i-edge rows and j-tails; NR = 16, 8 or 4).
+template <std::size_t NR>
+inline void tile_1_w(std::size_t kk, const float* a, diff a_col, const float* b,
+                     diff b_row, float* c) {
+    float acc[NR];
+    FMORE_SIMD
+    for (std::size_t jj = 0; jj < NR; ++jj) acc[jj] = c[jj];
+    for (std::size_t k = 0; k < kk; ++k) {
+        const float* brow = b + static_cast<diff>(k) * b_row;
+        const float av = a[static_cast<diff>(k) * a_col];
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) acc[jj] += av * brow[jj];
+    }
+    FMORE_SIMD
+    for (std::size_t jj = 0; jj < NR; ++jj) c[jj] = acc[jj];
+}
+
+/// One 1 x NR tile of gemm_acc_grouped (NR = 16, 8 or 4).
+template <std::size_t NR>
+inline void tile_1_w_grouped(std::size_t kk, const float* a, diff a_col,
+                             const float* b, diff b_row, float* c,
+                             std::size_t group) {
+    float acc[NR];
+    FMORE_SIMD
+    for (std::size_t jj = 0; jj < NR; ++jj) acc[jj] = c[jj];
+    for (std::size_t k0 = 0; k0 < kk; k0 += group) {
+        const std::size_t kend = std::min(kk, k0 + group);
+        float part[NR];
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) part[jj] = 0.0F;
+        for (std::size_t k = k0; k < kend; ++k) {
+            const float* brow = b + static_cast<diff>(k) * b_row;
+            const float av = a[static_cast<diff>(k) * a_col];
+            FMORE_SIMD
+            for (std::size_t jj = 0; jj < NR; ++jj) part[jj] += av * brow[jj];
+        }
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) acc[jj] += part[jj];
+    }
+    FMORE_SIMD
+    for (std::size_t jj = 0; jj < NR; ++jj) c[jj] = acc[jj];
+}
+
+// --- "part" tiles: the per-group unit of the bias-seeded grouped GEMM. ---
+// Each tile sums its K-slice in fresh registers, then stores either
+// `bias + part` (First slice — matches `y = bias; y += group_sum`) or
+// `c + part` (later slices). The full kMR x kNR register blocking applies,
+// which the running-accumulator grouped tile cannot afford (it would need
+// twice the accumulator registers).
+
+template <std::size_t NR, bool First>
+inline void tile_mr_w_part(std::size_t kk, const float* a, diff a_row, diff a_col,
+                           const float* b, diff b_row, float* c, diff c_row,
+                           const float* bias) {
+    float part[kMR][NR];
+    for (auto& row : part) {
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) row[jj] = 0.0F;
+    }
+    for (std::size_t k = 0; k < kk; ++k) {
+        const float* brow = b + static_cast<diff>(k) * b_row;
+        const float a0 = a[static_cast<diff>(k) * a_col];
+        const float a1 = a[a_row + static_cast<diff>(k) * a_col];
+        const float a2 = a[2 * a_row + static_cast<diff>(k) * a_col];
+        const float a3 = a[3 * a_row + static_cast<diff>(k) * a_col];
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) {
+            const float bv = brow[jj];
+            part[0][jj] += a0 * bv;
+            part[1][jj] += a1 * bv;
+            part[2][jj] += a2 * bv;
+            part[3][jj] += a3 * bv;
+        }
+    }
+    for (std::size_t r = 0; r < kMR; ++r) {
+        float* crow = c + static_cast<diff>(r) * c_row;
+        const float seed = First ? bias[r] : 0.0F;
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) {
+            crow[jj] = (First ? seed : crow[jj]) + part[r][jj];
+        }
+    }
+}
+
+template <std::size_t NR, bool First>
+inline void tile_1_w_part(std::size_t kk, const float* a, diff a_col, const float* b,
+                          diff b_row, float* c, float bias) {
+    float part[NR];
+    FMORE_SIMD
+    for (std::size_t jj = 0; jj < NR; ++jj) part[jj] = 0.0F;
+    for (std::size_t k = 0; k < kk; ++k) {
+        const float* brow = b + static_cast<diff>(k) * b_row;
+        const float av = a[static_cast<diff>(k) * a_col];
+        FMORE_SIMD
+        for (std::size_t jj = 0; jj < NR; ++jj) part[jj] += av * brow[jj];
+    }
+    FMORE_SIMD
+    for (std::size_t jj = 0; jj < NR; ++jj) {
+        c[jj] = (First ? bias : c[jj]) + part[jj];
+    }
+}
+
+/// One m x n pass over a K-slice of the bias-seeded grouped GEMM.
+template <bool First>
+void gemm_part_pass(std::size_t m, std::size_t n, std::size_t kk,
+                    const float* a, diff a_row, diff a_col,
+                    const float* b, diff b_row,
+                    float* c, diff c_row, const float* bias) {
+    std::size_t i = 0;
+    for (; i + kMR <= m; i += kMR) {
+        const float* arow = a + static_cast<diff>(i) * a_row;
+        float* crow = c + static_cast<diff>(i) * c_row;
+        std::size_t j = 0;
+        for (; j + kNR <= n; j += kNR) {
+            tile_mr_w_part<kNR, First>(kk, arow, a_row, a_col, b + j, b_row, crow + j,
+                                       c_row, bias + i);
+        }
+        if (j + 8 <= n) {
+            tile_mr_w_part<8, First>(kk, arow, a_row, a_col, b + j, b_row, crow + j,
+                                     c_row, bias + i);
+            j += 8;
+        }
+        if (j + 4 <= n) {
+            tile_mr_w_part<4, First>(kk, arow, a_row, a_col, b + j, b_row, crow + j,
+                                     c_row, bias + i);
+            j += 4;
+        }
+        for (; j < n; ++j) {
+            for (std::size_t r = 0; r < kMR; ++r) {
+                float* cel = crow + static_cast<diff>(r) * c_row + j;
+                *cel = (First ? bias[i + r] : *cel)
+                       + dot_from(0.0F, arow + static_cast<diff>(r) * a_row, a_col,
+                                  b + j, b_row, kk);
+            }
+        }
+    }
+    for (; i < m; ++i) {
+        const float* arow = a + static_cast<diff>(i) * a_row;
+        float* crow = c + static_cast<diff>(i) * c_row;
+        std::size_t j = 0;
+        for (; j + kNR <= n; j += kNR) {
+            tile_1_w_part<kNR, First>(kk, arow, a_col, b + j, b_row, crow + j, bias[i]);
+        }
+        if (j + 8 <= n) {
+            tile_1_w_part<8, First>(kk, arow, a_col, b + j, b_row, crow + j, bias[i]);
+            j += 8;
+        }
+        if (j + 4 <= n) {
+            tile_1_w_part<4, First>(kk, arow, a_col, b + j, b_row, crow + j, bias[i]);
+            j += 4;
+        }
+        for (; j < n; ++j) {
+            crow[j] = (First ? bias[i] : crow[j])
+                      + dot_from(0.0F, arow, a_col, b + j, b_row, kk);
+        }
+    }
+}
+
+} // namespace
+
+void gemm_acc(std::size_t m, std::size_t n, std::size_t kk,
+              const float* a, diff a_row, diff a_col,
+              const float* b, diff b_row,
+              float* c, diff c_row) {
+    std::size_t i = 0;
+    for (; i + kMR <= m; i += kMR) {
+        const float* arow = a + static_cast<diff>(i) * a_row;
+        float* crow = c + static_cast<diff>(i) * c_row;
+        std::size_t j = 0;
+        for (; j + kNR <= n; j += kNR) {
+            tile_mr_w<kNR>(kk, arow, a_row, a_col, b + j, b_row, crow + j, c_row);
+        }
+        if (j + 8 <= n) {
+            tile_mr_w<8>(kk, arow, a_row, a_col, b + j, b_row, crow + j, c_row);
+            j += 8;
+        }
+        if (j + 4 <= n) {
+            tile_mr_w<4>(kk, arow, a_row, a_col, b + j, b_row, crow + j, c_row);
+            j += 4;
+        }
+        for (; j < n; ++j) {
+            for (std::size_t r = 0; r < kMR; ++r) {
+                float* cel = crow + static_cast<diff>(r) * c_row + j;
+                *cel = dot_from(*cel, arow + static_cast<diff>(r) * a_row, a_col,
+                                b + j, b_row, kk);
+            }
+        }
+    }
+    for (; i < m; ++i) {
+        const float* arow = a + static_cast<diff>(i) * a_row;
+        float* crow = c + static_cast<diff>(i) * c_row;
+        std::size_t j = 0;
+        for (; j + kNR <= n; j += kNR) {
+            tile_1_w<kNR>(kk, arow, a_col, b + j, b_row, crow + j);
+        }
+        if (j + 8 <= n) {
+            tile_1_w<8>(kk, arow, a_col, b + j, b_row, crow + j);
+            j += 8;
+        }
+        if (j + 4 <= n) {
+            tile_1_w<4>(kk, arow, a_col, b + j, b_row, crow + j);
+            j += 4;
+        }
+        for (; j < n; ++j) {
+            crow[j] = dot_from(crow[j], arow, a_col, b + j, b_row, kk);
+        }
+    }
+}
+
+void gemm_acc_grouped(std::size_t m, std::size_t n, std::size_t kk,
+                      const float* a, diff a_row, diff a_col,
+                      const float* b, diff b_row,
+                      float* c, diff c_row, std::size_t group) {
+    if (group == 0 || group >= kk) {
+        gemm_acc(m, n, kk, a, a_row, a_col, b, b_row, c, c_row);
+        return;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a + static_cast<diff>(i) * a_row;
+        float* crow = c + static_cast<diff>(i) * c_row;
+        std::size_t j = 0;
+        for (; j + kNR <= n; j += kNR) {
+            tile_1_w_grouped<kNR>(kk, arow, a_col, b + j, b_row, crow + j, group);
+        }
+        for (; j < n; ++j) {
+            crow[j] = dot_from_grouped(crow[j], arow, a_col, b + j, b_row, kk, group);
+        }
+    }
+}
+
+/// Bias-seeded grouped GEMM: C = bias (broadcast per row) + per-group
+/// partial sums — one `gemm_part_pass` per K-slice, so every slice gets the
+/// full register blocking.
+static void gemm_bias_grouped(std::size_t m, std::size_t n, std::size_t kk,
+                              const float* a, diff a_row, diff a_col,
+                              const float* b, diff b_row,
+                              float* c, diff c_row, std::size_t group,
+                              const float* bias) {
+    if (group == 0 || group > kk) group = kk;
+    bool first = true;
+    for (std::size_t k0 = 0; k0 < kk; k0 += group, first = false) {
+        const std::size_t ks = std::min(group, kk - k0);
+        const float* a_g = a + static_cast<diff>(k0) * a_col;
+        const float* b_g = b + static_cast<diff>(k0) * b_row;
+        if (first) {
+            gemm_part_pass<true>(m, n, ks, a_g, a_row, a_col, b_g, b_row, c, c_row,
+                                 bias);
+        } else {
+            gemm_part_pass<false>(m, n, ks, a_g, a_row, a_col, b_g, b_row, c, c_row,
+                                  bias);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// im2col / col2im
+// ---------------------------------------------------------------------------
+
+void im2col(const float* x, const ConvShape& s, float* col) {
+    const std::size_t oh = s.out_h();
+    const std::size_t ow = s.out_w();
+    float* out = col;
+    for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+        const float* xmap = x + ic * s.h * s.w;
+        for (std::size_t ky = 0; ky < s.kh; ++ky) {
+            for (std::size_t kx = 0; kx < s.kw; ++kx) {
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    const diff iy = static_cast<diff>(oy * s.stride_h + ky)
+                                    - static_cast<diff>(s.pad_h);
+                    float* orow = out + oy * ow;
+                    if (iy < 0 || iy >= static_cast<diff>(s.h)) {
+                        std::memset(orow, 0, ow * sizeof(float));
+                        continue;
+                    }
+                    const float* xrow = xmap + static_cast<std::size_t>(iy) * s.w;
+                    if (s.stride_w == 1) {
+                        // Unit stride: the row is one contiguous span with
+                        // zero-padded edges.
+                        const diff shift =
+                            static_cast<diff>(kx) - static_cast<diff>(s.pad_w);
+                        const std::size_t lo = std::min<std::size_t>(
+                            ow, shift < 0 ? static_cast<std::size_t>(-shift) : 0);
+                        const std::size_t hi = std::max<std::size_t>(
+                            lo, std::min<std::size_t>(
+                                    ow, static_cast<std::size_t>(std::max<diff>(
+                                            0, static_cast<diff>(s.w) - shift))));
+                        for (std::size_t ox = 0; ox < lo; ++ox) orow[ox] = 0.0F;
+                        if (hi > lo) {
+                            // Inline vector copy: these spans are a few
+                            // dozen floats, below memcpy's call overhead.
+                            const float* src = xrow + static_cast<std::size_t>(
+                                                   static_cast<diff>(lo) + shift);
+                            float* dst = orow + lo;
+                            const std::size_t span = hi - lo;
+                            FMORE_SIMD
+                            for (std::size_t t = 0; t < span; ++t) dst[t] = src[t];
+                        }
+                        for (std::size_t ox = hi; ox < ow; ++ox) orow[ox] = 0.0F;
+                        continue;
+                    }
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const diff ix = static_cast<diff>(ox * s.stride_w + kx)
+                                        - static_cast<diff>(s.pad_w);
+                        orow[ox] = (ix < 0 || ix >= static_cast<diff>(s.w))
+                                       ? 0.0F
+                                       : xrow[static_cast<std::size_t>(ix)];
+                    }
+                }
+                out += oh * ow;
+            }
+        }
+    }
+}
+
+void im2col_t(const float* x, const ConvShape& s, float* colt) {
+    const std::size_t oh = s.out_h();
+    const std::size_t ow = s.out_w();
+    const std::size_t rows = s.col_rows();
+    std::size_t row = 0;
+    for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+        const float* xmap = x + ic * s.h * s.w;
+        for (std::size_t ky = 0; ky < s.kh; ++ky) {
+            for (std::size_t kx = 0; kx < s.kw; ++kx, ++row) {
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    const diff iy = static_cast<diff>(oy * s.stride_h + ky)
+                                    - static_cast<diff>(s.pad_h);
+                    const bool valid_row = iy >= 0 && iy < static_cast<diff>(s.h);
+                    const float* xrow =
+                        valid_row ? xmap + static_cast<std::size_t>(iy) * s.w : nullptr;
+                    float* orow = colt + oy * ow * rows + row;
+                    if (valid_row && s.stride_w == 1) {
+                        // Branch-free middle span (strided stores; the
+                        // source is contiguous).
+                        const diff shift =
+                            static_cast<diff>(kx) - static_cast<diff>(s.pad_w);
+                        const std::size_t lo = std::min<std::size_t>(
+                            ow, shift < 0 ? static_cast<std::size_t>(-shift) : 0);
+                        const std::size_t hi = std::max<std::size_t>(
+                            lo, std::min<std::size_t>(
+                                    ow, static_cast<std::size_t>(std::max<diff>(
+                                            0, static_cast<diff>(s.w) - shift))));
+                        for (std::size_t ox = 0; ox < lo; ++ox) orow[ox * rows] = 0.0F;
+                        const float* src = xrow + static_cast<std::size_t>(
+                                               static_cast<diff>(lo) + shift);
+                        for (std::size_t t = 0; t < hi - lo; ++t) {
+                            orow[(lo + t) * rows] = src[t];
+                        }
+                        for (std::size_t ox = hi; ox < ow; ++ox) orow[ox * rows] = 0.0F;
+                        continue;
+                    }
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const diff ix = static_cast<diff>(ox * s.stride_w + kx)
+                                        - static_cast<diff>(s.pad_w);
+                        const bool valid =
+                            valid_row && ix >= 0 && ix < static_cast<diff>(s.w);
+                        orow[ox * rows] =
+                            valid ? xrow[static_cast<std::size_t>(ix)] : 0.0F;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void col2im_add(const float* col, const ConvShape& s, float* gx) {
+    const std::size_t oh = s.out_h();
+    const std::size_t ow = s.out_w();
+    const float* in = col;
+    for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+        float* gxmap = gx + ic * s.h * s.w;
+        for (std::size_t ky = 0; ky < s.kh; ++ky) {
+            for (std::size_t kx = 0; kx < s.kw; ++kx) {
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    const diff iy = static_cast<diff>(oy * s.stride_h + ky)
+                                    - static_cast<diff>(s.pad_h);
+                    if (iy < 0 || iy >= static_cast<diff>(s.h)) continue;
+                    float* gxrow = gxmap + static_cast<std::size_t>(iy) * s.w;
+                    const float* irow = in + oy * ow;
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const diff ix = static_cast<diff>(ox * s.stride_w + kx)
+                                        - static_cast<diff>(s.pad_w);
+                        if (ix < 0 || ix >= static_cast<diff>(s.w)) continue;
+                        gxrow[static_cast<std::size_t>(ix)] += irow[ox];
+                    }
+                }
+                in += oh * ow;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convolution on top of the kernels
+// ---------------------------------------------------------------------------
+
+void conv2d_forward_gemm(const float* x, const float* weight, const float* bias,
+                         std::size_t out_c, const ConvShape& s, float* col, float* y) {
+    im2col(x, s, col);
+    const std::size_t rows = s.col_rows();
+    const std::size_t cols = s.col_cols();
+    gemm_bias_grouped(out_c, cols, rows,
+                      weight, static_cast<diff>(rows), 1,
+                      col, static_cast<diff>(cols),
+                      y, static_cast<diff>(cols), s.kh * s.kw, bias);
+}
+
+void conv2d_input_grad(const float* gy, const float* weight, std::size_t out_c,
+                       const ConvShape& s, float* gx) {
+    const std::size_t oh = s.out_h();
+    const std::size_t ow = s.out_w();
+    if (s.pad_h == 0 && s.pad_w == 0) {
+        // Unpadded fast path (what Conv2d runs): every tap's span is the
+        // full output row, so all bounds math hoists out of the loops.
+        for (std::size_t oc = 0; oc < out_c; ++oc) {
+            const float* gymap = gy + oc * oh * ow;
+            for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+                const float* ker = weight + (oc * s.in_c + ic) * s.kh * s.kw;
+                float* gxmap = gx + ic * s.h * s.w;
+                for (std::size_t ky = s.kh; ky-- > 0;) {
+                    for (std::size_t kx = s.kw; kx-- > 0;) {
+                        const float wv = ker[ky * s.kw + kx];
+                        for (std::size_t oy = 0; oy < oh; ++oy) {
+                            float* gxrow = gxmap + (oy + ky) * s.w + kx;
+                            const float* gyrow = gymap + oy * ow;
+                            FMORE_SIMD
+                            for (std::size_t t = 0; t < ow; ++t) {
+                                gxrow[t] += gyrow[t] * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+        const float* gymap = gy + oc * oh * ow;
+        for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+            const float* ker = weight + (oc * s.in_c + ic) * s.kh * s.kw;
+            float* gxmap = gx + ic * s.h * s.w;
+            // Descending (ky, kx) is the reference loops' ascending
+            // output-pixel order per input pixel — see the header note.
+            for (std::size_t ky = s.kh; ky-- > 0;) {
+                for (std::size_t kx = s.kw; kx-- > 0;) {
+                    const float wv = ker[ky * s.kw + kx];
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        const diff iy = static_cast<diff>(oy + ky)
+                                        - static_cast<diff>(s.pad_h);
+                        if (iy < 0 || iy >= static_cast<diff>(s.h)) continue;
+                        // Valid ox range: ix = ox + kx - pad_w in [0, w).
+                        const diff shift =
+                            static_cast<diff>(kx) - static_cast<diff>(s.pad_w);
+                        const std::size_t ox_lo =
+                            shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+                        const std::size_t ox_hi = std::min<std::size_t>(
+                            ow, static_cast<std::size_t>(std::max<diff>(
+                                    0, static_cast<diff>(s.w) - shift)));
+                        if (ox_lo >= ox_hi) continue;
+                        float* gxrow = gxmap + static_cast<std::size_t>(iy) * s.w
+                                       + static_cast<std::size_t>(
+                                           static_cast<diff>(ox_lo) + shift);
+                        const float* gyrow = gymap + oy * ow + ox_lo;
+                        const std::size_t span = ox_hi - ox_lo;
+                        FMORE_SIMD
+                        for (std::size_t t = 0; t < span; ++t) {
+                            gxrow[t] += gyrow[t] * wv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace fmore::ml

@@ -6,11 +6,46 @@ namespace fmore::ml {
 
 Model::Model(std::uint64_t seed) : rng_(seed) {}
 
+// Moves must re-attach: stochastic layers hold a pointer to the owning
+// model's RNG member, whose address changes with the object.
+Model::Model(Model&& other) noexcept
+    : layers_(std::move(other.layers_)),
+      rng_(other.rng_),
+      loss_(std::move(other.loss_)) {
+    reattach_layers();
+}
+
+Model& Model::operator=(Model&& other) noexcept {
+    if (this != &other) {
+        layers_ = std::move(other.layers_);
+        rng_ = other.rng_;
+        loss_ = std::move(other.loss_);
+        reattach_layers();
+    }
+    return *this;
+}
+
+void Model::reattach_layers() {
+    for (auto& layer : layers_) layer->attach_rng(&rng_);
+}
+
 void Model::add(std::unique_ptr<Layer> layer) {
     layer->initialize(rng_);
     layer->attach_rng(&rng_);
     layers_.push_back(std::move(layer));
 }
+
+Model Model::clone() const {
+    Model copy(0);
+    copy.rng_ = rng_;
+    copy.loss_ = loss_;
+    copy.layers_.reserve(layers_.size());
+    for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+    copy.reattach_layers();
+    return copy;
+}
+
+void Model::reseed(std::uint64_t seed) { rng_ = stats::Rng(seed); }
 
 Tensor Model::forward(const Tensor& input, bool training) {
     Tensor x = input;
@@ -108,34 +143,56 @@ TrainStats Model::train_epoch(const Dataset& data, const std::vector<std::size_t
     return out;
 }
 
+void Model::evaluate_batches(const Dataset& data, const std::vector<std::size_t>& indices,
+                             std::size_t batch_size, std::size_t batch_lo,
+                             std::size_t batch_hi, EvalBatch* out) {
+    if (batch_size == 0)
+        throw std::invalid_argument("evaluate_batches: batch_size must be > 0");
+    for (std::size_t bi = batch_lo; bi < batch_hi; ++bi) {
+        const std::size_t start = bi * batch_size;
+        const std::size_t end = std::min(indices.size(), start + batch_size);
+        if (start >= end) break;
+        const std::vector<std::size_t> batch_idx(
+            indices.begin() + static_cast<std::ptrdiff_t>(start),
+            indices.begin() + static_cast<std::ptrdiff_t>(end));
+        const Tensor batch = data.gather(batch_idx);
+        const std::vector<int> labels = data.gather_labels(batch_idx);
+        const Tensor logits = forward(batch, /*training=*/false);
+        EvalBatch record;
+        record.mean_loss = loss_.forward(logits, labels);
+        const std::vector<int> preds = loss_.predictions();
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            if (preds[i] == labels[i]) ++record.hits;
+        }
+        record.samples = batch_idx.size();
+        out[bi] = record;
+    }
+}
+
+EvalStats reduce_eval_batches(const std::vector<EvalBatch>& batches) {
+    EvalStats out;
+    double loss_sum = 0.0;
+    std::size_t hits = 0;
+    for (const EvalBatch& b : batches) {
+        loss_sum += b.mean_loss * static_cast<double>(b.samples);
+        hits += b.hits;
+        out.samples += b.samples;
+    }
+    out.mean_loss = loss_sum / static_cast<double>(out.samples);
+    out.accuracy = static_cast<double>(hits) / static_cast<double>(out.samples);
+    return out;
+}
+
 EvalStats Model::evaluate(const Dataset& data, const std::vector<std::size_t>& indices) {
     std::vector<std::size_t> idx = indices;
     if (idx.empty()) {
         idx.resize(data.size());
         for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
     }
-    EvalStats out;
-    double loss_sum = 0.0;
-    std::size_t hits = 0;
-    constexpr std::size_t eval_batch = 128;
-    for (std::size_t start = 0; start < idx.size(); start += eval_batch) {
-        const std::size_t end = std::min(idx.size(), start + eval_batch);
-        const std::vector<std::size_t> batch_idx(idx.begin() + static_cast<std::ptrdiff_t>(start),
-                                                 idx.begin() + static_cast<std::ptrdiff_t>(end));
-        const Tensor batch = data.gather(batch_idx);
-        const std::vector<int> labels = data.gather_labels(batch_idx);
-        const Tensor logits = forward(batch, /*training=*/false);
-        const double loss = loss_.forward(logits, labels);
-        const std::vector<int> preds = loss_.predictions();
-        for (std::size_t i = 0; i < preds.size(); ++i) {
-            if (preds[i] == labels[i]) ++hits;
-        }
-        loss_sum += loss * static_cast<double>(batch_idx.size());
-        out.samples += batch_idx.size();
-    }
-    out.mean_loss = loss_sum / static_cast<double>(out.samples);
-    out.accuracy = static_cast<double>(hits) / static_cast<double>(out.samples);
-    return out;
+    const std::size_t batches = (idx.size() + kEvalBatch - 1) / kEvalBatch;
+    std::vector<EvalBatch> records(batches);
+    evaluate_batches(data, idx, kEvalBatch, 0, batches, records.data());
+    return reduce_eval_batches(records);
 }
 
 } // namespace fmore::ml

@@ -1,0 +1,81 @@
+// The O(N log K) partial-ranking path wired through the experiment layer
+// (AuctionSpec::full_scoreboard = false): winners, payments and every round
+// metric must be bit-identical to the full-sort default; only the recorded
+// Fig. 8 score board is allowed to shrink.
+
+#include <gtest/gtest.h>
+
+#include "fmore/core/experiment.hpp"
+#include "fmore/core/scenarios.hpp"
+
+namespace fmore::core {
+namespace {
+
+ExperimentSpec small_spec(bool full_scoreboard) {
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_o);
+    spec.population.num_nodes = 40;
+    spec.auction.winners = 8;
+    spec.training.rounds = 2;
+    spec.training.train_samples = 500;
+    spec.training.test_samples = 120;
+    spec.training.eval_cap = 120;
+    spec.auction.full_scoreboard = full_scoreboard;
+    return spec;
+}
+
+TEST(ScoreboardTest, PartialRankingKeepsEveryRoundMetricBitIdentical) {
+    ExperimentTrial full_trial(small_spec(true), 0);
+    const fl::RunResult full = full_trial.run("fmore");
+    ExperimentTrial partial_trial(small_spec(false), 0);
+    const fl::RunResult partial = partial_trial.run("fmore");
+
+    ASSERT_EQ(full.rounds.size(), partial.rounds.size());
+    for (std::size_t r = 0; r < full.rounds.size(); ++r) {
+        SCOPED_TRACE("round " + std::to_string(r + 1));
+        EXPECT_EQ(full.rounds[r].test_accuracy, partial.rounds[r].test_accuracy);
+        EXPECT_EQ(full.rounds[r].test_loss, partial.rounds[r].test_loss);
+        EXPECT_EQ(full.rounds[r].train_loss, partial.rounds[r].train_loss);
+        EXPECT_EQ(full.rounds[r].mean_winner_payment,
+                  partial.rounds[r].mean_winner_payment);
+        EXPECT_EQ(full.rounds[r].mean_winner_score,
+                  partial.rounds[r].mean_winner_score);
+
+        // Winner sets identical, in identical order, with identical
+        // payments.
+        const auto& fsel = full.rounds[r].selection.selected;
+        const auto& psel = partial.rounds[r].selection.selected;
+        ASSERT_EQ(fsel.size(), psel.size());
+        for (std::size_t i = 0; i < fsel.size(); ++i) {
+            EXPECT_EQ(fsel[i].client, psel[i].client);
+            EXPECT_EQ(fsel[i].payment, psel[i].payment);
+            EXPECT_EQ(fsel[i].score, psel[i].score);
+            EXPECT_EQ(fsel[i].train_samples, psel[i].train_samples);
+        }
+
+        // The board itself is the only thing that shrinks: the partial
+        // path records exactly the top-K prefix of the full board.
+        const auto& fboard = full.rounds[r].selection.all_scores;
+        const auto& pboard = partial.rounds[r].selection.all_scores;
+        EXPECT_EQ(fboard.size(), 40u - 0u); // every bidder on the full board
+        ASSERT_LE(pboard.size(), fboard.size());
+        ASSERT_GE(pboard.size(), 8u);
+        for (std::size_t i = 0; i < pboard.size(); ++i) {
+            EXPECT_EQ(pboard[i], fboard[i]);
+        }
+    }
+}
+
+TEST(ScoreboardTest, FullScoreboardRoundTripsThroughSpecText) {
+    ExperimentSpec spec = small_spec(false);
+    const ExperimentSpec parsed = parse_experiment_spec(to_text(spec));
+    EXPECT_FALSE(parsed.auction.full_scoreboard);
+    EXPECT_TRUE(parsed == spec);
+}
+
+TEST(ScoreboardTest, DefaultKeepsTheFigureEightContract) {
+    EXPECT_TRUE(ExperimentSpec{}.auction.full_scoreboard);
+    EXPECT_TRUE(named_scenario("paper/fig08").auction.full_scoreboard);
+}
+
+} // namespace
+} // namespace fmore::core

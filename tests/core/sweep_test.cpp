@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "fmore/core/scenarios.hpp"
+#include "fmore/core/sweep.hpp"
+
+namespace fmore::core {
+namespace {
+
+TEST(SweepAxisTest, ParsesKeyAndValues) {
+    const SweepAxis axis = parse_sweep_axis("auction.winners=5,10,25");
+    EXPECT_EQ(axis.key, "auction.winners");
+    ASSERT_EQ(axis.values.size(), 3u);
+    EXPECT_EQ(axis.values[0], "5");
+    EXPECT_EQ(axis.values[2], "25");
+}
+
+TEST(SweepAxisTest, RejectsMalformedAxes) {
+    EXPECT_THROW((void)parse_sweep_axis("no-equals"), std::invalid_argument);
+    EXPECT_THROW((void)parse_sweep_axis("=1,2"), std::invalid_argument);
+    EXPECT_THROW((void)parse_sweep_axis("auction.winners="), std::invalid_argument);
+}
+
+TEST(SweepTest, SingleAxisOverridesTheBaseSpec) {
+    const ExperimentSpec base = default_experiment(DatasetKind::mnist_o);
+    const auto points =
+        expand_sweep(base, {parse_sweep_axis("auction.winners=5,25")});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].label, "auction.winners=5");
+    EXPECT_EQ(points[0].spec.auction.winners, 5u);
+    EXPECT_EQ(points[1].label, "auction.winners=25");
+    EXPECT_EQ(points[1].spec.auction.winners, 25u);
+    // Everything else untouched.
+    ExperimentSpec expect = base;
+    expect.auction.winners = 5;
+    EXPECT_TRUE(points[0].spec == expect);
+}
+
+TEST(SweepTest, CrossProductIsFirstAxisOutermost) {
+    const ExperimentSpec base = default_experiment(DatasetKind::mnist_o);
+    const auto points = expand_sweep(base, {parse_sweep_axis("auction.winners=5,10"),
+                                            parse_sweep_axis("auction.psi=0.3,0.7")});
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].label, "auction.winners=5, auction.psi=0.3");
+    EXPECT_EQ(points[1].label, "auction.winners=5, auction.psi=0.7");
+    EXPECT_EQ(points[2].label, "auction.winners=10, auction.psi=0.3");
+    EXPECT_EQ(points[3].label, "auction.winners=10, auction.psi=0.7");
+    EXPECT_EQ(points[3].spec.auction.winners, 10u);
+    EXPECT_DOUBLE_EQ(points[3].spec.auction.psi, 0.7);
+}
+
+TEST(SweepTest, NoAxesYieldsTheBaseSpec) {
+    const ExperimentSpec base = named_scenario("paper/fig10");
+    const auto points = expand_sweep(base, {});
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_TRUE(points[0].spec == base);
+    EXPECT_TRUE(points[0].label.empty());
+}
+
+TEST(SweepTest, UnknownKeysThrowThroughApplyKeyValue) {
+    const ExperimentSpec base = default_experiment(DatasetKind::mnist_o);
+    EXPECT_THROW((void)expand_sweep(base, {parse_sweep_axis("auction.bogus=1")}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fmore::core

@@ -1,0 +1,175 @@
+// Parallel-round determinism suite: the intra-round parallelism of
+// fl::Coordinator (K client trainings + chunked evaluation on the shared
+// util::ThreadPool) must leave every round metric bit-identical for any
+// thread count — the same guarantee the trial runner gives across trials.
+
+#include <gtest/gtest.h>
+
+#include "fmore/fl/coordinator.hpp"
+#include "fmore/fl/selection.hpp"
+#include "fmore/ml/model_zoo.hpp"
+#include "fmore/ml/synthetic.hpp"
+#include "fmore/util/thread_pool.hpp"
+
+namespace fmore::fl {
+namespace {
+
+class ParallelRoundTest : public ::testing::Test {
+protected:
+    ParallelRoundTest() {
+        stats::Rng rng(21);
+        ml::ImageDatasetSpec spec;
+        spec.samples = 700;
+        auto pool = ml::make_synthetic_images(spec, rng);
+        const std::size_t vol = pool.sample_volume();
+        train_.sample_shape = pool.sample_shape;
+        train_.num_classes = pool.num_classes;
+        train_.features.assign(pool.features.begin(), pool.features.begin() + 600 * vol);
+        train_.labels.assign(pool.labels.begin(), pool.labels.begin() + 600);
+        test_.sample_shape = pool.sample_shape;
+        test_.num_classes = pool.num_classes;
+        test_.features.assign(pool.features.begin() + 600 * vol, pool.features.end());
+        test_.labels.assign(pool.labels.begin() + 600, pool.labels.end());
+
+        stats::Rng prng(22);
+        shards_ = ml::partition_iid(train_, 12, prng);
+    }
+
+    /// One full run at the given intra-round worker count. The CNN includes
+    /// Dropout, so per-client RNG streams are exercised, and the capping
+    /// selector exercises the contracted-volume subsampling draws.
+    [[nodiscard]] RunResult run_with_threads(std::size_t threads,
+                                             bool cap_samples) const {
+        ml::Model model = ml::make_cnn(ml::ImageSpec{1, 12, 12, 10}, 77);
+        CoordinatorConfig cc;
+        cc.rounds = 3;
+        cc.winners_per_round = 6;
+        cc.batch_size = 16;
+        cc.learning_rate = 0.08;
+        cc.round_threads = threads;
+        Coordinator coordinator(model, train_, test_, shards_, cc);
+        stats::Rng rng(5);
+        if (cap_samples) {
+            class CappingSelector final : public ClientSelector {
+            public:
+                SelectionRecord select(std::size_t, std::size_t k,
+                                       stats::Rng&) override {
+                    SelectionRecord record;
+                    for (std::size_t i = 0; i < k; ++i) {
+                        record.selected.push_back(
+                            SelectedClient{i, 1.0 + static_cast<double>(i), 2.0, 20});
+                    }
+                    return record;
+                }
+                [[nodiscard]] std::string name() const override { return "capping"; }
+            };
+            CappingSelector selector;
+            return coordinator.run(selector, rng);
+        }
+        RandomSelector selector(12);
+        return coordinator.run(selector, rng);
+    }
+
+    ml::Dataset train_;
+    ml::Dataset test_;
+    std::vector<ml::ClientShard> shards_;
+};
+
+void expect_bit_identical(const RunResult& a, const RunResult& b,
+                          std::size_t threads) {
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+        SCOPED_TRACE("round " + std::to_string(r + 1) + ", threads "
+                     + std::to_string(threads));
+        EXPECT_EQ(a.rounds[r].test_accuracy, b.rounds[r].test_accuracy);
+        EXPECT_EQ(a.rounds[r].test_loss, b.rounds[r].test_loss);
+        EXPECT_EQ(a.rounds[r].train_loss, b.rounds[r].train_loss);
+        EXPECT_EQ(a.rounds[r].mean_winner_payment, b.rounds[r].mean_winner_payment);
+        EXPECT_EQ(a.rounds[r].mean_winner_score, b.rounds[r].mean_winner_score);
+    }
+}
+
+TEST_F(ParallelRoundTest, MetricsBitIdenticalAcrossThreadCounts) {
+    const RunResult serial = run_with_threads(1, /*cap_samples=*/false);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        const RunResult parallel = run_with_threads(threads, false);
+        expect_bit_identical(serial, parallel, threads);
+    }
+}
+
+TEST_F(ParallelRoundTest, ContractedVolumePathBitIdenticalAcrossThreadCounts) {
+    const RunResult serial = run_with_threads(1, /*cap_samples=*/true);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        const RunResult parallel = run_with_threads(threads, true);
+        expect_bit_identical(serial, parallel, threads);
+    }
+}
+
+TEST_F(ParallelRoundTest, RepeatedParallelRunsAreDeterministic) {
+    const RunResult first = run_with_threads(8, false);
+    const RunResult second = run_with_threads(8, false);
+    expect_bit_identical(first, second, 8);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+    util::ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(100);
+    for (auto& h : hits) h = 0;
+    pool.parallel_for(hits.size(), 3, [&](std::size_t, std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerSlotsAreDenseAndDistinct) {
+    util::ThreadPool pool(4);
+    std::vector<std::atomic<int>> slot_seen(5);
+    for (auto& s : slot_seen) s = 0;
+    pool.parallel_for(64, 4, [&](std::size_t slot, std::size_t) {
+        ASSERT_LT(slot, slot_seen.size());
+        slot_seen[slot].fetch_add(1);
+    });
+    // Slot 0 (the caller) always participates.
+    EXPECT_GT(slot_seen[0].load(), 0);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+    util::ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(32, 2,
+                                   [](std::size_t, std::size_t i) {
+                                       if (i == 7) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroHelpersRunsInline) {
+    util::ThreadPool pool(0);
+    std::vector<int> order;
+    pool.parallel_for(5, 0, [&](std::size_t slot, std::size_t i) {
+        EXPECT_EQ(slot, 0u);
+        order.push_back(static_cast<int>(i));
+    });
+    ASSERT_EQ(order.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadBudgetTest, LeaseClaimsAndReleases) {
+    util::ThreadBudget& budget = util::ThreadBudget::instance();
+    const std::size_t before = budget.claimed();
+    {
+        const util::ThreadLease lease(2, /*exact=*/true);
+        EXPECT_EQ(lease.granted(), 2u);
+        EXPECT_EQ(budget.claimed(), before + 2);
+    }
+    EXPECT_EQ(budget.claimed(), before);
+}
+
+TEST(ThreadBudgetTest, ResolveRoundThreadsHonoursExplicitRequest) {
+    EXPECT_EQ(util::resolve_round_threads(4, 10), 4u);
+    EXPECT_EQ(util::resolve_round_threads(16, 10), 10u); // capped at the work
+    EXPECT_EQ(util::resolve_round_threads(4, 1), 1u);    // nothing to split
+    EXPECT_GE(util::resolve_round_threads(0, 10), 1u);   // auto is always >= 1
+}
+
+} // namespace
+} // namespace fmore::fl
