@@ -7,6 +7,7 @@
 
 #include "bench_util.hpp"
 #include "fmore/auction/game.hpp"
+#include "fmore/core/sweep.hpp"
 #include "fmore/stats/normalizer.hpp"
 
 namespace {
@@ -18,17 +19,22 @@ void part_a() {
     const std::size_t trials = bench::trial_count(2);
     const std::vector<double> targets{0.70, 0.75, 0.78, 0.82, 0.84};
 
-    auto series_for = [&](std::size_t n) {
-        core::ExperimentSpec spec = core::named_scenario("paper/fig09");
-        spec.population.num_nodes = n;
-        // The paper grows the MARKET, not a fixed data pie cut finer: hold
-        // the per-node data distribution constant while N rises, so a
-        // larger N gives the aggregator genuinely better top-K picks.
-        spec.training.train_samples = 90 * n;
-        return core::averaged_experiment(spec, "fmore", trials);
-    };
-    const auto n50 = series_for(50);
-    const auto n100 = series_for(100);
+    // The paper grows the MARKET, not a fixed data pie cut finer: hold the
+    // per-node data distribution constant (90 samples/node) while N rises,
+    // so a larger N gives the aggregator genuinely better top-K picks. The
+    // two knobs co-vary, which is exactly what a zipped sweep expresses.
+    core::SweepAxis nodes{"population.num_nodes", {}};
+    core::SweepAxis samples{"training.train_samples", {}};
+    for (const std::size_t n : {50u, 100u}) {
+        nodes.values.push_back(std::to_string(n));
+        samples.values.push_back(std::to_string(90 * n));
+    }
+    const std::vector<core::SweepPoint> points =
+        core::zip_sweep(core::named_scenario("paper/fig09"), {nodes, samples});
+    const std::vector<core::SweepSummary> summaries =
+        core::summarize_points(points, {"fmore"}, trials);
+    const core::AveragedSeries& n50 = summaries[0].series[0].series;
+    const core::AveragedSeries& n100 = summaries[1].series[0].series;
 
     core::TablePrinter table(std::cout, {"accuracy", "rounds_N50", "rounds_N100"});
     for (const double target : targets) {

@@ -6,6 +6,7 @@
 //      as psi sweeps 0.3..0.9 (small psi scatters selection toward RandFL).
 
 #include "bench_util.hpp"
+#include "fmore/core/sweep.hpp"
 
 namespace {
 
@@ -21,13 +22,14 @@ core::ExperimentSpec small_data_spec() {
 void part_a() {
     std::cout << "(a) training speed: psi=0.3 vs psi=0.9 (small-data MNIST-F)\n\n";
     const std::size_t trials = bench::trial_count(2);
-    auto series_for = [&](double psi) {
-        core::ExperimentSpec spec = small_data_spec();
-        spec.auction.psi = psi;
-        return core::averaged_experiment(spec, "psi_fmore", trials);
-    };
-    const auto lo = series_for(0.3);
-    const auto hi = series_for(0.9);
+    // One axis, one policy per point — the generic sweep machinery replaces
+    // the old hand-rolled psi loop.
+    const std::vector<core::SweepSummary> summaries = core::summarize_points(
+        core::expand_sweep(small_data_spec(),
+                           {core::SweepAxis{"auction.psi", {"0.3", "0.9"}}}),
+        {"psi_fmore"}, trials);
+    const core::AveragedSeries& lo = summaries[0].series[0].series;
+    const core::AveragedSeries& hi = summaries[1].series[0].series;
     core::TablePrinter table(std::cout, {"accuracy", "rounds_psi0.3", "rounds_psi0.9"});
     for (const double target : {0.60, 0.66, 0.70, 0.74, 0.78}) {
         const auto rl = bench::rounds_to(lo, target);

@@ -1,0 +1,89 @@
+// fig_straggler — the straggler scenarios the paper's testbed figures hint
+// at but its synchronous coordinator cannot reach. The heavy-straggler
+// world (lognormal latency factors, sigma 1.2) makes every synchronous
+// round as long as its slowest winner; the semi-sync/async modes aggregate
+// at min_updates=4 of K=8 and merge late updates with staleness weight
+// 1/(1+s)^alpha, so they pay the straggler tail only when it actually
+// delivers something.
+//  (a) simulated seconds to reach accuracy targets, sync vs semi_sync vs
+//      async on the straggler/async_vs_sync world (FMore policy).
+//  (b) the async round anatomy: per-round seconds, merged updates and mean
+//      staleness — what early aggregation actually trades away.
+
+#include "bench_util.hpp"
+#include "fmore/core/sweep.hpp"
+
+namespace {
+
+using namespace fmore;
+
+void part_a() {
+    std::cout << "(a) seconds to reach accuracy, sync vs semi_sync vs async "
+                 "(heavy stragglers, K=8, min_updates=4)\n\n";
+    const std::size_t trials = bench::trial_count(2);
+    // The grid machinery end to end: one round_mode axis, FMore per point,
+    // raw runs kept for the seconds-to-accuracy statistics.
+    const std::vector<core::SweepSummary> summaries = core::summarize_points(
+        core::expand_sweep(
+            core::named_scenario("straggler/async_vs_sync"),
+            {core::SweepAxis{"timing.round_mode", {"sync", "semi_sync", "async"}}}),
+        {"fmore"}, trials);
+    const std::vector<fl::RunResult>& sync_runs = summaries[0].runs[0];
+    const std::vector<fl::RunResult>& async_runs = summaries[2].runs[0];
+
+    core::TablePrinter table(std::cout,
+                             {"accuracy", "sync_s", "semi_sync_s", "async_s"});
+    for (const double target : {0.25, 0.30, 0.35, 0.40, 0.45}) {
+        std::vector<std::string> row{std::string(core::percent(target, 0))};
+        for (const core::SweepSummary& summary : summaries) {
+            row.push_back(core::fixed(
+                core::mean_seconds_to_accuracy(summary.runs[0], target), 1));
+        }
+        table.row(row);
+    }
+
+    const core::AveragedSeries& sync_avg = summaries[0].series[0].series;
+    const core::AveragedSeries& async_avg = summaries[2].series[0].series;
+    std::cout << "\ntotal simulated seconds over " << sync_avg.rounds()
+              << " rounds: sync " << core::fixed(sync_avg.cumulative_seconds.back(), 1)
+              << ", async " << core::fixed(async_avg.cumulative_seconds.back(), 1)
+              << '\n';
+    // The headline quantity: how much faster async reaches what both modes
+    // reach (simulated-time-per-accuracy-target).
+    const double target = 0.35;
+    const double sync_s = core::mean_seconds_to_accuracy(sync_runs, target);
+    const double async_s = core::mean_seconds_to_accuracy(async_runs, target);
+    if (async_s > 0.0) {
+        std::cout << "time-to-" << core::percent(target, 0) << " speedup, async over sync: "
+                  << core::fixed(sync_s / async_s, 2) << "x\n";
+    }
+}
+
+void part_b() {
+    std::cout << "\n(b) async round anatomy on straggler/heavy (1 trial): "
+                 "merged updates and staleness\n\n";
+    const core::ExperimentSpec spec = core::named_scenario("straggler/heavy");
+    const std::vector<fl::RunResult> runs = bench::run_spec(spec, "fmore", 1);
+    const fl::RunResult& run = runs.front();
+
+    core::TablePrinter table(std::cout,
+                             {"round", "seconds", "merged", "staleness", "accuracy"});
+    for (const fl::RoundMetrics& m : run.rounds) {
+        table.row({static_cast<double>(m.round), m.round_seconds,
+                   static_cast<double>(m.aggregated_updates), m.mean_staleness,
+                   m.test_accuracy},
+                  2);
+    }
+    std::cout << "\n(dropouts and the min_updates=4 trigger keep merged < K=8; "
+                 "carried updates surface as staleness > 0)\n";
+}
+
+} // namespace
+
+int main() {
+    std::cout << "Straggler scenarios: asynchronous aggregation vs the "
+                 "synchronous barrier\n\n";
+    part_a();
+    part_b();
+    return 0;
+}

@@ -66,14 +66,6 @@ std::vector<std::string> split_commas(const std::string& text) {
     return out;
 }
 
-std::string policy_label(const std::string& policy) {
-    if (policy == "fmore") return "FMore";
-    if (policy == "psi_fmore") return "psi-FMore";
-    if (policy == "randfl") return "RandFL";
-    if (policy == "fixfl") return "FixFL";
-    return policy;
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -226,12 +218,18 @@ int main(int argc, char** argv) {
                       << ", N=" << run_spec.population.num_nodes
                       << ", K=" << run_spec.auction.winners << ", "
                       << run_spec.training.rounds << " rounds, " << trials
-                      << " trial(s) averaged\n\n";
+                      << " trial(s) averaged";
+            if (run_spec.timing.round_mode != fl::RoundMode::sync) {
+                std::cout << ", " << fl::to_string(run_spec.timing.round_mode)
+                          << " rounds (min_updates="
+                          << run_spec.timing.min_updates << ")";
+            }
+            std::cout << "\n\n";
 
             std::vector<core::NamedSeries> all;
             for (const std::string& policy : policies) {
                 all.push_back(core::NamedSeries{
-                    policy_label(policy),
+                    core::policy_display_name(policy),
                     core::averaged_experiment(run_spec, policy, trials)});
             }
             core::print_accuracy_loss(std::cout, all);

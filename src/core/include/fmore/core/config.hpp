@@ -13,6 +13,7 @@
 
 #include "fmore/auction/types.hpp"
 #include "fmore/auction/win_probability.hpp"
+#include "fmore/fl/round_mode.hpp"
 
 namespace fmore::core {
 
@@ -153,6 +154,16 @@ struct RealWorldConfig {
     double model_bytes = 1.7e7;
     double seconds_per_sample_core = 0.05;
     double round_overhead_s = 1.0;
+
+    /// Round-coordination discipline and straggler model — the spec-level
+    /// documentation lives on core::TimingSpec, which these mirror.
+    fl::RoundMode round_mode = fl::RoundMode::sync;
+    std::size_t min_updates = 0;
+    double round_deadline_s = 0.0;
+    double staleness_alpha = 0.5;
+    std::size_t max_staleness = 4;
+    double latency_spread = 0.0;
+    double dropout_prob = 0.0;
 
     std::uint64_t seed = 11;
 };

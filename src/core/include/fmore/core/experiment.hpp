@@ -18,6 +18,7 @@
 #include "fmore/core/realworld.hpp"
 #include "fmore/core/simulation.hpp"
 #include "fmore/fl/metrics.hpp"
+#include "fmore/fl/round_mode.hpp"
 
 namespace fmore::core {
 
@@ -91,15 +92,44 @@ struct TrainingSpec {
     std::size_t eval_cap = 1000;
 };
 
-/// The wall-clock model (testbed experiments; see mec::ClusterTimeConfig).
+/// The wall-clock model (testbed experiments; see mec::ClusterTimeConfig)
+/// plus the round-coordination discipline built on it.
 /// `enabled` is kind-implied — the testbed always models wall-clock time
 /// and the simulator never does — and validation rejects a mismatch so the
 /// knob cannot silently disagree with what the engine actually runs.
+/// Likewise `round_mode != sync` needs the clock, so async/semi-sync specs
+/// must be `kind = testbed`.
 struct TimingSpec {
     bool enabled = false;
     double model_bytes = 1.7e7;
     double seconds_per_sample_core = 0.05;
     double round_overhead_s = 1.0;
+    /// How rounds close: the paper's synchronous barrier, or the
+    /// semi_sync/async early-aggregation modes (fl::AsyncCoordinator).
+    fl::RoundMode round_mode = fl::RoundMode::sync;
+    /// semi_sync/async: aggregate once this many of the round's dispatches
+    /// arrived (carried late updates merge at the trigger but do not count
+    /// toward it); 0 = every dispatched winner. Sync rounds always wait for
+    /// everyone and ignore this knob — kept sweepable so
+    /// `--sweep timing.round_mode=sync,semi_sync,async` works unchanged.
+    std::size_t min_updates = 0;
+    /// semi_sync: aggregate at this offset from round start even when short
+    /// of min_updates; 0 = no deadline. Like min_updates, the other modes
+    /// ignore it (sync closes on its slowest winner, async purely on update
+    /// count) so round_mode stays sweepable with a deadline set.
+    double round_deadline_s = 0.0;
+    /// Staleness decay exponent: a late update merges with FedAvg weight
+    /// D_i / (1+s)^alpha, s = global versions since its dispatch.
+    double staleness_alpha = 0.5;
+    /// Discard updates staler than this many versions; 0 = never.
+    std::size_t max_staleness = 4;
+    /// Straggler model: sigma of each node's lognormal latency factor
+    /// (drawn once per trial); 0 = homogeneous latency. Applies to sync
+    /// rounds too — stragglers are what make the barrier expensive.
+    double latency_spread = 0.0;
+    /// Probability a semi_sync/async dispatch never reports; sync rounds
+    /// have no failure handling and ignore it (see ClusterTimeConfig).
+    double dropout_prob = 0.0;
 };
 
 /// Everything needed to reproduce one experiment, simulator or testbed.

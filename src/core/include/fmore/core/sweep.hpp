@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fmore/core/experiment.hpp"
+#include "fmore/core/trials.hpp"
 
 namespace fmore::core {
 
@@ -42,5 +43,39 @@ struct SweepPoint {
 ///         and for an axis with no values
 [[nodiscard]] std::vector<SweepPoint> expand_sweep(const ExperimentSpec& base,
                                                    const std::vector<SweepAxis>& axes);
+
+/// Zipped (co-varying) sweep: all axes must have the same length; point i
+/// applies value i of *every* axis. This is the shape of studies whose
+/// knobs move together — Fig. 9 grows `training.train_samples` with
+/// `population.num_nodes` so a bigger market is not a fixed pie cut finer,
+/// which a cross product cannot express.
+/// @throws std::invalid_argument on mismatched axis lengths, no axes, or
+///         anything expand_sweep would reject
+[[nodiscard]] std::vector<SweepPoint> zip_sweep(const ExperimentSpec& base,
+                                                const std::vector<SweepAxis>& axes);
+
+/// One sweep point's results under several selection policies — the
+/// "per-point multi-policy summary" the parameter-impact benches interleave
+/// into their tables (fig09/fig11 compare policies *per grid point*).
+struct SweepSummary {
+    std::string label;                   ///< the point's "key=value" label
+    ExperimentSpec spec;                 ///< fully-overridden spec
+    std::vector<NamedSeries> series;     ///< one averaged series per policy
+    std::vector<std::vector<fl::RunResult>> runs; ///< raw runs, per policy
+};
+
+/// Run every point under every policy on the parallel trial runner and
+/// average — `averaged_experiment` over the grid, with the raw runs kept
+/// for rounds-/seconds-to-accuracy statistics. Policy names label the
+/// series via the same display names run_scenario prints.
+/// @throws whatever spec validation / the trial runner throws
+[[nodiscard]] std::vector<SweepSummary>
+summarize_points(const std::vector<SweepPoint>& points,
+                 const std::vector<std::string>& policies, std::size_t trials,
+                 const TrialRunnerOptions& options = {});
+
+/// Display name of a selection policy ("fmore" -> "FMore", ...); unknown
+/// registry names pass through unchanged.
+[[nodiscard]] std::string policy_display_name(const std::string& policy);
 
 } // namespace fmore::core

@@ -46,7 +46,13 @@ bool operator==(const TrainingSpec& a, const TrainingSpec& b) {
 bool operator==(const TimingSpec& a, const TimingSpec& b) {
     return a.enabled == b.enabled && a.model_bytes == b.model_bytes
            && a.seconds_per_sample_core == b.seconds_per_sample_core
-           && a.round_overhead_s == b.round_overhead_s;
+           && a.round_overhead_s == b.round_overhead_s
+           && a.round_mode == b.round_mode && a.min_updates == b.min_updates
+           && a.round_deadline_s == b.round_deadline_s
+           && a.staleness_alpha == b.staleness_alpha
+           && a.max_staleness == b.max_staleness
+           && a.latency_spread == b.latency_spread
+           && a.dropout_prob == b.dropout_prob;
 }
 
 bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
@@ -158,6 +164,13 @@ RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
     config.model_bytes = spec.timing.model_bytes;
     config.seconds_per_sample_core = spec.timing.seconds_per_sample_core;
     config.round_overhead_s = spec.timing.round_overhead_s;
+    config.round_mode = spec.timing.round_mode;
+    config.min_updates = spec.timing.min_updates;
+    config.round_deadline_s = spec.timing.round_deadline_s;
+    config.staleness_alpha = spec.timing.staleness_alpha;
+    config.max_staleness = spec.timing.max_staleness;
+    config.latency_spread = spec.timing.latency_spread;
+    config.dropout_prob = spec.timing.dropout_prob;
     config.seed = spec.seed;
     return config;
 }
@@ -236,6 +249,13 @@ ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
     spec.timing.model_bytes = config.model_bytes;
     spec.timing.seconds_per_sample_core = config.seconds_per_sample_core;
     spec.timing.round_overhead_s = config.round_overhead_s;
+    spec.timing.round_mode = config.round_mode;
+    spec.timing.min_updates = config.min_updates;
+    spec.timing.round_deadline_s = config.round_deadline_s;
+    spec.timing.staleness_alpha = config.staleness_alpha;
+    spec.timing.max_staleness = config.max_staleness;
+    spec.timing.latency_spread = config.latency_spread;
+    spec.timing.dropout_prob = config.dropout_prob;
     return spec;
 }
 
@@ -373,6 +393,29 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
             fail("timing.round_overhead_s = " + num(timing.round_overhead_s)
                  + ": must be finite and >= 0");
     }
+    if (timing.round_mode != fl::RoundMode::sync
+        && spec.kind != ExperimentKind::testbed)
+        fail("timing.round_mode = " + fl::to_string(timing.round_mode)
+             + " on a simulation spec: async/semi-sync rounds need the wall-clock "
+               "model; use kind = testbed");
+    if (timing.min_updates > auc.winners)
+        fail("timing.min_updates = " + std::to_string(timing.min_updates)
+             + " but auction.winners = " + std::to_string(auc.winners)
+             + ": a round cannot wait for more updates than it dispatches");
+    if (bad(timing.round_deadline_s) || timing.round_deadline_s < 0.0)
+        fail("timing.round_deadline_s = " + num(timing.round_deadline_s)
+             + ": must be finite and >= 0");
+    if (bad(timing.staleness_alpha) || timing.staleness_alpha < 0.0)
+        fail("timing.staleness_alpha = " + num(timing.staleness_alpha)
+             + ": the polynomial decay exponent must be finite and >= 0");
+    if (bad(timing.latency_spread) || timing.latency_spread < 0.0)
+        fail("timing.latency_spread = " + num(timing.latency_spread)
+             + ": the lognormal straggler sigma must be finite and >= 0");
+    if (bad(timing.dropout_prob) || timing.dropout_prob < 0.0
+        || timing.dropout_prob >= 1.0)
+        fail("timing.dropout_prob = " + num(timing.dropout_prob)
+             + ": must be a probability in [0, 1) (1 would drop every client "
+               "forever)");
     return errors;
 }
 
@@ -590,6 +633,25 @@ const std::vector<Field>& fields() {
         FMORE_FIELD_DOUBLE("timing.seconds_per_sample_core",
                            timing.seconds_per_sample_core),
         FMORE_FIELD_DOUBLE("timing.round_overhead_s", timing.round_overhead_s),
+        Field{"timing.round_mode",
+              [](const ExperimentSpec& s) {
+                  return fl::to_string(s.timing.round_mode);
+              },
+              [](ExperimentSpec& s, const std::string& v) {
+                  try {
+                      s.timing.round_mode = fl::parse_round_mode(v);
+                  } catch (const std::invalid_argument&) {
+                      throw std::invalid_argument(
+                          "ExperimentSpec: timing.round_mode = '" + v
+                          + "': expected sync, semi_sync or async");
+                  }
+              }},
+        FMORE_FIELD_SIZE("timing.min_updates", timing.min_updates),
+        FMORE_FIELD_DOUBLE("timing.round_deadline_s", timing.round_deadline_s),
+        FMORE_FIELD_DOUBLE("timing.staleness_alpha", timing.staleness_alpha),
+        FMORE_FIELD_SIZE("timing.max_staleness", timing.max_staleness),
+        FMORE_FIELD_DOUBLE("timing.latency_spread", timing.latency_spread),
+        FMORE_FIELD_DOUBLE("timing.dropout_prob", timing.dropout_prob),
     };
     return all;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fmore/core/experiment.hpp"
+#include "fmore/fl/async_coordinator.hpp"
 #include "fmore/fl/policy.hpp"
 #include "fmore/fl/selection.hpp"
 #include "fmore/mec/auction_selector.hpp"
@@ -175,7 +176,6 @@ fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
     cc.batch_size = config_.batch_size;
     cc.learning_rate = config_.learning_rate;
     cc.eval_cap = config_.eval_cap;
-    fl::Coordinator coordinator(model, train_, test_, shards_, cc);
 
     fl::PolicyContext context;
     context.num_clients = config_.num_nodes;
@@ -200,16 +200,41 @@ fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
     const std::unique_ptr<fl::ClientSelector> selector = policy->make_selector(context);
 
     // The wall-clock model: auction-selected rounds ship only the purchased
-    // data volume; baseline rounds ship whole shards.
+    // data volume; baseline rounds ship whole shards. Straggler factors are
+    // drawn from a fixed trial stream so every policy faces the same slow
+    // nodes.
     mec::ClusterTimeConfig tc;
     tc.model_bytes = config_.model_bytes;
     tc.seconds_per_sample_core = config_.seconds_per_sample_core;
     tc.round_overhead_s = config_.round_overhead_s;
+    tc.latency_spread = config_.latency_spread;
+    tc.dropout_prob = config_.dropout_prob;
     const bool is_auction = selector->contracts_data_volume();
-    const mec::ClusterTimeModel time_model(*population_, tc, is_auction);
+    stats::Rng factor_rng(trial_seed_ ^ 0x57a991e2ULL);
+    const mec::ClusterTimeModel time_model(*population_, tc, is_auction, factor_rng);
 
     stats::Rng run_rng(trial_seed_ ^ 0xf00dULL);
-    fl::RunResult result = coordinator.run(*selector, run_rng, time_model.as_time_model());
+    fl::RunResult result;
+    if (config_.round_mode == fl::RoundMode::sync) {
+        fl::Coordinator coordinator(model, train_, test_, shards_, cc);
+        result = coordinator.run(*selector, run_rng, time_model.as_time_model());
+    } else {
+        fl::AsyncCoordinatorConfig ac;
+        ac.mode = config_.round_mode;
+        ac.min_updates = config_.min_updates;
+        // Deadlines are a semi_sync concept; the spec layer keeps the knob
+        // mode-agnostic (sweepable), the strict engine API does not.
+        ac.round_deadline_s =
+            config_.round_mode == fl::RoundMode::semi_sync ? config_.round_deadline_s
+                                                           : 0.0;
+        ac.staleness_alpha = config_.staleness_alpha;
+        ac.max_staleness = config_.max_staleness;
+        ac.round_overhead_s = config_.round_overhead_s;
+        ac.auction_overhead_s = is_auction ? tc.auction_overhead_s : 0.0;
+        fl::AsyncCoordinator async_coordinator(model, train_, test_, shards_, cc, ac);
+        result = async_coordinator.run_async(*selector, run_rng,
+                                             time_model.as_client_time_model());
+    }
     if (!result.rounds.empty()
         && !result.rounds.back().selection.all_scores.empty()) {
         last_all_scores_ = result.rounds.back().selection.all_scores;

@@ -97,6 +97,39 @@ ScenarioRegistry::ScenarioRegistry() : impl_(std::make_shared<Impl>()) {
             spec.training.rounds = 14;
             return spec;
         });
+    add_builtin("straggler/mild",
+        "Testbed with mildly heterogeneous client latency (lognormal sigma "
+        "0.4): semi-sync rounds aggregate at 6 of K=8 updates, late updates "
+        "merge with staleness weight 1/(1+s)^0.5",
+        [] {
+            ExperimentSpec spec = default_testbed_experiment();
+            spec.timing.round_mode = fl::RoundMode::semi_sync;
+            spec.timing.min_updates = 6;
+            spec.timing.latency_spread = 0.4;
+            return spec;
+        });
+    add_builtin("straggler/heavy",
+        "Testbed with heavy stragglers (lognormal sigma 1.2, 5% dropouts): "
+        "async rounds aggregate at 4 of K=8 updates — the regime where the "
+        "synchronous barrier pays the full straggler tail every round",
+        [] {
+            ExperimentSpec spec = default_testbed_experiment();
+            spec.timing.round_mode = fl::RoundMode::async;
+            spec.timing.min_updates = 4;
+            spec.timing.latency_spread = 1.2;
+            spec.timing.dropout_prob = 0.05;
+            return spec;
+        });
+    add_builtin("straggler/async_vs_sync",
+        "The bench/fig_straggler comparison base: the heavy-straggler world "
+        "with round_mode left sync — sweep timing.round_mode=sync,semi_sync,"
+        "async (min_updates=4 applies to the non-sync modes)",
+        [] {
+            ExperimentSpec spec = default_testbed_experiment();
+            spec.timing.min_updates = 4;
+            spec.timing.latency_spread = 1.2;
+            return spec;
+        });
     add_builtin("ablation/second_score",
         "Second-score payments on the simulator defaults (mechanism = "
         "second_score; winners are paid the best losing score)",

@@ -25,6 +25,67 @@ SweepAxis parse_sweep_axis(const std::string& text) {
     return axis;
 }
 
+std::vector<SweepPoint> zip_sweep(const ExperimentSpec& base,
+                                  const std::vector<SweepAxis>& axes) {
+    if (axes.empty()) throw std::invalid_argument("zip_sweep: no axes");
+    const std::size_t length = axes.front().values.size();
+    for (const SweepAxis& axis : axes) {
+        if (axis.values.empty())
+            throw std::invalid_argument("zip_sweep: axis '" + axis.key
+                                        + "' has no values");
+        if (axis.values.size() != length)
+            throw std::invalid_argument(
+                "zip_sweep: axis '" + axis.key + "' has "
+                + std::to_string(axis.values.size()) + " values but axis '"
+                + axes.front().key + "' has " + std::to_string(length)
+                + " — zipped axes co-vary and must be the same length");
+    }
+    std::vector<SweepPoint> points;
+    points.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        SweepPoint point{"", base};
+        for (const SweepAxis& axis : axes) {
+            apply_key_value(point.spec, axis.key, axis.values[i]);
+            if (!point.label.empty()) point.label += ", ";
+            point.label += axis.key + "=" + axis.values[i];
+        }
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+std::string policy_display_name(const std::string& policy) {
+    if (policy == "fmore") return "FMore";
+    if (policy == "psi_fmore") return "psi-FMore";
+    if (policy == "randfl") return "RandFL";
+    if (policy == "fixfl") return "FixFL";
+    return policy;
+}
+
+std::vector<SweepSummary> summarize_points(const std::vector<SweepPoint>& points,
+                                           const std::vector<std::string>& policies,
+                                           std::size_t trials,
+                                           const TrialRunnerOptions& options) {
+    if (policies.empty())
+        throw std::invalid_argument("summarize_points: no policies");
+    std::vector<SweepSummary> summaries;
+    summaries.reserve(points.size());
+    for (const SweepPoint& point : points) {
+        SweepSummary summary;
+        summary.label = point.label;
+        summary.spec = point.spec;
+        for (const std::string& policy : policies) {
+            std::vector<fl::RunResult> runs =
+                run_experiment_trials(point.spec, policy, trials, options);
+            summary.series.push_back(
+                NamedSeries{policy_display_name(policy), average_runs(runs)});
+            summary.runs.push_back(std::move(runs));
+        }
+        summaries.push_back(std::move(summary));
+    }
+    return summaries;
+}
+
 std::vector<SweepPoint> expand_sweep(const ExperimentSpec& base,
                                      const std::vector<SweepAxis>& axes) {
     std::vector<SweepPoint> points{SweepPoint{"", base}};

@@ -1,0 +1,99 @@
+#pragma once
+
+/// @file async_coordinator.hpp
+/// Asynchronous / semi-synchronous federated rounds with staleness-weighted
+/// FedAvg. The synchronous coordinator closes every round on its slowest
+/// winner; under heterogeneous client latency (the straggler scenarios the
+/// paper's testbed figures hint at) that barrier dominates wall-clock time.
+/// The AsyncCoordinator simulates heterogeneous completion times over a
+/// virtual clock and aggregates early, merging late updates with
+/// polynomially decayed weights — see docs/ARCHITECTURE.md, "The async
+/// round model".
+
+#include "fmore/fl/client_time.hpp"
+#include "fmore/fl/coordinator.hpp"
+#include "fmore/fl/round_mode.hpp"
+
+namespace fmore::fl {
+
+/// Knobs of the async/semi-sync aggregation rule.
+struct AsyncCoordinatorConfig {
+    RoundMode mode = RoundMode::semi_sync;
+    /// Aggregate once this many of the *current round's* dispatches have
+    /// arrived; 0 = every one of them (which, with no latency spread or
+    /// dropouts, reproduces the synchronous barrier bit-identically).
+    /// Carried-over late updates merge opportunistically at the trigger but
+    /// never hasten it — they land near t=0 and counting them would
+    /// collapse every round to the overhead floor.
+    std::size_t min_updates = 0;
+    /// semi_sync only: aggregate at this offset from round start even when
+    /// fewer than `min_updates` arrived (extended to the first arrival when
+    /// nothing is in yet); 0 = no deadline.
+    double round_deadline_s = 0.0;
+    /// Polynomial staleness decay: an update dispatched `s` global versions
+    /// ago merges with FedAvg weight D_i / (1+s)^alpha. alpha = 0 treats
+    /// stale updates at full weight; larger alpha forgets them faster.
+    double staleness_alpha = 0.5;
+    /// Discard updates (and expire in-flight dispatches) staler than this
+    /// many global versions; 0 = never discard.
+    std::size_t max_staleness = 4;
+    /// Per-round scheduling + aggregation cost (mec::ClusterTimeConfig).
+    double round_overhead_s = 0.0;
+    /// Extra per-round cost of the auction itself (0 for baselines).
+    double auction_overhead_s = 0.0;
+};
+
+/// Event-driven coordinator: per round the selector proposes K winners as
+/// usual, each dispatch gets a simulated completion time from the
+/// ClientTimeModel, and the server aggregates at the `min_updates`-th
+/// arrival (or the semi-sync deadline). Clients still running carry over;
+/// their updates merge in a later round with weight D_i / (1+s)^alpha
+/// (s = global versions elapsed). Clients the server has not heard from at
+/// aggregation time anchor the current global with their full data weight,
+/// so a round that merges few updates takes a correspondingly small step.
+///
+/// Determinism contract (same as the sync coordinator): all RNG use — the
+/// selector, contracted-volume subsampling, per-client training seeds,
+/// dropout draws — happens in a serial pre-pass in selection order;
+/// training runs on slot-addressed updates and aggregation walks dispatch
+/// order, so every round metric is bit-identical for any
+/// `FMORE_ROUND_THREADS` value. With `min_updates = 0` (or = K), a timing
+/// model with zero latency spread and no dropouts, the run reproduces
+/// `Coordinator::run`'s metrics bit-identically, round_seconds included —
+/// assuming every selected client holds data, which the experiment engines
+/// guarantee (both coordinators skip empty-shard clients when training,
+/// but the synchronous ClusterTimeModel would still bill such a phantom's
+/// transfer time while this engine never dispatches it).
+class AsyncCoordinator : public Coordinator {
+public:
+    /// @throws std::invalid_argument for mode == sync (use Coordinator),
+    ///         min_updates > K, or non-finite/negative timing knobs
+    AsyncCoordinator(ml::Model& model, const ml::Dataset& train,
+                     const ml::Dataset& test, std::vector<ml::ClientShard> shards,
+                     CoordinatorConfig config, AsyncCoordinatorConfig async_config);
+
+    /// Run `config().rounds` aggregation rounds; `time_model` must be
+    /// non-null (async rounds are meaningless without a clock).
+    [[nodiscard]] RunResult run_async(ClientSelector& selector, stats::Rng& rng,
+                                      const ClientTimeModel& time_model);
+
+    [[nodiscard]] const AsyncCoordinatorConfig& async_config() const { return async_; }
+
+private:
+    /// One dispatched client training, from dispatch until its update is
+    /// merged (or expires). `arrival` is seconds after the *current* round's
+    /// start; entries carried across rounds are rebased each aggregation.
+    struct InFlight {
+        std::uint64_t seq = 0;       ///< global dispatch order (aggregation order)
+        std::size_t base_round = 0;  ///< round whose global it trained on
+        double weight = 0.0;         ///< D_i — samples actually trained
+        double arrival = 0.0;
+        bool dropped = false;
+        std::vector<float> params;
+        ml::TrainStats stats;
+    };
+
+    AsyncCoordinatorConfig async_;
+};
+
+} // namespace fmore::fl

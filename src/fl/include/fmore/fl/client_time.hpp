@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file client_time.hpp
+/// Per-client dispatch timing for async/semi-sync rounds. Split out of
+/// async_coordinator.hpp (like round_mode.hpp) so timing providers —
+/// mec::ClusterTimeModel in particular — can name the adapter types
+/// without pulling in the coordinator/model/dataset header stack.
+
+#include <cstddef>
+#include <functional>
+
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::fl {
+
+/// Simulated timing of one dispatched client: seconds from dispatch until
+/// its update arrives at the server, or `dropped` when it never reports
+/// (device failure / churn).
+struct DispatchTiming {
+    double seconds = 0.0;
+    bool dropped = false;
+};
+
+/// Per-dispatch wall-clock model for async rounds: given the client, the
+/// samples it will train on and the round RNG (consumed only by stochastic
+/// models, e.g. dropout draws — deterministic models must not touch it),
+/// return when its update lands. Provided by
+/// `mec::ClusterTimeModel::as_client_time_model`.
+using ClientTimeModel = std::function<DispatchTiming(
+    std::size_t client, std::size_t samples, stats::Rng& rng)>;
+
+} // namespace fmore::fl

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "fmore/fl/metrics.hpp"
 #include "fmore/fl/selection.hpp"
 #include "fmore/ml/model.hpp"
 #include "fmore/ml/partition.hpp"
+#include "fmore/util/thread_pool.hpp"
 
 namespace fmore::fl {
 
@@ -61,7 +63,7 @@ public:
     [[nodiscard]] const std::vector<ml::ClientShard>& shards() const { return shards_; }
     [[nodiscard]] const CoordinatorConfig& config() const { return config_; }
 
-private:
+protected:
     /// One client's unit of work for a round, fixed in the serial pre-pass.
     struct ClientTask {
         std::size_t slot = 0;            ///< selection-order slot
@@ -75,10 +77,27 @@ private:
         ml::TrainStats stats;
     };
 
+    /// The serial pre-pass shared by the sync and async coordinators:
+    /// resolve each selected client to a task in selection order, consuming
+    /// the round RNG (contracted-volume subsampling, per-client training
+    /// seeds) in that fixed order so the stream is independent of
+    /// scheduling and of the coordinator mode.
+    /// @throws std::runtime_error on unknown clients / all-empty shards
+    [[nodiscard]] std::vector<ClientTask>
+    build_tasks(const std::vector<SelectedClient>& picked, stats::Rng& rng) const;
+
+    /// Size this round's workers against the process-wide ThreadBudget,
+    /// honouring config/FMORE_ROUND_THREADS overrides; `cap` is the widest
+    /// parallel section. Populates `lease` when workers were claimed.
+    [[nodiscard]] std::size_t
+    acquire_workers(std::size_t cap, std::optional<util::ThreadLease>& lease) const;
+
     void train_clients(const std::vector<float>& global, std::vector<ClientTask>& tasks,
                        std::vector<ClientUpdate>& updates, std::size_t workers);
     [[nodiscard]] ml::EvalStats evaluate_global(std::size_t workers,
                                                 const std::vector<float>& global);
+
+    [[nodiscard]] std::size_t eval_batch_count() const;
 
     ml::Model& model_;
     const ml::Dataset& train_;

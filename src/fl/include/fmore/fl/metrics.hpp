@@ -16,6 +16,13 @@ struct RoundMetrics {
     double mean_winner_payment = 0.0;
     double mean_winner_score = 0.0;
     double round_seconds = 0.0; ///< filled by the MEC time model when present
+    /// Client updates merged into this round's global (== the winner count
+    /// for sync rounds; can be fewer or include carried-over late updates
+    /// for semi_sync/async rounds).
+    std::size_t aggregated_updates = 0;
+    /// Mean staleness (global versions elapsed since dispatch) of the
+    /// merged updates; 0 for sync rounds and fresh-only aggregations.
+    double mean_staleness = 0.0;
     SelectionRecord selection;
 };
 

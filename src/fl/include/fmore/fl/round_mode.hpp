@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file round_mode.hpp
+/// How the coordinator closes a federated round. Split out of
+/// coordinator.hpp so the experiment layer (core::TimingSpec) can name the
+/// mode without pulling in the model/dataset headers.
+
+#include <cstdint>
+#include <string>
+
+namespace fmore::fl {
+
+/// Aggregation discipline of one federated round.
+///
+///  - `sync` — the paper's Algorithm 1: the round is a barrier; the server
+///    waits for every winner, so the round lasts as long as its slowest
+///    client (`mec::ClusterTimeModel::round_seconds`).
+///  - `semi_sync` — the server aggregates once `min_updates` updates have
+///    arrived or the round deadline fires, whichever is first; clients
+///    still running carry over and merge later with staleness weighting.
+///  - `async` — purely count-triggered: aggregate as soon as `min_updates`
+///    updates are in, no deadline.
+enum class RoundMode : std::uint8_t {
+    sync,
+    semi_sync,
+    async,
+};
+
+[[nodiscard]] std::string to_string(RoundMode mode);
+
+/// Inverse of `to_string`.
+/// @throws std::invalid_argument for anything but "sync", "semi_sync",
+///         "async"
+[[nodiscard]] RoundMode parse_round_mode(const std::string& text);
+
+} // namespace fmore::fl

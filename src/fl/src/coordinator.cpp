@@ -1,11 +1,9 @@
 #include "fmore/fl/coordinator.hpp"
 
 #include <algorithm>
-#include <optional>
 #include <stdexcept>
 
 #include "fmore/fl/fedavg.hpp"
-#include "fmore/util/thread_pool.hpp"
 
 namespace fmore::fl {
 
@@ -26,6 +24,64 @@ Coordinator::Coordinator(ml::Model& model, const ml::Dataset& train,
     if (config_.eval_cap > 0 && config_.eval_cap < eval_indices_.size()) {
         eval_indices_.resize(config_.eval_cap);
     }
+}
+
+std::vector<Coordinator::ClientTask>
+Coordinator::build_tasks(const std::vector<SelectedClient>& picked,
+                         stats::Rng& rng) const {
+    std::vector<ClientTask> tasks;
+    tasks.reserve(picked.size());
+    for (const SelectedClient& sel : picked) {
+        if (sel.client >= shards_.size())
+            throw std::out_of_range("Coordinator: selector picked unknown client");
+        const ml::ClientShard& shard = shards_[sel.client];
+        if (shard.indices.empty()) continue;
+
+        ClientTask task;
+        task.slot = tasks.size();
+        task.selected = &sel;
+        // Honour the contracted data volume: FMore winners train on the
+        // bid data size; baselines train on the full shard.
+        task.local = shard.indices;
+        if (sel.train_samples.has_value() && *sel.train_samples < task.local.size()) {
+            rng.shuffle(task.local);
+            task.local.resize(std::max<std::size_t>(1, *sel.train_samples));
+        }
+        task.seed = rng.engine()();
+        tasks.push_back(std::move(task));
+    }
+    if (tasks.empty())
+        throw std::runtime_error("Coordinator: every selected client had an empty shard");
+    return tasks;
+}
+
+std::size_t Coordinator::eval_batch_count() const {
+    return (eval_indices_.size() + ml::kEvalBatch - 1) / ml::kEvalBatch;
+}
+
+std::size_t Coordinator::acquire_workers(std::size_t cap,
+                                         std::optional<util::ThreadLease>& lease) const {
+    // Explicit overrides (config/FMORE_ROUND_THREADS) are honoured even
+    // when they overdraw the budget, but still recorded so sibling levels
+    // see them; the auto path *claims* its workers atomically — concurrent
+    // coordinators split what is free instead of each reading the same
+    // remainder — and the calling thread takes a slot of its own unless a
+    // trial-level lease already counted it.
+    const std::size_t explicit_req = util::explicit_round_threads(config_.round_threads);
+    std::size_t workers = 1;
+    if (cap > 1) {
+        if (explicit_req > 0) {
+            workers = std::min(explicit_req, cap);
+            lease.emplace(workers - 1, /*exact=*/true);
+        } else if (util::ThreadBudget::current_thread_counted()) {
+            lease.emplace(cap - 1); // helpers only; the caller is paid for
+            workers = 1 + lease->granted();
+        } else {
+            lease.emplace(cap); // the caller claims its own slot too
+            workers = std::max<std::size_t>(1, lease->granted());
+        }
+    }
+    return workers;
 }
 
 void Coordinator::train_clients(const std::vector<float>& global,
@@ -108,65 +164,24 @@ RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
         // shared round RNG (contracted-volume subsampling, the per-client
         // training seeds) happens here, so the stream is independent of
         // scheduling.
-        std::vector<ClientTask> tasks;
-        tasks.reserve(picked.size());
-        for (const SelectedClient& sel : picked) {
-            if (sel.client >= shards_.size())
-                throw std::out_of_range("Coordinator: selector picked unknown client");
-            const ml::ClientShard& shard = shards_[sel.client];
-            if (shard.indices.empty()) continue;
-
-            ClientTask task;
-            task.slot = tasks.size();
-            task.selected = &sel;
-            // Honour the contracted data volume: FMore winners train on the
-            // bid data size; baselines train on the full shard.
-            task.local = shard.indices;
-            if (sel.train_samples.has_value() && *sel.train_samples < task.local.size()) {
-                rng.shuffle(task.local);
-                task.local.resize(std::max<std::size_t>(1, *sel.train_samples));
-            }
-            task.seed = rng.engine()();
-            tasks.push_back(std::move(task));
-        }
-        if (tasks.empty())
-            throw std::runtime_error("Coordinator: every selected client had an empty shard");
+        std::vector<ClientTask> tasks = build_tasks(picked, rng);
 
         // Size the round's workers, capped at the widest parallel section
-        // (client trainings or eval batches). Explicit overrides
-        // (config/FMORE_ROUND_THREADS) are honoured even when they overdraw
-        // the budget, but still recorded so sibling levels see them; the
-        // auto path *claims* its workers atomically — concurrent
-        // coordinators split what is free instead of each reading the same
-        // remainder — and the calling thread takes a slot of its own unless
-        // a trial-level lease already counted it.
-        const std::size_t eval_batches =
-            (eval_indices_.size() + ml::kEvalBatch - 1) / ml::kEvalBatch;
-        const std::size_t cap = std::max(tasks.size(), eval_batches);
-        const std::size_t explicit_req =
-            util::explicit_round_threads(config_.round_threads);
-        std::size_t workers = 1;
+        // (client trainings or eval batches).
+        const std::size_t cap = std::max(tasks.size(), eval_batch_count());
         std::optional<util::ThreadLease> lease;
-        if (cap > 1) {
-            if (explicit_req > 0) {
-                workers = std::min(explicit_req, cap);
-                lease.emplace(workers - 1, /*exact=*/true);
-            } else if (util::ThreadBudget::current_thread_counted()) {
-                lease.emplace(cap - 1); // helpers only; the caller is paid for
-                workers = 1 + lease->granted();
-            } else {
-                lease.emplace(cap); // the caller claims its own slot too
-                workers = std::max<std::size_t>(1, lease->granted());
-            }
-        }
+        const std::size_t workers = acquire_workers(cap, lease);
 
         std::vector<ClientUpdate> updates(tasks.size());
         train_clients(global, tasks, updates, std::min(workers, tasks.size()));
 
         // Fixed-order aggregation over the selection-order slots.
+        // `client_samples` stays parallel to `picked` — a selected client
+        // whose shard was empty trained nothing, and the RoundTimeModel
+        // zips samples with `selection.selected` positionally.
         std::vector<std::vector<float>> client_params;
         std::vector<double> client_weights;
-        std::vector<std::size_t> client_samples;
+        std::vector<std::size_t> client_samples(picked.size(), 0);
         client_params.reserve(tasks.size());
         client_weights.reserve(tasks.size());
         double train_loss_sum = 0.0;
@@ -176,7 +191,8 @@ RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
             const auto weight = static_cast<double>(task.local.size());
             client_params.push_back(std::move(update.params));
             client_weights.push_back(weight);
-            client_samples.push_back(task.local.size());
+            client_samples[static_cast<std::size_t>(task.selected - picked.data())] =
+                task.local.size();
             train_loss_sum += update.stats.mean_loss * weight;
             train_loss_weight += weight;
             metrics.mean_winner_payment += task.selected->payment;
@@ -187,6 +203,7 @@ RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
         model_.set_parameters(global);
 
         const ml::EvalStats eval = evaluate_global(workers, global);
+        metrics.aggregated_updates = tasks.size();
         metrics.test_accuracy = eval.accuracy;
         metrics.test_loss = eval.mean_loss;
         metrics.train_loss =

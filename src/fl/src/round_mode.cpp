@@ -1,0 +1,24 @@
+#include "fmore/fl/round_mode.hpp"
+
+#include <stdexcept>
+
+namespace fmore::fl {
+
+std::string to_string(RoundMode mode) {
+    switch (mode) {
+        case RoundMode::sync: return "sync";
+        case RoundMode::semi_sync: return "semi_sync";
+        case RoundMode::async: return "async";
+    }
+    return "?";
+}
+
+RoundMode parse_round_mode(const std::string& text) {
+    if (text == "sync") return RoundMode::sync;
+    if (text == "semi_sync") return RoundMode::semi_sync;
+    if (text == "async") return RoundMode::async;
+    throw std::invalid_argument("round mode '" + text
+                                + "': expected sync, semi_sync or async");
+}
+
+} // namespace fmore::fl

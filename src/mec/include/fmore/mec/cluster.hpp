@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "fmore/fl/client_time.hpp"
 #include "fmore/fl/coordinator.hpp"
 #include "fmore/mec/population.hpp"
 
@@ -10,9 +11,10 @@ namespace fmore::mec {
 /// Wall-clock model of the paper's 32-machine testbed (Section V.A: i7
 /// CPUs, 1 Gbps Ethernet behind one switch). A synchronous round lasts as
 /// long as its slowest winner:
-///     t_round = max_i [ download_i + compute_i + upload_i ] + overhead
+///     t_round = max_i [ latency_i * (download_i + compute_i + upload_i) ] + overhead
 /// with download/upload = model_bytes / bandwidth and
-/// compute = samples * seconds_per_sample_per_core / cores.
+/// compute = samples * seconds_per_sample_per_core / cores. `latency_i` is
+/// the node's straggler factor (1 unless `latency_spread` > 0).
 struct ClusterTimeConfig {
     double model_bytes = 4.0e6;            ///< ~1M float32 parameters
     double seconds_per_sample_core = 0.004; ///< local SGD cost on one core
@@ -20,22 +22,51 @@ struct ClusterTimeConfig {
     /// Extra per-round cost of the auction itself (bid ask + collection);
     /// the paper argues this is negligible — keep it honest but small.
     double auction_overhead_s = 0.05;
+    /// Straggler model: sigma of a per-node lognormal latency factor
+    /// exp(sigma * N(0,1)), drawn once per trial. 0 = homogeneous latency
+    /// (every factor exactly 1, no RNG consumed) — the pre-straggler model.
+    double latency_spread = 0.0;
+    /// Probability a dispatched client never reports its update (device
+    /// failure / churn). Only async/semi-sync dispatches draw it — the
+    /// synchronous barrier has no failure handling and assumes every winner
+    /// reports, which is precisely why stragglers hurt it.
+    double dropout_prob = 0.0;
 };
 
 class ClusterTimeModel {
 public:
     /// `population` supplies each node's bandwidth/cpu at call time; must
-    /// outlive the model.
+    /// outlive the model. Per-node straggler factors are all 1.
     ClusterTimeModel(const MecPopulation& population, ClusterTimeConfig config,
                      bool auction_round);
 
-    /// Round duration given who was selected and how many samples each
-    /// winner trained on (parallel arrays).
+    /// As above, additionally drawing each node's straggler factor from
+    /// `factor_rng` (one lognormal draw per node, population order) when
+    /// `config.latency_spread > 0`; with spread 0 nothing is drawn and the
+    /// factors stay exactly 1.
+    ClusterTimeModel(const MecPopulation& population, ClusterTimeConfig config,
+                     bool auction_round, stats::Rng& factor_rng);
+
+    /// Synchronous-round duration given who was selected and how many
+    /// samples each winner trained on (parallel arrays).
     [[nodiscard]] double round_seconds(const fl::SelectionRecord& selection,
                                        const std::vector<std::size_t>& samples) const;
 
-    /// Adapter for fl::Coordinator.
+    /// One client's dispatch-to-arrival seconds (download + compute +
+    /// upload, scaled by its straggler factor; no round overhead) — the
+    /// async rounds' clock.
+    [[nodiscard]] double client_seconds(std::size_t client, std::size_t samples) const;
+
+    /// Node `i`'s straggler factor (exactly 1.0 when latency_spread == 0).
+    [[nodiscard]] double latency_factor(std::size_t i) const;
+
+    /// Adapter for fl::Coordinator (synchronous rounds).
     [[nodiscard]] fl::RoundTimeModel as_time_model() const;
+
+    /// Adapter for fl::AsyncCoordinator: per-dispatch timing whose dropout
+    /// draw consumes the round RNG only when `dropout_prob > 0`, so a
+    /// dropout-free async run replays the sync run's RNG stream exactly.
+    [[nodiscard]] fl::ClientTimeModel as_client_time_model() const;
 
     [[nodiscard]] const ClusterTimeConfig& config() const { return config_; }
 
@@ -43,6 +74,8 @@ private:
     const MecPopulation& population_;
     ClusterTimeConfig config_;
     bool auction_round_;
+    /// Per-node lognormal straggler factors; empty = all 1 (spread 0).
+    std::vector<double> latency_factors_;
 };
 
 } // namespace fmore::mec

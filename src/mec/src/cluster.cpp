@@ -1,6 +1,7 @@
 #include "fmore/mec/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace fmore::mec {
@@ -10,6 +11,45 @@ ClusterTimeModel::ClusterTimeModel(const MecPopulation& population,
     : population_(population), config_(config), auction_round_(auction_round) {
     if (!(config_.model_bytes > 0.0))
         throw std::invalid_argument("ClusterTimeModel: model_bytes must be > 0");
+    if (!std::isfinite(config_.latency_spread) || config_.latency_spread < 0.0)
+        throw std::invalid_argument(
+            "ClusterTimeModel: latency_spread must be finite and >= 0");
+    if (std::isnan(config_.dropout_prob) || config_.dropout_prob < 0.0
+        || config_.dropout_prob >= 1.0)
+        throw std::invalid_argument(
+            "ClusterTimeModel: dropout_prob must be in [0, 1)");
+}
+
+ClusterTimeModel::ClusterTimeModel(const MecPopulation& population,
+                                   ClusterTimeConfig config, bool auction_round,
+                                   stats::Rng& factor_rng)
+    : ClusterTimeModel(population, config, auction_round) {
+    // One lognormal draw per node, population order — per-trial straggler
+    // identities are then a pure function of the factor seed, independent
+    // of which rounds or policies later query the model.
+    if (config_.latency_spread > 0.0) {
+        latency_factors_.reserve(population_.size());
+        for (std::size_t i = 0; i < population_.size(); ++i) {
+            latency_factors_.push_back(
+                std::exp(config_.latency_spread * factor_rng.normal(0.0, 1.0)));
+        }
+    }
+}
+
+double ClusterTimeModel::latency_factor(std::size_t i) const {
+    return latency_factors_.empty() ? 1.0 : latency_factors_.at(i);
+}
+
+double ClusterTimeModel::client_seconds(std::size_t client,
+                                        std::size_t samples) const {
+    const EdgeNode& node = population_.node(client);
+    const double bw_bytes_s =
+        std::max(1.0, node.resources().bandwidth_mbps) * 1.0e6 / 8.0;
+    const double transfer = 2.0 * config_.model_bytes / bw_bytes_s; // down + up
+    const double cores = std::max(0.25, node.resources().cpu_cores);
+    const double compute =
+        static_cast<double>(samples) * config_.seconds_per_sample_core / cores;
+    return latency_factor(client) * (transfer + compute);
 }
 
 double ClusterTimeModel::round_seconds(const fl::SelectionRecord& selection,
@@ -17,15 +57,8 @@ double ClusterTimeModel::round_seconds(const fl::SelectionRecord& selection,
     double slowest = 0.0;
     std::size_t si = 0;
     for (const fl::SelectedClient& sel : selection.selected) {
-        const EdgeNode& node = population_.node(sel.client);
-        const double bw_bytes_s =
-            std::max(1.0, node.resources().bandwidth_mbps) * 1.0e6 / 8.0;
-        const double transfer = 2.0 * config_.model_bytes / bw_bytes_s; // down + up
-        const double trained =
-            si < samples.size() ? static_cast<double>(samples[si]) : 0.0;
-        const double cores = std::max(0.25, node.resources().cpu_cores);
-        const double compute = trained * config_.seconds_per_sample_core / cores;
-        slowest = std::max(slowest, transfer + compute);
+        const std::size_t trained = si < samples.size() ? samples[si] : 0;
+        slowest = std::max(slowest, client_seconds(sel.client, trained));
         ++si;
     }
     double total = slowest + config_.round_overhead_s;
@@ -37,6 +70,18 @@ fl::RoundTimeModel ClusterTimeModel::as_time_model() const {
     return [this](const fl::SelectionRecord& selection,
                   const std::vector<std::size_t>& samples) {
         return round_seconds(selection, samples);
+    };
+}
+
+fl::ClientTimeModel ClusterTimeModel::as_client_time_model() const {
+    return [this](std::size_t client, std::size_t samples, stats::Rng& rng) {
+        fl::DispatchTiming timing;
+        timing.seconds = client_seconds(client, samples);
+        // Guarded so a dropout-free configuration consumes no RNG — the
+        // async determinism/equivalence contracts depend on it.
+        timing.dropped =
+            config_.dropout_prob > 0.0 && rng.bernoulli(config_.dropout_prob);
+        return timing;
     };
 }
 

@@ -1,0 +1,334 @@
+// Property/metamorphic suite for the Mechanism seam: invariants every
+// registered auction::Mechanism must satisfy on randomized bidder
+// populations with fixed seeds. Unlike the example-based mechanism_test,
+// nothing here knows which mechanism it is exercising — the properties are
+// the contract.
+//
+//  - the winner set is invariant under bidder permutation;
+//  - the winner set relabels along with NodeId relabeling;
+//  - second_score never pays a winner less than its ask (the individual-
+//    rationality floor);
+//  - winning is monotone in score: improving a winner's bid keeps it
+//    winning (deterministic spec: psi = 1, no budget);
+//  - K = N and K = 1 edge cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fmore/auction/mechanism.hpp"
+#include "fmore/auction/scoring.hpp"
+
+namespace fmore::auction {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {11, 29, 47, 101, 223};
+
+/// Randomized sealed-bid population: continuous quality/payment draws, so
+/// score ties (whose coin flips legitimately break permutation invariance)
+/// have probability zero.
+std::vector<Bid> random_bids(std::size_t n, stats::Rng& rng) {
+    std::vector<Bid> bids;
+    bids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Bid bid;
+        bid.node = i;
+        bid.quality = {rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)};
+        bid.payment = rng.uniform(0.05, 0.6);
+        bids.push_back(std::move(bid));
+    }
+    return bids;
+}
+
+std::set<NodeId> winner_set(const AuctionOutcome& outcome) {
+    std::set<NodeId> ids;
+    for (const Winner& w : outcome.winners) ids.insert(w.node);
+    return ids;
+}
+
+/// Every name currently in the registry. Includes mechanisms other suites
+/// registered before us (e.g. the reserve-price example) — the properties
+/// are universal, so they must hold for those too.
+std::vector<std::string> registered() {
+    return MechanismRegistry::instance().names();
+}
+
+const std::vector<std::string>& builtins() {
+    static const std::vector<std::string> names{"first_score", "second_score",
+                                                "psi_fmore", "budget_feasible"};
+    return names;
+}
+
+MechanismSpec deterministic_spec(std::size_t k) {
+    MechanismSpec spec;
+    spec.num_winners = k;
+    spec.psi = 1.0;   // psi-FMore degenerates to plain top-K
+    spec.budget = 0.0; // budget_feasible degenerates to unconstrained
+    return spec;
+}
+
+class MechanismProperties : public ::testing::Test {
+protected:
+    MechanismProperties() : scoring_({0.7, 0.3}) {}
+    AdditiveScoring scoring_;
+};
+
+// ---------------------------------------------------------------------------
+// Permutation invariance
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismProperties, WinnerSetInvariantUnderBidderPermutation) {
+    for (const std::string& name : registered()) {
+        const auto mechanism =
+            MechanismRegistry::instance().create(name, deterministic_spec(5));
+        for (const std::uint64_t seed : kSeeds) {
+            SCOPED_TRACE(name + ", seed " + std::to_string(seed));
+            stats::Rng pop_rng(seed);
+            const std::vector<Bid> bids = random_bids(24, pop_rng);
+
+            stats::Rng run_rng(seed ^ 0xabcULL);
+            const auto base = winner_set(mechanism->run(scoring_, bids, run_rng));
+
+            std::vector<Bid> shuffled = bids;
+            std::vector<std::size_t> order(bids.size());
+            for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+            stats::Rng shuffle_rng(seed ^ 0x777ULL);
+            shuffle_rng.shuffle(order);
+            for (std::size_t i = 0; i < order.size(); ++i)
+                shuffled[i] = bids[order[i]];
+
+            stats::Rng run_rng2(seed ^ 0xabcULL);
+            const auto permuted = winner_set(mechanism->run(scoring_, shuffled, run_rng2));
+            EXPECT_EQ(base, permuted);
+        }
+    }
+}
+
+TEST_F(MechanismProperties, WinnerSetMapsUnderNodeIdRelabeling) {
+    for (const std::string& name : registered()) {
+        const auto mechanism =
+            MechanismRegistry::instance().create(name, deterministic_spec(4));
+        for (const std::uint64_t seed : kSeeds) {
+            SCOPED_TRACE(name + ", seed " + std::to_string(seed));
+            stats::Rng pop_rng(seed);
+            const std::vector<Bid> bids = random_bids(20, pop_rng);
+
+            // A bijective relabeling i -> 1000 - i of the same bids.
+            std::vector<Bid> relabeled = bids;
+            for (Bid& bid : relabeled) bid.node = 1000 - bid.node;
+
+            stats::Rng run_a(seed ^ 0x1ULL);
+            stats::Rng run_b(seed ^ 0x1ULL);
+            const auto base = winner_set(mechanism->run(scoring_, bids, run_a));
+            const auto mapped = winner_set(mechanism->run(scoring_, relabeled, run_b));
+            std::set<NodeId> expected;
+            for (const NodeId id : base) expected.insert(1000 - id);
+            EXPECT_EQ(expected, mapped);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payments
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismProperties, SecondScoreNeverPaysBelowTheAsk) {
+    MechanismSpec spec = deterministic_spec(6);
+    spec.payment_rule = PaymentRule::second_price;
+    const auto mechanism = MechanismRegistry::instance().create("second_score", spec);
+    for (const std::uint64_t seed : kSeeds) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        stats::Rng pop_rng(seed);
+        const std::vector<Bid> bids = random_bids(30, pop_rng);
+        stats::Rng run_rng(seed);
+        const AuctionOutcome outcome = mechanism->run(scoring_, bids, run_rng);
+        ASSERT_EQ(outcome.winners.size(), 6u);
+        for (const Winner& w : outcome.winners) {
+            const auto bid = std::find_if(bids.begin(), bids.end(), [&](const Bid& b) {
+                return b.node == w.node;
+            });
+            ASSERT_NE(bid, bids.end());
+            EXPECT_GE(w.payment, bid->payment)
+                << "individual rationality violated for node " << w.node;
+        }
+    }
+}
+
+TEST_F(MechanismProperties, FirstScorePaysExactlyTheAsk) {
+    const auto mechanism =
+        MechanismRegistry::instance().create("first_score", deterministic_spec(5));
+    for (const std::uint64_t seed : kSeeds) {
+        stats::Rng pop_rng(seed);
+        const std::vector<Bid> bids = random_bids(25, pop_rng);
+        stats::Rng run_rng(seed);
+        for (const Winner& w : mechanism->run(scoring_, bids, run_rng).winners) {
+            const auto bid = std::find_if(bids.begin(), bids.end(), [&](const Bid& b) {
+                return b.node == w.node;
+            });
+            ASSERT_NE(bid, bids.end());
+            EXPECT_EQ(w.payment, bid->payment);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity of winning in score
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismProperties, ImprovingAWinningBidKeepsItWinning) {
+    // Deterministic spec (psi = 1, no budget): raising a winner's score —
+    // here by asking for less — can only move it up the ranking.
+    for (const std::string& name : builtins()) {
+        const auto mechanism =
+            MechanismRegistry::instance().create(name, deterministic_spec(5));
+        for (const std::uint64_t seed : kSeeds) {
+            SCOPED_TRACE(name + ", seed " + std::to_string(seed));
+            stats::Rng pop_rng(seed);
+            std::vector<Bid> bids = random_bids(22, pop_rng);
+            stats::Rng run_rng(seed);
+            const auto before = winner_set(mechanism->run(scoring_, bids, run_rng));
+            ASSERT_FALSE(before.empty());
+            const NodeId improved = *before.begin();
+            for (Bid& bid : bids) {
+                if (bid.node == improved) bid.payment *= 0.5; // strictly better score
+            }
+            stats::Rng run_rng2(seed);
+            const auto after = winner_set(mechanism->run(scoring_, bids, run_rng2));
+            EXPECT_TRUE(after.count(improved) == 1)
+                << "node " << improved << " improved its bid and lost";
+        }
+    }
+}
+
+TEST_F(MechanismProperties, WorseningALosingBidNeverMakesItWin) {
+    for (const std::string& name : builtins()) {
+        const auto mechanism =
+            MechanismRegistry::instance().create(name, deterministic_spec(5));
+        for (const std::uint64_t seed : kSeeds) {
+            SCOPED_TRACE(name + ", seed " + std::to_string(seed));
+            stats::Rng pop_rng(seed);
+            std::vector<Bid> bids = random_bids(22, pop_rng);
+            stats::Rng run_rng(seed);
+            const auto before = winner_set(mechanism->run(scoring_, bids, run_rng));
+            // Find a loser and make its bid strictly worse.
+            NodeId loser = 0;
+            bool found = false;
+            for (const Bid& bid : bids) {
+                if (before.count(bid.node) == 0) {
+                    loser = bid.node;
+                    found = true;
+                    break;
+                }
+            }
+            ASSERT_TRUE(found);
+            for (Bid& bid : bids) {
+                if (bid.node == loser) bid.payment += 1.0;
+            }
+            stats::Rng run_rng2(seed);
+            const auto after = winner_set(mechanism->run(scoring_, bids, run_rng2));
+            EXPECT_EQ(after.count(loser), 0u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// K = N and K = 1 edge cases
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismProperties, KEqualsNSelectsEveryBidderForBuiltins) {
+    constexpr std::size_t n = 9;
+    for (const std::string& name : builtins()) {
+        const auto mechanism =
+            MechanismRegistry::instance().create(name, deterministic_spec(n));
+        for (const std::uint64_t seed : kSeeds) {
+            SCOPED_TRACE(name + ", seed " + std::to_string(seed));
+            stats::Rng pop_rng(seed);
+            const std::vector<Bid> bids = random_bids(n, pop_rng);
+            stats::Rng run_rng(seed);
+            const AuctionOutcome outcome = mechanism->run(scoring_, bids, run_rng);
+            EXPECT_EQ(outcome.winners.size(), n);
+            EXPECT_EQ(winner_set(outcome).size(), n);
+            // Selection order is still best-score-first.
+            for (std::size_t i = 1; i < outcome.winners.size(); ++i) {
+                EXPECT_GE(outcome.winners[i - 1].score, outcome.winners[i].score);
+            }
+        }
+    }
+}
+
+TEST_F(MechanismProperties, KEqualsOnePicksTheTopScore) {
+    for (const std::string& name : builtins()) {
+        const auto mechanism =
+            MechanismRegistry::instance().create(name, deterministic_spec(1));
+        for (const std::uint64_t seed : kSeeds) {
+            SCOPED_TRACE(name + ", seed " + std::to_string(seed));
+            stats::Rng pop_rng(seed);
+            const std::vector<Bid> bids = random_bids(15, pop_rng);
+            double best = -1e300;
+            NodeId best_node = 0;
+            for (const Bid& bid : bids) {
+                const double score = scoring_.score(bid.quality, bid.payment);
+                if (score > best) {
+                    best = score;
+                    best_node = bid.node;
+                }
+            }
+            stats::Rng run_rng(seed);
+            const AuctionOutcome outcome = mechanism->run(scoring_, bids, run_rng);
+            ASSERT_EQ(outcome.winners.size(), 1u);
+            EXPECT_EQ(outcome.winners.front().node, best_node);
+            EXPECT_EQ(outcome.winners.front().score, best);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic: psi = 1 equals first_score; partial ranking changes nothing
+// ---------------------------------------------------------------------------
+
+TEST_F(MechanismProperties, PsiOneIsPlainFirstScore) {
+    const MechanismSpec spec = deterministic_spec(5);
+    const auto psi = MechanismRegistry::instance().create("psi_fmore", spec);
+    const auto plain = MechanismRegistry::instance().create("first_score", spec);
+    for (const std::uint64_t seed : kSeeds) {
+        stats::Rng pop_rng(seed);
+        const std::vector<Bid> bids = random_bids(20, pop_rng);
+        stats::Rng run_a(seed);
+        stats::Rng run_b(seed);
+        EXPECT_EQ(winner_set(psi->run(scoring_, bids, run_a)),
+                  winner_set(plain->run(scoring_, bids, run_b)));
+    }
+}
+
+TEST_F(MechanismProperties, PartialRankingPreservesWinnersAndPayments) {
+    for (const std::string& name : builtins()) {
+        MechanismSpec full_spec = deterministic_spec(5);
+        if (name == "second_score")
+            full_spec.payment_rule = PaymentRule::second_price;
+        MechanismSpec partial_spec = full_spec;
+        partial_spec.full_ranking = false;
+        const auto full = MechanismRegistry::instance().create(name, full_spec);
+        const auto partial = MechanismRegistry::instance().create(name, partial_spec);
+        for (const std::uint64_t seed : kSeeds) {
+            SCOPED_TRACE(name + ", seed " + std::to_string(seed));
+            stats::Rng pop_rng(seed);
+            const std::vector<Bid> bids = random_bids(40, pop_rng);
+            stats::Rng run_a(seed);
+            stats::Rng run_b(seed);
+            const AuctionOutcome a = full->run(scoring_, bids, run_a);
+            const AuctionOutcome b = partial->run(scoring_, bids, run_b);
+            ASSERT_EQ(a.winners.size(), b.winners.size());
+            for (std::size_t i = 0; i < a.winners.size(); ++i) {
+                EXPECT_EQ(a.winners[i].node, b.winners[i].node);
+                EXPECT_EQ(a.winners[i].score, b.winners[i].score);
+                EXPECT_EQ(a.winners[i].payment, b.winners[i].payment);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace fmore::auction

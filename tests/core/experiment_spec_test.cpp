@@ -51,8 +51,31 @@ TEST(ExperimentSpecText, TestbedRoundTripIsExact) {
     ExperimentSpec spec = default_testbed_experiment();
     spec.timing.model_bytes = 3.14159e7;
     spec.population.bandwidth_lo = 123.5;
+    spec.timing.round_mode = fl::RoundMode::semi_sync;
+    spec.timing.min_updates = 5;
+    spec.timing.round_deadline_s = 17.5;
+    spec.timing.staleness_alpha = 0.625;
+    spec.timing.max_staleness = 3;
+    spec.timing.latency_spread = 0.875;
+    spec.timing.dropout_prob = 0.0625;
     const ExperimentSpec parsed = parse_experiment_spec(to_text(spec));
     EXPECT_TRUE(parsed == spec);
+}
+
+TEST(ExperimentSpecText, RoundModeParsesAndRejectsTypos) {
+    ExperimentSpec spec = default_testbed_experiment();
+    apply_key_value(spec, "timing.round_mode", "async");
+    EXPECT_EQ(spec.timing.round_mode, fl::RoundMode::async);
+    apply_key_value(spec, "timing.round_mode", "sync");
+    EXPECT_EQ(spec.timing.round_mode, fl::RoundMode::sync);
+    try {
+        apply_key_value(spec, "timing.round_mode", "assync");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("assync"), std::string::npos);
+        EXPECT_NE(what.find("semi_sync"), std::string::npos);
+    }
 }
 
 TEST(ExperimentSpecText, ParserHandlesCommentsAndBlankLines) {
@@ -120,6 +143,50 @@ TEST(ExperimentSpecValidate, MessagesNameTheOffendingKey) {
     EXPECT_TRUE(mentions("psi_per_node[1]"));
     EXPECT_TRUE(mentions("must cover every node"));
     EXPECT_THROW(validate_or_throw(spec), std::invalid_argument);
+}
+
+TEST(ExperimentSpecValidate, AsyncRoundRulesAreEnforced) {
+    // async/semi-sync needs the wall-clock model (testbed kind).
+    ExperimentSpec sim = default_experiment(DatasetKind::mnist_o);
+    sim.timing.round_mode = fl::RoundMode::async;
+    auto mentions = [](const std::vector<std::string>& problems,
+                       const std::string& token) {
+        for (const std::string& p : problems)
+            if (p.find(token) != std::string::npos) return true;
+        return false;
+    };
+    EXPECT_TRUE(mentions(validate(sim), "kind = testbed"));
+
+    ExperimentSpec spec = default_testbed_experiment();
+    spec.timing.round_mode = fl::RoundMode::semi_sync;
+    spec.timing.min_updates = 4;
+    spec.timing.round_deadline_s = 30.0;
+    spec.timing.latency_spread = 0.8;
+    spec.timing.dropout_prob = 0.1;
+    EXPECT_TRUE(validate(spec).empty());
+
+    spec.timing.min_updates = 9; // > K = 8
+    EXPECT_TRUE(mentions(validate(spec), "timing.min_updates"));
+    spec.timing.min_updates = 4;
+
+    // Like min_updates, the deadline stays valid (and ignored) under the
+    // other modes so `--sweep timing.round_mode=...` works from a
+    // deadline-carrying base spec.
+    spec.timing.round_mode = fl::RoundMode::async;
+    EXPECT_TRUE(validate(spec).empty());
+    spec.timing.round_deadline_s = -1.0;
+    EXPECT_TRUE(mentions(validate(spec), "timing.round_deadline_s"));
+    spec.timing.round_deadline_s = 0.0;
+    EXPECT_TRUE(validate(spec).empty());
+
+    spec.timing.dropout_prob = 1.0;
+    EXPECT_TRUE(mentions(validate(spec), "timing.dropout_prob"));
+    spec.timing.dropout_prob = 0.0;
+    spec.timing.latency_spread = -0.5;
+    EXPECT_TRUE(mentions(validate(spec), "timing.latency_spread"));
+    spec.timing.latency_spread = 0.0;
+    spec.timing.staleness_alpha = -1.0;
+    EXPECT_TRUE(mentions(validate(spec), "timing.staleness_alpha"));
 }
 
 TEST(ExperimentSpecValidate, RegisteredCustomMechanismPassesValidation) {
@@ -190,7 +257,8 @@ TEST(Scenarios, PaperPresetsAreRegisteredAndValid) {
     for (const char* name :
          {"paper/fig04", "paper/fig05", "paper/fig06", "paper/fig07", "paper/fig08",
           "paper/fig09", "paper/fig10", "paper/fig11", "paper/fig12", "paper/fig13",
-          "sim/default", "testbed/default"}) {
+          "sim/default", "testbed/default", "straggler/mild", "straggler/heavy",
+          "straggler/async_vs_sync"}) {
         ASSERT_TRUE(registry.contains(name)) << name;
         const ExperimentSpec spec = registry.get(name);
         EXPECT_TRUE(validate(spec).empty()) << name;
@@ -198,6 +266,13 @@ TEST(Scenarios, PaperPresetsAreRegisteredAndValid) {
     EXPECT_EQ(named_scenario("paper/fig04").training.dataset, DatasetKind::mnist_o);
     EXPECT_EQ(named_scenario("paper/fig12").kind, ExperimentKind::testbed);
     EXPECT_TRUE(named_scenario("paper/fig12").timing.enabled);
+    EXPECT_EQ(named_scenario("straggler/heavy").timing.round_mode,
+              fl::RoundMode::async);
+    EXPECT_GT(named_scenario("straggler/heavy").timing.latency_spread, 0.0);
+    // The comparison base stays sync so `--sweep timing.round_mode=...`
+    // covers all three modes from one preset.
+    EXPECT_EQ(named_scenario("straggler/async_vs_sync").timing.round_mode,
+              fl::RoundMode::sync);
 }
 
 TEST(Scenarios, UnknownScenarioErrorListsWhatExists) {

@@ -62,5 +62,117 @@ TEST(SweepTest, UnknownKeysThrowThroughApplyKeyValue) {
                  std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Zipped (co-varying) sweeps
+// ---------------------------------------------------------------------------
+
+TEST(ZipSweepTest, AxesCoVaryPointwise) {
+    const ExperimentSpec base = default_experiment(DatasetKind::mnist_f);
+    const auto points =
+        zip_sweep(base, {parse_sweep_axis("population.num_nodes=50,100"),
+                         parse_sweep_axis("training.train_samples=4500,9000")});
+    ASSERT_EQ(points.size(), 2u); // zipped, NOT the 4-point cross product
+    EXPECT_EQ(points[0].label, "population.num_nodes=50, training.train_samples=4500");
+    EXPECT_EQ(points[0].spec.population.num_nodes, 50u);
+    EXPECT_EQ(points[0].spec.training.train_samples, 4500u);
+    EXPECT_EQ(points[1].spec.population.num_nodes, 100u);
+    EXPECT_EQ(points[1].spec.training.train_samples, 9000u);
+    // Everything else untouched.
+    ExperimentSpec expect = base;
+    expect.population.num_nodes = 100;
+    expect.training.train_samples = 9000;
+    EXPECT_TRUE(points[1].spec == expect);
+}
+
+TEST(ZipSweepTest, RejectsMismatchedAndEmptyAxes) {
+    const ExperimentSpec base = default_experiment(DatasetKind::mnist_o);
+    EXPECT_THROW((void)zip_sweep(base, {}), std::invalid_argument);
+    try {
+        (void)zip_sweep(base, {parse_sweep_axis("auction.winners=5,10,15"),
+                               parse_sweep_axis("auction.psi=0.3,0.7")});
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("auction.psi"), std::string::npos);
+        EXPECT_NE(what.find("same length"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-point multi-policy summaries
+// ---------------------------------------------------------------------------
+
+TEST(SweepSummaryTest, RunsEveryPointUnderEveryPolicy) {
+    ExperimentSpec base = default_experiment(DatasetKind::mnist_o);
+    base.training.train_samples = 500;
+    base.training.test_samples = 150;
+    base.training.rounds = 2;
+    base.training.eval_cap = 100;
+    base.population.num_nodes = 12;
+    base.auction.winners = 4;
+    base.population.data_lo = 10;
+    base.population.data_hi = 40;
+
+    const auto points = expand_sweep(base, {parse_sweep_axis("auction.winners=3,4")});
+    const auto summaries = summarize_points(points, {"fmore", "randfl"}, 2);
+    ASSERT_EQ(summaries.size(), 2u);
+    for (std::size_t p = 0; p < summaries.size(); ++p) {
+        const SweepSummary& summary = summaries[p];
+        EXPECT_EQ(summary.label, points[p].label);
+        EXPECT_TRUE(summary.spec == points[p].spec);
+        ASSERT_EQ(summary.series.size(), 2u);
+        EXPECT_EQ(summary.series[0].name, "FMore");
+        EXPECT_EQ(summary.series[1].name, "RandFL");
+        ASSERT_EQ(summary.runs.size(), 2u);
+        for (std::size_t i = 0; i < summary.series.size(); ++i) {
+            EXPECT_EQ(summary.series[i].series.rounds(), 2u);
+            ASSERT_EQ(summary.runs[i].size(), 2u); // trials kept raw
+            // The averaged series is exactly average_runs over the raw runs.
+            const AveragedSeries again = average_runs(summary.runs[i]);
+            EXPECT_EQ(summary.series[i].series.accuracy, again.accuracy);
+            EXPECT_EQ(summary.series[i].series.loss, again.loss);
+        }
+    }
+}
+
+TEST(SweepSummaryTest, MatchesAveragedExperimentBitIdentically) {
+    // The summary path adds nothing stochastic: per point and policy it is
+    // the same parallel trial runner, so the series are bit-identical to a
+    // direct averaged_experiment call on the overridden spec.
+    ExperimentSpec base = default_experiment(DatasetKind::mnist_o);
+    base.training.train_samples = 500;
+    base.training.test_samples = 150;
+    base.training.rounds = 2;
+    base.training.eval_cap = 100;
+    base.population.num_nodes = 12;
+    base.auction.winners = 4;
+    base.population.data_lo = 10;
+    base.population.data_hi = 40;
+
+    const auto summaries = summarize_points(
+        expand_sweep(base, {parse_sweep_axis("auction.psi=0.5")}), {"psi_fmore"}, 2);
+    ASSERT_EQ(summaries.size(), 1u);
+    ExperimentSpec direct = base;
+    direct.auction.psi = 0.5;
+    const AveragedSeries expected = averaged_experiment(direct, "psi_fmore", 2);
+    EXPECT_EQ(summaries[0].series[0].series.accuracy, expected.accuracy);
+    EXPECT_EQ(summaries[0].series[0].series.loss, expected.loss);
+    EXPECT_EQ(summaries[0].series[0].series.payment, expected.payment);
+}
+
+TEST(SweepSummaryTest, RejectsEmptyPolicies) {
+    const ExperimentSpec base = default_experiment(DatasetKind::mnist_o);
+    EXPECT_THROW((void)summarize_points(expand_sweep(base, {}), {}, 1),
+                 std::invalid_argument);
+}
+
+TEST(SweepSummaryTest, PolicyDisplayNames) {
+    EXPECT_EQ(policy_display_name("fmore"), "FMore");
+    EXPECT_EQ(policy_display_name("psi_fmore"), "psi-FMore");
+    EXPECT_EQ(policy_display_name("randfl"), "RandFL");
+    EXPECT_EQ(policy_display_name("fixfl"), "FixFL");
+    EXPECT_EQ(policy_display_name("my_custom_policy"), "my_custom_policy");
+}
+
 } // namespace
 } // namespace fmore::core

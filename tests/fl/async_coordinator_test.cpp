@@ -1,0 +1,387 @@
+// The async/semi-sync coordinator: equivalence with the synchronous
+// barrier when nothing straggles, bit-identical metrics across round-thread
+// counts, staleness-weighted merging of late updates, deadline rounds and
+// dropout handling — the determinism contract of
+// docs/ARCHITECTURE.md "The async round model".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "fmore/fl/async_coordinator.hpp"
+#include "fmore/fl/selection.hpp"
+#include "fmore/ml/model_zoo.hpp"
+#include "fmore/ml/synthetic.hpp"
+
+namespace fmore::fl {
+namespace {
+
+class AsyncCoordinatorTest : public ::testing::Test {
+protected:
+    AsyncCoordinatorTest() {
+        stats::Rng rng(31);
+        ml::ImageDatasetSpec spec;
+        spec.samples = 700;
+        auto pool = ml::make_synthetic_images(spec, rng);
+        const std::size_t vol = pool.sample_volume();
+        train_.sample_shape = pool.sample_shape;
+        train_.num_classes = pool.num_classes;
+        train_.features.assign(pool.features.begin(), pool.features.begin() + 600 * vol);
+        train_.labels.assign(pool.labels.begin(), pool.labels.begin() + 600);
+        test_.sample_shape = pool.sample_shape;
+        test_.num_classes = pool.num_classes;
+        test_.features.assign(pool.features.begin() + 600 * vol, pool.features.end());
+        test_.labels.assign(pool.labels.begin() + 600, pool.labels.end());
+
+        stats::Rng prng(32);
+        shards_ = ml::partition_iid(train_, 12, prng);
+    }
+
+    [[nodiscard]] CoordinatorConfig coordinator_config(std::size_t threads) const {
+        CoordinatorConfig cc;
+        cc.rounds = 4;
+        cc.winners_per_round = 6;
+        cc.batch_size = 16;
+        cc.learning_rate = 0.08;
+        cc.round_threads = threads;
+        return cc;
+    }
+
+    /// Heterogeneous but deterministic per-client latency (client 0 is the
+    /// fastest, client 11 a 4.3x straggler); never consumes the RNG.
+    [[nodiscard]] static ClientTimeModel spread_clock() {
+        return [](std::size_t client, std::size_t samples, stats::Rng&) {
+            DispatchTiming t;
+            t.seconds = (1.0 + 0.3 * static_cast<double>(client))
+                        * (0.5 + 0.01 * static_cast<double>(samples));
+            return t;
+        };
+    }
+
+    /// Every client takes the same per-sample time — no stragglers.
+    [[nodiscard]] static ClientTimeModel flat_clock() {
+        return [](std::size_t, std::size_t samples, stats::Rng&) {
+            DispatchTiming t;
+            t.seconds = 0.5 + 0.01 * static_cast<double>(samples);
+            return t;
+        };
+    }
+
+    [[nodiscard]] RunResult run_async_with(AsyncCoordinatorConfig ac,
+                                           const ClientTimeModel& clock,
+                                           std::size_t threads = 1) {
+        ml::Model model = ml::make_cnn(ml::ImageSpec{1, 12, 12, 10}, 77);
+        AsyncCoordinator coordinator(model, train_, test_, shards_,
+                                     coordinator_config(threads), ac);
+        RandomSelector selector(12);
+        stats::Rng rng(5);
+        return coordinator.run_async(selector, rng, clock);
+    }
+
+    ml::Dataset train_;
+    ml::Dataset test_;
+    std::vector<ml::ClientShard> shards_;
+};
+
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+    ASSERT_EQ(a.rounds.size(), b.rounds.size());
+    for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+        SCOPED_TRACE("round " + std::to_string(r + 1));
+        EXPECT_EQ(a.rounds[r].test_accuracy, b.rounds[r].test_accuracy);
+        EXPECT_EQ(a.rounds[r].test_loss, b.rounds[r].test_loss);
+        EXPECT_EQ(a.rounds[r].train_loss, b.rounds[r].train_loss);
+        EXPECT_EQ(a.rounds[r].mean_winner_payment, b.rounds[r].mean_winner_payment);
+        EXPECT_EQ(a.rounds[r].mean_winner_score, b.rounds[r].mean_winner_score);
+        EXPECT_EQ(a.rounds[r].round_seconds, b.rounds[r].round_seconds);
+        EXPECT_EQ(a.rounds[r].aggregated_updates, b.rounds[r].aggregated_updates);
+        EXPECT_EQ(a.rounds[r].mean_staleness, b.rounds[r].mean_staleness);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence with the synchronous barrier
+// ---------------------------------------------------------------------------
+
+TEST_F(AsyncCoordinatorTest, FullBarrierSemiSyncMatchesSyncBitIdentically) {
+    // min_updates = 0 (wait for everyone), heterogeneous latency, no
+    // dropouts: the aggregation set, weights (s = 0 so 1/(1+s)^alpha == 1)
+    // and trigger time coincide with the synchronous round exactly.
+    const double overhead = 1.25;
+    const ClientTimeModel clock = spread_clock();
+
+    ml::Model sync_model = ml::make_cnn(ml::ImageSpec{1, 12, 12, 10}, 77);
+    Coordinator sync(sync_model, train_, test_, shards_, coordinator_config(1));
+    RandomSelector sync_selector(12);
+    stats::Rng sync_rng(5);
+    stats::Rng scratch(0); // the deterministic clock never touches it
+    const RoundTimeModel sync_time = [&](const SelectionRecord& selection,
+                                         const std::vector<std::size_t>& samples) {
+        double slowest = 0.0;
+        for (std::size_t i = 0; i < selection.selected.size(); ++i) {
+            slowest = std::max(
+                slowest, clock(selection.selected[i].client, samples[i], scratch).seconds);
+        }
+        return slowest + overhead;
+    };
+    const RunResult sync_run = sync.run(sync_selector, sync_rng, sync_time);
+
+    for (const RoundMode mode : {RoundMode::semi_sync, RoundMode::async}) {
+        AsyncCoordinatorConfig ac;
+        ac.mode = mode;
+        ac.min_updates = 0;
+        ac.round_overhead_s = overhead;
+        const RunResult async_run = run_async_with(ac, clock);
+        expect_bit_identical(sync_run, async_run);
+        for (const RoundMetrics& m : async_run.rounds) {
+            EXPECT_EQ(m.aggregated_updates, 6u);
+            EXPECT_EQ(m.mean_staleness, 0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST_F(AsyncCoordinatorTest, MetricsBitIdenticalAcrossThreadCounts) {
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::async;
+    ac.min_updates = 3; // half the dispatches straggle into later rounds
+    const RunResult serial = run_async_with(ac, spread_clock(), 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        expect_bit_identical(serial, run_async_with(ac, spread_clock(), threads));
+    }
+}
+
+TEST_F(AsyncCoordinatorTest, RepeatedRunsAreDeterministic) {
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::async;
+    ac.min_updates = 2;
+    expect_bit_identical(run_async_with(ac, spread_clock(), 8),
+                         run_async_with(ac, spread_clock(), 8));
+}
+
+// ---------------------------------------------------------------------------
+// Staleness semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(AsyncCoordinatorTest, LateUpdatesMergeWithStaleness) {
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::async;
+    ac.min_updates = 2; // aggressive: most dispatches carry over
+    const RunResult run = run_async_with(ac, spread_clock());
+
+    // Round 1 can only merge fresh updates; later rounds see carried ones.
+    EXPECT_EQ(run.rounds.front().mean_staleness, 0.0);
+    double max_staleness = 0.0;
+    std::size_t max_merged = 0;
+    for (const RoundMetrics& m : run.rounds) {
+        EXPECT_GE(m.aggregated_updates, 2u);
+        max_staleness = std::max(max_staleness, m.mean_staleness);
+        max_merged = std::max(max_merged, m.aggregated_updates);
+    }
+    EXPECT_GT(max_staleness, 0.0) << "no late update ever merged";
+    EXPECT_GT(max_merged, 2u) << "carried updates never joined an aggregation";
+}
+
+TEST_F(AsyncCoordinatorTest, MaxStalenessDiscardsAncientUpdates) {
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::async;
+    ac.min_updates = 2;
+    ac.max_staleness = 1;
+    const RunResult run = run_async_with(ac, spread_clock());
+    for (const RoundMetrics& m : run.rounds) {
+        EXPECT_LE(m.mean_staleness, 1.0);
+    }
+}
+
+TEST_F(AsyncCoordinatorTest, StalenessAlphaZeroKeepsFullWeight) {
+    // alpha only reweights stale merges, so the participating sets (and
+    // merged counts) match; the resulting models differ once something
+    // stale merges.
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::async;
+    ac.min_updates = 2;
+    ac.staleness_alpha = 0.0;
+    const RunResult full = run_async_with(ac, spread_clock());
+    ac.staleness_alpha = 2.0;
+    const RunResult decayed = run_async_with(ac, spread_clock());
+    ASSERT_EQ(full.rounds.size(), decayed.rounds.size());
+    bool diverged = false;
+    for (std::size_t r = 0; r < full.rounds.size(); ++r) {
+        EXPECT_EQ(full.rounds[r].aggregated_updates, decayed.rounds[r].aggregated_updates);
+        EXPECT_EQ(full.rounds[r].round_seconds, decayed.rounds[r].round_seconds);
+        if (full.rounds[r].test_loss != decayed.rounds[r].test_loss) diverged = true;
+    }
+    EXPECT_TRUE(diverged) << "staleness_alpha had no effect on any round";
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and dropouts
+// ---------------------------------------------------------------------------
+
+TEST_F(AsyncCoordinatorTest, SemiSyncDeadlineCutsTheRoundShort) {
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::semi_sync;
+    ac.min_updates = 0; // would wait for everyone...
+    ac.round_deadline_s = 2.0; // ...but the deadline fires first
+    ac.round_overhead_s = 0.5;
+    const RunResult run = run_async_with(ac, spread_clock());
+    std::size_t thinnest = 6;
+    for (const RoundMetrics& m : run.rounds) {
+        // The deadline caps the round — except for the stretch-to-first-
+        // arrival rule when nothing landed by then. With spread_clock the
+        // earliest selected client (id <= 6, since 6 of 12 are picked)
+        // arrives by (1 + 0.3*6) * 1.0 = 2.8 s, so that is the hard bound.
+        EXPECT_LE(m.round_seconds, 2.8 + 0.5 + 1e-12);
+        EXPECT_GE(m.aggregated_updates, 1u); // never aggregates thin air
+        thinnest = std::min(thinnest, m.aggregated_updates);
+    }
+    // A fast selection can beat the deadline wholesale (and carried updates
+    // can push a round past K), but across rounds some straggler must have
+    // missed the cut.
+    EXPECT_LT(thinnest, 6u);
+}
+
+TEST_F(AsyncCoordinatorTest, AllDroppedSemiSyncRoundStillHoldsItsDeadline) {
+    // Round 2 onward every fresh dispatch drops; round 1's stragglers carry
+    // over and land early. "min_updates OR deadline, whichever first" must
+    // still govern: with min_updates unreachable, the round closes at the
+    // deadline, not at the first carried arrival.
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::semi_sync;
+    ac.min_updates = 2;
+    ac.round_deadline_s = 5.0;
+    ac.round_overhead_s = 0.0;
+    std::size_t dispatches = 0;
+    const ClientTimeModel clock = [&dispatches](std::size_t, std::size_t,
+                                                stats::Rng&) mutable {
+        DispatchTiming t;
+        if (dispatches < 6) {
+            // Round 1: client slots arrive at 1, 3, 5, 7, 9, 11 seconds.
+            t.seconds = 1.0 + 2.0 * static_cast<double>(dispatches);
+        } else {
+            t.dropped = true;
+        }
+        ++dispatches;
+        return t;
+    };
+    const RunResult run = run_async_with(ac, clock);
+    ASSERT_GE(run.rounds.size(), 2u);
+    // Round 1: min_updates = 2 met at the second arrival (t = 3).
+    EXPECT_EQ(run.rounds[0].round_seconds, 3.0);
+    // Round 2: no fresh arrivals possible; carried updates land at t = 2
+    // and 4 (< deadline) but the round still runs to the 5 s deadline and
+    // merges both.
+    EXPECT_EQ(run.rounds[1].round_seconds, 5.0);
+    EXPECT_EQ(run.rounds[1].aggregated_updates, 2u);
+    EXPECT_EQ(run.rounds[1].mean_staleness, 1.0);
+}
+
+TEST_F(AsyncCoordinatorTest, PartialDropoutSemiSyncHoldsTheRoundToItsDeadline) {
+    // K = 6, min_updates = 5, but only 4 dispatches per round survive: the
+    // server cannot know the other two died, so the round runs to the
+    // deadline (merging the 4 that made it) instead of closing at the 4th
+    // arrival.
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::semi_sync;
+    ac.min_updates = 5;
+    ac.round_deadline_s = 30.0;
+    ac.round_overhead_s = 0.0;
+    const ClientTimeModel flaky = [](std::size_t client, std::size_t, stats::Rng&) {
+        DispatchTiming t;
+        t.seconds = 2.0 + static_cast<double>(client % 4); // all land by t = 5
+        t.dropped = client % 3 == 0; // 0, 3, 6, 9 never report
+        return t;
+    };
+    const RunResult run = run_async_with(ac, flaky);
+    bool deadline_round = false;
+    for (const RoundMetrics& m : run.rounds) {
+        EXPECT_GE(m.aggregated_updates, 1u);
+        if (m.aggregated_updates >= 5) {
+            // Enough survivors: min_updates fired before the deadline.
+            EXPECT_LE(m.round_seconds, 5.0);
+        } else {
+            // Dropouts left min_updates unreachable — the server cannot
+            // know and holds the round to its deadline.
+            EXPECT_EQ(m.round_seconds, 30.0) << "round closed before its deadline";
+            deadline_round = true;
+        }
+    }
+    EXPECT_TRUE(deadline_round) << "seed never produced a dropout-starved round";
+}
+
+TEST_F(AsyncCoordinatorTest, TotalDropoutRoundLeavesGlobalUnchanged) {
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::async;
+    ac.min_updates = 1;
+    const ClientTimeModel never = [](std::size_t, std::size_t, stats::Rng&) {
+        DispatchTiming t;
+        t.dropped = true;
+        return t;
+    };
+    const RunResult run = run_async_with(ac, never);
+    ASSERT_EQ(run.rounds.size(), 4u);
+    for (const RoundMetrics& m : run.rounds) {
+        EXPECT_EQ(m.aggregated_updates, 0u);
+        EXPECT_EQ(m.test_accuracy, run.rounds.front().test_accuracy)
+            << "nothing merged, yet the global moved";
+    }
+}
+
+TEST_F(AsyncCoordinatorTest, PartialDropoutsStillAggregate) {
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::async;
+    ac.min_updates = 2;
+    const ClientTimeModel flaky = [](std::size_t client, std::size_t samples,
+                                     stats::Rng&) {
+        DispatchTiming t;
+        t.seconds = 1.0 + 0.01 * static_cast<double>(samples);
+        t.dropped = client % 3 == 0; // clients 0, 3, 6, 9 never report
+        return t;
+    };
+    const RunResult run = run_async_with(ac, flaky);
+    for (const RoundMetrics& m : run.rounds) {
+        EXPECT_GE(m.aggregated_updates, 1u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration validation
+// ---------------------------------------------------------------------------
+
+TEST_F(AsyncCoordinatorTest, RejectsBadConfigs) {
+    ml::Model model = ml::make_cnn(ml::ImageSpec{1, 12, 12, 10}, 77);
+    auto make = [&](AsyncCoordinatorConfig ac) {
+        AsyncCoordinator coordinator(model, train_, test_, shards_,
+                                     coordinator_config(1), ac);
+    };
+    AsyncCoordinatorConfig ac;
+    ac.mode = RoundMode::sync;
+    EXPECT_THROW(make(ac), std::invalid_argument);
+    ac.mode = RoundMode::async;
+    ac.min_updates = 7; // > K = 6
+    EXPECT_THROW(make(ac), std::invalid_argument);
+    ac.min_updates = 0;
+    ac.round_deadline_s = 3.0; // deadlines are semi_sync-only
+    EXPECT_THROW(make(ac), std::invalid_argument);
+    ac.round_deadline_s = 0.0;
+    ac.staleness_alpha = -1.0;
+    EXPECT_THROW(make(ac), std::invalid_argument);
+    ac.staleness_alpha = 0.5;
+    EXPECT_NO_THROW(make(ac));
+
+    AsyncCoordinatorConfig ok;
+    ok.mode = RoundMode::semi_sync;
+    AsyncCoordinator coordinator(model, train_, test_, shards_,
+                                 coordinator_config(1), ok);
+    RandomSelector selector(12);
+    stats::Rng rng(5);
+    EXPECT_THROW((void)coordinator.run_async(selector, rng, nullptr),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fmore::fl

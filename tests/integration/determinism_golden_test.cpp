@@ -1,0 +1,120 @@
+// Golden-determinism suite: the full experiment surface (spec -> trials ->
+// rounds -> metrics) must be bit-identical for every combination of trial-
+// and round-thread counts, for the synchronous coordinator AND the async/
+// semi-sync modes. This promotes the CI-script-only "serial vs 8-thread
+// scenario table diff" into a ctest that fails with the first differing
+// metric instead of a useless textual diff.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "fmore/core/scenarios.hpp"
+#include "fmore/core/trials.hpp"
+
+namespace fmore::core {
+namespace {
+
+/// Scale a scenario down so three full runs stay inside a test budget.
+ExperimentSpec tiny(const std::string& scenario) {
+    ExperimentSpec spec = named_scenario(scenario);
+    spec.training.train_samples = 900;
+    spec.training.test_samples = 200;
+    spec.training.rounds = 3;
+    spec.training.eval_cap = 120;
+    return spec;
+}
+
+/// Two trials of `spec` under explicit trial- and round-thread counts. The
+/// round count rides the FMORE_ROUND_THREADS override — the same knob the
+/// CI smoke used — restored afterwards so sibling tests see a clean env.
+std::vector<fl::RunResult> runs_with(const ExperimentSpec& spec,
+                                     const std::string& policy,
+                                     std::size_t trial_threads,
+                                     std::size_t round_threads) {
+    const char* previous = std::getenv("FMORE_ROUND_THREADS");
+    const std::string saved = previous ? previous : "";
+    ::setenv("FMORE_ROUND_THREADS", std::to_string(round_threads).c_str(), 1);
+    TrialRunnerOptions options;
+    options.threads = trial_threads;
+    std::vector<fl::RunResult> runs;
+    try {
+        runs = run_experiment_trials(spec, policy, 2, options);
+    } catch (...) {
+        if (previous) ::setenv("FMORE_ROUND_THREADS", saved.c_str(), 1);
+        else ::unsetenv("FMORE_ROUND_THREADS");
+        throw;
+    }
+    if (previous) ::setenv("FMORE_ROUND_THREADS", saved.c_str(), 1);
+    else ::unsetenv("FMORE_ROUND_THREADS");
+    return runs;
+}
+
+void expect_golden(const std::vector<fl::RunResult>& golden,
+                   const std::vector<fl::RunResult>& other,
+                   const std::string& label) {
+    ASSERT_EQ(golden.size(), other.size()) << label;
+    for (std::size_t t = 0; t < golden.size(); ++t) {
+        ASSERT_EQ(golden[t].rounds.size(), other[t].rounds.size()) << label;
+        for (std::size_t r = 0; r < golden[t].rounds.size(); ++r) {
+            SCOPED_TRACE(label + ", trial " + std::to_string(t) + ", round "
+                         + std::to_string(r + 1));
+            const fl::RoundMetrics& a = golden[t].rounds[r];
+            const fl::RoundMetrics& b = other[t].rounds[r];
+            EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+            EXPECT_EQ(a.test_loss, b.test_loss);
+            EXPECT_EQ(a.train_loss, b.train_loss);
+            EXPECT_EQ(a.mean_winner_payment, b.mean_winner_payment);
+            EXPECT_EQ(a.mean_winner_score, b.mean_winner_score);
+            EXPECT_EQ(a.round_seconds, b.round_seconds);
+            EXPECT_EQ(a.aggregated_updates, b.aggregated_updates);
+            EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+        }
+    }
+}
+
+TEST(DeterminismGolden, SyncScenarioBitIdenticalAcrossThreadCounts) {
+    const ExperimentSpec spec = tiny("paper/fig04");
+    const auto golden = runs_with(spec, "fmore", 1, 1);
+    expect_golden(golden, runs_with(spec, "fmore", 1, 8), "round_threads 8");
+    expect_golden(golden, runs_with(spec, "fmore", 2, 2), "2x2 trial/round threads");
+}
+
+TEST(DeterminismGolden, AsyncScenarioBitIdenticalAcrossThreadCounts) {
+    // The heavy-straggler preset exercises everything the async mode adds:
+    // lognormal latency factors, dropout draws, min_updates triggering,
+    // staleness-weighted merging of carried updates.
+    const ExperimentSpec spec = tiny("straggler/heavy");
+    const auto golden = runs_with(spec, "fmore", 1, 1);
+    expect_golden(golden, runs_with(spec, "fmore", 1, 8), "round_threads 8");
+    expect_golden(golden, runs_with(spec, "fmore", 2, 2), "2x2 trial/round threads");
+}
+
+TEST(DeterminismGolden, SemiSyncDeadlineBitIdenticalAcrossThreadCounts) {
+    ExperimentSpec spec = tiny("straggler/mild");
+    spec.timing.round_deadline_s = 20.0;
+    const auto golden = runs_with(spec, "fmore", 1, 1);
+    expect_golden(golden, runs_with(spec, "fmore", 2, 8), "2x8 trial/round threads");
+}
+
+TEST(DeterminismGolden, ZeroSpreadSemiSyncMatchesSyncEngine) {
+    // The acceptance contract of the async subsystem: with no latency
+    // spread, no dropouts and min_updates = K, the semi_sync and async
+    // engines reproduce the synchronous testbed run bit-identically —
+    // wall-clock metrics included.
+    ExperimentSpec sync_spec = tiny("testbed/default");
+    const auto sync_runs = runs_with(sync_spec, "fmore", 1, 1);
+    for (const fl::RoundMode mode : {fl::RoundMode::semi_sync, fl::RoundMode::async}) {
+        ExperimentSpec spec = sync_spec;
+        spec.timing.round_mode = mode;
+        spec.timing.min_updates = spec.auction.winners;
+        expect_golden(sync_runs, runs_with(spec, "fmore", 1, 1),
+                      "mode " + fl::to_string(mode));
+        expect_golden(sync_runs, runs_with(spec, "fmore", 1, 8),
+                      "mode " + fl::to_string(mode) + ", round_threads 8");
+    }
+}
+
+} // namespace
+} // namespace fmore::core

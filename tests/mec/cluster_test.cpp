@@ -105,5 +105,96 @@ TEST_F(ClusterTest, RejectsNonPositiveModelBytes) {
     EXPECT_THROW(ClusterTimeModel(*population_, cfg, false), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Straggler model (latency factors, per-client clock, dropouts)
+// ---------------------------------------------------------------------------
+
+TEST_F(ClusterTest, ZeroLatencySpreadKeepsFactorsExactlyOne) {
+    ClusterTimeConfig cfg;
+    stats::Rng factor_rng(9);
+    const ClusterTimeModel model(*population_, cfg, false, factor_rng);
+    const std::uint64_t untouched = stats::Rng(9).engine()();
+    EXPECT_EQ(factor_rng.engine()(), untouched) << "spread 0 must not consume RNG";
+    for (std::size_t i = 0; i < population_->size(); ++i) {
+        EXPECT_EQ(model.latency_factor(i), 1.0);
+    }
+}
+
+TEST_F(ClusterTest, LatencyFactorsAreDeterministicAndHeterogeneous) {
+    ClusterTimeConfig cfg;
+    cfg.latency_spread = 1.0;
+    stats::Rng rng_a(9);
+    stats::Rng rng_b(9);
+    const ClusterTimeModel a(*population_, cfg, false, rng_a);
+    const ClusterTimeModel b(*population_, cfg, false, rng_b);
+    bool heterogeneous = false;
+    for (std::size_t i = 0; i < population_->size(); ++i) {
+        EXPECT_EQ(a.latency_factor(i), b.latency_factor(i));
+        EXPECT_GT(a.latency_factor(i), 0.0);
+        if (a.latency_factor(i) != a.latency_factor(0)) heterogeneous = true;
+    }
+    EXPECT_TRUE(heterogeneous);
+}
+
+TEST_F(ClusterTest, ClientSecondsScaleWithTheStragglerFactor) {
+    ClusterTimeConfig cfg;
+    cfg.latency_spread = 0.8;
+    stats::Rng factor_rng(11);
+    const ClusterTimeModel straggly(*population_, cfg, false, factor_rng);
+    const ClusterTimeModel flat(*population_, ClusterTimeConfig{}, false);
+    for (std::size_t i = 0; i < population_->size(); ++i) {
+        EXPECT_DOUBLE_EQ(straggly.client_seconds(i, 80),
+                         straggly.latency_factor(i) * flat.client_seconds(i, 80));
+    }
+}
+
+TEST_F(ClusterTest, SyncRoundSecondsHonourStragglerFactors) {
+    // The synchronous barrier pays the straggler tail: the round equals the
+    // slowest factor-scaled client, not the raw slowest.
+    ClusterTimeConfig cfg;
+    cfg.latency_spread = 1.5;
+    cfg.round_overhead_s = 0.0;
+    stats::Rng factor_rng(13);
+    const ClusterTimeModel model(*population_, cfg, false, factor_rng);
+    const auto record = select({0, 1, 2, 3, 4, 5});
+    const std::vector<std::size_t> samples(6, 50);
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) {
+        slowest = std::max(slowest, model.client_seconds(i, 50));
+    }
+    EXPECT_DOUBLE_EQ(model.round_seconds(record, samples), slowest);
+}
+
+TEST_F(ClusterTest, ClientTimeModelAdapterDrawsDropoutsOnlyWhenEnabled) {
+    ClusterTimeConfig cfg;
+    const ClusterTimeModel reliable(*population_, cfg, false);
+    stats::Rng rng(21);
+    const auto clock = reliable.as_client_time_model();
+    const fl::DispatchTiming t = clock(0, 50, rng);
+    EXPECT_FALSE(t.dropped);
+    EXPECT_DOUBLE_EQ(t.seconds, reliable.client_seconds(0, 50));
+    EXPECT_EQ(rng.engine()(), stats::Rng(21).engine()())
+        << "dropout_prob 0 must not consume the round RNG";
+
+    cfg.dropout_prob = 0.9999; // not 1.0 — that is rejected outright
+    const ClusterTimeModel flaky(*population_, cfg, false);
+    const auto flaky_clock = flaky.as_client_time_model();
+    stats::Rng drop_rng(22);
+    std::size_t drops = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (flaky_clock(0, 50, drop_rng).dropped) ++drops;
+    }
+    EXPECT_GT(drops, 40u);
+}
+
+TEST_F(ClusterTest, RejectsBadStragglerKnobs) {
+    ClusterTimeConfig cfg;
+    cfg.latency_spread = -0.1;
+    EXPECT_THROW(ClusterTimeModel(*population_, cfg, false), std::invalid_argument);
+    cfg.latency_spread = 0.0;
+    cfg.dropout_prob = 1.0;
+    EXPECT_THROW(ClusterTimeModel(*population_, cfg, false), std::invalid_argument);
+}
+
 } // namespace
 } // namespace fmore::mec
