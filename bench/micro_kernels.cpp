@@ -24,10 +24,13 @@
 #include "fmore/core/experiment.hpp"
 #include "fmore/core/scenarios.hpp"
 #include "fmore/fl/metrics.hpp"
+#include "fmore/ml/activations.hpp"
 #include "fmore/ml/conv2d.hpp"
 #include "fmore/ml/dense.hpp"
+#include "fmore/ml/dropout.hpp"
 #include "fmore/ml/gemm.hpp"
 #include "fmore/ml/lstm.hpp"
+#include "fmore/ml/pooling.hpp"
 #include "fmore/ml/tensor.hpp"
 #include "fmore/stats/rng.hpp"
 
@@ -145,6 +148,55 @@ LayerResult bench_layer(const std::string& name, const std::string& shape,
     return out;
 }
 
+struct ElementwiseResult {
+    std::string shape;
+    double alloc_us = 0.0;  ///< allocating forward/backward API (pre-arena)
+    double arena_us = 0.0;  ///< forward_into/backward_into over reused slots
+};
+
+/// The elementwise stack of the paper's CNN blocks (ReLU -> MaxPool ->
+/// Dropout), fwd+bwd, via the allocating Layer API versus the in-place
+/// protocol over persistent output slots — the "scratch arena" follow-up
+/// from the kernel PR. Arithmetic is identical; the delta is pure
+/// allocator traffic.
+ElementwiseResult bench_elementwise(std::size_t reps) {
+    stats::Rng rng(11);
+    ml::ReLU relu;
+    ml::MaxPool2d pool;
+    ml::Dropout dropout(0.25);
+    stats::Rng dropout_rng(12);
+    dropout.attach_rng(&dropout_rng);
+
+    ml::Tensor input({16, 8, 12, 12});
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    ElementwiseResult out;
+    out.shape = "B16 8x12x12, ReLU+pool2x2+drop.25";
+
+    const double t_alloc = best_seconds(reps, [&] {
+        const ml::Tensor a = relu.forward(input, true);
+        const ml::Tensor b = pool.forward(a, true);
+        const ml::Tensor c = dropout.forward(b, true);
+        const ml::Tensor gc = dropout.backward(c);
+        const ml::Tensor gb = pool.backward(gc);
+        const ml::Tensor ga = relu.backward(gb);
+    });
+
+    ml::Tensor a, b, c, gc, gb, ga; // persistent slots: the arena
+    const double t_arena = best_seconds(reps, [&] {
+        relu.forward_into(input, a, true);
+        pool.forward_into(a, b, true);
+        dropout.forward_into(b, c, true);
+        dropout.backward_into(c, gc);
+        pool.backward_into(gc, gb);
+        relu.backward_into(gb, ga);
+    });
+    out.alloc_us = t_alloc * 1e6;
+    out.arena_us = t_arena * 1e6;
+    return out;
+}
+
 struct RoundResult {
     double naive_serial_ms = 0.0; ///< the pre-PR configuration
     double gemm_serial_ms = 0.0;
@@ -239,6 +291,13 @@ int main(int argc, char** argv) {
                     l.bwd_naive_us / l.bwd_gemm_us);
     }
 
+    // (2b) The elementwise stack: allocating API vs the in-place arena.
+    const ElementwiseResult elementwise = bench_elementwise(reps * 5);
+    std::cout << "\nelementwise stack (" << elementwise.shape << "), fwd+bwd:\n";
+    std::printf("  alloc-per-call %8.1f us   arena %8.1f us   (%.2fx)\n",
+                elementwise.alloc_us, elementwise.arena_us,
+                elementwise.alloc_us / elementwise.arena_us);
+
     // (3) End-to-end rounds: pre-PR baseline vs the new path at 1/2/4/8
     // round threads.
     std::cout << "\npaper/fig04 round time (ms/round, 1 trial):\n";
@@ -286,7 +345,12 @@ int main(int argc, char** argv) {
             l.fwd_naive_us / l.fwd_gemm_us, l.bwd_naive_us, l.bwd_gemm_us,
             l.bwd_naive_us / l.bwd_gemm_us, i + 1 < layers.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"round\": {\n    \"scenario\": \"paper/fig04\",\n");
+    std::fprintf(f,
+                 "  ],\n  \"elementwise\": {\"shape\": \"%s\", \"alloc_us\": %.4g, "
+                 "\"arena_us\": %.4g, \"speedup\": %.4g},\n",
+                 elementwise.shape.c_str(), elementwise.alloc_us, elementwise.arena_us,
+                 elementwise.alloc_us / elementwise.arena_us);
+    std::fprintf(f, "  \"round\": {\n    \"scenario\": \"paper/fig04\",\n");
     std::fprintf(f, "    \"baseline_naive_serial_ms\": %.4g,\n", round.naive_serial_ms);
     std::fprintf(f, "    \"gemm_serial_ms\": %.4g,\n", round.gemm_serial_ms);
     std::fprintf(f, "    \"gemm_threads_ms\": {");

@@ -20,6 +20,14 @@ public:
     /// c(q, theta).
     [[nodiscard]] virtual double cost(const QualityVector& q, double theta) const = 0;
 
+    /// c(q, theta) over a contiguous span of `n` doubles — the
+    /// allocation-free fast path of the flat bid pipeline. The default
+    /// copies into a reused thread-local scratch and calls `cost`; the
+    /// built-in families override it. Bit-identical to `cost` on an equal
+    /// vector by contract.
+    [[nodiscard]] virtual double cost_span(const double* q, std::size_t n,
+                                           double theta) const;
+
     /// dc/dtheta at (q, theta); needed by Che's closed-form payments.
     [[nodiscard]] virtual double cost_theta_derivative(const QualityVector& q,
                                                        double theta) const = 0;
@@ -34,6 +42,8 @@ public:
     explicit AdditiveCost(std::vector<double> betas);
 
     [[nodiscard]] double cost(const QualityVector& q, double theta) const override;
+    [[nodiscard]] double cost_span(const double* q, std::size_t n,
+                                   double theta) const override;
     [[nodiscard]] double cost_theta_derivative(const QualityVector& q,
                                                double theta) const override;
     [[nodiscard]] std::size_t dimensions() const override { return betas_.size(); }

@@ -93,6 +93,33 @@ public:
     [[nodiscard]] double payment_for(const QualityVector& q, double theta,
                                      PaymentMethod method = PaymentMethod::integral) const;
 
+    /// Allocation-free bid computation for the flat `BidFrame` pipeline:
+    /// write q^s(theta) into `out` (dimensions() doubles). Bit-identical to
+    /// `quality`.
+    void quality_into(double theta, double* out) const;
+
+    /// `payment_for` over a span — bit-identical to the vector overload.
+    [[nodiscard]] double payment_for_span(const double* q, std::size_t n, double theta,
+                                          PaymentMethod method
+                                          = PaymentMethod::integral) const;
+
+    /// One sealed quote: the equilibrium payment plus the s(q) evaluated on
+    /// the way (each bit-identical to the individual calls). The fused
+    /// collector prices the bid AND scores it from one pass over q.
+    struct SealedQuote {
+        double payment = 0.0;
+        double quality_score = 0.0;
+    };
+    [[nodiscard]] SealedQuote quote_span(const double* q, std::size_t n, double theta,
+                                         PaymentMethod method
+                                         = PaymentMethod::integral) const;
+
+    /// The scoring rule this strategy was solved against (never null for a
+    /// solver-produced strategy). Callers that maintain their own broadcast
+    /// rule can check identity before reusing quote_span's s(q) as the
+    /// aggregator score.
+    [[nodiscard]] const ScoringRule* scoring_rule() const { return scoring_; }
+
     [[nodiscard]] double theta_lo() const { return theta_lo_; }
     [[nodiscard]] double theta_hi() const { return theta_hi_; }
     [[nodiscard]] double score_lo() const { return u_min_; }

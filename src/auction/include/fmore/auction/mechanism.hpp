@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "fmore/auction/bid_frame.hpp"
 #include "fmore/auction/scoring.hpp"
 #include "fmore/auction/types.hpp"
 #include "fmore/stats/rng.hpp"
@@ -80,6 +81,24 @@ public:
                                                       const std::vector<Bid>& bids,
                                                       stats::Rng& rng) const = 0;
 
+    /// Flat fast path of `rank`: score the frame's active rows and write
+    /// the descending head into `head` — everything `select`/`price` need
+    /// (the complete board when `full_ranking` or a psi scan demands it,
+    /// else the top K(+1) segment). The contract is equivalence: winners
+    /// and payments downstream are bit-identical to materializing the
+    /// active rows with `BidFrame::to_bids` and calling `rank`, which is
+    /// exactly what this default adapter does, so custom mechanisms work
+    /// on frame-collected rounds unmodified. `ScoreAuctionMechanism`
+    /// overrides it with a fused score + top-K pass that never builds the
+    /// bid list: per-worker bounded heaps over parallel chunks, merged and
+    /// sorted by (score desc, shuffled position asc) — a strict total
+    /// order, so the result is identical no matter how chunks land on
+    /// workers. `scratch` and `head` are caller-owned and reused; after
+    /// the first round the override allocates nothing.
+    virtual void rank_frame(const ScoringRule& scoring, const BidFrame& frame,
+                            stats::Rng& rng, RankScratch& scratch,
+                            std::vector<ScoredBid>& head) const;
+
     /// Indices (into the ranking) of the selected winners, in selection
     /// order.
     [[nodiscard]] virtual std::vector<std::size_t>
@@ -91,11 +110,40 @@ public:
     price(const ScoringRule& scoring, const std::vector<ScoredBid>& ranking,
           const std::vector<std::size_t>& chosen) const = 0;
 
+    /// Buffer-reusing twins of `select`/`price` for allocation-free round
+    /// loops: results land in the caller-owned vectors (capacity reused
+    /// across rounds). Defaults delegate to the returning versions, so
+    /// custom mechanisms stay correct; the built-in engine overrides them
+    /// to write in place.
+    virtual void select_into(const std::vector<ScoredBid>& ranking, stats::Rng& rng,
+                             std::vector<std::size_t>& chosen) const {
+        chosen = select(ranking, rng);
+    }
+    virtual void price_into(const ScoringRule& scoring,
+                            const std::vector<ScoredBid>& ranking,
+                            const std::vector<std::size_t>& chosen,
+                            std::vector<Winner>& winners) const {
+        winners = price(scoring, ranking, chosen);
+    }
+
     /// rank -> select -> price. Virtual so a mechanism with entangled
     /// stages can take over the whole round.
     [[nodiscard]] virtual AuctionOutcome run(const ScoringRule& scoring,
                                              const std::vector<Bid>& bids,
                                              stats::Rng& rng) const;
+
+    /// Frame twin of `run`, writing into a caller-reused outcome. The
+    /// default materializes the active rows and calls `run`, so a custom
+    /// mechanism keeps its EXACT semantics on frame-collected rounds —
+    /// including one that overrides `run` wholesale to entangle its
+    /// stages. The built-in engine overrides this with the allocation-free
+    /// rank_frame -> select_into -> price_into composition.
+    virtual void run_frame(const ScoringRule& scoring, const BidFrame& frame,
+                           stats::Rng& rng, RankScratch& scratch,
+                           AuctionOutcome& outcome) const {
+        frame.to_bids(scratch.bids);
+        outcome = run(scoring, scratch.bids, rng);
+    }
 };
 
 /// The configurable score-auction family behind all four built-in registry
@@ -115,11 +163,20 @@ public:
     [[nodiscard]] std::vector<ScoredBid> rank(const ScoringRule& scoring,
                                               const std::vector<Bid>& bids,
                                               stats::Rng& rng) const override;
+    void rank_frame(const ScoringRule& scoring, const BidFrame& frame, stats::Rng& rng,
+                    RankScratch& scratch, std::vector<ScoredBid>& head) const override;
     [[nodiscard]] std::vector<std::size_t>
     select(const std::vector<ScoredBid>& ranking, stats::Rng& rng) const override;
     [[nodiscard]] std::vector<Winner>
     price(const ScoringRule& scoring, const std::vector<ScoredBid>& ranking,
           const std::vector<std::size_t>& chosen) const override;
+    void select_into(const std::vector<ScoredBid>& ranking, stats::Rng& rng,
+                     std::vector<std::size_t>& chosen) const override;
+    void price_into(const ScoringRule& scoring, const std::vector<ScoredBid>& ranking,
+                    const std::vector<std::size_t>& chosen,
+                    std::vector<Winner>& winners) const override;
+    void run_frame(const ScoringRule& scoring, const BidFrame& frame, stats::Rng& rng,
+                   RankScratch& scratch, AuctionOutcome& outcome) const override;
 
     [[nodiscard]] const MechanismSpec& spec() const { return spec_; }
 

@@ -47,6 +47,20 @@ public:
         return score(bid.quality, bid.payment);
     }
 
+    /// s(q) over a contiguous span of `n` doubles — the allocation-free
+    /// fast path the flat `BidFrame` pipeline scores rows through. The
+    /// default copies into a reused thread-local scratch vector and calls
+    /// `quality_score`, so custom rules stay correct (and allocation-free
+    /// after warm-up) without overriding anything; the built-in families
+    /// override it to compute straight off the span. Results are
+    /// bit-identical to `quality_score` on an equal vector by contract.
+    [[nodiscard]] virtual double quality_score_span(const double* q, std::size_t n) const;
+
+    /// S(q, p) over a span (see quality_score_span).
+    [[nodiscard]] double score_span(const double* q, std::size_t n, double payment) const {
+        return quality_score_span(q, n) - payment;
+    }
+
     /// Number of quality dimensions this rule expects.
     [[nodiscard]] virtual std::size_t dimensions() const = 0;
 };
@@ -80,6 +94,7 @@ class AdditiveScoring final : public WeightedScoringBase {
 public:
     using WeightedScoringBase::WeightedScoringBase;
     [[nodiscard]] double quality_score(const QualityVector& q) const override;
+    [[nodiscard]] double quality_score_span(const double* q, std::size_t n) const override;
 };
 
 /// Perfect-complementary (Leontief) utility: s(q) = min_i alpha_i q_i;
@@ -90,6 +105,7 @@ class LeontiefScoring final : public WeightedScoringBase {
 public:
     using WeightedScoringBase::WeightedScoringBase;
     [[nodiscard]] double quality_score(const QualityVector& q) const override;
+    [[nodiscard]] double quality_score_span(const double* q, std::size_t n) const override;
 };
 
 /// General Cobb-Douglas utility: s(q) = prod_i q_i^{alpha_i}. The paper's
@@ -99,6 +115,7 @@ class CobbDouglasScoring final : public WeightedScoringBase {
 public:
     using WeightedScoringBase::WeightedScoringBase;
     [[nodiscard]] double quality_score(const QualityVector& q) const override;
+    [[nodiscard]] double quality_score_span(const double* q, std::size_t n) const override;
 };
 
 /// Scaled product utility s(q) = alpha * q_1 * q_2 * ... * q_m; the exact
@@ -110,6 +127,7 @@ public:
                          std::vector<stats::MinMaxNormalizer> normalizers = {});
 
     [[nodiscard]] double quality_score(const QualityVector& q) const override;
+    [[nodiscard]] double quality_score_span(const double* q, std::size_t n) const override;
     [[nodiscard]] std::size_t dimensions() const override { return dims_; }
     [[nodiscard]] double alpha() const { return alpha_; }
 

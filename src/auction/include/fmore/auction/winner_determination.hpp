@@ -51,6 +51,14 @@ public:
     ///         top K(+1) when `config.full_ranking` is false)
     [[nodiscard]] AuctionOutcome run(const std::vector<Bid>& bids, stats::Rng& rng) const;
 
+    /// Frame-based twin of `run` (the allocation-light path), routed
+    /// through `Mechanism::run_frame` over caller-owned scratch. Winners,
+    /// payments and the recorded ranking are bit-identical to `run` on
+    /// `BidFrame::to_bids` of the same frame — for custom mechanisms the
+    /// default run_frame adapter literally IS that call.
+    [[nodiscard]] AuctionOutcome run_frame(const BidFrame& frame, stats::Rng& rng,
+                                           RankScratch& scratch) const;
+
     [[nodiscard]] const WinnerDeterminationConfig& config() const { return config_; }
     [[nodiscard]] const Mechanism& mechanism() const { return *mechanism_; }
 

@@ -1,0 +1,58 @@
+#include "fmore/auction/bid_frame.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace fmore::auction {
+
+void BidFrame::reset(std::size_t rows, std::size_t dims) {
+    rows_ = rows;
+    dims_ = dims;
+    quality_.resize(rows * dims);
+    payment_.resize(rows);
+    score_.resize(rows);
+    active_.assign(rows, 1);
+    scored_ = false;
+}
+
+std::size_t BidFrame::active_count() const {
+    std::size_t n = 0;
+    for (const std::uint8_t a : active_) n += a;
+    return n;
+}
+
+void BidFrame::to_bids(std::vector<Bid>& out) const {
+    out.resize(active_count());
+    std::size_t k = 0;
+    for (NodeId i = 0; i < rows_; ++i) {
+        if (!active(i)) continue;
+        Bid& bid = out[k++];
+        bid.node = i;
+        bid.quality.assign(quality_row(i), quality_row(i) + dims_);
+        bid.payment = payment_[i];
+    }
+}
+
+void BidFrame::from_bids(const std::vector<Bid>& bids) {
+    std::size_t rows = 0;
+    const std::size_t dims = bids.empty() ? 0 : bids.front().quality.size();
+    for (const Bid& bid : bids) rows = std::max(rows, bid.node + 1);
+    reset(rows, dims);
+    std::fill(active_.begin(), active_.end(), std::uint8_t{0});
+    for (const Bid& bid : bids) {
+        if (bid.quality.size() != dims)
+            throw std::invalid_argument(
+                "BidFrame::from_bids: inconsistent quality dimensions ("
+                + std::to_string(bid.quality.size()) + " vs " + std::to_string(dims)
+                + ")");
+        if (active(bid.node))
+            throw std::invalid_argument("BidFrame::from_bids: duplicate NodeId "
+                                        + std::to_string(bid.node));
+        std::copy(bid.quality.begin(), bid.quality.end(), quality_row(bid.node));
+        payment_[bid.node] = bid.payment;
+        active_[bid.node] = 1;
+    }
+}
+
+} // namespace fmore::auction

@@ -21,6 +21,14 @@ void check_quality_dims(const QualityVector& q, std::size_t expected) {
 
 } // namespace
 
+double CostModel::cost_span(const double* q, std::size_t n, double theta) const {
+    // Correct-by-default adapter for custom models: the scratch keeps its
+    // capacity across calls, so steady-state rounds stay allocation-free.
+    thread_local QualityVector scratch;
+    scratch.assign(q, q + n);
+    return cost(scratch, theta);
+}
+
 AdditiveCost::AdditiveCost(std::vector<double> betas) : betas_(std::move(betas)) {
     check_betas(betas_);
 }
@@ -29,6 +37,14 @@ double AdditiveCost::cost(const QualityVector& q, double theta) const {
     check_quality_dims(q, betas_.size());
     double total = 0.0;
     for (std::size_t d = 0; d < q.size(); ++d) total += betas_[d] * q[d];
+    return theta * total;
+}
+
+double AdditiveCost::cost_span(const double* q, std::size_t n, double theta) const {
+    if (n != betas_.size())
+        throw std::invalid_argument("cost: quality vector has wrong dimension");
+    double total = 0.0;
+    for (std::size_t d = 0; d < n; ++d) total += betas_[d] * q[d];
     return theta * total;
 }
 

@@ -69,6 +69,45 @@ double EquilibriumStrategy::payment_for(const QualityVector& q, double theta,
     return c + markup_at_score(u, method);
 }
 
+void EquilibriumStrategy::quality_into(double theta, double* out) const {
+    // Every quality curve is tabulated by the solver on the SAME theta
+    // grid, so one segment lookup serves all dimensions. Values are
+    // bit-identical to calling each curve's operator() (same segment, same
+    // lerp arithmetic).
+    const numeric::LinearInterpolator& first = *quality_curves_[0];
+    if (theta <= first.x_min()) {
+        for (std::size_t d = 0; d < quality_curves_.size(); ++d) {
+            out[d] = quality_curves_[d]->ys().front();
+        }
+        return;
+    }
+    if (theta >= first.x_max()) {
+        for (std::size_t d = 0; d < quality_curves_.size(); ++d) {
+            out[d] = quality_curves_[d]->ys().back();
+        }
+        return;
+    }
+    const std::size_t hi = first.segment_for(theta);
+    for (std::size_t d = 0; d < quality_curves_.size(); ++d) {
+        out[d] = quality_curves_[d]->eval_segment(hi, theta);
+    }
+}
+
+double EquilibriumStrategy::payment_for_span(const double* q, std::size_t n, double theta,
+                                             PaymentMethod method) const {
+    const double c = cost_->cost_span(q, n, theta);
+    const double u = scoring_->quality_score_span(q, n) - c;
+    return c + markup_at_score(u, method);
+}
+
+EquilibriumStrategy::SealedQuote EquilibriumStrategy::quote_span(
+    const double* q, std::size_t n, double theta, PaymentMethod method) const {
+    const double c = cost_->cost_span(q, n, theta);
+    const double s = scoring_->quality_score_span(q, n);
+    const double u = s - c;
+    return {c + markup_at_score(u, method), s};
+}
+
 const numeric::LinearInterpolator&
 EquilibriumStrategy::markup_curve(PaymentMethod method) const {
     switch (method) {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <typeinfo>
 #include <utility>
 
 #include "fmore/util/registry.hpp"
+#include "fmore/util/thread_pool.hpp"
 
 namespace fmore::auction {
 
@@ -20,6 +22,33 @@ AuctionOutcome Mechanism::run(const ScoringRule& scoring, const std::vector<Bid>
     const std::vector<std::size_t> chosen = select(outcome.ranking, rng);
     outcome.winners = price(scoring, outcome.ranking, chosen);
     return outcome;
+}
+
+void Mechanism::rank_frame(const ScoringRule& scoring, const BidFrame& frame,
+                           stats::Rng& rng, RankScratch& scratch,
+                           std::vector<ScoredBid>& head) const {
+    // Adapter default: any mechanism that only implements the vector API
+    // works on frame-collected rounds (at the vector API's cost).
+    frame.to_bids(scratch.bids);
+    head = rank(scoring, scratch.bids, rng);
+}
+
+void ScoreAuctionMechanism::run_frame(const ScoringRule& scoring, const BidFrame& frame,
+                                      stats::Rng& rng, RankScratch& scratch,
+                                      AuctionOutcome& outcome) const {
+    // Subclasses may override ANY vector-API stage (run/rank/select/price
+    // — e.g. a reserve-price select()); composing our own _into stages
+    // here would silently bypass those overrides on frame rounds. The
+    // fused fast lane is therefore reserved for the exact engine type (all
+    // built-in registry entries); subclasses route through the base
+    // adapter, which honours every dynamic override at vector-API cost.
+    if (typeid(*this) != typeid(ScoreAuctionMechanism)) {
+        Mechanism::run_frame(scoring, frame, rng, scratch, outcome);
+        return;
+    }
+    rank_frame(scoring, frame, rng, scratch, outcome.ranking);
+    select_into(outcome.ranking, rng, scratch.chosen);
+    price_into(scoring, outcome.ranking, scratch.chosen, outcome.winners);
 }
 
 // ---------------------------------------------------------------------------
@@ -109,10 +138,155 @@ std::vector<ScoredBid> ScoreAuctionMechanism::rank(const ScoringRule& scoring,
     return head;
 }
 
+void ScoreAuctionMechanism::rank_frame(const ScoringRule& scoring, const BidFrame& frame,
+                                       stats::Rng& rng, RankScratch& scratch,
+                                       std::vector<ScoredBid>& head) const {
+    // Same exact-type dispatch as run_frame: a subclass overriding rank()
+    // must see its override even when a caller invokes rank_frame
+    // directly — the fused lane below replicates the BASE ranking only.
+    if (typeid(*this) != typeid(ScoreAuctionMechanism)) {
+        Mechanism::rank_frame(scoring, frame, rng, scratch, head);
+        return;
+    }
+    // Active rows in ascending node order — the same sequence
+    // `BidFrame::to_bids` materializes, so the tie-break shuffle below
+    // consumes exactly the RNG draws the vector path would.
+    std::vector<std::size_t>& active = scratch.active;
+    active.clear();
+    for (NodeId row = 0; row < frame.rows(); ++row) {
+        if (frame.active(row)) active.push_back(row);
+    }
+    const std::size_t m = active.size();
+    if (frame.rows() > UINT32_MAX)
+        throw std::invalid_argument("rank_frame: more than 2^32 rows");
+
+    std::vector<std::size_t>& order = scratch.order;
+    order.assign(active.begin(), active.end());
+    rng.shuffle(order);
+    // Inverse permutation: each row's coin-flip tie-break key. Inverting
+    // lets the scan below walk rows in ASCENDING order — streaming the
+    // frame columns — instead of hopping through them in shuffled order.
+    std::vector<std::uint32_t>& pos = scratch.pos;
+    pos.resize(frame.rows());
+    for (std::size_t j = 0; j < m; ++j) pos[order[j]] = static_cast<std::uint32_t>(j);
+
+    // Same cut-off rule as `rank`: the psi scan walks the whole board and
+    // `full_ranking` is the Fig. 8 contract, so both force the full sort.
+    const bool probabilistic = spec_.psi < 1.0 || !spec_.psi_per_node.empty();
+    std::size_t top = m;
+    if (!spec_.full_ranking && !probabilistic) {
+        top = std::min<std::size_t>(m, spec_.num_winners);
+        if (spec_.payment_rule == PaymentRule::second_price)
+            top = std::min<std::size_t>(m, top + 1);
+    }
+
+    using Candidate = RankScratch::Candidate;
+    // (score desc, shuffled position asc) is a strict total order —
+    // positions are unique — and equals what stable_sort over the shuffled
+    // bid list produces: the bit-identity argument of this whole fast path.
+    const auto better = [](const Candidate& a, const Candidate& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.pos < b.pos;
+    };
+    const std::size_t dims = frame.dims();
+    // A collector that filled the score column already did this arithmetic
+    // with the row's quality hot in registers; otherwise score on the fly.
+    const bool scored = frame.scored();
+    const auto candidate_at = [&](std::size_t a) {
+        const NodeId row = active[a];
+        const double score =
+            scored ? frame.score(row)
+                   : scoring.score_span(frame.quality_row(row), dims, frame.payment(row));
+        return Candidate{score, pos[row]};
+    };
+
+    constexpr std::size_t kChunk = 2048;
+    const std::size_t chunks = (m + kChunk - 1) / kChunk;
+    const std::size_t workers =
+        chunks <= 1 ? 1 : util::resolve_round_threads(0, chunks);
+
+    std::vector<Candidate>& merged = scratch.merged;
+    merged.clear();
+    if (top >= m) {
+        // Full board: one streaming pass (chunk-parallel when workers are
+        // idle) and a single sort.
+        merged.resize(m);
+        if (workers <= 1) {
+            for (std::size_t a = 0; a < m; ++a) merged[a] = candidate_at(a);
+        } else {
+            util::ThreadPool::shared().parallel_for(
+                chunks, workers - 1, [&](std::size_t, std::size_t chunk) {
+                    const std::size_t lo = chunk * kChunk;
+                    const std::size_t hi = std::min(m, lo + kChunk);
+                    for (std::size_t a = lo; a < hi; ++a) merged[a] = candidate_at(a);
+                });
+        }
+        std::sort(merged.begin(), merged.end(), better);
+    } else {
+        // Fused top-K: each worker slot keeps a bounded heap (root = worst
+        // kept candidate) over the chunks it happens to claim. The union
+        // of the per-slot heaps always contains the global top `top`, so
+        // the deterministic merge sort below yields the same head
+        // regardless of how chunks landed on slots.
+        const std::size_t slots = std::max<std::size_t>(1, workers);
+        scratch.slot_cands.resize(slots * top);
+        scratch.slot_size.assign(slots, 0);
+        const auto consider = [&](std::size_t slot, std::size_t a) {
+            const Candidate cand = candidate_at(a);
+            Candidate* heap = scratch.slot_cands.data() + slot * top;
+            std::size_t& size = scratch.slot_size[slot];
+            if (size < top) {
+                heap[size++] = cand;
+                std::push_heap(heap, heap + size, better);
+            } else if (better(cand, heap[0])) {
+                std::pop_heap(heap, heap + size, better);
+                heap[size - 1] = cand;
+                std::push_heap(heap, heap + size, better);
+            }
+        };
+        if (workers <= 1) {
+            for (std::size_t a = 0; a < m; ++a) consider(0, a);
+        } else {
+            util::ThreadPool::shared().parallel_for(
+                chunks, workers - 1, [&](std::size_t slot, std::size_t chunk) {
+                    const std::size_t lo = chunk * kChunk;
+                    const std::size_t hi = std::min(m, lo + kChunk);
+                    for (std::size_t a = lo; a < hi; ++a) consider(slot, a);
+                });
+        }
+        for (std::size_t slot = 0; slot < slots; ++slot) {
+            const Candidate* heap = scratch.slot_cands.data() + slot * top;
+            merged.insert(merged.end(), heap, heap + scratch.slot_size[slot]);
+        }
+        std::sort(merged.begin(), merged.end(), better);
+        if (merged.size() > top) merged.resize(top);
+    }
+
+    // Materialize the head. Entries and their QualityVectors are reused
+    // across rounds, so a steady-state round allocates nothing here.
+    head.resize(merged.size());
+    for (std::size_t r = 0; r < merged.size(); ++r) {
+        const NodeId row = order[merged[r].pos];
+        ScoredBid& sb = head[r];
+        sb.bid.node = row;
+        sb.bid.quality.assign(frame.quality_row(row), frame.quality_row(row) + dims);
+        sb.bid.payment = frame.payment(row);
+        sb.score = merged[r].score;
+    }
+}
+
 std::vector<std::size_t> ScoreAuctionMechanism::select(const std::vector<ScoredBid>& ranking,
                                                        stats::Rng& rng) const {
-    const std::size_t want = std::min<std::size_t>(spec_.num_winners, ranking.size());
     std::vector<std::size_t> chosen;
+    select_into(ranking, rng, chosen);
+    return chosen;
+}
+
+void ScoreAuctionMechanism::select_into(const std::vector<ScoredBid>& ranking,
+                                        stats::Rng& rng,
+                                        std::vector<std::size_t>& chosen) const {
+    const std::size_t want = std::min<std::size_t>(spec_.num_winners, ranking.size());
+    chosen.clear();
     chosen.reserve(want);
     auto psi_for = [this](NodeId node) {
         if (spec_.psi_per_node.empty()) return spec_.psi;
@@ -127,15 +301,18 @@ std::vector<std::size_t> ScoreAuctionMechanism::select(const std::vector<ScoredB
     };
     if (spec_.psi >= 1.0 && spec_.psi_per_node.empty()) {
         for (std::size_t i = 0; i < want; ++i) chosen.push_back(i);
-        return chosen;
+        return;
     }
-    std::vector<bool> taken(ranking.size(), false);
+    // Scratch keeps its capacity across rounds (allocation-free steady
+    // state); per-thread so concurrent trials do not share flags.
+    thread_local std::vector<std::uint8_t> taken;
+    taken.assign(ranking.size(), 0);
     std::size_t passes = 0;
     while (chosen.size() < want && passes < spec_.max_psi_passes) {
         for (std::size_t i = 0; i < ranking.size() && chosen.size() < want; ++i) {
-            if (taken[i]) continue;
+            if (taken[i] != 0) continue;
             if (rng.bernoulli(psi_for(ranking[i].bid.node))) {
-                taken[i] = true;
+                taken[i] = 1;
                 chosen.push_back(i);
             }
         }
@@ -143,12 +320,11 @@ std::vector<std::size_t> ScoreAuctionMechanism::select(const std::vector<ScoredB
     }
     // Deterministic fill if psi was so small that the passes budget ran out.
     for (std::size_t i = 0; i < ranking.size() && chosen.size() < want; ++i) {
-        if (!taken[i]) {
-            taken[i] = true;
+        if (taken[i] == 0) {
+            taken[i] = 1;
             chosen.push_back(i);
         }
     }
-    return chosen;
 }
 
 double ScoreAuctionMechanism::payment_for(const ScoringRule& scoring,
@@ -169,21 +345,31 @@ double ScoreAuctionMechanism::payment_for(const ScoringRule& scoring,
 std::vector<Winner> ScoreAuctionMechanism::price(const ScoringRule& scoring,
                                                  const std::vector<ScoredBid>& ranking,
                                                  const std::vector<std::size_t>& chosen) const {
+    std::vector<Winner> winners;
+    price_into(scoring, ranking, chosen, winners);
+    return winners;
+}
+
+void ScoreAuctionMechanism::price_into(const ScoringRule& scoring,
+                                       const std::vector<ScoredBid>& ranking,
+                                       const std::vector<std::size_t>& chosen,
+                                       std::vector<Winner>& winners) const {
     // Best losing score for second-price payments: the highest-ranked bid
     // that was not selected; a reserve score of zero if everyone won.
     double best_losing_score = 0.0;
     if (spec_.payment_rule == PaymentRule::second_price) {
-        std::vector<bool> selected(ranking.size(), false);
-        for (const std::size_t i : chosen) selected[i] = true;
+        thread_local std::vector<std::uint8_t> selected;
+        selected.assign(ranking.size(), 0);
+        for (const std::size_t i : chosen) selected[i] = 1;
         for (std::size_t i = 0; i < ranking.size(); ++i) {
-            if (!selected[i]) {
+            if (selected[i] == 0) {
                 best_losing_score = ranking[i].score;
                 break;
             }
         }
     }
 
-    std::vector<Winner> winners;
+    winners.clear();
     winners.reserve(chosen.size());
     double spent = 0.0;
     for (const std::size_t i : chosen) {
@@ -198,7 +384,6 @@ std::vector<Winner> ScoreAuctionMechanism::price(const ScoringRule& scoring,
         spent += payment;
         winners.push_back(Winner{sb.bid.node, sb.score, payment});
     }
-    return winners;
 }
 
 // ---------------------------------------------------------------------------

@@ -24,11 +24,30 @@ void WeightedScoringBase::check_dims(const QualityVector& q) const {
         throw std::invalid_argument("scoring: quality vector has wrong dimension");
 }
 
+double ScoringRule::quality_score_span(const double* q, std::size_t n) const {
+    // Correct-by-default adapter for custom rules: the scratch keeps its
+    // capacity across calls, so steady-state rounds stay allocation-free.
+    thread_local QualityVector scratch;
+    scratch.assign(q, q + n);
+    return quality_score(scratch);
+}
+
 double AdditiveScoring::quality_score(const QualityVector& q) const {
     check_dims(q);
     double total = 0.0;
     for (std::size_t d = 0; d < q.size(); ++d) {
         total += coefficients_[d] * normalized(q, d);
+    }
+    return total;
+}
+
+double AdditiveScoring::quality_score_span(const double* q, std::size_t n) const {
+    if (n != coefficients_.size())
+        throw std::invalid_argument("scoring: quality vector has wrong dimension");
+    double total = 0.0;
+    for (std::size_t d = 0; d < n; ++d) {
+        const double qi = normalizers_.empty() ? q[d] : normalizers_[d].transform(q[d]);
+        total += coefficients_[d] * qi;
     }
     return total;
 }
@@ -42,11 +61,37 @@ double LeontiefScoring::quality_score(const QualityVector& q) const {
     return lowest;
 }
 
+double LeontiefScoring::quality_score_span(const double* q, std::size_t n) const {
+    if (n != coefficients_.size())
+        throw std::invalid_argument("scoring: quality vector has wrong dimension");
+    auto norm = [this, q](std::size_t d) {
+        return normalizers_.empty() ? q[d] : normalizers_[d].transform(q[d]);
+    };
+    double lowest = coefficients_[0] * norm(0);
+    for (std::size_t d = 1; d < n; ++d) {
+        lowest = std::min(lowest, coefficients_[d] * norm(d));
+    }
+    return lowest;
+}
+
 double CobbDouglasScoring::quality_score(const QualityVector& q) const {
     check_dims(q);
     double product = 1.0;
     for (std::size_t d = 0; d < q.size(); ++d) {
         const double qi = normalized(q, d);
+        if (qi < 0.0)
+            throw std::domain_error("CobbDouglasScoring: negative quality");
+        product *= std::pow(qi, coefficients_[d]);
+    }
+    return product;
+}
+
+double CobbDouglasScoring::quality_score_span(const double* q, std::size_t n) const {
+    if (n != coefficients_.size())
+        throw std::invalid_argument("scoring: quality vector has wrong dimension");
+    double product = 1.0;
+    for (std::size_t d = 0; d < n; ++d) {
+        const double qi = normalizers_.empty() ? q[d] : normalizers_[d].transform(q[d]);
         if (qi < 0.0)
             throw std::domain_error("CobbDouglasScoring: negative quality");
         product *= std::pow(qi, coefficients_[d]);
@@ -64,6 +109,16 @@ ScaledProductScoring::ScaledProductScoring(double alpha, std::size_t dims,
 
 double ScaledProductScoring::quality_score(const QualityVector& q) const {
     if (q.size() != dims_)
+        throw std::invalid_argument("ScaledProductScoring: quality vector has wrong dimension");
+    double product = alpha_;
+    for (std::size_t d = 0; d < dims_; ++d) {
+        product *= normalizers_.empty() ? q[d] : normalizers_[d].transform(q[d]);
+    }
+    return product;
+}
+
+double ScaledProductScoring::quality_score_span(const double* q, std::size_t n) const {
+    if (n != dims_)
         throw std::invalid_argument("ScaledProductScoring: quality vector has wrong dimension");
     double product = alpha_;
     for (std::size_t d = 0; d < dims_; ++d) {

@@ -22,4 +22,11 @@ AuctionOutcome WinnerDetermination::run(const std::vector<Bid>& bids,
     return mechanism_->run(scoring_, bids, rng);
 }
 
+AuctionOutcome WinnerDetermination::run_frame(const BidFrame& frame, stats::Rng& rng,
+                                              RankScratch& scratch) const {
+    AuctionOutcome outcome;
+    mechanism_->run_frame(scoring_, frame, rng, scratch, outcome);
+    return outcome;
+}
+
 } // namespace fmore::auction

@@ -139,6 +139,40 @@ ScenarioRegistry::ScenarioRegistry() : impl_(std::make_shared<Impl>()) {
             spec.auction.payment_rule = auction::PaymentRule::second_price;
             return spec;
         });
+    // Market-scale presets: auction-heavy, training-light. The selection
+    // layer is what grows with N (the SoA store + fused BidFrame path keep
+    // it O(N) with zero steady-state allocations); training stays a token
+    // 2-sample-per-node workload so the preset exercises scale, not SGD.
+    // full_scoreboard=false wires in the fused O(N log K) top-K ranking —
+    // at these N a full Fig. 8 board would dominate the round.
+    auto scale_preset = [](std::size_t nodes) {
+        ExperimentSpec spec = default_experiment(DatasetKind::mnist_o);
+        spec.population.num_nodes = nodes;
+        spec.population.shards_lo = 1;
+        spec.population.shards_hi = 2;
+        spec.population.data_lo = 1;
+        spec.population.data_hi = 3;
+        spec.auction.winners = 32;
+        spec.auction.full_scoreboard = false;
+        spec.training.train_samples = 2 * nodes;
+        spec.training.test_samples = 200;
+        spec.training.rounds = 3;
+        spec.training.local_epochs = 1;
+        spec.training.batch_size = 8;
+        spec.training.eval_cap = 100;
+        return spec;
+    };
+    add_builtin("scale/10k",
+        "10,000-node market, K=32, fused O(N log K) selection, token training",
+        [scale_preset] { return scale_preset(10'000); });
+    add_builtin("scale/100k",
+        "100,000-node market, K=32, fused O(N log K) selection, token training",
+        [scale_preset] { return scale_preset(100'000); });
+    add_builtin("scale/1m",
+        "1,000,000-node market, K=32: the north-star population. Dataset "
+        "synthesis at this N is heavy — bench/scale_round runs the same "
+        "market shard-free on the synthetic PopulationStore instead",
+        [scale_preset] { return scale_preset(1'000'000); });
 }
 
 ScenarioRegistry& ScenarioRegistry::instance() {

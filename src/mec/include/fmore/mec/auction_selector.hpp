@@ -1,7 +1,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <vector>
 
+#include "fmore/auction/bid_frame.hpp"
 #include "fmore/auction/equilibrium.hpp"
 #include "fmore/auction/winner_determination.hpp"
 #include "fmore/fl/selection.hpp"
@@ -16,9 +19,27 @@ namespace fmore::mec {
 using QualityExtractor =
     std::function<auction::QualityVector(const ResourceState& available)>;
 
-/// Canned extractors for the paper's two setups.
-QualityExtractor data_category_extractor();
-QualityExtractor cpu_bandwidth_data_extractor();
+/// Positional column map: quality dimension d is read from the population
+/// store's `layout[d]` column. This is the fused-path form of a
+/// QualityExtractor — no per-node vector is ever built.
+using QualityLayout = std::vector<ResourceDim>;
+
+/// How the selector reads each node's available resources. A column
+/// `layout` enables the allocation-free fused SoA round path (an
+/// equivalent `fn` is derived for the AoS reference path); a bare custom
+/// function is always honoured but pins the selector to the classic
+/// per-bid path, since the store cannot see through arbitrary code.
+struct QualitySource {
+    QualityLayout layout;
+    QualityExtractor fn;
+
+    QualitySource(QualityLayout layout);  // NOLINT(google-explicit-constructor)
+    QualitySource(QualityExtractor fn);   // NOLINT(google-explicit-constructor)
+};
+
+/// Canned sources for the paper's two setups.
+QualitySource data_category_extractor();
+QualitySource cpu_bandwidth_data_extractor();
 
 /// FMore's bid-ask / bid-collection / winner-determination loop as an
 /// fl::ClientSelector (steps 1-3 of Section III.A). Each round:
@@ -34,15 +55,36 @@ QualityExtractor cpu_bandwidth_data_extractor();
 /// Winners train on the data volume they bid (`train_samples`), which is
 /// how the incentive layer feeds back into learning performance.
 ///
+/// Two equivalent engines drive a round:
+///  - the **fused SoA path** (default when a QualityLayout is available):
+///    bids are written straight into a reused `auction::BidFrame` by
+///    parallel chunks reading the population store's columns, ranked by
+///    `Mechanism::rank_frame`'s fused score+top-K pass, selected and
+///    priced into reused buffers — a steady-state round performs zero
+///    allocations in the bid path and never materializes N `Bid` objects;
+///  - the **classic path** (custom extractors, or `FMORE_BID_PATH=legacy`):
+///    the historical per-bid `std::vector<Bid>` collection plus a
+///    `WinnerDetermination` rebuilt per round — kept as the reference the
+///    equivalence tests and the scale bench compare against.
+/// Winners, payments and metrics are bit-identical across the two.
+///
 /// The ranking cost is governed by `wd_config.full_ranking`: true records
 /// the complete Fig. 8 score board in each round's SelectionRecord; false
-/// uses the O(N log K) partial-ranking path (winners bit-identical, the
+/// uses the O(N log K) fused partial path (winners bit-identical, the
 /// recorded board truncated to what selection needed).
 class AuctionSelector final : public fl::ClientSelector {
 public:
     /// `data_dimension` indexes which quality dimension is the data size
     /// (caps the samples a winner trains on); pass npos when the scoring
     /// rule prices no data dimension.
+    AuctionSelector(MecPopulation& population,
+                    const auction::ScoringRule& scoring,
+                    const auction::EquilibriumStrategy& strategy,
+                    auction::WinnerDeterminationConfig wd_config,
+                    QualitySource source, std::size_t data_dimension,
+                    auction::PaymentMethod payment_method
+                    = auction::PaymentMethod::integral);
+    /// Custom-extractor convenience overload (classic path).
     AuctionSelector(MecPopulation& population,
                     const auction::ScoringRule& scoring,
                     const auction::EquilibriumStrategy& strategy,
@@ -62,8 +104,23 @@ public:
         return data_dimension_ != npos;
     }
 
-    /// The sealed bids of the most recent round (inspection/benches).
-    [[nodiscard]] const std::vector<auction::Bid>& last_bids() const { return last_bids_; }
+    /// One auction-only round over the reused buffers: drift (round > 1),
+    /// collect, rank, select, price — no compliance rolls and no
+    /// SelectionRecord assembly. This is the entry `bench/scale_round`
+    /// times; on the fused path a steady-state call allocates nothing.
+    /// The returned outcome is owned by the selector and overwritten by
+    /// the next round.
+    [[nodiscard]] const auction::AuctionOutcome& run_auction_round(std::size_t round,
+                                                                   std::size_t k,
+                                                                   stats::Rng& rng);
+
+    /// True when rounds run the fused SoA path (layout available and
+    /// `FMORE_BID_PATH` does not force the classic one).
+    [[nodiscard]] bool fused_path() const { return fused_path_; }
+
+    /// The sealed bids of the most recent round (inspection/benches); on
+    /// the fused path they are materialized lazily from the frame.
+    [[nodiscard]] const std::vector<auction::Bid>& last_bids() const;
 
     /// Enable the contract-compliance model (Section III.A step 4): winners
     /// may under-deliver; detected defectors are blacklisted and excluded
@@ -74,16 +131,37 @@ public:
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
 private:
+    void collect_frame();
+    void run_fused_round(std::size_t k, stats::Rng& rng);
+    void run_classic_round(std::size_t k, stats::Rng& rng);
+    [[nodiscard]] double bid_quality(auction::NodeId node, std::size_t dim) const;
+
     MecPopulation& population_;
     const auction::ScoringRule& scoring_;
     const auction::EquilibriumStrategy& strategy_;
     auction::WinnerDeterminationConfig wd_config_;
+    QualityLayout layout_;
     QualityExtractor extractor_;
     std::size_t data_dimension_;
     auction::PaymentMethod payment_method_;
-    std::vector<auction::Bid> last_bids_;
     ComplianceSpec compliance_;
     Blacklist blacklist_;
+    bool fused_path_ = false;
+    /// True when `strategy_` was solved against `scoring_` itself, letting
+    /// the collector reuse the quote's s(q) as the aggregator score.
+    bool strategy_scores_broadcast_rule_ = false;
+
+    // Fused-path state, reused across rounds.
+    auction::BidFrame frame_;
+    auction::RankScratch scratch_;
+    auction::AuctionOutcome outcome_;
+    std::vector<const double*> columns_;
+    std::shared_ptr<const auction::Mechanism> mechanism_;
+    std::size_t mechanism_k_ = npos;
+
+    // Classic-path bid list, doubling as the lazy `last_bids()` cache.
+    mutable std::vector<auction::Bid> last_bids_;
+    mutable bool last_bids_stale_ = false;
 };
 
 } // namespace fmore::mec

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_set>
+#include <cstdint>
+#include <vector>
 
 #include "fmore/stats/rng.hpp"
 
@@ -11,17 +12,38 @@ namespace fmore::mec {
 /// not comply with the contract, it will be put into the blacklist by the
 /// aggregator"). Banned nodes are excluded from every later bid-collection
 /// phase.
+///
+/// Storage is a flat epoch-stamped array keyed by NodeId: `contains` is a
+/// bounds check plus one load — no hashing — which matters because the bid
+/// collector asks it once per node per round. `clear` bumps the epoch
+/// instead of touching N entries, so the array is reusable across trials
+/// at O(1).
 class Blacklist {
 public:
-    void ban(std::size_t node) { banned_.insert(node); }
-    [[nodiscard]] bool contains(std::size_t node) const {
-        return banned_.count(node) > 0;
+    void ban(std::size_t node) {
+        if (node >= stamp_.size()) stamp_.resize(node + 1, 0);
+        if (stamp_[node] != epoch_) {
+            stamp_[node] = epoch_;
+            ++banned_;
+        }
     }
-    [[nodiscard]] std::size_t size() const { return banned_.size(); }
-    void clear() { banned_.clear(); }
+    [[nodiscard]] bool contains(std::size_t node) const {
+        return node < stamp_.size() && stamp_[node] == epoch_;
+    }
+    [[nodiscard]] std::size_t size() const { return banned_; }
+    void clear() {
+        ++epoch_;
+        banned_ = 0;
+        if (epoch_ == 0) {  // wrapped: stale stamps could alias, wipe once
+            stamp_.assign(stamp_.size(), 0);
+            epoch_ = 1;
+        }
+    }
 
 private:
-    std::unordered_set<std::size_t> banned_;
+    std::vector<std::uint32_t> stamp_;  ///< stamp_[node] == epoch_ <=> banned
+    std::uint32_t epoch_ = 1;
+    std::size_t banned_ = 0;
 };
 
 /// Stochastic contract-compliance model: a winner defects in a given round

@@ -3,44 +3,54 @@
 #include <vector>
 
 #include "fmore/mec/edge_node.hpp"
+#include "fmore/mec/population_store.hpp"
 #include "fmore/ml/partition.hpp"
 #include "fmore/stats/distributions.hpp"
 
 namespace fmore::mec {
 
-/// Ranges used to initialize the non-data resources of a population.
-struct PopulationSpec {
-    double bandwidth_lo = 10.0;    ///< Mbps
-    double bandwidth_hi = 1000.0;  ///< paper's testbed tops at 1 Gbps
-    double cpu_lo = 1.0;           ///< cores usable for training
-    double cpu_hi = 8.0;           ///< the testbed's i7
-    ResourceDynamics dynamics{};
-};
-
-/// The N edge nodes of one MEC deployment. Data resources come from the
-/// non-IID shards (the node's data size / label diversity are whatever its
-/// shard holds); bandwidth/CPU and the private theta are drawn here.
+/// The N edge nodes of one MEC deployment — a thin view over the
+/// structure-of-arrays `PopulationStore` that actually holds the state.
+/// Data resources come from the non-IID shards (the node's data size /
+/// label diversity are whatever its shard holds); bandwidth/CPU and the
+/// private theta are drawn by the store.
+///
+/// Hot paths (bid collection, the wall-clock model) read the store's
+/// columns directly via `store()`; the AoS API — `node(i)` / `nodes()` —
+/// is a lazily refreshed mirror kept for tests, examples and inspection.
+/// Touching it after an `evolve` costs one O(N) rebuild, which production
+/// round loops never pay.
 class MecPopulation {
 public:
     MecPopulation(const std::vector<ml::ClientShard>& shards, std::size_t num_classes,
                   const stats::Distribution& theta_dist, const PopulationSpec& spec,
                   stats::Rng& rng);
 
-    [[nodiscard]] std::size_t size() const { return nodes_.size(); }
-    [[nodiscard]] const EdgeNode& node(std::size_t i) const { return nodes_.at(i); }
-    [[nodiscard]] const std::vector<EdgeNode>& nodes() const { return nodes_; }
+    /// Adopt an already-built store (e.g. a shard-free synthetic
+    /// mega-population for the scale benches).
+    explicit MecPopulation(PopulationStore store);
 
-    /// One round of resource/theta drift across all nodes.
+    [[nodiscard]] std::size_t size() const { return store_.size(); }
+    [[nodiscard]] const EdgeNode& node(std::size_t i) const;
+    [[nodiscard]] const std::vector<EdgeNode>& nodes() const;
+
+    /// One round of resource/theta drift across all nodes (see
+    /// `PopulationStore::evolve` for the determinism model).
     void evolve(stats::Rng& rng);
 
-    [[nodiscard]] double theta_lo() const { return theta_lo_; }
-    [[nodiscard]] double theta_hi() const { return theta_hi_; }
+    [[nodiscard]] double theta_lo() const { return store_.theta_lo(); }
+    [[nodiscard]] double theta_hi() const { return store_.theta_hi(); }
+
+    /// Read-only on purpose: all mutation goes through `evolve`, which is
+    /// what keeps the lazy AoS mirror coherent.
+    [[nodiscard]] const PopulationStore& store() const { return store_; }
 
 private:
-    std::vector<EdgeNode> nodes_;
-    ResourceDynamics dynamics_;
-    double theta_lo_;
-    double theta_hi_;
+    void refresh_mirror() const;
+
+    PopulationStore store_;
+    mutable std::vector<EdgeNode> mirror_;
+    mutable bool mirror_stale_ = true;
 };
 
 } // namespace fmore::mec

@@ -1,0 +1,129 @@
+#pragma once
+
+/// @file population_store.hpp
+/// Structure-of-arrays backing store of the edge-node population — the
+/// million-node representation. Each resource lives in its own contiguous
+/// column (plus a caps column), so the per-round hot loops (resource drift,
+/// bid collection, wall-clock queries) stream cache lines instead of
+/// hopping across an array of structs, and never allocate.
+///
+/// Determinism model: `evolve` draws ONE salt from the caller's generator
+/// and then gives every node its own counter-derived splitmix64 stream
+/// seeded from (salt, node id). A node's draws are a pure function of that
+/// pair, so any partition of the nodes over `util::ThreadPool` workers —
+/// any `FMORE_THREADS` / `FMORE_ROUND_THREADS` value, including the serial
+/// reference — replays bit-identical drift, and the caller's generator
+/// advances by exactly one step per round regardless of N.
+
+#include <cstdint>
+#include <vector>
+
+#include "fmore/mec/edge_node.hpp"
+#include "fmore/ml/partition.hpp"
+#include "fmore/stats/distributions.hpp"
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::mec {
+
+/// Ranges used to initialize the non-data resources of a population.
+struct PopulationSpec {
+    double bandwidth_lo = 10.0;    ///< Mbps
+    double bandwidth_hi = 1000.0;  ///< paper's testbed tops at 1 Gbps
+    double cpu_lo = 1.0;           ///< cores usable for training
+    double cpu_hi = 8.0;           ///< the testbed's i7
+    ResourceDynamics dynamics{};
+};
+
+/// Synthetic data resources for populations built without real shards
+/// (mega-scale auction-only benches): per-node sample counts and label
+/// coverage drawn uniformly from these ranges instead of from a
+/// materialized non-IID partition.
+struct SyntheticDataSpec {
+    double data_lo = 20.0;
+    double data_hi = 150.0;
+    double category_lo = 0.1;
+    double category_hi = 1.0;
+};
+
+/// One auctionable resource column of the store (the fields of
+/// `ResourceState`, in its declaration order).
+enum class ResourceDim : std::uint8_t {
+    data_size,
+    category_proportion,
+    bandwidth,
+    cpu,
+};
+
+class PopulationStore {
+public:
+    /// Shard-backed population (the experiment engines). Draw order per
+    /// node — bandwidth cap, cpu cap, three initial-state factors, theta —
+    /// matches the historical `MecPopulation` constructor, so populations
+    /// are reproducible across the AoS->SoA change.
+    PopulationStore(const std::vector<ml::ClientShard>& shards, std::size_t num_classes,
+                    const stats::Distribution& theta_dist, const PopulationSpec& spec,
+                    stats::Rng& rng);
+
+    /// Shard-free synthetic population of `num_nodes` nodes — what lets
+    /// bench/scale_round stand up a million bidders without synthesizing a
+    /// million-sample dataset first.
+    PopulationStore(std::size_t num_nodes, const SyntheticDataSpec& data,
+                    const stats::Distribution& theta_dist, const PopulationSpec& spec,
+                    stats::Rng& rng);
+
+    [[nodiscard]] std::size_t size() const { return theta_.size(); }
+
+    // Hot-path scalar reads (current state).
+    [[nodiscard]] double theta(std::size_t i) const { return theta_[i]; }
+    [[nodiscard]] double data_size(std::size_t i) const { return data_size_[i]; }
+    [[nodiscard]] double category_proportion(std::size_t i) const {
+        return category_[i];
+    }
+    [[nodiscard]] double bandwidth_mbps(std::size_t i) const { return bandwidth_[i]; }
+    [[nodiscard]] double cpu_cores(std::size_t i) const { return cpu_[i]; }
+
+    /// Current-state column for one resource dimension.
+    [[nodiscard]] const std::vector<double>& column(ResourceDim dim) const;
+
+    // AoS views (cold paths: tests, examples, the MecPopulation mirror).
+    [[nodiscard]] ResourceState resources(std::size_t i) const;
+    [[nodiscard]] ResourceState caps(std::size_t i) const;
+
+    [[nodiscard]] double theta_lo() const { return theta_lo_; }
+    [[nodiscard]] double theta_hi() const { return theta_hi_; }
+    [[nodiscard]] const ResourceDynamics& dynamics() const { return dynamics_; }
+
+    /// One round of resource/theta drift across all nodes, chunk-parallel
+    /// over idle `util::ThreadPool` workers. Consumes exactly one draw from
+    /// `rng` (the round salt); results are bit-identical for any worker
+    /// count, including `evolve_serial`.
+    void evolve(stats::Rng& rng);
+
+    /// Forced-serial reference of the same per-node streams (tests pin
+    /// `evolve` against it; benches use it as the unsharded timing leg).
+    void evolve_serial(stats::Rng& rng);
+
+private:
+    void init_resources(std::size_t i, const PopulationSpec& spec, double data_cap,
+                        double category, const stats::Distribution& theta_dist,
+                        stats::Rng& rng);
+    void evolve_with_salt(std::uint64_t salt, bool parallel);
+    void evolve_node(std::size_t i, std::uint64_t salt);
+
+    ResourceDynamics dynamics_{};
+    double theta_lo_ = 0.0;
+    double theta_hi_ = 0.0;
+    // Current state, one column per resource.
+    std::vector<double> theta_;
+    std::vector<double> data_size_;
+    std::vector<double> category_;
+    std::vector<double> bandwidth_;
+    std::vector<double> cpu_;
+    // Hard caps (shard size, NIC speed, core count).
+    std::vector<double> data_cap_;
+    std::vector<double> category_cap_;
+    std::vector<double> bandwidth_cap_;
+    std::vector<double> cpu_cap_;
+};
+
+} // namespace fmore::mec

@@ -2,20 +2,78 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "fmore/util/thread_pool.hpp"
 
 namespace fmore::mec {
 
-QualityExtractor data_category_extractor() {
-    return [](const ResourceState& r) {
-        return auction::QualityVector{r.data_size, r.category_proportion};
+namespace {
+
+double resource_value(const ResourceState& r, ResourceDim dim) {
+    switch (dim) {
+        case ResourceDim::data_size: return r.data_size;
+        case ResourceDim::category_proportion: return r.category_proportion;
+        case ResourceDim::bandwidth: return r.bandwidth_mbps;
+        case ResourceDim::cpu: return r.cpu_cores;
+    }
+    throw std::logic_error("AuctionSelector: unknown ResourceDim");
+}
+
+/// Nodes per parallel collect task (same granularity as the store's
+/// evolve chunks).
+constexpr std::size_t kCollectChunk = 4096;
+
+bool legacy_path_forced() {
+    const char* env = std::getenv("FMORE_BID_PATH");
+    return env != nullptr && std::string_view(env) == "legacy";
+}
+
+} // namespace
+
+QualitySource::QualitySource(QualityLayout layout) : layout(std::move(layout)) {
+    const QualityLayout& dims = this->layout;
+    fn = [dims](const ResourceState& r) {
+        auction::QualityVector q(dims.size());
+        for (std::size_t d = 0; d < dims.size(); ++d) q[d] = resource_value(r, dims[d]);
+        return q;
     };
 }
 
-QualityExtractor cpu_bandwidth_data_extractor() {
-    return [](const ResourceState& r) {
-        return auction::QualityVector{r.cpu_cores, r.bandwidth_mbps, r.data_size};
-    };
+QualitySource::QualitySource(QualityExtractor fn) : fn(std::move(fn)) {}
+
+QualitySource data_category_extractor() {
+    return QualitySource(
+        QualityLayout{ResourceDim::data_size, ResourceDim::category_proportion});
+}
+
+QualitySource cpu_bandwidth_data_extractor() {
+    return QualitySource(
+        QualityLayout{ResourceDim::cpu, ResourceDim::bandwidth, ResourceDim::data_size});
+}
+
+AuctionSelector::AuctionSelector(MecPopulation& population,
+                                 const auction::ScoringRule& scoring,
+                                 const auction::EquilibriumStrategy& strategy,
+                                 auction::WinnerDeterminationConfig wd_config,
+                                 QualitySource source, std::size_t data_dimension,
+                                 auction::PaymentMethod payment_method)
+    : population_(population),
+      scoring_(scoring),
+      strategy_(strategy),
+      wd_config_(std::move(wd_config)),
+      layout_(std::move(source.layout)),
+      extractor_(std::move(source.fn)),
+      data_dimension_(data_dimension),
+      payment_method_(payment_method) {
+    if (!extractor_) throw std::invalid_argument("AuctionSelector: null extractor");
+    if (!layout_.empty() && layout_.size() != strategy_.dimensions())
+        throw std::logic_error("AuctionSelector: extractor/strategy dimension mismatch");
+    fused_path_ = !layout_.empty() && !legacy_path_forced();
+    strategy_scores_broadcast_rule_ = strategy_.scoring_rule() == &scoring_;
 }
 
 AuctionSelector::AuctionSelector(MecPopulation& population,
@@ -24,60 +82,161 @@ AuctionSelector::AuctionSelector(MecPopulation& population,
                                  auction::WinnerDeterminationConfig wd_config,
                                  QualityExtractor extractor, std::size_t data_dimension,
                                  auction::PaymentMethod payment_method)
-    : population_(population),
-      scoring_(scoring),
-      strategy_(strategy),
-      wd_config_(wd_config),
-      extractor_(std::move(extractor)),
-      data_dimension_(data_dimension),
-      payment_method_(payment_method) {
-    if (!extractor_) throw std::invalid_argument("AuctionSelector: null extractor");
+    : AuctionSelector(population, scoring, strategy, std::move(wd_config),
+                      QualitySource(std::move(extractor)), data_dimension,
+                      payment_method) {}
+
+void AuctionSelector::collect_frame() {
+    const PopulationStore& store = population_.store();
+    const std::size_t n = store.size();
+    const std::size_t dims = layout_.size();
+    frame_.reset(n, dims);
+
+    // Column pointers resolved once per round; the chunk loop below then
+    // touches only contiguous memory. A member (not a local thread_local!)
+    // so pool workers see the populated buffer — lambdas do not capture
+    // thread-storage variables, each thread would resolve its own empty
+    // instance — and its capacity survives across rounds.
+    columns_.clear();
+    for (const ResourceDim dim : layout_) columns_.push_back(store.column(dim).data());
+    const std::vector<const double*>& columns = columns_;
+
+    const auto collect_node = [&](std::size_t i) {
+        if (blacklist_.contains(i)) {
+            frame_.set_active(i, false);
+            return;
+        }
+        double* q = frame_.quality_row(i);
+        const double theta = store.theta(i);
+        strategy_.quality_into(theta, q);
+        for (std::size_t d = 0; d < dims; ++d) {
+            if (q[d] > columns[d][i]) q[d] = columns[d][i];
+        }
+        // One pass over q prices the bid and yields s(q); the aggregator
+        // score S = s(q) - p lands in the frame's score column, so ranking
+        // streams one double per row instead of re-reading N×d qualities.
+        // The quote's s(q) doubles as the aggregator score only when the
+        // strategy was solved against THIS selector's broadcast rule
+        // (always true for the trial engines); otherwise score with the
+        // broadcast rule explicitly so fused and classic ranking agree.
+        const auction::EquilibriumStrategy::SealedQuote quote =
+            strategy_.quote_span(q, dims, theta, payment_method_);
+        frame_.payment(i) = quote.payment;
+        frame_.score(i) = strategy_scores_broadcast_rule_
+                              ? quote.quality_score - quote.payment
+                              : scoring_.score_span(q, dims, quote.payment);
+    };
+
+    const std::size_t chunks = (n + kCollectChunk - 1) / kCollectChunk;
+    const std::size_t workers = chunks <= 1 ? 1 : util::resolve_round_threads(0, chunks);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) collect_node(i);
+    } else {
+        util::ThreadPool::shared().parallel_for(
+            chunks, workers - 1, [&](std::size_t, std::size_t chunk) {
+                const std::size_t lo = chunk * kCollectChunk;
+                const std::size_t hi = std::min(n, lo + kCollectChunk);
+                for (std::size_t i = lo; i < hi; ++i) collect_node(i);
+            });
+    }
+    frame_.set_scored(true);
+}
+
+void AuctionSelector::run_fused_round(std::size_t k, stats::Rng& rng) {
+    collect_frame();
+    // The mechanism is pure configuration — rebuild only when K changes
+    // (in practice: once), not on every call like the classic path did.
+    if (!mechanism_ || mechanism_k_ != k) {
+        auction::WinnerDeterminationConfig wd = wd_config_;
+        wd.num_winners = k;
+        mechanism_ = auction::make_mechanism(wd);
+        mechanism_k_ = k;
+    }
+    // The outcome-level virtual keeps custom mechanisms — including ones
+    // that override run() wholesale — semantically exact on frame rounds.
+    mechanism_->run_frame(scoring_, frame_, rng, scratch_, outcome_);
+    last_bids_stale_ = true;
+}
+
+void AuctionSelector::run_classic_round(std::size_t k, stats::Rng& rng) {
+    const PopulationStore& store = population_.store();
+    last_bids_.clear();
+    last_bids_.reserve(store.size());
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        // Blacklisted defaulters are shut out of bid collection.
+        if (blacklist_.contains(i)) continue;
+        const auction::QualityVector available = extractor_(store.resources(i));
+        auction::QualityVector q = strategy_.quality(store.theta(i));
+        if (q.size() != available.size())
+            throw std::logic_error("AuctionSelector: extractor/strategy dimension mismatch");
+        for (std::size_t d = 0; d < q.size(); ++d) q[d] = std::min(q[d], available[d]);
+        const double p = strategy_.payment_for(q, store.theta(i), payment_method_);
+        last_bids_.push_back(auction::Bid{i, std::move(q), p});
+    }
+    auction::WinnerDeterminationConfig wd = wd_config_;
+    wd.num_winners = k;
+    const auction::WinnerDetermination determination(scoring_, wd);
+    outcome_ = determination.run(last_bids_, rng);
+    last_bids_stale_ = false;
+}
+
+const auction::AuctionOutcome& AuctionSelector::run_auction_round(std::size_t round,
+                                                                  std::size_t k,
+                                                                  stats::Rng& rng) {
+    // Round 1 bids on the initial resource state; drift applies afterwards.
+    if (round > 1) population_.evolve(rng);
+    if (fused_path_) {
+        run_fused_round(k, rng);
+    } else {
+        run_classic_round(k, rng);
+    }
+    return outcome_;
+}
+
+const std::vector<auction::Bid>& AuctionSelector::last_bids() const {
+    if (last_bids_stale_) {
+        frame_.to_bids(last_bids_);
+        last_bids_stale_ = false;
+    }
+    return last_bids_;
+}
+
+double AuctionSelector::bid_quality(auction::NodeId node, std::size_t dim) const {
+    // Fused rounds keep every bid addressable by NodeId in the frame; the
+    // classic path resolves winners through the bid list like it always
+    // did (see select()).
+    return frame_.quality_row(node)[dim];
 }
 
 fl::SelectionRecord AuctionSelector::select(std::size_t round, std::size_t k,
                                             stats::Rng& rng) {
-    // Round 1 bids on the initial resource state; drift applies afterwards.
-    if (round > 1) population_.evolve(rng);
-
-    last_bids_.clear();
-    last_bids_.reserve(population_.size());
-    for (const EdgeNode& node : population_.nodes()) {
-        // Blacklisted defaulters are shut out of bid collection.
-        if (blacklist_.contains(node.id())) continue;
-        const auction::QualityVector available = extractor_(node.resources());
-        auction::QualityVector q = strategy_.quality(node.theta());
-        if (q.size() != available.size())
-            throw std::logic_error("AuctionSelector: extractor/strategy dimension mismatch");
-        for (std::size_t d = 0; d < q.size(); ++d) q[d] = std::min(q[d], available[d]);
-        const double p = strategy_.payment_for(q, node.theta(), payment_method_);
-        last_bids_.push_back(auction::Bid{node.id(), std::move(q), p});
-    }
-
-    auction::WinnerDeterminationConfig wd = wd_config_;
-    wd.num_winners = k;
-    const auction::WinnerDetermination determination(scoring_, wd);
-    const auction::AuctionOutcome outcome = determination.run(last_bids_, rng);
+    (void)run_auction_round(round, k, rng);
 
     fl::SelectionRecord record;
-    record.all_scores.reserve(outcome.ranking.size());
+    record.all_scores.reserve(outcome_.ranking.size());
     record.scores_by_node.assign(population_.size(), 0.0);
-    for (const auction::ScoredBid& sb : outcome.ranking) {
+    for (const auction::ScoredBid& sb : outcome_.ranking) {
         record.all_scores.push_back(sb.score);
         record.scores_by_node[sb.bid.node] = sb.score;
     }
-    std::vector<std::size_t> bid_of_node(population_.size(), npos);
-    for (std::size_t i = 0; i < last_bids_.size(); ++i) {
-        bid_of_node[last_bids_[i].node] = i;
+    std::vector<std::size_t> bid_of_node;
+    if (!fused_path_ && data_dimension_ != npos) {
+        bid_of_node.assign(population_.size(), npos);
+        for (std::size_t i = 0; i < last_bids_.size(); ++i) {
+            bid_of_node[last_bids_[i].node] = i;
+        }
     }
-    for (const auction::Winner& w : outcome.winners) {
+    for (const auction::Winner& w : outcome_.winners) {
         fl::SelectedClient sel;
         sel.client = w.node;
         sel.payment = w.payment;
         sel.score = w.score;
         if (data_dimension_ != npos) {
-            const auction::Bid& bid = last_bids_[bid_of_node[w.node]];
-            std::size_t promised = static_cast<std::size_t>(
-                std::max(1.0, std::floor(bid.quality[data_dimension_])));
+            const double promised_quality =
+                fused_path_ ? bid_quality(w.node, data_dimension_)
+                            : last_bids_[bid_of_node[w.node]].quality[data_dimension_];
+            const std::size_t promised = static_cast<std::size_t>(
+                std::max(1.0, std::floor(promised_quality)));
             // Contract compliance: defectors deliver less than they bid and
             // are banned from future rounds once the shortfall is observed.
             const ComplianceOutcome outcome_c =

@@ -1,6 +1,6 @@
 #include "fmore/mec/population.hpp"
 
-#include <stdexcept>
+#include <utility>
 
 namespace fmore::mec {
 
@@ -8,32 +8,33 @@ MecPopulation::MecPopulation(const std::vector<ml::ClientShard>& shards,
                              std::size_t num_classes,
                              const stats::Distribution& theta_dist,
                              const PopulationSpec& spec, stats::Rng& rng)
-    : dynamics_(spec.dynamics),
-      theta_lo_(theta_dist.support_lo()),
-      theta_hi_(theta_dist.support_hi()) {
-    if (shards.empty()) throw std::invalid_argument("MecPopulation: no shards");
-    nodes_.reserve(shards.size());
-    for (std::size_t i = 0; i < shards.size(); ++i) {
-        ResourceState caps;
-        caps.data_size = static_cast<double>(shards[i].indices.size());
-        caps.category_proportion = shards[i].category_proportion(num_classes);
-        caps.bandwidth_mbps = rng.uniform(spec.bandwidth_lo, spec.bandwidth_hi);
-        caps.cpu_cores = rng.uniform(spec.cpu_lo, spec.cpu_hi);
+    : store_(shards, num_classes, theta_dist, spec, rng) {}
 
-        // Nodes start somewhere inside their envelope, not pinned at it.
-        ResourceState initial = caps;
-        initial.bandwidth_mbps *= rng.uniform(0.6, 1.0);
-        initial.cpu_cores *= rng.uniform(0.6, 1.0);
-        initial.data_size *= rng.uniform(0.8, 1.0);
+MecPopulation::MecPopulation(PopulationStore store) : store_(std::move(store)) {}
 
-        nodes_.emplace_back(i, theta_dist.sample(rng), initial, caps);
+void MecPopulation::refresh_mirror() const {
+    if (!mirror_stale_) return;
+    mirror_.clear();
+    mirror_.reserve(store_.size());
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        mirror_.emplace_back(i, store_.theta(i), store_.resources(i), store_.caps(i));
     }
+    mirror_stale_ = false;
+}
+
+const EdgeNode& MecPopulation::node(std::size_t i) const {
+    refresh_mirror();
+    return mirror_.at(i);
+}
+
+const std::vector<EdgeNode>& MecPopulation::nodes() const {
+    refresh_mirror();
+    return mirror_;
 }
 
 void MecPopulation::evolve(stats::Rng& rng) {
-    for (EdgeNode& node : nodes_) {
-        node.evolve(dynamics_, theta_lo_, theta_hi_, rng);
-    }
+    store_.evolve(rng);
+    mirror_stale_ = true;
 }
 
 } // namespace fmore::mec

@@ -1,0 +1,170 @@
+#include "fmore/mec/population_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fmore/util/thread_pool.hpp"
+
+namespace fmore::mec {
+
+namespace {
+
+/// Nodes per parallel task: big enough that chunk dispatch is noise,
+/// small enough that a 100k-node population still spreads over workers.
+constexpr std::size_t kEvolveChunk = 4096;
+
+} // namespace
+
+void PopulationStore::init_resources(std::size_t i, const PopulationSpec& spec,
+                                     double data_cap, double category,
+                                     const stats::Distribution& theta_dist,
+                                     stats::Rng& rng) {
+    data_cap_[i] = data_cap;
+    category_cap_[i] = category;
+    bandwidth_cap_[i] = rng.uniform(spec.bandwidth_lo, spec.bandwidth_hi);
+    cpu_cap_[i] = rng.uniform(spec.cpu_lo, spec.cpu_hi);
+
+    // Nodes start somewhere inside their envelope, not pinned at it (same
+    // draws, in the same order, as the historical AoS constructor).
+    bandwidth_[i] = bandwidth_cap_[i] * rng.uniform(0.6, 1.0);
+    cpu_[i] = cpu_cap_[i] * rng.uniform(0.6, 1.0);
+    data_size_[i] = data_cap_[i] * rng.uniform(0.8, 1.0);
+    category_[i] = category;
+    theta_[i] = theta_dist.sample(rng);
+}
+
+PopulationStore::PopulationStore(const std::vector<ml::ClientShard>& shards,
+                                 std::size_t num_classes,
+                                 const stats::Distribution& theta_dist,
+                                 const PopulationSpec& spec, stats::Rng& rng)
+    : dynamics_(spec.dynamics),
+      theta_lo_(theta_dist.support_lo()),
+      theta_hi_(theta_dist.support_hi()) {
+    if (shards.empty()) throw std::invalid_argument("PopulationStore: no shards");
+    const std::size_t n = shards.size();
+    theta_.resize(n);
+    data_size_.resize(n);
+    category_.resize(n);
+    bandwidth_.resize(n);
+    cpu_.resize(n);
+    data_cap_.resize(n);
+    category_cap_.resize(n);
+    bandwidth_cap_.resize(n);
+    cpu_cap_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        init_resources(i, spec, static_cast<double>(shards[i].indices.size()),
+                       shards[i].category_proportion(num_classes), theta_dist, rng);
+    }
+}
+
+PopulationStore::PopulationStore(std::size_t num_nodes, const SyntheticDataSpec& data,
+                                 const stats::Distribution& theta_dist,
+                                 const PopulationSpec& spec, stats::Rng& rng)
+    : dynamics_(spec.dynamics),
+      theta_lo_(theta_dist.support_lo()),
+      theta_hi_(theta_dist.support_hi()) {
+    if (num_nodes == 0)
+        throw std::invalid_argument("PopulationStore: num_nodes must be >= 1");
+    if (!(data.data_lo <= data.data_hi) || !(data.category_lo <= data.category_hi))
+        throw std::invalid_argument("PopulationStore: bad synthetic data ranges");
+    theta_.resize(num_nodes);
+    data_size_.resize(num_nodes);
+    category_.resize(num_nodes);
+    bandwidth_.resize(num_nodes);
+    cpu_.resize(num_nodes);
+    data_cap_.resize(num_nodes);
+    category_cap_.resize(num_nodes);
+    bandwidth_cap_.resize(num_nodes);
+    cpu_cap_.resize(num_nodes);
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+        const double data_cap = rng.uniform(data.data_lo, data.data_hi);
+        const double category = rng.uniform(data.category_lo, data.category_hi);
+        init_resources(i, spec, data_cap, category, theta_dist, rng);
+    }
+}
+
+const std::vector<double>& PopulationStore::column(ResourceDim dim) const {
+    switch (dim) {
+        case ResourceDim::data_size: return data_size_;
+        case ResourceDim::category_proportion: return category_;
+        case ResourceDim::bandwidth: return bandwidth_;
+        case ResourceDim::cpu: return cpu_;
+    }
+    throw std::logic_error("PopulationStore: unknown ResourceDim");
+}
+
+ResourceState PopulationStore::resources(std::size_t i) const {
+    ResourceState r;
+    r.data_size = data_size_[i];
+    r.category_proportion = category_[i];
+    r.bandwidth_mbps = bandwidth_[i];
+    r.cpu_cores = cpu_[i];
+    return r;
+}
+
+ResourceState PopulationStore::caps(std::size_t i) const {
+    ResourceState r;
+    r.data_size = data_cap_[i];
+    r.category_proportion = category_cap_[i];
+    r.bandwidth_mbps = bandwidth_cap_[i];
+    r.cpu_cores = cpu_cap_[i];
+    return r;
+}
+
+void PopulationStore::evolve_node(std::size_t i, std::uint64_t salt) {
+    stats::SplitMix64 stream(stats::derive_stream_seed(salt, i));
+    const double jitter = dynamics_.resource_jitter;
+    if (jitter > 0.0) {
+        if (bandwidth_cap_[i] > 0.0) {
+            const double step = bandwidth_cap_[i] * jitter;
+            bandwidth_[i] = std::clamp(bandwidth_[i] + stream.uniform(-step, step),
+                                       0.05 * bandwidth_cap_[i], bandwidth_cap_[i]);
+        }
+        if (cpu_cap_[i] > 0.0) {
+            const double step = cpu_cap_[i] * jitter;
+            cpu_[i] = std::clamp(cpu_[i] + stream.uniform(-step, step),
+                                 0.05 * cpu_cap_[i], cpu_cap_[i]);
+        }
+        // Data holdings only grow toward the shard cap (nodes accumulate
+        // data).
+        if (data_cap_[i] > 0.0) {
+            const double step = data_cap_[i] * jitter;
+            data_size_[i] = std::clamp(data_size_[i] + stream.uniform(0.0, step), 0.0,
+                                       data_cap_[i]);
+        }
+    }
+    if (dynamics_.theta_jitter > 0.0) {
+        theta_[i] = std::clamp(
+            theta_[i] + stream.uniform(-dynamics_.theta_jitter, dynamics_.theta_jitter),
+            theta_lo_, theta_hi_);
+    }
+}
+
+void PopulationStore::evolve_with_salt(std::uint64_t salt, bool parallel) {
+    if (dynamics_.theta_jitter > 0.0 && !(theta_lo_ < theta_hi_))
+        throw std::invalid_argument("PopulationStore::evolve: bad theta bounds");
+    const std::size_t n = size();
+    const std::size_t chunks = (n + kEvolveChunk - 1) / kEvolveChunk;
+    const std::size_t workers =
+        (!parallel || chunks <= 1) ? 1 : util::resolve_round_threads(0, chunks);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) evolve_node(i, salt);
+        return;
+    }
+    util::ThreadPool::shared().parallel_for(
+        chunks, workers - 1, [&](std::size_t, std::size_t chunk) {
+            const std::size_t lo = chunk * kEvolveChunk;
+            const std::size_t hi = std::min(n, lo + kEvolveChunk);
+            for (std::size_t i = lo; i < hi; ++i) evolve_node(i, salt);
+        });
+}
+
+void PopulationStore::evolve(stats::Rng& rng) {
+    evolve_with_salt(rng.engine()(), /*parallel=*/true);
+}
+
+void PopulationStore::evolve_serial(stats::Rng& rng) {
+    evolve_with_salt(rng.engine()(), /*parallel=*/false);
+}
+
+} // namespace fmore::mec

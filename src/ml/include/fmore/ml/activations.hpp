@@ -9,6 +9,8 @@ class ReLU final : public Layer {
 public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    void forward_into(const Tensor& input, Tensor& out, bool training) override;
+    void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
         return std::make_unique<ReLU>(*this);
     }
@@ -24,6 +26,8 @@ class Tanh final : public Layer {
 public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    void forward_into(const Tensor& input, Tensor& out, bool training) override;
+    void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
         return std::make_unique<Tanh>(*this);
     }
@@ -38,6 +42,8 @@ class Flatten final : public Layer {
 public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    void forward_into(const Tensor& input, Tensor& out, bool training) override;
+    void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
         return std::make_unique<Flatten>(*this);
     }

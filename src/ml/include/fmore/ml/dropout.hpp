@@ -14,6 +14,8 @@ public:
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    void forward_into(const Tensor& input, Tensor& out, bool training) override;
+    void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
     void attach_rng(stats::Rng* rng) override { rng_ = rng; }
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
         return std::make_unique<Dropout>(*this);

@@ -29,6 +29,22 @@ public:
     [[nodiscard]] virtual Tensor forward(const Tensor& input, bool training) = 0;
     [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;
 
+    /// Buffer-reusing twins of forward/backward: results land in the
+    /// caller-owned tensor, whose storage is reused across calls. The
+    /// model's activation chain keeps one persistent slot per layer, so a
+    /// layer that overrides these (the elementwise family: ReLU, Tanh,
+    /// Flatten, MaxPool2d, Dropout) stops paying one tensor allocation per
+    /// call — the ROADMAP's "scratch arena" for the cheap layers. The
+    /// defaults delegate to the allocating versions (then move into `out`),
+    /// so existing custom layers are unaffected. Arithmetic is identical
+    /// by contract: outputs are bit-identical to forward/backward.
+    virtual void forward_into(const Tensor& input, Tensor& out, bool training) {
+        out = forward(input, training);
+    }
+    virtual void backward_into(const Tensor& grad_output, Tensor& grad_input) {
+        grad_input = backward(grad_output);
+    }
+
     /// Deep copy (parameters, gradients and caches). The copy still points
     /// at the source's RNG until the owning model re-attaches its own —
     /// `Model::clone()` does; manual callers must `attach_rng` themselves.

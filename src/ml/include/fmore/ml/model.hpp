@@ -60,7 +60,11 @@ public:
     /// it or what trained before.
     void reseed(std::uint64_t seed);
 
-    [[nodiscard]] Tensor forward(const Tensor& input, bool training);
+    /// Run the layer stack. The returned reference points into the model's
+    /// persistent activation chain (one reused slot per layer — the
+    /// scratch arena of the in-place elementwise layers) and is valid
+    /// until the next forward call; copy it to keep it.
+    [[nodiscard]] const Tensor& forward(const Tensor& input, bool training);
     void backward(const Tensor& grad_loss);
     void zero_grad();
     /// Vanilla SGD update: w -= lr * grad (paper Eq. 2, eta = step size).
@@ -97,6 +101,11 @@ private:
     std::vector<std::unique_ptr<Layer>> layers_;
     stats::Rng rng_;
     SoftmaxCrossEntropy loss_;
+    /// Persistent activation/gradient slots (one per layer), reused across
+    /// forward/backward calls so in-place layers never allocate. Pure
+    /// scratch: moves carry them along, clones start fresh.
+    std::vector<Tensor> acts_;
+    std::vector<Tensor> grads_;
 };
 
 /// Fold per-batch eval records (in batch order) into totals — the exact

@@ -11,6 +11,8 @@ class MaxPool2d final : public Layer {
 public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    void forward_into(const Tensor& input, Tensor& out, bool training) override;
+    void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
         return std::make_unique<MaxPool2d>(*this);
     }

@@ -33,6 +33,13 @@ public:
     /// Reinterpret with a new shape of identical element count.
     [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const;
 
+    /// Reshape THIS tensor in place, resizing storage to the new volume.
+    /// Storage capacity is kept, which is what lets the in-place layer
+    /// protocol reuse one output buffer across calls without allocating.
+    /// New elements (if the volume grew) are value-initialized; existing
+    /// ones keep their bytes — callers overwrite them.
+    void reshape_to(const std::vector<std::size_t>& new_shape);
+
     void fill(float value);
 
     /// Elementwise checks used in tests.

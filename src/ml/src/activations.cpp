@@ -5,52 +5,91 @@
 
 namespace fmore::ml {
 
-Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
-    cached_input_ = input;
-    Tensor out = input;
+// The elementwise layers implement the in-place protocol (forward_into /
+// backward_into write into persistent caller slots, zero allocations at
+// steady state); the allocating forward/backward API delegates, so both
+// paths share one arithmetic and stay bit-identical.
+
+void ReLU::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
+    cached_input_ = input;  // member buffer, capacity reused across calls
+    out = input;
     for (std::size_t i = 0; i < out.size(); ++i) {
         if (out[i] < 0.0F) out[i] = 0.0F;
     }
+}
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+    Tensor out;
+    forward_into(input, out, training);
     return out;
+}
+
+void ReLU::backward_into(const Tensor& grad_output, Tensor& grad_input) {
+    if (grad_output.size() != cached_input_.size())
+        throw std::invalid_argument("ReLU::backward: shape mismatch");
+    grad_input = grad_output;
+    for (std::size_t i = 0; i < grad_input.size(); ++i) {
+        if (cached_input_[i] <= 0.0F) grad_input[i] = 0.0F;
+    }
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
-    if (grad_output.size() != cached_input_.size())
-        throw std::invalid_argument("ReLU::backward: shape mismatch");
-    Tensor grad = grad_output;
-    for (std::size_t i = 0; i < grad.size(); ++i) {
-        if (cached_input_[i] <= 0.0F) grad[i] = 0.0F;
-    }
+    Tensor grad;
+    backward_into(grad_output, grad);
     return grad;
 }
 
-Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
-    Tensor out = input;
+void Tanh::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
+    out = input;
     for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
     cached_output_ = out;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool training) {
+    Tensor out;
+    forward_into(input, out, training);
     return out;
 }
 
-Tensor Tanh::backward(const Tensor& grad_output) {
+void Tanh::backward_into(const Tensor& grad_output, Tensor& grad_input) {
     if (grad_output.size() != cached_output_.size())
         throw std::invalid_argument("Tanh::backward: shape mismatch");
-    Tensor grad = grad_output;
-    for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad_input = grad_output;
+    for (std::size_t i = 0; i < grad_input.size(); ++i) {
         const float y = cached_output_[i];
-        grad[i] *= 1.0F - y * y;
+        grad_input[i] *= 1.0F - y * y;
     }
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+    Tensor grad;
+    backward_into(grad_output, grad);
     return grad;
 }
 
-Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+void Flatten::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
     if (input.rank() < 1) throw std::invalid_argument("Flatten: rank-0 input");
     cached_shape_ = input.shape();
     const std::size_t batch = input.dim(0);
-    return input.reshaped({batch, input.size() / batch});
+    out = input;
+    out.reshape_to({batch, input.size() / batch});
+}
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+    Tensor out;
+    forward_into(input, out, training);
+    return out;
+}
+
+void Flatten::backward_into(const Tensor& grad_output, Tensor& grad_input) {
+    grad_input = grad_output;
+    grad_input.reshape_to(cached_shape_);
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {
-    return grad_output.reshaped(cached_shape_);
+    Tensor grad;
+    backward_into(grad_output, grad);
+    return grad;
 }
 
 } // namespace fmore::ml

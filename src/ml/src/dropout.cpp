@@ -11,16 +11,17 @@ Dropout::Dropout(double rate) : rate_(rate) {
         throw std::invalid_argument("Dropout: rate must be in [0, 1)");
 }
 
-Tensor Dropout::forward(const Tensor& input, bool training) {
+void Dropout::forward_into(const Tensor& input, Tensor& out, bool training) {
     if (!training || rate_ == 0.0) {
         mask_.assign(input.size(), 1.0F);
-        return input;
+        out = input;
+        return;
     }
     if (rng_ == nullptr)
         throw std::logic_error("Dropout: no RNG attached (layer must live in a Model)");
     const auto keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
     mask_.resize(input.size());
-    Tensor out = input;
+    out = input;
 
     // One engine draw yields four 16-bit lanes, each an independent
     // Bernoulli trial against a fixed-point threshold — a quarter of the
@@ -48,14 +49,24 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
             out[i] *= keep_scale;
         }
     }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+    Tensor out;
+    forward_into(input, out, training);
     return out;
 }
 
-Tensor Dropout::backward(const Tensor& grad_output) {
+void Dropout::backward_into(const Tensor& grad_output, Tensor& grad_input) {
     if (grad_output.size() != mask_.size())
         throw std::invalid_argument("Dropout::backward: shape mismatch");
-    Tensor grad = grad_output;
-    for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= mask_[i];
+    grad_input = grad_output;
+    for (std::size_t i = 0; i < grad_input.size(); ++i) grad_input[i] *= mask_[i];
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+    Tensor grad;
+    backward_into(grad_output, grad);
     return grad;
 }
 

@@ -11,7 +11,9 @@ Model::Model(std::uint64_t seed) : rng_(seed) {}
 Model::Model(Model&& other) noexcept
     : layers_(std::move(other.layers_)),
       rng_(other.rng_),
-      loss_(std::move(other.loss_)) {
+      loss_(std::move(other.loss_)),
+      acts_(std::move(other.acts_)),
+      grads_(std::move(other.grads_)) {
     reattach_layers();
 }
 
@@ -20,6 +22,8 @@ Model& Model::operator=(Model&& other) noexcept {
         layers_ = std::move(other.layers_);
         rng_ = other.rng_;
         loss_ = std::move(other.loss_);
+        acts_ = std::move(other.acts_);
+        grads_ = std::move(other.grads_);
         reattach_layers();
     }
     return *this;
@@ -47,16 +51,25 @@ Model Model::clone() const {
 
 void Model::reseed(std::uint64_t seed) { rng_ = stats::Rng(seed); }
 
-Tensor Model::forward(const Tensor& input, bool training) {
-    Tensor x = input;
-    for (auto& layer : layers_) x = layer->forward(x, training);
-    return x;
+const Tensor& Model::forward(const Tensor& input, bool training) {
+    // Slot-chained: layer i reads slot i-1 and writes slot i. Slots keep
+    // their storage across calls, so in-place layers (and same-shape
+    // batches generally) touch no allocator.
+    acts_.resize(layers_.size());
+    const Tensor* current = &input;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i]->forward_into(*current, acts_[i], training);
+        current = &acts_[i];
+    }
+    return *current;
 }
 
 void Model::backward(const Tensor& grad_loss) {
-    Tensor g = grad_loss;
-    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-        g = (*it)->backward(g);
+    grads_.resize(layers_.size());
+    const Tensor* current = &grad_loss;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        layers_[i]->backward_into(*current, grads_[i]);
+        current = &grads_[i];
     }
 }
 
@@ -131,7 +144,7 @@ TrainStats Model::train_epoch(const Dataset& data, const std::vector<std::size_t
         const std::vector<int> labels = data.gather_labels(batch_idx);
 
         zero_grad();
-        const Tensor logits = forward(batch, /*training=*/true);
+        const Tensor& logits = forward(batch, /*training=*/true);
         const double loss = loss_.forward(logits, labels);
         backward(loss_.backward());
         sgd_step(learning_rate);
@@ -157,7 +170,7 @@ void Model::evaluate_batches(const Dataset& data, const std::vector<std::size_t>
             indices.begin() + static_cast<std::ptrdiff_t>(end));
         const Tensor batch = data.gather(batch_idx);
         const std::vector<int> labels = data.gather_labels(batch_idx);
-        const Tensor logits = forward(batch, /*training=*/false);
+        const Tensor& logits = forward(batch, /*training=*/false);
         EvalBatch record;
         record.mean_loss = loss_.forward(logits, labels);
         const std::vector<int> preds = loss_.predictions();

@@ -4,7 +4,7 @@
 
 namespace fmore::ml {
 
-Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+void MaxPool2d::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
     if (input.rank() != 4)
         throw std::invalid_argument("MaxPool2d::forward: expected [B, C, H, W]");
     const std::size_t batch = input.dim(0);
@@ -17,7 +17,7 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
         throw std::invalid_argument("MaxPool2d::forward: input too small to pool");
     cached_shape_ = input.shape();
 
-    Tensor out({batch, c, oh, ow});
+    out.reshape_to({batch, c, oh, ow});
     argmax_.assign(out.size(), 0);
     const float* x = input.data();
     float* y = out.data();
@@ -43,18 +43,29 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
             }
         }
     }
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool training) {
+    Tensor out;
+    forward_into(input, out, training);
     return out;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_output) {
+void MaxPool2d::backward_into(const Tensor& grad_output, Tensor& grad_input) {
     if (grad_output.size() != argmax_.size())
         throw std::invalid_argument("MaxPool2d::backward: grad shape mismatch");
-    Tensor grad_input(cached_shape_);
+    grad_input.reshape_to(cached_shape_);
+    grad_input.fill(0.0F);  // reused buffer: the scatter below assumes zeros
     float* gx = grad_input.data();
     const float* gy = grad_output.data();
     for (std::size_t i = 0; i < argmax_.size(); ++i) {
         gx[argmax_[i]] += gy[i];
     }
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+    Tensor grad_input;
+    backward_into(grad_output, grad_input);
     return grad_input;
 }
 

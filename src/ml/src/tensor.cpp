@@ -31,6 +31,11 @@ Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
     return Tensor(std::move(new_shape), data_);
 }
 
+void Tensor::reshape_to(const std::vector<std::size_t>& new_shape) {
+    shape_ = new_shape;
+    data_.resize(shape_volume(shape_));
+}
+
 void Tensor::fill(float value) {
     for (float& x : data_) x = value;
 }

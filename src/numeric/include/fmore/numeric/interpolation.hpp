@@ -10,6 +10,12 @@ namespace fmore::numeric {
 /// grid and needs both u0 and its inverse as functions; this class provides
 /// the forward map, and a second instance built on swapped (monotone)
 /// samples provides the inverse.
+///
+/// Evaluation is O(1) on (near-)uniform knot grids — the solver's theta and
+/// u tabulations — via an index guess plus an exact fix-up that lands on
+/// the same segment `std::upper_bound` would pick, so results are
+/// bit-identical to the binary-search path. Million-bid rounds evaluate
+/// these curves a few times per node, which is why the lookup matters.
 class LinearInterpolator {
 public:
     /// xs must be strictly increasing and the same length as ys (>= 2).
@@ -28,9 +34,28 @@ public:
     static LinearInterpolator inverse_of(const std::vector<double>& xs,
                                          const std::vector<double>& ys);
 
+    /// Segment lookup for families of interpolants tabulated on ONE shared
+    /// knot grid (the equilibrium solver's per-dimension quality curves):
+    /// find the segment once on any member, evaluate every member with
+    /// `eval_segment`. Requires x_min() < x < x_max(); returns hi with
+    /// xs[hi-1] <= x < xs[hi] — exactly what operator() uses internally,
+    /// so eval_segment(segment_for(x), x) == operator()(x) bit-for-bit.
+    [[nodiscard]] std::size_t segment_for(double x) const;
+    [[nodiscard]] double eval_segment(std::size_t hi, double x) const {
+        const std::size_t lo = hi - 1;
+        const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+        return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+    }
+
 private:
     std::vector<double> xs_;
     std::vector<double> ys_;
+    /// Grid step (and its reciprocal) when the knots are numerically
+    /// uniform, else 0 (binary search). Only ever an index GUESS — the
+    /// fix-up loop guarantees the exact upper_bound segment regardless of
+    /// rounding, so the faster multiply-by-reciprocal is safe.
+    double uniform_step_ = 0.0;
+    double inv_uniform_step_ = 0.0;
 };
 
 } // namespace fmore::numeric

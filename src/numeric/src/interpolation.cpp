@@ -1,6 +1,7 @@
 #include "fmore/numeric/interpolation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace fmore::numeric {
@@ -14,16 +15,49 @@ LinearInterpolator::LinearInterpolator(std::vector<double> xs, std::vector<doubl
         if (!(xs_[i] > xs_[i - 1]))
             throw std::invalid_argument("LinearInterpolator: xs must be strictly increasing");
     }
+    // Uniform-grid detection (conservative): when every knot sits within a
+    // tiny relative tolerance of the linspace prediction, segment lookup
+    // can start from an O(1) index guess. The tolerance only gates the
+    // OPTIMIZATION — the fix-up in operator() makes the selected segment
+    // exact either way.
+    const double step =
+        (xs_.back() - xs_.front()) / static_cast<double>(xs_.size() - 1);
+    const double tolerance =
+        1e-9 * std::max(std::abs(xs_.front()), std::abs(xs_.back()));
+    bool uniform = step > 0.0;
+    for (std::size_t i = 1; uniform && i + 1 < xs_.size(); ++i) {
+        const double predicted = xs_.front() + static_cast<double>(i) * step;
+        if (std::abs(xs_[i] - predicted) > tolerance) uniform = false;
+    }
+    if (uniform) {
+        uniform_step_ = step;
+        inv_uniform_step_ = 1.0 / step;
+    }
+}
+
+std::size_t LinearInterpolator::segment_for(double x) const {
+    std::size_t hi;
+    if (uniform_step_ > 0.0) {
+        // O(1) guess, then walk to the unique segment with
+        // xs_[hi-1] <= x < xs_[hi] — exactly upper_bound's answer. The
+        // caller's range guards bound both loops: xs_.back() > x stops the
+        // ascent, xs_.front() < x stops the descent.
+        const std::size_t guess =
+            static_cast<std::size_t>((x - xs_.front()) * inv_uniform_step_) + 1;
+        hi = std::clamp<std::size_t>(guess, 1, xs_.size() - 1);
+        while (xs_[hi] <= x) ++hi;
+        while (xs_[hi - 1] > x) --hi;
+    } else {
+        const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+        hi = static_cast<std::size_t>(it - xs_.begin());
+    }
+    return hi;
 }
 
 double LinearInterpolator::operator()(double x) const {
     if (x <= xs_.front()) return ys_.front();
     if (x >= xs_.back()) return ys_.back();
-    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
-    const auto hi = static_cast<std::size_t>(it - xs_.begin());
-    const std::size_t lo = hi - 1;
-    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
-    return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+    return eval_segment(segment_for(x), x);
 }
 
 LinearInterpolator LinearInterpolator::inverse_of(const std::vector<double>& xs,

@@ -48,4 +48,43 @@ private:
     engine_type engine_;
 };
 
+/// Counter-derived random stream (splitmix64): a few arithmetic ops per
+/// draw and O(1) construction, unlike the 312-word mt19937_64 state. This
+/// is what makes per-node RNG streams affordable at million-node scale —
+/// `mec::PopulationStore::evolve` seeds one stream per node from
+/// (round salt, node id), so any partition of the nodes over threads
+/// replays exactly the same draws.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /// splitmix64 finalizer over an incrementing counter — the same mixing
+    /// `Rng::split` uses for child streams.
+    std::uint64_t next_u64() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform real in [lo, hi) from the top 53 bits of one draw.
+    double uniform(double lo, double hi) {
+        const double unit = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+        return lo + (hi - lo) * unit;
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Well-separated stream seed for (salt, index) pairs: one splitmix64
+/// finalize of the xor — cheap, and distinct indices under the same salt
+/// land in statistically independent streams.
+inline std::uint64_t derive_stream_seed(std::uint64_t salt, std::uint64_t index) {
+    std::uint64_t z = (salt ^ (index * 0x9e3779b97f4a7c15ull)) + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 } // namespace fmore::stats

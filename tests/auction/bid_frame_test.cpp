@@ -1,0 +1,339 @@
+// BidFrame contracts: the vector<Bid> adapter round-trips exactly, the
+// frame ranking path (Mechanism::rank_frame + run_frame) is bit-identical
+// to the classic vector path for EVERY registered mechanism, and the fused
+// partial-ranking path (full_ranking = false) selects and pays exactly
+// like the full score board.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "fmore/auction/bid_frame.hpp"
+#include "fmore/auction/cost.hpp"
+#include "fmore/auction/mechanism.hpp"
+#include "fmore/auction/scoring.hpp"
+#include "fmore/auction/winner_determination.hpp"
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::auction {
+namespace {
+
+/// A synthetic sealed-bid population with score ties (quantized payments)
+/// so the coin-flip tie-break path is actually exercised.
+std::vector<Bid> make_bids(std::size_t n, std::uint64_t seed, std::size_t dims = 2) {
+    stats::Rng rng(seed);
+    std::vector<Bid> bids;
+    bids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        QualityVector q(dims);
+        for (double& v : q) v = std::floor(rng.uniform(0.0, 8.0));
+        const double payment = std::floor(rng.uniform(0.0, 6.0));
+        bids.push_back(Bid{i, std::move(q), payment});
+    }
+    return bids;
+}
+
+MechanismSpec spec_for(const std::string& name) {
+    MechanismSpec spec;
+    spec.mechanism = name;
+    spec.num_winners = 8;
+    if (name == "psi_fmore") spec.psi = 0.6;
+    if (name == "budget_feasible") spec.budget = 200.0;
+    if (name == "second_score") spec.payment_rule = PaymentRule::second_price;
+    return spec;
+}
+
+void expect_outcomes_equal(const AuctionOutcome& a, const AuctionOutcome& b,
+                           bool compare_ranking = true) {
+    ASSERT_EQ(a.winners.size(), b.winners.size());
+    for (std::size_t i = 0; i < a.winners.size(); ++i) {
+        EXPECT_EQ(a.winners[i].node, b.winners[i].node) << "winner " << i;
+        EXPECT_EQ(a.winners[i].score, b.winners[i].score) << "winner " << i;
+        EXPECT_EQ(a.winners[i].payment, b.winners[i].payment) << "winner " << i;
+    }
+    if (!compare_ranking) return;
+    ASSERT_EQ(a.ranking.size(), b.ranking.size());
+    for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+        EXPECT_EQ(a.ranking[i].bid.node, b.ranking[i].bid.node) << "rank " << i;
+        EXPECT_EQ(a.ranking[i].score, b.ranking[i].score) << "rank " << i;
+        EXPECT_EQ(a.ranking[i].bid.payment, b.ranking[i].bid.payment) << "rank " << i;
+        EXPECT_EQ(a.ranking[i].bid.quality, b.ranking[i].bid.quality) << "rank " << i;
+    }
+}
+
+TEST(BidFrame, AdapterRoundTripsExactly) {
+    // Sparse NodeIds: rows without a bid must come back inactive/absent.
+    std::vector<Bid> bids = make_bids(40, 21, 3);
+    bids.erase(bids.begin() + 7);
+    bids.erase(bids.begin() + 20);
+    BidFrame frame;
+    frame.from_bids(bids);
+    EXPECT_EQ(frame.rows(), 40u);
+    EXPECT_EQ(frame.dims(), 3u);
+    EXPECT_EQ(frame.active_count(), bids.size());
+    EXPECT_FALSE(frame.active(7));
+
+    std::vector<Bid> back;
+    frame.to_bids(back);
+    ASSERT_EQ(back.size(), bids.size());
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+        EXPECT_EQ(back[i].node, bids[i].node);
+        EXPECT_EQ(back[i].quality, bids[i].quality);
+        EXPECT_EQ(back[i].payment, bids[i].payment);
+    }
+}
+
+TEST(BidFrame, FromBidsRejectsBadInput) {
+    std::vector<Bid> bids = make_bids(4, 22);
+    bids[2].quality.push_back(1.0);
+    BidFrame frame;
+    EXPECT_THROW(frame.from_bids(bids), std::invalid_argument);
+    bids = make_bids(4, 23);
+    bids[3].node = bids[0].node;
+    EXPECT_THROW(frame.from_bids(bids), std::invalid_argument);
+}
+
+TEST(BidFrame, RunFrameMatchesVectorRunForEveryRegisteredMechanism) {
+    const ScaledProductScoring scoring(5.0, 2);
+    const std::vector<Bid> bids = make_bids(120, 31);
+    BidFrame frame;
+    frame.from_bids(bids);
+    RankScratch scratch;
+    for (const std::string& name : MechanismRegistry::instance().names()) {
+        SCOPED_TRACE("mechanism " + name);
+        const WinnerDetermination determination(scoring, spec_for(name));
+        stats::Rng rng_vector(99);
+        stats::Rng rng_frame(99);
+        const AuctionOutcome via_vector = determination.run(bids, rng_vector);
+        const AuctionOutcome via_frame =
+            determination.run_frame(frame, rng_frame, scratch);
+        expect_outcomes_equal(via_vector, via_frame);
+        // Both paths must consume the RNG identically, or multi-round
+        // experiments would diverge after the first round.
+        EXPECT_EQ(rng_vector.engine()(), rng_frame.engine()());
+    }
+}
+
+TEST(BidFrame, FusedPartialRankingMatchesFullScoreboardForEveryMechanism) {
+    const ScaledProductScoring scoring(5.0, 2);
+    const std::vector<Bid> bids = make_bids(150, 41);
+    BidFrame frame;
+    frame.from_bids(bids);
+    RankScratch scratch;
+    for (const std::string& name : MechanismRegistry::instance().names()) {
+        SCOPED_TRACE("mechanism " + name);
+        MechanismSpec full = spec_for(name);
+        full.full_ranking = true;
+        MechanismSpec partial = spec_for(name);
+        partial.full_ranking = false;
+        stats::Rng rng_full(7);
+        stats::Rng rng_partial(7);
+        const AuctionOutcome board =
+            WinnerDetermination(scoring, full).run_frame(frame, rng_full, scratch);
+        const AuctionOutcome fused =
+            WinnerDetermination(scoring, partial).run_frame(frame, rng_partial, scratch);
+        // Winner sets and payments are the invariant; the fused path may
+        // truncate the recorded ranking to what selection needed.
+        expect_outcomes_equal(board, fused, /*compare_ranking=*/false);
+        ASSERT_LE(fused.ranking.size(), board.ranking.size());
+        for (std::size_t i = 0; i < fused.ranking.size(); ++i) {
+            EXPECT_EQ(fused.ranking[i].bid.node, board.ranking[i].bid.node) << i;
+            EXPECT_EQ(fused.ranking[i].score, board.ranking[i].score) << i;
+        }
+    }
+}
+
+TEST(BidFrame, FusedTopKBitIdenticalAcrossWorkerCounts) {
+    const ScaledProductScoring scoring(5.0, 2);
+    const std::vector<Bid> bids = make_bids(3000, 51);
+    BidFrame frame;
+    frame.from_bids(bids);
+    MechanismSpec spec = spec_for("first_score");
+    spec.full_ranking = false;
+    const WinnerDetermination determination(scoring, spec);
+
+    const char* previous = std::getenv("FMORE_ROUND_THREADS");
+    const std::string saved = previous ? previous : "";
+    ::setenv("FMORE_ROUND_THREADS", "1", 1);
+    RankScratch scratch;
+    stats::Rng rng_serial(5);
+    const AuctionOutcome serial = determination.run_frame(frame, rng_serial, scratch);
+    ::setenv("FMORE_ROUND_THREADS", "8", 1);
+    stats::Rng rng_pool(5);
+    const AuctionOutcome pooled = determination.run_frame(frame, rng_pool, scratch);
+    if (previous) ::setenv("FMORE_ROUND_THREADS", saved.c_str(), 1);
+    else ::unsetenv("FMORE_ROUND_THREADS");
+
+    expect_outcomes_equal(serial, pooled);
+}
+
+/// A deliberately vector-API-only mechanism — what a custom registration
+/// that predates BidFrame looks like. Frame rounds must route it through
+/// the default rank_frame adapter and agree with the vector path exactly.
+class VectorOnlyMechanism final : public Mechanism {
+public:
+    [[nodiscard]] std::string name() const override { return "vector_only"; }
+    [[nodiscard]] std::vector<ScoredBid> rank(const ScoringRule& scoring,
+                                              const std::vector<Bid>& bids,
+                                              stats::Rng& /*rng*/) const override {
+        std::vector<ScoredBid> ranking;
+        ranking.reserve(bids.size());
+        for (const Bid& bid : bids) ranking.push_back({bid, scoring.score(bid)});
+        std::sort(ranking.begin(), ranking.end(),
+                  [](const ScoredBid& a, const ScoredBid& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.bid.node < b.bid.node;
+                  });
+        return ranking;
+    }
+    [[nodiscard]] std::vector<std::size_t>
+    select(const std::vector<ScoredBid>& ranking, stats::Rng& /*rng*/) const override {
+        std::vector<std::size_t> chosen;
+        for (std::size_t i = 0; i < std::min<std::size_t>(3, ranking.size()); ++i) {
+            chosen.push_back(i);
+        }
+        return chosen;
+    }
+    [[nodiscard]] std::vector<Winner>
+    price(const ScoringRule& /*scoring*/, const std::vector<ScoredBid>& ranking,
+          const std::vector<std::size_t>& chosen) const override {
+        std::vector<Winner> winners;
+        for (const std::size_t i : chosen) {
+            winners.push_back(
+                Winner{ranking[i].bid.node, ranking[i].score, ranking[i].bid.payment});
+        }
+        return winners;
+    }
+};
+
+TEST(BidFrame, DefaultRankFrameAdapterServesVectorOnlyMechanisms) {
+    const ScaledProductScoring scoring(5.0, 2);
+    const std::vector<Bid> bids = make_bids(80, 71);
+    BidFrame frame;
+    frame.from_bids(bids);
+    RankScratch scratch;
+    const WinnerDetermination determination(scoring, MechanismSpec{},
+                                            std::make_shared<VectorOnlyMechanism>());
+    stats::Rng rng_vector(3);
+    stats::Rng rng_frame(3);
+    const AuctionOutcome via_vector = determination.run(bids, rng_vector);
+    const AuctionOutcome via_frame = determination.run_frame(frame, rng_frame, scratch);
+    expect_outcomes_equal(via_vector, via_frame);
+}
+
+/// A ScoreAuctionMechanism subclass that tweaks ONE vector-API stage (a
+/// reserve filter in select, like the registered test/reserve mechanism).
+/// Frame rounds must honour the override — the engine's fused lane is for
+/// its exact type only.
+class ReserveLikeMechanism final : public ScoreAuctionMechanism {
+public:
+    ReserveLikeMechanism(MechanismSpec spec, double reserve)
+        : ScoreAuctionMechanism(std::move(spec), "reserve_like"), reserve_(reserve) {}
+
+    [[nodiscard]] std::vector<std::size_t>
+    select(const std::vector<ScoredBid>& ranking, stats::Rng& rng) const override {
+        std::vector<std::size_t> chosen = ScoreAuctionMechanism::select(ranking, rng);
+        std::erase_if(chosen,
+                      [&](std::size_t i) { return ranking[i].score < reserve_; });
+        return chosen;
+    }
+
+private:
+    double reserve_;
+};
+
+TEST(BidFrame, EngineSubclassStageOverridesSurviveFrameRounds) {
+    const ScaledProductScoring scoring(5.0, 2);
+    const std::vector<Bid> bids = make_bids(60, 81);
+    BidFrame frame;
+    frame.from_bids(bids);
+    RankScratch scratch;
+    MechanismSpec spec;
+    spec.num_winners = 8;
+    // Pick the reserve from the plain engine's board: halfway across the
+    // first strict score drop inside the top 8, so the filter provably
+    // bites without guessing the score scale.
+    double reserve = 0.0;
+    {
+        const WinnerDetermination plain(scoring, spec);
+        stats::Rng probe(17);
+        const AuctionOutcome board = plain.run(bids, probe);
+        for (std::size_t k = 1; k < 8; ++k) {
+            if (board.ranking[k].score < board.ranking[k - 1].score) {
+                reserve = 0.5 * (board.ranking[k].score + board.ranking[k - 1].score);
+                break;
+            }
+        }
+        ASSERT_GT(reserve, 0.0) << "degenerate board: top-8 scores all tied";
+    }
+    const WinnerDetermination determination(
+        scoring, spec, std::make_shared<ReserveLikeMechanism>(spec, reserve));
+    stats::Rng rng_vector(17);
+    stats::Rng rng_frame(17);
+    const AuctionOutcome via_vector = determination.run(bids, rng_vector);
+    const AuctionOutcome via_frame = determination.run_frame(frame, rng_frame, scratch);
+    expect_outcomes_equal(via_vector, via_frame);
+    for (const Winner& w : via_frame.winners) EXPECT_GE(w.score, reserve);
+    ASSERT_LT(via_frame.winners.size(), 8u) << "reserve never engaged; raise it";
+}
+
+TEST(BidFrame, InactiveRowsNeverRank) {
+    const ScaledProductScoring scoring(5.0, 2);
+    std::vector<Bid> bids = make_bids(50, 61);
+    BidFrame frame;
+    frame.from_bids(bids);
+    // Deactivate the rows of the first vector-path winner set.
+    MechanismSpec spec = spec_for("first_score");
+    const WinnerDetermination determination(scoring, spec);
+    stats::Rng rng(1);
+    RankScratch scratch;
+    const AuctionOutcome before = determination.run_frame(frame, rng, scratch);
+    for (const Winner& w : before.winners) frame.set_active(w.node, false);
+    stats::Rng rng2(1);
+    const AuctionOutcome after = determination.run_frame(frame, rng2, scratch);
+    for (const Winner& w : after.winners) {
+        for (const Winner& old : before.winners) EXPECT_NE(w.node, old.node);
+    }
+    EXPECT_EQ(frame.active_count(), 50u - before.winners.size());
+}
+
+TEST(SpanFastPaths, DefaultFallbacksMatchTheVectorApis) {
+    // Custom rules that override NOTHING span-related must still score
+    // frames correctly (and identically) through the copy-into-scratch
+    // defaults.
+    class PlainRule final : public ScoringRule {
+    public:
+        [[nodiscard]] double quality_score(const QualityVector& q) const override {
+            double total = 0.0;
+            for (const double v : q) total += v * v;
+            return total;
+        }
+        [[nodiscard]] std::size_t dimensions() const override { return 3; }
+    };
+    class PlainCost final : public CostModel {
+    public:
+        [[nodiscard]] double cost(const QualityVector& q, double theta) const override {
+            double total = 0.0;
+            for (const double v : q) total += v;
+            return theta * total;
+        }
+        [[nodiscard]] double cost_theta_derivative(const QualityVector& q,
+                                                   double /*theta*/) const override {
+            double total = 0.0;
+            for (const double v : q) total += v;
+            return total;
+        }
+        [[nodiscard]] std::size_t dimensions() const override { return 3; }
+    };
+
+    const PlainRule rule;
+    const PlainCost cost;
+    const QualityVector q{1.5, 2.0, 0.25};
+    EXPECT_EQ(rule.quality_score_span(q.data(), q.size()), rule.quality_score(q));
+    EXPECT_EQ(rule.score_span(q.data(), q.size(), 0.75), rule.score(q, 0.75));
+    EXPECT_EQ(cost.cost_span(q.data(), q.size(), 1.25), cost.cost(q, 1.25));
+}
+
+} // namespace
+} // namespace fmore::auction

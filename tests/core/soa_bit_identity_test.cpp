@@ -1,0 +1,118 @@
+// The acceptance contract of the SoA/fused round path: experiments driven
+// through the structure-of-arrays population store and the fused
+// BidFrame collect+rank pipeline reproduce the classic per-bid reference
+// path (FMORE_BID_PATH=legacy) bit-identically — winners, payments,
+// scores, accuracy and wall-clock metrics — on both the simulator and the
+// testbed engine.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fmore/core/scenarios.hpp"
+#include "fmore/core/trials.hpp"
+
+namespace fmore::core {
+namespace {
+
+ExperimentSpec tiny(const std::string& scenario) {
+    ExperimentSpec spec = named_scenario(scenario);
+    spec.training.train_samples = 900;
+    spec.training.test_samples = 200;
+    spec.training.rounds = 3;
+    spec.training.eval_cap = 120;
+    return spec;
+}
+
+std::vector<fl::RunResult> run_with_path(const ExperimentSpec& spec,
+                                         const std::string& policy, const char* path) {
+    const char* previous = std::getenv("FMORE_BID_PATH");
+    const std::string saved = previous ? previous : "";
+    if (path != nullptr) ::setenv("FMORE_BID_PATH", path, 1);
+    else ::unsetenv("FMORE_BID_PATH");
+    std::vector<fl::RunResult> runs;
+    try {
+        runs = run_experiment_trials(spec, policy, 2);
+    } catch (...) {
+        if (previous) ::setenv("FMORE_BID_PATH", saved.c_str(), 1);
+        else ::unsetenv("FMORE_BID_PATH");
+        throw;
+    }
+    if (previous) ::setenv("FMORE_BID_PATH", saved.c_str(), 1);
+    else ::unsetenv("FMORE_BID_PATH");
+    return runs;
+}
+
+void expect_runs_equal(const std::vector<fl::RunResult>& legacy,
+                       const std::vector<fl::RunResult>& fused,
+                       const std::string& label) {
+    ASSERT_EQ(legacy.size(), fused.size()) << label;
+    for (std::size_t t = 0; t < legacy.size(); ++t) {
+        ASSERT_EQ(legacy[t].rounds.size(), fused[t].rounds.size()) << label;
+        for (std::size_t r = 0; r < legacy[t].rounds.size(); ++r) {
+            SCOPED_TRACE(label + ", trial " + std::to_string(t) + ", round "
+                         + std::to_string(r + 1));
+            const fl::RoundMetrics& a = legacy[t].rounds[r];
+            const fl::RoundMetrics& b = fused[t].rounds[r];
+            EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+            EXPECT_EQ(a.test_loss, b.test_loss);
+            EXPECT_EQ(a.train_loss, b.train_loss);
+            EXPECT_EQ(a.mean_winner_payment, b.mean_winner_payment);
+            EXPECT_EQ(a.mean_winner_score, b.mean_winner_score);
+            EXPECT_EQ(a.round_seconds, b.round_seconds);
+            // Same winners in the same order, with the same contracted
+            // volumes (promised data is read off the bid either way).
+            const fl::SelectionRecord& sa = a.selection;
+            const fl::SelectionRecord& sb = b.selection;
+            ASSERT_EQ(sa.selected.size(), sb.selected.size());
+            for (std::size_t w = 0; w < sa.selected.size(); ++w) {
+                EXPECT_EQ(sa.selected[w].client, sb.selected[w].client);
+                EXPECT_EQ(sa.selected[w].payment, sb.selected[w].payment);
+                EXPECT_EQ(sa.selected[w].score, sb.selected[w].score);
+                EXPECT_EQ(sa.selected[w].train_samples, sb.selected[w].train_samples);
+            }
+            EXPECT_EQ(sa.all_scores, sb.all_scores);
+            EXPECT_EQ(sa.scores_by_node, sb.scores_by_node);
+        }
+    }
+}
+
+TEST(SoaBitIdentity, SimulatorTrialMatchesLegacyPath) {
+    const ExperimentSpec spec = tiny("paper/fig04");
+    expect_runs_equal(run_with_path(spec, "fmore", "legacy"),
+                      run_with_path(spec, "fmore", nullptr), "sim fmore");
+}
+
+TEST(SoaBitIdentity, SimulatorPartialScoreboardMatchesLegacyPath) {
+    ExperimentSpec spec = tiny("paper/fig04");
+    spec.auction.full_scoreboard = false;  // the fused O(N log K) top-K path
+    expect_runs_equal(run_with_path(spec, "fmore", "legacy"),
+                      run_with_path(spec, "fmore", nullptr), "sim fmore partial");
+}
+
+TEST(SoaBitIdentity, SimulatorPsiFMoreMatchesLegacyPath) {
+    ExperimentSpec spec = tiny("paper/fig04");
+    spec.auction.psi = 0.5;
+    expect_runs_equal(run_with_path(spec, "psi_fmore", "legacy"),
+                      run_with_path(spec, "psi_fmore", nullptr), "sim psi_fmore");
+}
+
+TEST(SoaBitIdentity, TestbedTrialMatchesLegacyPath) {
+    ExperimentSpec spec = tiny("testbed/default");
+    spec.auction.full_scoreboard = false;
+    expect_runs_equal(run_with_path(spec, "fmore", "legacy"),
+                      run_with_path(spec, "fmore", nullptr), "testbed fmore");
+}
+
+TEST(SoaBitIdentity, SecondScoreMechanismMatchesLegacyPath) {
+    ExperimentSpec spec = tiny("paper/fig04");
+    spec.auction.mechanism = "second_score";
+    spec.auction.full_scoreboard = false;  // exercises the top-(K+1) cut
+    expect_runs_equal(run_with_path(spec, "fmore", "legacy"),
+                      run_with_path(spec, "fmore", nullptr), "sim second_score");
+}
+
+} // namespace
+} // namespace fmore::core

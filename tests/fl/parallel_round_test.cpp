@@ -129,8 +129,13 @@ TEST(ThreadPoolTest, WorkerSlotsAreDenseAndDistinct) {
         ASSERT_LT(slot, slot_seen.size());
         slot_seen[slot].fetch_add(1);
     });
-    // Slot 0 (the caller) always participates.
-    EXPECT_GT(slot_seen[0].load(), 0);
+    // Every index ran exactly once, in some dense slot. (The caller drives
+    // slot 0 but is not guaranteed to CLAIM an index — on a busy machine
+    // the pool workers can drain all 64 first — so per-slot counts are
+    // scheduling-dependent; only the total is deterministic.)
+    int total = 0;
+    for (const auto& s : slot_seen) total += s.load();
+    EXPECT_EQ(total, 64);
 }
 
 TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {

@@ -1,0 +1,188 @@
+// The SoA population store's contracts: evolve is bit-identical for any
+// worker count (per-node counter-derived streams), consumes exactly one
+// caller-RNG draw per round, and the MecPopulation/EdgeNode views mirror
+// the store exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "fmore/mec/population.hpp"
+#include "fmore/ml/synthetic.hpp"
+
+namespace fmore::mec {
+namespace {
+
+class ScopedEnv {
+public:
+    ScopedEnv(const char* name, const std::string& value) : name_(name) {
+        const char* previous = std::getenv(name);
+        had_previous_ = previous != nullptr;
+        if (had_previous_) previous_ = previous;
+        ::setenv(name, value.c_str(), 1);
+    }
+    ~ScopedEnv() {
+        if (had_previous_) ::setenv(name_, previous_.c_str(), 1);
+        else ::unsetenv(name_);
+    }
+
+private:
+    const char* name_;
+    bool had_previous_ = false;
+    std::string previous_;
+};
+
+std::vector<ml::ClientShard> make_shards(std::size_t clients) {
+    stats::Rng rng(1);
+    ml::ImageDatasetSpec spec;
+    spec.samples = clients * 12;
+    const ml::Dataset data = ml::make_synthetic_images(spec, rng);
+    stats::Rng prng(2);
+    return ml::partition_non_iid_variable(data, clients, 1, 4, prng);
+}
+
+PopulationSpec dynamic_spec() {
+    PopulationSpec spec;
+    spec.dynamics.resource_jitter = 0.15;
+    spec.dynamics.theta_jitter = 0.05;
+    return spec;
+}
+
+PopulationStore make_store(std::size_t nodes = 200) {
+    const stats::UniformDistribution theta(0.5, 1.5);
+    stats::Rng rng(7);
+    return PopulationStore(make_shards(nodes), 10, theta, dynamic_spec(), rng);
+}
+
+void expect_stores_equal(const PopulationStore& a, const PopulationStore& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.theta(i), b.theta(i)) << "node " << i;
+        EXPECT_EQ(a.data_size(i), b.data_size(i)) << "node " << i;
+        EXPECT_EQ(a.category_proportion(i), b.category_proportion(i)) << "node " << i;
+        EXPECT_EQ(a.bandwidth_mbps(i), b.bandwidth_mbps(i)) << "node " << i;
+        EXPECT_EQ(a.cpu_cores(i), b.cpu_cores(i)) << "node " << i;
+    }
+}
+
+TEST(PopulationStore, EvolveBitIdenticalAcrossWorkerCounts) {
+    // Serial reference, then the pool path under several explicit round-
+    // thread counts — per-node streams make every partition identical.
+    PopulationStore reference = make_store();
+    stats::Rng ref_rng(11);
+    for (int round = 0; round < 5; ++round) reference.evolve_serial(ref_rng);
+
+    for (const char* threads : {"1", "2", "8"}) {
+        const ScopedEnv env("FMORE_ROUND_THREADS", threads);
+        PopulationStore store = make_store();
+        stats::Rng rng(11);
+        for (int round = 0; round < 5; ++round) store.evolve(rng);
+        SCOPED_TRACE(std::string("FMORE_ROUND_THREADS=") + threads);
+        expect_stores_equal(reference, store);
+    }
+}
+
+TEST(PopulationStore, EvolveConsumesExactlyOneDrawPerRound) {
+    // The salt is the only caller-RNG consumption, independent of N — what
+    // keeps downstream draws (shuffles, psi flips) aligned between any two
+    // populations evolved from the same generator.
+    PopulationStore store = make_store(64);
+    stats::Rng rng(3);
+    stats::Rng twin(3);
+    store.evolve(rng);
+    (void)twin.engine()();
+    EXPECT_EQ(rng.engine()(), twin.engine()());
+}
+
+TEST(PopulationStore, EvolveRespectsCapsAndBounds) {
+    PopulationStore store = make_store(100);
+    stats::Rng rng(5);
+    for (int round = 0; round < 30; ++round) store.evolve(rng);
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        const ResourceState caps = store.caps(i);
+        EXPECT_LE(store.bandwidth_mbps(i), caps.bandwidth_mbps + 1e-12);
+        EXPECT_GE(store.bandwidth_mbps(i), 0.05 * caps.bandwidth_mbps - 1e-12);
+        EXPECT_LE(store.cpu_cores(i), caps.cpu_cores + 1e-12);
+        EXPECT_LE(store.data_size(i), caps.data_size + 1e-12);
+        EXPECT_GE(store.theta(i), store.theta_lo());
+        EXPECT_LE(store.theta(i), store.theta_hi());
+    }
+}
+
+TEST(PopulationStore, ViewsMirrorTheStoreAfterEvolve) {
+    const stats::UniformDistribution theta(0.5, 1.5);
+    stats::Rng rng(9);
+    MecPopulation population(make_shards(50), 10, theta, dynamic_spec(), rng);
+    stats::Rng ev(10);
+    population.evolve(ev);
+    const PopulationStore& store = population.store();
+    for (std::size_t i = 0; i < population.size(); ++i) {
+        const EdgeNode& node = population.node(i);
+        EXPECT_EQ(node.id(), i);
+        EXPECT_EQ(node.theta(), store.theta(i));
+        EXPECT_EQ(node.resources().data_size, store.data_size(i));
+        EXPECT_EQ(node.resources().category_proportion, store.category_proportion(i));
+        EXPECT_EQ(node.resources().bandwidth_mbps, store.bandwidth_mbps(i));
+        EXPECT_EQ(node.resources().cpu_cores, store.cpu_cores(i));
+        EXPECT_EQ(node.caps().data_size, store.caps(i).data_size);
+    }
+}
+
+TEST(PopulationStore, SyntheticPopulationRespectsRanges) {
+    const stats::UniformDistribution theta(0.5, 1.5);
+    PopulationSpec spec = dynamic_spec();
+    spec.bandwidth_lo = 100.0;
+    spec.bandwidth_hi = 400.0;
+    SyntheticDataSpec data;
+    data.data_lo = 30.0;
+    data.data_hi = 90.0;
+    data.category_lo = 0.2;
+    data.category_hi = 0.8;
+    stats::Rng rng(13);
+    const PopulationStore store(5000, data, theta, spec, rng);
+    ASSERT_EQ(store.size(), 5000u);
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        const ResourceState caps = store.caps(i);
+        EXPECT_GE(caps.data_size, 30.0);
+        EXPECT_LE(caps.data_size, 90.0);
+        EXPECT_GE(caps.category_proportion, 0.2);
+        EXPECT_LE(caps.category_proportion, 0.8);
+        EXPECT_GE(caps.bandwidth_mbps, 100.0);
+        EXPECT_LE(caps.bandwidth_mbps, 400.0);
+        EXPECT_LE(store.data_size(i), caps.data_size);
+        EXPECT_LE(store.bandwidth_mbps(i), caps.bandwidth_mbps);
+    }
+}
+
+TEST(PopulationStore, AdoptedStorePowersAPopulation) {
+    const stats::UniformDistribution theta(0.5, 1.5);
+    stats::Rng rng(17);
+    PopulationStore store(128, SyntheticDataSpec{}, theta, dynamic_spec(), rng);
+    MecPopulation population(std::move(store));
+    EXPECT_EQ(population.size(), 128u);
+    stats::Rng ev(18);
+    const double before = population.store().bandwidth_mbps(0);
+    population.evolve(ev);
+    // Mirror refreshes lazily and reflects the evolved store.
+    EXPECT_EQ(population.node(0).resources().bandwidth_mbps,
+              population.store().bandwidth_mbps(0));
+    (void)before;
+}
+
+TEST(PopulationStore, RejectsBadInputs) {
+    const stats::UniformDistribution theta(0.5, 1.5);
+    stats::Rng rng(19);
+    EXPECT_THROW(PopulationStore({}, 10, theta, PopulationSpec{}, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(PopulationStore(0, SyntheticDataSpec{}, theta, PopulationSpec{}, rng),
+                 std::invalid_argument);
+    SyntheticDataSpec bad;
+    bad.data_lo = 10.0;
+    bad.data_hi = 5.0;
+    EXPECT_THROW(PopulationStore(10, bad, theta, PopulationSpec{}, rng),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fmore::mec
