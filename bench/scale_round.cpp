@@ -1,22 +1,28 @@
 // scale_round: the market-scale performance ledger. Auction-only rounds
 // (evolve + collect + rank + select + price, no training) over synthetic
-// SoA populations at N in {10k, 100k, 1M}, timing the fused BidFrame path
-// against the classic per-bid reference (FMORE_BID_PATH=legacy, the
+// SoA populations at N in {10k, 100k, 1M, 10M}, timing the fused BidFrame
+// path against the classic per-bid reference (FMORE_BID_PATH=legacy, the
 // pre-SoA round shape: AoS walk, one QualityVector per bid, a
-// WinnerDetermination rebuilt per round). Winners and payments are
-// asserted bit-identical between the two legs every round, and the fused
-// leg's steady-state allocation count is measured with a global
-// operator-new hook (the contract is ZERO per round once buffers are
-// warm). Everything lands in a machine-readable BENCH_scale.json.
+// WinnerDetermination rebuilt per round) AND against the sharded
+// marketplace (ShardedAuctionSelector, 8 owned shards, bounded-head
+// merge). Winners and payments are asserted bit-identical between the
+// monolithic legs every round, AND between the fused and sharded legs,
+// and the fused leg's steady-state allocation count is measured with a
+// global operator-new hook (the contract is ZERO per round once buffers
+// are warm). At N = 10M only the fused and sharded legs run — the classic
+// per-bid leg's AoS shadow walk is a multi-second-per-round detour that
+// the three smaller rows already bound. Everything lands in a
+// machine-readable BENCH_scale.json.
 //
 //   scale_round [--smoke] [--out path.json] [--check committed.json]
 //
 // --smoke shrinks the N grid to {10k, 100k} and the round count (CI).
 // --check compares the fresh measurements against a committed ledger:
-// exit 1 if required keys are missing, winners diverged, allocations are
-// nonzero, or the fused-vs-classic SPEEDUP (machine-relative, so it
-// transfers across runners) regressed by more than FMORE_SCALE_TOLERANCE
-// (default 0.20 = 20%).
+// exit 1 if required keys are missing (the N = 10M sharded row must be
+// committed even when the fresh run is a smoke run), winners diverged on
+// either comparison, allocations are nonzero, or the fused-vs-classic
+// SPEEDUP (machine-relative, so it transfers across runners) regressed by
+// more than FMORE_SCALE_TOLERANCE (default 0.20 = 20%).
 
 #include <atomic>
 #include <chrono>
@@ -36,6 +42,7 @@
 #include "fmore/auction/equilibrium.hpp"
 #include "fmore/auction/scoring.hpp"
 #include "fmore/mec/auction_selector.hpp"
+#include "fmore/mec/sharded_selector.hpp"
 #include "fmore/stats/normalizer.hpp"
 
 // ---------------------------------------------------------------------------
@@ -97,6 +104,7 @@ private:
 
 constexpr std::size_t kWinners = 32;
 constexpr double kDataHi = 150.0;
+constexpr std::size_t kShards = 8; ///< the scale/10m preset's shard count
 
 /// The simulator's market (Section V.A scoring/cost) solved once per N —
 /// the solve is O(grids), independent of N, so the equilibrium layer is
@@ -125,8 +133,8 @@ struct Market {
     }
 };
 
-mec::MecPopulation make_population(std::size_t n, const Market& market,
-                                   std::uint64_t seed) {
+mec::PopulationStore make_store(std::size_t n, const Market& market,
+                                std::uint64_t seed) {
     mec::PopulationSpec spec;
     spec.dynamics.resource_jitter = 0.08;
     spec.dynamics.theta_jitter = 0.02;
@@ -134,7 +142,12 @@ mec::MecPopulation make_population(std::size_t n, const Market& market,
     data.data_lo = 20.0;
     data.data_hi = kDataHi;
     stats::Rng rng(seed);
-    return mec::MecPopulation(mec::PopulationStore(n, data, *market.theta, spec, rng));
+    return mec::PopulationStore(n, data, *market.theta, spec, rng);
+}
+
+mec::MecPopulation make_population(std::size_t n, const Market& market,
+                                   std::uint64_t seed) {
+    return mec::MecPopulation(make_store(n, market, seed));
 }
 
 mec::AuctionSelector make_selector(mec::MecPopulation& population, const Market& market) {
@@ -221,6 +234,41 @@ LegResult run_leg(std::size_t n, const Market& market, bool legacy, std::size_t 
     return out;
 }
 
+/// The sharded marketplace over the SAME market and seed: the store split
+/// into kShards contiguous ranges, per-shard fused collect+score+top-K,
+/// bounded-head merge. `run_auction_round` consumes the generator exactly
+/// like the monolithic round (one drift salt, one global tie permutation),
+/// so its winners must match the fused leg's bit for bit — the per-row
+/// `sharded_winners_bit_identical` assertion.
+LegResult run_sharded_leg(std::size_t n, const Market& market, std::size_t rounds,
+                          std::uint64_t seed) {
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = kWinners;
+    wd.full_ranking = false;
+    mec::ShardedAuctionSelector selector(
+        make_store(n, market, seed).split_even(kShards), *market.scoring,
+        *market.strategy, wd,
+        {mec::ResourceDim::data_size, mec::ResourceDim::category_proportion},
+        /*data_dimension=*/0);
+
+    stats::Rng rng(seed ^ 0xf00dULL);
+    LegResult out;
+    out.rounds.reserve(rounds);
+    double round_best = 1e300;
+    for (std::size_t round = 1; round <= rounds; ++round) {
+        // Drift happens inside the sharded round (round > 1 draws the
+        // salt), so the timed span is the whole evolve+bid pipeline —
+        // comparable to the fused leg's evolve_ms + bid_ms.
+        const auto start = clock_type::now();
+        const auction::AuctionOutcome& outcome =
+            selector.run_auction_round(round, kWinners, rng);
+        if (round > 1) round_best = std::min(round_best, seconds_since(start));
+        out.rounds.push_back(RoundWinners{outcome.winners});
+    }
+    out.bid_ms = round_best * 1e3;
+    return out;
+}
+
 /// Steady-state allocations per fused round, measured on the serial path
 /// (FMORE_ROUND_THREADS=1): rounds 3.. touch only warm buffers, so the
 /// contract is a delta of zero.
@@ -259,30 +307,40 @@ bool winners_match(const LegResult& a, const LegResult& b) {
 
 struct ScaleRow {
     std::size_t n = 0;
+    bool has_legacy = true;  ///< false at N=10M: fused + sharded legs only
     double legacy_ms = 0.0;
     double legacy_evolve_ms = 0.0;
     double legacy_bid_ms = 0.0;
     double soa_ms = 0.0;
     double soa_evolve_ms = 0.0;
     double soa_bid_ms = 0.0;
+    double sharded_ms = 0.0;
     std::uint64_t steady_allocs = 0;
-    bool identical = false;
+    bool identical = false;          ///< legacy vs fused (true when no legacy leg)
+    bool sharded_identical = false;  ///< fused vs sharded
 };
 
-ScaleRow bench_scale(std::size_t n, std::size_t rounds) {
+ScaleRow bench_scale(std::size_t n, std::size_t rounds, bool with_legacy) {
     const Market market(n);
     const std::uint64_t seed = 0x5ca1e000ULL + n;
-    const LegResult legacy = run_leg(n, market, /*legacy=*/true, rounds, seed);
-    const LegResult fused = run_leg(n, market, /*legacy=*/false, rounds, seed);
     ScaleRow row;
     row.n = n;
-    row.legacy_ms = legacy.ms_per_round();
-    row.legacy_evolve_ms = legacy.evolve_ms;
-    row.legacy_bid_ms = legacy.bid_ms;
+    row.has_legacy = with_legacy;
+    row.identical = true;
+    const LegResult fused = run_leg(n, market, /*legacy=*/false, rounds, seed);
     row.soa_ms = fused.ms_per_round();
     row.soa_evolve_ms = fused.evolve_ms;
     row.soa_bid_ms = fused.bid_ms;
-    row.identical = winners_match(legacy, fused);
+    if (with_legacy) {
+        const LegResult legacy = run_leg(n, market, /*legacy=*/true, rounds, seed);
+        row.legacy_ms = legacy.ms_per_round();
+        row.legacy_evolve_ms = legacy.evolve_ms;
+        row.legacy_bid_ms = legacy.bid_ms;
+        row.identical = winners_match(legacy, fused);
+    }
+    const LegResult sharded = run_sharded_leg(n, market, rounds, seed);
+    row.sharded_ms = sharded.ms_per_round();
+    row.sharded_identical = winners_match(fused, sharded);
     row.steady_allocs = measure_steady_allocs(n, market, seed);
     return row;
 }
@@ -303,23 +361,33 @@ void write_ledger(const std::string& path, const std::vector<ScaleRow>& rows,
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     std::fprintf(f, "  \"k\": %zu,\n", kWinners);
+    std::fprintf(f, "  \"shards\": %zu,\n", kShards);
     std::fprintf(f, "  \"rounds_timed\": %zu,\n", rounds - 1);
     std::fprintf(f, "  \"scale\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const ScaleRow& row = rows[i];
+        std::fprintf(f, "    {\"n\": %zu, ", row.n);
+        if (row.has_legacy) {
+            std::fprintf(f,
+                         "\"legacy_ms_per_round\": %.4g, "
+                         "\"legacy_evolve_ms\": %.4g, \"legacy_bid_ms\": %.4g, ",
+                         row.legacy_ms, row.legacy_evolve_ms, row.legacy_bid_ms);
+        }
         std::fprintf(f,
-                     "    {\"n\": %zu, \"legacy_ms_per_round\": %.4g, "
-                     "\"legacy_evolve_ms\": %.4g, \"legacy_bid_ms\": %.4g, "
                      "\"soa_ms_per_round\": %.4g, "
-                     "\"soa_evolve_ms\": %.4g, \"soa_bid_ms\": %.4g, "
-                     "\"speedup\": %.4g, "
-                     "\"steady_state_allocs_per_round\": %llu, "
-                     "\"winners_bit_identical\": %s}%s\n",
-                     row.n, row.legacy_ms, row.legacy_evolve_ms, row.legacy_bid_ms,
-                     row.soa_ms, row.soa_evolve_ms, row.soa_bid_ms,
-                     row.legacy_ms / row.soa_ms,
+                     "\"soa_evolve_ms\": %.4g, \"soa_bid_ms\": %.4g, ",
+                     row.soa_ms, row.soa_evolve_ms, row.soa_bid_ms);
+        if (row.has_legacy) {
+            std::fprintf(f, "\"speedup\": %.4g, \"winners_bit_identical\": %s, ",
+                         row.legacy_ms / row.soa_ms, row.identical ? "true" : "false");
+        }
+        std::fprintf(f,
+                     "\"sharded_ms_per_round\": %.4g, "
+                     "\"sharded_winners_bit_identical\": %s, "
+                     "\"steady_state_allocs_per_round\": %llu}%s\n",
+                     row.sharded_ms, row.sharded_identical ? "true" : "false",
                      static_cast<unsigned long long>(row.steady_allocs),
-                     row.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+                     i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -352,9 +420,38 @@ bool check_against(const std::string& text, const std::vector<ScaleRow>& rows) {
     }
 
     bool ok = true;
+    // The 10M sharded row is the scale north-star: it must stay committed
+    // even when the fresh run is a two-row smoke grid.
+    {
+        const std::string tag = "\"n\": 10000000,";
+        const std::size_t at = text.find(tag);
+        double committed_sharded = 0.0;
+        if (at == std::string::npos) {
+            std::cerr << "scale_round --check: committed ledger is missing the "
+                         "N=10000000 sharded row\n";
+            ok = false;
+        } else {
+            const std::size_t end = text.find('}', at);
+            const std::string object = text.substr(at, end - at);
+            if (!extract_number(object, "sharded_ms_per_round", &committed_sharded)
+                || !(committed_sharded > 0.0)
+                || object.find("\"sharded_winners_bit_identical\": true")
+                       == std::string::npos) {
+                std::cerr << "scale_round --check: committed N=10000000 row lacks a "
+                             "positive sharded_ms_per_round with "
+                             "sharded_winners_bit_identical=true\n";
+                ok = false;
+            }
+        }
+    }
     for (const ScaleRow& row : rows) {
         if (!row.identical) {
             std::cerr << "scale_round --check: winners diverged at N=" << row.n << '\n';
+            ok = false;
+        }
+        if (!row.sharded_identical) {
+            std::cerr << "scale_round --check: sharded winners diverged at N=" << row.n
+                      << '\n';
             ok = false;
         }
         if (row.steady_allocs != 0) {
@@ -375,6 +472,14 @@ bool check_against(const std::string& text, const std::vector<ScaleRow>& rows) {
         }
         const std::size_t end = text.find('}', at);
         const std::string object = text.substr(at, end - at);
+        double committed_sharded = 0.0;
+        if (!extract_number(object, "sharded_ms_per_round", &committed_sharded)
+            || !(committed_sharded > 0.0)) {
+            std::cerr << "scale_round --check: committed N=" << row.n
+                      << " row is missing a positive sharded_ms_per_round key\n";
+            ok = false;
+        }
+        if (!row.has_legacy) continue;
         double committed_speedup = 0.0;
         if (!extract_number(object, "speedup", &committed_speedup)
             || !(committed_speedup > 0.0)) {
@@ -438,23 +543,39 @@ int main(int argc, char** argv) {
     }
 
     std::vector<std::size_t> grid{10'000, 100'000};
-    if (!smoke) grid.push_back(1'000'000);
+    if (!smoke) {
+        grid.push_back(1'000'000);
+        grid.push_back(10'000'000);
+    }
     const std::size_t rounds = smoke ? 4 : 8;
 
     std::cout << "scale_round: auction-only rounds, classic per-bid path vs fused SoA"
-              << (smoke ? " (smoke)" : "") << "\n"
+                 " vs sharded (S=" << kShards << ")" << (smoke ? " (smoke)" : "") << "\n"
               << "K=" << kWinners << ", " << rounds - 1
-              << " timed rounds per leg (round 1 warms buffers)\n\n";
-    std::printf("%10s  %14s  %14s  %8s  %8s  %s\n", "N", "legacy ms/round",
-                "fused ms/round", "speedup", "allocs", "winners");
+              << " timed rounds per leg (round 1 warms buffers);"
+                 " N=10M runs the fused and sharded legs only\n\n";
+    std::printf("%10s  %14s  %14s  %15s  %8s  %8s  %s\n", "N", "legacy ms/round",
+                "fused ms/round", "sharded ms/round", "speedup", "allocs", "winners");
 
     std::vector<ScaleRow> rows;
     for (const std::size_t n : grid) {
-        const ScaleRow row = bench_scale(n, rounds);
-        std::printf("%10zu  %14.2f  %14.2f  %7.2fx  %8llu  %s\n", row.n, row.legacy_ms,
-                    row.soa_ms, row.legacy_ms / row.soa_ms,
+        const bool with_legacy = n < 10'000'000;
+        const ScaleRow row = bench_scale(n, rounds, with_legacy);
+        char legacy_col[32];
+        char speedup_col[32];
+        if (row.has_legacy) {
+            std::snprintf(legacy_col, sizeof legacy_col, "%.2f", row.legacy_ms);
+            std::snprintf(speedup_col, sizeof speedup_col, "%.2fx",
+                          row.legacy_ms / row.soa_ms);
+        } else {
+            std::snprintf(legacy_col, sizeof legacy_col, "-");
+            std::snprintf(speedup_col, sizeof speedup_col, "-");
+        }
+        std::printf("%10zu  %14s  %14.2f  %15.2f  %8s  %8llu  %s\n", row.n, legacy_col,
+                    row.soa_ms, row.sharded_ms, speedup_col,
                     static_cast<unsigned long long>(row.steady_allocs),
-                    row.identical ? "bit-identical" : "DIVERGED");
+                    row.identical && row.sharded_identical ? "bit-identical"
+                                                           : "DIVERGED");
         rows.push_back(row);
     }
 
@@ -463,6 +584,10 @@ int main(int argc, char** argv) {
     for (const ScaleRow& row : rows) {
         if (!row.identical) {
             std::cerr << "scale_round: winners diverged at N=" << row.n << '\n';
+            return 1;
+        }
+        if (!row.sharded_identical) {
+            std::cerr << "scale_round: sharded winners diverged at N=" << row.n << '\n';
             return 1;
         }
     }

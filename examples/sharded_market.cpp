@@ -1,0 +1,125 @@
+// Sharded market: the FMore auction partitioned over S contiguous node
+// ranges — the execution strategy behind the scale/10m preset. One
+// coordinator draws the round's drift salt, every shard runs the fused
+// collect + score + top-K pass over its own rows, and the S bounded heads
+// merge under the market's strict total order. Same winners, same
+// payments, bit for bit — sharding changes where the work runs, never
+// what the market decides.
+//
+// Shows: owned-mode ShardedAuctionSelector over PopulationStore::split,
+// per-round equality against the monolithic AuctionSelector, and graceful
+// degradation when a shard misses its bid deadline (the K winners are
+// refilled from the responsive shards and the drop is reported).
+
+#include <iostream>
+
+#include "fmore/auction/cost.hpp"
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/scoring.hpp"
+#include "fmore/core/report.hpp"
+#include "fmore/mec/auction_selector.hpp"
+#include "fmore/mec/sharded_selector.hpp"
+#include "fmore/stats/normalizer.hpp"
+
+int main() {
+    using namespace fmore;
+
+    // The simulator's market (Section V.A): two-dimensional scaled-product
+    // scoring over (data size, category diversity), linear private costs.
+    std::vector<stats::MinMaxNormalizer> norms;
+    norms.emplace_back(0.0, 150.0);
+    norms.emplace_back(0.0, 1.0);
+    const auction::ScaledProductScoring scoring(25.0, 2, norms);
+    const auction::AdditiveCost cost({6.0 / 150.0, 2.0});
+    const stats::UniformDistribution theta(0.5, 1.5);
+
+    constexpr std::size_t kNodes = 3'000;
+    constexpr std::size_t kWinners = 16;
+    constexpr std::size_t kShards = 6;
+
+    auction::EquilibriumConfig eq;
+    eq.num_bidders = kNodes;
+    eq.num_winners = kWinners;
+    const auction::EquilibriumStrategy strategy =
+        auction::EquilibriumSolver(scoring, cost, theta, {1.0, 0.05}, {150.0, 1.0}, eq)
+            .solve();
+
+    // Two independently built but identically seeded populations: one stays
+    // whole for the monolithic selector, one is split into 6 shard stores.
+    // Per-node drift streams are keyed by (salt, GLOBAL node id), so a
+    // shard is the market restricted to its range — never a different one.
+    auto make_store = [&](std::uint64_t seed) {
+        mec::PopulationSpec spec;
+        spec.dynamics.resource_jitter = 0.1;
+        spec.dynamics.theta_jitter = 0.03;
+        mec::SyntheticDataSpec data;
+        data.data_lo = 20.0;
+        data.data_hi = 150.0;
+        stats::Rng rng(seed);
+        return mec::PopulationStore(kNodes, data, theta, spec, rng);
+    };
+    constexpr std::uint64_t kSeed = 77;
+
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = kWinners;
+    wd.full_ranking = false; // fused O(N log K) per shard
+
+    mec::MecPopulation population(make_store(kSeed));
+    mec::AuctionSelector monolithic(population, scoring, strategy, wd,
+                                    mec::data_category_extractor(),
+                                    /*data_dimension=*/0);
+    mec::ShardedAuctionSelector sharded(
+        make_store(kSeed).split_even(kShards), scoring, strategy, wd,
+        {mec::ResourceDim::data_size, mec::ResourceDim::category_proportion},
+        /*data_dimension=*/0);
+
+    std::cout << "Monolithic vs sharded market, N=" << kNodes << ", K=" << kWinners
+              << ", S=" << kShards << ":\n";
+    core::TablePrinter table(std::cout, {"round", "top_score", "mean_payment",
+                                         "winners_equal"});
+    stats::Rng mono_rng(kSeed ^ 0xf00dULL);
+    stats::Rng shard_rng(kSeed ^ 0xf00dULL);
+    for (std::size_t round = 1; round <= 5; ++round) {
+        const auction::AuctionOutcome& mono =
+            monolithic.run_auction_round(round, kWinners, mono_rng);
+        const auction::AuctionOutcome& shard =
+            sharded.run_auction_round(round, kWinners, shard_rng);
+        bool equal = mono.winners.size() == shard.winners.size();
+        double mean_payment = 0.0;
+        for (std::size_t i = 0; equal && i < mono.winners.size(); ++i) {
+            equal = mono.winners[i].node == shard.winners[i].node
+                    && mono.winners[i].payment == shard.winners[i].payment;
+        }
+        for (const auction::Winner& w : shard.winners) {
+            mean_payment += w.payment / static_cast<double>(shard.winners.size());
+        }
+        table.row({static_cast<double>(round), shard.winners.front().score,
+                   mean_payment, equal ? 1.0 : 0.0},
+                  3);
+    }
+
+    // Degradation: give shard 2 a virtual 9s bid latency against a 1s
+    // deadline from round 3 on. The round proceeds over the other five
+    // shards — K winners still clear, none from the silent range — and the
+    // drop is surfaced instead of stalling the market.
+    sharded.set_shard_timeout(1.0);
+    sharded.set_virtual_latency([](std::size_t shard, std::size_t round) {
+        return shard == 2 && round >= 3 ? 9.0 : 0.1;
+    });
+    std::cout << "\nSame market with shard 2 missing its 1s deadline from round 3:\n";
+    for (std::size_t round = 1; round <= 4; ++round) {
+        stats::Rng rng(kSeed ^ (0xbeefULL + round));
+        const auction::AuctionOutcome& outcome =
+            sharded.run_auction_round(round, kWinners, rng);
+        std::cout << "  round " << round << ": " << outcome.winners.size()
+                  << " winners, dropped shards:";
+        if (sharded.last_dropped_shards().empty()) std::cout << " none";
+        for (const std::size_t s : sharded.last_dropped_shards())
+            std::cout << ' ' << s;
+        std::cout << '\n';
+    }
+
+    std::cout << "\nThe merged shard heads reproduced the monolithic auction bit for\n"
+                 "bit; a slow shard degrades the round instead of blocking it.\n";
+    return 0;
+}

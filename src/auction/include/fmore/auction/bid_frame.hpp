@@ -86,11 +86,16 @@ private:
 /// Reusable working memory of `Mechanism::rank_frame`. Owned by the
 /// caller (one per selector), so repeated rounds touch no allocator.
 struct RankScratch {
-    /// One ranking candidate: the bid's score and its position in the
-    /// shuffled scan order (the coin-flip tie-break key).
+    /// One ranking candidate: the bid's score, its coin-flip tie-break key
+    /// (the shuffled scan position, or a salt-derived per-node hash in
+    /// `TieBreak::salted` mode) and the row it names. Ordering is the
+    /// strict total order (score desc, key asc, node asc) — in shuffle
+    /// mode keys are unique so the node clause never fires, in salted mode
+    /// it breaks the measure-zero hash collision.
     struct Candidate {
         double score = 0.0;
-        std::size_t pos = 0;
+        std::uint64_t key = 0;
+        NodeId node = 0;
     };
 
     std::vector<std::size_t> active;   ///< active rows in ascending node order

@@ -22,6 +22,25 @@
 
 namespace fmore::auction {
 
+/// How exactly-tied scores are broken (the paper's "flip of a coin",
+/// Section V.A). Both modes are fair coin flips; they differ in how the
+/// flip is materialized and what that costs at scale:
+///  - `shuffle` (the historical default): one Fisher-Yates shuffle of the
+///    active bids per round; a bid's tie-break key is its shuffled
+///    position. Exact, but inherently GLOBAL — every ranking site must see
+///    the same O(N) permutation.
+///  - `salted`: ONE generator draw per round (the tie salt); a bid's key is
+///    the counter-derived hash of (salt, NodeId). Position-independent, so
+///    S shards — in other threads, processes or machines — derive
+///    identical keys from the 8-byte salt alone. This is what the
+///    multi-process shard aggregator ships instead of a permutation.
+/// Winners differ between the modes only where scores tie exactly; within
+/// a mode every path (vector, fused frame, sharded) is bit-identical.
+enum class TieBreak : std::uint8_t {
+    shuffle,
+    salted,
+};
+
 /// Parameter bag every registered mechanism is constructed from (the former
 /// `WinnerDeterminationConfig`, which is now an alias of this type).
 /// A mechanism reads the knobs it cares about and ignores the rest, so one
@@ -63,6 +82,11 @@ struct MechanismSpec {
     /// best loser under second-score payments), an O(N log K) partial sort
     /// instead of O(N log N); the winner set is bit-identical either way.
     bool full_ranking = true;
+    /// Coin-flip materialization for tied scores; `salted` makes the
+    /// tie-break position-independent (see TieBreak), which the
+    /// multi-process shard aggregator requires. Honoured by the built-in
+    /// score-auction engine; custom mechanisms may ignore it.
+    TieBreak tie_break = TieBreak::shuffle;
 };
 
 /// Abstract auction mechanism: how sealed bids become a ranking, a winner
@@ -179,6 +203,14 @@ public:
                    RankScratch& scratch, AuctionOutcome& outcome) const override;
 
     [[nodiscard]] const MechanismSpec& spec() const { return spec_; }
+
+    /// How much of the descending board this spec's selection actually
+    /// needs out of `active` bids: everything when `full_ranking` or a psi
+    /// scan walks the whole board, else top K (+1 for the second-score
+    /// best-loser). Shared by `rank`, `rank_frame` AND the sharded
+    /// coordinator — one rule, so merged shard heads truncate at exactly
+    /// the monolithic cut.
+    [[nodiscard]] std::size_t ranking_cutoff(std::size_t active) const;
 
 protected:
     /// Payment of one winner under the configured rule (first-score pays

@@ -1,0 +1,110 @@
+#pragma once
+
+/// @file shard_merge.hpp
+/// The shard seam of the auction market: bounded per-shard ranking heads
+/// and their deterministic merge. A market of N bidders split into S
+/// contiguous shards runs the fused score+top-K pass per shard and ships
+/// only each shard's HEAD — at most `cutoff` rows of
+/// (node, score, key, payment) plus the head rows' quality vectors — to
+/// the coordinator. Because every shard orders candidates under the SAME
+/// strict total order the monolithic pass uses (score desc, tie key asc,
+/// node asc), the union of per-shard heads provably contains the global
+/// top `cutoff`, and `merge_heads` — concatenate, sort under that order,
+/// truncate — reproduces the monolithic ranking head bit-identically.
+///
+/// Tie keys come in the two `TieBreak` flavours: a pointer into the
+/// coordinator's global shuffled-position table (`TieBreak::shuffle`, the
+/// in-process sharded lane) or an 8-byte round salt hashed with the global
+/// NodeId (`TieBreak::salted`, what the multi-process aggregator ships
+/// over its pipes instead of an O(N) permutation).
+
+#include <cstdint>
+#include <vector>
+
+#include "fmore/auction/bid_frame.hpp"
+#include "fmore/auction/types.hpp"
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::auction {
+
+/// One ranked row of a shard head. `node` is the GLOBAL id — shards report
+/// in market coordinates, so heads from different shards merge directly.
+struct HeadRow {
+    NodeId node = 0;
+    double score = 0.0;
+    std::uint64_t key = 0;  ///< tie-break key under the round's TieBreak mode
+    double payment = 0.0;   ///< the bid's asked payment
+};
+
+/// Strict total order of the market: (score desc, key asc, node asc).
+/// Identical to `RankScratch::Candidate` ordering — the bit-identity
+/// contract between sharded and monolithic ranking.
+[[nodiscard]] inline bool head_row_better(const HeadRow& a, const HeadRow& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.key != b.key) return a.key < b.key;
+    return a.node < b.node;
+}
+
+/// A shard's contribution to one round: its top rows under the market
+/// order plus those rows' declared quality vectors (row-major, `dims`
+/// doubles per head row — needed to materialize winners' bids and the
+/// contracted data volume). This is the ONLY per-round payload a shard
+/// ships; its size is bounded by the ranking cutoff, not the shard size.
+struct ShardHead {
+    std::size_t dims = 0;
+    std::vector<HeadRow> rows;     ///< sorted best-first
+    std::vector<double> quality;   ///< rows.size() × dims, row-major
+
+    void clear() {
+        dims = 0;
+        rows.clear();
+        quality.clear();
+    }
+    [[nodiscard]] const double* quality_row(std::size_t r) const {
+        return quality.data() + r * dims;
+    }
+
+    /// Append the wire form to `out`: row count, dims, the HeadRow array,
+    /// the quality buffer — fixed-width little-endian fields, no padding
+    /// assumptions. `deserialize` round-trips exactly.
+    void serialize(std::vector<std::uint8_t>& out) const;
+    /// @throws std::invalid_argument on truncated or inconsistent bytes
+    [[nodiscard]] static ShardHead deserialize(const std::uint8_t* data,
+                                               std::size_t size);
+};
+
+/// How a shard derives a row's tie-break key from its GLOBAL node id.
+/// Shuffle mode points into the coordinator's inverse-permutation table
+/// (valid for the current round only); salted mode needs just the 8-byte
+/// round salt.
+struct TieKeys {
+    const std::uint32_t* pos = nullptr;  ///< global node id -> shuffled position
+    std::uint64_t salt = 0;
+    bool salted = false;
+
+    [[nodiscard]] std::uint64_t key(NodeId global_node) const {
+        return salted ? stats::derive_stream_seed(salt, global_node) : pos[global_node];
+    }
+};
+
+/// Fused score + bounded top-`limit` pass over one shard's collected
+/// frame (local rows, `frame.scored()` required): the shard-side half of
+/// the market. Writes at most `limit` rows into `out`, sorted best-first
+/// under the market order, nodes translated to global ids via
+/// `node_offset`. `limit` must be the GLOBAL ranking cutoff (or the shard
+/// active count if smaller): any row in the global top-cutoff is in its
+/// own shard's top-cutoff, so the union of such heads always contains the
+/// global head.
+/// @throws std::logic_error when the frame's score column is not filled
+void collect_shard_head(const BidFrame& frame, std::size_t node_offset,
+                        const TieKeys& keys, std::size_t limit, ShardHead& out);
+
+/// Coordinator-side merge: concatenate the heads, sort under the market
+/// order, truncate to `cutoff`, and materialize the ranking. Bit-identical
+/// to the monolithic fused ranking head when every shard reported (see
+/// collect_shard_head's containment argument); with dropped shards it is
+/// the exact market over the responsive ones.
+void merge_heads(const std::vector<ShardHead>& heads, std::size_t cutoff,
+                 std::vector<ScoredBid>& ranking);
+
+} // namespace fmore::auction

@@ -85,6 +85,18 @@ std::string ScoreAuctionMechanism::name() const {
     return name_.empty() ? resolve_mechanism_name(spec_) : name_;
 }
 
+std::size_t ScoreAuctionMechanism::ranking_cutoff(std::size_t active) const {
+    // The psi scan walks the whole board and `full_ranking` is the Fig. 8
+    // contract, so both force the complete sort.
+    const bool probabilistic = spec_.psi < 1.0 || !spec_.psi_per_node.empty();
+    if (spec_.full_ranking || probabilistic) return active;
+    std::size_t top = std::min<std::size_t>(active, spec_.num_winners);
+    // Second-score payments price against the best loser, rank K.
+    if (spec_.payment_rule == PaymentRule::second_price)
+        top = std::min<std::size_t>(active, top + 1);
+    return top;
+}
+
 std::vector<ScoredBid> ScoreAuctionMechanism::rank(const ScoringRule& scoring,
                                                    const std::vector<Bid>& bids,
                                                    stats::Rng& rng) const {
@@ -93,6 +105,37 @@ std::vector<ScoredBid> ScoreAuctionMechanism::rank(const ScoringRule& scoring,
     for (const Bid& bid : bids) {
         ranking.push_back({bid, scoring.score(bid)});
     }
+    if (spec_.tie_break == TieBreak::salted) {
+        // Position-independent coin flips: one engine draw seeds a per-node
+        // hash key, so any subset of the bids — a shard, another process —
+        // orders its members exactly as the whole board would. Same strict
+        // total order as `rank_frame` in salted mode: bit-identical heads.
+        const std::uint64_t salt = rng.engine()();
+        std::vector<std::uint64_t> keys(ranking.size());
+        for (std::size_t i = 0; i < ranking.size(); ++i)
+            keys[i] = stats::derive_stream_seed(salt, ranking[i].bid.node);
+        std::vector<std::size_t> idx(ranking.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        const auto cmp = [&](std::size_t a, std::size_t b) {
+            if (ranking[a].score != ranking[b].score)
+                return ranking[a].score > ranking[b].score;
+            if (keys[a] != keys[b]) return keys[a] < keys[b];
+            return ranking[a].bid.node < ranking[b].bid.node;
+        };
+        const std::size_t top = ranking_cutoff(ranking.size());
+        if (top >= idx.size()) {
+            std::sort(idx.begin(), idx.end(), cmp);
+        } else {
+            std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(top),
+                              idx.end(), cmp);
+        }
+        std::vector<ScoredBid> head;
+        head.reserve(std::min(top, idx.size()));
+        for (std::size_t i = 0; i < std::min(top, idx.size()); ++i)
+            head.push_back(std::move(ranking[idx[i]]));
+        return head;
+    }
+
     // Random shuffle first, then sort by score: bids with exactly equal
     // scores end up in coin-flip order ("Ties are resolved by the flip of a
     // coin", Section V.A).
@@ -103,16 +146,7 @@ std::vector<ScoredBid> ScoreAuctionMechanism::rank(const ScoringRule& scoring,
     shuffled.reserve(ranking.size());
     for (const std::size_t i : order) shuffled.push_back(std::move(ranking[i]));
 
-    // The psi scan walks the whole board and `full_ranking` is the Fig. 8
-    // contract, so both force the complete sort.
-    const bool probabilistic = spec_.psi < 1.0 || !spec_.psi_per_node.empty();
-    std::size_t top = shuffled.size();
-    if (!spec_.full_ranking && !probabilistic) {
-        top = std::min<std::size_t>(shuffled.size(), spec_.num_winners);
-        // Second-score payments price against the best loser, rank K.
-        if (spec_.payment_rule == PaymentRule::second_price)
-            top = std::min<std::size_t>(shuffled.size(), top + 1);
-    }
+    const std::size_t top = ranking_cutoff(shuffled.size());
 
     // Comparing (score desc, shuffled position asc) is a strict total order
     // whose result is exactly what stable_sort on the shuffled vector
@@ -160,33 +194,38 @@ void ScoreAuctionMechanism::rank_frame(const ScoringRule& scoring, const BidFram
     if (frame.rows() > UINT32_MAX)
         throw std::invalid_argument("rank_frame: more than 2^32 rows");
 
-    std::vector<std::size_t>& order = scratch.order;
-    order.assign(active.begin(), active.end());
-    rng.shuffle(order);
-    // Inverse permutation: each row's coin-flip tie-break key. Inverting
-    // lets the scan below walk rows in ASCENDING order — streaming the
-    // frame columns — instead of hopping through them in shuffled order.
+    const bool salted = spec_.tie_break == TieBreak::salted;
+    std::uint64_t tie_salt = 0;
     std::vector<std::uint32_t>& pos = scratch.pos;
-    pos.resize(frame.rows());
-    for (std::size_t j = 0; j < m; ++j) pos[order[j]] = static_cast<std::uint32_t>(j);
-
-    // Same cut-off rule as `rank`: the psi scan walks the whole board and
-    // `full_ranking` is the Fig. 8 contract, so both force the full sort.
-    const bool probabilistic = spec_.psi < 1.0 || !spec_.psi_per_node.empty();
-    std::size_t top = m;
-    if (!spec_.full_ranking && !probabilistic) {
-        top = std::min<std::size_t>(m, spec_.num_winners);
-        if (spec_.payment_rule == PaymentRule::second_price)
-            top = std::min<std::size_t>(m, top + 1);
+    std::vector<std::size_t>& order = scratch.order;
+    if (salted) {
+        // One engine draw for the whole board; per-row keys are a pure hash
+        // of (salt, node), so a shard scanning only ITS rows computes the
+        // very keys these rows carry in the monolithic sort.
+        tie_salt = rng.engine()();
+    } else {
+        order.assign(active.begin(), active.end());
+        rng.shuffle(order);
+        // Inverse permutation: each row's coin-flip tie-break key. Inverting
+        // lets the scan below walk rows in ASCENDING order — streaming the
+        // frame columns — instead of hopping through them in shuffled order.
+        pos.resize(frame.rows());
+        for (std::size_t j = 0; j < m; ++j)
+            pos[order[j]] = static_cast<std::uint32_t>(j);
     }
 
+    // Same cut-off rule as `rank` and the shard-head collector.
+    const std::size_t top = ranking_cutoff(m);
+
     using Candidate = RankScratch::Candidate;
-    // (score desc, shuffled position asc) is a strict total order —
-    // positions are unique — and equals what stable_sort over the shuffled
-    // bid list produces: the bit-identity argument of this whole fast path.
+    // (score desc, key asc, node asc) is a strict total order. In shuffle
+    // mode keys are the unique shuffled positions, and the order equals
+    // what stable_sort over the shuffled bid list produces: the
+    // bit-identity argument of this whole fast path.
     const auto better = [](const Candidate& a, const Candidate& b) {
         if (a.score != b.score) return a.score > b.score;
-        return a.pos < b.pos;
+        if (a.key != b.key) return a.key < b.key;
+        return a.node < b.node;
     };
     const std::size_t dims = frame.dims();
     // A collector that filled the score column already did this arithmetic
@@ -197,7 +236,9 @@ void ScoreAuctionMechanism::rank_frame(const ScoringRule& scoring, const BidFram
         const double score =
             scored ? frame.score(row)
                    : scoring.score_span(frame.quality_row(row), dims, frame.payment(row));
-        return Candidate{score, pos[row]};
+        const std::uint64_t key =
+            salted ? stats::derive_stream_seed(tie_salt, row) : pos[row];
+        return Candidate{score, key, row};
     };
 
     constexpr std::size_t kChunk = 2048;
@@ -266,7 +307,7 @@ void ScoreAuctionMechanism::rank_frame(const ScoringRule& scoring, const BidFram
     // across rounds, so a steady-state round allocates nothing here.
     head.resize(merged.size());
     for (std::size_t r = 0; r < merged.size(); ++r) {
-        const NodeId row = order[merged[r].pos];
+        const NodeId row = merged[r].node;
         ScoredBid& sb = head[r];
         sb.bid.node = row;
         sb.bid.quality.assign(frame.quality_row(row), frame.quality_row(row) + dims);

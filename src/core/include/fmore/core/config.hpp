@@ -79,6 +79,10 @@ struct SimulationConfig {
     /// Record the full Fig. 8 score board each round (O(N log N) sort);
     /// false keeps only what winner selection needs (O(N log K)).
     bool full_scoreboard = true;
+    /// Market shards (1 = monolithic selector; see AuctionSpec::shards).
+    std::size_t market_shards = 1;
+    /// Per-shard bid deadline in seconds (0 = none; see AuctionSpec).
+    double shard_timeout_s = 0.0;
     double resource_jitter = 0.08; ///< MEC dynamics
     double theta_jitter = 0.02;
 
@@ -142,6 +146,10 @@ struct RealWorldConfig {
     auction::WinModel win_model = auction::WinModel::paper;
     /// Record the full Fig. 8 score board each round (see SimulationConfig).
     bool full_scoreboard = true;
+    /// Market shards (1 = monolithic selector; see AuctionSpec::shards).
+    std::size_t market_shards = 1;
+    /// Per-shard bid deadline in seconds (0 = none; see AuctionSpec).
+    double shard_timeout_s = 0.0;
     double resource_jitter = 0.10;
     double theta_jitter = 0.02;
 

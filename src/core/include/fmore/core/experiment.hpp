@@ -78,6 +78,20 @@ struct AuctionSpec {
     /// every round metric are bit-identical either way; only the recorded
     /// score board is truncated.
     bool full_scoreboard = true;
+    /// Market shards: 1 (default) runs the monolithic AuctionSelector;
+    /// S > 1 partitions the population into S contiguous node ranges, runs
+    /// the fused collect+score+top-K pass per shard, and merges the S
+    /// bounded heads under the market's strict total order. Winners,
+    /// payments and every metric are bit-identical to S = 1 by
+    /// construction (asserted by tests/auction/shard_equivalence_test);
+    /// sharding is an execution strategy, not a different mechanism.
+    std::size_t shards = 1;
+    /// Bid deadline per shard, in seconds; shards that miss it contribute
+    /// no bids that round (the round degrades to the responsive shards and
+    /// the drop is surfaced in RoundMetrics::dropped_shards). 0 disables
+    /// the deadline. In-process engines drive this off a deterministic
+    /// virtual clock; the multi-process aggregator off real time.
+    double shard_timeout_s = 0.0;
 };
 
 /// The learning workload: dataset, split sizes and SGD hyperparameters.

@@ -33,7 +33,8 @@ bool operator==(const AuctionSpec& a, const AuctionSpec& b) {
            && a.beta_category == b.beta_category && a.psi == b.psi
            && a.psi_per_node == b.psi_per_node && a.budget == b.budget
            && a.payment_rule == b.payment_rule && a.win_model == b.win_model
-           && a.full_scoreboard == b.full_scoreboard;
+           && a.full_scoreboard == b.full_scoreboard && a.shards == b.shards
+           && a.shard_timeout_s == b.shard_timeout_s;
 }
 
 bool operator==(const TrainingSpec& a, const TrainingSpec& b) {
@@ -115,6 +116,8 @@ SimulationConfig to_simulation_config(const ExperimentSpec& spec) {
     config.payment_rule = spec.auction.payment_rule;
     config.win_model = spec.auction.win_model;
     config.full_scoreboard = spec.auction.full_scoreboard;
+    config.market_shards = spec.auction.shards;
+    config.shard_timeout_s = spec.auction.shard_timeout_s;
     config.resource_jitter = spec.population.resource_jitter;
     config.theta_jitter = spec.population.theta_jitter;
     config.local_epochs = spec.training.local_epochs;
@@ -155,6 +158,8 @@ RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
     config.payment_rule = spec.auction.payment_rule;
     config.win_model = spec.auction.win_model;
     config.full_scoreboard = spec.auction.full_scoreboard;
+    config.market_shards = spec.auction.shards;
+    config.shard_timeout_s = spec.auction.shard_timeout_s;
     config.resource_jitter = spec.population.resource_jitter;
     config.theta_jitter = spec.population.theta_jitter;
     config.local_epochs = spec.training.local_epochs;
@@ -199,6 +204,8 @@ ExperimentSpec from_simulation_config(const SimulationConfig& config) {
     spec.auction.payment_rule = config.payment_rule;
     spec.auction.win_model = config.win_model;
     spec.auction.full_scoreboard = config.full_scoreboard;
+    spec.auction.shards = config.market_shards;
+    spec.auction.shard_timeout_s = config.shard_timeout_s;
     spec.training.dataset = config.dataset;
     spec.training.train_samples = config.train_samples;
     spec.training.test_samples = config.test_samples;
@@ -237,6 +244,8 @@ ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
     spec.auction.payment_rule = config.payment_rule;
     spec.auction.win_model = config.win_model;
     spec.auction.full_scoreboard = config.full_scoreboard;
+    spec.auction.shards = config.market_shards;
+    spec.auction.shard_timeout_s = config.shard_timeout_s;
     spec.training.dataset = config.dataset;
     spec.training.train_samples = config.train_samples;
     spec.training.test_samples = config.test_samples;
@@ -332,6 +341,20 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
     if (bad(auc.budget) || auc.budget < 0.0)
         fail("auction.budget = " + num(auc.budget)
              + ": must be finite and >= 0 (0 = unconstrained)");
+    if (auc.shards == 0)
+        fail("auction.shards = 0: the market needs at least one shard "
+             "(1 = the monolithic selector)");
+    if (pop.num_nodes > 0 && auc.shards > pop.num_nodes)
+        fail("auction.shards = " + std::to_string(auc.shards)
+             + " but population.num_nodes = " + std::to_string(pop.num_nodes)
+             + ": every shard needs at least one node");
+    if (bad(auc.shard_timeout_s) || auc.shard_timeout_s < 0.0)
+        fail("auction.shard_timeout_s = " + num(auc.shard_timeout_s)
+             + ": must be finite and >= 0 (0 disables the deadline)");
+    if (auc.shard_timeout_s > 0.0 && auc.shards <= 1)
+        fail("auction.shard_timeout_s = " + num(auc.shard_timeout_s)
+             + " with auction.shards = " + std::to_string(auc.shards)
+             + ": a bid deadline only applies to a sharded market (shards > 1)");
     if (auc.mechanism == "first_score"
         && auc.payment_rule == auction::PaymentRule::second_price)
         fail("auction.mechanism = 'first_score' but auction.payment_rule = "
@@ -573,6 +596,8 @@ const std::vector<Field>& fields() {
                   s.auction.psi_per_node = parse_list("auction.psi_per_node", v);
               }},
         FMORE_FIELD_DOUBLE("auction.budget", auction.budget),
+        FMORE_FIELD_SIZE("auction.shards", auction.shards),
+        FMORE_FIELD_DOUBLE("auction.shard_timeout_s", auction.shard_timeout_s),
         Field{"auction.full_scoreboard",
               [](const ExperimentSpec& s) {
                   return std::string(s.auction.full_scoreboard ? "true" : "false");

@@ -173,6 +173,18 @@ ScenarioRegistry::ScenarioRegistry() : impl_(std::make_shared<Impl>()) {
         "synthesis at this N is heavy — bench/scale_round runs the same "
         "market shard-free on the synthetic PopulationStore instead",
         [scale_preset] { return scale_preset(1'000'000); });
+    add_builtin("scale/10m",
+        "10,000,000-node market, K=32, partitioned over 8 shards: the sharded "
+        "marketplace at full stretch. Per-shard fused collect+score+top-K "
+        "with bounded-head merge — winners bit-identical to the monolithic "
+        "market (shard_equivalence_test). Dataset synthesis at this N is "
+        "heavy — bench/scale_round runs the same market shard-free on the "
+        "synthetic PopulationStore instead",
+        [scale_preset] {
+            ExperimentSpec spec = scale_preset(10'000'000);
+            spec.auction.shards = 8;
+            return spec;
+        });
 }
 
 ScenarioRegistry& ScenarioRegistry::instance() {

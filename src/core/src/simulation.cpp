@@ -7,6 +7,7 @@
 #include "fmore/fl/policy.hpp"
 #include "fmore/fl/selection.hpp"
 #include "fmore/mec/auction_selector.hpp"
+#include "fmore/mec/sharded_selector.hpp"
 #include "fmore/ml/model_zoo.hpp"
 #include "fmore/ml/partition.hpp"
 #include "fmore/stats/normalizer.hpp"
@@ -222,6 +223,17 @@ fl::RunResult SimulationTrial::run(const std::string& policy_name) {
         if (ctx.probabilistic_acceptance) wd.psi_per_node = config_.psi_per_node;
         wd.budget = config_.budget;
         wd.full_ranking = config_.full_scoreboard;
+        if (config_.market_shards > 1) {
+            // Sharded market: same winners, payments and metrics as the
+            // monolithic selector by construction (shard_equivalence_test).
+            auto sharded = std::make_unique<mec::ShardedAuctionSelector>(
+                *population_, *solved_->scoring, solved_->strategy, wd,
+                mec::QualityLayout{mec::ResourceDim::data_size,
+                                   mec::ResourceDim::category_proportion},
+                /*data_dimension=*/0, config_.market_shards);
+            sharded->set_shard_timeout(config_.shard_timeout_s);
+            return sharded;
+        }
         return std::make_unique<mec::AuctionSelector>(
             *population_, *solved_->scoring, solved_->strategy, wd,
             mec::data_category_extractor(), /*data_dimension=*/0);

@@ -23,6 +23,9 @@ struct RoundMetrics {
     /// Mean staleness (global versions elapsed since dispatch) of the
     /// merged updates; 0 for sync rounds and fresh-only aggregations.
     double mean_staleness = 0.0;
+    /// Market shards that missed this round's bid deadline (sharded
+    /// selection only; 0 = the round saw the whole market).
+    std::size_t dropped_shards = 0;
     SelectionRecord selection;
 };
 

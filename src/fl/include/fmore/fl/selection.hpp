@@ -33,6 +33,10 @@ struct SelectionRecord {
     /// strategies); lets benches look up what a *differently* selected
     /// node would have scored on the same board.
     std::vector<double> scores_by_node;
+    /// Market shards whose bids missed this round's deadline (sharded
+    /// selectors only; empty = full market). A degraded round still
+    /// selects winners — from the responsive shards' bids.
+    std::vector<std::size_t> dropped_shards;
 };
 
 /// Strategy interface: which K clients train in a given round.

@@ -63,6 +63,7 @@ RunResult AsyncCoordinator::run_async(ClientSelector& selector, stats::Rng& rng,
         RoundMetrics metrics;
         metrics.round = round;
         metrics.selection = selector.select(round, config_.winners_per_round, rng);
+        metrics.dropped_shards = metrics.selection.dropped_shards.size();
         const std::vector<SelectedClient>& picked = metrics.selection.selected;
         if (picked.empty())
             throw std::runtime_error("AsyncCoordinator: selector returned no clients");

@@ -156,6 +156,7 @@ RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
         RoundMetrics metrics;
         metrics.round = round;
         metrics.selection = selector.select(round, config_.winners_per_round, rng);
+        metrics.dropped_shards = metrics.selection.dropped_shards.size();
         const std::vector<SelectedClient>& picked = metrics.selection.selected;
         if (picked.empty())
             throw std::runtime_error("Coordinator: selector returned no clients");

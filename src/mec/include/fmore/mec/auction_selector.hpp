@@ -41,6 +41,38 @@ struct QualitySource {
 QualitySource data_category_extractor();
 QualitySource cpu_bandwidth_data_extractor();
 
+/// The fused bid-collection pass over store rows [lo, hi): per row, the
+/// equilibrium quality clipped to the row's available columns, the sealed
+/// ask, and the aggregator score, written into frame rows
+/// `frame_base + (i - lo)`. Blacklist lookups use GLOBAL node ids
+/// (`store.node_offset() + i`), so the same pass serves the monolithic
+/// selector (offset 0, whole store) and every shard of the sharded market.
+/// `columns` is caller-owned scratch (column pointers, reused across
+/// rounds). Chunk-parallel over idle pool workers when `parallel`; results
+/// are row-pure, hence identical for any worker count. The caller is
+/// responsible for `frame.reset` and `frame.set_scored(true)`.
+void collect_bid_rows(const PopulationStore& store, std::size_t lo, std::size_t hi,
+                      const QualityLayout& layout,
+                      const auction::EquilibriumStrategy& strategy,
+                      const auction::ScoringRule& scoring,
+                      bool strategy_scores_broadcast_rule,
+                      auction::PaymentMethod payment_method, const Blacklist& blacklist,
+                      auction::BidFrame& frame, std::size_t frame_base,
+                      std::vector<const double*>& columns, bool parallel);
+
+/// Turn one auction outcome into the fl::SelectionRecord the coordinator
+/// consumes: the score board, per-node scores, and the winner list with
+/// compliance rolls (defectors banned in `blacklist`, shortfalls reflected
+/// in `train_samples`). `promised_quality(node)` resolves a winner's bid
+/// data volume; pass a null function when no data dimension is priced.
+/// Shared by AuctionSelector and the sharded selectors so every market
+/// engine assembles records — and consumes compliance RNG draws — in
+/// exactly the same order.
+[[nodiscard]] fl::SelectionRecord assemble_selection_record(
+    const auction::AuctionOutcome& outcome, std::size_t population_size,
+    const std::function<double(auction::NodeId)>& promised_quality,
+    const ComplianceSpec& compliance, Blacklist& blacklist, stats::Rng& rng);
+
 /// FMore's bid-ask / bid-collection / winner-determination loop as an
 /// fl::ClientSelector (steps 1-3 of Section III.A). Each round:
 ///  1. the population's resources drift (MEC dynamics);

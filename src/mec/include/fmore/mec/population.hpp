@@ -38,6 +38,11 @@ public:
     /// `PopulationStore::evolve` for the determinism model).
     void evolve(stats::Rng& rng);
 
+    /// Drift under a round salt drawn elsewhere — how a sharded market
+    /// coordinator keeps this population in lockstep with its shards (one
+    /// generator draw for the whole market, identical columns everywhere).
+    void evolve_with_salt(std::uint64_t salt);
+
     [[nodiscard]] double theta_lo() const { return store_.theta_lo(); }
     [[nodiscard]] double theta_hi() const { return store_.theta_hi(); }
 

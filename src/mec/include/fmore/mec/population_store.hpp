@@ -9,11 +9,19 @@
 ///
 /// Determinism model: `evolve` draws ONE salt from the caller's generator
 /// and then gives every node its own counter-derived splitmix64 stream
-/// seeded from (salt, node id). A node's draws are a pure function of that
-/// pair, so any partition of the nodes over `util::ThreadPool` workers —
-/// any `FMORE_THREADS` / `FMORE_ROUND_THREADS` value, including the serial
-/// reference — replays bit-identical drift, and the caller's generator
-/// advances by exactly one step per round regardless of N.
+/// seeded from (salt, GLOBAL node id). A node's draws are a pure function
+/// of that pair, so any partition of the nodes over `util::ThreadPool`
+/// workers — any `FMORE_THREADS` / `FMORE_ROUND_THREADS` value, including
+/// the serial reference — replays bit-identical drift, and the caller's
+/// generator advances by exactly one step per round regardless of N.
+///
+/// The same property is what makes the store SHARDABLE: `split` cuts the
+/// columns into S contiguous-range shard stores, each remembering its
+/// `node_offset()` so local row i keeps the global stream (salt,
+/// offset + i). Shards handed the same round salt (`evolve_with_salt`)
+/// therefore drift bit-identically to the unsplit store — in any process,
+/// on any machine — which is the partitioning invariant the sharded
+/// auction market is built on (see ARCHITECTURE.md "Sharding the market").
 
 #include <cstdint>
 #include <vector>
@@ -73,6 +81,11 @@ public:
 
     [[nodiscard]] std::size_t size() const { return theta_.size(); }
 
+    /// Global id of local row 0 (0 for an unsplit store). Shard stores
+    /// produced by `split` keep drawing from the (salt, global id) streams,
+    /// so `node_offset() + i` is row i's identity in the whole market.
+    [[nodiscard]] std::size_t node_offset() const { return node_offset_; }
+
     // Hot-path scalar reads (current state).
     [[nodiscard]] double theta(std::size_t i) const { return theta_[i]; }
     [[nodiscard]] double data_size(std::size_t i) const { return data_size_[i]; }
@@ -103,13 +116,40 @@ public:
     /// `evolve` against it; benches use it as the unsharded timing leg).
     void evolve_serial(stats::Rng& rng);
 
+    /// Shard entry point of the same drift: apply a round salt the
+    /// COORDINATOR drew (one draw for the whole market, not one per shard).
+    /// Because per-node streams are keyed by global id, S shards given the
+    /// same salt reproduce the unsplit store's `evolve` bit-identically.
+    void evolve_with_salt(std::uint64_t salt);
+
+    /// Partition the store into `boundaries.size() + 1` contiguous shards:
+    /// cut points are local row indices, strictly increasing, in
+    /// (0, size()). Each shard copies its column slices and carries
+    /// `node_offset() = this->node_offset() + lo`, so shard drift and bids
+    /// stay keyed to global node ids.
+    /// @throws std::invalid_argument on unsorted/duplicate/out-of-range cuts
+    [[nodiscard]] std::vector<PopulationStore>
+    split(const std::vector<std::size_t>& boundaries) const;
+
+    /// Even partition into `num_shards` contiguous shards (the first
+    /// size() % num_shards shards get one extra node).
+    /// @throws std::invalid_argument when num_shards is 0 or > size()
+    [[nodiscard]] std::vector<PopulationStore> split_even(std::size_t num_shards) const;
+
+    /// The cut points `split_even` uses (exposed so callers can map a
+    /// global node id back to its shard).
+    [[nodiscard]] static std::vector<std::size_t>
+    even_boundaries(std::size_t size, std::size_t num_shards);
+
 private:
+    PopulationStore() = default;  ///< used by split to assemble shard slices
     void init_resources(std::size_t i, const PopulationSpec& spec, double data_cap,
                         double category, const stats::Distribution& theta_dist,
                         stats::Rng& rng);
-    void evolve_with_salt(std::uint64_t salt, bool parallel);
+    void evolve_all(std::uint64_t salt, bool parallel);
     void evolve_node(std::size_t i, std::uint64_t salt);
 
+    std::size_t node_offset_ = 0;
     ResourceDynamics dynamics_{};
     double theta_lo_ = 0.0;
     double theta_hi_ = 0.0;

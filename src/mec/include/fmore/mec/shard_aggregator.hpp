@@ -1,0 +1,97 @@
+#pragma once
+
+/// @file shard_aggregator.hpp
+/// Multi-process shard market: S forked worker processes, each owning one
+/// contiguous shard of the population, speaking a thin pipe protocol with
+/// the aggregator. Per round the wire carries
+///  - down: one fixed-size request (round, K, drift salt, tie salt, head
+///    limit) plus any newly banned global node ids;
+///  - up: the shard's `ShardHead` — at most `ranking_cutoff` rows, i.e.
+///    K(+1) rows per shard, NOT N bids.
+/// Everything else a round needs is position-independent by construction:
+/// drift streams are keyed by (salt, global id) and `TieBreak::salted`
+/// tie-break keys by (salt, global id), so 16 bytes of salts replace both
+/// the O(N) permutation and any shared state.
+///
+/// The spec must therefore use `TieBreak::salted`, deterministic
+/// acceptance (psi == 1, no per-node psi), `full_ranking == false`, and
+/// resolve to the exact built-in score-auction engine — the combinations
+/// whose coordinator needs only the bounded heads. Everything else belongs
+/// in the in-process `ShardedAuctionSelector`.
+///
+/// Failure semantics: a shard that misses `shard_timeout_s` (stalled) or
+/// dies mid-round is evicted — SIGKILLed, its pipe closed, reported in
+/// `last_dropped_shards()` — and the round completes over the responsive
+/// shards' heads. Eviction is permanent (a half-written pipe cannot be
+/// resynchronized); un-degraded rounds are bit-identical to the monolithic
+/// salted market, degraded rounds are the exact market over the survivors.
+///
+/// Fault injection for tests: a `ShardFault` plan is baked into each
+/// worker at fork time — at the given round the worker stalls `stall_s`
+/// seconds before answering, or exits without answering (`die`).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fmore/auction/shard_merge.hpp"
+#include "fmore/auction/winner_determination.hpp"
+#include "fmore/mec/auction_selector.hpp"
+#include "fmore/mec/population_store.hpp"
+
+namespace fmore::mec {
+
+/// One scripted worker misbehaviour (tests): at `round`, shard `shard`
+/// sleeps `stall_s` seconds before replying, or exits without replying.
+struct ShardFault {
+    std::size_t shard = 0;
+    std::size_t round = 0;  ///< 1-based round the fault fires in
+    double stall_s = 0.0;
+    bool die = false;
+};
+
+class ProcessShardAggregator {
+public:
+    /// Splits `store` into `num_shards` even shards and forks one worker
+    /// per shard (workers inherit their shard copy-on-write; they never
+    /// touch the thread pool — bid collection in a worker is serial).
+    /// @throws std::invalid_argument when the spec is not wire-friendly
+    ///         (see file comment) or num_shards is out of range
+    /// @throws std::runtime_error on pipe/fork failure
+    ProcessShardAggregator(const PopulationStore& store,
+                           const auction::ScoringRule& scoring,
+                           const auction::EquilibriumStrategy& strategy,
+                           auction::WinnerDeterminationConfig wd_config,
+                           QualityLayout layout, std::size_t num_shards,
+                           double shard_timeout_s,
+                           std::vector<ShardFault> faults = {});
+    ~ProcessShardAggregator();
+    ProcessShardAggregator(const ProcessShardAggregator&) = delete;
+    ProcessShardAggregator& operator=(const ProcessShardAggregator&) = delete;
+
+    /// One market round: request heads from every live worker, evict the
+    /// ones that miss the deadline, merge the rest, select and price.
+    /// Consumes the same generator draws as the monolithic salted round
+    /// (one drift salt when round > 1, one tie salt); the returned outcome
+    /// is owned by the aggregator and overwritten next round.
+    [[nodiscard]] const auction::AuctionOutcome& run_round(std::size_t round,
+                                                           std::size_t k,
+                                                           stats::Rng& rng);
+
+    /// Shards evicted by the most recent round (ascending shard index).
+    [[nodiscard]] const std::vector<std::size_t>& last_dropped_shards() const;
+    /// Shards evicted over the aggregator's lifetime.
+    [[nodiscard]] std::size_t dead_shards() const;
+    [[nodiscard]] std::size_t num_shards() const;
+    [[nodiscard]] std::size_t population_size() const;
+
+    /// Exclude a node from all future rounds; shipped to its shard with
+    /// the next request.
+    void ban(auction::NodeId node);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace fmore::mec

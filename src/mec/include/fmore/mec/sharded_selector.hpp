@@ -1,0 +1,186 @@
+#pragma once
+
+/// @file sharded_selector.hpp
+/// The sharded FMore marketplace: the auction round of `AuctionSelector`
+/// partitioned over S contiguous node-range shards, proven winner- and
+/// payment-bit-identical to the monolithic market (see ARCHITECTURE.md
+/// "Sharding the market" and tests/auction/shard_equivalence_test).
+///
+/// Each round the coordinator
+///  1. draws ONE drift salt and has every shard evolve its rows from the
+///     per-node (salt, global id) streams — bit-identical to evolving the
+///     unsplit store;
+///  2. has every shard run the fused collect + score + bounded top-K pass
+///     over ITS rows, producing a `ShardHead` of at most `ranking_cutoff`
+///     rows (not N bids);
+///  3. merges the S heads under the market's strict total order
+///     (score desc, tie key asc, node asc) and truncates at the monolithic
+///     cutoff — the containment argument in shard_merge.hpp makes the
+///     merged head equal the monolithic ranking head exactly;
+///  4. runs selection and pricing on the merged head with the SAME
+///     mechanism and the SAME generator draws the monolithic round uses.
+///
+/// Tie-break keys follow `MechanismSpec::tie_break`: in `shuffle` mode the
+/// coordinator replays the monolithic round's global Fisher-Yates
+/// permutation (the active set is derived from node ranges + blacklist,
+/// which the coordinator owns — no shard data needed); in `salted` mode
+/// one 8-byte salt replaces the permutation entirely, which is what the
+/// multi-process `ProcessShardAggregator` ships over its pipes.
+///
+/// Mechanisms that are not the exact built-in score-auction engine take
+/// the GATHER lane instead: shard frames are reassembled into one global
+/// frame and the mechanism's own `run_frame` runs on it — exact semantics
+/// for every registered mechanism, including wholesale `run` overrides.
+///
+/// Degradation: with a `shard_timeout_s` deadline and a latency model
+/// installed (`set_virtual_latency`, a deterministic virtual clock — no
+/// real sleeping), shards that miss the deadline contribute no bids that
+/// round; the auction proceeds over the responsive shards and the drop is
+/// surfaced in `SelectionRecord::dropped_shards` / `RoundMetrics`.
+/// Degraded rounds are NOT equivalence-bound (the monolithic market has
+/// no notion of missing bids); un-degraded rounds are.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fmore/auction/bid_frame.hpp"
+#include "fmore/auction/shard_merge.hpp"
+#include "fmore/auction/winner_determination.hpp"
+#include "fmore/fl/selection.hpp"
+#include "fmore/mec/auction_selector.hpp"
+#include "fmore/mec/blacklist.hpp"
+#include "fmore/mec/population.hpp"
+
+namespace fmore::mec {
+
+class ShardedAuctionSelector final : public fl::ClientSelector {
+public:
+    /// View mode (the experiment engines): shard `population`'s store into
+    /// `num_shards` contiguous even ranges WITHOUT copying it. The
+    /// population remains the single source of truth — drift is applied to
+    /// it once per round (identical to what per-shard copies would
+    /// compute), so engine components reading it (the wall-clock model,
+    /// inspection APIs) see exactly the monolithic state.
+    ShardedAuctionSelector(MecPopulation& population,
+                           const auction::ScoringRule& scoring,
+                           const auction::EquilibriumStrategy& strategy,
+                           auction::WinnerDeterminationConfig wd_config,
+                           QualityLayout layout, std::size_t data_dimension,
+                           std::size_t num_shards,
+                           auction::PaymentMethod payment_method
+                           = auction::PaymentMethod::integral);
+
+    /// Owned mode (benches, equivalence tests, uneven splits): adopt
+    /// already-split shard stores (from `PopulationStore::split`). Shards
+    /// must be contiguous: sorted by `node_offset()`, first at 0, each
+    /// starting where the previous ended.
+    ShardedAuctionSelector(std::vector<PopulationStore> shards,
+                           const auction::ScoringRule& scoring,
+                           const auction::EquilibriumStrategy& strategy,
+                           auction::WinnerDeterminationConfig wd_config,
+                           QualityLayout layout, std::size_t data_dimension,
+                           auction::PaymentMethod payment_method
+                           = auction::PaymentMethod::integral);
+
+    [[nodiscard]] fl::SelectionRecord select(std::size_t round, std::size_t k,
+                                             stats::Rng& rng) override;
+    /// Same display names as the monolithic selector on purpose — sharding
+    /// is an execution strategy, not a different mechanism.
+    [[nodiscard]] std::string name() const override {
+        return wd_config_.psi < 1.0 ? "psi-FMore" : "FMore";
+    }
+    [[nodiscard]] bool contracts_data_volume() const override {
+        return data_dimension_ != npos;
+    }
+
+    /// One auction-only round (drift, per-shard heads, merge, select,
+    /// price) over the reused buffers — the entry `bench/scale_round`
+    /// times. The returned outcome is owned by the selector and
+    /// overwritten by the next round.
+    [[nodiscard]] const auction::AuctionOutcome& run_auction_round(std::size_t round,
+                                                                   std::size_t k,
+                                                                   stats::Rng& rng);
+
+    [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+    [[nodiscard]] std::size_t population_size() const { return starts_.back(); }
+
+    void set_compliance(const ComplianceSpec& spec) { compliance_ = spec; }
+    [[nodiscard]] const Blacklist& blacklist() const { return blacklist_; }
+
+    /// Bid deadline per shard, in (virtual) seconds; 0 disables dropping.
+    void set_shard_timeout(double seconds);
+    /// Deterministic virtual clock for fault injection: `latency(shard,
+    /// round)` is how long that shard "took" that round. Strictly later
+    /// than `shard_timeout_s` means the shard's bids miss the round. No
+    /// wall time is involved, so degraded rounds replay bit-identically.
+    void set_virtual_latency(std::function<double(std::size_t, std::size_t)> latency) {
+        latency_ = std::move(latency);
+    }
+    /// Shards dropped by the most recent round, ascending.
+    [[nodiscard]] const std::vector<std::size_t>& last_dropped_shards() const {
+        return last_dropped_;
+    }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+private:
+    /// One shard = a contiguous local row range of some store. View mode:
+    /// all ranges point at the population's store; owned mode: each range
+    /// covers one adopted shard store entirely.
+    struct Range {
+        const PopulationStore* store = nullptr;
+        std::size_t lo = 0;    ///< local row range [lo, hi) within *store
+        std::size_t hi = 0;
+        std::size_t base = 0;  ///< global id of local row `lo`
+    };
+
+    void init_shards_from_boundaries(const PopulationStore& store,
+                                     std::size_t num_shards);
+    void validate_config();
+    void evolve_shards(stats::Rng& rng);
+    void refresh_dropped(std::size_t round);
+    const auction::Mechanism* mechanism_for(std::size_t k);
+    void run_fused_sharded(const auction::ScoreAuctionMechanism& engine,
+                           std::size_t k, stats::Rng& rng);
+    void run_gathered(const auction::Mechanism& mechanism, stats::Rng& rng);
+    [[nodiscard]] double bid_quality(auction::NodeId node, std::size_t dim) const;
+
+    MecPopulation* population_ = nullptr;   ///< view mode only
+    std::vector<PopulationStore> owned_;    ///< owned mode only
+    std::vector<Range> shards_;
+    std::vector<std::size_t> starts_;       ///< S+1 global range bounds
+
+    const auction::ScoringRule& scoring_;
+    const auction::EquilibriumStrategy& strategy_;
+    auction::WinnerDeterminationConfig wd_config_;
+    QualityLayout layout_;
+    std::size_t data_dimension_;
+    auction::PaymentMethod payment_method_;
+    ComplianceSpec compliance_;
+    Blacklist blacklist_;
+    bool strategy_scores_broadcast_rule_ = false;
+    bool gather_lane_ = false;  ///< which lane the last round took
+
+    double shard_timeout_s_ = 0.0;
+    std::function<double(std::size_t, std::size_t)> latency_;
+    std::vector<std::size_t> last_dropped_;
+    std::vector<std::uint8_t> dropped_flag_;
+
+    // Per-round buffers, reused.
+    std::vector<auction::BidFrame> frames_;      ///< one per shard (fused lane)
+    std::vector<auction::ShardHead> heads_;
+    auction::BidFrame gather_frame_;             ///< gather lane
+    std::vector<const double*> columns_;
+    auction::RankScratch scratch_;
+    auction::AuctionOutcome outcome_;
+    std::vector<std::size_t> active_;            ///< shuffle-mode global actives
+    std::vector<std::size_t> order_;
+    std::vector<std::uint32_t> pos_;
+
+    std::shared_ptr<const auction::Mechanism> mechanism_;
+    std::size_t mechanism_k_ = npos;
+};
+
+} // namespace fmore::mec

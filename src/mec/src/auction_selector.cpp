@@ -86,59 +86,103 @@ AuctionSelector::AuctionSelector(MecPopulation& population,
                       QualitySource(std::move(extractor)), data_dimension,
                       payment_method) {}
 
-void AuctionSelector::collect_frame() {
-    const PopulationStore& store = population_.store();
-    const std::size_t n = store.size();
-    const std::size_t dims = layout_.size();
-    frame_.reset(n, dims);
-
+void collect_bid_rows(const PopulationStore& store, std::size_t lo, std::size_t hi,
+                      const QualityLayout& layout,
+                      const auction::EquilibriumStrategy& strategy,
+                      const auction::ScoringRule& scoring,
+                      bool strategy_scores_broadcast_rule,
+                      auction::PaymentMethod payment_method, const Blacklist& blacklist,
+                      auction::BidFrame& frame, std::size_t frame_base,
+                      std::vector<const double*>& columns, bool parallel) {
+    const std::size_t dims = layout.size();
     // Column pointers resolved once per round; the chunk loop below then
-    // touches only contiguous memory. A member (not a local thread_local!)
-    // so pool workers see the populated buffer — lambdas do not capture
-    // thread-storage variables, each thread would resolve its own empty
-    // instance — and its capacity survives across rounds.
-    columns_.clear();
-    for (const ResourceDim dim : layout_) columns_.push_back(store.column(dim).data());
-    const std::vector<const double*>& columns = columns_;
+    // touches only contiguous memory. Caller-owned (not a local
+    // thread_local!) so pool workers see the populated buffer — lambdas do
+    // not capture thread-storage variables, each thread would resolve its
+    // own empty instance — and its capacity survives across rounds.
+    columns.clear();
+    for (const ResourceDim dim : layout) columns.push_back(store.column(dim).data());
+    const std::vector<const double*>& cols = columns;
 
     const auto collect_node = [&](std::size_t i) {
-        if (blacklist_.contains(i)) {
-            frame_.set_active(i, false);
+        const std::size_t row = frame_base + (i - lo);
+        if (blacklist.contains(store.node_offset() + i)) {
+            frame.set_active(row, false);
             return;
         }
-        double* q = frame_.quality_row(i);
+        double* q = frame.quality_row(row);
         const double theta = store.theta(i);
-        strategy_.quality_into(theta, q);
+        strategy.quality_into(theta, q);
         for (std::size_t d = 0; d < dims; ++d) {
-            if (q[d] > columns[d][i]) q[d] = columns[d][i];
+            if (q[d] > cols[d][i]) q[d] = cols[d][i];
         }
         // One pass over q prices the bid and yields s(q); the aggregator
         // score S = s(q) - p lands in the frame's score column, so ranking
         // streams one double per row instead of re-reading N×d qualities.
         // The quote's s(q) doubles as the aggregator score only when the
-        // strategy was solved against THIS selector's broadcast rule
+        // strategy was solved against the selector's broadcast rule
         // (always true for the trial engines); otherwise score with the
         // broadcast rule explicitly so fused and classic ranking agree.
         const auction::EquilibriumStrategy::SealedQuote quote =
-            strategy_.quote_span(q, dims, theta, payment_method_);
-        frame_.payment(i) = quote.payment;
-        frame_.score(i) = strategy_scores_broadcast_rule_
-                              ? quote.quality_score - quote.payment
-                              : scoring_.score_span(q, dims, quote.payment);
+            strategy.quote_span(q, dims, theta, payment_method);
+        frame.payment(row) = quote.payment;
+        frame.score(row) = strategy_scores_broadcast_rule
+                               ? quote.quality_score - quote.payment
+                               : scoring.score_span(q, dims, quote.payment);
     };
 
+    const std::size_t n = hi - lo;
     const std::size_t chunks = (n + kCollectChunk - 1) / kCollectChunk;
-    const std::size_t workers = chunks <= 1 ? 1 : util::resolve_round_threads(0, chunks);
+    const std::size_t workers =
+        (!parallel || chunks <= 1) ? 1 : util::resolve_round_threads(0, chunks);
     if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i) collect_node(i);
+        for (std::size_t i = lo; i < hi; ++i) collect_node(i);
     } else {
         util::ThreadPool::shared().parallel_for(
             chunks, workers - 1, [&](std::size_t, std::size_t chunk) {
-                const std::size_t lo = chunk * kCollectChunk;
-                const std::size_t hi = std::min(n, lo + kCollectChunk);
-                for (std::size_t i = lo; i < hi; ++i) collect_node(i);
+                const std::size_t clo = lo + chunk * kCollectChunk;
+                const std::size_t chi = std::min(hi, clo + kCollectChunk);
+                for (std::size_t i = clo; i < chi; ++i) collect_node(i);
             });
     }
+}
+
+fl::SelectionRecord assemble_selection_record(
+    const auction::AuctionOutcome& outcome, std::size_t population_size,
+    const std::function<double(auction::NodeId)>& promised_quality,
+    const ComplianceSpec& compliance, Blacklist& blacklist, stats::Rng& rng) {
+    fl::SelectionRecord record;
+    record.all_scores.reserve(outcome.ranking.size());
+    record.scores_by_node.assign(population_size, 0.0);
+    for (const auction::ScoredBid& sb : outcome.ranking) {
+        record.all_scores.push_back(sb.score);
+        record.scores_by_node[sb.bid.node] = sb.score;
+    }
+    for (const auction::Winner& w : outcome.winners) {
+        fl::SelectedClient sel;
+        sel.client = w.node;
+        sel.payment = w.payment;
+        sel.score = w.score;
+        if (promised_quality) {
+            const std::size_t promised = static_cast<std::size_t>(
+                std::max(1.0, std::floor(promised_quality(w.node))));
+            // Contract compliance: defectors deliver less than they bid and
+            // are banned from future rounds once the shortfall is observed.
+            const ComplianceOutcome outcome_c = roll_compliance(compliance, promised, rng);
+            if (outcome_c.defected) blacklist.ban(w.node);
+            sel.train_samples = outcome_c.delivered_samples;
+        }
+        record.selected.push_back(sel);
+    }
+    return record;
+}
+
+void AuctionSelector::collect_frame() {
+    const PopulationStore& store = population_.store();
+    frame_.reset(store.size(), layout_.size());
+    collect_bid_rows(store, 0, store.size(), layout_, strategy_, scoring_,
+                     strategy_scores_broadcast_rule_, payment_method_, blacklist_,
+                     frame_, 0, columns_, /*parallel=*/true);
     frame_.set_scored(true);
 }
 
@@ -212,41 +256,25 @@ fl::SelectionRecord AuctionSelector::select(std::size_t round, std::size_t k,
                                             stats::Rng& rng) {
     (void)run_auction_round(round, k, rng);
 
-    fl::SelectionRecord record;
-    record.all_scores.reserve(outcome_.ranking.size());
-    record.scores_by_node.assign(population_.size(), 0.0);
-    for (const auction::ScoredBid& sb : outcome_.ranking) {
-        record.all_scores.push_back(sb.score);
-        record.scores_by_node[sb.bid.node] = sb.score;
-    }
+    std::function<double(auction::NodeId)> promised;
     std::vector<std::size_t> bid_of_node;
-    if (!fused_path_ && data_dimension_ != npos) {
-        bid_of_node.assign(population_.size(), npos);
-        for (std::size_t i = 0; i < last_bids_.size(); ++i) {
-            bid_of_node[last_bids_[i].node] = i;
+    if (data_dimension_ != npos) {
+        if (fused_path_) {
+            promised = [this](auction::NodeId node) {
+                return bid_quality(node, data_dimension_);
+            };
+        } else {
+            bid_of_node.assign(population_.size(), npos);
+            for (std::size_t i = 0; i < last_bids_.size(); ++i) {
+                bid_of_node[last_bids_[i].node] = i;
+            }
+            promised = [this, &bid_of_node](auction::NodeId node) {
+                return last_bids_[bid_of_node[node]].quality[data_dimension_];
+            };
         }
     }
-    for (const auction::Winner& w : outcome_.winners) {
-        fl::SelectedClient sel;
-        sel.client = w.node;
-        sel.payment = w.payment;
-        sel.score = w.score;
-        if (data_dimension_ != npos) {
-            const double promised_quality =
-                fused_path_ ? bid_quality(w.node, data_dimension_)
-                            : last_bids_[bid_of_node[w.node]].quality[data_dimension_];
-            const std::size_t promised = static_cast<std::size_t>(
-                std::max(1.0, std::floor(promised_quality)));
-            // Contract compliance: defectors deliver less than they bid and
-            // are banned from future rounds once the shortfall is observed.
-            const ComplianceOutcome outcome_c =
-                roll_compliance(compliance_, promised, rng);
-            if (outcome_c.defected) blacklist_.ban(w.node);
-            sel.train_samples = outcome_c.delivered_samples;
-        }
-        record.selected.push_back(sel);
-    }
-    return record;
+    return assemble_selection_record(outcome_, population_.size(), promised,
+                                     compliance_, blacklist_, rng);
 }
 
 } // namespace fmore::mec

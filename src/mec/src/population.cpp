@@ -37,4 +37,9 @@ void MecPopulation::evolve(stats::Rng& rng) {
     mirror_stale_ = true;
 }
 
+void MecPopulation::evolve_with_salt(std::uint64_t salt) {
+    store_.evolve_with_salt(salt);
+    mirror_stale_ = true;
+}
+
 } // namespace fmore::mec

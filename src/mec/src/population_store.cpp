@@ -112,7 +112,9 @@ ResourceState PopulationStore::caps(std::size_t i) const {
 }
 
 void PopulationStore::evolve_node(std::size_t i, std::uint64_t salt) {
-    stats::SplitMix64 stream(stats::derive_stream_seed(salt, i));
+    // Streams are keyed by GLOBAL id: a shard store replays exactly the
+    // draws its rows would see inside the unsplit store.
+    stats::SplitMix64 stream(stats::derive_stream_seed(salt, node_offset_ + i));
     const double jitter = dynamics_.resource_jitter;
     if (jitter > 0.0) {
         if (bandwidth_cap_[i] > 0.0) {
@@ -140,7 +142,7 @@ void PopulationStore::evolve_node(std::size_t i, std::uint64_t salt) {
     }
 }
 
-void PopulationStore::evolve_with_salt(std::uint64_t salt, bool parallel) {
+void PopulationStore::evolve_all(std::uint64_t salt, bool parallel) {
     if (dynamics_.theta_jitter > 0.0 && !(theta_lo_ < theta_hi_))
         throw std::invalid_argument("PopulationStore::evolve: bad theta bounds");
     const std::size_t n = size();
@@ -160,11 +162,85 @@ void PopulationStore::evolve_with_salt(std::uint64_t salt, bool parallel) {
 }
 
 void PopulationStore::evolve(stats::Rng& rng) {
-    evolve_with_salt(rng.engine()(), /*parallel=*/true);
+    evolve_all(rng.engine()(), /*parallel=*/true);
 }
 
 void PopulationStore::evolve_serial(stats::Rng& rng) {
-    evolve_with_salt(rng.engine()(), /*parallel=*/false);
+    evolve_all(rng.engine()(), /*parallel=*/false);
+}
+
+void PopulationStore::evolve_with_salt(std::uint64_t salt) {
+    evolve_all(salt, /*parallel=*/true);
+}
+
+namespace {
+
+void slice_into(const std::vector<double>& whole, std::size_t lo, std::size_t hi,
+                std::vector<double>& out) {
+    out.assign(whole.begin() + static_cast<std::ptrdiff_t>(lo),
+               whole.begin() + static_cast<std::ptrdiff_t>(hi));
+}
+
+} // namespace
+
+std::vector<PopulationStore>
+PopulationStore::split(const std::vector<std::size_t>& boundaries) const {
+    const std::size_t n = size();
+    for (std::size_t b = 0; b < boundaries.size(); ++b) {
+        if (boundaries[b] == 0 || boundaries[b] >= n)
+            throw std::invalid_argument(
+                "PopulationStore::split: boundary " + std::to_string(boundaries[b])
+                + " outside (0, " + std::to_string(n) + ")");
+        if (b > 0 && boundaries[b] <= boundaries[b - 1])
+            throw std::invalid_argument(
+                "PopulationStore::split: boundaries must be strictly increasing");
+    }
+    std::vector<PopulationStore> shards;
+    shards.reserve(boundaries.size() + 1);
+    std::size_t lo = 0;
+    for (std::size_t b = 0; b <= boundaries.size(); ++b) {
+        const std::size_t hi = b < boundaries.size() ? boundaries[b] : n;
+        PopulationStore shard;
+        shard.node_offset_ = node_offset_ + lo;
+        shard.dynamics_ = dynamics_;
+        shard.theta_lo_ = theta_lo_;
+        shard.theta_hi_ = theta_hi_;
+        slice_into(theta_, lo, hi, shard.theta_);
+        slice_into(data_size_, lo, hi, shard.data_size_);
+        slice_into(category_, lo, hi, shard.category_);
+        slice_into(bandwidth_, lo, hi, shard.bandwidth_);
+        slice_into(cpu_, lo, hi, shard.cpu_);
+        slice_into(data_cap_, lo, hi, shard.data_cap_);
+        slice_into(category_cap_, lo, hi, shard.category_cap_);
+        slice_into(bandwidth_cap_, lo, hi, shard.bandwidth_cap_);
+        slice_into(cpu_cap_, lo, hi, shard.cpu_cap_);
+        shards.push_back(std::move(shard));
+        lo = hi;
+    }
+    return shards;
+}
+
+std::vector<std::size_t> PopulationStore::even_boundaries(std::size_t size,
+                                                          std::size_t num_shards) {
+    if (num_shards == 0 || num_shards > size)
+        throw std::invalid_argument("PopulationStore: num_shards = "
+                                    + std::to_string(num_shards)
+                                    + " must be in [1, size = " + std::to_string(size)
+                                    + "]");
+    const std::size_t base = size / num_shards;
+    const std::size_t extra = size % num_shards;
+    std::vector<std::size_t> cuts;
+    cuts.reserve(num_shards - 1);
+    std::size_t at = 0;
+    for (std::size_t s = 0; s + 1 < num_shards; ++s) {
+        at += base + (s < extra ? 1 : 0);
+        cuts.push_back(at);
+    }
+    return cuts;
+}
+
+std::vector<PopulationStore> PopulationStore::split_even(std::size_t num_shards) const {
+    return split(even_boundaries(size(), num_shards));
 }
 
 } // namespace fmore::mec

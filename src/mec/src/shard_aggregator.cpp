@@ -1,0 +1,396 @@
+#include "fmore/mec/shard_aggregator.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <typeinfo>
+#include <utility>
+
+#include "fmore/auction/mechanism.hpp"
+#include "fmore/mec/blacklist.hpp"
+
+namespace fmore::mec {
+
+namespace {
+
+/// Fixed-size downlink header; `num_banned` global node ids follow.
+struct RoundRequest {
+    std::uint64_t round = 0;
+    std::uint64_t k = 0;
+    std::uint64_t evolve_salt = 0;
+    std::uint64_t tie_salt = 0;
+    std::uint64_t limit = 0;
+    std::uint64_t num_banned = 0;
+};
+
+bool write_all(int fd, const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (size > 0) {
+        const ssize_t n = ::write(fd, p, size);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Blocking read of exactly `size` bytes (worker side); false on EOF.
+bool read_all(int fd, void* data, std::size_t size) {
+    auto* p = static_cast<std::uint8_t*>(data);
+    while (size > 0) {
+        const ssize_t n = ::read(fd, p, size);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Aggregator-side read of exactly `size` bytes, abandoned at `deadline`;
+/// false on timeout, EOF, or error.
+bool read_deadline(int fd, void* data, std::size_t size,
+                   std::chrono::steady_clock::time_point deadline) {
+    auto* p = static_cast<std::uint8_t*>(data);
+    while (size > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int rv = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+        if (rv < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (rv == 0) return false;  // deadline hit
+        const ssize_t n = ::read(fd, p, size);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return false;  // worker died (EOF) or pipe error
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+struct ProcessShardAggregator::Impl {
+    const auction::ScoringRule& scoring;
+    const auction::EquilibriumStrategy& strategy;
+    auction::WinnerDeterminationConfig wd;
+    QualityLayout layout;
+    bool strategy_scores_broadcast_rule = false;
+    double timeout_s = 0.0;
+    std::size_t n = 0;
+
+    struct Worker {
+        pid_t pid = -1;
+        int req_fd = -1;   ///< aggregator -> worker
+        int resp_fd = -1;  ///< worker -> aggregator
+        bool alive = false;
+    };
+    std::vector<Worker> workers;
+
+    Blacklist banned_set;  ///< aggregator's view, for dedup and the m count
+    std::vector<auction::NodeId> pending_bans;  ///< not yet shipped
+    std::vector<std::size_t> last_dropped;
+    std::size_t dead = 0;
+
+    std::unique_ptr<auction::Mechanism> mechanism;
+    std::size_t mechanism_k = static_cast<std::size_t>(-1);
+    const auction::ScoreAuctionMechanism* engine = nullptr;
+    std::vector<auction::ShardHead> heads;
+    auction::RankScratch scratch;
+    auction::AuctionOutcome outcome;
+
+    Impl(const auction::ScoringRule& scoring_in,
+         const auction::EquilibriumStrategy& strategy_in,
+         auction::WinnerDeterminationConfig wd_in, QualityLayout layout_in)
+        : scoring(scoring_in),
+          strategy(strategy_in),
+          wd(std::move(wd_in)),
+          layout(std::move(layout_in)) {}
+
+    void evict(std::size_t s) {
+        Worker& w = workers[s];
+        if (!w.alive) return;
+        // A half-read pipe cannot be resynchronized, so eviction is
+        // permanent: kill, close, reap.
+        ::kill(w.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        ::close(w.req_fd);
+        ::close(w.resp_fd);
+        w.alive = false;
+        ++dead;
+    }
+
+    const auction::ScoreAuctionMechanism* engine_for(std::size_t k) {
+        if (!mechanism || mechanism_k != k) {
+            auction::WinnerDeterminationConfig with_k = wd;
+            with_k.num_winners = k;
+            mechanism = auction::make_mechanism(with_k);
+            mechanism_k = k;
+            if (typeid(*mechanism) != typeid(auction::ScoreAuctionMechanism))
+                throw std::invalid_argument(
+                    "ProcessShardAggregator: spec resolves to mechanism '"
+                    + mechanism->name()
+                    + "', not the exact built-in score-auction engine the shard "
+                      "workers replicate");
+            engine = static_cast<const auction::ScoreAuctionMechanism*>(mechanism.get());
+        }
+        return engine;
+    }
+};
+
+namespace {
+
+/// Everything a forked worker runs: the per-shard half of each round, over
+/// the shard store it inherited at fork time. Serial on purpose — the
+/// parent's thread pool does not survive fork, and
+/// FMORE_ROUND_THREADS=1 keeps every parallel_for entry point on its
+/// serial branch.
+[[noreturn]] void worker_main(int req_fd, int resp_fd, PopulationStore shard,
+                              const auction::ScoringRule& scoring,
+                              const auction::EquilibriumStrategy& strategy,
+                              const QualityLayout& layout,
+                              bool strategy_scores_broadcast_rule,
+                              auction::PaymentMethod payment_method,
+                              std::size_t shard_index,
+                              const std::vector<ShardFault>& faults) {
+    ::setenv("FMORE_ROUND_THREADS", "1", 1);
+    Blacklist banned;
+    auction::BidFrame frame;
+    auction::ShardHead head;
+    std::vector<const double*> columns;
+    std::vector<std::uint8_t> payload;
+    std::vector<auction::NodeId> ban_buf;
+
+    for (;;) {
+        RoundRequest req;
+        if (!read_all(req_fd, &req, sizeof(req))) ::_exit(0);  // aggregator gone
+        ban_buf.resize(req.num_banned);
+        if (req.num_banned > 0
+            && !read_all(req_fd, ban_buf.data(),
+                         ban_buf.size() * sizeof(auction::NodeId)))
+            ::_exit(0);
+        for (const auction::NodeId node : ban_buf) banned.ban(node);
+
+        for (const ShardFault& fault : faults) {
+            if (fault.shard != shard_index || fault.round != req.round) continue;
+            if (fault.die) ::_exit(3);
+            if (fault.stall_s > 0.0)
+                ::usleep(static_cast<useconds_t>(fault.stall_s * 1e6));
+        }
+
+        if (req.round > 1) shard.evolve_with_salt(req.evolve_salt);
+
+        frame.reset(shard.size(), layout.size());
+        collect_bid_rows(shard, 0, shard.size(), layout, strategy, scoring,
+                         strategy_scores_broadcast_rule, payment_method, banned, frame,
+                         0, columns, /*parallel=*/false);
+        frame.set_scored(true);
+
+        auction::TieKeys keys;
+        keys.salted = true;
+        keys.salt = req.tie_salt;
+        auction::collect_shard_head(frame, shard.node_offset(), keys, req.limit, head);
+
+        payload.clear();
+        head.serialize(payload);
+        const std::uint64_t size = payload.size();
+        if (!write_all(resp_fd, &size, sizeof(size))
+            || !write_all(resp_fd, payload.data(), payload.size()))
+            ::_exit(0);
+    }
+}
+
+} // namespace
+
+ProcessShardAggregator::ProcessShardAggregator(
+    const PopulationStore& store, const auction::ScoringRule& scoring,
+    const auction::EquilibriumStrategy& strategy,
+    auction::WinnerDeterminationConfig wd_config, QualityLayout layout,
+    std::size_t num_shards, double shard_timeout_s, std::vector<ShardFault> faults)
+    : impl_(std::make_unique<Impl>(scoring, strategy, std::move(wd_config),
+                                   std::move(layout))) {
+    if (impl_->wd.tie_break != auction::TieBreak::salted)
+        throw std::invalid_argument(
+            "ProcessShardAggregator: requires TieBreak::salted (a shuffle "
+            "permutation cannot be shipped over the wire)");
+    if (impl_->wd.psi < 1.0 || !impl_->wd.psi_per_node.empty())
+        throw std::invalid_argument(
+            "ProcessShardAggregator: psi-probabilistic acceptance walks the whole "
+            "board and cannot run on bounded shard heads");
+    if (impl_->wd.full_ranking)
+        throw std::invalid_argument(
+            "ProcessShardAggregator: full_ranking would ship every bid; use the "
+            "in-process ShardedAuctionSelector for full boards");
+    if (!(shard_timeout_s > 0.0) || std::isinf(shard_timeout_s))
+        throw std::invalid_argument("ProcessShardAggregator: shard_timeout_s = "
+                                    + std::to_string(shard_timeout_s)
+                                    + ": must be finite and > 0");
+    if (impl_->layout.empty()
+        || impl_->layout.size() != impl_->strategy.dimensions())
+        throw std::invalid_argument(
+            "ProcessShardAggregator: quality layout must be non-empty and match the "
+            "strategy's dimensions");
+    impl_->timeout_s = shard_timeout_s;
+    impl_->n = store.size();
+    impl_->strategy_scores_broadcast_rule =
+        impl_->strategy.scoring_rule() == &impl_->scoring;
+    // Fail on non-wire-friendly mechanism resolution before any fork.
+    (void)impl_->engine_for(impl_->wd.num_winners == 0 ? 1 : impl_->wd.num_winners);
+
+    std::vector<PopulationStore> shards = store.split_even(num_shards);
+    impl_->workers.resize(num_shards);
+    impl_->heads.resize(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        int down[2];  // aggregator -> worker
+        int up[2];    // worker -> aggregator
+        if (::pipe(down) != 0 || ::pipe(up) != 0)
+            throw std::runtime_error("ProcessShardAggregator: pipe() failed");
+        const pid_t pid = ::fork();
+        if (pid < 0) throw std::runtime_error("ProcessShardAggregator: fork() failed");
+        if (pid == 0) {
+            // Worker: keep only its two pipe ends. Earlier siblings' fds
+            // were inherited and MUST be closed, or this worker's copy of
+            // their request-pipe write ends would keep those pipes open and
+            // break EOF-based shutdown.
+            ::close(down[1]);
+            ::close(up[0]);
+            for (std::size_t prev = 0; prev < s; ++prev) {
+                ::close(impl_->workers[prev].req_fd);
+                ::close(impl_->workers[prev].resp_fd);
+            }
+            worker_main(down[0], up[1], std::move(shards[s]), impl_->scoring,
+                        impl_->strategy, impl_->layout,
+                        impl_->strategy_scores_broadcast_rule,
+                        auction::PaymentMethod::integral, s, faults);
+        }
+        ::close(down[0]);
+        ::close(up[1]);
+        impl_->workers[s] = Impl::Worker{pid, down[1], up[0], true};
+    }
+}
+
+ProcessShardAggregator::~ProcessShardAggregator() {
+    if (!impl_) return;
+    for (std::size_t s = 0; s < impl_->workers.size(); ++s) {
+        Impl::Worker& w = impl_->workers[s];
+        if (!w.alive) continue;
+        // Closing the request pipe is the shutdown signal; workers exit on
+        // EOF. Reap, then force the stragglers.
+        ::close(w.req_fd);
+        int status = 0;
+        if (::waitpid(w.pid, &status, WNOHANG) == 0) {
+            ::usleep(20000);
+            if (::waitpid(w.pid, &status, WNOHANG) == 0) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, &status, 0);
+            }
+        }
+        ::close(w.resp_fd);
+        w.alive = false;
+    }
+}
+
+const auction::AuctionOutcome& ProcessShardAggregator::run_round(std::size_t round,
+                                                                 std::size_t k,
+                                                                 stats::Rng& rng) {
+    Impl& impl = *impl_;
+    const auction::ScoreAuctionMechanism* engine = impl.engine_for(k);
+
+    // Exactly the monolithic salted round's generator discipline: one
+    // drift salt (round > 1), one tie salt — nothing else crosses the wire.
+    RoundRequest req;
+    req.round = round;
+    req.k = k;
+    req.evolve_salt = round > 1 ? rng.engine()() : 0;
+    req.tie_salt = rng.engine()();
+    req.num_banned = impl.pending_bans.size();
+    const std::size_t m = impl.n - impl.banned_set.size();
+    req.limit = engine->ranking_cutoff(m);
+
+    // Ship all requests first so workers overlap, then collect responses.
+    for (std::size_t s = 0; s < impl.workers.size(); ++s) {
+        Impl::Worker& w = impl.workers[s];
+        if (!w.alive) continue;
+        if (!write_all(w.req_fd, &req, sizeof(req))
+            || (req.num_banned > 0
+                && !write_all(w.req_fd, impl.pending_bans.data(),
+                              impl.pending_bans.size() * sizeof(auction::NodeId)))) {
+            impl.evict(s);
+        }
+    }
+    impl.pending_bans.clear();
+
+    impl.last_dropped.clear();
+    std::vector<std::uint8_t> payload;
+    for (std::size_t s = 0; s < impl.workers.size(); ++s) {
+        impl.heads[s].clear();
+        Impl::Worker& w = impl.workers[s];
+        if (!w.alive) continue;
+        const auto deadline =
+            std::chrono::steady_clock::now()
+            + std::chrono::microseconds(
+                static_cast<long long>(impl.timeout_s * 1e6));
+        std::uint64_t size = 0;
+        bool ok = read_deadline(w.resp_fd, &size, sizeof(size), deadline);
+        if (ok) {
+            payload.resize(size);
+            ok = read_deadline(w.resp_fd, payload.data(), size, deadline);
+        }
+        if (!ok) {
+            impl.evict(s);
+            impl.last_dropped.push_back(s);
+            continue;
+        }
+        impl.heads[s] = auction::ShardHead::deserialize(payload.data(), payload.size());
+    }
+
+    auction::merge_heads(impl.heads, req.limit, impl.outcome.ranking);
+    engine->select_into(impl.outcome.ranking, rng, impl.scratch.chosen);
+    engine->price_into(impl.scoring, impl.outcome.ranking, impl.scratch.chosen,
+                       impl.outcome.winners);
+    return impl.outcome;
+}
+
+const std::vector<std::size_t>& ProcessShardAggregator::last_dropped_shards() const {
+    return impl_->last_dropped;
+}
+
+std::size_t ProcessShardAggregator::dead_shards() const { return impl_->dead; }
+
+std::size_t ProcessShardAggregator::num_shards() const {
+    return impl_->workers.size();
+}
+
+std::size_t ProcessShardAggregator::population_size() const { return impl_->n; }
+
+void ProcessShardAggregator::ban(auction::NodeId node) {
+    if (impl_->banned_set.contains(node)) return;
+    impl_->banned_set.ban(node);
+    impl_->pending_bans.push_back(node);
+}
+
+} // namespace fmore::mec

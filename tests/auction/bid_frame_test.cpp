@@ -298,6 +298,110 @@ TEST(BidFrame, InactiveRowsNeverRank) {
     EXPECT_EQ(frame.active_count(), 50u - before.winners.size());
 }
 
+TEST(BidFrame, EmptyMarketCompletesForEveryMechanism) {
+    // N = 0: the degenerate frame must produce an empty board and an empty
+    // winner set — not a crash, not a stale buffer — for every registered
+    // mechanism, in both tie-break modes.
+    const ScaledProductScoring scoring(5.0, 2);
+    const std::vector<Bid> none;
+    BidFrame frame;
+    frame.from_bids(none);
+    EXPECT_EQ(frame.rows(), 0u);
+    EXPECT_EQ(frame.active_count(), 0u);
+    RankScratch scratch;
+    for (const std::string& name : MechanismRegistry::instance().names()) {
+        for (const TieBreak mode : {TieBreak::shuffle, TieBreak::salted}) {
+            SCOPED_TRACE("mechanism " + name
+                         + (mode == TieBreak::salted ? " (salted)" : " (shuffle)"));
+            MechanismSpec spec = spec_for(name);
+            spec.tie_break = mode;
+            const WinnerDetermination determination(scoring, spec);
+            stats::Rng rng_vector(13);
+            stats::Rng rng_frame(13);
+            const AuctionOutcome via_vector = determination.run(none, rng_vector);
+            const AuctionOutcome via_frame =
+                determination.run_frame(frame, rng_frame, scratch);
+            EXPECT_TRUE(via_vector.winners.empty());
+            EXPECT_TRUE(via_vector.ranking.empty());
+            expect_outcomes_equal(via_vector, via_frame);
+        }
+    }
+}
+
+TEST(BidFrame, SingleBidderMarketCompletesForEveryMechanism) {
+    // N = 1 with K = 8: the winner set is at most the one bidder, the
+    // frame path agrees with the vector path exactly, and the second-score
+    // best-loser logic copes with having no loser.
+    const ScaledProductScoring scoring(5.0, 2);
+    const std::vector<Bid> bids = make_bids(1, 91);
+    BidFrame frame;
+    frame.from_bids(bids);
+    RankScratch scratch;
+    for (const std::string& name : MechanismRegistry::instance().names()) {
+        SCOPED_TRACE("mechanism " + name);
+        const WinnerDetermination determination(scoring, spec_for(name));
+        stats::Rng rng_vector(29);
+        stats::Rng rng_frame(29);
+        const AuctionOutcome via_vector = determination.run(bids, rng_vector);
+        const AuctionOutcome via_frame =
+            determination.run_frame(frame, rng_frame, scratch);
+        expect_outcomes_equal(via_vector, via_frame);
+        EXPECT_LE(via_frame.winners.size(), 1u);
+        ASSERT_EQ(via_frame.ranking.size(), 1u);
+        EXPECT_EQ(via_frame.ranking[0].bid.node, bids[0].node);
+    }
+}
+
+TEST(BidFrame, AllInactiveRowsBehaveLikeAnEmptyMarket) {
+    // A frame whose every row was deactivated (all bidders blacklisted or
+    // all shards dropped) is an empty market, not an error.
+    const ScaledProductScoring scoring(5.0, 2);
+    const std::vector<Bid> bids = make_bids(30, 92);
+    BidFrame frame;
+    frame.from_bids(bids);
+    for (const Bid& bid : bids) frame.set_active(bid.node, false);
+    EXPECT_EQ(frame.active_count(), 0u);
+    RankScratch scratch;
+    for (const std::string& name : MechanismRegistry::instance().names()) {
+        SCOPED_TRACE("mechanism " + name);
+        const WinnerDetermination determination(scoring, spec_for(name));
+        stats::Rng rng(37);
+        const AuctionOutcome outcome = determination.run_frame(frame, rng, scratch);
+        EXPECT_TRUE(outcome.winners.empty());
+        EXPECT_TRUE(outcome.ranking.empty());
+    }
+}
+
+TEST(BidFrame, KBeyondActiveRowsSelectsEveryActiveBidder) {
+    // K far above the active count: the auction admits everyone active and
+    // stays bit-identical to the vector path over just the active bids —
+    // including on the partial-ranking cut, where cutoff = active, not K.
+    const ScaledProductScoring scoring(5.0, 2);
+    std::vector<Bid> bids = make_bids(25, 93);
+    BidFrame frame;
+    frame.from_bids(bids);
+    std::vector<Bid> active;
+    for (const Bid& bid : bids) {
+        if (bid.node % 5 == 0) active.push_back(bid);  // 5 survivors
+        else frame.set_active(bid.node, false);
+    }
+    RankScratch scratch;
+    for (const bool full_ranking : {true, false}) {
+        SCOPED_TRACE(full_ranking ? "full board" : "partial ranking");
+        MechanismSpec spec = spec_for("first_score");
+        spec.num_winners = 40;
+        spec.full_ranking = full_ranking;
+        const WinnerDetermination determination(scoring, spec);
+        stats::Rng rng_vector(41);
+        stats::Rng rng_frame(41);
+        const AuctionOutcome via_vector = determination.run(active, rng_vector);
+        const AuctionOutcome via_frame =
+            determination.run_frame(frame, rng_frame, scratch);
+        expect_outcomes_equal(via_vector, via_frame);
+        EXPECT_EQ(via_frame.winners.size(), active.size());
+    }
+}
+
 TEST(SpanFastPaths, DefaultFallbacksMatchTheVectorApis) {
     // Custom rules that override NOTHING span-related must still score
     // frames correctly (and identically) through the copy-into-scratch

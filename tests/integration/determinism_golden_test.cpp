@@ -70,6 +70,7 @@ void expect_golden(const std::vector<fl::RunResult>& golden,
             EXPECT_EQ(a.round_seconds, b.round_seconds);
             EXPECT_EQ(a.aggregated_updates, b.aggregated_updates);
             EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+            EXPECT_EQ(a.dropped_shards, b.dropped_shards);
         }
     }
 }
@@ -113,6 +114,31 @@ TEST(DeterminismGolden, ZeroSpreadSemiSyncMatchesSyncEngine) {
                       "mode " + fl::to_string(mode));
         expect_golden(sync_runs, runs_with(spec, "fmore", 1, 8),
                       "mode " + fl::to_string(mode) + ", round_threads 8");
+    }
+}
+
+TEST(DeterminismGolden, ShardedScaleMarketBitIdenticalToMonolithic) {
+    // Sharding is an execution strategy, not a different market: a shrunk
+    // scale/10k world must produce the same metrics for S = 1 and for every
+    // (shard count, round-thread count) pairing — dropped_shards included.
+    ExperimentSpec spec = named_scenario("scale/10k");
+    spec.population.num_nodes = 2'000;
+    spec.training.train_samples = 4'000;
+    spec.training.test_samples = 100;
+    spec.training.rounds = 2;
+    spec.training.eval_cap = 60;
+    spec.auction.shards = 1;
+    const auto golden = runs_with(spec, "fmore", 1, 1);
+    struct Grid {
+        std::size_t shards;
+        std::size_t round_threads;
+    };
+    for (const Grid g : {Grid{4, 1}, Grid{4, 8}, Grid{8, 2}}) {
+        ExperimentSpec sharded = spec;
+        sharded.auction.shards = g.shards;
+        expect_golden(golden, runs_with(sharded, "fmore", 1, g.round_threads),
+                      "shards " + std::to_string(g.shards) + ", round_threads "
+                          + std::to_string(g.round_threads));
     }
 }
 

@@ -1,0 +1,361 @@
+// Failure semantics of the sharded market, both engines:
+//  - in-process ShardedAuctionSelector: a deterministic virtual clock
+//    (set_virtual_latency) drives shard drops — no wall time, so degraded
+//    rounds replay bit-identically, and the degradation is surfaced in
+//    SelectionRecord::dropped_shards and RoundMetrics::dropped_shards;
+//  - multi-process ProcessShardAggregator: un-degraded rounds are
+//    bit-identical to the monolithic salted market; a worker that stalls
+//    past shard_timeout_s or dies mid-round is permanently evicted and the
+//    round completes over the survivors.
+// Fault margins are generous on purpose (10 s stalls against 0.25 s
+// deadlines) so the tests assert semantics, not scheduler luck.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "fmore/auction/cost.hpp"
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/scoring.hpp"
+#include "fmore/fl/coordinator.hpp"
+#include "fmore/mec/auction_selector.hpp"
+#include "fmore/mec/population.hpp"
+#include "fmore/mec/shard_aggregator.hpp"
+#include "fmore/mec/sharded_selector.hpp"
+#include "fmore/ml/model_zoo.hpp"
+#include "fmore/ml/synthetic.hpp"
+#include "fmore/stats/normalizer.hpp"
+
+namespace fmore::mec {
+namespace {
+
+constexpr double kDataHi = 150.0;
+
+struct Market {
+    std::vector<stats::MinMaxNormalizer> norms;
+    std::unique_ptr<auction::ScaledProductScoring> scoring;
+    std::unique_ptr<auction::AdditiveCost> cost;
+    std::unique_ptr<stats::UniformDistribution> theta;
+    std::unique_ptr<auction::EquilibriumStrategy> strategy;
+
+    Market() {
+        norms.emplace_back(0.0, kDataHi);
+        norms.emplace_back(0.0, 1.0);
+        scoring = std::make_unique<auction::ScaledProductScoring>(25.0, 2, norms);
+        cost = std::make_unique<auction::AdditiveCost>(
+            std::vector<double>{6.0 / kDataHi, 2.0});
+        theta = std::make_unique<stats::UniformDistribution>(0.5, 1.5);
+        auction::EquilibriumConfig eq;
+        eq.num_bidders = 100;
+        eq.num_winners = 8;
+        strategy = std::make_unique<auction::EquilibriumStrategy>(
+            auction::EquilibriumSolver(*scoring, *cost, *theta, {1.0, 0.05},
+                                       {kDataHi, 1.0}, eq)
+                .solve());
+    }
+};
+
+const Market& market() {
+    static const Market m;
+    return m;
+}
+
+PopulationStore make_store(std::size_t n, std::uint64_t seed) {
+    PopulationSpec spec;
+    spec.dynamics.resource_jitter = 0.08;
+    spec.dynamics.theta_jitter = 0.02;
+    SyntheticDataSpec data;
+    data.data_lo = 20.0;
+    data.data_hi = kDataHi;
+    stats::Rng rng(seed);
+    return PopulationStore(n, data, *market().theta, spec, rng);
+}
+
+QualityLayout layout() {
+    return {ResourceDim::data_size, ResourceDim::category_proportion};
+}
+
+/// Global node range [lo, hi) of shard `s` under an even split of n.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t n, std::size_t shards,
+                                                std::size_t s) {
+    std::vector<std::size_t> cuts = PopulationStore::even_boundaries(n, shards);
+    cuts.insert(cuts.begin(), 0);
+    return {cuts[s], s + 1 < shards ? cuts[s + 1] : n};
+}
+
+bool any_winner_in(const std::vector<auction::Winner>& winners, std::size_t lo,
+                   std::size_t hi) {
+    return std::any_of(winners.begin(), winners.end(), [&](const auction::Winner& w) {
+        return w.node >= lo && w.node < hi;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// In-process: deterministic virtual-clock degradation
+// ---------------------------------------------------------------------------
+
+ShardedAuctionSelector make_sharded(std::vector<PopulationStore> shards) {
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = 8;
+    return ShardedAuctionSelector(std::move(shards), *market().scoring,
+                                  *market().strategy, wd, layout(),
+                                  /*data_dimension=*/0);
+}
+
+TEST(ShardFault, VirtualLatencyDropsShardsDeterministically) {
+    const std::size_t n = 60;
+    const std::size_t shards = 4;
+    // Shard 2 misses the 1-second deadline from round 2 on; everyone else
+    // answers instantly. Two independent selectors must replay the
+    // degraded rounds bit-identically — the clock is virtual.
+    auto latency = [](std::size_t shard, std::size_t round) {
+        return shard == 2 && round >= 2 ? 5.0 : 0.01;
+    };
+    auto run = [&](std::vector<std::vector<auction::Winner>>& winners_out) {
+        ShardedAuctionSelector sharded = make_sharded(make_store(n, 5).split_even(shards));
+        sharded.set_shard_timeout(1.0);
+        sharded.set_virtual_latency(latency);
+        stats::Rng rng(77);
+        for (std::size_t round = 1; round <= 3; ++round) {
+            const auction::AuctionOutcome& o = sharded.run_auction_round(round, 8, rng);
+            winners_out.push_back(o.winners);
+            if (round == 1) {
+                EXPECT_TRUE(sharded.last_dropped_shards().empty());
+            } else {
+                EXPECT_EQ(sharded.last_dropped_shards(),
+                          (std::vector<std::size_t>{2}));
+            }
+            // The round still fills its K slots — from responsive shards.
+            EXPECT_EQ(o.winners.size(), 8u);
+            const auto [lo, hi] = shard_range(n, shards, 2);
+            if (round >= 2) {
+                EXPECT_FALSE(any_winner_in(o.winners, lo, hi))
+                    << "a dropped shard contributed a winner in round " << round;
+            }
+        }
+    };
+    std::vector<std::vector<auction::Winner>> first, second;
+    run(first);
+    run(second);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t r = 0; r < first.size(); ++r) {
+        ASSERT_EQ(first[r].size(), second[r].size()) << "round " << r + 1;
+        for (std::size_t w = 0; w < first[r].size(); ++w) {
+            EXPECT_EQ(first[r][w].node, second[r][w].node);
+            EXPECT_EQ(first[r][w].payment, second[r][w].payment);
+            EXPECT_EQ(first[r][w].score, second[r][w].score);
+        }
+    }
+}
+
+TEST(ShardFault, DroppedShardsSurfaceInSelectionRecord) {
+    ShardedAuctionSelector sharded = make_sharded(make_store(40, 9).split_even(4));
+    sharded.set_shard_timeout(0.5);
+    sharded.set_virtual_latency(
+        [](std::size_t shard, std::size_t) { return shard == 1 ? 2.0 : 0.0; });
+    stats::Rng rng(3);
+    const fl::SelectionRecord record = sharded.select(1, 6, rng);
+    EXPECT_EQ(record.dropped_shards, (std::vector<std::size_t>{1}));
+    EXPECT_EQ(record.selected.size(), 6u);
+}
+
+TEST(ShardFault, ZeroTimeoutDisablesDropping) {
+    ShardedAuctionSelector sharded = make_sharded(make_store(40, 9).split_even(4));
+    sharded.set_virtual_latency([](std::size_t, std::size_t) { return 1e9; });
+    // No timeout installed: even absurd latencies drop nothing.
+    stats::Rng rng(4);
+    (void)sharded.run_auction_round(1, 6, rng);
+    EXPECT_TRUE(sharded.last_dropped_shards().empty());
+    EXPECT_THROW(sharded.set_shard_timeout(-1.0), std::invalid_argument);
+}
+
+TEST(ShardFault, DegradationSurfacesInRoundMetrics) {
+    // End to end through a real federated run: the coordinator must carry
+    // the per-round drop count into RoundMetrics.
+    stats::Rng rng(1);
+    ml::ImageDatasetSpec image_spec;
+    image_spec.samples = 700;
+    const ml::Dataset data = ml::make_synthetic_images(image_spec, rng);
+    stats::Rng prng(2);
+    std::vector<ml::ClientShard> shards = ml::partition_non_iid_variable(data, 12, 1, 4, prng);
+    ml::resize_shards(shards, data, 10, 40, prng);
+
+    std::vector<stats::MinMaxNormalizer> norms{{0.0, 40.0}, {0.0, 1.0}};
+    auction::ScaledProductScoring scoring(25.0, 2, norms);
+    auction::AdditiveCost cost(std::vector<double>{6.0 / 40.0, 2.0});
+    stats::UniformDistribution theta(0.5, 1.5);
+    auction::EquilibriumConfig eq;
+    eq.num_bidders = 12;
+    eq.num_winners = 4;
+    const auction::EquilibriumStrategy strategy =
+        auction::EquilibriumSolver(scoring, cost, theta, {1.0, 0.05}, {40.0, 1.0}, eq)
+            .solve();
+
+    PopulationSpec pop_spec;
+    stats::Rng pop_rng(3);
+    MecPopulation population(shards, 10, theta, pop_spec, pop_rng);
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = 4;
+    ShardedAuctionSelector selector(population, scoring, strategy, wd, layout(),
+                                    /*data_dimension=*/0, /*num_shards=*/3);
+    selector.set_shard_timeout(0.5);
+    selector.set_virtual_latency(
+        [](std::size_t shard, std::size_t round) { return shard == 0 && round >= 2 ? 9.0 : 0.0; });
+
+    ml::Model model = ml::make_mlp(ml::ImageSpec{1, 12, 12, 10}, 3);
+    fl::CoordinatorConfig cc;
+    cc.rounds = 3;
+    cc.winners_per_round = 4;
+    cc.local_epochs = 1;
+    cc.batch_size = 16;
+    cc.learning_rate = 0.08;
+    fl::Coordinator coordinator(model, data, data, shards, cc);
+    stats::Rng run_rng(11);
+    const fl::RunResult result = coordinator.run(selector, run_rng);
+    ASSERT_EQ(result.rounds.size(), 3u);
+    EXPECT_EQ(result.rounds[0].dropped_shards, 0u);
+    EXPECT_EQ(result.rounds[1].dropped_shards, 1u);
+    EXPECT_EQ(result.rounds[2].dropped_shards, 1u);
+    EXPECT_EQ(result.rounds[1].selection.dropped_shards,
+              (std::vector<std::size_t>{0}));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process: the pipe-protocol aggregator
+// ---------------------------------------------------------------------------
+
+auction::WinnerDeterminationConfig wire_config(std::size_t k) {
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = k;
+    wd.tie_break = auction::TieBreak::salted;
+    wd.full_ranking = false;
+    return wd;
+}
+
+TEST(ShardFault, ProcessAggregatorMatchesMonolithicSaltedMarket) {
+    const Market& m = market();
+    const std::size_t n = 80;
+    const std::size_t k = 8;
+    const std::uint64_t seed = 0x9a9aULL;
+    const auction::WinnerDeterminationConfig wd = wire_config(k);
+
+    MecPopulation population(make_store(n, seed));
+    AuctionSelector mono(population, *m.scoring, *m.strategy, wd,
+                         data_category_extractor(), /*data_dimension=*/0);
+    ProcessShardAggregator aggregator(make_store(n, seed), *m.scoring, *m.strategy, wd,
+                                      layout(), /*num_shards=*/4,
+                                      /*shard_timeout_s=*/30.0);
+    ASSERT_EQ(aggregator.num_shards(), 4u);
+    ASSERT_EQ(aggregator.population_size(), n);
+
+    stats::Rng mono_rng(seed);
+    stats::Rng agg_rng(seed);
+    for (std::size_t round = 1; round <= 4; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const auction::AuctionOutcome& a = mono.run_auction_round(round, k, mono_rng);
+        const auction::AuctionOutcome& b = aggregator.run_round(round, k, agg_rng);
+        EXPECT_TRUE(aggregator.last_dropped_shards().empty());
+        ASSERT_EQ(a.winners.size(), b.winners.size());
+        for (std::size_t w = 0; w < a.winners.size(); ++w) {
+            EXPECT_EQ(a.winners[w].node, b.winners[w].node);
+            EXPECT_EQ(a.winners[w].score, b.winners[w].score);
+            EXPECT_EQ(a.winners[w].payment, b.winners[w].payment);
+        }
+        ASSERT_EQ(a.ranking.size(), b.ranking.size());
+        for (std::size_t r = 0; r < a.ranking.size(); ++r) {
+            EXPECT_EQ(a.ranking[r].bid.node, b.ranking[r].bid.node);
+            EXPECT_EQ(a.ranking[r].score, b.ranking[r].score);
+            EXPECT_EQ(a.ranking[r].bid.payment, b.ranking[r].bid.payment);
+        }
+    }
+    EXPECT_EQ(aggregator.dead_shards(), 0u);
+}
+
+TEST(ShardFault, StalledWorkerIsEvictedAndRoundCompletes) {
+    const std::size_t n = 60;
+    const std::size_t shards = 3;
+    // Shard 1 stalls 10 s in round 2 against a 0.25 s deadline.
+    std::vector<ShardFault> faults{{/*shard=*/1, /*round=*/2, /*stall_s=*/10.0, false}};
+    ProcessShardAggregator aggregator(make_store(n, 21), *market().scoring,
+                                      *market().strategy, wire_config(6), layout(),
+                                      shards, /*shard_timeout_s=*/0.25, faults);
+    stats::Rng rng(21);
+    const auto [lo, hi] = shard_range(n, shards, 1);
+
+    (void)aggregator.run_round(1, 6, rng);
+    EXPECT_TRUE(aggregator.last_dropped_shards().empty());
+
+    const auction::AuctionOutcome& degraded = aggregator.run_round(2, 6, rng);
+    EXPECT_EQ(aggregator.last_dropped_shards(), (std::vector<std::size_t>{1}));
+    EXPECT_EQ(aggregator.dead_shards(), 1u);
+    EXPECT_EQ(degraded.winners.size(), 6u);
+    EXPECT_FALSE(any_winner_in(degraded.winners, lo, hi));
+
+    // Eviction is permanent: the shard stays out, the market keeps going.
+    const auction::AuctionOutcome& later = aggregator.run_round(3, 6, rng);
+    EXPECT_EQ(aggregator.dead_shards(), 1u);
+    EXPECT_EQ(later.winners.size(), 6u);
+    EXPECT_FALSE(any_winner_in(later.winners, lo, hi));
+}
+
+TEST(ShardFault, DyingWorkerIsEvictedAndRoundCompletes) {
+    const std::size_t n = 60;
+    const std::size_t shards = 3;
+    std::vector<ShardFault> faults{{/*shard=*/2, /*round=*/2, 0.0, /*die=*/true}};
+    ProcessShardAggregator aggregator(make_store(n, 22), *market().scoring,
+                                      *market().strategy, wire_config(6), layout(),
+                                      shards, /*shard_timeout_s=*/5.0, faults);
+    stats::Rng rng(22);
+    (void)aggregator.run_round(1, 6, rng);
+    EXPECT_TRUE(aggregator.last_dropped_shards().empty());
+    const auction::AuctionOutcome& degraded = aggregator.run_round(2, 6, rng);
+    EXPECT_EQ(aggregator.last_dropped_shards(), (std::vector<std::size_t>{2}));
+    EXPECT_EQ(aggregator.dead_shards(), 1u);
+    EXPECT_EQ(degraded.winners.size(), 6u);
+    const auto [lo, hi] = shard_range(n, shards, 2);
+    EXPECT_FALSE(any_winner_in(degraded.winners, lo, hi));
+}
+
+TEST(ShardFault, BansReachWorkersNextRound) {
+    ProcessShardAggregator aggregator(make_store(50, 23), *market().scoring,
+                                      *market().strategy, wire_config(5), layout(),
+                                      /*num_shards=*/2, /*shard_timeout_s=*/30.0);
+    stats::Rng rng(23);
+    const auction::AuctionOutcome& first = aggregator.run_round(1, 5, rng);
+    ASSERT_FALSE(first.winners.empty());
+    const auction::NodeId banned = first.winners.front().node;
+    aggregator.ban(banned);
+    aggregator.ban(banned);  // dedup: shipping it twice must not skew counts
+    for (std::size_t round = 2; round <= 3; ++round) {
+        const auction::AuctionOutcome& o = aggregator.run_round(round, 5, rng);
+        for (const auction::Winner& w : o.winners) EXPECT_NE(w.node, banned);
+        for (const auction::ScoredBid& sb : o.ranking) EXPECT_NE(sb.bid.node, banned);
+    }
+}
+
+TEST(ShardFault, AggregatorRejectsNonWireFriendlySpecs) {
+    const Market& m = market();
+    const PopulationStore store = make_store(30, 24);
+    auto build = [&](auction::WinnerDeterminationConfig wd, double timeout = 1.0) {
+        ProcessShardAggregator probe(store, *m.scoring, *m.strategy, std::move(wd),
+                                     layout(), 2, timeout);
+    };
+    auction::WinnerDeterminationConfig shuffle = wire_config(5);
+    shuffle.tie_break = auction::TieBreak::shuffle;
+    EXPECT_THROW(build(shuffle), std::invalid_argument);
+
+    auction::WinnerDeterminationConfig psi = wire_config(5);
+    psi.psi = 0.5;
+    EXPECT_THROW(build(psi), std::invalid_argument);
+
+    auction::WinnerDeterminationConfig full = wire_config(5);
+    full.full_ranking = true;
+    EXPECT_THROW(build(full), std::invalid_argument);
+
+    EXPECT_THROW(build(wire_config(5), /*timeout=*/0.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace fmore::mec

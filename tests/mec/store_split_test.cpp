@@ -1,0 +1,183 @@
+// The partitioning invariant under the sharded market: a PopulationStore
+// split at ARBITRARY boundaries, with each shard evolved under the same
+// round salt, reproduces the unsplit store's drift bit-identically — for
+// any worker count, any nesting of splits, over many rounds. Per-node
+// streams are keyed by (salt, GLOBAL node id), so a shard is the market,
+// restricted — never a different market.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fmore/mec/population_store.hpp"
+
+namespace fmore::mec {
+namespace {
+
+class ScopedEnv {
+public:
+    ScopedEnv(const char* name, const std::string& value) : name_(name) {
+        const char* previous = std::getenv(name);
+        had_previous_ = previous != nullptr;
+        if (had_previous_) previous_ = previous;
+        ::setenv(name, value.c_str(), 1);
+    }
+    ~ScopedEnv() {
+        if (had_previous_) ::setenv(name_, previous_.c_str(), 1);
+        else ::unsetenv(name_);
+    }
+
+private:
+    const char* name_;
+    bool had_previous_ = false;
+    std::string previous_;
+};
+
+PopulationStore make_store(std::size_t nodes, std::uint64_t seed = 7) {
+    PopulationSpec spec;
+    spec.dynamics.resource_jitter = 0.15;
+    spec.dynamics.theta_jitter = 0.05;
+    SyntheticDataSpec data;
+    const stats::UniformDistribution theta(0.5, 1.5);
+    stats::Rng rng(seed);
+    return PopulationStore(nodes, data, theta, spec, rng);
+}
+
+/// Strictly increasing cuts at arbitrary (uneven) positions.
+std::vector<std::size_t> random_boundaries(std::size_t n, std::size_t shards,
+                                           stats::Rng& rng) {
+    std::vector<std::size_t> all(n - 1);
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i + 1;
+    rng.shuffle(all);
+    std::vector<std::size_t> cuts(all.begin(),
+                                  all.begin() + static_cast<std::ptrdiff_t>(shards - 1));
+    std::sort(cuts.begin(), cuts.end());
+    return cuts;
+}
+
+/// Shard row i must equal whole-store row `shard.node_offset() + i` in
+/// every column, bit for bit.
+void expect_is_slice(const PopulationStore& whole, const PopulationStore& shard) {
+    ASSERT_LE(shard.node_offset() + shard.size(), whole.size());
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+        const std::size_t g = shard.node_offset() + i;
+        EXPECT_EQ(whole.theta(g), shard.theta(i)) << "row " << g;
+        EXPECT_EQ(whole.data_size(g), shard.data_size(i)) << "row " << g;
+        EXPECT_EQ(whole.category_proportion(g), shard.category_proportion(i))
+            << "row " << g;
+        EXPECT_EQ(whole.bandwidth_mbps(g), shard.bandwidth_mbps(i)) << "row " << g;
+        EXPECT_EQ(whole.cpu_cores(g), shard.cpu_cores(i)) << "row " << g;
+    }
+}
+
+TEST(StoreSplit, ShardsAreExactSlicesWithGlobalOffsets) {
+    const PopulationStore whole = make_store(97);
+    const std::vector<PopulationStore> shards = whole.split({13, 14, 60});
+    ASSERT_EQ(shards.size(), 4u);
+    std::size_t expect_offset = 0;
+    for (const PopulationStore& shard : shards) {
+        EXPECT_EQ(shard.node_offset(), expect_offset);
+        expect_is_slice(whole, shard);
+        expect_offset += shard.size();
+    }
+    EXPECT_EQ(expect_offset, whole.size());
+}
+
+TEST(StoreSplit, SaltedShardEvolveMatchesWholeStoreEvolve) {
+    // The core property, randomized: arbitrary boundaries, several rounds;
+    // shards evolved under the coordinator's salt stay bit-identical
+    // slices of the evolved whole.
+    stats::Rng meta(0x517ULL);
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t n = static_cast<std::size_t>(meta.uniform_int(5, 300));
+        const std::size_t s = static_cast<std::size_t>(
+            meta.uniform_int(2, static_cast<std::int64_t>(std::min<std::size_t>(n, 11))));
+        SCOPED_TRACE("trial " + std::to_string(trial) + ": n=" + std::to_string(n)
+                     + " s=" + std::to_string(s));
+        PopulationStore whole = make_store(n, 100 + static_cast<std::uint64_t>(trial));
+        std::vector<PopulationStore> shards = whole.split(random_boundaries(n, s, meta));
+        stats::Rng rounds(0xabcULL + static_cast<std::uint64_t>(trial));
+        for (int round = 0; round < 3; ++round) {
+            const std::uint64_t salt = rounds.engine()();
+            whole.evolve_with_salt(salt);
+            for (PopulationStore& shard : shards) shard.evolve_with_salt(salt);
+            for (const PopulationStore& shard : shards) expect_is_slice(whole, shard);
+        }
+    }
+}
+
+TEST(StoreSplit, ShardEvolveBitIdenticalAcrossWorkerCounts) {
+    // Each shard's drift is row-pure, so any FMORE_ROUND_THREADS value —
+    // including counts exceeding the shard size — replays the serial
+    // reference exactly.
+    PopulationStore reference = make_store(120);
+    std::vector<PopulationStore> ref_shards = reference.split({7, 40, 41, 90});
+    const std::uint64_t salt = 0xfeedULL;
+    {
+        const ScopedEnv env("FMORE_ROUND_THREADS", "1");
+        for (PopulationStore& shard : ref_shards) shard.evolve_with_salt(salt);
+    }
+    for (const char* threads : {"2", "3", "8", "64"}) {
+        SCOPED_TRACE(std::string("FMORE_ROUND_THREADS=") + threads);
+        std::vector<PopulationStore> shards = make_store(120).split({7, 40, 41, 90});
+        const ScopedEnv env("FMORE_ROUND_THREADS", threads);
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            shards[i].evolve_with_salt(salt);
+            for (std::size_t row = 0; row < shards[i].size(); ++row) {
+                EXPECT_EQ(shards[i].theta(row), ref_shards[i].theta(row));
+                EXPECT_EQ(shards[i].data_size(row), ref_shards[i].data_size(row));
+                EXPECT_EQ(shards[i].bandwidth_mbps(row),
+                          ref_shards[i].bandwidth_mbps(row));
+            }
+        }
+    }
+}
+
+TEST(StoreSplit, NestedSplitKeepsGlobalStreams) {
+    // Splitting a shard again composes offsets, so a shard-of-a-shard
+    // still drifts as its global rows.
+    PopulationStore whole = make_store(80);
+    std::vector<PopulationStore> outer = whole.split({30});
+    std::vector<PopulationStore> inner = outer[1].split({20, 35});
+    EXPECT_EQ(inner[0].node_offset(), 30u);
+    EXPECT_EQ(inner[1].node_offset(), 50u);
+    EXPECT_EQ(inner[2].node_offset(), 65u);
+    const std::uint64_t salt = 0x9e1dULL;
+    whole.evolve_with_salt(salt);
+    for (PopulationStore& shard : inner) {
+        shard.evolve_with_salt(salt);
+        expect_is_slice(whole, shard);
+    }
+}
+
+TEST(StoreSplit, SplitEvenBalancesAndTiles) {
+    const PopulationStore whole = make_store(103);
+    const std::vector<PopulationStore> shards = whole.split_even(8);
+    ASSERT_EQ(shards.size(), 8u);
+    std::size_t offset = 0;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        EXPECT_EQ(shards[s].node_offset(), offset);
+        // 103 = 8*12 + 7: the first 7 shards carry the extra node.
+        EXPECT_EQ(shards[s].size(), s < 7 ? 13u : 12u);
+        offset += shards[s].size();
+    }
+    EXPECT_EQ(offset, whole.size());
+}
+
+TEST(StoreSplit, RejectsBadBoundaries) {
+    const PopulationStore whole = make_store(50);
+    EXPECT_THROW((void)whole.split({0}), std::invalid_argument);       // at the edge
+    EXPECT_THROW((void)whole.split({50}), std::invalid_argument);      // past the edge
+    EXPECT_THROW((void)whole.split({3, 77}), std::invalid_argument);   // out of range
+    EXPECT_THROW((void)whole.split({10, 10}), std::invalid_argument);  // duplicate
+    EXPECT_THROW((void)whole.split({20, 10}), std::invalid_argument);  // unsorted
+    EXPECT_THROW((void)whole.split_even(0), std::invalid_argument);
+    EXPECT_THROW((void)whole.split_even(51), std::invalid_argument);
+    EXPECT_NO_THROW((void)whole.split({}));        // one shard = the whole store
+    EXPECT_NO_THROW((void)whole.split_even(50));   // one node per shard
+}
+
+} // namespace
+} // namespace fmore::mec
