@@ -87,6 +87,18 @@ struct MechanismSpec {
     /// multi-process shard aggregator requires. Honoured by the built-in
     /// score-auction engine; custom mechanisms may ignore it.
     TieBreak tie_break = TieBreak::shuffle;
+    /// Async-aware pricing (the "latency_discounted" registry entry):
+    /// rank by S(q, p) - latency_discount * expected_latency_s[node], so a
+    /// bid that will take longer to come back is worth less to the
+    /// aggregator — the streaming marketplace's equilibrium-bid discount.
+    /// 0 ranks on the undiscounted score; the plain score engine ignores
+    /// both knobs.
+    double latency_discount = 0.0;
+    /// Expected per-node bid latency in seconds, indexed by NodeId (e.g.
+    /// `mec::ClusterTimeModel::latency_factor` times the auction overhead).
+    /// Nodes past the end of the table read as zero latency, so a partial
+    /// table discounts only the nodes it covers.
+    std::vector<double> expected_latency_s;
 };
 
 /// Abstract auction mechanism: how sealed bids become a ranking, a winner
@@ -264,11 +276,11 @@ private:
 };
 
 /// The registry key the legacy knobs imply, in extension-priority order:
-/// budget > 0 -> "budget_feasible"; psi < 1 or per-node psi ->
-/// "psi_fmore"; second-score payments -> "second_score"; else
-/// "first_score". Each built-in honours *all* spec knobs (they are views
-/// onto the same configurable engine), so combined knobs keep composing
-/// exactly as before the registry existed.
+/// latency_discount > 0 -> "latency_discounted"; budget > 0 ->
+/// "budget_feasible"; psi < 1 or per-node psi -> "psi_fmore"; second-score
+/// payments -> "second_score"; else "first_score". Each built-in honours
+/// *all* spec knobs (they are views onto the same configurable engine), so
+/// combined knobs keep composing exactly as before the registry existed.
 [[nodiscard]] std::string resolve_mechanism_name(const MechanismSpec& spec);
 
 /// One-call construction: `spec.mechanism` when set, otherwise

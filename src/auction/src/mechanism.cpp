@@ -6,6 +6,7 @@
 #include <typeinfo>
 #include <utility>
 
+#include "fmore/auction/latency_discount.hpp"
 #include "fmore/util/registry.hpp"
 #include "fmore/util/thread_pool.hpp"
 
@@ -463,6 +464,13 @@ MechanismRegistry::MechanismRegistry() : impl_(std::make_shared<Impl>()) {
     impl_->registry.replace("psi_fmore", score_auction_factory("psi_fmore", nullptr));
     impl_->registry.replace("budget_feasible",
                             score_auction_factory("budget_feasible", nullptr));
+    // The streaming marketplace's async-aware pricing: rank on the
+    // latency-discounted score (latency_discount.hpp). A distinct engine
+    // TYPE, so frame rounds route through the vector adapter and its
+    // rank() override.
+    impl_->registry.replace("latency_discounted", [](const MechanismSpec& spec) {
+        return std::make_unique<LatencyDiscountedMechanism>(spec);
+    });
 }
 
 MechanismRegistry& MechanismRegistry::instance() {
@@ -501,6 +509,7 @@ std::unique_ptr<Mechanism> MechanismRegistry::create(const std::string& name,
 
 std::string resolve_mechanism_name(const MechanismSpec& spec) {
     if (!spec.mechanism.empty()) return spec.mechanism;
+    if (spec.latency_discount > 0.0) return "latency_discounted";
     if (spec.budget > 0.0) return "budget_feasible";
     if (spec.psi < 1.0 || !spec.psi_per_node.empty()) return "psi_fmore";
     if (spec.payment_rule == PaymentRule::second_price) return "second_score";

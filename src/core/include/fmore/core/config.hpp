@@ -14,6 +14,7 @@
 #include "fmore/auction/types.hpp"
 #include "fmore/auction/win_probability.hpp"
 #include "fmore/fl/round_mode.hpp"
+#include "fmore/mec/arrival_model.hpp"
 
 namespace fmore::core {
 
@@ -83,6 +84,10 @@ struct SimulationConfig {
     std::size_t market_shards = 1;
     /// Per-shard bid deadline in seconds (0 = none; see AuctionSpec).
     double shard_timeout_s = 0.0;
+    /// Latency-discounted pricing coefficient (see AuctionSpec). The
+    /// simulator has no wall clock, so its latency table stays empty and
+    /// the discount is inert; the knob mirrors for spec round-trips.
+    double latency_discount = 0.0;
     double resource_jitter = 0.08; ///< MEC dynamics
     double theta_jitter = 0.02;
 
@@ -172,6 +177,13 @@ struct RealWorldConfig {
     std::size_t max_staleness = 4;
     double latency_spread = 0.0;
     double dropout_prob = 0.0;
+
+    /// Streaming-market knobs (see core::TimingSpec/AuctionSpec, which
+    /// these mirror).
+    bool streaming = false;
+    mec::ArrivalProcess arrival_process = mec::ArrivalProcess::latency;
+    double arrival_rate_hz = 0.0;
+    double latency_discount = 0.0;
 
     std::uint64_t seed = 11;
 };

@@ -92,6 +92,12 @@ struct AuctionSpec {
     /// the deadline. In-process engines drive this off a deterministic
     /// virtual clock; the multi-process aggregator off real time.
     double shard_timeout_s = 0.0;
+    /// Async-aware pricing: rank bids by S(q, p) minus this coefficient
+    /// times the node's expected bid latency (the "latency_discounted"
+    /// mechanism; > 0 auto-selects it). The testbed engine feeds the
+    /// per-node latencies from its wall-clock model; elsewhere the latency
+    /// table is empty and the discount is a no-op.
+    double latency_discount = 0.0;
 };
 
 /// The learning workload: dataset, split sizes and SGD hyperparameters.
@@ -123,14 +129,20 @@ struct TimingSpec {
     fl::RoundMode round_mode = fl::RoundMode::sync;
     /// semi_sync/async: aggregate once this many of the round's dispatches
     /// arrived (carried late updates merge at the trigger but do not count
-    /// toward it); 0 = every dispatched winner. Sync rounds always wait for
-    /// everyone and ignore this knob — kept sweepable so
-    /// `--sweep timing.round_mode=sync,semi_sync,async` works unchanged.
+    /// toward it); 0 = every dispatched winner. With `streaming` it doubles
+    /// as the BID quorum: the auction closes after this many arrivals (and
+    /// may therefore exceed K). Sync non-streaming rounds wait for everyone
+    /// and ignore this knob ALONE — kept sweepable so
+    /// `--sweep timing.round_mode=sync,semi_sync,async` works unchanged —
+    /// but combining it with a deadline under sync is rejected (neither
+    /// knob could ever fire; validate() names the fix).
     std::size_t min_updates = 0;
     /// semi_sync: aggregate at this offset from round start even when short
-    /// of min_updates; 0 = no deadline. Like min_updates, the other modes
-    /// ignore it (sync closes on its slowest winner, async purely on update
-    /// count) so round_mode stays sweepable with a deadline set.
+    /// of min_updates; 0 = no deadline. With `streaming` it doubles as the
+    /// auction's bid deadline on the virtual clock. The other non-streaming
+    /// modes ignore it (sync closes on its slowest winner, async purely on
+    /// update count) so round_mode stays sweepable with a deadline set —
+    /// except the sync + deadline + min_updates combination (see above).
     double round_deadline_s = 0.0;
     /// Staleness decay exponent: a late update merges with FedAvg weight
     /// D_i / (1+s)^alpha, s = global versions since its dispatch.
@@ -144,6 +156,21 @@ struct TimingSpec {
     /// Probability a semi_sync/async dispatch never reports; sync rounds
     /// have no failure handling and ignore it (see ClusterTimeConfig).
     double dropout_prob = 0.0;
+    /// Run each auction round as a STREAMING market (testbed only): bids
+    /// arrive one at a time on the virtual clock per `arrival_process`, the
+    /// top-K folds incrementally, and the round closes on
+    /// `round_deadline_s` expiry or `min_updates` arrivals — whichever
+    /// fires first (both 0 = wait for every bid). Winners over the arrived
+    /// set are bit-identical to the batch selector over that set.
+    bool streaming = false;
+    /// Virtual-clock arrival process of the streaming market: "latency"
+    /// replays each node's expected bid latency (straggler factor x
+    /// auction overhead), "poisson" is an open-loop stream at
+    /// `arrival_rate_hz`.
+    mec::ArrivalProcess arrival_process = mec::ArrivalProcess::latency;
+    /// Poisson bid arrival rate (bids per second of virtual time); required
+    /// > 0 when `arrival_process` is "poisson".
+    double arrival_rate_hz = 0.0;
 };
 
 /// Everything needed to reproduce one experiment, simulator or testbed.

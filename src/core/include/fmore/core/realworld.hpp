@@ -44,6 +44,11 @@ public:
 
 private:
     [[nodiscard]] ml::Model make_model(std::uint64_t seed) const;
+    /// Per-node expected bid latency in seconds: the trial's straggler
+    /// factor (fixed stream, so every policy sees the same slow nodes)
+    /// times the auction overhead. Feeds both latency-discounted pricing
+    /// and the streaming market's closed-loop arrival schedule.
+    [[nodiscard]] std::vector<double> bid_latency_table() const;
     void rebuild_population();
 
     RealWorldConfig config_;

@@ -34,7 +34,8 @@ bool operator==(const AuctionSpec& a, const AuctionSpec& b) {
            && a.psi_per_node == b.psi_per_node && a.budget == b.budget
            && a.payment_rule == b.payment_rule && a.win_model == b.win_model
            && a.full_scoreboard == b.full_scoreboard && a.shards == b.shards
-           && a.shard_timeout_s == b.shard_timeout_s;
+           && a.shard_timeout_s == b.shard_timeout_s
+           && a.latency_discount == b.latency_discount;
 }
 
 bool operator==(const TrainingSpec& a, const TrainingSpec& b) {
@@ -53,7 +54,9 @@ bool operator==(const TimingSpec& a, const TimingSpec& b) {
            && a.staleness_alpha == b.staleness_alpha
            && a.max_staleness == b.max_staleness
            && a.latency_spread == b.latency_spread
-           && a.dropout_prob == b.dropout_prob;
+           && a.dropout_prob == b.dropout_prob && a.streaming == b.streaming
+           && a.arrival_process == b.arrival_process
+           && a.arrival_rate_hz == b.arrival_rate_hz;
 }
 
 bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
@@ -118,6 +121,7 @@ SimulationConfig to_simulation_config(const ExperimentSpec& spec) {
     config.full_scoreboard = spec.auction.full_scoreboard;
     config.market_shards = spec.auction.shards;
     config.shard_timeout_s = spec.auction.shard_timeout_s;
+    config.latency_discount = spec.auction.latency_discount;
     config.resource_jitter = spec.population.resource_jitter;
     config.theta_jitter = spec.population.theta_jitter;
     config.local_epochs = spec.training.local_epochs;
@@ -160,6 +164,7 @@ RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
     config.full_scoreboard = spec.auction.full_scoreboard;
     config.market_shards = spec.auction.shards;
     config.shard_timeout_s = spec.auction.shard_timeout_s;
+    config.latency_discount = spec.auction.latency_discount;
     config.resource_jitter = spec.population.resource_jitter;
     config.theta_jitter = spec.population.theta_jitter;
     config.local_epochs = spec.training.local_epochs;
@@ -176,6 +181,10 @@ RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
     config.max_staleness = spec.timing.max_staleness;
     config.latency_spread = spec.timing.latency_spread;
     config.dropout_prob = spec.timing.dropout_prob;
+    config.streaming = spec.timing.streaming;
+    config.arrival_process = spec.timing.arrival_process;
+    config.arrival_rate_hz = spec.timing.arrival_rate_hz;
+    config.latency_discount = spec.auction.latency_discount;
     config.seed = spec.seed;
     return config;
 }
@@ -206,6 +215,7 @@ ExperimentSpec from_simulation_config(const SimulationConfig& config) {
     spec.auction.full_scoreboard = config.full_scoreboard;
     spec.auction.shards = config.market_shards;
     spec.auction.shard_timeout_s = config.shard_timeout_s;
+    spec.auction.latency_discount = config.latency_discount;
     spec.training.dataset = config.dataset;
     spec.training.train_samples = config.train_samples;
     spec.training.test_samples = config.test_samples;
@@ -246,6 +256,7 @@ ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
     spec.auction.full_scoreboard = config.full_scoreboard;
     spec.auction.shards = config.market_shards;
     spec.auction.shard_timeout_s = config.shard_timeout_s;
+    spec.auction.latency_discount = config.latency_discount;
     spec.training.dataset = config.dataset;
     spec.training.train_samples = config.train_samples;
     spec.training.test_samples = config.test_samples;
@@ -265,6 +276,9 @@ ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
     spec.timing.max_staleness = config.max_staleness;
     spec.timing.latency_spread = config.latency_spread;
     spec.timing.dropout_prob = config.dropout_prob;
+    spec.timing.streaming = config.streaming;
+    spec.timing.arrival_process = config.arrival_process;
+    spec.timing.arrival_rate_hz = config.arrival_rate_hz;
     return spec;
 }
 
@@ -355,6 +369,10 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
         fail("auction.shard_timeout_s = " + num(auc.shard_timeout_s)
              + " with auction.shards = " + std::to_string(auc.shards)
              + ": a bid deadline only applies to a sharded market (shards > 1)");
+    if (bad(auc.latency_discount) || auc.latency_discount < 0.0)
+        fail("auction.latency_discount = " + num(auc.latency_discount)
+             + ": must be finite and >= 0 (0 disables latency-discounted "
+               "pricing)");
     if (auc.mechanism == "first_score"
         && auc.payment_rule == auction::PaymentRule::second_price)
         fail("auction.mechanism = 'first_score' but auction.payment_rule = "
@@ -421,13 +439,43 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
         fail("timing.round_mode = " + fl::to_string(timing.round_mode)
              + " on a simulation spec: async/semi-sync rounds need the wall-clock "
                "model; use kind = testbed");
-    if (timing.min_updates > auc.winners)
+    if (!timing.streaming && timing.min_updates > auc.winners)
         fail("timing.min_updates = " + std::to_string(timing.min_updates)
              + " but auction.winners = " + std::to_string(auc.winners)
              + ": a round cannot wait for more updates than it dispatches");
+    if (timing.streaming && timing.min_updates > pop.num_nodes)
+        fail("timing.min_updates = " + std::to_string(timing.min_updates)
+             + " but population.num_nodes = " + std::to_string(pop.num_nodes)
+             + ": the streaming bid quorum counts arrivals and can never "
+               "exceed the population");
     if (bad(timing.round_deadline_s) || timing.round_deadline_s < 0.0)
         fail("timing.round_deadline_s = " + num(timing.round_deadline_s)
              + ": must be finite and >= 0");
+    if (!timing.streaming && timing.round_mode == fl::RoundMode::sync
+        && timing.round_deadline_s > 0.0 && timing.min_updates > 0)
+        fail("timing.round_deadline_s = " + num(timing.round_deadline_s)
+             + " with timing.min_updates = " + std::to_string(timing.min_updates)
+             + " under timing.round_mode = 'sync': neither knob can ever fire — "
+               "the synchronous barrier waits for every winner; set round_mode = "
+               "semi_sync (deadline + quorum) or async (quorum), or set "
+               "timing.streaming = true to close the AUCTION on deadline/quorum "
+               "instead");
+    if (timing.streaming && spec.kind != ExperimentKind::testbed)
+        fail("timing.streaming = true on a simulation spec: the streaming market "
+             "runs on the testbed's virtual clock; use kind = testbed");
+    if (timing.streaming && auc.shards > 1)
+        fail("timing.streaming = true with auction.shards = "
+             + std::to_string(auc.shards)
+             + ": the trial engine streams the monolithic market only "
+               "(StreamingHeadMerge composes shard streams at the library "
+               "level); set auction.shards = 1");
+    if (bad(timing.arrival_rate_hz) || timing.arrival_rate_hz < 0.0)
+        fail("timing.arrival_rate_hz = " + num(timing.arrival_rate_hz)
+             + ": must be finite and >= 0");
+    if (timing.streaming && timing.arrival_process == mec::ArrivalProcess::poisson
+        && !(timing.arrival_rate_hz > 0.0))
+        fail("timing.arrival_process = 'poisson' needs timing.arrival_rate_hz > 0 "
+             "(bids per second of virtual time)");
     if (bad(timing.staleness_alpha) || timing.staleness_alpha < 0.0)
         fail("timing.staleness_alpha = " + num(timing.staleness_alpha)
              + ": the polynomial decay exponent must be finite and >= 0");
@@ -598,6 +646,7 @@ const std::vector<Field>& fields() {
         FMORE_FIELD_DOUBLE("auction.budget", auction.budget),
         FMORE_FIELD_SIZE("auction.shards", auction.shards),
         FMORE_FIELD_DOUBLE("auction.shard_timeout_s", auction.shard_timeout_s),
+        FMORE_FIELD_DOUBLE("auction.latency_discount", auction.latency_discount),
         Field{"auction.full_scoreboard",
               [](const ExperimentSpec& s) {
                   return std::string(s.auction.full_scoreboard ? "true" : "false");
@@ -677,6 +726,27 @@ const std::vector<Field>& fields() {
         FMORE_FIELD_SIZE("timing.max_staleness", timing.max_staleness),
         FMORE_FIELD_DOUBLE("timing.latency_spread", timing.latency_spread),
         FMORE_FIELD_DOUBLE("timing.dropout_prob", timing.dropout_prob),
+        Field{"timing.streaming",
+              [](const ExperimentSpec& s) {
+                  return std::string(s.timing.streaming ? "true" : "false");
+              },
+              [](ExperimentSpec& s, const std::string& v) {
+                  s.timing.streaming = parse_bool("timing.streaming", v);
+              }},
+        Field{"timing.arrival_process",
+              [](const ExperimentSpec& s) {
+                  return mec::to_string(s.timing.arrival_process);
+              },
+              [](ExperimentSpec& s, const std::string& v) {
+                  try {
+                      s.timing.arrival_process = mec::parse_arrival_process(v);
+                  } catch (const std::invalid_argument&) {
+                      throw std::invalid_argument(
+                          "ExperimentSpec: timing.arrival_process = '" + v
+                          + "': expected latency or poisson");
+                  }
+              }},
+        FMORE_FIELD_DOUBLE("timing.arrival_rate_hz", timing.arrival_rate_hz),
     };
     return all;
 }

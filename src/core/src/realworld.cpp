@@ -9,6 +9,7 @@
 #include "fmore/fl/selection.hpp"
 #include "fmore/mec/auction_selector.hpp"
 #include "fmore/mec/sharded_selector.hpp"
+#include "fmore/mec/streaming_selector.hpp"
 #include "fmore/ml/model_zoo.hpp"
 #include "fmore/ml/partition.hpp"
 #include "fmore/ml/synthetic.hpp"
@@ -144,6 +145,24 @@ RealWorldConfig validated_config(const ExperimentSpec& spec) {
 RealWorldTrial::RealWorldTrial(const ExperimentSpec& spec, std::size_t trial_index)
     : RealWorldTrial(validated_config(spec), trial_index) {}
 
+std::vector<double> RealWorldTrial::bid_latency_table() const {
+    mec::ClusterTimeConfig tc;
+    tc.model_bytes = config_.model_bytes;
+    tc.seconds_per_sample_core = config_.seconds_per_sample_core;
+    tc.round_overhead_s = config_.round_overhead_s;
+    tc.latency_spread = config_.latency_spread;
+    tc.dropout_prob = config_.dropout_prob;
+    // Same seed as run()'s wall-clock model, so a fresh generator here
+    // reproduces the exact straggler factors without touching its stream.
+    stats::Rng factor_rng(trial_seed_ ^ 0x57a991e2ULL);
+    const mec::ClusterTimeModel time_model(*population_, tc, /*auction_round=*/true,
+                                           factor_rng);
+    std::vector<double> latencies(config_.num_nodes);
+    for (std::size_t i = 0; i < latencies.size(); ++i)
+        latencies[i] = time_model.latency_factor(i) * tc.auction_overhead_s;
+    return latencies;
+}
+
 void RealWorldTrial::rebuild_population() {
     stats::Rng pop_rng(trial_seed_ ^ 0xabcdef12345ULL);
     mec::PopulationSpec spec;
@@ -192,6 +211,25 @@ fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
         if (ctx.probabilistic_acceptance) wd.psi_per_node = config_.psi_per_node;
         wd.budget = config_.budget;
         wd.full_ranking = config_.full_scoreboard;
+        wd.latency_discount = config_.latency_discount;
+        if (wd.latency_discount > 0.0 || config_.mechanism == "latency_discounted")
+            wd.expected_latency_s = bid_latency_table();
+        if (config_.streaming) {
+            // Streaming market: bids trickle in on the virtual clock and the
+            // round closes on deadline/quorum; the closed set ranks exactly
+            // as the batch selector would (streaming_equivalence_test).
+            mec::StreamingRoundConfig sc;
+            sc.deadline_s = config_.round_deadline_s;
+            sc.quorum = config_.min_updates;
+            sc.process = config_.arrival_process;
+            sc.arrival_rate_hz = config_.arrival_rate_hz;
+            sc.bid_latencies_s = bid_latency_table();
+            return std::make_unique<mec::StreamingAuctionSelector>(
+                *population_, *solved_->scoring, solved_->strategy, wd,
+                mec::QualityLayout{mec::ResourceDim::cpu, mec::ResourceDim::bandwidth,
+                                   mec::ResourceDim::data_size},
+                /*data_dimension=*/2, std::move(sc));
+        }
         if (config_.market_shards > 1) {
             // Sharded market: same winners, payments and metrics as the
             // monolithic selector by construction (shard_equivalence_test).

@@ -185,6 +185,58 @@ ScenarioRegistry::ScenarioRegistry() : impl_(std::make_shared<Impl>()) {
             spec.auction.shards = 8;
             return spec;
         });
+    // Streaming-market presets: the testbed auction as a long-lived
+    // ingestion service. Bids arrive one at a time on the virtual clock and
+    // the round closes on deadline or quorum — whichever fires first — with
+    // the closed set ranked exactly as the batch market would rank it
+    // (streaming_equivalence_test). Sweep-friendly: e.g.
+    // --sweep timing.arrival_rate_hz=100,500,2000.
+    auto stream_preset = [] {
+        ExperimentSpec spec = default_testbed_experiment();
+        spec.population.num_nodes = 96;
+        spec.population.data_lo = 30;
+        spec.population.data_hi = 80;
+        spec.auction.winners = 16;
+        spec.training.train_samples = 4000;
+        spec.training.test_samples = 400;
+        spec.training.rounds = 3;
+        spec.training.eval_cap = 200;
+        spec.timing.streaming = true;
+        return spec;
+    };
+    add_builtin("stream/light",
+        "Streaming market under light traffic: Poisson arrivals at 200 "
+        "bids/s, 1 s bid deadline, no quorum — most rounds collect every bid "
+        "and close exhausted; the occasional tail bid is cut off",
+        [stream_preset] {
+            ExperimentSpec spec = stream_preset();
+            spec.timing.arrival_process = mec::ArrivalProcess::poisson;
+            spec.timing.arrival_rate_hz = 200.0;
+            spec.timing.round_deadline_s = 1.0;
+            return spec;
+        });
+    add_builtin("stream/heavy",
+        "Streaming market under heavy traffic: Poisson arrivals at 2000 "
+        "bids/s racing a 30 ms deadline against a 64-bid quorum (quorum may "
+        "exceed K=16 — it counts arrivals, not winners)",
+        [stream_preset] {
+            ExperimentSpec spec = stream_preset();
+            spec.timing.arrival_process = mec::ArrivalProcess::poisson;
+            spec.timing.arrival_rate_hz = 2000.0;
+            spec.timing.round_deadline_s = 0.03;
+            spec.timing.min_updates = 64;
+            return spec;
+        });
+    add_builtin("stream/quorum",
+        "Streaming market closing on quorum: closed-loop arrivals on each "
+        "node's straggler latency, round closes at the 48th bid — the "
+        "deadline (30 s) is a safety net that never fires",
+        [stream_preset] {
+            ExperimentSpec spec = stream_preset();
+            spec.timing.min_updates = 48;
+            spec.timing.round_deadline_s = 30.0;
+            return spec;
+        });
 }
 
 ScenarioRegistry& ScenarioRegistry::instance() {

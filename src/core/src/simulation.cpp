@@ -223,6 +223,9 @@ fl::RunResult SimulationTrial::run(const std::string& policy_name) {
         if (ctx.probabilistic_acceptance) wd.psi_per_node = config_.psi_per_node;
         wd.budget = config_.budget;
         wd.full_ranking = config_.full_scoreboard;
+        // No wall clock in the simulator: the latency table stays empty, so
+        // the discount subtracts 0 and first/second pricing is unchanged.
+        wd.latency_discount = config_.latency_discount;
         if (config_.market_shards > 1) {
             // Sharded market: same winners, payments and metrics as the
             // monolithic selector by construction (shard_equivalence_test).

@@ -1,0 +1,74 @@
+#pragma once
+
+/// @file arrival_model.hpp
+/// The virtual clock of the streaming marketplace: WHEN each edge node's
+/// sealed bid reaches the aggregator. The paper's aggregator broadcasts
+/// the ask and "waits a given time interval" for bids (Section III.A) —
+/// this model makes the interval's contents explicit as a deterministic
+/// arrival schedule the streaming market replays. Two processes:
+///  - `latency` (closed-loop replay): node i's bid lands at its expected
+///    bid latency — `ClusterTimeModel::latency_factor(i)` times the
+///    auction overhead, i.e. the same straggler factors the training
+///    clock runs on. No RNG consumed.
+///  - `poisson` (open-loop): bids arrive as a Poisson stream of the
+///    configured rate with the node order drawn uniformly — the
+///    heavy-traffic model of service-style aggregators (Cao et al.,
+///    arXiv:2509.10512). Consumes RNG in a fixed draw order, so the
+///    schedule is a pure function of (n, rate, generator state).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fmore/mec/cluster.hpp"
+#include "fmore/stats/rng.hpp"
+
+namespace fmore::mec {
+
+/// Which arrival process drives the streaming market's virtual clock.
+enum class ArrivalProcess : std::uint8_t {
+    latency,  ///< closed-loop: per-node expected bid latencies
+    poisson,  ///< open-loop: Poisson stream at `arrival_rate_hz`
+};
+
+[[nodiscard]] std::string to_string(ArrivalProcess process);
+/// @throws std::invalid_argument on an unknown name, listing the valid ones
+[[nodiscard]] ArrivalProcess parse_arrival_process(const std::string& text);
+
+/// One bid arrival on the virtual clock.
+struct Arrival {
+    std::size_t node = 0;
+    double seconds = 0.0;
+};
+
+/// A full round's arrival schedule: every node exactly once, sorted by
+/// (seconds asc, node asc) — the replay order the streaming market's
+/// monotonic clock requires.
+class ArrivalModel {
+public:
+    /// Closed-loop replay: node i arrives at `latencies_s[i]`.
+    /// @throws std::invalid_argument on a negative or non-finite latency
+    [[nodiscard]] static ArrivalModel closed_loop(const std::vector<double>& latencies_s);
+
+    /// Closed-loop replay from the cluster's wall-clock model: node i
+    /// arrives at `latency_factor(i) * auction_overhead_s` — stragglers bid
+    /// late in exact proportion to how late they train.
+    [[nodiscard]] static ArrivalModel from_cluster_time(const ClusterTimeModel& model,
+                                                        std::size_t n);
+
+    /// Open-loop Poisson stream: exponential inter-arrival gaps at
+    /// `rate_hz`, node order a uniform permutation. Draw order is fixed
+    /// (one shuffle, then one uniform per gap), so equal seeds give equal
+    /// schedules.
+    /// @throws std::invalid_argument unless rate_hz > 0 and finite
+    [[nodiscard]] static ArrivalModel poisson(std::size_t n, double rate_hz,
+                                              stats::Rng& rng);
+
+    [[nodiscard]] const std::vector<Arrival>& schedule() const { return schedule_; }
+    [[nodiscard]] std::size_t size() const { return schedule_.size(); }
+
+private:
+    std::vector<Arrival> schedule_;
+};
+
+} // namespace fmore::mec

@@ -1,0 +1,114 @@
+#pragma once
+
+/// @file streaming_selector.hpp
+/// The streaming marketplace as a client selector: FMore's bid-ask /
+/// bid-collection / winner-determination loop where the collection step is
+/// a LIVE ARRIVAL FEED instead of a batch. Bids are collected through the
+/// same fused `collect_bid_rows` pass, then replayed one at a time into an
+/// `auction::StreamingMarket` on the virtual clock an `ArrivalModel`
+/// supplies; the round closes on `deadline_s` expiry or `quorum` arrivals,
+/// whichever fires first, and the emitted `SelectionRecord` over the
+/// arrived set is bit-identical to the batch `AuctionSelector` over that
+/// same set. Because this is an `fl::ClientSelector`, the closed rounds
+/// feed `fl::Coordinator` and `fl::AsyncCoordinator` unchanged — streaming
+/// selection composes with sync, semi_sync and async training.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fmore/auction/streaming_market.hpp"
+#include "fmore/mec/arrival_model.hpp"
+#include "fmore/mec/auction_selector.hpp"
+
+namespace fmore::mec {
+
+/// Per-round close policy + arrival process of a streaming selector.
+struct StreamingRoundConfig {
+    /// Virtual-clock bid deadline in seconds (`timing.round_deadline_s`);
+    /// 0 waits for every bid.
+    double deadline_s = 0.0;
+    /// Close after this many arrivals (`timing.min_updates` as a bid
+    /// quorum); 0 disables. Counts ARRIVED BIDS, so it may exceed K.
+    std::size_t quorum = 0;
+    ArrivalProcess process = ArrivalProcess::latency;
+    /// Poisson arrival rate (bids/second of virtual time); used only by
+    /// `ArrivalProcess::poisson`.
+    double arrival_rate_hz = 0.0;
+    /// Closed-loop per-node bid latencies (`ArrivalProcess::latency`),
+    /// indexed by NodeId; missing entries arrive at t = 0. Typically
+    /// `ClusterTimeModel::latency_factor(i) * auction_overhead_s`.
+    std::vector<double> bid_latencies_s;
+};
+
+/// Streaming twin of `AuctionSelector` (same construction surface, same
+/// compliance/blacklist semantics), driving an `auction::StreamingMarket`
+/// per round. Under `ArrivalProcess::latency` the selector consumes exactly
+/// the generator stream the batch selector would, so a deadline-free,
+/// quorum-free streaming round reproduces the batch round bit for bit —
+/// the invariant streaming_equivalence_test pins.
+class StreamingAuctionSelector final : public fl::ClientSelector {
+public:
+    StreamingAuctionSelector(MecPopulation& population,
+                             const auction::ScoringRule& scoring,
+                             const auction::EquilibriumStrategy& strategy,
+                             auction::WinnerDeterminationConfig wd_config,
+                             QualityLayout layout, std::size_t data_dimension,
+                             StreamingRoundConfig streaming,
+                             auction::PaymentMethod payment_method =
+                                 auction::PaymentMethod::integral);
+
+    [[nodiscard]] fl::SelectionRecord select(std::size_t round, std::size_t k,
+                                             stats::Rng& rng) override;
+    [[nodiscard]] std::string name() const override { return "FMore-stream"; }
+    [[nodiscard]] bool contracts_data_volume() const override {
+        return data_dimension_ != npos;
+    }
+
+    /// Run one streaming auction round (collect, replay arrivals, close)
+    /// without assembling a selection record.
+    const auction::AuctionOutcome& run_auction_round(std::size_t round, std::size_t k,
+                                                     stats::Rng& rng);
+
+    /// Why the last round stopped accepting bids.
+    [[nodiscard]] auction::CloseReason last_close_reason() const;
+    /// Bids that made it into the last round.
+    [[nodiscard]] std::size_t last_arrived() const;
+    /// Virtual time at which the last round closed.
+    [[nodiscard]] double last_close_time_s() const;
+    /// Top-K evictions during the last round's ingestion.
+    [[nodiscard]] std::size_t last_head_churn() const;
+
+    void set_compliance(const ComplianceSpec& spec) { compliance_ = spec; }
+    [[nodiscard]] const Blacklist& blacklist() const { return blacklist_; }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+private:
+    void ensure_market(std::size_t k);
+
+    MecPopulation& population_;
+    const auction::ScoringRule& scoring_;
+    const auction::EquilibriumStrategy& strategy_;
+    auction::WinnerDeterminationConfig wd_config_;
+    QualityLayout layout_;
+    std::size_t data_dimension_;
+    StreamingRoundConfig streaming_;
+    auction::PaymentMethod payment_method_;
+    bool strategy_scores_broadcast_rule_ = false;
+
+    ComplianceSpec compliance_;
+    Blacklist blacklist_;
+
+    /// Batch-collected bids awaiting their arrival times; the market's own
+    /// frame holds the arrived subset.
+    auction::BidFrame staging_;
+    std::vector<const double*> columns_;
+    std::unique_ptr<auction::StreamingMarket> market_;
+    std::size_t market_k_ = 0;
+    /// Closed-loop schedules do not change between rounds; built once.
+    std::optional<ArrivalModel> latency_arrivals_;
+};
+
+} // namespace fmore::mec

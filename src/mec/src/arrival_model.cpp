@@ -1,0 +1,83 @@
+#include "fmore/mec/arrival_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmore::mec {
+
+std::string to_string(ArrivalProcess process) {
+    switch (process) {
+        case ArrivalProcess::latency: return "latency";
+        case ArrivalProcess::poisson: return "poisson";
+    }
+    return "?";
+}
+
+ArrivalProcess parse_arrival_process(const std::string& text) {
+    if (text == "latency") return ArrivalProcess::latency;
+    if (text == "poisson") return ArrivalProcess::poisson;
+    throw std::invalid_argument("unknown arrival process '" + text
+                                + "' (valid: latency, poisson)");
+}
+
+namespace {
+
+void sort_schedule(std::vector<Arrival>& schedule) {
+    std::sort(schedule.begin(), schedule.end(), [](const Arrival& a, const Arrival& b) {
+        if (a.seconds != b.seconds) return a.seconds < b.seconds;
+        return a.node < b.node;
+    });
+}
+
+} // namespace
+
+ArrivalModel ArrivalModel::closed_loop(const std::vector<double>& latencies_s) {
+    ArrivalModel model;
+    model.schedule_.reserve(latencies_s.size());
+    for (std::size_t i = 0; i < latencies_s.size(); ++i) {
+        const double latency = latencies_s[i];
+        if (!(latency >= 0.0) || std::isinf(latency))
+            throw std::invalid_argument("ArrivalModel: latencies_s["
+                                        + std::to_string(i) + "] = "
+                                        + std::to_string(latency)
+                                        + ": must be finite and >= 0");
+        model.schedule_.push_back(Arrival{i, latency});
+    }
+    sort_schedule(model.schedule_);
+    return model;
+}
+
+ArrivalModel ArrivalModel::from_cluster_time(const ClusterTimeModel& model,
+                                             std::size_t n) {
+    std::vector<double> latencies(n);
+    const double overhead = model.config().auction_overhead_s;
+    for (std::size_t i = 0; i < n; ++i)
+        latencies[i] = model.latency_factor(i) * overhead;
+    return closed_loop(latencies);
+}
+
+ArrivalModel ArrivalModel::poisson(std::size_t n, double rate_hz, stats::Rng& rng) {
+    if (!(rate_hz > 0.0) || std::isinf(rate_hz))
+        throw std::invalid_argument("ArrivalModel: poisson rate_hz = "
+                                    + std::to_string(rate_hz)
+                                    + ": must be finite and > 0");
+    // Uniform node order first, then one exponential gap per arrival —
+    // a fixed draw sequence, so the schedule is reproducible from the
+    // generator state alone.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    rng.shuffle(order);
+    ArrivalModel model;
+    model.schedule_.reserve(n);
+    double t = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double u = rng.uniform(0.0, 1.0);
+        t += -std::log1p(-u) / rate_hz;
+        model.schedule_.push_back(Arrival{order[k], t});
+    }
+    // Gaps are positive, so the stream is already time-sorted.
+    return model;
+}
+
+} // namespace fmore::mec

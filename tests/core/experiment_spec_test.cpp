@@ -189,6 +189,99 @@ TEST(ExperimentSpecValidate, AsyncRoundRulesAreEnforced) {
     EXPECT_TRUE(mentions(validate(spec), "timing.staleness_alpha"));
 }
 
+TEST(ExperimentSpecValidate, SyncDeadlineWithQuorumIsRejectedWithGuidance) {
+    // A sync round waits for every winner: a deadline plus a quorum can
+    // never fire, and silently ignoring them hides a misconfigured sweep.
+    ExperimentSpec spec = default_testbed_experiment();
+    spec.timing.round_mode = fl::RoundMode::sync;
+    spec.timing.round_deadline_s = 30.0;
+    spec.timing.min_updates = 4;
+    const std::vector<std::string> problems = validate(spec);
+    ASSERT_EQ(problems.size(), 1u);
+    // Actionable: names BOTH offending keys and every way out.
+    EXPECT_NE(problems[0].find("timing.round_deadline_s"), std::string::npos);
+    EXPECT_NE(problems[0].find("timing.min_updates"), std::string::npos);
+    EXPECT_NE(problems[0].find("semi_sync"), std::string::npos);
+    EXPECT_NE(problems[0].find("timing.streaming"), std::string::npos);
+
+    // ... and each suggested fix actually validates.
+    ExperimentSpec semi = spec;
+    semi.timing.round_mode = fl::RoundMode::semi_sync;
+    EXPECT_TRUE(validate(semi).empty());
+    ExperimentSpec streaming = spec;
+    streaming.timing.streaming = true;
+    EXPECT_TRUE(validate(streaming).empty());
+    // A deadline alone (deadline-closed streaming sweep base) stays valid.
+    spec.timing.min_updates = 0;
+    EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(ExperimentSpecValidate, StreamingRulesAreEnforced) {
+    auto mentions = [](const std::vector<std::string>& problems,
+                       const std::string& token) {
+        for (const std::string& p : problems)
+            if (p.find(token) != std::string::npos) return true;
+        return false;
+    };
+    // The streaming market runs on the testbed's virtual clock.
+    ExperimentSpec sim = default_experiment(DatasetKind::mnist_o);
+    sim.timing.streaming = true;
+    EXPECT_TRUE(mentions(validate(sim), "kind = testbed"));
+
+    ExperimentSpec spec = default_testbed_experiment();
+    spec.timing.streaming = true;
+    EXPECT_TRUE(validate(spec).empty());
+
+    // Streaming re-reads min_updates as a BID quorum: more than K = 8 is
+    // legitimate (it counts arrivals, not winners)...
+    spec.timing.min_updates = 20;
+    EXPECT_TRUE(validate(spec).empty());
+    // ...but a quorum beyond the population can never fill.
+    spec.timing.min_updates = 40; // > num_nodes = 31
+    EXPECT_TRUE(mentions(validate(spec), "population.num_nodes"));
+    spec.timing.min_updates = 0;
+
+    // Poisson arrivals need a rate; the latency process does not.
+    spec.timing.arrival_process = mec::ArrivalProcess::poisson;
+    EXPECT_TRUE(mentions(validate(spec), "timing.arrival_rate_hz"));
+    spec.timing.arrival_rate_hz = 500.0;
+    EXPECT_TRUE(validate(spec).empty());
+    spec.timing.arrival_rate_hz = -1.0;
+    EXPECT_TRUE(mentions(validate(spec), "timing.arrival_rate_hz"));
+    spec.timing.arrival_rate_hz = 0.0;
+    spec.timing.arrival_process = mec::ArrivalProcess::latency;
+
+    // The trial engine streams the monolithic market only.
+    spec.auction.shards = 8;
+    EXPECT_TRUE(mentions(validate(spec), "auction.shards"));
+    spec.auction.shards = 1;
+
+    // The pricing knob is validated whether or not streaming is on.
+    spec.auction.latency_discount = -0.5;
+    EXPECT_TRUE(mentions(validate(spec), "auction.latency_discount"));
+    spec.auction.latency_discount = 0.8;
+    EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(ExperimentSpecText, StreamingKnobsRoundTripAndRejectTypos) {
+    ExperimentSpec spec = default_testbed_experiment();
+    spec.timing.streaming = true;
+    spec.timing.arrival_process = mec::ArrivalProcess::poisson;
+    spec.timing.arrival_rate_hz = 123.25;
+    spec.auction.latency_discount = 0.375;
+    const ExperimentSpec parsed = parse_experiment_spec(to_text(spec));
+    EXPECT_TRUE(parsed == spec);
+
+    try {
+        apply_key_value(spec, "timing.arrival_process", "uniform");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("uniform"), std::string::npos);
+        EXPECT_NE(what.find("poisson"), std::string::npos);
+    }
+}
+
 TEST(ExperimentSpecValidate, RegisteredCustomMechanismPassesValidation) {
     auto& registry = auction::MechanismRegistry::instance();
     registry.replace("test/spec_mechanism", [](const auction::MechanismSpec& ms) {
@@ -273,6 +366,24 @@ TEST(Scenarios, PaperPresetsAreRegisteredAndValid) {
     // covers all three modes from one preset.
     EXPECT_EQ(named_scenario("straggler/async_vs_sync").timing.round_mode,
               fl::RoundMode::sync);
+}
+
+TEST(Scenarios, StreamPresetsAreRegisteredAndValid) {
+    auto& registry = ScenarioRegistry::instance();
+    for (const char* name : {"stream/light", "stream/heavy", "stream/quorum"}) {
+        ASSERT_TRUE(registry.contains(name)) << name;
+        const ExperimentSpec spec = registry.get(name);
+        EXPECT_TRUE(validate(spec).empty()) << name;
+        EXPECT_TRUE(spec.timing.streaming) << name;
+        EXPECT_EQ(spec.kind, ExperimentKind::testbed) << name;
+    }
+    const ExperimentSpec heavy = named_scenario("stream/heavy");
+    EXPECT_EQ(heavy.timing.arrival_process, mec::ArrivalProcess::poisson);
+    EXPECT_GT(heavy.timing.arrival_rate_hz, 0.0);
+    // The bid quorum legitimately exceeds K: it counts arrivals.
+    EXPECT_GT(heavy.timing.min_updates, heavy.auction.winners);
+    EXPECT_EQ(named_scenario("stream/quorum").timing.arrival_process,
+              mec::ArrivalProcess::latency);
 }
 
 TEST(Scenarios, UnknownScenarioErrorListsWhatExists) {
