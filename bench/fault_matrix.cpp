@@ -1,0 +1,466 @@
+// fault_matrix: the sharded market's fault-tolerance ledger. Where
+// scale_round times the happy path, this bench runs the fork-per-shard
+// ProcessShardAggregator under a matrix of deterministic fault plans
+// (util::FaultInjector) with the supervisor respawning evicted workers,
+// and records per plan
+//
+//   - rounds_degraded: rounds that lost at least one shard head,
+//   - evictions / respawns / retired workers and the corrupt-frame
+//     detection counters (every corrupt frame must be caught by the wire
+//     CRC, retried once, and never consumed),
+//   - mean/max recovery latency in rounds (eviction -> first round the
+//     respawned worker contributes a head again),
+//   - bit_identity_after_rejoin: every round in which no shard was down
+//     must match a never-faulted twin aggregator bit for bit — the
+//     respawn re-sync (salt-history replay) is what makes this true.
+//
+// Results land in the `faults` section of BENCH_scale.json, spliced in
+// BEFORE the `streaming` section (streaming_market rewrites everything
+// from its own key to the end of the file).
+//
+//   fault_matrix [--smoke] [--out path.json] [--check committed.json]
+//
+// --smoke shrinks N, the shard count and the round count (CI). --check
+// gates on structure and semantics only — bit-identity flags, corrupt
+// frames detected (not consumed) at positive corruption rates, respawns
+// happening at positive crash rates. No timing gates: fault-recovery
+// latency is dominated by deliberate stalls and deadlines, not by code.
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fmore/auction/cost.hpp"
+#include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/scoring.hpp"
+#include "fmore/auction/winner_determination.hpp"
+#include "fmore/mec/population_store.hpp"
+#include "fmore/mec/shard_aggregator.hpp"
+#include "fmore/stats/normalizer.hpp"
+#include "fmore/stats/rng.hpp"
+#include "fmore/util/fault_injector.hpp"
+
+namespace {
+
+using namespace fmore;
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::size_t kWinners = 32;
+constexpr double kDataHi = 150.0;
+constexpr double kTimeoutS = 0.25;
+constexpr std::size_t kMaxRespawns = 3;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// The simulator's market (Section V.A scoring/cost), solved once.
+struct Market {
+    std::vector<stats::MinMaxNormalizer> norms;
+    std::unique_ptr<auction::ScaledProductScoring> scoring;
+    std::unique_ptr<auction::AdditiveCost> cost;
+    std::unique_ptr<stats::UniformDistribution> theta;
+    std::unique_ptr<auction::EquilibriumStrategy> strategy;
+
+    explicit Market(std::size_t n) {
+        norms.emplace_back(0.0, kDataHi);
+        norms.emplace_back(0.0, 1.0);
+        scoring = std::make_unique<auction::ScaledProductScoring>(25.0, 2, norms);
+        cost = std::make_unique<auction::AdditiveCost>(
+            std::vector<double>{6.0 / kDataHi, 2.0});
+        theta = std::make_unique<stats::UniformDistribution>(0.5, 1.5);
+        auction::EquilibriumConfig eq;
+        eq.num_bidders = n;
+        eq.num_winners = kWinners;
+        strategy = std::make_unique<auction::EquilibriumStrategy>(
+            auction::EquilibriumSolver(*scoring, *cost, *theta, {1.0, 0.05},
+                                       {kDataHi, 1.0}, eq)
+                .solve());
+    }
+};
+
+mec::PopulationStore make_store(std::size_t n, const Market& market,
+                                std::uint64_t seed) {
+    mec::PopulationSpec spec;
+    spec.dynamics.resource_jitter = 0.08;
+    spec.dynamics.theta_jitter = 0.02;
+    mec::SyntheticDataSpec data;
+    data.data_lo = 20.0;
+    data.data_hi = kDataHi;
+    stats::Rng rng(seed);
+    return mec::PopulationStore(n, data, *market.theta, spec, rng);
+}
+
+auction::WinnerDeterminationConfig wire_config() {
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = kWinners;
+    wd.tie_break = auction::TieBreak::salted;
+    wd.full_ranking = false;
+    return wd;
+}
+
+bool outcomes_equal(const auction::AuctionOutcome& a,
+                    const auction::AuctionOutcome& b) {
+    if (a.winners.size() != b.winners.size()) return false;
+    for (std::size_t w = 0; w < a.winners.size(); ++w) {
+        if (a.winners[w].node != b.winners[w].node
+            || a.winners[w].score != b.winners[w].score
+            || a.winners[w].payment != b.winners[w].payment)
+            return false;
+    }
+    if (a.ranking.size() != b.ranking.size()) return false;
+    for (std::size_t r = 0; r < a.ranking.size(); ++r) {
+        if (a.ranking[r].bid.node != b.ranking[r].bid.node
+            || a.ranking[r].score != b.ranking[r].score)
+            return false;
+    }
+    return true;
+}
+
+struct PlanSpec {
+    const char* name;
+    const char* plan;  ///< FaultInjector::from_spec grammar; "" = clean
+};
+
+struct MatrixRow {
+    std::string name;
+    std::string plan;
+    std::size_t rounds = 0;
+    std::size_t rounds_degraded = 0;
+    std::size_t evictions = 0;
+    std::size_t respawns = 0;
+    std::size_t retired = 0;
+    std::size_t corrupt_frames = 0;
+    std::size_t frame_retries = 0;
+    double mean_recovery_rounds = 0.0;
+    std::size_t max_recovery_rounds = 0;
+    bool bit_identity_after_rejoin = true;
+    std::size_t clean_rounds_compared = 0;
+    double round_ms_mean = 0.0;
+};
+
+MatrixRow run_plan(const PlanSpec& plan_spec, const Market& market, std::size_t n,
+                   std::size_t shards, std::size_t rounds, std::uint64_t seed) {
+    MatrixRow row;
+    row.name = plan_spec.name;
+    row.plan = plan_spec.plan;
+    row.rounds = rounds;
+
+    mec::ShardSupervisorConfig sup;
+    if (plan_spec.plan[0] != '\0')
+        sup.faults = util::FaultInjector::from_spec(plan_spec.plan);
+    sup.max_respawns = kMaxRespawns;
+    sup.respawn_backoff_s = 0.0;  // eligible again at the next round boundary
+
+    const auction::WinnerDeterminationConfig wd = wire_config();
+    mec::ProcessShardAggregator faulty(make_store(n, market, seed), *market.scoring,
+                                       *market.strategy, wd,
+                                       {mec::ResourceDim::data_size,
+                                        mec::ResourceDim::category_proportion},
+                                       shards, kTimeoutS, sup);
+    mec::ProcessShardAggregator clean(make_store(n, market, seed), *market.scoring,
+                                      *market.strategy, wd,
+                                      {mec::ResourceDim::data_size,
+                                       mec::ResourceDim::category_proportion},
+                                      shards, /*shard_timeout_s=*/30.0);
+
+    stats::Rng rng_faulty(seed ^ 0xf00dULL);
+    stats::Rng rng_clean(seed ^ 0xf00dULL);
+    // down_since[s]: the round shard s stopped contributing, 0 = contributing.
+    std::vector<std::size_t> down_since(shards, 0);
+    std::vector<std::size_t> recoveries;
+    double total_s = 0.0;
+    for (std::size_t round = 1; round <= rounds; ++round) {
+        const auto start = clock_type::now();
+        const auction::AuctionOutcome& b =
+            faulty.run_round(round, kWinners, rng_faulty);
+        total_s += seconds_since(start);
+        const auction::AuctionOutcome& a = clean.run_round(round, kWinners, rng_clean);
+
+        const std::vector<std::size_t>& dropped = faulty.last_dropped_shards();
+        if (!dropped.empty()) ++row.rounds_degraded;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const bool down =
+                std::binary_search(dropped.begin(), dropped.end(), s);
+            if (down && down_since[s] == 0) down_since[s] = round;
+            if (!down && down_since[s] != 0) {
+                recoveries.push_back(round - down_since[s]);
+                down_since[s] = 0;
+            }
+        }
+        if (dropped.empty()) {
+            ++row.clean_rounds_compared;
+            if (!outcomes_equal(a, b)) row.bit_identity_after_rejoin = false;
+        }
+    }
+    const mec::ShardHealth& lifetime = faulty.lifetime_health();
+    row.evictions = lifetime.evictions;
+    row.respawns = lifetime.respawns;
+    row.retired = shards - faulty.live_shards();
+    row.corrupt_frames = lifetime.corrupt_frames;
+    row.frame_retries = lifetime.frame_retries;
+    if (!recoveries.empty()) {
+        std::size_t sum = 0;
+        for (const std::size_t r : recoveries) {
+            sum += r;
+            row.max_recovery_rounds = std::max(row.max_recovery_rounds, r);
+        }
+        row.mean_recovery_rounds =
+            static_cast<double>(sum) / static_cast<double>(recoveries.size());
+    }
+    row.round_ms_mean = total_s / static_cast<double>(rounds) * 1e3;
+    return row;
+}
+
+// ---------------------------------------------------------------------------
+// Ledger I/O: splice the `faults` section into BENCH_scale.json BEFORE the
+// `streaming` section (streaming_market truncates from its key to EOF when
+// it rewrites, so order is load-bearing).
+// ---------------------------------------------------------------------------
+
+std::string render_section(const std::vector<MatrixRow>& rows, bool smoke,
+                           std::size_t n, std::size_t shards, std::size_t rounds) {
+    std::ostringstream out;
+    char buf[768];
+    std::snprintf(buf, sizeof buf,
+                  "\"faults\": {\n"
+                  "    \"smoke\": %s,\n"
+                  "    \"n\": %zu,\n"
+                  "    \"k\": %zu,\n"
+                  "    \"shards\": %zu,\n"
+                  "    \"rounds\": %zu,\n"
+                  "    \"timeout_s\": %.4g,\n"
+                  "    \"max_respawns\": %zu,\n"
+                  "    \"rows\": [\n",
+                  smoke ? "true" : "false", n, kWinners, shards, rounds, kTimeoutS,
+                  kMaxRespawns);
+    out << buf;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const MatrixRow& row = rows[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "      {\"name\": \"%s\", \"plan\": \"%s\", \"rounds\": %zu, "
+            "\"rounds_degraded\": %zu, \"evictions\": %zu, \"respawns\": %zu, "
+            "\"retired\": %zu, \"corrupt_frames\": %zu, \"frame_retries\": %zu, "
+            "\"mean_recovery_rounds\": %.4g, \"max_recovery_rounds\": %zu, "
+            "\"bit_identity_after_rejoin\": %s, \"clean_rounds_compared\": %zu, "
+            "\"round_ms_mean\": %.4g}%s\n",
+            row.name.c_str(), row.plan.c_str(), row.rounds, row.rounds_degraded,
+            row.evictions, row.respawns, row.retired, row.corrupt_frames,
+            row.frame_retries, row.mean_recovery_rounds, row.max_recovery_rounds,
+            row.bit_identity_after_rejoin ? "true" : "false",
+            row.clean_rounds_compared, row.round_ms_mean,
+            i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    out << "    ]\n  }";
+    return out.str();
+}
+
+/// Remove an existing top-level `key` object from `text` (brace-matched),
+/// including the comma that introduced it.
+std::string remove_section(std::string text, const std::string& key) {
+    const std::size_t at = text.find("\"" + key + "\"");
+    if (at == std::string::npos) return text;
+    const std::size_t open = text.find('{', at);
+    if (open == std::string::npos) return text;
+    int depth = 0;
+    std::size_t end = open;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '{') ++depth;
+        if (text[i] == '}' && --depth == 0) {
+            end = i;
+            break;
+        }
+    }
+    std::size_t start = text.rfind(',', at);
+    if (start == std::string::npos) start = at;
+    std::size_t after = end + 1;
+    // Swallow a trailing comma when the section was not the last one.
+    while (after < text.size()
+           && (std::isspace(static_cast<unsigned char>(text[after])) != 0))
+        ++after;
+    if (start == at && after < text.size() && text[after] == ',') ++after;
+    return text.substr(0, start) + text.substr(start == at ? after : end + 1);
+}
+
+void write_ledger(const std::string& path, const std::string& section) {
+    std::string text;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            text = buffer.str();
+        }
+    }
+    text = remove_section(std::move(text), "faults");
+
+    std::string merged;
+    const std::size_t streaming_at = text.find("\"streaming\"");
+    if (streaming_at != std::string::npos) {
+        merged = text.substr(0, streaming_at) + section + ",\n  "
+                 + text.substr(streaming_at);
+    } else if (const std::size_t close = text.rfind('}');
+               close != std::string::npos) {
+        std::string head = text.substr(0, close);
+        while (!head.empty()
+               && std::isspace(static_cast<unsigned char>(head.back())) != 0)
+            head.pop_back();
+        merged = head + ",\n  " + section + "\n}\n";
+    } else {
+        merged = "{\n  " + section + "\n}\n";
+    }
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "fault_matrix: cannot write " << path << '\n';
+        std::exit(1);
+    }
+    out << merged;
+    std::cout << "\nwrote the faults section of " << path << '\n';
+}
+
+/// Gate fresh rows and the committed ledger on semantics (no timing):
+/// every fresh row keeps bit-identity on its clean rounds; plans with
+/// positive corruption rates detected (and only detected) their corrupt
+/// frames; plans with positive crash rates evicted AND respawned workers;
+/// the committed section exists with every fresh row name present and
+/// bit-identical.
+bool check_against(const std::string& text, const std::vector<MatrixRow>& rows) {
+    bool ok = true;
+    const std::size_t section_at = text.find("\"faults\"");
+    if (section_at == std::string::npos) {
+        std::cerr << "fault_matrix --check: committed ledger has no \"faults\""
+                     " section\n";
+        return false;
+    }
+    const std::string section = text.substr(section_at);
+    for (const MatrixRow& row : rows) {
+        if (!row.bit_identity_after_rejoin || row.clean_rounds_compared == 0) {
+            std::cerr << "fault_matrix --check: plan '" << row.name
+                      << "' diverged from the never-faulted twin on a round with"
+                         " all shards live (or never had one)\n";
+            ok = false;
+        }
+        const bool wants_corruption =
+            row.plan.find("corrupt=") != std::string::npos
+            || row.plan.find("truncate=") != std::string::npos;
+        if (wants_corruption && (row.corrupt_frames == 0 || row.frame_retries == 0)) {
+            std::cerr << "fault_matrix --check: plan '" << row.name
+                      << "' injected corrupt frames but none were detected/"
+                         "retried\n";
+            ok = false;
+        }
+        const bool wants_crashes = row.plan.find("crash=") != std::string::npos;
+        if (wants_crashes && (row.evictions == 0 || row.respawns == 0)) {
+            std::cerr << "fault_matrix --check: plan '" << row.name
+                      << "' injected crashes but the supervisor recorded no"
+                         " eviction+respawn cycle\n";
+            ok = false;
+        }
+        const std::string tag = "\"name\": \"" + row.name + "\"";
+        const std::size_t at = section.find(tag);
+        if (at == std::string::npos) {
+            std::cerr << "fault_matrix --check: committed faults section is"
+                         " missing plan '" << row.name << "'\n";
+            ok = false;
+            continue;
+        }
+        const std::size_t end = section.find('}', at);
+        if (section.substr(at, end - at)
+                .find("\"bit_identity_after_rejoin\": true")
+            == std::string::npos) {
+            std::cerr << "fault_matrix --check: committed plan '" << row.name
+                      << "' lacks bit_identity_after_rejoin = true\n";
+            ok = false;
+        }
+    }
+    if (ok)
+        std::cout << "--check: faults section present, bit-identity and"
+                     " detection gates hold\n";
+    return ok;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string out_path;
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+            check_path = argv[++i];
+        } else {
+            std::cerr << "usage: fault_matrix [--smoke] [--out path.json]"
+                         " [--check committed.json]\n";
+            return 1;
+        }
+    }
+    if (out_path.empty()) out_path = smoke ? "BENCH_scale_smoke.json" : "BENCH_scale.json";
+
+    const std::size_t n = smoke ? 6'000 : 20'000;
+    const std::size_t shards = smoke ? 4 : 8;
+    const std::size_t rounds = smoke ? 6 : 14;
+    const std::uint64_t seed = 0x17ULL;
+
+    // The matrix: one clean baseline, crash churn at two rates, wire
+    // corruption, and a flaky-latency mix. Rates are per shard-round.
+    const std::vector<PlanSpec> plans = {
+        {"clean", ""},
+        {"crash_5", "seed=17,crash=0.05"},
+        {"crash_15", "seed=17,crash=0.15"},
+        {"corrupt", "seed=19,corrupt=0.1,truncate=0.05"},
+        {"flaky", "seed=23,stall=0.08,stall_s=1,delay=0.15,delay_s=0.005"},
+    };
+
+    std::cout << "fault_matrix: N=" << n << " K=" << kWinners << " shards="
+              << shards << " rounds=" << rounds << " timeout=" << kTimeoutS
+              << "s max_respawns=" << kMaxRespawns << (smoke ? " (smoke)" : "")
+              << "\n\n";
+    const Market market(n);
+    std::vector<MatrixRow> rows;
+    rows.reserve(plans.size());
+    for (const PlanSpec& plan : plans) {
+        MatrixRow row = run_plan(plan, market, n, shards, rounds, seed);
+        std::printf(
+            "  %-9s degraded %2zu/%zu  evict %2zu  respawn %2zu  retired %zu  "
+            "corrupt %2zu  retries %2zu  recover %.2f rds  identical %s\n",
+            row.name.c_str(), row.rounds_degraded, row.rounds, row.evictions,
+            row.respawns, row.retired, row.corrupt_frames, row.frame_retries,
+            row.mean_recovery_rounds, row.bit_identity_after_rejoin ? "yes" : "NO");
+        rows.push_back(std::move(row));
+    }
+
+    bool ok = true;
+    if (!check_path.empty()) {
+        std::ifstream in(check_path);
+        if (!in) {
+            std::cerr << "fault_matrix --check: cannot read " << check_path << '\n';
+            ok = false;
+        } else {
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            ok = check_against(buffer.str(), rows);
+        }
+    }
+    if (check_path.empty() || out_path != check_path)
+        write_ledger(out_path, render_section(rows, smoke, n, shards, rounds));
+    else
+        std::cout << "(--check against the --out target: ledger left as"
+                     " committed)\n";
+    return ok ? 0 : 1;
+}

@@ -88,6 +88,11 @@ struct SimulationConfig {
     /// simulator has no wall clock, so its latency table stays empty and
     /// the discount is inert; the knob mirrors for spec round-trips.
     double latency_discount = 0.0;
+    /// Fault/supervision knobs (see AuctionSpec::fault_plan and friends).
+    std::string fault_plan;
+    double shard_respawn_backoff_s = 0.0;
+    std::size_t shard_max_respawns = 0;
+    std::size_t shard_quorum = 0;
     double resource_jitter = 0.08; ///< MEC dynamics
     double theta_jitter = 0.02;
 
@@ -155,6 +160,11 @@ struct RealWorldConfig {
     std::size_t market_shards = 1;
     /// Per-shard bid deadline in seconds (0 = none; see AuctionSpec).
     double shard_timeout_s = 0.0;
+    /// Fault/supervision knobs (see AuctionSpec::fault_plan and friends).
+    std::string fault_plan;
+    double shard_respawn_backoff_s = 0.0;
+    std::size_t shard_max_respawns = 0;
+    std::size_t shard_quorum = 0;
     double resource_jitter = 0.10;
     double theta_jitter = 0.02;
 

@@ -98,6 +98,24 @@ struct AuctionSpec {
     /// per-node latencies from its wall-clock model; elsewhere the latency
     /// table is empty and the discount is a no-op.
     double latency_discount = 0.0;
+    /// Deterministic fault plan for the sharded market
+    /// (`util::FaultInjector::from_spec` grammar, e.g.
+    /// "seed=7,crash=0.02,stall=0.01,stall_s=2"). The in-process engines
+    /// install it as the virtual-latency clock (crashes and long stalls
+    /// drop the shard for the round); the cross-process aggregator bakes
+    /// the same plan into its workers, so a scenario replays bit-exactly
+    /// in either world. Empty disables. Requires shards > 1.
+    std::string fault_plan;
+    /// Supervisor: base delay before an evicted shard worker is re-forked;
+    /// doubles per consecutive respawn (capped). 0 respawns at the next
+    /// round boundary. Cross-process aggregator only.
+    double shard_respawn_backoff_s = 0.0;
+    /// Supervisor: respawn budget per shard worker; 0 keeps eviction
+    /// permanent. Cross-process aggregator only.
+    std::size_t shard_max_respawns = 0;
+    /// Fail-fast quorum: a round that ends with fewer live shards throws
+    /// instead of silently shrinking the market; 0 disables.
+    std::size_t shard_quorum = 0;
 };
 
 /// The learning workload: dataset, split sizes and SGD hyperparameters.

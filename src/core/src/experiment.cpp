@@ -10,6 +10,7 @@
 
 #include "fmore/auction/mechanism.hpp"
 #include "fmore/fl/policy.hpp"
+#include "fmore/util/fault_injector.hpp"
 
 namespace fmore::core {
 
@@ -35,7 +36,11 @@ bool operator==(const AuctionSpec& a, const AuctionSpec& b) {
            && a.payment_rule == b.payment_rule && a.win_model == b.win_model
            && a.full_scoreboard == b.full_scoreboard && a.shards == b.shards
            && a.shard_timeout_s == b.shard_timeout_s
-           && a.latency_discount == b.latency_discount;
+           && a.latency_discount == b.latency_discount
+           && a.fault_plan == b.fault_plan
+           && a.shard_respawn_backoff_s == b.shard_respawn_backoff_s
+           && a.shard_max_respawns == b.shard_max_respawns
+           && a.shard_quorum == b.shard_quorum;
 }
 
 bool operator==(const TrainingSpec& a, const TrainingSpec& b) {
@@ -122,6 +127,10 @@ SimulationConfig to_simulation_config(const ExperimentSpec& spec) {
     config.market_shards = spec.auction.shards;
     config.shard_timeout_s = spec.auction.shard_timeout_s;
     config.latency_discount = spec.auction.latency_discount;
+    config.fault_plan = spec.auction.fault_plan;
+    config.shard_respawn_backoff_s = spec.auction.shard_respawn_backoff_s;
+    config.shard_max_respawns = spec.auction.shard_max_respawns;
+    config.shard_quorum = spec.auction.shard_quorum;
     config.resource_jitter = spec.population.resource_jitter;
     config.theta_jitter = spec.population.theta_jitter;
     config.local_epochs = spec.training.local_epochs;
@@ -165,6 +174,10 @@ RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
     config.market_shards = spec.auction.shards;
     config.shard_timeout_s = spec.auction.shard_timeout_s;
     config.latency_discount = spec.auction.latency_discount;
+    config.fault_plan = spec.auction.fault_plan;
+    config.shard_respawn_backoff_s = spec.auction.shard_respawn_backoff_s;
+    config.shard_max_respawns = spec.auction.shard_max_respawns;
+    config.shard_quorum = spec.auction.shard_quorum;
     config.resource_jitter = spec.population.resource_jitter;
     config.theta_jitter = spec.population.theta_jitter;
     config.local_epochs = spec.training.local_epochs;
@@ -216,6 +229,10 @@ ExperimentSpec from_simulation_config(const SimulationConfig& config) {
     spec.auction.shards = config.market_shards;
     spec.auction.shard_timeout_s = config.shard_timeout_s;
     spec.auction.latency_discount = config.latency_discount;
+    spec.auction.fault_plan = config.fault_plan;
+    spec.auction.shard_respawn_backoff_s = config.shard_respawn_backoff_s;
+    spec.auction.shard_max_respawns = config.shard_max_respawns;
+    spec.auction.shard_quorum = config.shard_quorum;
     spec.training.dataset = config.dataset;
     spec.training.train_samples = config.train_samples;
     spec.training.test_samples = config.test_samples;
@@ -257,6 +274,10 @@ ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
     spec.auction.shards = config.market_shards;
     spec.auction.shard_timeout_s = config.shard_timeout_s;
     spec.auction.latency_discount = config.latency_discount;
+    spec.auction.fault_plan = config.fault_plan;
+    spec.auction.shard_respawn_backoff_s = config.shard_respawn_backoff_s;
+    spec.auction.shard_max_respawns = config.shard_max_respawns;
+    spec.auction.shard_quorum = config.shard_quorum;
     spec.training.dataset = config.dataset;
     spec.training.train_samples = config.train_samples;
     spec.training.test_samples = config.test_samples;
@@ -373,6 +394,29 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
         fail("auction.latency_discount = " + num(auc.latency_discount)
              + ": must be finite and >= 0 (0 disables latency-discounted "
                "pricing)");
+    if (!auc.fault_plan.empty()) {
+        if (auc.shards <= 1)
+            fail("auction.fault_plan = '" + auc.fault_plan + "' with auction.shards = "
+                 + std::to_string(auc.shards)
+                 + ": fault injection targets shard workers, so it needs a sharded "
+                   "market (shards > 1)");
+        try {
+            (void)util::FaultInjector::from_spec(auc.fault_plan);
+        } catch (const std::invalid_argument& error) {
+            fail("auction.fault_plan = '" + auc.fault_plan + "': " + error.what());
+        }
+    }
+    if (bad(auc.shard_respawn_backoff_s) || auc.shard_respawn_backoff_s < 0.0)
+        fail("auction.shard_respawn_backoff_s = " + num(auc.shard_respawn_backoff_s)
+             + ": must be finite and >= 0 (0 respawns at the next round boundary)");
+    if ((auc.shard_max_respawns > 0 || auc.shard_quorum > 0) && auc.shards <= 1)
+        fail("auction.shard_max_respawns/shard_quorum set with auction.shards = "
+             + std::to_string(auc.shards)
+             + ": shard supervision needs a sharded market (shards > 1)");
+    if (auc.shard_quorum > auc.shards)
+        fail("auction.shard_quorum = " + std::to_string(auc.shard_quorum)
+             + " exceeds auction.shards = " + std::to_string(auc.shards)
+             + ": a quorum above the shard count can never be met");
     if (auc.mechanism == "first_score"
         && auc.payment_rule == auction::PaymentRule::second_price)
         fail("auction.mechanism = 'first_score' but auction.payment_rule = "
@@ -647,6 +691,13 @@ const std::vector<Field>& fields() {
         FMORE_FIELD_SIZE("auction.shards", auction.shards),
         FMORE_FIELD_DOUBLE("auction.shard_timeout_s", auction.shard_timeout_s),
         FMORE_FIELD_DOUBLE("auction.latency_discount", auction.latency_discount),
+        Field{"auction.fault_plan",
+              [](const ExperimentSpec& s) { return s.auction.fault_plan; },
+              [](ExperimentSpec& s, const std::string& v) { s.auction.fault_plan = v; }},
+        FMORE_FIELD_DOUBLE("auction.shard_respawn_backoff_s",
+                           auction.shard_respawn_backoff_s),
+        FMORE_FIELD_SIZE("auction.shard_max_respawns", auction.shard_max_respawns),
+        FMORE_FIELD_SIZE("auction.shard_quorum", auction.shard_quorum),
         Field{"auction.full_scoreboard",
               [](const ExperimentSpec& s) {
                   return std::string(s.auction.full_scoreboard ? "true" : "false");

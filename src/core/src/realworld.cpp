@@ -239,6 +239,11 @@ fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
                                    mec::ResourceDim::data_size},
                 /*data_dimension=*/2, config_.market_shards);
             sharded->set_shard_timeout(config_.shard_timeout_s);
+            if (!config_.fault_plan.empty())
+                sharded->set_fault_injector(
+                    util::FaultInjector::from_spec(config_.fault_plan));
+            if (config_.shard_quorum > 0)
+                sharded->set_min_live_shards(config_.shard_quorum);
             return sharded;
         }
         return std::make_unique<mec::AuctionSelector>(

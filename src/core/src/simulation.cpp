@@ -235,6 +235,11 @@ fl::RunResult SimulationTrial::run(const std::string& policy_name) {
                                    mec::ResourceDim::category_proportion},
                 /*data_dimension=*/0, config_.market_shards);
             sharded->set_shard_timeout(config_.shard_timeout_s);
+            if (!config_.fault_plan.empty())
+                sharded->set_fault_injector(
+                    util::FaultInjector::from_spec(config_.fault_plan));
+            if (config_.shard_quorum > 0)
+                sharded->set_min_live_shards(config_.shard_quorum);
             return sharded;
         }
         return std::make_unique<mec::AuctionSelector>(

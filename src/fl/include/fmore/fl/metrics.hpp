@@ -29,6 +29,28 @@ struct RoundMetrics {
     SelectionRecord selection;
 };
 
+/// Run-level health summary distilled from the per-round selection
+/// telemetry: the streaming close-reason mix and tail close latency (the
+/// adaptive-quorum seed — a later PR tunes `timing.min_updates` from
+/// these) next to the shard-supervision counters.
+struct RoundHealth {
+    std::size_t rounds = 0;
+    /// Rounds that carried streaming close telemetry (non-empty
+    /// close_reason); the fractions below are over these rounds.
+    std::size_t streaming_rounds = 0;
+    double quorum_close_fraction = 0.0;
+    double deadline_close_fraction = 0.0;
+    /// Virtual close-time percentiles over the streaming rounds.
+    double close_p50_s = 0.0;
+    double close_p99_s = 0.0;
+    /// Rounds that lost at least one market shard.
+    std::size_t rounds_degraded = 0;
+    std::size_t shard_evictions = 0;
+    std::size_t shard_respawns = 0;
+    std::size_t corrupt_frames = 0;
+    std::size_t frame_retries = 0;
+};
+
 /// Full history of one federated run.
 struct RunResult {
     std::vector<RoundMetrics> rounds;
@@ -41,6 +63,8 @@ struct RunResult {
     /// Cumulative wall-clock until `target` accuracy (MEC experiments).
     [[nodiscard]] std::optional<double> seconds_to_accuracy(double target) const;
     [[nodiscard]] double total_seconds() const;
+    /// Aggregate the per-round close/supervision telemetry.
+    [[nodiscard]] RoundHealth health() const;
 };
 
 } // namespace fmore::fl

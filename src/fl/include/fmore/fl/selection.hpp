@@ -19,6 +19,27 @@ struct SelectedClient {
     std::optional<std::size_t> train_samples;
 };
 
+/// Health counters of one sharded market round: what the supervisor saw,
+/// detected and repaired while assembling the round. All zero for
+/// unsharded selectors. The mec layer aliases this as `mec::ShardHealth`
+/// (fl sits below mec in the module order, so the struct lives here where
+/// `SelectionRecord` can carry it).
+struct ShardHealth {
+    /// Shards whose head made it into this round (0 = unsharded market).
+    std::size_t live_shards = 0;
+    /// Frames whose checksum or self-described length failed verification.
+    /// Detected frames are NEVER consumed — they are re-requested once,
+    /// then the worker is evicted.
+    std::size_t corrupt_frames = 0;
+    /// Bounded re-requests issued after a corrupt or short frame.
+    std::size_t frame_retries = 0;
+    /// Workers killed and unsubscribed this round (deadline miss, death,
+    /// or a second bad frame).
+    std::size_t evictions = 0;
+    /// Workers re-forked and re-synced with round state this round.
+    std::size_t respawns = 0;
+};
+
 /// Result of one selection round, including the full score board when the
 /// strategy is auction-based (Fig. 8 plots the population-vs-winner score
 /// distributions).
@@ -37,6 +58,15 @@ struct SelectionRecord {
     /// selectors only; empty = full market). A degraded round still
     /// selects winners — from the responsive shards' bids.
     std::vector<std::size_t> dropped_shards;
+    /// Supervision counters for the round (sharded selectors only).
+    ShardHealth shard_health;
+    /// Why a streaming round stopped accepting bids ("quorum", "deadline",
+    /// "exhausted"); empty for batch selectors.
+    std::string close_reason;
+    /// Virtual time at which the streaming round closed.
+    double close_time_s = 0.0;
+    /// Bids that arrived before the streaming round closed.
+    std::size_t arrived_bids = 0;
 };
 
 /// Strategy interface: which K clients train in a given round.

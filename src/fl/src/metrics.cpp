@@ -1,8 +1,24 @@
 #include "fmore/fl/metrics.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fmore::fl {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted sample (copied and sorted).
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+} // namespace
 
 double RunResult::final_accuracy() const {
     if (rounds.empty()) throw std::logic_error("RunResult: empty run");
@@ -34,6 +50,36 @@ double RunResult::total_seconds() const {
     double elapsed = 0.0;
     for (const RoundMetrics& r : rounds) elapsed += r.round_seconds;
     return elapsed;
+}
+
+RoundHealth RunResult::health() const {
+    RoundHealth h;
+    h.rounds = rounds.size();
+    std::size_t quorum = 0;
+    std::size_t deadline = 0;
+    std::vector<double> close_times;
+    for (const RoundMetrics& r : rounds) {
+        const SelectionRecord& sel = r.selection;
+        if (!sel.close_reason.empty()) {
+            ++h.streaming_rounds;
+            if (sel.close_reason == "quorum") ++quorum;
+            if (sel.close_reason == "deadline") ++deadline;
+            close_times.push_back(sel.close_time_s);
+        }
+        if (!sel.dropped_shards.empty()) ++h.rounds_degraded;
+        h.shard_evictions += sel.shard_health.evictions;
+        h.shard_respawns += sel.shard_health.respawns;
+        h.corrupt_frames += sel.shard_health.corrupt_frames;
+        h.frame_retries += sel.shard_health.frame_retries;
+    }
+    if (h.streaming_rounds > 0) {
+        const double denom = static_cast<double>(h.streaming_rounds);
+        h.quorum_close_fraction = static_cast<double>(quorum) / denom;
+        h.deadline_close_fraction = static_cast<double>(deadline) / denom;
+        h.close_p50_s = percentile(close_times, 50.0);
+        h.close_p99_s = percentile(close_times, 99.0);
+    }
+    return h;
 }
 
 } // namespace fmore::fl

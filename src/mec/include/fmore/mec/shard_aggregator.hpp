@@ -2,12 +2,13 @@
 
 /// @file shard_aggregator.hpp
 /// Multi-process shard market: S forked worker processes, each owning one
-/// contiguous shard of the population, speaking a thin pipe protocol with
-/// the aggregator. Per round the wire carries
-///  - down: one fixed-size request (round, K, drift salt, tie salt, head
-///    limit) plus any newly banned global node ids;
-///  - up: the shard's `ShardHead` — at most `ranking_cutoff` rows, i.e.
-///    K(+1) rows per shard, NOT N bids.
+/// contiguous shard of the population, speaking the checksummed frame
+/// protocol of wire_format.hpp with the aggregator. Per round the wire
+/// carries
+///  - down: one `request` frame (round, K, drift salt, tie salt, head
+///    limit, newly banned global node ids);
+///  - up: one `head` frame — the shard's `ShardHead`, at most
+///    `ranking_cutoff` rows, i.e. K(+1) rows per shard, NOT N bids.
 /// Everything else a round needs is position-independent by construction:
 /// drift streams are keyed by (salt, global id) and `TieBreak::salted`
 /// tie-break keys by (salt, global id), so 16 bytes of salts replace both
@@ -19,16 +20,31 @@
 /// whose coordinator needs only the bounded heads. Everything else belongs
 /// in the in-process `ShardedAuctionSelector`.
 ///
-/// Failure semantics: a shard that misses `shard_timeout_s` (stalled) or
-/// dies mid-round is evicted — SIGKILLed, its pipe closed, reported in
-/// `last_dropped_shards()` — and the round completes over the responsive
-/// shards' heads. Eviction is permanent (a half-written pipe cannot be
-/// resynchronized); un-degraded rounds are bit-identical to the monolithic
-/// salted market, degraded rounds are the exact market over the survivors.
+/// Failure semantics (the supervisor):
+///  - A corrupt-but-framed reply (payload checksum mismatch — e.g. a
+///    bit-flipped or self-described-short frame) is NEVER consumed; the
+///    aggregator re-requests it ONCE (`resend`), then evicts.
+///  - A shard that misses `shard_timeout_s`, dies (EOF), or desyncs the
+///    stream (corrupt header) is evicted — SIGKILLed, pipes closed,
+///    reported in `last_dropped_shards()` — and the round completes over
+///    the responsive shards' heads.
+///  - With `ShardSupervisorConfig::max_respawns > 0` eviction is no longer
+///    permanent: the supervisor re-forks the worker from the pristine
+///    shard under capped exponential backoff and re-syncs it with one
+///    `sync` frame (the full drift-salt history and ban list). Because
+///    drift is keyed by (salt, global id), replaying the salts reproduces
+///    the shard state bit-exactly — a rejoined shard's heads are
+///    indistinguishable from one that never died.
+///  - A round whose live-shard count falls below
+///    `ShardSupervisorConfig::min_live_shards` throws instead of silently
+///    shrinking the market.
+/// Every detection/retry/eviction/respawn is counted in `ShardHealth`
+/// (`last_health()` per round, `lifetime_health()` cumulative).
 ///
-/// Fault injection for tests: a `ShardFault` plan is baked into each
-/// worker at fork time — at the given round the worker stalls `stall_s`
-/// seconds before answering, or exits without answering (`die`).
+/// Fault injection: a deterministic `util::FaultInjector` plan is baked
+/// into each worker at fork time; the same plan drives the in-process
+/// `ShardedAuctionSelector` virtual clock, so any failure scenario is
+/// bit-replayable from a spec seed.
 
 #include <cstdint>
 #include <memory>
@@ -36,18 +52,31 @@
 
 #include "fmore/auction/shard_merge.hpp"
 #include "fmore/auction/winner_determination.hpp"
+#include "fmore/fl/selection.hpp"
 #include "fmore/mec/auction_selector.hpp"
 #include "fmore/mec/population_store.hpp"
+#include "fmore/util/fault_injector.hpp"
 
 namespace fmore::mec {
 
-/// One scripted worker misbehaviour (tests): at `round`, shard `shard`
-/// sleeps `stall_s` seconds before replying, or exits without replying.
-struct ShardFault {
-    std::size_t shard = 0;
-    std::size_t round = 0;  ///< 1-based round the fault fires in
-    double stall_s = 0.0;
-    bool die = false;
+/// The supervision counters live in fl (where `SelectionRecord` can carry
+/// them); this is the market-layer name for the same record.
+using ShardHealth = fl::ShardHealth;
+
+/// Supervision policy of the cross-process market.
+struct ShardSupervisorConfig {
+    /// Base respawn delay after an eviction; doubles per consecutive
+    /// respawn of the same shard, capped at 64x. 0 respawns at the next
+    /// round boundary (deterministic tests).
+    double respawn_backoff_s = 0.0;
+    /// Respawn budget per shard; 0 keeps the legacy permanent-eviction
+    /// behaviour. A shard that exhausts its budget is retired.
+    std::size_t max_respawns = 0;
+    /// Fail-fast quorum: a round ending with fewer live shards throws
+    /// std::runtime_error; 0 disables.
+    std::size_t min_live_shards = 0;
+    /// Deterministic fault plan baked into every worker at fork time.
+    util::FaultInjector faults;
 };
 
 class ProcessShardAggregator {
@@ -55,8 +84,10 @@ public:
     /// Splits `store` into `num_shards` even shards and forks one worker
     /// per shard (workers inherit their shard copy-on-write; they never
     /// touch the thread pool — bid collection in a worker is serial).
+    /// When respawns are enabled the aggregator retains the pristine shard
+    /// splits as fork sources.
     /// @throws std::invalid_argument when the spec is not wire-friendly
-    ///         (see file comment) or num_shards is out of range
+    ///         (see file comment) or the supervisor config is out of range
     /// @throws std::runtime_error on pipe/fork failure
     ProcessShardAggregator(const PopulationStore& store,
                            const auction::ScoringRule& scoring,
@@ -64,29 +95,42 @@ public:
                            auction::WinnerDeterminationConfig wd_config,
                            QualityLayout layout, std::size_t num_shards,
                            double shard_timeout_s,
-                           std::vector<ShardFault> faults = {});
+                           ShardSupervisorConfig supervisor = {});
     ~ProcessShardAggregator();
     ProcessShardAggregator(const ProcessShardAggregator&) = delete;
     ProcessShardAggregator& operator=(const ProcessShardAggregator&) = delete;
 
-    /// One market round: request heads from every live worker, evict the
-    /// ones that miss the deadline, merge the rest, select and price.
+    /// One market round: respawn eligible evicted workers, request heads
+    /// from every live worker, evict the ones that miss the deadline or
+    /// fail verification twice, merge the rest, select and price.
     /// Consumes the same generator draws as the monolithic salted round
     /// (one drift salt when round > 1, one tie salt); the returned outcome
-    /// is owned by the aggregator and overwritten next round.
+    /// is owned by the aggregator and overwritten next round. Rounds must
+    /// be sequential from 1 (the salt history a respawn replays assumes
+    /// it).
+    /// @throws std::runtime_error when live shards fall below the quorum
     [[nodiscard]] const auction::AuctionOutcome& run_round(std::size_t round,
                                                            std::size_t k,
                                                            stats::Rng& rng);
 
-    /// Shards evicted by the most recent round (ascending shard index).
+    /// Shards that contributed no head to the most recent round
+    /// (ascending shard index).
     [[nodiscard]] const std::vector<std::size_t>& last_dropped_shards() const;
-    /// Shards evicted over the aggregator's lifetime.
+    /// Supervision counters of the most recent round.
+    [[nodiscard]] const ShardHealth& last_health() const;
+    /// Supervision counters accumulated over the aggregator's lifetime
+    /// (live_shards is the current count, not a sum).
+    [[nodiscard]] const ShardHealth& lifetime_health() const;
+    /// Workers evicted over the aggregator's lifetime (respawned workers
+    /// still count their evictions).
     [[nodiscard]] std::size_t dead_shards() const;
+    /// Workers currently alive.
+    [[nodiscard]] std::size_t live_shards() const;
     [[nodiscard]] std::size_t num_shards() const;
     [[nodiscard]] std::size_t population_size() const;
 
     /// Exclude a node from all future rounds; shipped to its shard with
-    /// the next request.
+    /// the next request (and to every respawned worker with its sync).
     void ban(auction::NodeId node);
 
 private:

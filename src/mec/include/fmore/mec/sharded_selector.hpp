@@ -52,6 +52,7 @@
 #include "fmore/mec/auction_selector.hpp"
 #include "fmore/mec/blacklist.hpp"
 #include "fmore/mec/population.hpp"
+#include "fmore/util/fault_injector.hpp"
 
 namespace fmore::mec {
 
@@ -118,6 +119,19 @@ public:
     void set_virtual_latency(std::function<double(std::size_t, std::size_t)> latency) {
         latency_ = std::move(latency);
     }
+    /// Install a deterministic fault plan (`auction.fault_plan`) as the
+    /// virtual clock: crashes never answer, stalls and delays answer after
+    /// their duration, wire-only faults (truncate/bit-flip) have no
+    /// in-process analogue and answer at `base_latency_s`. Same plan, same
+    /// rounds dropped, every replay.
+    void set_fault_injector(const util::FaultInjector& faults,
+                            double base_latency_s = 0.0) {
+        set_virtual_latency(faults.latency_model(base_latency_s));
+    }
+    /// Fail-fast quorum (`auction.shard_quorum`): a round that drops below
+    /// `quorum` live shards throws instead of silently shrinking the
+    /// market; 0 disables.
+    void set_min_live_shards(std::size_t quorum) { min_live_shards_ = quorum; }
     /// Shards dropped by the most recent round, ascending.
     [[nodiscard]] const std::vector<std::size_t>& last_dropped_shards() const {
         return last_dropped_;
@@ -164,6 +178,7 @@ private:
     bool gather_lane_ = false;  ///< which lane the last round took
 
     double shard_timeout_s_ = 0.0;
+    std::size_t min_live_shards_ = 0;
     std::function<double(std::size_t, std::size_t)> latency_;
     std::vector<std::size_t> last_dropped_;
     std::vector<std::uint8_t> dropped_flag_;

@@ -1,0 +1,209 @@
+#pragma once
+
+/// @file wire_format.hpp
+/// The shard market's pipe protocol: CRC32-checksummed, length-prefixed,
+/// typed frames. Every message between the aggregator and a worker is one
+/// frame — a fixed 24-byte header followed by `payload_size` bytes:
+///
+///   magic(u32) type(u32) payload_size(u64) payload_crc(u32) header_crc(u32)
+///
+/// `header_crc` covers the first 20 header bytes, so a flipped bit in the
+/// length field is caught BEFORE it desynchronizes the stream;
+/// `payload_crc` covers the payload, so a corrupt or self-described-short
+/// body is caught before a single byte of it is consumed. All reads and
+/// writes loop over EINTR and short transfers.
+///
+/// Verification outcomes map to recovery actions (shard_aggregator.cpp):
+///  - `bad_payload`: the stream is still framed (the header was good, the
+///    advertised bytes were drained) — recoverable by one re-request;
+///  - `bad_header` / `eof` / `timeout`: the frame boundary is lost or the
+///    peer is gone — the worker is evicted and respawned by the supervisor.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fmore::mec::wire {
+
+inline constexpr std::uint32_t kMagic = 0x464d4f52u;  // "FMOR"
+
+/// Frame types. Downlink: request, sync. Uplink: head, nack. `resend` asks
+/// a worker to repeat its last head after a payload-checksum failure.
+enum class FrameType : std::uint32_t {
+    request = 1,  ///< round request + newly banned ids
+    sync = 2,     ///< respawn re-sync: full salt history + full ban list
+    head = 3,     ///< serialized ShardHead
+    resend = 4,   ///< "your last head frame was corrupt, send it again"
+    nack = 5,     ///< "your frame was corrupt, send the request again"
+};
+
+struct FrameHeader {
+    std::uint32_t magic = kMagic;
+    std::uint32_t type = 0;
+    std::uint64_t payload_size = 0;
+    std::uint32_t payload_crc = 0;
+    std::uint32_t header_crc = 0;
+};
+static_assert(sizeof(FrameHeader) == 24, "wire layout is part of the protocol");
+
+/// A frame larger than this is treated as a corrupt header (a real head is
+/// bounded by ranking_cutoff rows; a gigabyte length is a flipped bit).
+inline constexpr std::uint64_t kMaxPayload = 1ull << 30;
+
+enum class ReadStatus {
+    ok,
+    eof,          ///< peer closed the pipe (or read error)
+    timeout,      ///< deadline expired mid-frame
+    bad_header,   ///< magic/header-CRC/size check failed — stream desynced
+    bad_payload,  ///< payload CRC mismatch — stream still framed
+};
+
+/// Software CRC32 (IEEE 802.3 polynomial, reflected) — no zlib dependency.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+/// Write exactly `size` bytes, looping over EINTR and short writes. With
+/// SIGPIPE ignored a dead peer surfaces as EPIPE -> false, not a signal.
+inline bool write_all(int fd, const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (size > 0) {
+        const ssize_t n = ::write(fd, p, size);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Blocking read of exactly `size` bytes; false on EOF or error.
+inline bool read_all(int fd, void* data, std::size_t size) {
+    auto* p = static_cast<std::uint8_t*>(data);
+    while (size > 0) {
+        const ssize_t n = ::read(fd, p, size);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Deadline-bounded read of exactly `size` bytes (aggregator side).
+inline ReadStatus read_all_deadline(int fd, void* data, std::size_t size,
+                                    std::chrono::steady_clock::time_point deadline) {
+    auto* p = static_cast<std::uint8_t*>(data);
+    while (size > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return ReadStatus::timeout;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int rv = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+        if (rv < 0) {
+            if (errno == EINTR) continue;
+            return ReadStatus::eof;
+        }
+        if (rv == 0) return ReadStatus::timeout;
+        const ssize_t n = ::read(fd, p, size);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return ReadStatus::eof;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return ReadStatus::ok;
+}
+
+/// Write one frame with an explicitly claimed size/CRC — the fault-injection
+/// seam (`truncated_write` claims fewer bytes than it hashed, `bit_flip`
+/// sends flipped bytes under the clean CRC). `claimed_size` bytes of `data`
+/// are sent; honest writers pass claimed_size == hashed size and the CRC of
+/// exactly those bytes.
+inline bool write_frame_raw(int fd, FrameType type, const void* data,
+                            std::uint64_t claimed_size, std::uint32_t payload_crc) {
+    FrameHeader h;
+    h.type = static_cast<std::uint32_t>(type);
+    h.payload_size = claimed_size;
+    h.payload_crc = payload_crc;
+    h.header_crc = crc32(&h, sizeof(FrameHeader) - sizeof(std::uint32_t));
+    if (!write_all(fd, &h, sizeof(h))) return false;
+    if (claimed_size > 0 && !write_all(fd, data, claimed_size)) return false;
+    return true;
+}
+
+/// Write one well-formed frame.
+inline bool write_frame(int fd, FrameType type, const void* data, std::size_t size) {
+    return write_frame_raw(fd, type, data, size, size > 0 ? crc32(data, size) : 0);
+}
+
+inline bool header_valid(const FrameHeader& h) {
+    return h.magic == kMagic && h.payload_size <= kMaxPayload
+           && h.header_crc == crc32(&h, sizeof(FrameHeader) - sizeof(std::uint32_t));
+}
+
+/// Blocking frame read (worker side). On `bad_payload` the advertised bytes
+/// have been drained — the stream is still framed and the caller may nack.
+inline ReadStatus read_frame(int fd, FrameHeader& header,
+                             std::vector<std::uint8_t>& payload) {
+    if (!read_all(fd, &header, sizeof(header))) return ReadStatus::eof;
+    if (!header_valid(header)) return ReadStatus::bad_header;
+    payload.resize(header.payload_size);
+    if (header.payload_size > 0 && !read_all(fd, payload.data(), payload.size()))
+        return ReadStatus::eof;
+    if (header.payload_size > 0 && crc32(payload.data(), payload.size()) != header.payload_crc)
+        return ReadStatus::bad_payload;
+    if (header.payload_size == 0 && header.payload_crc != 0)
+        return ReadStatus::bad_payload;
+    return ReadStatus::ok;
+}
+
+/// Deadline-bounded frame read (aggregator side).
+inline ReadStatus read_frame_deadline(int fd, FrameHeader& header,
+                                      std::vector<std::uint8_t>& payload,
+                                      std::chrono::steady_clock::time_point deadline) {
+    ReadStatus rs = read_all_deadline(fd, &header, sizeof(header), deadline);
+    if (rs != ReadStatus::ok) return rs;
+    if (!header_valid(header)) return ReadStatus::bad_header;
+    payload.resize(header.payload_size);
+    if (header.payload_size > 0) {
+        rs = read_all_deadline(fd, payload.data(), payload.size(), deadline);
+        if (rs != ReadStatus::ok) return rs;
+        if (crc32(payload.data(), payload.size()) != header.payload_crc)
+            return ReadStatus::bad_payload;
+    } else if (header.payload_crc != 0) {
+        return ReadStatus::bad_payload;
+    }
+    return ReadStatus::ok;
+}
+
+} // namespace fmore::mec::wire

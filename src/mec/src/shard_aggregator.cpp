@@ -1,10 +1,10 @@
 #include "fmore/mec/shard_aggregator.hpp"
 
-#include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -16,12 +16,18 @@
 
 #include "fmore/auction/mechanism.hpp"
 #include "fmore/mec/blacklist.hpp"
+#include "fmore/mec/wire_format.hpp"
 
 namespace fmore::mec {
 
 namespace {
 
-/// Fixed-size downlink header; `num_banned` global node ids follow.
+using wire::FrameHeader;
+using wire::FrameType;
+using wire::ReadStatus;
+
+/// Fixed-size request payload header; `num_banned` global node ids follow
+/// inside the same frame.
 struct RoundRequest {
     std::uint64_t round = 0;
     std::uint64_t k = 0;
@@ -31,64 +37,27 @@ struct RoundRequest {
     std::uint64_t num_banned = 0;
 };
 
-bool write_all(int fd, const void* data, std::size_t size) {
+void append_bytes(std::vector<std::uint8_t>& out, const void* data,
+                  std::size_t size) {
     const auto* p = static_cast<const std::uint8_t*>(data);
-    while (size > 0) {
-        const ssize_t n = ::write(fd, p, size);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            return false;
-        }
-        p += n;
-        size -= static_cast<std::size_t>(n);
-    }
-    return true;
+    out.insert(out.end(), p, p + size);
 }
 
-/// Blocking read of exactly `size` bytes (worker side); false on EOF.
-bool read_all(int fd, void* data, std::size_t size) {
-    auto* p = static_cast<std::uint8_t*>(data);
-    while (size > 0) {
-        const ssize_t n = ::read(fd, p, size);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR) continue;
-            return false;
-        }
-        p += n;
-        size -= static_cast<std::size_t>(n);
-    }
-    return true;
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    append_bytes(out, &v, sizeof(v));
 }
 
-/// Aggregator-side read of exactly `size` bytes, abandoned at `deadline`;
-/// false on timeout, EOF, or error.
-bool read_deadline(int fd, void* data, std::size_t size,
-                   std::chrono::steady_clock::time_point deadline) {
-    auto* p = static_cast<std::uint8_t*>(data);
-    while (size > 0) {
-        const auto now = std::chrono::steady_clock::now();
-        if (now >= deadline) return false;
-        const auto left =
-            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-        struct pollfd pfd;
-        pfd.fd = fd;
-        pfd.events = POLLIN;
-        pfd.revents = 0;
-        const int rv = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
-        if (rv < 0) {
-            if (errno == EINTR) continue;
-            return false;
-        }
-        if (rv == 0) return false;  // deadline hit
-        const ssize_t n = ::read(fd, p, size);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR) continue;
-            return false;  // worker died (EOF) or pipe error
-        }
-        p += n;
-        size -= static_cast<std::size_t>(n);
+/// Writes to a peer that died must surface as EPIPE, not a fatal SIGPIPE —
+/// eviction logic is the error handler. Installed once, and only when the
+/// process has not set its own handler.
+void ignore_sigpipe() {
+    struct sigaction current {};
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0
+        && current.sa_handler == SIG_DFL) {
+        struct sigaction ignore {};
+        ignore.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ignore, nullptr);
     }
-    return true;
 }
 
 } // namespace
@@ -101,19 +70,33 @@ struct ProcessShardAggregator::Impl {
     bool strategy_scores_broadcast_rule = false;
     double timeout_s = 0.0;
     std::size_t n = 0;
+    ShardSupervisorConfig sup;
 
     struct Worker {
         pid_t pid = -1;
         int req_fd = -1;   ///< aggregator -> worker
         int resp_fd = -1;  ///< worker -> aggregator
         bool alive = false;
+        bool retired = false;  ///< respawn budget exhausted — permanent
+        std::size_t respawns = 0;
+        std::chrono::steady_clock::time_point respawn_at{};
     };
     std::vector<Worker> workers;
+    /// Fork sources for respawn: the pristine round-0 shard splits. Empty
+    /// when respawns are disabled (no memory retained).
+    std::vector<PopulationStore> pristine;
+    /// Drift salts of rounds 2..latest, in order — replaying them over a
+    /// pristine shard reproduces the current shard state bit-exactly.
+    std::vector<std::uint64_t> salt_history;
+    /// Every ban ever shipped, in ship order (respawn sync).
+    std::vector<auction::NodeId> all_bans;
 
     Blacklist banned_set;  ///< aggregator's view, for dedup and the m count
     std::vector<auction::NodeId> pending_bans;  ///< not yet shipped
     std::vector<std::size_t> last_dropped;
     std::size_t dead = 0;
+    ShardHealth last_health;
+    ShardHealth lifetime;
 
     std::unique_ptr<auction::Mechanism> mechanism;
     std::size_t mechanism_k = static_cast<std::size_t>(-1);
@@ -124,25 +107,52 @@ struct ProcessShardAggregator::Impl {
 
     Impl(const auction::ScoringRule& scoring_in,
          const auction::EquilibriumStrategy& strategy_in,
-         auction::WinnerDeterminationConfig wd_in, QualityLayout layout_in)
+         auction::WinnerDeterminationConfig wd_in, QualityLayout layout_in,
+         ShardSupervisorConfig sup_in)
         : scoring(scoring_in),
           strategy(strategy_in),
           wd(std::move(wd_in)),
-          layout(std::move(layout_in)) {}
+          layout(std::move(layout_in)),
+          sup(std::move(sup_in)) {}
+
+    /// Idempotent fd close — a second eviction (or the destructor after
+    /// one) must not close an unrelated fd that re-used the number.
+    static void close_fds(Worker& w) {
+        if (w.req_fd >= 0) ::close(w.req_fd);
+        if (w.resp_fd >= 0) ::close(w.resp_fd);
+        w.req_fd = -1;
+        w.resp_fd = -1;
+    }
+
+    double backoff_delay(std::size_t attempt) const {
+        const double factor = static_cast<double>(1u << std::min<std::size_t>(attempt, 6));
+        return sup.respawn_backoff_s * factor;
+    }
 
     void evict(std::size_t s) {
         Worker& w = workers[s];
         if (!w.alive) return;
-        // A half-read pipe cannot be resynchronized, so eviction is
-        // permanent: kill, close, reap.
-        ::kill(w.pid, SIGKILL);
-        int status = 0;
-        ::waitpid(w.pid, &status, 0);
-        ::close(w.req_fd);
-        ::close(w.resp_fd);
+        // A half-read pipe cannot be resynchronized mid-round: kill, close,
+        // reap. The supervisor may re-fork the shard at a later round
+        // boundary and re-sync it from the salt history.
+        if (w.pid > 0) {
+            ::kill(w.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+        }
+        close_fds(w);
         w.alive = false;
+        w.pid = -1;
         ++dead;
+        ++last_health.evictions;
+        if (sup.max_respawns > 0)
+            w.respawn_at = std::chrono::steady_clock::now()
+                           + std::chrono::microseconds(static_cast<long long>(
+                               backoff_delay(w.respawns) * 1e6));
     }
+
+    bool spawn(std::size_t s);
+    bool sync_worker(std::size_t s);
 
     const auction::ScoreAuctionMechanism* engine_for(std::size_t k) {
         if (!mechanism || mechanism_k != k) {
@@ -176,31 +186,88 @@ namespace {
                               bool strategy_scores_broadcast_rule,
                               auction::PaymentMethod payment_method,
                               std::size_t shard_index,
-                              const std::vector<ShardFault>& faults) {
+                              const util::FaultInjector& faults) {
     ::setenv("FMORE_ROUND_THREADS", "1", 1);
+    ::signal(SIGPIPE, SIG_IGN);
     Blacklist banned;
     auction::BidFrame frame;
     auction::ShardHead head;
     std::vector<const double*> columns;
     std::vector<std::uint8_t> payload;
-    std::vector<auction::NodeId> ban_buf;
+    std::vector<std::uint8_t> clean;      ///< last good head bytes (resend)
+    std::vector<std::uint8_t> corrupted;  ///< bit_flip scratch
 
     for (;;) {
-        RoundRequest req;
-        if (!read_all(req_fd, &req, sizeof(req))) ::_exit(0);  // aggregator gone
-        ban_buf.resize(req.num_banned);
-        if (req.num_banned > 0
-            && !read_all(req_fd, ban_buf.data(),
-                         ban_buf.size() * sizeof(auction::NodeId)))
-            ::_exit(0);
-        for (const auction::NodeId node : ban_buf) banned.ban(node);
-
-        for (const ShardFault& fault : faults) {
-            if (fault.shard != shard_index || fault.round != req.round) continue;
-            if (fault.die) ::_exit(3);
-            if (fault.stall_s > 0.0)
-                ::usleep(static_cast<useconds_t>(fault.stall_s * 1e6));
+        FrameHeader h;
+        switch (wire::read_frame(req_fd, h, payload)) {
+            case ReadStatus::eof: ::_exit(0);      // aggregator gone
+            case ReadStatus::timeout: ::_exit(0);  // unreachable (blocking)
+            case ReadStatus::bad_header:
+                ::_exit(2);  // stream desynced beyond recovery
+            case ReadStatus::bad_payload:
+                // Framed but corrupt: ask for a retransmission.
+                if (!wire::write_frame(resp_fd, FrameType::nack, nullptr, 0))
+                    ::_exit(0);
+                continue;
+            case ReadStatus::ok: break;
         }
+
+        if (h.type == static_cast<std::uint32_t>(FrameType::sync)) {
+            // Respawn re-sync: replay the drift-salt history over the
+            // pristine shard, then the full ban list. Drift streams are
+            // keyed by (salt, global id), so the replay lands on the exact
+            // state of a worker that never died.
+            const std::uint8_t* p = payload.data();
+            std::uint64_t num_salts = 0;
+            std::memcpy(&num_salts, p, sizeof(num_salts));
+            p += sizeof(num_salts);
+            for (std::uint64_t i = 0; i < num_salts; ++i) {
+                std::uint64_t salt = 0;
+                std::memcpy(&salt, p, sizeof(salt));
+                p += sizeof(salt);
+                shard.evolve_with_salt(salt);
+            }
+            std::uint64_t num_bans = 0;
+            std::memcpy(&num_bans, p, sizeof(num_bans));
+            p += sizeof(num_bans);
+            for (std::uint64_t i = 0; i < num_bans; ++i) {
+                auction::NodeId node{};
+                std::memcpy(&node, p, sizeof(node));
+                p += sizeof(node);
+                banned.ban(node);
+            }
+            continue;
+        }
+
+        if (h.type == static_cast<std::uint32_t>(FrameType::resend)) {
+            // The aggregator rejected the last head frame; the cached clean
+            // bytes answer it (any injected wire fault fired on the first
+            // transmission only).
+            if (!wire::write_frame(resp_fd, FrameType::head, clean.data(),
+                                   clean.size()))
+                ::_exit(0);
+            continue;
+        }
+
+        if (h.type != static_cast<std::uint32_t>(FrameType::request)) ::_exit(2);
+        if (payload.size() < sizeof(RoundRequest)) ::_exit(2);
+        RoundRequest req;
+        std::memcpy(&req, payload.data(), sizeof(req));
+        if (payload.size() < sizeof(req) + req.num_banned * sizeof(auction::NodeId))
+            ::_exit(2);
+        const std::uint8_t* ban_bytes = payload.data() + sizeof(req);
+        for (std::uint64_t i = 0; i < req.num_banned; ++i) {
+            auction::NodeId node{};
+            std::memcpy(&node, ban_bytes + i * sizeof(node), sizeof(node));
+            banned.ban(node);
+        }
+
+        const util::FaultEvent fault = faults.event(shard_index, req.round);
+        if (fault.kind == util::FaultKind::crash_before_reply) ::_exit(3);
+        if ((fault.kind == util::FaultKind::stall
+             || fault.kind == util::FaultKind::delayed_reply)
+            && fault.seconds > 0.0)
+            ::usleep(static_cast<useconds_t>(fault.seconds * 1e6));
 
         if (req.round > 1) shard.evolve_with_salt(req.evolve_salt);
 
@@ -215,24 +282,96 @@ namespace {
         keys.salt = req.tie_salt;
         auction::collect_shard_head(frame, shard.node_offset(), keys, req.limit, head);
 
-        payload.clear();
-        head.serialize(payload);
-        const std::uint64_t size = payload.size();
-        if (!write_all(resp_fd, &size, sizeof(size))
-            || !write_all(resp_fd, payload.data(), payload.size()))
-            ::_exit(0);
+        clean.clear();
+        head.serialize(clean);
+
+        // Wire faults corrupt the TRANSMISSION, never the cached state:
+        // the aggregator's checksum must catch them, and the bounded
+        // resend recovers the clean bytes.
+        bool sent;
+        if (fault.kind == util::FaultKind::truncated_write && clean.size() >= 2) {
+            // Self-described-short frame: claims (and carries) half the
+            // bytes under the full payload's CRC — framed, but corrupt.
+            sent = wire::write_frame_raw(resp_fd, FrameType::head, clean.data(),
+                                         clean.size() / 2,
+                                         wire::crc32(clean.data(), clean.size()));
+        } else if (fault.kind == util::FaultKind::bit_flip && !clean.empty()) {
+            corrupted = clean;
+            corrupted[req.round % corrupted.size()] ^= 0x01;
+            sent = wire::write_frame_raw(resp_fd, FrameType::head, corrupted.data(),
+                                         corrupted.size(),
+                                         wire::crc32(clean.data(), clean.size()));
+        } else {
+            sent = wire::write_frame(resp_fd, FrameType::head, clean.data(),
+                                     clean.size());
+        }
+        if (!sent) ::_exit(0);
     }
 }
 
 } // namespace
 
+bool ProcessShardAggregator::Impl::spawn(std::size_t s) {
+    int down[2];  // aggregator -> worker
+    int up[2];    // worker -> aggregator
+    if (::pipe(down) != 0) return false;
+    if (::pipe(up) != 0) {
+        ::close(down[0]);
+        ::close(down[1]);
+        return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(down[0]);
+        ::close(down[1]);
+        ::close(up[0]);
+        ::close(up[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Worker: keep only its two pipe ends. Every sibling's inherited
+        // fds MUST be closed, or this worker's copies of their request-pipe
+        // write ends would keep those pipes open and break EOF-based
+        // shutdown.
+        ::close(down[1]);
+        ::close(up[0]);
+        for (const Worker& other : workers) {
+            if (other.req_fd >= 0) ::close(other.req_fd);
+            if (other.resp_fd >= 0) ::close(other.resp_fd);
+        }
+        worker_main(down[0], up[1], std::move(pristine[s]), scoring, strategy,
+                    layout, strategy_scores_broadcast_rule,
+                    auction::PaymentMethod::integral, s, sup.faults);
+    }
+    ::close(down[0]);
+    ::close(up[1]);
+    Worker& w = workers[s];
+    w.pid = pid;
+    w.req_fd = down[1];
+    w.resp_fd = up[0];
+    w.alive = true;
+    return true;
+}
+
+bool ProcessShardAggregator::Impl::sync_worker(std::size_t s) {
+    std::vector<std::uint8_t> payload;
+    append_u64(payload, salt_history.size());
+    for (const std::uint64_t salt : salt_history) append_u64(payload, salt);
+    append_u64(payload, all_bans.size());
+    if (!all_bans.empty())
+        append_bytes(payload, all_bans.data(),
+                     all_bans.size() * sizeof(auction::NodeId));
+    return wire::write_frame(workers[s].req_fd, FrameType::sync, payload.data(),
+                             payload.size());
+}
+
 ProcessShardAggregator::ProcessShardAggregator(
     const PopulationStore& store, const auction::ScoringRule& scoring,
     const auction::EquilibriumStrategy& strategy,
     auction::WinnerDeterminationConfig wd_config, QualityLayout layout,
-    std::size_t num_shards, double shard_timeout_s, std::vector<ShardFault> faults)
+    std::size_t num_shards, double shard_timeout_s, ShardSupervisorConfig supervisor)
     : impl_(std::make_unique<Impl>(scoring, strategy, std::move(wd_config),
-                                   std::move(layout))) {
+                                   std::move(layout), std::move(supervisor))) {
     if (impl_->wd.tie_break != auction::TieBreak::salted)
         throw std::invalid_argument(
             "ProcessShardAggregator: requires TieBreak::salted (a shuffle "
@@ -254,42 +393,35 @@ ProcessShardAggregator::ProcessShardAggregator(
         throw std::invalid_argument(
             "ProcessShardAggregator: quality layout must be non-empty and match the "
             "strategy's dimensions");
+    if (impl_->sup.min_live_shards > num_shards)
+        throw std::invalid_argument(
+            "ProcessShardAggregator: min_live_shards = "
+            + std::to_string(impl_->sup.min_live_shards) + " exceeds num_shards = "
+            + std::to_string(num_shards));
+    if (!(impl_->sup.respawn_backoff_s >= 0.0)
+        || std::isinf(impl_->sup.respawn_backoff_s))
+        throw std::invalid_argument(
+            "ProcessShardAggregator: respawn_backoff_s must be finite and >= 0");
     impl_->timeout_s = shard_timeout_s;
     impl_->n = store.size();
     impl_->strategy_scores_broadcast_rule =
         impl_->strategy.scoring_rule() == &impl_->scoring;
     // Fail on non-wire-friendly mechanism resolution before any fork.
     (void)impl_->engine_for(impl_->wd.num_winners == 0 ? 1 : impl_->wd.num_winners);
+    ignore_sigpipe();
 
-    std::vector<PopulationStore> shards = store.split_even(num_shards);
+    impl_->pristine = store.split_even(num_shards);
     impl_->workers.resize(num_shards);
     impl_->heads.resize(num_shards);
     for (std::size_t s = 0; s < num_shards; ++s) {
-        int down[2];  // aggregator -> worker
-        int up[2];    // worker -> aggregator
-        if (::pipe(down) != 0 || ::pipe(up) != 0)
-            throw std::runtime_error("ProcessShardAggregator: pipe() failed");
-        const pid_t pid = ::fork();
-        if (pid < 0) throw std::runtime_error("ProcessShardAggregator: fork() failed");
-        if (pid == 0) {
-            // Worker: keep only its two pipe ends. Earlier siblings' fds
-            // were inherited and MUST be closed, or this worker's copy of
-            // their request-pipe write ends would keep those pipes open and
-            // break EOF-based shutdown.
-            ::close(down[1]);
-            ::close(up[0]);
-            for (std::size_t prev = 0; prev < s; ++prev) {
-                ::close(impl_->workers[prev].req_fd);
-                ::close(impl_->workers[prev].resp_fd);
-            }
-            worker_main(down[0], up[1], std::move(shards[s]), impl_->scoring,
-                        impl_->strategy, impl_->layout,
-                        impl_->strategy_scores_broadcast_rule,
-                        auction::PaymentMethod::integral, s, faults);
-        }
-        ::close(down[0]);
-        ::close(up[1]);
-        impl_->workers[s] = Impl::Worker{pid, down[1], up[0], true};
+        if (!impl_->spawn(s))
+            throw std::runtime_error("ProcessShardAggregator: pipe()/fork() failed");
+    }
+    // Without a respawn budget the pristine splits are dead weight — the
+    // legacy permanent-eviction mode keeps the legacy memory footprint.
+    if (impl_->sup.max_respawns == 0) {
+        impl_->pristine.clear();
+        impl_->pristine.shrink_to_fit();
     }
 }
 
@@ -300,7 +432,8 @@ ProcessShardAggregator::~ProcessShardAggregator() {
         if (!w.alive) continue;
         // Closing the request pipe is the shutdown signal; workers exit on
         // EOF. Reap, then force the stragglers.
-        ::close(w.req_fd);
+        if (w.req_fd >= 0) ::close(w.req_fd);
+        w.req_fd = -1;
         int status = 0;
         if (::waitpid(w.pid, &status, WNOHANG) == 0) {
             ::usleep(20000);
@@ -309,7 +442,7 @@ ProcessShardAggregator::~ProcessShardAggregator() {
                 ::waitpid(w.pid, &status, 0);
             }
         }
-        ::close(w.resp_fd);
+        Impl::close_fds(w);
         w.alive = false;
     }
 }
@@ -319,6 +452,30 @@ const auction::AuctionOutcome& ProcessShardAggregator::run_round(std::size_t rou
                                                                  stats::Rng& rng) {
     Impl& impl = *impl_;
     const auction::ScoreAuctionMechanism* engine = impl.engine_for(k);
+    impl.last_health = ShardHealth{};
+    impl.last_dropped.clear();
+
+    // Supervisor pass: re-fork eligible evicted workers and re-sync them
+    // from the salt history + ban list, under capped exponential backoff.
+    if (impl.sup.max_respawns > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        for (std::size_t s = 0; s < impl.workers.size(); ++s) {
+            Impl::Worker& w = impl.workers[s];
+            if (w.alive || w.retired) continue;
+            if (w.respawns >= impl.sup.max_respawns) {
+                w.retired = true;
+                continue;
+            }
+            if (impl.sup.respawn_backoff_s > 0.0 && now < w.respawn_at) continue;
+            if (!impl.spawn(s)) {
+                w.retired = true;
+                continue;
+            }
+            ++w.respawns;
+            ++impl.last_health.respawns;
+            if (!impl.sync_worker(s)) impl.evict(s);
+        }
+    }
 
     // Exactly the monolithic salted round's generator discipline: one
     // drift salt (round > 1), one tie salt — nothing else crosses the wire.
@@ -330,21 +487,31 @@ const auction::AuctionOutcome& ProcessShardAggregator::run_round(std::size_t rou
     req.num_banned = impl.pending_bans.size();
     const std::size_t m = impl.n - impl.banned_set.size();
     req.limit = engine->ranking_cutoff(m);
+    if (round > 1) impl.salt_history.push_back(req.evolve_salt);
+
+    std::vector<std::uint8_t> request;
+    append_bytes(request, &req, sizeof(req));
+    if (!impl.pending_bans.empty())
+        append_bytes(request, impl.pending_bans.data(),
+                     impl.pending_bans.size() * sizeof(auction::NodeId));
+    impl.all_bans.insert(impl.all_bans.end(), impl.pending_bans.begin(),
+                         impl.pending_bans.end());
+    impl.pending_bans.clear();
 
     // Ship all requests first so workers overlap, then collect responses.
     for (std::size_t s = 0; s < impl.workers.size(); ++s) {
         Impl::Worker& w = impl.workers[s];
-        if (!w.alive) continue;
-        if (!write_all(w.req_fd, &req, sizeof(req))
-            || (req.num_banned > 0
-                && !write_all(w.req_fd, impl.pending_bans.data(),
-                              impl.pending_bans.size() * sizeof(auction::NodeId)))) {
+        if (!w.alive) {
+            impl.last_dropped.push_back(s);  // dead/backoff/retired: no head
+            continue;
+        }
+        if (!wire::write_frame(w.req_fd, FrameType::request, request.data(),
+                               request.size())) {
             impl.evict(s);
+            impl.last_dropped.push_back(s);
         }
     }
-    impl.pending_bans.clear();
 
-    impl.last_dropped.clear();
     std::vector<std::uint8_t> payload;
     for (std::size_t s = 0; s < impl.workers.size(); ++s) {
         impl.heads[s].clear();
@@ -354,19 +521,69 @@ const auction::AuctionOutcome& ProcessShardAggregator::run_round(std::size_t rou
             std::chrono::steady_clock::now()
             + std::chrono::microseconds(
                 static_cast<long long>(impl.timeout_s * 1e6));
-        std::uint64_t size = 0;
-        bool ok = read_deadline(w.resp_fd, &size, sizeof(size), deadline);
-        if (ok) {
-            payload.resize(size);
-            ok = read_deadline(w.resp_fd, payload.data(), size, deadline);
+        // One bounded retry: a corrupt-but-framed reply (bad payload CRC,
+        // or a nack for a corrupt request) is re-requested once; any second
+        // failure — or an unframed one (timeout, EOF, bad header) — evicts.
+        bool retried = false;
+        bool got_head = false;
+        while (!got_head) {
+            FrameHeader h;
+            const ReadStatus rs =
+                wire::read_frame_deadline(w.resp_fd, h, payload, deadline);
+            if (rs == ReadStatus::ok
+                && h.type == static_cast<std::uint32_t>(FrameType::head)) {
+                try {
+                    impl.heads[s] =
+                        auction::ShardHead::deserialize(payload.data(), payload.size());
+                    got_head = true;
+                    continue;
+                } catch (const std::exception&) {
+                    // Checksummed yet malformed — a worker bug, not line
+                    // noise; a retry would resend the same bytes.
+                    break;
+                }
+            }
+            if (rs == ReadStatus::bad_payload
+                || (rs == ReadStatus::ok
+                    && h.type == static_cast<std::uint32_t>(FrameType::nack))) {
+                ++impl.last_health.corrupt_frames;
+                if (!retried) {
+                    retried = true;
+                    ++impl.last_health.frame_retries;
+                    const bool resent =
+                        rs == ReadStatus::bad_payload
+                            ? wire::write_frame(w.req_fd, FrameType::resend, nullptr, 0)
+                            : wire::write_frame(w.req_fd, FrameType::request,
+                                                request.data(), request.size());
+                    if (resent) continue;
+                }
+            }
+            break;  // timeout, EOF, bad header, second corruption, ...
         }
-        if (!ok) {
+        if (!got_head) {
             impl.evict(s);
             impl.last_dropped.push_back(s);
-            continue;
         }
-        impl.heads[s] = auction::ShardHead::deserialize(payload.data(), payload.size());
     }
+    std::sort(impl.last_dropped.begin(), impl.last_dropped.end());
+
+    std::size_t live = 0;
+    for (const Impl::Worker& w : impl.workers) live += w.alive ? 1 : 0;
+    impl.last_health.live_shards = live;
+    impl.lifetime.live_shards = live;
+    impl.lifetime.corrupt_frames += impl.last_health.corrupt_frames;
+    impl.lifetime.frame_retries += impl.last_health.frame_retries;
+    impl.lifetime.evictions += impl.last_health.evictions;
+    impl.lifetime.respawns += impl.last_health.respawns;
+    if (impl.sup.min_live_shards > 0 && live < impl.sup.min_live_shards)
+        throw std::runtime_error(
+            "ProcessShardAggregator: round " + std::to_string(round) + ": only "
+            + std::to_string(live) + " of " + std::to_string(impl.workers.size())
+            + " shard workers are live, below the configured quorum of "
+            + std::to_string(impl.sup.min_live_shards)
+            + " (auction.shard_quorum) — raise auction.shard_max_respawns / "
+              "auction.shard_timeout_s, lower the quorum, or investigate the "
+              "evictions recorded in lifetime_health()");
 
     auction::merge_heads(impl.heads, req.limit, impl.outcome.ranking);
     engine->select_into(impl.outcome.ranking, rng, impl.scratch.chosen);
@@ -379,7 +596,21 @@ const std::vector<std::size_t>& ProcessShardAggregator::last_dropped_shards() co
     return impl_->last_dropped;
 }
 
+const ShardHealth& ProcessShardAggregator::last_health() const {
+    return impl_->last_health;
+}
+
+const ShardHealth& ProcessShardAggregator::lifetime_health() const {
+    return impl_->lifetime;
+}
+
 std::size_t ProcessShardAggregator::dead_shards() const { return impl_->dead; }
+
+std::size_t ProcessShardAggregator::live_shards() const {
+    std::size_t live = 0;
+    for (const Impl::Worker& w : impl_->workers) live += w.alive ? 1 : 0;
+    return live;
+}
 
 std::size_t ProcessShardAggregator::num_shards() const {
     return impl_->workers.size();

@@ -119,13 +119,24 @@ void ShardedAuctionSelector::evolve_shards(stats::Rng& rng) {
 void ShardedAuctionSelector::refresh_dropped(std::size_t round) {
     last_dropped_.clear();
     dropped_flag_.assign(shards_.size(), 0);
-    if (shard_timeout_s_ <= 0.0 || !latency_) return;
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-        if (latency_(s, round) > shard_timeout_s_) {
-            dropped_flag_[s] = 1;
-            last_dropped_.push_back(s);
+    if (shard_timeout_s_ > 0.0 && latency_) {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            if (latency_(s, round) > shard_timeout_s_) {
+                dropped_flag_[s] = 1;
+                last_dropped_.push_back(s);
+            }
         }
     }
+    const std::size_t live = shards_.size() - last_dropped_.size();
+    if (min_live_shards_ > 0 && live < min_live_shards_)
+        throw std::runtime_error(
+            "ShardedAuctionSelector: round " + std::to_string(round) + ": only "
+            + std::to_string(live) + " of " + std::to_string(shards_.size())
+            + " shards made the " + std::to_string(shard_timeout_s_)
+            + "s deadline, below the configured quorum of "
+            + std::to_string(min_live_shards_)
+            + " (auction.shard_quorum) — raise auction.shard_timeout_s, lower "
+              "the quorum, or fix the failing shards");
 }
 
 const auction::Mechanism* ShardedAuctionSelector::mechanism_for(std::size_t k) {
@@ -270,6 +281,7 @@ fl::SelectionRecord ShardedAuctionSelector::select(std::size_t round, std::size_
     fl::SelectionRecord record = assemble_selection_record(
         outcome_, starts_.back(), promised, compliance_, blacklist_, rng);
     record.dropped_shards = last_dropped_;
+    record.shard_health.live_shards = shards_.size() - last_dropped_.size();
     return record;
 }
 

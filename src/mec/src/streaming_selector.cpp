@@ -104,8 +104,15 @@ fl::SelectionRecord StreamingAuctionSelector::select(std::size_t round, std::siz
             return market_->frame().quality_row(node)[data_dimension_];
         };
     }
-    return assemble_selection_record(market_->outcome(), population_.size(), promised,
-                                     compliance_, blacklist_, rng);
+    fl::SelectionRecord record = assemble_selection_record(
+        market_->outcome(), population_.size(), promised, compliance_, blacklist_, rng);
+    // Close telemetry rides the record into RoundMetrics, so a whole run's
+    // close-reason mix is summarizable via RunResult::health() — the seed
+    // for tuning timing.min_updates adaptively.
+    record.close_reason = auction::to_string(market_->close_reason());
+    record.close_time_s = market_->close_time_s();
+    record.arrived_bids = market_->arrived();
+    return record;
 }
 
 auction::CloseReason StreamingAuctionSelector::last_close_reason() const {

@@ -1,0 +1,100 @@
+#pragma once
+
+/// @file fault_injector.hpp
+/// Deterministic, seed-driven fault-plan engine for the sharded market.
+/// A plan maps (shard, round) to at most one fault event; both the
+/// in-process virtual-latency clock (`ShardedAuctionSelector`) and the
+/// fork-per-shard `ProcessShardAggregator` consult the SAME plan, so any
+/// failure scenario — crashes, stalls, corrupt frames, slow replies — is
+/// bit-replayable from a spec string.
+///
+/// Plans come in two forms:
+///  - explicit events (tests): `FaultInjector::from_events({...})` fires
+///    exactly the listed faults;
+///  - seeded rates (benches, presets): `FaultInjector::from_spec(
+///    "seed=7,crash=0.02,stall=0.01,stall_s=2")` draws one uniform per
+///    (shard, round) from a counter-derived stream — no draw order, no
+///    shared state, so a forked worker and the aggregator agree on every
+///    event without communicating.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fmore::util {
+
+/// What a shard worker does wrong, at most once per (shard, round).
+enum class FaultKind : std::uint8_t {
+    none = 0,
+    crash_before_reply,  ///< worker exits without answering (EOF upstream)
+    stall,               ///< sleeps `seconds` before replying (deadline miss)
+    truncated_write,     ///< reply frame carries fewer bytes than it hashes
+    bit_flip,            ///< one payload bit flipped; checksum must catch it
+    delayed_reply,       ///< sleeps `seconds`, then replies normally
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault: shard `shard` misbehaves in (1-based) `round`.
+struct FaultEvent {
+    std::size_t shard = 0;
+    std::size_t round = 0;
+    FaultKind kind = FaultKind::none;
+    double seconds = 0.0;  ///< stall / delayed_reply duration
+};
+
+class FaultInjector {
+public:
+    /// The empty plan: no faults, ever.
+    FaultInjector() = default;
+
+    /// Fire exactly the listed events (first match wins on duplicates).
+    [[nodiscard]] static FaultInjector from_events(std::vector<FaultEvent> events);
+
+    /// Parse a seeded rate plan. Comma-separated key=value pairs:
+    ///   seed=<u64>      stream seed (default 0)
+    ///   crash=<p>       P(crash_before_reply) per shard-round
+    ///   stall=<p>       P(stall)
+    ///   truncate=<p>    P(truncated_write)
+    ///   corrupt=<p>     P(bit_flip)
+    ///   delay=<p>       P(delayed_reply)
+    ///   stall_s=<sec>   stall duration (default 10)
+    ///   delay_s=<sec>   delayed-reply duration (default 0.05)
+    /// Probabilities must lie in [0, 1] and sum to at most 1.
+    /// @throws std::invalid_argument on unknown keys or out-of-range values
+    [[nodiscard]] static FaultInjector from_spec(const std::string& spec);
+
+    [[nodiscard]] bool empty() const;
+    /// Normalized spec string (round-trips through `from_spec`); empty for
+    /// event plans and the empty plan.
+    [[nodiscard]] const std::string& spec() const { return spec_; }
+
+    /// The fault shard `shard` commits in round `round` (kind == none for
+    /// a clean shard-round). Pure: depends only on the plan and the
+    /// arguments, never on call order — the replayability contract.
+    [[nodiscard]] FaultEvent event(std::size_t shard, std::size_t round) const;
+
+    /// The plan as a virtual-latency model for the in-process sharded
+    /// selector: crash never answers (+inf), stall and delayed_reply take
+    /// `base_latency_s + seconds`, wire-only faults (truncate, bit_flip)
+    /// have no in-process analogue and answer at `base_latency_s`.
+    [[nodiscard]] std::function<double(std::size_t, std::size_t)>
+    latency_model(double base_latency_s = 0.0) const;
+
+private:
+    std::vector<FaultEvent> events_;
+    std::string spec_;
+    bool seeded_ = false;
+    std::uint64_t seed_ = 0;
+    double p_crash_ = 0.0;
+    double p_stall_ = 0.0;
+    double p_truncate_ = 0.0;
+    double p_bit_flip_ = 0.0;
+    double p_delay_ = 0.0;
+    double stall_s_ = 10.0;
+    double delay_s_ = 0.05;
+};
+
+} // namespace fmore::util

@@ -1,0 +1,206 @@
+#include "fmore/util/fault_injector.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fmore::util {
+
+namespace {
+
+/// splitmix64 finalizer — the same counter-derived stream discipline the
+/// stats layer uses for per-node drift (util sits below stats in the module
+/// order, so the constants are restated here rather than included).
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// One uniform in [0, 1) keyed by (seed, round, shard) — stateless, so any
+/// process replays the identical draw.
+double unit_draw(std::uint64_t seed, std::size_t shard, std::size_t round) {
+    const std::uint64_t x = mix64(mix64(seed ^ mix64(round)) ^ shard);
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+    std::size_t used = 0;
+    double p = 0.0;
+    try {
+        p = std::stod(value, &used);
+    } catch (const std::exception&) {
+        used = 0;
+    }
+    if (used != value.size() || !(p >= 0.0) || !(p <= 1.0))
+        throw std::invalid_argument("FaultInjector: " + key + " = '" + value
+                                    + "': must be a probability in [0, 1]");
+    return p;
+}
+
+double parse_seconds(const std::string& key, const std::string& value) {
+    std::size_t used = 0;
+    double s = 0.0;
+    try {
+        s = std::stod(value, &used);
+    } catch (const std::exception&) {
+        used = 0;
+    }
+    if (used != value.size() || !(s >= 0.0) || std::isinf(s))
+        throw std::invalid_argument("FaultInjector: " + key + " = '" + value
+                                    + "': must be a finite duration >= 0");
+    return s;
+}
+
+std::string format_double(double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+/// Strip surrounding whitespace — "seed=7, crash=0.1" is a legal spec.
+std::string trim(const std::string& s) {
+    std::size_t lo = 0;
+    std::size_t hi = s.size();
+    while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo])) != 0) ++lo;
+    while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1])) != 0) --hi;
+    return s.substr(lo, hi - lo);
+}
+
+} // namespace
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::none: return "none";
+        case FaultKind::crash_before_reply: return "crash_before_reply";
+        case FaultKind::stall: return "stall";
+        case FaultKind::truncated_write: return "truncated_write";
+        case FaultKind::bit_flip: return "bit_flip";
+        case FaultKind::delayed_reply: return "delayed_reply";
+    }
+    return "unknown";
+}
+
+FaultInjector FaultInjector::from_events(std::vector<FaultEvent> events) {
+    FaultInjector plan;
+    plan.events_ = std::move(events);
+    return plan;
+}
+
+FaultInjector FaultInjector::from_spec(const std::string& spec) {
+    FaultInjector plan;
+    plan.seeded_ = true;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos) end = spec.size();
+        const std::string pair = trim(spec.substr(pos, end - pos));
+        pos = end + 1;
+        if (pair.empty()) continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument("FaultInjector: '" + pair
+                                        + "': expected key=value");
+        const std::string key = trim(pair.substr(0, eq));
+        const std::string value = trim(pair.substr(eq + 1));
+        if (key == "seed") {
+            try {
+                plan.seed_ = std::stoull(value);
+            } catch (const std::exception&) {
+                throw std::invalid_argument("FaultInjector: seed = '" + value
+                                            + "': must be an unsigned integer");
+            }
+        } else if (key == "crash") {
+            plan.p_crash_ = parse_probability(key, value);
+        } else if (key == "stall") {
+            plan.p_stall_ = parse_probability(key, value);
+        } else if (key == "truncate") {
+            plan.p_truncate_ = parse_probability(key, value);
+        } else if (key == "corrupt") {
+            plan.p_bit_flip_ = parse_probability(key, value);
+        } else if (key == "delay") {
+            plan.p_delay_ = parse_probability(key, value);
+        } else if (key == "stall_s") {
+            plan.stall_s_ = parse_seconds(key, value);
+        } else if (key == "delay_s") {
+            plan.delay_s_ = parse_seconds(key, value);
+        } else {
+            throw std::invalid_argument(
+                "FaultInjector: unknown key '" + key
+                + "' (expected seed, crash, stall, truncate, corrupt, delay, "
+                  "stall_s, delay_s)");
+        }
+    }
+    const double total = plan.p_crash_ + plan.p_stall_ + plan.p_truncate_
+                         + plan.p_bit_flip_ + plan.p_delay_;
+    if (total > 1.0 + 1e-12)
+        throw std::invalid_argument(
+            "FaultInjector: fault probabilities sum to " + format_double(total)
+            + " > 1 (at most one fault fires per shard-round)");
+
+    // Normalized round-trip form: seed first, then only the active knobs.
+    std::string normalized = "seed=" + std::to_string(plan.seed_);
+    if (plan.p_crash_ > 0.0) normalized += ",crash=" + format_double(plan.p_crash_);
+    if (plan.p_stall_ > 0.0) normalized += ",stall=" + format_double(plan.p_stall_);
+    if (plan.p_truncate_ > 0.0)
+        normalized += ",truncate=" + format_double(plan.p_truncate_);
+    if (plan.p_bit_flip_ > 0.0)
+        normalized += ",corrupt=" + format_double(plan.p_bit_flip_);
+    if (plan.p_delay_ > 0.0) normalized += ",delay=" + format_double(plan.p_delay_);
+    if (plan.p_stall_ > 0.0) normalized += ",stall_s=" + format_double(plan.stall_s_);
+    if (plan.p_delay_ > 0.0) normalized += ",delay_s=" + format_double(plan.delay_s_);
+    plan.spec_ = normalized;
+    return plan;
+}
+
+bool FaultInjector::empty() const {
+    if (!events_.empty()) return false;
+    if (!seeded_) return true;
+    return p_crash_ + p_stall_ + p_truncate_ + p_bit_flip_ + p_delay_ <= 0.0;
+}
+
+FaultEvent FaultInjector::event(std::size_t shard, std::size_t round) const {
+    for (const FaultEvent& e : events_)
+        if (e.shard == shard && e.round == round) return e;
+    FaultEvent none;
+    none.shard = shard;
+    none.round = round;
+    if (!seeded_) return none;
+    double u = unit_draw(seed_, shard, round);
+    FaultEvent drawn = none;
+    if ((u -= p_crash_) < 0.0) {
+        drawn.kind = FaultKind::crash_before_reply;
+    } else if ((u -= p_stall_) < 0.0) {
+        drawn.kind = FaultKind::stall;
+        drawn.seconds = stall_s_;
+    } else if ((u -= p_truncate_) < 0.0) {
+        drawn.kind = FaultKind::truncated_write;
+    } else if ((u -= p_bit_flip_) < 0.0) {
+        drawn.kind = FaultKind::bit_flip;
+    } else if ((u -= p_delay_) < 0.0) {
+        drawn.kind = FaultKind::delayed_reply;
+        drawn.seconds = delay_s_;
+    }
+    return drawn;
+}
+
+std::function<double(std::size_t, std::size_t)>
+FaultInjector::latency_model(double base_latency_s) const {
+    return [plan = *this, base_latency_s](std::size_t shard, std::size_t round) {
+        const FaultEvent e = plan.event(shard, round);
+        switch (e.kind) {
+            case FaultKind::crash_before_reply:
+                return std::numeric_limits<double>::infinity();
+            case FaultKind::stall:
+            case FaultKind::delayed_reply:
+                return base_latency_s + e.seconds;
+            default:
+                return base_latency_s;
+        }
+    };
+}
+
+} // namespace fmore::util

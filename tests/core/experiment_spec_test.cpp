@@ -12,6 +12,7 @@
 #include "fmore/core/experiment.hpp"
 #include "fmore/core/scenarios.hpp"
 #include "fmore/core/trials.hpp"
+#include "fmore/util/fault_injector.hpp"
 
 namespace fmore::core {
 namespace {
@@ -280,6 +281,93 @@ TEST(ExperimentSpecText, StreamingKnobsRoundTripAndRejectTypos) {
         EXPECT_NE(what.find("uniform"), std::string::npos);
         EXPECT_NE(what.find("poisson"), std::string::npos);
     }
+}
+
+TEST(ExperimentSpecText, FaultKnobsRoundTripExactly) {
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_o);
+    spec.auction.shards = 4;
+    spec.auction.shard_timeout_s = 0.5;
+    spec.auction.fault_plan = "seed=9,crash=0.05,delay=0.1,delay_s=0.02";
+    spec.auction.shard_respawn_backoff_s = 0.25;
+    spec.auction.shard_max_respawns = 3;
+    spec.auction.shard_quorum = 2;
+    ASSERT_TRUE(validate(spec).empty());
+    const ExperimentSpec parsed = parse_experiment_spec(to_text(spec));
+    EXPECT_TRUE(parsed == spec);
+
+    // Single-key overrides reach the supervision knobs too.
+    apply_key_value(spec, "auction.fault_plan", "seed=3,corrupt=0.2");
+    apply_key_value(spec, "auction.shard_max_respawns", "5");
+    apply_key_value(spec, "auction.shard_respawn_backoff_s", "0.125");
+    apply_key_value(spec, "auction.shard_quorum", "3");
+    EXPECT_EQ(spec.auction.fault_plan, "seed=3,corrupt=0.2");
+    EXPECT_EQ(spec.auction.shard_max_respawns, 5u);
+    EXPECT_EQ(spec.auction.shard_respawn_backoff_s, 0.125);
+    EXPECT_EQ(spec.auction.shard_quorum, 3u);
+
+    // And the legacy-config shims carry them losslessly both ways.
+    const SimulationConfig config = to_simulation_config(spec);
+    EXPECT_EQ(config.fault_plan, spec.auction.fault_plan);
+    EXPECT_EQ(config.shard_respawn_backoff_s, 0.125);
+    EXPECT_EQ(config.shard_max_respawns, 5u);
+    EXPECT_EQ(config.shard_quorum, 3u);
+    EXPECT_TRUE(from_simulation_config(config) == spec);
+}
+
+TEST(ExperimentSpecValidate, FaultKnobRulesAreEnforced) {
+    auto mentions = [](const std::vector<std::string>& problems,
+                       const std::string& token) {
+        for (const std::string& p : problems)
+            if (p.find(token) != std::string::npos) return true;
+        return false;
+    };
+    // Every supervision knob requires a sharded market.
+    ExperimentSpec spec = default_experiment(DatasetKind::mnist_o);
+    spec.auction.fault_plan = "seed=1,crash=0.1";
+    EXPECT_TRUE(mentions(validate(spec), "auction.shards"));
+    spec.auction.fault_plan.clear();
+    spec.auction.shard_quorum = 2;
+    EXPECT_TRUE(mentions(validate(spec), "auction.shards"));
+    spec.auction.shard_quorum = 0;
+    spec.auction.shard_max_respawns = 1;
+    EXPECT_TRUE(mentions(validate(spec), "auction.shards"));
+
+    // An unparsable plan is rejected with the parser's message.
+    spec = default_experiment(DatasetKind::mnist_o);
+    spec.auction.shards = 4;
+    spec.auction.shard_timeout_s = 0.5;
+    spec.auction.fault_plan = "crash=2.0";
+    EXPECT_TRUE(mentions(validate(spec), "auction.fault_plan"));
+    spec.auction.fault_plan = "seed=1,warp=0.5";
+    EXPECT_TRUE(mentions(validate(spec), "auction.fault_plan"));
+    spec.auction.fault_plan.clear();
+
+    // Quorum cannot exceed the shard count; backoff must be finite, >= 0.
+    spec.auction.shard_quorum = 5;
+    EXPECT_TRUE(mentions(validate(spec), "auction.shard_quorum"));
+    spec.auction.shard_quorum = 0;
+    spec.auction.shard_respawn_backoff_s = -0.5;
+    EXPECT_TRUE(mentions(validate(spec), "auction.shard_respawn_backoff_s"));
+    spec.auction.shard_respawn_backoff_s = 0.0;
+    EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(Scenarios, FaultPresetsAreRegisteredAndValid) {
+    auto& registry = ScenarioRegistry::instance();
+    for (const char* name : {"faults/churn", "faults/corrupt", "faults/flaky"}) {
+        ASSERT_TRUE(registry.contains(name)) << name;
+        const ExperimentSpec spec = registry.get(name);
+        EXPECT_TRUE(validate(spec).empty()) << name;
+        EXPECT_GT(spec.auction.shards, 1u) << name;
+        EXPECT_GT(spec.auction.shard_timeout_s, 0.0) << name;
+        // The plan must parse and actually schedule faults.
+        EXPECT_FALSE(
+            util::FaultInjector::from_spec(spec.auction.fault_plan).empty())
+            << name;
+    }
+    const ExperimentSpec churn = named_scenario("faults/churn");
+    EXPECT_GT(churn.auction.shard_max_respawns, 0u);
+    EXPECT_GT(churn.auction.shard_quorum, 0u);
 }
 
 TEST(ExperimentSpecValidate, RegisteredCustomMechanismPassesValidation) {

@@ -1,0 +1,134 @@
+// util::FaultInjector: the deterministic fault-plan engine. The contract
+// under test is purity — event(shard, round) depends only on the plan and
+// the arguments, never on call order — because a forked worker and the
+// aggregator consult the SAME plan without communicating.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fmore/util/fault_injector.hpp"
+
+namespace fmore::util {
+namespace {
+
+TEST(FaultInjector, EmptyPlanNeverFires) {
+    const FaultInjector plan;
+    EXPECT_TRUE(plan.empty());
+    for (std::size_t s = 0; s < 4; ++s)
+        for (std::size_t r = 1; r <= 8; ++r)
+            EXPECT_EQ(plan.event(s, r).kind, FaultKind::none);
+}
+
+TEST(FaultInjector, EventPlanFiresExactlyTheListedEvents) {
+    const FaultInjector plan = FaultInjector::from_events(
+        {{/*shard=*/1, /*round=*/2, FaultKind::stall, 3.0},
+         {/*shard=*/0, /*round=*/4, FaultKind::bit_flip, 0.0},
+         // Duplicate (shard, round): first match wins.
+         {/*shard=*/1, /*round=*/2, FaultKind::crash_before_reply, 0.0}});
+    EXPECT_FALSE(plan.empty());
+    EXPECT_EQ(plan.event(1, 2).kind, FaultKind::stall);
+    EXPECT_DOUBLE_EQ(plan.event(1, 2).seconds, 3.0);
+    EXPECT_EQ(plan.event(0, 4).kind, FaultKind::bit_flip);
+    EXPECT_EQ(plan.event(0, 2).kind, FaultKind::none);
+    EXPECT_EQ(plan.event(1, 3).kind, FaultKind::none);
+}
+
+TEST(FaultInjector, SpecParsesNormalizesAndRoundTrips) {
+    const FaultInjector plan =
+        FaultInjector::from_spec("seed=7, crash=0.25, stall=0.1, stall_s=2");
+    EXPECT_FALSE(plan.empty());
+    EXPECT_FALSE(plan.spec().empty());
+    // The normalized spec string reproduces the plan bit for bit.
+    const FaultInjector replay = FaultInjector::from_spec(plan.spec());
+    EXPECT_EQ(replay.spec(), plan.spec());
+    for (std::size_t s = 0; s < 8; ++s) {
+        for (std::size_t r = 1; r <= 32; ++r) {
+            const FaultEvent a = plan.event(s, r);
+            const FaultEvent b = replay.event(s, r);
+            EXPECT_EQ(a.kind, b.kind) << "shard " << s << " round " << r;
+            EXPECT_EQ(a.seconds, b.seconds);
+        }
+    }
+}
+
+TEST(FaultInjector, SeededDrawsArePureAndOrderIndependent) {
+    // Two instances of the same plan, queried in opposite orders, must
+    // agree on every (shard, round) — there is no hidden stream state.
+    const FaultInjector forward = FaultInjector::from_spec("seed=11,crash=0.3");
+    const FaultInjector backward = FaultInjector::from_spec("seed=11,crash=0.3");
+    std::vector<FaultKind> fwd;
+    for (std::size_t s = 0; s < 4; ++s)
+        for (std::size_t r = 1; r <= 16; ++r)
+            fwd.push_back(forward.event(s, r).kind);
+    std::size_t i = fwd.size();
+    for (std::size_t s = 4; s-- > 0;)
+        for (std::size_t r = 16; r >= 1; --r)
+            EXPECT_EQ(backward.event(s, r).kind, fwd[--i])
+                << "shard " << s << " round " << r;
+}
+
+TEST(FaultInjector, SeededRatesRoughlyMatchProbabilities) {
+    const FaultInjector plan =
+        FaultInjector::from_spec("seed=3,crash=0.2,corrupt=0.3");
+    std::map<FaultKind, std::size_t> counts;
+    const std::size_t shards = 64;
+    const std::size_t rounds = 64;
+    for (std::size_t s = 0; s < shards; ++s)
+        for (std::size_t r = 1; r <= rounds; ++r) ++counts[plan.event(s, r).kind];
+    const double total = static_cast<double>(shards * rounds);
+    EXPECT_NEAR(static_cast<double>(counts[FaultKind::crash_before_reply]) / total,
+                0.2, 0.03);
+    EXPECT_NEAR(static_cast<double>(counts[FaultKind::bit_flip]) / total, 0.3,
+                0.03);
+    EXPECT_NEAR(static_cast<double>(counts[FaultKind::none]) / total, 0.5, 0.03);
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentSchedules) {
+    const FaultInjector a = FaultInjector::from_spec("seed=1,crash=0.5");
+    const FaultInjector b = FaultInjector::from_spec("seed=2,crash=0.5");
+    std::size_t disagreements = 0;
+    for (std::size_t s = 0; s < 16; ++s)
+        for (std::size_t r = 1; r <= 16; ++r)
+            if (a.event(s, r).kind != b.event(s, r).kind) ++disagreements;
+    EXPECT_GT(disagreements, 0u);
+}
+
+TEST(FaultInjector, InvalidSpecsThrowWithContext) {
+    EXPECT_THROW((void)FaultInjector::from_spec("crash=1.5"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)FaultInjector::from_spec("crash=-0.1"),
+                 std::invalid_argument);
+    // Probabilities must leave room for a clean draw partition.
+    EXPECT_THROW((void)FaultInjector::from_spec("crash=0.6,stall=0.6"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)FaultInjector::from_spec("warp=0.1"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)FaultInjector::from_spec("stall_s=-2"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)FaultInjector::from_spec("seed=notanumber"),
+                 std::invalid_argument);
+}
+
+TEST(FaultInjector, LatencyModelMapsFaultsToVirtualClock) {
+    const FaultInjector plan = FaultInjector::from_events(
+        {{0, 1, FaultKind::crash_before_reply, 0.0},
+         {1, 1, FaultKind::stall, 4.0},
+         {2, 1, FaultKind::delayed_reply, 0.5},
+         {3, 1, FaultKind::bit_flip, 0.0}});
+    const auto latency = plan.latency_model(/*base_latency_s=*/0.01);
+    EXPECT_TRUE(std::isinf(latency(0, 1)));  // crash: never answers
+    EXPECT_DOUBLE_EQ(latency(1, 1), 4.01);
+    EXPECT_DOUBLE_EQ(latency(2, 1), 0.51);
+    // Wire-only faults have no in-process analogue.
+    EXPECT_DOUBLE_EQ(latency(3, 1), 0.01);
+    EXPECT_DOUBLE_EQ(latency(0, 2), 0.01);  // clean shard-round
+}
+
+} // namespace
+} // namespace fmore::util

@@ -1,32 +1,45 @@
 // Failure semantics of the sharded market, both engines:
 //  - in-process ShardedAuctionSelector: a deterministic virtual clock
-//    (set_virtual_latency) drives shard drops — no wall time, so degraded
-//    rounds replay bit-identically, and the degradation is surfaced in
-//    SelectionRecord::dropped_shards and RoundMetrics::dropped_shards;
+//    (set_virtual_latency / set_fault_injector) drives shard drops — no
+//    wall time, so degraded rounds replay bit-identically, and the
+//    degradation is surfaced in SelectionRecord::dropped_shards and
+//    RoundMetrics::dropped_shards;
 //  - multi-process ProcessShardAggregator: un-degraded rounds are
 //    bit-identical to the monolithic salted market; a worker that stalls
-//    past shard_timeout_s or dies mid-round is permanently evicted and the
-//    round completes over the survivors.
+//    past shard_timeout_s or dies mid-round is evicted, the round
+//    completes over the survivors, and — with a respawn budget — the
+//    supervisor re-forks and re-syncs the worker so later rounds are
+//    bit-identical to a run that never failed. Corrupt frames (flipped
+//    bits, self-described-short writes) are caught by the payload CRC,
+//    re-requested once, and never consumed.
 // Fault margins are generous on purpose (10 s stalls against 0.25 s
 // deadlines) so the tests assert semantics, not scheduler luck.
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "fmore/auction/cost.hpp"
 #include "fmore/auction/equilibrium.hpp"
+#include "fmore/auction/mechanism.hpp"
 #include "fmore/auction/scoring.hpp"
 #include "fmore/fl/coordinator.hpp"
 #include "fmore/mec/auction_selector.hpp"
 #include "fmore/mec/population.hpp"
 #include "fmore/mec/shard_aggregator.hpp"
 #include "fmore/mec/sharded_selector.hpp"
+#include "fmore/mec/wire_format.hpp"
 #include "fmore/ml/model_zoo.hpp"
 #include "fmore/ml/synthetic.hpp"
 #include "fmore/stats/normalizer.hpp"
+#include "fmore/util/fault_injector.hpp"
 
 namespace fmore::mec {
 namespace {
@@ -223,6 +236,83 @@ TEST(ShardFault, DegradationSurfacesInRoundMetrics) {
 }
 
 // ---------------------------------------------------------------------------
+// In-process: fault-injector-driven rejoin, every registered mechanism
+// ---------------------------------------------------------------------------
+
+TEST(ShardFault, EveryMechanismRejoinsBitIdenticalInProcess) {
+    // Crash shard 1 in round 2 only. The virtual clock drops it for that
+    // round; from round 3 it answers again, and because shards evolve by
+    // (salt, global id) streams whether or not they made the deadline, the
+    // rounds after the fault must be bit-identical to a run that never
+    // failed — for EVERY registered mechanism (psi pinned to 1 so the
+    // degraded round consumes the same generator draws as the clean one).
+    const std::size_t n = 60;
+    const std::size_t k = 6;
+    const util::FaultInjector plan = util::FaultInjector::from_events(
+        {{/*shard=*/1, /*round=*/2, util::FaultKind::crash_before_reply, 0.0}});
+    for (const std::string& name : auction::MechanismRegistry::instance().names()) {
+        SCOPED_TRACE(name);
+        auction::WinnerDeterminationConfig wd;
+        wd.mechanism = name;
+        wd.num_winners = k;
+        wd.tie_break = auction::TieBreak::salted;
+        wd.full_ranking = false;
+        if (name == "budget_feasible") wd.budget = 500.0;
+        auto run = [&](bool faulty) {
+            ShardedAuctionSelector sharded(make_store(n, 31).split_even(4),
+                                           *market().scoring, *market().strategy,
+                                           wd, layout(), /*data_dimension=*/0);
+            if (faulty) {
+                sharded.set_shard_timeout(1.0);
+                sharded.set_fault_injector(plan);
+            }
+            std::vector<std::vector<auction::Winner>> winners;
+            stats::Rng rng(31);
+            for (std::size_t round = 1; round <= 4; ++round) {
+                winners.push_back(sharded.run_auction_round(round, k, rng).winners);
+                if (faulty && round == 2) {
+                    EXPECT_EQ(sharded.last_dropped_shards(),
+                              (std::vector<std::size_t>{1}));
+                } else {
+                    EXPECT_TRUE(sharded.last_dropped_shards().empty())
+                        << "round " << round;
+                }
+            }
+            return winners;
+        };
+        const auto clean = run(false);
+        const auto faulty = run(true);
+        const auto [lo, hi] = shard_range(n, 4, 1);
+        for (std::size_t r = 0; r < 4; ++r) {
+            SCOPED_TRACE("round " + std::to_string(r + 1));
+            if (r == 1) {
+                // The degraded round fills K from the live shards only.
+                EXPECT_FALSE(any_winner_in(faulty[r], lo, hi));
+                continue;
+            }
+            ASSERT_EQ(clean[r].size(), faulty[r].size());
+            for (std::size_t w = 0; w < clean[r].size(); ++w) {
+                EXPECT_EQ(clean[r][w].node, faulty[r][w].node);
+                EXPECT_EQ(clean[r][w].payment, faulty[r][w].payment);
+                EXPECT_EQ(clean[r][w].score, faulty[r][w].score);
+            }
+        }
+    }
+}
+
+TEST(ShardFault, InProcessQuorumFailsFast) {
+    ShardedAuctionSelector sharded = make_sharded(make_store(40, 9).split_even(4));
+    sharded.set_shard_timeout(0.5);
+    sharded.set_fault_injector(util::FaultInjector::from_events(
+        {{0, 2, util::FaultKind::stall, 9.0}, {1, 2, util::FaultKind::stall, 9.0},
+         {2, 2, util::FaultKind::stall, 9.0}}));
+    sharded.set_min_live_shards(2);
+    stats::Rng rng(12);
+    (void)sharded.run_auction_round(1, 6, rng);  // all four answer
+    EXPECT_THROW((void)sharded.run_auction_round(2, 6, rng), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
 // Multi-process: the pipe-protocol aggregator
 // ---------------------------------------------------------------------------
 
@@ -232,6 +322,28 @@ auction::WinnerDeterminationConfig wire_config(std::size_t k) {
     wd.tie_break = auction::TieBreak::salted;
     wd.full_ranking = false;
     return wd;
+}
+
+ShardSupervisorConfig faults_only(std::vector<util::FaultEvent> events) {
+    ShardSupervisorConfig sup;
+    sup.faults = util::FaultInjector::from_events(std::move(events));
+    return sup;
+}
+
+void expect_outcomes_equal(const auction::AuctionOutcome& a,
+                           const auction::AuctionOutcome& b) {
+    ASSERT_EQ(a.winners.size(), b.winners.size());
+    for (std::size_t w = 0; w < a.winners.size(); ++w) {
+        EXPECT_EQ(a.winners[w].node, b.winners[w].node);
+        EXPECT_EQ(a.winners[w].score, b.winners[w].score);
+        EXPECT_EQ(a.winners[w].payment, b.winners[w].payment);
+    }
+    ASSERT_EQ(a.ranking.size(), b.ranking.size());
+    for (std::size_t r = 0; r < a.ranking.size(); ++r) {
+        EXPECT_EQ(a.ranking[r].bid.node, b.ranking[r].bid.node);
+        EXPECT_EQ(a.ranking[r].score, b.ranking[r].score);
+        EXPECT_EQ(a.ranking[r].bid.payment, b.ranking[r].bid.payment);
+    }
 }
 
 TEST(ShardFault, ProcessAggregatorMatchesMonolithicSaltedMarket) {
@@ -276,11 +388,12 @@ TEST(ShardFault, ProcessAggregatorMatchesMonolithicSaltedMarket) {
 TEST(ShardFault, StalledWorkerIsEvictedAndRoundCompletes) {
     const std::size_t n = 60;
     const std::size_t shards = 3;
-    // Shard 1 stalls 10 s in round 2 against a 0.25 s deadline.
-    std::vector<ShardFault> faults{{/*shard=*/1, /*round=*/2, /*stall_s=*/10.0, false}};
-    ProcessShardAggregator aggregator(make_store(n, 21), *market().scoring,
-                                      *market().strategy, wire_config(6), layout(),
-                                      shards, /*shard_timeout_s=*/0.25, faults);
+    // Shard 1 stalls 10 s in round 2 against a 0.25 s deadline. No respawn
+    // budget: eviction is permanent (the legacy mode).
+    ProcessShardAggregator aggregator(
+        make_store(n, 21), *market().scoring, *market().strategy, wire_config(6),
+        layout(), shards, /*shard_timeout_s=*/0.25,
+        faults_only({{/*shard=*/1, /*round=*/2, util::FaultKind::stall, 10.0}}));
     stats::Rng rng(21);
     const auto [lo, hi] = shard_range(n, shards, 1);
 
@@ -290,12 +403,16 @@ TEST(ShardFault, StalledWorkerIsEvictedAndRoundCompletes) {
     const auction::AuctionOutcome& degraded = aggregator.run_round(2, 6, rng);
     EXPECT_EQ(aggregator.last_dropped_shards(), (std::vector<std::size_t>{1}));
     EXPECT_EQ(aggregator.dead_shards(), 1u);
+    EXPECT_EQ(aggregator.last_health().evictions, 1u);
+    EXPECT_EQ(aggregator.last_health().live_shards, 2u);
     EXPECT_EQ(degraded.winners.size(), 6u);
     EXPECT_FALSE(any_winner_in(degraded.winners, lo, hi));
 
     // Eviction is permanent: the shard stays out, the market keeps going.
     const auction::AuctionOutcome& later = aggregator.run_round(3, 6, rng);
     EXPECT_EQ(aggregator.dead_shards(), 1u);
+    EXPECT_EQ(aggregator.last_health().evictions, 0u);
+    EXPECT_EQ(aggregator.lifetime_health().evictions, 1u);
     EXPECT_EQ(later.winners.size(), 6u);
     EXPECT_FALSE(any_winner_in(later.winners, lo, hi));
 }
@@ -303,10 +420,11 @@ TEST(ShardFault, StalledWorkerIsEvictedAndRoundCompletes) {
 TEST(ShardFault, DyingWorkerIsEvictedAndRoundCompletes) {
     const std::size_t n = 60;
     const std::size_t shards = 3;
-    std::vector<ShardFault> faults{{/*shard=*/2, /*round=*/2, 0.0, /*die=*/true}};
-    ProcessShardAggregator aggregator(make_store(n, 22), *market().scoring,
-                                      *market().strategy, wire_config(6), layout(),
-                                      shards, /*shard_timeout_s=*/5.0, faults);
+    ProcessShardAggregator aggregator(
+        make_store(n, 22), *market().scoring, *market().strategy, wire_config(6),
+        layout(), shards, /*shard_timeout_s=*/5.0,
+        faults_only({{/*shard=*/2, /*round=*/2,
+                      util::FaultKind::crash_before_reply, 0.0}}));
     stats::Rng rng(22);
     (void)aggregator.run_round(1, 6, rng);
     EXPECT_TRUE(aggregator.last_dropped_shards().empty());
@@ -316,6 +434,241 @@ TEST(ShardFault, DyingWorkerIsEvictedAndRoundCompletes) {
     EXPECT_EQ(degraded.winners.size(), 6u);
     const auto [lo, hi] = shard_range(n, shards, 2);
     EXPECT_FALSE(any_winner_in(degraded.winners, lo, hi));
+}
+
+TEST(ShardFault, DelayedReplyWithinDeadlineIsAbsorbed) {
+    // A 50 ms delayed reply against a 10 s deadline degrades nothing and
+    // changes no outcome: compare against an un-faulted twin.
+    const std::size_t n = 40;
+    ProcessShardAggregator clean(make_store(n, 25), *market().scoring,
+                                 *market().strategy, wire_config(5), layout(),
+                                 /*num_shards=*/2, /*shard_timeout_s=*/10.0);
+    ProcessShardAggregator slow(
+        make_store(n, 25), *market().scoring, *market().strategy, wire_config(5),
+        layout(), /*num_shards=*/2, /*shard_timeout_s=*/10.0,
+        faults_only({{/*shard=*/0, /*round=*/1,
+                      util::FaultKind::delayed_reply, 0.05}}));
+    stats::Rng rng_clean(25);
+    stats::Rng rng_slow(25);
+    for (std::size_t round = 1; round <= 2; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const auction::AuctionOutcome& a = clean.run_round(round, 5, rng_clean);
+        const auction::AuctionOutcome& b = slow.run_round(round, 5, rng_slow);
+        EXPECT_TRUE(slow.last_dropped_shards().empty());
+        EXPECT_EQ(slow.last_health().evictions, 0u);
+        expect_outcomes_equal(a, b);
+    }
+}
+
+TEST(ShardFault, CrashedWorkerRespawnsBitIdenticalEveryMechanism) {
+    // THE tentpole acceptance: kill a worker mid-run, let the supervisor
+    // re-fork and re-sync it, and every subsequent round must be
+    // bit-identical to a run that never failed — for every registered
+    // mechanism the wire supports (the exact score-auction engine under
+    // its four registered names; psi pinned to 1 per the wire contract).
+    const std::size_t n = 80;
+    const std::size_t k = 8;
+    const std::size_t shards = 4;
+    for (const std::string& name :
+         {std::string("first_score"), std::string("second_score"),
+          std::string("psi_fmore"), std::string("budget_feasible")}) {
+        SCOPED_TRACE(name);
+        auction::WinnerDeterminationConfig wd = wire_config(k);
+        wd.mechanism = name;
+        if (name == "budget_feasible") wd.budget = 500.0;
+        ShardSupervisorConfig sup;
+        sup.faults = util::FaultInjector::from_events(
+            {{/*shard=*/1, /*round=*/2, util::FaultKind::crash_before_reply, 0.0}});
+        sup.max_respawns = 2;
+        sup.respawn_backoff_s = 0.0;  // eligible again at the next round
+        ProcessShardAggregator clean(make_store(n, 33), *market().scoring,
+                                     *market().strategy, wd, layout(), shards,
+                                     /*shard_timeout_s=*/30.0);
+        ProcessShardAggregator faulty(make_store(n, 33), *market().scoring,
+                                      *market().strategy, wd, layout(), shards,
+                                      /*shard_timeout_s=*/30.0, sup);
+        stats::Rng rng_clean(33);
+        stats::Rng rng_faulty(33);
+        const auto [lo, hi] = shard_range(n, shards, 1);
+        for (std::size_t round = 1; round <= 5; ++round) {
+            SCOPED_TRACE("round " + std::to_string(round));
+            const auction::AuctionOutcome& a = clean.run_round(round, k, rng_clean);
+            const auction::AuctionOutcome& b = faulty.run_round(round, k, rng_faulty);
+            if (round == 2) {
+                // The crash round degrades to the live shards.
+                EXPECT_EQ(faulty.last_dropped_shards(),
+                          (std::vector<std::size_t>{1}));
+                EXPECT_EQ(faulty.last_health().evictions, 1u);
+                EXPECT_FALSE(any_winner_in(b.winners, lo, hi));
+                continue;
+            }
+            EXPECT_TRUE(faulty.last_dropped_shards().empty());
+            if (round == 3) {
+                EXPECT_EQ(faulty.last_health().respawns, 1u);
+                EXPECT_EQ(faulty.live_shards(), shards);
+            }
+            expect_outcomes_equal(a, b);
+        }
+        EXPECT_EQ(faulty.lifetime_health().evictions, 1u);
+        EXPECT_EQ(faulty.lifetime_health().respawns, 1u);
+    }
+}
+
+TEST(ShardFault, CorruptFrameIsRetriedOnceNeverConsumed) {
+    // A bit-flipped head frame fails the payload CRC; the aggregator must
+    // re-request it ONCE and consume only the clean resend — every round
+    // identical to an un-faulted twin, zero evictions.
+    const std::size_t n = 60;
+    ProcessShardAggregator clean(make_store(n, 41), *market().scoring,
+                                 *market().strategy, wire_config(6), layout(),
+                                 /*num_shards=*/3, /*shard_timeout_s=*/30.0);
+    ProcessShardAggregator corrupt(
+        make_store(n, 41), *market().scoring, *market().strategy, wire_config(6),
+        layout(), /*num_shards=*/3, /*shard_timeout_s=*/30.0,
+        faults_only({{/*shard=*/0, /*round=*/2, util::FaultKind::bit_flip, 0.0}}));
+    stats::Rng rng_clean(41);
+    stats::Rng rng_corrupt(41);
+    for (std::size_t round = 1; round <= 3; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const auction::AuctionOutcome& a = clean.run_round(round, 6, rng_clean);
+        const auction::AuctionOutcome& b = corrupt.run_round(round, 6, rng_corrupt);
+        EXPECT_TRUE(corrupt.last_dropped_shards().empty());
+        EXPECT_EQ(corrupt.last_health().corrupt_frames, round == 2 ? 1u : 0u);
+        EXPECT_EQ(corrupt.last_health().frame_retries, round == 2 ? 1u : 0u);
+        EXPECT_EQ(corrupt.last_health().evictions, 0u);
+        expect_outcomes_equal(a, b);
+    }
+    EXPECT_EQ(corrupt.lifetime_health().corrupt_frames, 1u);
+    EXPECT_EQ(corrupt.lifetime_health().frame_retries, 1u);
+    EXPECT_EQ(corrupt.dead_shards(), 0u);
+}
+
+TEST(ShardFault, TruncatedFrameIsRetriedOnceNeverConsumed) {
+    // A self-described-short frame (claims and carries half the bytes
+    // under the full payload's CRC) is the torn-write model: still framed,
+    // caught by the CRC, recovered by one resend.
+    const std::size_t n = 60;
+    ProcessShardAggregator clean(make_store(n, 42), *market().scoring,
+                                 *market().strategy, wire_config(6), layout(),
+                                 /*num_shards=*/3, /*shard_timeout_s=*/30.0);
+    ProcessShardAggregator torn(
+        make_store(n, 42), *market().scoring, *market().strategy, wire_config(6),
+        layout(), /*num_shards=*/3, /*shard_timeout_s=*/30.0,
+        faults_only(
+            {{/*shard=*/2, /*round=*/1, util::FaultKind::truncated_write, 0.0}}));
+    stats::Rng rng_clean(42);
+    stats::Rng rng_torn(42);
+    for (std::size_t round = 1; round <= 2; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const auction::AuctionOutcome& a = clean.run_round(round, 6, rng_clean);
+        const auction::AuctionOutcome& b = torn.run_round(round, 6, rng_torn);
+        EXPECT_TRUE(torn.last_dropped_shards().empty());
+        EXPECT_EQ(torn.last_health().corrupt_frames, round == 1 ? 1u : 0u);
+        EXPECT_EQ(torn.last_health().frame_retries, round == 1 ? 1u : 0u);
+        expect_outcomes_equal(a, b);
+    }
+    EXPECT_EQ(torn.dead_shards(), 0u);
+}
+
+TEST(ShardFault, QuorumFailsFastWithActionableError) {
+    const std::size_t n = 60;
+    ShardSupervisorConfig sup = faults_only(
+        {{0, 2, util::FaultKind::crash_before_reply, 0.0},
+         {1, 2, util::FaultKind::crash_before_reply, 0.0}});
+    sup.min_live_shards = 2;
+    ProcessShardAggregator aggregator(make_store(n, 43), *market().scoring,
+                                      *market().strategy, wire_config(6), layout(),
+                                      /*num_shards=*/3, /*shard_timeout_s=*/5.0, sup);
+    stats::Rng rng(43);
+    (void)aggregator.run_round(1, 6, rng);
+    try {
+        (void)aggregator.run_round(2, 6, rng);
+        FAIL() << "expected the quorum check to throw";
+    } catch (const std::runtime_error& error) {
+        // The message must tell the operator which knobs to turn.
+        EXPECT_NE(std::string(error.what()).find("auction.shard_quorum"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(ShardFault, RespawnBudgetExhaustionRetiresWorker) {
+    // Shard 0 crashes in rounds 2 and 3. With a budget of one respawn it
+    // is re-forked for round 3, crashes again, and is retired: round 4
+    // runs degraded with no further respawn attempts.
+    const std::size_t n = 60;
+    ShardSupervisorConfig sup = faults_only(
+        {{0, 2, util::FaultKind::crash_before_reply, 0.0},
+         {0, 3, util::FaultKind::crash_before_reply, 0.0}});
+    sup.max_respawns = 1;
+    sup.respawn_backoff_s = 0.0;
+    ProcessShardAggregator aggregator(make_store(n, 44), *market().scoring,
+                                      *market().strategy, wire_config(6), layout(),
+                                      /*num_shards=*/3, /*shard_timeout_s=*/5.0, sup);
+    stats::Rng rng(44);
+    (void)aggregator.run_round(1, 6, rng);
+    EXPECT_EQ(aggregator.live_shards(), 3u);
+
+    (void)aggregator.run_round(2, 6, rng);
+    EXPECT_EQ(aggregator.last_dropped_shards(), (std::vector<std::size_t>{0}));
+    EXPECT_EQ(aggregator.last_health().evictions, 1u);
+
+    (void)aggregator.run_round(3, 6, rng);
+    EXPECT_EQ(aggregator.last_health().respawns, 1u);
+    EXPECT_EQ(aggregator.last_health().evictions, 1u);
+    EXPECT_EQ(aggregator.last_dropped_shards(), (std::vector<std::size_t>{0}));
+
+    (void)aggregator.run_round(4, 6, rng);
+    EXPECT_EQ(aggregator.last_health().respawns, 0u);  // budget spent: retired
+    EXPECT_EQ(aggregator.last_dropped_shards(), (std::vector<std::size_t>{0}));
+    EXPECT_EQ(aggregator.live_shards(), 2u);
+    EXPECT_EQ(aggregator.lifetime_health().evictions, 2u);
+    EXPECT_EQ(aggregator.lifetime_health().respawns, 1u);
+}
+
+TEST(ShardFault, ZeroRowShardHeadFrameIsHandled) {
+    // Ban every node of shard 0: its worker still answers, with a zero-row
+    // head — an edge frame the protocol must carry (the shard is NOT
+    // dropped; it just has nothing to sell).
+    const std::size_t n = 20;
+    ProcessShardAggregator aggregator(make_store(n, 45), *market().scoring,
+                                      *market().strategy, wire_config(5), layout(),
+                                      /*num_shards=*/2, /*shard_timeout_s=*/30.0);
+    stats::Rng rng(45);
+    (void)aggregator.run_round(1, 5, rng);
+    const auto [lo, hi] = shard_range(n, 2, 0);
+    for (std::size_t node = lo; node < hi; ++node)
+        aggregator.ban(static_cast<auction::NodeId>(node));
+    const auction::AuctionOutcome& o = aggregator.run_round(2, 5, rng);
+    EXPECT_TRUE(aggregator.last_dropped_shards().empty());
+    EXPECT_EQ(aggregator.dead_shards(), 0u);
+    EXPECT_EQ(o.winners.size(), 5u);
+    EXPECT_FALSE(any_winner_in(o.winners, lo, hi));
+}
+
+TEST(ShardFault, MaxKHeadFramesMatchMonolithic) {
+    // K = N: every shard ships its entire population as the head — the
+    // largest frame the protocol ever carries — and the outcome must still
+    // match the monolithic salted market bit for bit.
+    const Market& m = market();
+    const std::size_t n = 16;
+    const std::size_t k = 16;
+    const auction::WinnerDeterminationConfig wd = wire_config(k);
+    MecPopulation population(make_store(n, 46));
+    AuctionSelector mono(population, *m.scoring, *m.strategy, wd,
+                         data_category_extractor(), /*data_dimension=*/0);
+    ProcessShardAggregator aggregator(make_store(n, 46), *m.scoring, *m.strategy,
+                                      wd, layout(), /*num_shards=*/2,
+                                      /*shard_timeout_s=*/30.0);
+    stats::Rng mono_rng(46);
+    stats::Rng agg_rng(46);
+    for (std::size_t round = 1; round <= 2; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const auction::AuctionOutcome& a = mono.run_auction_round(round, k, mono_rng);
+        const auction::AuctionOutcome& b = aggregator.run_round(round, k, agg_rng);
+        EXPECT_EQ(b.winners.size(), n);
+        expect_outcomes_equal(a, b);
+    }
 }
 
 TEST(ShardFault, BansReachWorkersNextRound) {
@@ -355,6 +708,126 @@ TEST(ShardFault, AggregatorRejectsNonWireFriendlySpecs) {
     EXPECT_THROW(build(full), std::invalid_argument);
 
     EXPECT_THROW(build(wire_config(5), /*timeout=*/0.0), std::invalid_argument);
+
+    // Supervisor config is validated up front too.
+    auto build_sup = [&](ShardSupervisorConfig sup) {
+        ProcessShardAggregator probe(store, *m.scoring, *m.strategy, wire_config(5),
+                                     layout(), 2, 1.0, std::move(sup));
+    };
+    ShardSupervisorConfig over_quorum;
+    over_quorum.min_live_shards = 3;  // only 2 shards exist
+    EXPECT_THROW(build_sup(over_quorum), std::invalid_argument);
+    ShardSupervisorConfig bad_backoff;
+    bad_backoff.respawn_backoff_s = -1.0;
+    EXPECT_THROW(build_sup(bad_backoff), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol: frame-level edge cases on raw pipes
+// ---------------------------------------------------------------------------
+
+struct Pipe {
+    int fds[2] = {-1, -1};
+    Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+    ~Pipe() {
+        if (fds[0] >= 0) ::close(fds[0]);
+        if (fds[1] >= 0) ::close(fds[1]);
+    }
+};
+
+TEST(ShardFault, WireCrc32MatchesKnownVector) {
+    // The IEEE 802.3 check value: CRC32("123456789") — a wrong polynomial,
+    // reflection, or init/final XOR all fail this.
+    EXPECT_EQ(wire::crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(wire::crc32("", 0), 0u);
+}
+
+TEST(ShardFault, WireTruncatedLengthPrefixReadsAsEof) {
+    // A peer that dies 10 bytes into the 24-byte header must surface as
+    // eof, not as a garbage frame.
+    Pipe p;
+    const std::uint8_t junk[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    ASSERT_TRUE(wire::write_all(p.fds[1], junk, sizeof(junk)));
+    ::close(p.fds[1]);
+    p.fds[1] = -1;
+    wire::FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(wire::read_frame(p.fds[0], header, payload), wire::ReadStatus::eof);
+}
+
+TEST(ShardFault, WireBadMagicOrHeaderCrcIsBadHeader) {
+    Pipe p;
+    wire::FrameHeader h;
+    h.type = static_cast<std::uint32_t>(wire::FrameType::head);
+    h.magic = 0xdeadbeefu;
+    h.header_crc =
+        wire::crc32(&h, sizeof(wire::FrameHeader) - sizeof(std::uint32_t));
+    ASSERT_TRUE(wire::write_all(p.fds[1], &h, sizeof(h)));
+    wire::FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(wire::read_frame(p.fds[0], header, payload),
+              wire::ReadStatus::bad_header);
+
+    // A flipped bit in the length field is caught by the header CRC before
+    // it can desynchronize the stream.
+    wire::FrameHeader sized;
+    sized.type = static_cast<std::uint32_t>(wire::FrameType::head);
+    sized.payload_size = 8;
+    sized.header_crc =
+        wire::crc32(&sized, sizeof(wire::FrameHeader) - sizeof(std::uint32_t));
+    sized.payload_size = 1ull << 40;  // corrupt AFTER hashing
+    ASSERT_TRUE(wire::write_all(p.fds[1], &sized, sizeof(sized)));
+    EXPECT_EQ(wire::read_frame(p.fds[0], header, payload),
+              wire::ReadStatus::bad_header);
+}
+
+TEST(ShardFault, WireChecksumMismatchDrainsFrameAndStaysFramed) {
+    // bad_payload is the RECOVERABLE verdict: the advertised bytes are
+    // drained, so the very next frame on the stream parses clean.
+    Pipe p;
+    const char garbled[] = "garbled-payload";
+    ASSERT_TRUE(wire::write_frame_raw(p.fds[1], wire::FrameType::head, garbled,
+                                      sizeof(garbled), /*payload_crc=*/0x1234));
+    const char clean[] = "clean-payload";
+    ASSERT_TRUE(
+        wire::write_frame(p.fds[1], wire::FrameType::head, clean, sizeof(clean)));
+    wire::FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(wire::read_frame(p.fds[0], header, payload),
+              wire::ReadStatus::bad_payload);
+    ASSERT_EQ(wire::read_frame(p.fds[0], header, payload), wire::ReadStatus::ok);
+    ASSERT_EQ(payload.size(), sizeof(clean));
+    EXPECT_EQ(std::memcmp(payload.data(), clean, sizeof(clean)), 0);
+    // Zero-length frames are checksummed too (crc must be 0).
+    ASSERT_TRUE(wire::write_frame_raw(p.fds[1], wire::FrameType::nack, nullptr, 0,
+                                      /*payload_crc=*/7));
+    EXPECT_EQ(wire::read_frame(p.fds[0], header, payload),
+              wire::ReadStatus::bad_payload);
+}
+
+TEST(ShardFault, WireDeadlineExpiresAsTimeout) {
+    Pipe p;
+    wire::FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(wire::read_frame_deadline(
+                  p.fds[0], header, payload,
+                  std::chrono::steady_clock::now() + std::chrono::milliseconds(30)),
+              wire::ReadStatus::timeout);
+}
+
+TEST(ShardFault, WireWriteToClosedPipeFailsWithoutSignal) {
+    // With SIGPIPE ignored (the aggregator and workers both install this)
+    // writing to a dead peer must report failure, not kill the process —
+    // that is what turns a dead worker into an eviction.
+    using SigHandler = void (*)(int);
+    const SigHandler previous = std::signal(SIGPIPE, SIG_IGN);
+    Pipe p;
+    ::close(p.fds[0]);
+    p.fds[0] = -1;
+    const char data[] = "to-nobody";
+    EXPECT_FALSE(wire::write_frame(p.fds[1], wire::FrameType::request, data,
+                                   sizeof(data)));
+    std::signal(SIGPIPE, previous);
 }
 
 } // namespace

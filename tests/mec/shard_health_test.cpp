@@ -1,0 +1,76 @@
+// Round-health telemetry: the per-round ShardHealth counters surfaced by
+// the aggregators and the run-level RoundHealth summary RunResult::health()
+// distills from them (plus the streaming close-reason mix — the
+// adaptive-quorum seed).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fmore/fl/metrics.hpp"
+#include "fmore/fl/selection.hpp"
+
+namespace fmore::fl {
+namespace {
+
+RoundMetrics streaming_round(const char* reason, double close_s) {
+    RoundMetrics metrics;
+    metrics.selection.close_reason = reason;
+    metrics.selection.close_time_s = close_s;
+    return metrics;
+}
+
+TEST(ShardHealth, EmptyRunSummarizesToZeros) {
+    const RoundHealth health = RunResult{}.health();
+    EXPECT_EQ(health.rounds, 0u);
+    EXPECT_EQ(health.streaming_rounds, 0u);
+    EXPECT_EQ(health.quorum_close_fraction, 0.0);
+    EXPECT_EQ(health.close_p99_s, 0.0);
+    EXPECT_EQ(health.rounds_degraded, 0u);
+}
+
+TEST(ShardHealth, CloseReasonMixAndPercentiles) {
+    RunResult result;
+    result.rounds.push_back(streaming_round("quorum", 0.1));
+    result.rounds.push_back(streaming_round("quorum", 0.2));
+    result.rounds.push_back(streaming_round("deadline", 0.3));
+    result.rounds.push_back(streaming_round("exhausted", 0.4));
+    // A batch round (no close telemetry) must not dilute the fractions.
+    result.rounds.push_back(RoundMetrics{});
+
+    const RoundHealth health = result.health();
+    EXPECT_EQ(health.rounds, 5u);
+    EXPECT_EQ(health.streaming_rounds, 4u);
+    EXPECT_DOUBLE_EQ(health.quorum_close_fraction, 0.5);
+    EXPECT_DOUBLE_EQ(health.deadline_close_fraction, 0.25);
+    // p50 of {0.1, 0.2, 0.3, 0.4} by linear interpolation; p99 hugs the max.
+    EXPECT_NEAR(health.close_p50_s, 0.25, 1e-12);
+    EXPECT_NEAR(health.close_p99_s, 0.4, 0.01);
+    EXPECT_GE(health.close_p99_s, health.close_p50_s);
+}
+
+TEST(ShardHealth, SupervisionCountersSumAcrossRounds) {
+    RunResult result;
+    RoundMetrics degraded;
+    degraded.selection.dropped_shards = {1, 3};
+    degraded.selection.shard_health.evictions = 2;
+    degraded.selection.shard_health.corrupt_frames = 1;
+    degraded.selection.shard_health.frame_retries = 1;
+    result.rounds.push_back(degraded);
+
+    RoundMetrics recovered;
+    recovered.selection.shard_health.respawns = 2;
+    result.rounds.push_back(recovered);
+    result.rounds.push_back(RoundMetrics{});
+
+    const RoundHealth health = result.health();
+    EXPECT_EQ(health.rounds, 3u);
+    EXPECT_EQ(health.rounds_degraded, 1u);
+    EXPECT_EQ(health.shard_evictions, 2u);
+    EXPECT_EQ(health.shard_respawns, 2u);
+    EXPECT_EQ(health.corrupt_frames, 1u);
+    EXPECT_EQ(health.frame_retries, 1u);
+}
+
+} // namespace
+} // namespace fmore::fl
