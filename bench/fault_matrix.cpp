@@ -14,9 +14,10 @@
 //     must match a never-faulted twin aggregator bit for bit — the
 //     respawn re-sync (salt-history replay) is what makes this true.
 //
-// Results land in the `faults` section of BENCH_scale.json, spliced in
-// BEFORE the `streaming` section (streaming_market rewrites everything
-// from its own key to the end of the file).
+// Results land in the `faults` section of BENCH_scale.json, spliced
+// section-bounded via util/json_ledger.hpp: only the `faults` member is
+// replaced, wherever it sits, so the co-owning benches can run in any
+// order.
 //
 //   fault_matrix [--smoke] [--out path.json] [--check committed.json]
 //
@@ -48,6 +49,7 @@
 #include "fmore/stats/normalizer.hpp"
 #include "fmore/stats/rng.hpp"
 #include "fmore/util/fault_injector.hpp"
+#include "fmore/util/json_ledger.hpp"
 
 namespace {
 
@@ -222,9 +224,10 @@ MatrixRow run_plan(const PlanSpec& plan_spec, const Market& market, std::size_t 
 }
 
 // ---------------------------------------------------------------------------
-// Ledger I/O: splice the `faults` section into BENCH_scale.json BEFORE the
-// `streaming` section (streaming_market truncates from its key to EOF when
-// it rewrites, so order is load-bearing).
+// Ledger I/O: splice the `faults` section into BENCH_scale.json via the
+// section-bounded helpers (util/json_ledger.hpp) — the section is replaced
+// in place wherever it sits, so the order the co-owning benches run in is
+// irrelevant.
 // ---------------------------------------------------------------------------
 
 std::string render_section(const std::vector<MatrixRow>& rows, bool smoke,
@@ -266,33 +269,6 @@ std::string render_section(const std::vector<MatrixRow>& rows, bool smoke,
     return out.str();
 }
 
-/// Remove an existing top-level `key` object from `text` (brace-matched),
-/// including the comma that introduced it.
-std::string remove_section(std::string text, const std::string& key) {
-    const std::size_t at = text.find("\"" + key + "\"");
-    if (at == std::string::npos) return text;
-    const std::size_t open = text.find('{', at);
-    if (open == std::string::npos) return text;
-    int depth = 0;
-    std::size_t end = open;
-    for (std::size_t i = open; i < text.size(); ++i) {
-        if (text[i] == '{') ++depth;
-        if (text[i] == '}' && --depth == 0) {
-            end = i;
-            break;
-        }
-    }
-    std::size_t start = text.rfind(',', at);
-    if (start == std::string::npos) start = at;
-    std::size_t after = end + 1;
-    // Swallow a trailing comma when the section was not the last one.
-    while (after < text.size()
-           && (std::isspace(static_cast<unsigned char>(text[after])) != 0))
-        ++after;
-    if (start == at && after < text.size() && text[after] == ',') ++after;
-    return text.substr(0, start) + text.substr(start == at ? after : end + 1);
-}
-
 void write_ledger(const std::string& path, const std::string& section) {
     std::string text;
     {
@@ -303,23 +279,8 @@ void write_ledger(const std::string& path, const std::string& section) {
             text = buffer.str();
         }
     }
-    text = remove_section(std::move(text), "faults");
-
-    std::string merged;
-    const std::size_t streaming_at = text.find("\"streaming\"");
-    if (streaming_at != std::string::npos) {
-        merged = text.substr(0, streaming_at) + section + ",\n  "
-                 + text.substr(streaming_at);
-    } else if (const std::size_t close = text.rfind('}');
-               close != std::string::npos) {
-        std::string head = text.substr(0, close);
-        while (!head.empty()
-               && std::isspace(static_cast<unsigned char>(head.back())) != 0)
-            head.pop_back();
-        merged = head + ",\n  " + section + "\n}\n";
-    } else {
-        merged = "{\n  " + section + "\n}\n";
-    }
+    const std::string merged =
+        util::splice_ledger_section(std::move(text), "faults", section);
 
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
@@ -338,13 +299,12 @@ void write_ledger(const std::string& path, const std::string& section) {
 /// bit-identical.
 bool check_against(const std::string& text, const std::vector<MatrixRow>& rows) {
     bool ok = true;
-    const std::size_t section_at = text.find("\"faults\"");
-    if (section_at == std::string::npos) {
+    const std::string section = util::extract_ledger_section(text, "faults");
+    if (section.empty()) {
         std::cerr << "fault_matrix --check: committed ledger has no \"faults\""
                      " section\n";
         return false;
     }
-    const std::string section = text.substr(section_at);
     for (const MatrixRow& row : rows) {
         if (!row.bit_identity_after_rejoin || row.clean_rounds_compared == 0) {
             std::cerr << "fault_matrix --check: plan '" << row.name

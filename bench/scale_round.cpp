@@ -44,6 +44,7 @@
 #include "fmore/mec/auction_selector.hpp"
 #include "fmore/mec/sharded_selector.hpp"
 #include "fmore/stats/normalizer.hpp"
+#include "fmore/util/json_ledger.hpp"
 
 // ---------------------------------------------------------------------------
 // Global allocation hook: counts every operator-new in the process so the
@@ -349,49 +350,77 @@ ScaleRow bench_scale(std::size_t n, std::size_t rounds, bool with_legacy) {
 // Ledger I/O + the --check regression gate
 // ---------------------------------------------------------------------------
 
+/// Write the ledger by SPLICING: this bench owns the grid scalars and the
+/// `scale` rows; the `faults` / `streaming` / `streaming_sharded` sections
+/// the other benches splice into the same file survive a rewrite verbatim
+/// (historically this writer truncated the whole file, so a scale rerun
+/// silently dropped every other bench's section).
 void write_ledger(const std::string& path, const std::vector<ScaleRow>& rows,
                   bool smoke, std::size_t rounds) {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
+    std::ostringstream section;
+    char buf[512];
+    section << "\"scale\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ScaleRow& row = rows[i];
+        std::snprintf(buf, sizeof buf, "    {\"n\": %zu, ", row.n);
+        section << buf;
+        if (row.has_legacy) {
+            std::snprintf(buf, sizeof buf,
+                          "\"legacy_ms_per_round\": %.4g, "
+                          "\"legacy_evolve_ms\": %.4g, \"legacy_bid_ms\": %.4g, ",
+                          row.legacy_ms, row.legacy_evolve_ms, row.legacy_bid_ms);
+            section << buf;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "\"soa_ms_per_round\": %.4g, "
+                      "\"soa_evolve_ms\": %.4g, \"soa_bid_ms\": %.4g, ",
+                      row.soa_ms, row.soa_evolve_ms, row.soa_bid_ms);
+        section << buf;
+        if (row.has_legacy) {
+            std::snprintf(buf, sizeof buf,
+                          "\"speedup\": %.4g, \"winners_bit_identical\": %s, ",
+                          row.legacy_ms / row.soa_ms,
+                          row.identical ? "true" : "false");
+            section << buf;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "\"sharded_ms_per_round\": %.4g, "
+                      "\"sharded_winners_bit_identical\": %s, "
+                      "\"steady_state_allocs_per_round\": %llu}%s\n",
+                      row.sharded_ms, row.sharded_identical ? "true" : "false",
+                      static_cast<unsigned long long>(row.steady_allocs),
+                      i + 1 < rows.size() ? "," : "");
+        section << buf;
+    }
+    section << "  ]";
+
+    std::string text;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            text = buffer.str();
+        }
+    }
+    const auto scalar = [&text](const char* key, const std::string& value) {
+        text = util::splice_ledger_section(std::move(text), key,
+                                           "\"" + std::string(key) + "\": " + value);
+    };
+    scalar("smoke", smoke ? "true" : "false");
+    scalar("hardware_threads", std::to_string(std::thread::hardware_concurrency()));
+    scalar("k", std::to_string(kWinners));
+    scalar("shards", std::to_string(kShards));
+    scalar("rounds_timed", std::to_string(rounds - 1));
+    text = util::splice_ledger_section(std::move(text), "scale", section.str());
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
         std::cerr << "scale_round: cannot write " << path << '\n';
         std::exit(1);
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"k\": %zu,\n", kWinners);
-    std::fprintf(f, "  \"shards\": %zu,\n", kShards);
-    std::fprintf(f, "  \"rounds_timed\": %zu,\n", rounds - 1);
-    std::fprintf(f, "  \"scale\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const ScaleRow& row = rows[i];
-        std::fprintf(f, "    {\"n\": %zu, ", row.n);
-        if (row.has_legacy) {
-            std::fprintf(f,
-                         "\"legacy_ms_per_round\": %.4g, "
-                         "\"legacy_evolve_ms\": %.4g, \"legacy_bid_ms\": %.4g, ",
-                         row.legacy_ms, row.legacy_evolve_ms, row.legacy_bid_ms);
-        }
-        std::fprintf(f,
-                     "\"soa_ms_per_round\": %.4g, "
-                     "\"soa_evolve_ms\": %.4g, \"soa_bid_ms\": %.4g, ",
-                     row.soa_ms, row.soa_evolve_ms, row.soa_bid_ms);
-        if (row.has_legacy) {
-            std::fprintf(f, "\"speedup\": %.4g, \"winners_bit_identical\": %s, ",
-                         row.legacy_ms / row.soa_ms, row.identical ? "true" : "false");
-        }
-        std::fprintf(f,
-                     "\"sharded_ms_per_round\": %.4g, "
-                     "\"sharded_winners_bit_identical\": %s, "
-                     "\"steady_state_allocs_per_round\": %llu}%s\n",
-                     row.sharded_ms, row.sharded_identical ? "true" : "false",
-                     static_cast<unsigned long long>(row.steady_allocs),
-                     i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::cout << "\nwrote " << path << '\n';
+    out << text;
+    std::cout << "\nwrote the scale section of " << path << '\n';
 }
 
 /// Pull `"key": <number>` out of a JSON object snippet.
@@ -407,8 +436,11 @@ bool extract_number(const std::string& text, const std::string& key, double* out
 /// the fresh ledger is written, so `--out` and `--check` may name the same
 /// file). Returns false (and explains) when keys are missing or the fused
 /// path regressed.
-bool check_against(const std::string& text, const std::vector<ScaleRow>& rows) {
-    if (text.find("\"scale\"") == std::string::npos) {
+bool check_against(const std::string& ledger, const std::vector<ScaleRow>& rows) {
+    // Scope every row lookup to the `scale` section: the streaming rows in
+    // the shared ledger carry the same `"n": ...` tags.
+    const std::string text = util::extract_ledger_section(ledger, "scale");
+    if (text.empty()) {
         std::cerr << "scale_round --check: committed ledger has no \"scale\" key\n";
         return false;
     }

@@ -16,9 +16,20 @@
 //   - the quorum-vs-deadline close mix under Poisson traffic tuned so the
 //     two triggers race at even odds.
 //
-// Results land in the `streaming` section of BENCH_scale.json (spliced in
-// after scale_round's rows; a standalone file is written when the target
-// does not exist yet).
+// A second leg runs the SHARDED streaming service: every round closed
+// through `close_round_sharded` (the StreamingHeadMerge composition the
+// cross-process aggregator runs over its pipes) and compared bit for bit
+// against the monolithic close, with the adaptive quorum controller
+// (`timing.adaptive_quorum`) raced against a fixed quorum over identical
+// Poisson traffic — the recorded close-time improvement and the
+// byte-identity of the quorum schedule across two replays are what CI
+// gates on.
+//
+// Results land in the `streaming` and `streaming_sharded` sections of
+// BENCH_scale.json, spliced section-bounded via util/json_ledger.hpp (each
+// section replaced in place wherever it sits, so the co-owning benches can
+// run in any order; a standalone file is written when the target does not
+// exist yet).
 //
 //   streaming_market [--smoke] [--out path.json] [--check committed.json]
 //
@@ -47,9 +58,12 @@
 #include "fmore/auction/scoring.hpp"
 #include "fmore/auction/shard_merge.hpp"
 #include "fmore/auction/streaming_market.hpp"
+#include "fmore/fl/adaptive_quorum.hpp"
 #include "fmore/mec/arrival_model.hpp"
+#include "fmore/mec/population_store.hpp"
 #include "fmore/stats/normalizer.hpp"
 #include "fmore/stats/rng.hpp"
+#include "fmore/util/json_ledger.hpp"
 
 namespace {
 
@@ -342,6 +356,157 @@ void bench_close_mix(std::size_t n, std::size_t rounds, std::uint64_t seed,
     }
 }
 
+/// Leg 5 (the `streaming_sharded` section): the sharded streaming service.
+/// Every round ingests Poisson traffic and closes through
+/// `close_round_sharded` at S=8 — the per-shard-head + StreamingHeadMerge
+/// composition the cross-process aggregator runs — checked bit for bit
+/// against a monolithic twin fed the identical traffic. On top of the same
+/// traffic, an `fl::AdaptiveQuorumController` (the engine behind
+/// `timing.adaptive_quorum`) races a fixed quorum deliberately set above
+/// what the arrival process delivers by the deadline: the fixed service
+/// waits out the full deadline every round, while the controller walks the
+/// quorum down until the quorum trigger fires early again. Close times are
+/// virtual (arrival-clock) seconds, so both the improvement ratio and the
+/// schedule are exactly reproducible; the schedule byte-identity flag
+/// replays the adaptive run from scratch and compares rendered schedules.
+struct ShardedStreamingRow {
+    std::size_t n = 0;
+    std::size_t rounds = 0;
+    std::size_t fixed_quorum = 0;     ///< both runs open round 1 with this
+    std::size_t adaptive_final = 0;   ///< controller's quorum after the run
+    double fixed_close_s_mean = 0.0;
+    double adaptive_close_s_mean = 0.0;
+    double improvement = 0.0;         ///< fixed mean / adaptive mean
+    bool sharded_identical = false;   ///< close_round_sharded == close_round
+    bool schedule_identical = false;  ///< byte-equal schedule across replays
+    std::size_t quorum_closes = 0;    ///< adaptive run's close mix
+    std::size_t deadline_closes = 0;
+};
+
+std::string render_schedule(const std::vector<std::size_t>& schedule) {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < schedule.size(); ++i)
+        out << (i == 0 ? "" : ",") << schedule[i];
+    return out.str();
+}
+
+void bench_sharded_streaming(std::size_t n, std::size_t rounds,
+                             std::uint64_t seed, ShardedStreamingRow& row) {
+    auction::MechanismSpec spec;
+    spec.num_winners = kWinners;
+    spec.full_ranking = false;
+    spec.tie_break = auction::TieBreak::salted;
+    const std::shared_ptr<const auction::Mechanism> mech(auction::make_mechanism(spec));
+
+    stats::Rng data_rng(seed);
+    const auction::BidFrame frame = random_frame(n, data_rng);
+
+    // One traffic tape for every run: arrival noise must not be a degree of
+    // freedom between the fixed and the adaptive service.
+    std::vector<mec::ArrivalModel> traffic;
+    traffic.reserve(rounds);
+    stats::Rng traffic_rng(seed ^ 0xada0ULL);
+    for (std::size_t r = 0; r < rounds; ++r)
+        traffic.push_back(
+            mec::ArrivalModel::poisson(n, static_cast<double>(n), traffic_rng));
+
+    std::vector<std::size_t> starts{0};
+    for (const std::size_t cut : mec::PopulationStore::even_boundaries(n, kShards))
+        starts.push_back(cut);
+
+    const double deadline_s = 0.5;
+    // Quorum 7n/8 at rate n bids/s wants ~0.875 s — hopeless against the
+    // 0.5 s deadline, so the fixed service deadline-closes every round.
+    // Step n/4 walks the adaptive service to 3n/8 (~0.375 s) in two
+    // decisions, where it parks: quorum closes, but with too little slack
+    // (p99 > slack_ratio x deadline) to trigger the raise rule.
+    const std::size_t fixed_quorum = 7 * n / 8;
+    fl::AdaptiveQuorumConfig acfg;
+    acfg.initial = fixed_quorum;
+    acfg.max_quorum = n;
+    acfg.step = n / 4;
+    acfg.window = 4;
+    acfg.deadline_s = deadline_s;
+
+    // One service pass over the traffic tape. `controller` == nullptr runs
+    // the fixed quorum; `sharded` picks the close path. Returns per-round
+    // close times and outcomes so callers can compare twins bit for bit.
+    auto run = [&](fl::AdaptiveQuorumController* controller, bool sharded,
+                   std::vector<double>& close_s,
+                   std::vector<auction::AuctionOutcome>* outcomes,
+                   std::size_t* quorum_closes, std::size_t* deadline_closes) {
+        auction::StreamingMarket market(mech, scoring());
+        stats::Rng round_rng(seed ^ 0xc105eULL);
+        auction::StreamingRoundSpec round;
+        round.deadline_s = deadline_s;
+        for (std::size_t r = 0; r < rounds; ++r) {
+            round.quorum = controller ? controller->quorum() : fixed_quorum;
+            market.open_round(n, 2, round, round_rng);
+            for (const mec::Arrival& arrival : traffic[r].schedule()) {
+                const auction::NodeId node =
+                    static_cast<auction::NodeId>(arrival.node);
+                if (!market.offer(node, frame.quality_row(node),
+                                  frame.payment(node), frame.score(node),
+                                  arrival.seconds))
+                    break;
+            }
+            const auction::AuctionOutcome& got =
+                sharded ? market.close_round_sharded(round_rng, starts)
+                        : market.close_round(round_rng);
+            close_s.push_back(market.close_time_s());
+            if (outcomes != nullptr) outcomes->push_back(got);
+            if (market.close_reason() == auction::CloseReason::quorum) {
+                if (quorum_closes != nullptr) ++*quorum_closes;
+            } else if (market.close_reason() == auction::CloseReason::deadline) {
+                if (deadline_closes != nullptr) ++*deadline_closes;
+            }
+            if (controller != nullptr)
+                controller->observe(auction::to_string(market.close_reason()),
+                                    market.close_time_s());
+        }
+    };
+
+    row.n = n;
+    row.rounds = rounds;
+    row.fixed_quorum = fixed_quorum;
+
+    // Fixed twins: monolithic close vs sharded close over identical rounds.
+    std::vector<double> fixed_close_s;
+    std::vector<auction::AuctionOutcome> mono_outcomes;
+    std::vector<auction::AuctionOutcome> shard_outcomes;
+    {
+        std::vector<double> ignored;
+        run(nullptr, false, fixed_close_s, &mono_outcomes, nullptr, nullptr);
+        run(nullptr, true, ignored, &shard_outcomes, nullptr, nullptr);
+    }
+    row.sharded_identical = mono_outcomes.size() == shard_outcomes.size();
+    for (std::size_t r = 0; row.sharded_identical && r < mono_outcomes.size(); ++r)
+        row.sharded_identical = outcomes_equal(mono_outcomes[r], shard_outcomes[r]);
+
+    // Adaptive run (sharded close path), replayed from scratch for the
+    // schedule byte-identity flag.
+    std::vector<double> adaptive_close_s;
+    fl::AdaptiveQuorumController controller(acfg);
+    run(&controller, true, adaptive_close_s, nullptr, &row.quorum_closes,
+        &row.deadline_closes);
+    row.adaptive_final = controller.quorum();
+    {
+        std::vector<double> replay_close_s;
+        fl::AdaptiveQuorumController replay(acfg);
+        run(&replay, true, replay_close_s, nullptr, nullptr, nullptr);
+        row.schedule_identical = render_schedule(controller.schedule())
+                                 == render_schedule(replay.schedule());
+    }
+
+    double fixed_sum = 0.0;
+    for (const double s : fixed_close_s) fixed_sum += s;
+    double adaptive_sum = 0.0;
+    for (const double s : adaptive_close_s) adaptive_sum += s;
+    row.fixed_close_s_mean = fixed_sum / static_cast<double>(rounds);
+    row.adaptive_close_s_mean = adaptive_sum / static_cast<double>(rounds);
+    row.improvement = row.fixed_close_s_mean / row.adaptive_close_s_mean;
+}
+
 StreamingRow bench_streaming(std::size_t n, std::size_t rounds, std::size_t mix_rounds) {
     const std::uint64_t seed = 0x5ca1e000ULL + n;
     StreamingRow row;
@@ -362,7 +527,7 @@ std::string render_section(const std::vector<StreamingRow>& rows, bool smoke,
     std::ostringstream out;
     char buf[512];
     std::snprintf(buf, sizeof buf,
-                  "  \"streaming\": {\n"
+                  "\"streaming\": {\n"
                   "    \"smoke\": %s,\n"
                   "    \"hardware_threads\": %u,\n"
                   "    \"k\": %zu,\n"
@@ -399,10 +564,43 @@ std::string render_section(const std::vector<StreamingRow>& rows, bool smoke,
     return out.str();
 }
 
-/// Write the ledger: when `path` already holds a JSON object (scale_round's
-/// ledger), replace/append its `streaming` section in place so the two
-/// benches share one file; otherwise emit a standalone object.
-void write_ledger(const std::string& path, const std::string& section) {
+std::string render_sharded_section(const ShardedStreamingRow& row, bool smoke) {
+    std::ostringstream out;
+    char buf[768];
+    std::snprintf(buf, sizeof buf,
+                  "\"streaming_sharded\": {\n"
+                  "    \"smoke\": %s,\n"
+                  "    \"n\": %zu,\n"
+                  "    \"k\": %zu,\n"
+                  "    \"shards\": %zu,\n"
+                  "    \"rounds\": %zu,\n"
+                  "    \"deadline_s\": 0.5,\n"
+                  "    \"fixed_quorum\": %zu,\n"
+                  "    \"adaptive_final_quorum\": %zu,\n"
+                  "    \"fixed_close_s_mean\": %.6g,\n"
+                  "    \"adaptive_close_s_mean\": %.6g,\n"
+                  "    \"adaptive_close_improvement\": %.6g,\n"
+                  "    \"quorum_closes\": %zu,\n"
+                  "    \"deadline_closes\": %zu,\n"
+                  "    \"sharded_close_bit_identical\": %s,\n"
+                  "    \"schedule_replay_identical\": %s\n"
+                  "  }",
+                  smoke ? "true" : "false", row.n, kWinners, kShards, row.rounds,
+                  row.fixed_quorum, row.adaptive_final, row.fixed_close_s_mean,
+                  row.adaptive_close_s_mean, row.improvement, row.quorum_closes,
+                  row.deadline_closes, row.sharded_identical ? "true" : "false",
+                  row.schedule_identical ? "true" : "false");
+    out << buf;
+    return out.str();
+}
+
+/// Write the ledger: splice the `streaming` and `streaming_sharded`
+/// sections into the shared JSON object via the section-bounded helpers —
+/// each section replaced in place wherever it sits, every other byte
+/// preserved verbatim (the co-owning benches can run in any order). A
+/// standalone object is emitted when the target does not exist yet.
+void write_ledger(const std::string& path, const std::string& section,
+                  const std::string& sharded_section) {
     std::string text;
     {
         std::ifstream in(path);
@@ -412,31 +610,18 @@ void write_ledger(const std::string& path, const std::string& section) {
             text = buffer.str();
         }
     }
-
-    std::string merged;
-    const std::size_t at = text.find("\"streaming\"");
-    if (at != std::string::npos) {
-        // Replace the existing section: it is always the final one, so cut
-        // back to the comma that introduced it and drop the rest.
-        std::size_t cut = text.rfind(',', at);
-        if (cut == std::string::npos) cut = at;
-        merged = text.substr(0, cut) + ",\n" + section + "\n}\n";
-    } else if (const std::size_t close = text.rfind('}'); close != std::string::npos) {
-        std::string head = text.substr(0, close);
-        while (!head.empty() && std::isspace(static_cast<unsigned char>(head.back())))
-            head.pop_back();
-        merged = head + ",\n" + section + "\n}\n";
-    } else {
-        merged = "{\n" + section + "\n}\n";
-    }
+    text = util::splice_ledger_section(std::move(text), "streaming", section);
+    text = util::splice_ledger_section(std::move(text), "streaming_sharded",
+                                       sharded_section);
 
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
         std::cerr << "streaming_market: cannot write " << path << '\n';
         std::exit(1);
     }
-    out << merged;
-    std::cout << "\nwrote the streaming section of " << path << '\n';
+    out << text;
+    std::cout << "\nwrote the streaming + streaming_sharded sections of " << path
+              << '\n';
 }
 
 bool extract_number(const std::string& text, const std::string& key, double* out) {
@@ -451,14 +636,14 @@ bool extract_number(const std::string& text, const std::string& key, double* out
 /// overhead ratio is the regression signal: both of its legs run
 /// single-threaded on the same machine, so it transfers across runners the
 /// same way scale_round's speedup does.
-bool check_against(const std::string& text, const std::vector<StreamingRow>& rows) {
-    const std::size_t section_at = text.find("\"streaming\"");
-    if (section_at == std::string::npos) {
+bool check_against(const std::string& text, const std::vector<StreamingRow>& rows,
+                   const ShardedStreamingRow& sharded) {
+    const std::string section = util::extract_ledger_section(text, "streaming");
+    if (section.empty()) {
         std::cerr << "streaming_market --check: committed ledger has no"
                      " \"streaming\" section\n";
         return false;
     }
-    const std::string section = text.substr(section_at);
 
     double tolerance = 0.20;
     if (const char* env = std::getenv("FMORE_SCALE_TOLERANCE")) {
@@ -530,9 +715,52 @@ bool check_against(const std::string& text, const std::vector<StreamingRow>& row
             ok = false;
         }
     }
+    // The streaming_sharded gates are semantic, not timing: the close
+    // times are virtual (arrival-clock) seconds, so the improvement ratio
+    // is exactly reproducible and must not shrink below break-even.
+    const std::string sharded_section =
+        util::extract_ledger_section(text, "streaming_sharded");
+    if (sharded_section.empty()) {
+        std::cerr << "streaming_market --check: committed ledger has no"
+                     " \"streaming_sharded\" section\n";
+        ok = false;
+    } else {
+        double committed_improvement = 0.0;
+        if (!extract_number(sharded_section, "adaptive_close_improvement",
+                            &committed_improvement)
+            || !(committed_improvement > 1.0)) {
+            std::cerr << "streaming_market --check: committed streaming_sharded"
+                         " section lacks an adaptive_close_improvement > 1\n";
+            ok = false;
+        }
+        if (sharded_section.find("\"sharded_close_bit_identical\": true")
+                == std::string::npos
+            || sharded_section.find("\"schedule_replay_identical\": true")
+                   == std::string::npos) {
+            std::cerr << "streaming_market --check: committed streaming_sharded"
+                         " section lacks both identity flags\n";
+            ok = false;
+        }
+    }
+    if (!sharded.sharded_identical) {
+        std::cerr << "streaming_market --check: fresh close_round_sharded diverged"
+                     " from close_round at N=" << sharded.n << '\n';
+        ok = false;
+    }
+    if (!sharded.schedule_identical) {
+        std::cerr << "streaming_market --check: fresh adaptive quorum schedule was"
+                     " not byte-identical across two replays\n";
+        ok = false;
+    }
+    if (!(sharded.improvement > 1.0)) {
+        std::cerr << "streaming_market --check: fresh adaptive close-time"
+                     " improvement is " << sharded.improvement
+                  << "x (expected > 1)\n";
+        ok = false;
+    }
     if (ok)
-        std::cout << "--check: streaming section present, no regression beyond"
-                     " tolerance\n";
+        std::cout << "--check: streaming + streaming_sharded sections present, no"
+                     " regression beyond tolerance\n";
     return ok;
 }
 
@@ -603,7 +831,22 @@ int main(int argc, char** argv) {
         rows.push_back(row);
     }
 
-    write_ledger(out_path, render_section(rows, smoke, rounds, mix_rounds));
+    const std::size_t sharded_n = smoke ? 10'000 : 100'000;
+    const std::size_t sharded_rounds = smoke ? 16 : 32;
+    ShardedStreamingRow sharded;
+    bench_sharded_streaming(sharded_n, sharded_rounds,
+                            0x5ca1e000ULL + sharded_n, sharded);
+    std::printf("\nsharded streaming service: N=%zu S=%zu rounds=%zu  "
+                "fixed close %.3f s -> adaptive %.3f s (%.2fx, quorum %zu -> %zu)"
+                "  %s, schedule replay %s\n",
+                sharded.n, kShards, sharded.rounds, sharded.fixed_close_s_mean,
+                sharded.adaptive_close_s_mean, sharded.improvement,
+                sharded.fixed_quorum, sharded.adaptive_final,
+                sharded.sharded_identical ? "bit-identical" : "DIVERGED",
+                sharded.schedule_identical ? "byte-identical" : "DIVERGED");
+
+    write_ledger(out_path, render_section(rows, smoke, rounds, mix_rounds),
+                 render_sharded_section(sharded, smoke));
 
     for (const StreamingRow& row : rows) {
         if (!row.identical) {
@@ -617,6 +860,11 @@ int main(int argc, char** argv) {
             return 1;
         }
     }
-    if (!check_path.empty() && !check_against(committed_text, rows)) return 1;
+    if (!sharded.sharded_identical || !sharded.schedule_identical) {
+        std::cerr << "streaming_market: sharded streaming leg diverged\n";
+        return 1;
+    }
+    if (!check_path.empty() && !check_against(committed_text, rows, sharded))
+        return 1;
     return 0;
 }

@@ -99,6 +99,15 @@ struct TieKeys {
 void collect_shard_head(const BidFrame& frame, std::size_t node_offset,
                         const TieKeys& keys, std::size_t limit, ShardHead& out);
 
+/// Row-range variant: the shard is rows `[begin_row, end_row)` of a frame
+/// that holds the WHOLE market (the in-process sharded-streaming lane,
+/// where one arrived frame is carved into virtual shards). Global ids are
+/// `node_offset + row` exactly as above, so the two overloads produce the
+/// same head for the same rows.
+void collect_shard_head(const BidFrame& frame, std::size_t begin_row,
+                        std::size_t end_row, std::size_t node_offset,
+                        const TieKeys& keys, std::size_t limit, ShardHead& out);
+
 /// Coordinator-side merge: concatenate the heads, sort under the market
 /// order, truncate to `cutoff`, and materialize the ranking. Bit-identical
 /// to the monolithic fused ranking head when every shard reported (see

@@ -117,6 +117,21 @@ public:
     /// calling again returns the finalized outcome without consuming `rng`.
     const AuctionOutcome& close_round(stats::Rng& rng);
 
+    /// Sharded close: carve the ARRIVED frame into `shard_starts.size()`
+    /// contiguous virtual shards (shard s covers rows
+    /// `[shard_starts[s], shard_starts[s+1])`), collect each shard's
+    /// bounded head and fold the heads through a `StreamingHeadMerge` —
+    /// the exact composition the cross-process aggregator runs over its
+    /// pipes. Bit-identical to `close_round` over the same arrived set:
+    /// the salted lane's sort-and-truncate and the head merge cut the same
+    /// strict total order at the same cutoff. Mechanisms outside the
+    /// salted incremental lane (shuffle ties, custom types) fall back to
+    /// `close_round`'s batch replay, which is already exact per mechanism.
+    /// @throws std::invalid_argument on an empty or unsorted shard_starts,
+    ///         or a first shard not starting at row 0
+    const AuctionOutcome& close_round_sharded(
+        stats::Rng& rng, const std::vector<std::size_t>& shard_starts);
+
     [[nodiscard]] const AuctionOutcome& outcome() const { return outcome_; }
     /// The arrived set as a frame (active rows = accepted bids).
     [[nodiscard]] const BidFrame& frame() const { return frame_; }
@@ -178,7 +193,16 @@ public:
     /// @throws std::invalid_argument on a dimensionality mismatch
     void ingest(const ShardHead& head);
 
-    /// Heads ingested so far this round.
+    /// Fold ONE head row (with its `dims`-wide quality vector) into the
+    /// running merge — the row-granular feed the cross-process streaming
+    /// round uses as head chunks land on the wire. The kept set is the
+    /// global top-`cutoff` under the strict total order, so any ingestion
+    /// order (row-by-row, chunked, whole heads, interleaved across shards)
+    /// finishes bit-identically.
+    void ingest_row(const HeadRow& row, const double* quality);
+
+    /// Heads ingested so far this round (`ingest` calls; `ingest_row` does
+    /// not bump this — callers count their own streams).
     [[nodiscard]] std::size_t ingested() const { return ingested_; }
 
     /// Sort the surviving rows under the market order and materialize the

@@ -62,6 +62,12 @@ ShardHead ShardHead::deserialize(const std::uint8_t* data, std::size_t size) {
 
 void collect_shard_head(const BidFrame& frame, std::size_t node_offset,
                         const TieKeys& keys, std::size_t limit, ShardHead& out) {
+    collect_shard_head(frame, 0, frame.rows(), node_offset, keys, limit, out);
+}
+
+void collect_shard_head(const BidFrame& frame, std::size_t begin_row,
+                        std::size_t end_row, std::size_t node_offset,
+                        const TieKeys& keys, std::size_t limit, ShardHead& out) {
     if (!frame.scored())
         throw std::logic_error(
             "collect_shard_head: frame must carry the aggregator score column");
@@ -73,7 +79,7 @@ void collect_shard_head(const BidFrame& frame, std::size_t node_offset,
     // monolithic pass keeps per worker slot, here per shard.
     std::vector<HeadRow>& heap = out.rows;
     heap.reserve(limit);
-    for (NodeId row = 0; row < frame.rows(); ++row) {
+    for (NodeId row = begin_row; row < end_row; ++row) {
         if (!frame.active(row)) continue;
         const NodeId global = node_offset + row;
         const HeadRow cand{global, frame.score(row), keys.key(global),

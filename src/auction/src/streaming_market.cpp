@@ -163,6 +163,47 @@ bool StreamingMarket::offer(NodeId node, const double* quality, double payment,
     return true;
 }
 
+const AuctionOutcome& StreamingMarket::close_round_sharded(
+    stats::Rng& rng, const std::vector<std::size_t>& shard_starts) {
+    if (finalized_) return outcome_;
+    if (shard_starts.empty() || shard_starts.front() != 0
+        || !std::is_sorted(shard_starts.begin(), shard_starts.end())
+        || shard_starts.back() > frame_.rows())
+        throw std::invalid_argument(
+            "StreamingMarket: shard_starts must be sorted, begin at row 0 and "
+            "stay inside the bid arena");
+    if (!salted_incremental_) return close_round(rng);  // batch replay is exact
+    if (reason_ == CloseReason::open) {
+        reason_ = CloseReason::exhausted;
+        close_time_s_ = last_arrival_s_;
+    }
+    // Per virtual shard: the same bounded head collection the forked
+    // workers run, over this shard's slice of the arrived frame; then the
+    // incremental merge. Both sides of the equivalence truncate the same
+    // strict total order at the same cutoff, so the ranking — and the
+    // selection and pricing over it — matches close_round bit for bit.
+    const std::size_t cutoff = engine_->ranking_cutoff(arrived_);
+    TieKeys keys;
+    keys.salted = true;
+    keys.salt = tie_salt_;
+    StreamingHeadMerge merge;
+    merge.open(frame_.dims(), cutoff);
+    ShardHead head;
+    for (std::size_t s = 0; s < shard_starts.size(); ++s) {
+        const std::size_t begin = shard_starts[s];
+        const std::size_t end =
+            s + 1 < shard_starts.size() ? shard_starts[s + 1] : frame_.rows();
+        collect_shard_head(frame_, begin, end, 0, keys, cutoff, head);
+        merge.ingest(head);
+    }
+    merge.finish(outcome_.ranking);
+    engine_->select_into(outcome_.ranking, rng, scratch_.chosen);
+    engine_->price_into(scoring_, outcome_.ranking, scratch_.chosen,
+                        outcome_.winners);
+    finalized_ = true;
+    return outcome_;
+}
+
 const AuctionOutcome& StreamingMarket::close_round(stats::Rng& rng) {
     if (finalized_) return outcome_;
     if (reason_ == CloseReason::open) {
@@ -223,30 +264,30 @@ void StreamingHeadMerge::ingest(const ShardHead& head) {
         throw std::invalid_argument("StreamingHeadMerge: head dims = "
                                     + std::to_string(head.dims) + ", expected "
                                     + std::to_string(dims_));
+    for (std::size_t r = 0; r < head.rows.size(); ++r)
+        ingest_row(head.rows[r], head.quality_row(r));
+    ++ingested_;
+}
+
+void StreamingHeadMerge::ingest_row(const HeadRow& row, const double* quality) {
     const auto slot_better = [](const Slot& a, const Slot& b) {
         return head_row_better(a.row, b.row);
     };
-    for (std::size_t r = 0; r < head.rows.size(); ++r) {
-        const HeadRow& row = head.rows[r];
-        if (heap_.size() < cutoff_) {
-            const std::uint32_t slot = free_.back();
-            free_.pop_back();
-            std::copy(head.quality_row(r), head.quality_row(r) + dims_,
-                      arena_.data() + slot * dims_);
-            heap_.push_back(Slot{row, slot});
-            std::push_heap(heap_.begin(), heap_.end(), slot_better);
-        } else if (cutoff_ > 0 && head_row_better(row, heap_.front().row)) {
-            // Evict the worst kept row and park the newcomer's quality in
-            // the slot it vacates — the arena never grows past cutoff.
-            const std::uint32_t slot = heap_.front().arena;
-            std::pop_heap(heap_.begin(), heap_.end(), slot_better);
-            heap_.back() = Slot{row, slot};
-            std::copy(head.quality_row(r), head.quality_row(r) + dims_,
-                      arena_.data() + slot * dims_);
-            std::push_heap(heap_.begin(), heap_.end(), slot_better);
-        }
+    if (heap_.size() < cutoff_) {
+        const std::uint32_t slot = free_.back();
+        free_.pop_back();
+        std::copy(quality, quality + dims_, arena_.data() + slot * dims_);
+        heap_.push_back(Slot{row, slot});
+        std::push_heap(heap_.begin(), heap_.end(), slot_better);
+    } else if (cutoff_ > 0 && head_row_better(row, heap_.front().row)) {
+        // Evict the worst kept row and park the newcomer's quality in
+        // the slot it vacates — the arena never grows past cutoff.
+        const std::uint32_t slot = heap_.front().arena;
+        std::pop_heap(heap_.begin(), heap_.end(), slot_better);
+        heap_.back() = Slot{row, slot};
+        std::copy(quality, quality + dims_, arena_.data() + slot * dims_);
+        std::push_heap(heap_.begin(), heap_.end(), slot_better);
     }
-    ++ingested_;
 }
 
 void StreamingHeadMerge::finish(std::vector<ScoredBid>& ranking) {

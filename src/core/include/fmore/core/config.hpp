@@ -194,6 +194,7 @@ struct RealWorldConfig {
     mec::ArrivalProcess arrival_process = mec::ArrivalProcess::latency;
     double arrival_rate_hz = 0.0;
     double latency_discount = 0.0;
+    bool adaptive_quorum = false;
 
     std::uint64_t seed = 11;
 };

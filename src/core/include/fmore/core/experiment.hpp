@@ -189,6 +189,14 @@ struct TimingSpec {
     /// Poisson bid arrival rate (bids per second of virtual time); required
     /// > 0 when `arrival_process` is "poisson".
     double arrival_rate_hz = 0.0;
+    /// Tune the streaming bid quorum per round from the run's own close
+    /// telemetry (`fl::AdaptiveQuorumController`): deadline-dominated
+    /// windows step `min_updates` down (the quorum was stalling), quorum-
+    /// dominated windows with p99 close-time slack step it up, under a
+    /// bounded step. Requires `streaming`, a starting `min_updates` > 0
+    /// and a `round_deadline_s` > 0. The schedule is a pure function of
+    /// the telemetry history, so replays are byte-identical.
+    bool adaptive_quorum = false;
 };
 
 /// Everything needed to reproduce one experiment, simulator or testbed.

@@ -61,7 +61,8 @@ bool operator==(const TimingSpec& a, const TimingSpec& b) {
            && a.latency_spread == b.latency_spread
            && a.dropout_prob == b.dropout_prob && a.streaming == b.streaming
            && a.arrival_process == b.arrival_process
-           && a.arrival_rate_hz == b.arrival_rate_hz;
+           && a.arrival_rate_hz == b.arrival_rate_hz
+           && a.adaptive_quorum == b.adaptive_quorum;
 }
 
 bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
@@ -197,6 +198,7 @@ RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
     config.streaming = spec.timing.streaming;
     config.arrival_process = spec.timing.arrival_process;
     config.arrival_rate_hz = spec.timing.arrival_rate_hz;
+    config.adaptive_quorum = spec.timing.adaptive_quorum;
     config.latency_discount = spec.auction.latency_discount;
     config.seed = spec.seed;
     return config;
@@ -300,6 +302,7 @@ ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
     spec.timing.streaming = config.streaming;
     spec.timing.arrival_process = config.arrival_process;
     spec.timing.arrival_rate_hz = config.arrival_rate_hz;
+    spec.timing.adaptive_quorum = config.adaptive_quorum;
     return spec;
 }
 
@@ -507,12 +510,46 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
     if (timing.streaming && spec.kind != ExperimentKind::testbed)
         fail("timing.streaming = true on a simulation spec: the streaming market "
              "runs on the testbed's virtual clock; use kind = testbed");
-    if (timing.streaming && auc.shards > 1)
-        fail("timing.streaming = true with auction.shards = "
-             + std::to_string(auc.shards)
-             + ": the trial engine streams the monolithic market only "
-               "(StreamingHeadMerge composes shard streams at the library "
-               "level); set auction.shards = 1");
+    // timing.streaming with auction.shards > 1 is a supported composition:
+    // the trial engine closes each streaming round through the sharded
+    // head merge (StreamingMarket::close_round_sharded), bit-identical to
+    // the monolithic close — and the cross-process aggregator streams the
+    // same composition over its pipes. The shard-SUPERVISION knobs stay
+    // batch-only, though: the in-process streaming close has no shard-drop
+    // machinery (late bids are the deadline's job, not a shard timeout's).
+    if (timing.streaming && auc.shards > 1) {
+        if (auc.shard_timeout_s > 0.0)
+            fail("auction.shard_timeout_s = " + num(auc.shard_timeout_s)
+                 + " with timing.streaming = true: a streaming round closes on "
+                   "timing.round_deadline_s / timing.min_updates, not on a "
+                   "per-shard timeout; drop shard_timeout_s (the cross-process "
+                   "aggregator's real-time read deadline is separate)");
+        if (!auc.fault_plan.empty())
+            fail("auction.fault_plan = '" + auc.fault_plan
+                 + "' with timing.streaming = true: fault injection drives the "
+                   "batch shard supervisor; streaming trials have no in-process "
+                   "shard-drop path — unset timing.streaming or the fault plan");
+        if (auc.shard_quorum > 0)
+            fail("auction.shard_quorum = " + std::to_string(auc.shard_quorum)
+                 + " with timing.streaming = true: the SHARD quorum guards the "
+                   "batch supervisor; a streaming round's quorum is the BID "
+                   "quorum timing.min_updates");
+    }
+    if (timing.adaptive_quorum) {
+        if (!timing.streaming)
+            fail("timing.adaptive_quorum = true without timing.streaming: the "
+                 "controller tunes the streaming bid quorum; set "
+                 "timing.streaming = true (and kind = testbed)");
+        if (timing.min_updates == 0)
+            fail("timing.adaptive_quorum = true with timing.min_updates = 0: "
+                 "the controller needs a starting quorum to tune; set "
+                 "timing.min_updates >= 1");
+        if (!(timing.round_deadline_s > 0.0))
+            fail("timing.adaptive_quorum = true with timing.round_deadline_s = "
+                 + num(timing.round_deadline_s)
+                 + ": the control law measures close times against the bid "
+                   "deadline; set timing.round_deadline_s > 0");
+    }
     if (bad(timing.arrival_rate_hz) || timing.arrival_rate_hz < 0.0)
         fail("timing.arrival_rate_hz = " + num(timing.arrival_rate_hz)
              + ": must be finite and >= 0");
@@ -798,6 +835,14 @@ const std::vector<Field>& fields() {
                   }
               }},
         FMORE_FIELD_DOUBLE("timing.arrival_rate_hz", timing.arrival_rate_hz),
+        Field{"timing.adaptive_quorum",
+              [](const ExperimentSpec& s) {
+                  return std::string(s.timing.adaptive_quorum ? "true" : "false");
+              },
+              [](ExperimentSpec& s, const std::string& v) {
+                  s.timing.adaptive_quorum =
+                      parse_bool("timing.adaptive_quorum", v);
+              }},
     };
     return all;
 }

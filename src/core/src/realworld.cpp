@@ -224,6 +224,10 @@ fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
             sc.process = config_.arrival_process;
             sc.arrival_rate_hz = config_.arrival_rate_hz;
             sc.bid_latencies_s = bid_latency_table();
+            // Sharded streaming closes through the head-merge composition;
+            // winners stay bit-identical to the monolithic close.
+            sc.shards = config_.market_shards;
+            sc.adaptive_quorum = config_.adaptive_quorum;
             return std::make_unique<mec::StreamingAuctionSelector>(
                 *population_, *solved_->scoring, solved_->strategy, wd,
                 mec::QualityLayout{mec::ResourceDim::cpu, mec::ResourceDim::bandwidth,

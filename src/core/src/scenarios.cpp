@@ -275,6 +275,22 @@ ScenarioRegistry::ScenarioRegistry() : impl_(std::make_shared<Impl>()) {
             spec.timing.min_updates = 64;
             return spec;
         });
+    add_builtin("stream/sharded",
+        "Sharded streaming market with the adaptive quorum controller: "
+        "4 market shards close each round through the virtual carve + head "
+        "merge (bit-identical to the monolithic close), while "
+        "timing.adaptive_quorum walks the 72-bid quorum down from deadline "
+        "telemetry under a bounded step",
+        [stream_preset] {
+            ExperimentSpec spec = stream_preset();
+            spec.timing.arrival_process = mec::ArrivalProcess::poisson;
+            spec.timing.arrival_rate_hz = 400.0;
+            spec.timing.round_deadline_s = 0.12;
+            spec.timing.min_updates = 72;
+            spec.timing.adaptive_quorum = true;
+            spec.auction.shards = 4;
+            return spec;
+        });
     add_builtin("stream/quorum",
         "Streaming market closing on quorum: closed-loop arrivals on each "
         "node's straggler latency, round closes at the 48th bid — the "

@@ -1,0 +1,92 @@
+#pragma once
+
+/// @file adaptive_quorum.hpp
+/// Closed-loop tuning of the streaming market's bid quorum
+/// (`timing.min_updates`) from the close telemetry the rounds themselves
+/// emit — the `fl::RoundHealth` close-reason mix and close-time tail that
+/// PR 8 started aggregating. The control law is deliberately boring:
+///
+///  - When DEADLINE closes dominate a window, the quorum is stalling —
+///    rounds wait out the full deadline because the target is set above
+///    what the arrival process delivers in time. Step the quorum DOWN so
+///    the quorum trigger can fire early again.
+///  - When QUORUM closes dominate AND the window's p99 close time leaves
+///    slack against the deadline (p99 <= slack_ratio x deadline), rounds
+///    are closing comfortably early. Step the quorum UP to buy more bids
+///    (a deeper market) with latency budget that was going unused.
+///  - Otherwise hold.
+///
+/// The schedule is a PURE function of the observation sequence: no clocks,
+/// no randomness, integer steps of bounded size, clamped to
+/// [min_quorum, max_quorum]. Feeding the same close telemetry replays the
+/// same quorum schedule byte for byte — the determinism contract every
+/// other replayable engine in this codebase honours.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fmore::fl {
+
+/// Control-law parameters. Defaults are the conservative profile the
+/// `timing.adaptive_quorum` knob wires up.
+struct AdaptiveQuorumConfig {
+    /// Starting quorum (`timing.min_updates`); must be >= 1.
+    std::size_t initial = 0;
+    /// Clamp floor (a quorum of 0 would disable the trigger entirely).
+    std::size_t min_quorum = 1;
+    /// Clamp ceiling; typically the population size. Must be >= initial.
+    std::size_t max_quorum = 0;
+    /// Quorum delta per adjustment; 0 derives max(1, initial / 8).
+    std::size_t step = 0;
+    /// Observations per decision window; the controller adjusts at most
+    /// once per full window and starts the next window empty.
+    std::size_t window = 8;
+    /// The bid deadline the close times are measured against
+    /// (`timing.round_deadline_s`); 0 disables the raise rule (there is no
+    /// latency budget to spend).
+    double deadline_s = 0.0;
+    /// Raise only while the window's p99 close time is at or below this
+    /// fraction of the deadline.
+    double slack_ratio = 0.5;
+    /// Fraction of the window a close reason must reach to count as
+    /// dominant.
+    double dominance = 0.5;
+};
+
+/// See file comment. `observe()` one closed round at a time; `quorum()` is
+/// the target the NEXT round should open with.
+class AdaptiveQuorumController {
+public:
+    /// @throws std::invalid_argument on an unusable config (zero initial,
+    ///         zero window, inverted clamp range, out-of-range ratios)
+    explicit AdaptiveQuorumController(AdaptiveQuorumConfig config);
+
+    /// Quorum for the next round under the schedule so far.
+    [[nodiscard]] std::size_t quorum() const { return quorum_; }
+
+    /// Fold one closed round's telemetry (`SelectionRecord::close_reason`
+    /// form: "quorum", "deadline", "exhausted") into the current window;
+    /// adjusts the quorum when the window fills, then resets the window.
+    void observe(const std::string& close_reason, double close_time_s);
+
+    /// Quorums returned so far, one per observe() call, AFTER folding that
+    /// round — i.e. the quorum schedule rounds 2..R+1 opened with. Byte
+    /// identical across replays of the same telemetry.
+    [[nodiscard]] const std::vector<std::size_t>& schedule() const {
+        return schedule_;
+    }
+
+    [[nodiscard]] const AdaptiveQuorumConfig& config() const { return config_; }
+
+private:
+    AdaptiveQuorumConfig config_;
+    std::size_t quorum_ = 0;
+    std::size_t step_ = 0;
+    std::size_t window_quorum_closes_ = 0;
+    std::size_t window_deadline_closes_ = 0;
+    std::vector<double> window_close_times_;
+    std::vector<std::size_t> schedule_;
+};
+
+} // namespace fmore::fl

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -40,9 +41,13 @@ struct RoundHealth {
     std::size_t streaming_rounds = 0;
     double quorum_close_fraction = 0.0;
     double deadline_close_fraction = 0.0;
-    /// Virtual close-time percentiles over the streaming rounds.
-    double close_p50_s = 0.0;
-    double close_p99_s = 0.0;
+    /// Virtual close-time percentiles over the streaming rounds. NaN when
+    /// the run had NO streaming rounds — a run that never streamed has no
+    /// close times, which is not the same thing as closing at t = 0;
+    /// consumers must gate on `streaming_rounds` (or std::isnan) before
+    /// comparing or serializing these.
+    double close_p50_s = std::numeric_limits<double>::quiet_NaN();
+    double close_p99_s = std::numeric_limits<double>::quiet_NaN();
     /// Rounds that lost at least one market shard.
     std::size_t rounds_degraded = 0;
     std::size_t shard_evictions = 0;

@@ -67,6 +67,12 @@ struct SelectionRecord {
     double close_time_s = 0.0;
     /// Bids that arrived before the streaming round closed.
     std::size_t arrived_bids = 0;
+    /// Bid quorum this streaming round OPENED with (`timing.min_updates`,
+    /// or the adaptive controller's current target when
+    /// `timing.adaptive_quorum` is on); 0 for batch selectors. The
+    /// per-round sequence of these IS the quorum schedule the adaptive
+    /// determinism test replays.
+    std::size_t bid_quorum = 0;
 };
 
 /// Strategy interface: which K clients train in a given round.

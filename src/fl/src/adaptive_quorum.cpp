@@ -1,0 +1,93 @@
+#include "fmore/fl/adaptive_quorum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace fmore::fl {
+
+namespace {
+
+/// The same nearest-rank interpolated percentile RunResult::health() uses,
+/// so a window's p99 agrees with the run-level telemetry it samples.
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+} // namespace
+
+AdaptiveQuorumController::AdaptiveQuorumController(AdaptiveQuorumConfig config)
+    : config_(config) {
+    if (config_.initial == 0)
+        throw std::invalid_argument(
+            "AdaptiveQuorumController: initial quorum must be >= 1 (0 would "
+            "disable the quorum trigger the controller exists to tune)");
+    if (config_.window == 0)
+        throw std::invalid_argument(
+            "AdaptiveQuorumController: window must be >= 1");
+    if (config_.min_quorum == 0) config_.min_quorum = 1;
+    if (config_.max_quorum == 0) config_.max_quorum = config_.initial;
+    if (config_.min_quorum > config_.max_quorum
+        || config_.initial < config_.min_quorum
+        || config_.initial > config_.max_quorum)
+        throw std::invalid_argument(
+            "AdaptiveQuorumController: need min_quorum <= initial <= "
+            "max_quorum (got " + std::to_string(config_.min_quorum) + " / "
+            + std::to_string(config_.initial) + " / "
+            + std::to_string(config_.max_quorum) + ")");
+    if (!(config_.slack_ratio >= 0.0) || !(config_.slack_ratio <= 1.0)
+        || std::isnan(config_.slack_ratio))
+        throw std::invalid_argument(
+            "AdaptiveQuorumController: slack_ratio must be in [0, 1]");
+    if (!(config_.dominance > 0.0) || !(config_.dominance <= 1.0)
+        || std::isnan(config_.dominance))
+        throw std::invalid_argument(
+            "AdaptiveQuorumController: dominance must be in (0, 1]");
+    if (!(config_.deadline_s >= 0.0) || std::isnan(config_.deadline_s))
+        throw std::invalid_argument(
+            "AdaptiveQuorumController: deadline_s must be finite and >= 0");
+    quorum_ = config_.initial;
+    step_ = config_.step > 0 ? config_.step
+                             : std::max<std::size_t>(1, config_.initial / 8);
+    window_close_times_.reserve(config_.window);
+}
+
+void AdaptiveQuorumController::observe(const std::string& close_reason,
+                                       double close_time_s) {
+    if (close_reason == "quorum") ++window_quorum_closes_;
+    if (close_reason == "deadline") ++window_deadline_closes_;
+    window_close_times_.push_back(close_time_s);
+
+    if (window_close_times_.size() >= config_.window) {
+        const double denom = static_cast<double>(window_close_times_.size());
+        const double deadline_frac =
+            static_cast<double>(window_deadline_closes_) / denom;
+        const double quorum_frac =
+            static_cast<double>(window_quorum_closes_) / denom;
+        if (deadline_frac >= config_.dominance) {
+            // The quorum is stalling: rounds sit out the whole deadline.
+            const std::size_t drop = std::min(step_, quorum_ - config_.min_quorum);
+            quorum_ -= drop;
+        } else if (quorum_frac >= config_.dominance && config_.deadline_s > 0.0
+                   && percentile(window_close_times_, 99.0)
+                          <= config_.slack_ratio * config_.deadline_s) {
+            // Comfortably early quorum closes: spend the idle latency
+            // budget on a deeper market.
+            const std::size_t raise = std::min(step_, config_.max_quorum - quorum_);
+            quorum_ += raise;
+        }
+        window_quorum_closes_ = 0;
+        window_deadline_closes_ = 0;
+        window_close_times_.clear();
+    }
+    schedule_.push_back(quorum_);
+}
+
+} // namespace fmore::fl

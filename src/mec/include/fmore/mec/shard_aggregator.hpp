@@ -3,15 +3,27 @@
 /// @file shard_aggregator.hpp
 /// Multi-process shard market: S forked worker processes, each owning one
 /// contiguous shard of the population, speaking the checksummed frame
-/// protocol of wire_format.hpp with the aggregator. Per round the wire
-/// carries
+/// protocol of wire_format.hpp with the aggregator. Per BATCH round
+/// (`run_round`) the wire carries
 ///  - down: one `request` frame (round, K, drift salt, tie salt, head
 ///    limit, newly banned global node ids);
 ///  - up: one `head` frame — the shard's `ShardHead`, at most
 ///    `ranking_cutoff` rows, i.e. K(+1) rows per shard, NOT N bids.
+/// A STREAMING round (`run_streaming_round`) replaces the reply with a
+/// head STREAM: the request additionally ships an 8-byte arrival salt, the
+/// arrival horizon and the coordinator-resolved close cut
+/// (`stream_round.hpp` — arrival times are pure in (salt, global id), so
+/// the coordinator resolves the deadline/quorum trigger before any head
+/// byte moves); each worker filters its bids against the cut and streams
+/// its head back in `head_rows` chunks closed by a `head_done`, and the
+/// coordinator folds chunks from ALL shards concurrently (one poll loop)
+/// into an `auction::StreamingHeadMerge` as they land — no whole-shard
+/// blocking. The close reason/time and the merged outcome are
+/// bit-identical to the in-process `StreamingMarket`/`StreamingHeadMerge`
+/// composition over the same arrivals.
 /// Everything else a round needs is position-independent by construction:
 /// drift streams are keyed by (salt, global id) and `TieBreak::salted`
-/// tie-break keys by (salt, global id), so 16 bytes of salts replace both
+/// tie-break keys by (salt, global id), so 24 bytes of salts replace both
 /// the O(N) permutation and any shared state.
 ///
 /// The spec must therefore use `TieBreak::salted`, deterministic
@@ -30,7 +42,10 @@
 ///    the responsive shards' heads.
 ///  - With `ShardSupervisorConfig::max_respawns > 0` eviction is no longer
 ///    permanent: the supervisor re-forks the worker from the pristine
-///    shard under capped exponential backoff and re-syncs it with one
+///    shard under capped exponential ROUND-INDEXED backoff (the respawn
+///    round is a pure function of the eviction round and the shard's
+///    respawn count — never of wall-clock time, which stays confined to
+///    the real-time read deadline) and re-syncs it with one
 ///    `sync` frame (the full drift-salt history and ban list). Because
 ///    drift is keyed by (salt, global id), replaying the salts reproduces
 ///    the shard state bit-exactly — a rejoined shard's heads are
@@ -51,6 +66,7 @@
 #include <vector>
 
 #include "fmore/auction/shard_merge.hpp"
+#include "fmore/auction/streaming_market.hpp"
 #include "fmore/auction/winner_determination.hpp"
 #include "fmore/fl/selection.hpp"
 #include "fmore/mec/auction_selector.hpp"
@@ -65,9 +81,11 @@ using ShardHealth = fl::ShardHealth;
 
 /// Supervision policy of the cross-process market.
 struct ShardSupervisorConfig {
-    /// Base respawn delay after an eviction; doubles per consecutive
-    /// respawn of the same shard, capped at 64x. 0 respawns at the next
-    /// round boundary (deterministic tests).
+    /// Base respawn backoff after an eviction, in ROUND BOUNDARIES to sit
+    /// out (ceil'd): doubles per consecutive respawn of the same shard,
+    /// capped at 64x. 0 respawns at the next round boundary. Keyed to the
+    /// round index — not wall-clock — so a fault plan replays the same
+    /// respawn schedule run-to-run regardless of machine load.
     double respawn_backoff_s = 0.0;
     /// Respawn budget per shard; 0 keeps the legacy permanent-eviction
     /// behaviour. A shard that exhausts its budget is retired.
@@ -112,6 +130,44 @@ public:
     [[nodiscard]] const auction::AuctionOutcome& run_round(std::size_t round,
                                                            std::size_t k,
                                                            stats::Rng& rng);
+
+    /// Close policy of one cross-process streaming round.
+    struct StreamRoundPolicy {
+        /// Virtual-clock bid deadline (`timing.round_deadline_s`); an
+        /// arrival exactly at the deadline is counted, strictly later
+        /// misses. 0 waits for every bid.
+        double deadline_s = 0.0;
+        /// Close after this many arrivals (`timing.min_updates`); 0
+        /// disables.
+        std::size_t quorum = 0;
+        /// Width of the uniform arrival window bids are drawn over.
+        double arrival_horizon_s = 1.0;
+        /// Head rows per `head_rows` frame a worker streams.
+        std::size_t chunk_rows = 8;
+    };
+
+    /// One STREAMING market round: resolve the deadline/quorum close over
+    /// the salted arrival clock, ship the cut with the requests, and fold
+    /// every worker's `head_rows` stream into an incremental
+    /// `StreamingHeadMerge` as chunks land (all shards concurrently —
+    /// corrupt chunks are re-requested once, failing shards are evicted
+    /// and the merge is rebuilt over the survivors). Consumes one drift
+    /// salt (round > 1), one tie salt and one arrival salt from `rng`;
+    /// the outcome and the close telemetry are bit-identical to the
+    /// in-process StreamingMarket/StreamingHeadMerge composition over the
+    /// same arrivals.
+    /// @throws std::invalid_argument on a non-positive arrival horizon or
+    ///         chunk size
+    /// @throws std::runtime_error when live shards fall below the quorum
+    [[nodiscard]] const auction::AuctionOutcome& run_streaming_round(
+        std::size_t round, std::size_t k, const StreamRoundPolicy& policy,
+        stats::Rng& rng);
+
+    /// Close telemetry of the most recent streaming round.
+    [[nodiscard]] auction::CloseReason last_close_reason() const;
+    [[nodiscard]] double last_close_time_s() const;
+    /// Bids inside the last streaming round's close cut.
+    [[nodiscard]] std::size_t last_arrived() const;
 
     /// Shards that contributed no head to the most recent round
     /// (ascending shard index).

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fmore/auction/streaming_market.hpp"
+#include "fmore/fl/adaptive_quorum.hpp"
 #include "fmore/mec/arrival_model.hpp"
 #include "fmore/mec/auction_selector.hpp"
 
@@ -40,6 +41,18 @@ struct StreamingRoundConfig {
     /// indexed by NodeId; missing entries arrive at t = 0. Typically
     /// `ClusterTimeModel::latency_factor(i) * auction_overhead_s`.
     std::vector<double> bid_latencies_s;
+    /// Market shards (`auction.shards`): > 1 closes each round through
+    /// `StreamingMarket::close_round_sharded` — the arrived frame is
+    /// carved at `PopulationStore::even_boundaries` cuts, per-shard heads
+    /// fold through a `StreamingHeadMerge`, and the outcome is
+    /// bit-identical to the monolithic close (the same composition the
+    /// cross-process `ProcessShardAggregator` streams over its pipes).
+    std::size_t shards = 1;
+    /// Tune the bid quorum per round with an `fl::AdaptiveQuorumController`
+    /// seeded from `quorum` (`timing.adaptive_quorum`): the running
+    /// close-reason mix and close-time tail move the target under a
+    /// bounded step, so the schedule replays deterministically.
+    bool adaptive_quorum = false;
 };
 
 /// Streaming twin of `AuctionSelector` (same construction surface, same
@@ -79,6 +92,16 @@ public:
     [[nodiscard]] double last_close_time_s() const;
     /// Top-K evictions during the last round's ingestion.
     [[nodiscard]] std::size_t last_head_churn() const;
+    /// Bid quorum the last round opened with (== the config's quorum when
+    /// the adaptive controller is off).
+    [[nodiscard]] std::size_t last_quorum() const { return last_quorum_; }
+    /// The adaptive controller's quorum schedule so far (one entry per
+    /// closed round, the quorum the NEXT round opens with); empty when
+    /// `adaptive_quorum` is off. A pure function of the close telemetry —
+    /// byte-identical across replays of the same run.
+    [[nodiscard]] std::vector<std::size_t> quorum_schedule() const {
+        return adaptive_ ? adaptive_->schedule() : std::vector<std::size_t>{};
+    }
 
     void set_compliance(const ComplianceSpec& spec) { compliance_ = spec; }
     [[nodiscard]] const Blacklist& blacklist() const { return blacklist_; }
@@ -109,6 +132,10 @@ private:
     std::size_t market_k_ = 0;
     /// Closed-loop schedules do not change between rounds; built once.
     std::optional<ArrivalModel> latency_arrivals_;
+    /// Virtual-shard cut points of the sharded close (shards > 1).
+    std::vector<std::size_t> shard_starts_;
+    std::optional<fl::AdaptiveQuorumController> adaptive_;
+    std::size_t last_quorum_ = 0;
 };
 
 } // namespace fmore::mec

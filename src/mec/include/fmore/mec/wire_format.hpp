@@ -33,14 +33,27 @@ namespace fmore::mec::wire {
 
 inline constexpr std::uint32_t kMagic = 0x464d4f52u;  // "FMOR"
 
-/// Frame types. Downlink: request, sync. Uplink: head, nack. `resend` asks
-/// a worker to repeat its last head after a payload-checksum failure.
+/// Frame types. Downlink: request, sync, stream_request, resend. Uplink:
+/// head, head_rows, head_done, nack. `resend` asks a worker to repeat
+/// uplink bytes after a payload-checksum failure: with an empty payload it
+/// means "repeat your last whole head" (batch rounds); with an 8-byte
+/// chunk index it means "repeat your head stream from that chunk on,
+/// head_done included" (streaming rounds).
 enum class FrameType : std::uint32_t {
     request = 1,  ///< round request + newly banned ids
     sync = 2,     ///< respawn re-sync: full salt history + full ban list
     head = 3,     ///< serialized ShardHead
     resend = 4,   ///< "your last head frame was corrupt, send it again"
     nack = 5,     ///< "your frame was corrupt, send the request again"
+    /// Streaming round request: the batch request fields plus the arrival
+    /// salt/horizon and the coordinator-resolved close cut; the worker
+    /// answers with a head_rows stream instead of one head frame.
+    stream_request = 6,
+    /// One chunk of a streaming round's shard head: u64 chunk index, then
+    /// ShardHead wire bytes holding that chunk's rows.
+    head_rows = 7,
+    /// End of a shard's head stream: u64 total chunk count.
+    head_done = 8,
 };
 
 struct FrameHeader {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fmore/mec/population_store.hpp"
+
 namespace fmore::mec {
 
 StreamingAuctionSelector::StreamingAuctionSelector(
@@ -30,7 +32,15 @@ StreamingAuctionSelector::StreamingAuctionSelector(
         && !(streaming_.arrival_rate_hz > 0.0))
         throw std::invalid_argument(
             "StreamingAuctionSelector: poisson arrivals need arrival_rate_hz > 0");
+    if (streaming_.shards == 0)
+        throw std::invalid_argument(
+            "StreamingAuctionSelector: shards = 0 (1 = the monolithic close)");
+    if (streaming_.adaptive_quorum && streaming_.quorum == 0)
+        throw std::invalid_argument(
+            "StreamingAuctionSelector: adaptive_quorum needs a starting "
+            "quorum > 0 (timing.min_updates seeds the controller)");
     strategy_scores_broadcast_rule_ = strategy_.scoring_rule() == &scoring_;
+    last_quorum_ = streaming_.quorum;
 }
 
 void StreamingAuctionSelector::ensure_market(std::size_t k) {
@@ -77,9 +87,22 @@ const auction::AuctionOutcome& StreamingAuctionSelector::run_auction_round(
         arrivals = &*latency_arrivals_;
     }
 
+    // The quorum this round opens with: fixed, or the adaptive
+    // controller's current target. The controller is a pure function of
+    // the close telemetry it has observed, so re-running the same trial
+    // replays the same quorum schedule byte for byte.
+    if (streaming_.adaptive_quorum && !adaptive_) {
+        fl::AdaptiveQuorumConfig ac;
+        ac.initial = streaming_.quorum;
+        ac.max_quorum = n;
+        ac.deadline_s = streaming_.deadline_s;
+        adaptive_.emplace(ac);
+    }
+    last_quorum_ = adaptive_ ? adaptive_->quorum() : streaming_.quorum;
+
     auction::StreamingRoundSpec spec;
     spec.deadline_s = streaming_.deadline_s;
-    spec.quorum = streaming_.quorum;
+    spec.quorum = last_quorum_;
     spec.expected_bids = expected;
     market_->open_round(n, layout_.size(), spec, rng);
     for (const Arrival& arrival : arrivals->schedule()) {
@@ -90,7 +113,23 @@ const auction::AuctionOutcome& StreamingAuctionSelector::run_auction_round(
                             staging_.score(arrival.node), arrival.seconds))
             break; // the round closed (quorum or deadline) — the feed stops
     }
-    return market_->close_round(rng);
+    // Sharded close: the same virtual-shard cuts the sharded batch selector
+    // uses, folded through the head merge — bit-identical to the monolithic
+    // close (streaming_equivalence_test pins this).
+    const auction::AuctionOutcome* outcome;
+    if (streaming_.shards > 1) {
+        shard_starts_.assign(1, 0);
+        const std::vector<std::size_t> cuts =
+            PopulationStore::even_boundaries(n, streaming_.shards);
+        shard_starts_.insert(shard_starts_.end(), cuts.begin(), cuts.end());
+        outcome = &market_->close_round_sharded(rng, shard_starts_);
+    } else {
+        outcome = &market_->close_round(rng);
+    }
+    if (adaptive_)
+        adaptive_->observe(auction::to_string(market_->close_reason()),
+                           market_->close_time_s());
+    return *outcome;
 }
 
 fl::SelectionRecord StreamingAuctionSelector::select(std::size_t round, std::size_t k,
@@ -112,6 +151,7 @@ fl::SelectionRecord StreamingAuctionSelector::select(std::size_t round, std::siz
     record.close_reason = auction::to_string(market_->close_reason());
     record.close_time_s = market_->close_time_s();
     record.arrived_bids = market_->arrived();
+    record.bid_quorum = last_quorum_;
     return record;
 }
 

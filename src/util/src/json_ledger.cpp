@@ -1,0 +1,145 @@
+#include "fmore/util/json_ledger.hpp"
+
+#include <cctype>
+
+namespace fmore::util {
+namespace {
+
+bool is_ws(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+/// Index one past the closing quote of the string starting at
+/// `text[i] == '"'` (escape-aware); text.size() when unterminated.
+std::size_t skip_string(const std::string& text, std::size_t i) {
+    for (++i; i < text.size(); ++i) {
+        if (text[i] == '\\') {
+            ++i;
+            continue;
+        }
+        if (text[i] == '"') return i + 1;
+    }
+    return text.size();
+}
+
+/// One past the end of the value starting at `at` (first non-ws byte of
+/// the value). Objects and arrays are matched string-aware; strings are
+/// skipped whole; bare literals run to the enclosing ',' / '}' / ']'.
+std::size_t skip_value(const std::string& text, std::size_t at) {
+    if (at >= text.size()) return text.size();
+    const char c = text[at];
+    if (c == '"') return skip_string(text, at);
+    if (c == '{' || c == '[') {
+        int depth = 0;
+        for (std::size_t i = at; i < text.size(); ++i) {
+            const char b = text[i];
+            if (b == '"') {
+                i = skip_string(text, i) - 1;
+            } else if (b == '{' || b == '[') {
+                ++depth;
+            } else if ((b == '}' || b == ']') && --depth == 0) {
+                return i + 1;
+            }
+        }
+        return text.size();
+    }
+    std::size_t i = at;
+    while (i < text.size() && text[i] != ',' && text[i] != '}' && text[i] != ']')
+        ++i;
+    while (i > at && is_ws(text[i - 1])) --i;
+    return i;
+}
+
+} // namespace
+
+bool find_ledger_section(const std::string& text, const std::string& key,
+                         std::size_t& begin, std::size_t& end) {
+    int depth = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '"') {
+            const std::size_t start = i;
+            const std::size_t stop = skip_string(text, i);
+            i = stop - 1;
+            if (depth != 1) continue;
+            // A root-level string followed by ':' is a member key; a string
+            // VALUE is followed by ',' or '}' instead.
+            std::size_t j = stop;
+            while (j < text.size() && is_ws(text[j])) ++j;
+            if (j >= text.size() || text[j] != ':') continue;
+            if (stop - start != key.size() + 2
+                || text.compare(start + 1, key.size(), key) != 0)
+                continue;
+            std::size_t v = j + 1;
+            while (v < text.size() && is_ws(text[v])) ++v;
+            begin = start;
+            end = skip_value(text, v);
+            return true;
+        }
+        if (c == '{' || c == '[') ++depth;
+        else if (c == '}' || c == ']') --depth;
+    }
+    return false;
+}
+
+std::string extract_ledger_section(const std::string& text,
+                                   const std::string& key) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (!find_ledger_section(text, key, begin, end)) return {};
+    return text.substr(begin, end - begin);
+}
+
+std::string remove_ledger_section(std::string text, const std::string& key) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (!find_ledger_section(text, key, begin, end)) return text;
+    // Stitch via the comma that joined this member to a neighbour: prefer
+    // the preceding one (interior/last member), else swallow the following
+    // one (first member).
+    std::size_t cut = begin;
+    while (cut > 0 && is_ws(text[cut - 1])) --cut;
+    if (cut > 0 && text[cut - 1] == ',') {
+        text.erase(cut - 1, end - (cut - 1));
+        return text;
+    }
+    std::size_t after = end;
+    while (after < text.size() && is_ws(text[after])) ++after;
+    if (after < text.size() && text[after] == ',') {
+        ++after;
+        while (after < text.size() && is_ws(text[after])) ++after;
+        end = after;
+    }
+    text.erase(begin, end - begin);
+    return text;
+}
+
+std::string splice_ledger_section(std::string text, const std::string& key,
+                                  const std::string& section) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (find_ledger_section(text, key, begin, end)) {
+        text.replace(begin, end - begin, section);
+        return text;
+    }
+    // Append before the root object's closing brace (string-aware: the '}'
+    // that returns the depth to zero).
+    int depth = 0;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '"') i = skip_string(text, i) - 1;
+        else if (c == '{' || c == '[') ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth == 0 && c == '}') {
+                close = i;
+                break;
+            }
+        }
+    }
+    if (close == std::string::npos) return "{\n  " + section + "\n}\n";
+    std::string head = text.substr(0, close);
+    while (!head.empty() && is_ws(head.back())) head.pop_back();
+    const bool empty_object = !head.empty() && head.back() == '{';
+    return head + (empty_object ? "\n  " : ",\n  ") + section + "\n}\n";
+}
+
+} // namespace fmore::util

@@ -334,6 +334,100 @@ TEST(StreamingEquivalence, HeadChurnCountsProvisionalEvictions) {
     EXPECT_EQ(market.head_churn(), n - spec.num_winners);
 }
 
+TEST(StreamingEquivalence, QuorumOnTheFinalExpectedBidOutranksExhaustion) {
+    // When the quorum fills on the very last expected bid, the round closes
+    // as `quorum` (at that bid's arrival), not `exhausted` — the rule the
+    // cross-process coordinator replicates in resolve_stream_close.
+    MechanismSpec spec;
+    spec.num_winners = 3;
+    StreamingMarket market(std::shared_ptr<const Mechanism>(make_mechanism(spec)),
+                           scoring());
+    stats::Rng rng(5);
+    stats::Rng data_rng(6);
+    const std::size_t n = 12;
+    const BidFrame frame = random_frame(n, data_rng);
+    StreamingRoundSpec round;
+    round.quorum = n;
+    market.open_round(n, 2, round, rng);
+    for (NodeId node = 0; node < n; ++node)
+        ASSERT_TRUE(market.offer(node, frame.quality_row(node),
+                                 frame.payment(node), frame.score(node),
+                                 0.05 * static_cast<double>(node)));
+    EXPECT_EQ(market.close_reason(), CloseReason::quorum);
+    EXPECT_EQ(market.arrived(), n);
+    EXPECT_EQ(market.close_time_s(), 0.05 * static_cast<double>(n - 1));
+}
+
+TEST(StreamingEquivalence, ShardedCloseMatchesMonolithicBothTieModes) {
+    // close_round_sharded carves the arrived frame into virtual shards,
+    // collects each shard's bounded head and folds them through a
+    // StreamingHeadMerge — the composition the cross-process aggregator
+    // runs over its pipes. Whatever the carve, the outcome must be
+    // bit-identical to close_round over the same arrived set, in both tie
+    // modes (shuffle takes the batch-replay fallback).
+    const std::size_t n = 60;
+    for (const TieBreak tie : {TieBreak::shuffle, TieBreak::salted}) {
+        for (const bool full_ranking : {false, true}) {
+            SCOPED_TRACE(std::string(tie == TieBreak::salted ? "salted" : "shuffle")
+                         + (full_ranking ? " full" : " truncated"));
+            MechanismSpec spec;
+            spec.num_winners = 7;
+            spec.tie_break = tie;
+            spec.full_ranking = full_ranking;
+            const std::shared_ptr<const Mechanism> mech(make_mechanism(spec));
+            stats::Rng data_rng(0x5aadULL);
+            const BidFrame frame = random_frame(n, data_rng);
+            for (const std::vector<std::size_t>& starts :
+                 {std::vector<std::size_t>{0}, {0, 20, 40}, {0, 1, 59},
+                  {0, 15, 30, 45}}) {
+                StreamingMarket mono(mech, scoring());
+                StreamingMarket sharded(mech, scoring());
+                stats::Rng mono_rng(0x31ULL);
+                stats::Rng shard_rng(0x31ULL);
+                StreamingRoundSpec round;
+                round.quorum = 41;  // close mid-stream: a partial frame
+                mono.open_round(n, 2, round, mono_rng);
+                sharded.open_round(n, 2, round, shard_rng);
+                for (NodeId node = 0; node < n; ++node) {
+                    const double at = 0.01 * static_cast<double>(node);
+                    if (!mono.offer(node, frame.quality_row(node),
+                                    frame.payment(node), frame.score(node), at))
+                        break;
+                    (void)sharded.offer(node, frame.quality_row(node),
+                                        frame.payment(node), frame.score(node), at);
+                }
+                expect_outcomes_equal(mono.close_round(mono_rng),
+                                      sharded.close_round_sharded(shard_rng, starts));
+                EXPECT_EQ(mono.close_reason(), sharded.close_reason());
+            }
+        }
+    }
+}
+
+TEST(StreamingEquivalence, ShardedCloseValidatesShardStarts) {
+    MechanismSpec spec;
+    spec.num_winners = 3;
+    spec.tie_break = TieBreak::salted;
+    spec.full_ranking = false;
+    StreamingMarket market(std::shared_ptr<const Mechanism>(make_mechanism(spec)),
+                           scoring());
+    stats::Rng rng(9);
+    stats::Rng data_rng(10);
+    const BidFrame frame = random_frame(8, data_rng);
+    market.open_round(8, 2, {}, rng);
+    for (NodeId node = 0; node < 8; ++node)
+        (void)market.offer(node, frame.quality_row(node), frame.payment(node),
+                           frame.score(node), 0.0);
+    EXPECT_THROW((void)market.close_round_sharded(rng, {}), std::invalid_argument);
+    EXPECT_THROW((void)market.close_round_sharded(rng, {0, 5, 3}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)market.close_round_sharded(rng, {2, 5}),
+                 std::invalid_argument);
+    // A valid carve still closes the round after the rejected attempts.
+    const AuctionOutcome& out = market.close_round_sharded(rng, {0, 4});
+    EXPECT_EQ(out.winners.size(), 3u);
+}
+
 // ---------------------------------------------------------------------------
 // Shard streams: StreamingHeadMerge must reproduce merge_heads — and through
 // it the monolithic head — for any shard count, heads arriving one at a time.
@@ -663,6 +757,91 @@ TEST(StreamingSelectorEquivalence, QuorumAndDeadlineTruncateTheRound) {
         EXPECT_EQ(streaming.last_arrived(), n);
         EXPECT_EQ(outcome.winners.size(), 6u);
     }
+}
+
+TEST(StreamingSelectorEquivalence, ShardedRoundsMatchMonolithicRounds) {
+    // `auction.shards > 1` only changes HOW the round closes (the virtual
+    // carve + head merge), never what it selects: a sharded selector and a
+    // monolithic one over the same population and seed stay bit-identical,
+    // with quorum/deadline truncation in play.
+    const Market& m = market();
+    const std::size_t n = 72;
+    const std::size_t k = 6;
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = k;
+    wd.tie_break = auction::TieBreak::salted;
+    wd.full_ranking = false;
+    for (const std::size_t shards : {2u, 5u}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        MecPopulation mono_pop(make_store(n, 0xabcULL));
+        MecPopulation shard_pop(make_store(n, 0xabcULL));
+        StreamingRoundConfig mono_sc = staggered_arrivals(n);
+        mono_sc.quorum = 30;
+        StreamingRoundConfig shard_sc = mono_sc;
+        shard_sc.shards = shards;
+        StreamingAuctionSelector mono(
+            mono_pop, *m.scoring, *m.strategy, wd,
+            {ResourceDim::data_size, ResourceDim::category_proportion},
+            /*data_dimension=*/0, mono_sc);
+        StreamingAuctionSelector sharded(
+            shard_pop, *m.scoring, *m.strategy, wd,
+            {ResourceDim::data_size, ResourceDim::category_proportion},
+            /*data_dimension=*/0, shard_sc);
+        stats::Rng mono_rng(3);
+        stats::Rng shard_rng(3);
+        for (std::size_t round = 1; round <= 4; ++round) {
+            SCOPED_TRACE("round " + std::to_string(round));
+            auction::expect_outcomes_equal(
+                mono.run_auction_round(round, k, mono_rng),
+                sharded.run_auction_round(round, k, shard_rng));
+            EXPECT_EQ(sharded.last_close_reason(), mono.last_close_reason());
+            EXPECT_EQ(sharded.last_close_time_s(), mono.last_close_time_s());
+        }
+    }
+}
+
+TEST(StreamingSelectorEquivalence, AdaptiveQuorumRetunesAndReplaysByteIdentical) {
+    // `timing.adaptive_quorum`: a deadline tight enough that rounds keep
+    // deadline-closing walks the quorum DOWN window by window; the
+    // schedule lands in the records (`bid_quorum`) and replays
+    // byte-identically under the same seed.
+    const Market& m = market();
+    const std::size_t n = 64;
+    const std::size_t k = 6;
+    auction::WinnerDeterminationConfig wd;
+    wd.num_winners = k;
+    StreamingRoundConfig sc = staggered_arrivals(n);
+    sc.deadline_s = 0.05;   // ~1/3 of the latency tape beats this cut
+    sc.quorum = 60;         // unreachable before the deadline: stalls
+    sc.adaptive_quorum = true;
+    const std::size_t rounds = 12;
+
+    auto run = [&](std::vector<std::size_t>& schedule,
+                   std::vector<std::size_t>& opened_with) {
+        MecPopulation pop(make_store(n, 0xadadULL));
+        StreamingAuctionSelector selector(
+            pop, *m.scoring, *m.strategy, wd,
+            {ResourceDim::data_size, ResourceDim::category_proportion},
+            /*data_dimension=*/0, sc);
+        stats::Rng rng(11);
+        for (std::size_t round = 1; round <= rounds; ++round) {
+            const fl::SelectionRecord record = selector.select(round, k, rng);
+            opened_with.push_back(record.bid_quorum);
+            EXPECT_EQ(record.bid_quorum, selector.last_quorum());
+        }
+        schedule = selector.quorum_schedule();
+    };
+    std::vector<std::size_t> schedule_a, schedule_b, opened_a, opened_b;
+    run(schedule_a, opened_a);
+    run(schedule_b, opened_b);
+    ASSERT_EQ(schedule_a.size(), rounds);
+    EXPECT_EQ(schedule_a, schedule_b);
+    EXPECT_EQ(opened_a, opened_b);
+    // The controller actually moved: deadline dominance stepped the target
+    // below its seed, and every later round opened with the retuned value.
+    EXPECT_EQ(opened_a.front(), sc.quorum);
+    EXPECT_LT(schedule_a.back(), sc.quorum);
+    EXPECT_EQ(opened_a.back(), schedule_a[rounds - 2]);
 }
 
 } // namespace

@@ -252,10 +252,35 @@ TEST(ExperimentSpecValidate, StreamingRulesAreEnforced) {
     spec.timing.arrival_rate_hz = 0.0;
     spec.timing.arrival_process = mec::ArrivalProcess::latency;
 
-    // The trial engine streams the monolithic market only.
+    // Sharded streaming is a supported composition (the round closes
+    // through the sharded head merge, bit-identical to the monolithic
+    // close) — but the batch shard-SUPERVISION knobs do not apply to it.
     spec.auction.shards = 8;
-    EXPECT_TRUE(mentions(validate(spec), "auction.shards"));
+    EXPECT_TRUE(validate(spec).empty());
+    spec.auction.shard_timeout_s = 0.5;
+    EXPECT_TRUE(mentions(validate(spec), "timing.round_deadline_s"));
+    spec.auction.shard_timeout_s = 0.0;
+    spec.auction.fault_plan = "seed=7,crash=0.05";
+    EXPECT_TRUE(mentions(validate(spec), "auction.fault_plan"));
+    spec.auction.fault_plan.clear();
+    spec.auction.shard_quorum = 4;
+    EXPECT_TRUE(mentions(validate(spec), "auction.shard_quorum"));
+    spec.auction.shard_quorum = 0;
     spec.auction.shards = 1;
+
+    // Adaptive quorum needs the full streaming close policy to tune.
+    spec.timing.adaptive_quorum = true;
+    EXPECT_TRUE(mentions(validate(spec), "timing.min_updates"));
+    spec.timing.min_updates = 12;
+    EXPECT_TRUE(mentions(validate(spec), "timing.round_deadline_s"));
+    spec.timing.round_deadline_s = 2.0;
+    EXPECT_TRUE(validate(spec).empty());
+    spec.timing.streaming = false;
+    EXPECT_TRUE(mentions(validate(spec), "timing.streaming"));
+    spec.timing.streaming = true;
+    spec.timing.adaptive_quorum = false;
+    spec.timing.min_updates = 0;
+    spec.timing.round_deadline_s = 0.0;
 
     // The pricing knob is validated whether or not streaming is on.
     spec.auction.latency_discount = -0.5;
@@ -270,6 +295,10 @@ TEST(ExperimentSpecText, StreamingKnobsRoundTripAndRejectTypos) {
     spec.timing.arrival_process = mec::ArrivalProcess::poisson;
     spec.timing.arrival_rate_hz = 123.25;
     spec.auction.latency_discount = 0.375;
+    spec.timing.adaptive_quorum = true;
+    spec.timing.min_updates = 9;
+    spec.timing.round_deadline_s = 1.5;
+    spec.auction.shards = 4;
     const ExperimentSpec parsed = parse_experiment_spec(to_text(spec));
     EXPECT_TRUE(parsed == spec);
 

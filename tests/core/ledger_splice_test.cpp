@@ -1,0 +1,182 @@
+// Section-bounded ledger splicing (util/json_ledger.hpp): the contract
+// that lets scale_round, fault_matrix and streaming_market co-own
+// BENCH_scale.json. The historical failure modes pinned here:
+//
+//  - fault_matrix located its section with a raw text search, so a key
+//    name inside a nested string value (a row's "name", a fault-plan
+//    string) could hijack the brace match;
+//  - streaming_market rewrote everything from its key to EOF, so any
+//    section that happened to sit AFTER "streaming" was destroyed —
+//    splice order across benches was load-bearing;
+//  - scale_round truncated the whole file, dropping every other bench's
+//    section on a rerun.
+//
+// The helpers must therefore be string-aware, match only root-level
+// members, replace exactly the member's span, and leave every other byte
+// verbatim — for ANY ordering of the sections.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fmore/stats/rng.hpp"
+#include "fmore/util/json_ledger.hpp"
+
+namespace {
+
+using fmore::util::extract_ledger_section;
+using fmore::util::find_ledger_section;
+using fmore::util::remove_ledger_section;
+using fmore::util::splice_ledger_section;
+
+/// A ledger whose `sections` appear in the given order, members joined
+/// with ",\n  " inside a root object — the shape the benches emit.
+std::string ledger_with(const std::vector<std::string>& sections) {
+    std::string text = "{\n  ";
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        if (i > 0) text += ",\n  ";
+        text += sections[i];
+    }
+    return text + "\n}\n";
+}
+
+const std::string kScale =
+    "\"scale\": [\n    {\"n\": 10000, \"speedup\": 3.8},\n"
+    "    {\"n\": 1000000, \"speedup\": 5.9}\n  ]";
+// The faults rows carry every other section's key inside STRING VALUES —
+// a raw text search would anchor on these.
+const std::string kFaults =
+    "\"faults\": {\n    \"rows\": [\n"
+    "      {\"name\": \"streaming\", \"plan\": \"seed=17,crash=0.05\"},\n"
+    "      {\"name\": \"scale\", \"plan\": \"brace {\\\" in \\\\ a string}\"}\n"
+    "    ]\n  }";
+const std::string kStreaming =
+    "\"streaming\": {\n    \"rows\": [{\"n\": 10000, \"note\": \"faults\"}]\n  }";
+
+} // namespace
+
+TEST(LedgerSplice, FindsRootSectionsInAnyOrder) {
+    std::vector<std::string> sections{kScale, kFaults, kStreaming};
+    std::sort(sections.begin(), sections.end());
+    do {
+        const std::string text = ledger_with(sections);
+        EXPECT_EQ(extract_ledger_section(text, "scale"), kScale) << text;
+        EXPECT_EQ(extract_ledger_section(text, "faults"), kFaults) << text;
+        EXPECT_EQ(extract_ledger_section(text, "streaming"), kStreaming) << text;
+    } while (std::next_permutation(sections.begin(), sections.end()));
+}
+
+TEST(LedgerSplice, KeyInsideAStringValueNeverMatches) {
+    // Only nested occurrences: "streaming" and "scale" exist solely as
+    // string VALUES inside the faults rows.
+    const std::string text = ledger_with({kFaults});
+    EXPECT_EQ(extract_ledger_section(text, "streaming"), "");
+    EXPECT_EQ(extract_ledger_section(text, "scale"), "");
+    EXPECT_EQ(extract_ledger_section(text, "faults"), kFaults);
+    // Nested member keys (depth > 1) are not root sections either.
+    EXPECT_EQ(extract_ledger_section(text, "rows"), "");
+    EXPECT_EQ(extract_ledger_section(text, "name"), "");
+}
+
+TEST(LedgerSplice, FindSpansPrimitiveAndArrayValues) {
+    const std::string text =
+        "{\n  \"smoke\": false,\n  \"k\": 32,\n  " + kScale + "\n}\n";
+    EXPECT_EQ(extract_ledger_section(text, "smoke"), "\"smoke\": false");
+    EXPECT_EQ(extract_ledger_section(text, "k"), "\"k\": 32");
+    EXPECT_EQ(extract_ledger_section(text, "scale"), kScale);
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    EXPECT_FALSE(find_ledger_section(text, "shards", begin, end));
+}
+
+TEST(LedgerSplice, SpliceReplacesInPlaceAndPreservesNeighborsByteForByte) {
+    const std::string fresh = "\"faults\": {\n    \"rows\": []\n  }";
+    std::vector<std::string> sections{kScale, kFaults, kStreaming};
+    std::sort(sections.begin(), sections.end());
+    do {
+        const std::string before = ledger_with(sections);
+        const std::string after = splice_ledger_section(before, "faults", fresh);
+        // The replaced section reads back as spliced; the others are
+        // untouched, still in their original order.
+        EXPECT_EQ(extract_ledger_section(after, "faults"), fresh);
+        EXPECT_EQ(extract_ledger_section(after, "scale"), kScale);
+        EXPECT_EQ(extract_ledger_section(after, "streaming"), kStreaming);
+        std::vector<std::string> replaced = sections;
+        for (std::string& s : replaced)
+            if (s == kFaults) s = fresh;
+        EXPECT_EQ(after, ledger_with(replaced));
+    } while (std::next_permutation(sections.begin(), sections.end()));
+}
+
+TEST(LedgerSplice, SpliceAppendsWhenAbsentAndBootstrapsEmptyDocuments) {
+    // Absent key: appended before the root close, neighbours intact.
+    const std::string base = ledger_with({kScale});
+    const std::string merged = splice_ledger_section(base, "streaming", kStreaming);
+    EXPECT_EQ(extract_ledger_section(merged, "scale"), kScale);
+    EXPECT_EQ(extract_ledger_section(merged, "streaming"), kStreaming);
+
+    // No document at all, and an empty root object.
+    const std::string fresh = splice_ledger_section("", "scale", kScale);
+    EXPECT_EQ(extract_ledger_section(fresh, "scale"), kScale);
+    const std::string from_empty = splice_ledger_section("{}\n", "scale", kScale);
+    EXPECT_EQ(extract_ledger_section(from_empty, "scale"), kScale);
+    // No separator before the first member of a previously empty object.
+    EXPECT_EQ(from_empty.rfind("{\n  \"scale\"", 0), 0u) << from_empty;
+}
+
+TEST(LedgerSplice, RemoveStitchesTheJoiningComma) {
+    std::vector<std::string> sections{kScale, kFaults, kStreaming};
+    std::sort(sections.begin(), sections.end());
+    do {
+        for (const auto& [key, body] :
+             {std::pair<std::string, std::string>{"scale", kScale},
+              {"faults", kFaults},
+              {"streaming", kStreaming}}) {
+            const std::string after =
+                remove_ledger_section(ledger_with(sections), key);
+            EXPECT_EQ(extract_ledger_section(after, key), "") << after;
+            std::vector<std::string> kept;
+            for (const std::string& s : sections)
+                if (s != body) kept.push_back(s);
+            for (const std::string& s : kept)
+                EXPECT_NE(after.find(s), std::string::npos) << after;
+            // No dangling separator: the survivors re-render cleanly.
+            EXPECT_EQ(after.find(",,"), std::string::npos) << after;
+            EXPECT_EQ(after.find(",\n}"), std::string::npos) << after;
+        }
+    } while (std::next_permutation(sections.begin(), sections.end()));
+    // Removing an absent or nested-only key is a no-op.
+    const std::string text = ledger_with({kFaults});
+    EXPECT_EQ(remove_ledger_section(text, "streaming"), text);
+    EXPECT_EQ(remove_ledger_section(text, "rows"), text);
+}
+
+/// The end-to-end shuffle: three "benches" splice their sections into one
+/// ledger in every possible run order, starting from a ledger whose
+/// committed sections are themselves shuffled. Whatever the order, the
+/// final ledger holds all three sections with the fresh content.
+TEST(LedgerSplice, BenchRunOrderOverAShuffledLedgerIsIrrelevant) {
+    const std::vector<std::pair<std::string, std::string>> benches = {
+        {"scale", "\"scale\": [\n    {\"n\": 10000, \"speedup\": 4.1}\n  ]"},
+        {"faults", "\"faults\": {\n    \"rows\": []\n  }"},
+        {"streaming", "\"streaming\": {\n    \"rows\": []\n  }"},
+    };
+    fmore::stats::Rng rng(41);
+    const std::vector<std::string> sections{kScale, kFaults, kStreaming};
+    std::vector<std::size_t> shuffle{0, 1, 2};
+    std::vector<std::size_t> order{0, 1, 2};
+    std::sort(order.begin(), order.end());
+    do {
+        rng.shuffle(shuffle);
+        std::vector<std::string> committed;
+        for (const std::size_t s : shuffle) committed.push_back(sections[s]);
+        std::string text = ledger_with(committed);
+        for (const std::size_t b : order)
+            text = splice_ledger_section(std::move(text), benches[b].first,
+                                         benches[b].second);
+        for (const auto& [key, body] : benches)
+            EXPECT_EQ(extract_ledger_section(text, key), body) << text;
+    } while (std::next_permutation(order.begin(), order.end()));
+}

@@ -1,0 +1,184 @@
+// The adaptive quorum controller (fl/adaptive_quorum.hpp): the bounded
+// control law that retunes `timing.min_updates` from close telemetry. The
+// contract under test — adjust at most once per full window, integer steps
+// clamped to [min_quorum, max_quorum], raise only with p99 slack against
+// the deadline, and a schedule that is a PURE function of the observation
+// sequence (byte-identical across replays).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fmore/fl/adaptive_quorum.hpp"
+
+namespace fmore::fl {
+namespace {
+
+AdaptiveQuorumConfig base_config() {
+    AdaptiveQuorumConfig cfg;
+    cfg.initial = 10;
+    cfg.max_quorum = 20;
+    cfg.step = 4;
+    cfg.window = 4;
+    cfg.deadline_s = 1.0;
+    return cfg;
+}
+
+/// `count` observations of one close reason at one close time.
+void feed(AdaptiveQuorumController& ctl, std::size_t count,
+          const std::string& reason, double close_s) {
+    for (std::size_t i = 0; i < count; ++i) ctl.observe(reason, close_s);
+}
+
+TEST(AdaptiveQuorum, CtorRejectsUnusableConfigs) {
+    auto with = [](auto mutate) {
+        AdaptiveQuorumConfig cfg = base_config();
+        mutate(cfg);
+        return cfg;
+    };
+    EXPECT_THROW(AdaptiveQuorumController(
+                     with([](auto& c) { c.initial = 0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(AdaptiveQuorumController(
+                     with([](auto& c) { c.window = 0; })),
+                 std::invalid_argument);
+    // Inverted clamp range, and an initial outside it.
+    EXPECT_THROW(AdaptiveQuorumController(with([](auto& c) {
+                     c.min_quorum = 8;
+                     c.max_quorum = 4;
+                     c.initial = 6;
+                 })),
+                 std::invalid_argument);
+    EXPECT_THROW(AdaptiveQuorumController(with([](auto& c) {
+                     c.min_quorum = 4;
+                     c.initial = 2;
+                 })),
+                 std::invalid_argument);
+    EXPECT_THROW(AdaptiveQuorumController(
+                     with([](auto& c) { c.slack_ratio = 1.5; })),
+                 std::invalid_argument);
+    EXPECT_THROW(AdaptiveQuorumController(
+                     with([](auto& c) { c.dominance = 0.0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(AdaptiveQuorumController(
+                     with([](auto& c) { c.deadline_s = -0.5; })),
+                 std::invalid_argument);
+}
+
+TEST(AdaptiveQuorum, DefaultsDeriveStepAndCeiling) {
+    AdaptiveQuorumConfig cfg;
+    cfg.initial = 40;
+    const AdaptiveQuorumController ctl(cfg);
+    EXPECT_EQ(ctl.quorum(), 40u);
+    // step 0 derives max(1, initial / 8); max_quorum 0 pins the ceiling at
+    // the initial (the controller can only lower).
+    EXPECT_EQ(ctl.config().step, 0u);  // config is kept verbatim...
+    EXPECT_EQ(ctl.config().max_quorum, 40u);
+
+    AdaptiveQuorumConfig tiny;
+    tiny.initial = 3;
+    tiny.window = 1;
+    AdaptiveQuorumController small(tiny);
+    small.observe("deadline", 1.0);
+    EXPECT_EQ(small.quorum(), 2u);  // derived step = max(1, 3/8) = 1
+}
+
+TEST(AdaptiveQuorum, DeadlineDominanceStepsDownAndClampsAtTheFloor) {
+    AdaptiveQuorumController ctl(base_config());
+    feed(ctl, 4, "deadline", 1.0);
+    EXPECT_EQ(ctl.quorum(), 6u);
+    feed(ctl, 4, "deadline", 1.0);
+    EXPECT_EQ(ctl.quorum(), 2u);
+    // The next drop is truncated to the floor, and the floor holds.
+    feed(ctl, 4, "deadline", 1.0);
+    EXPECT_EQ(ctl.quorum(), 1u);
+    feed(ctl, 4, "deadline", 1.0);
+    EXPECT_EQ(ctl.quorum(), 1u);
+}
+
+TEST(AdaptiveQuorum, RaiseNeedsQuorumDominanceAndP99Slack) {
+    // Comfortably early quorum closes: raise by one step per window,
+    // truncated at the ceiling.
+    AdaptiveQuorumController ctl(base_config());
+    feed(ctl, 4, "quorum", 0.2);
+    EXPECT_EQ(ctl.quorum(), 14u);
+    feed(ctl, 4, "quorum", 0.2);
+    EXPECT_EQ(ctl.quorum(), 18u);
+    feed(ctl, 4, "quorum", 0.2);
+    EXPECT_EQ(ctl.quorum(), 20u);
+    feed(ctl, 4, "quorum", 0.2);
+    EXPECT_EQ(ctl.quorum(), 20u);
+
+    // Quorum closes WITHOUT slack (p99 past slack_ratio x deadline): hold.
+    AdaptiveQuorumController tight(base_config());
+    feed(tight, 4, "quorum", 0.9);
+    EXPECT_EQ(tight.quorum(), 10u);
+    // One late round in the window drags its p99 over the line too.
+    feed(tight, 3, "quorum", 0.1);
+    tight.observe("quorum", 0.95);
+    EXPECT_EQ(tight.quorum(), 10u);
+
+    // No deadline configured: no latency budget, the raise rule is off.
+    AdaptiveQuorumConfig no_deadline = base_config();
+    no_deadline.deadline_s = 0.0;
+    AdaptiveQuorumController flat(no_deadline);
+    feed(flat, 4, "quorum", 0.0);
+    EXPECT_EQ(flat.quorum(), 10u);
+}
+
+TEST(AdaptiveQuorum, MixedAndExhaustedWindowsHold) {
+    // Nothing dominant (dominance 0.75, both reasons at 0.5): hold.
+    AdaptiveQuorumConfig cfg = base_config();
+    cfg.dominance = 0.75;
+    AdaptiveQuorumController ctl(cfg);
+    feed(ctl, 2, "deadline", 1.0);
+    feed(ctl, 2, "quorum", 0.2);
+    EXPECT_EQ(ctl.quorum(), 10u);
+    // Exhaustion closes fill the window but count toward neither trigger.
+    feed(ctl, 4, "exhausted", 0.3);
+    EXPECT_EQ(ctl.quorum(), 10u);
+}
+
+TEST(AdaptiveQuorum, AdjustsAtMostOncePerFullWindow) {
+    AdaptiveQuorumController ctl(base_config());
+    // A partial window never moves the quorum...
+    feed(ctl, 3, "deadline", 1.0);
+    EXPECT_EQ(ctl.quorum(), 10u);
+    // ...the window-filling observation decides...
+    ctl.observe("deadline", 1.0);
+    EXPECT_EQ(ctl.quorum(), 6u);
+    // ...and the window restarts empty: three more deadline closes are
+    // again not enough, whatever came before.
+    feed(ctl, 3, "deadline", 1.0);
+    EXPECT_EQ(ctl.quorum(), 6u);
+    ctl.observe("quorum", 0.2);
+    EXPECT_EQ(ctl.quorum(), 2u);  // 3/4 deadline still dominates at 0.5
+}
+
+TEST(AdaptiveQuorum, ScheduleReplaysByteIdentical) {
+    // A telemetry tape mixing all three reasons; two controllers fed the
+    // same tape must emit the same schedule, entry for entry — and each
+    // entry is the quorum AFTER folding that observation.
+    const std::vector<std::pair<std::string, double>> tape = {
+        {"deadline", 1.0}, {"quorum", 0.3},    {"deadline", 1.0},
+        {"deadline", 1.0}, {"quorum", 0.2},    {"quorum", 0.15},
+        {"quorum", 0.1},   {"quorum", 0.2},    {"exhausted", 0.8},
+        {"deadline", 1.0}, {"deadline", 1.0},  {"deadline", 1.0},
+    };
+    AdaptiveQuorumController a(base_config());
+    AdaptiveQuorumController b(base_config());
+    for (const auto& [reason, sec] : tape) {
+        a.observe(reason, sec);
+        b.observe(reason, sec);
+        EXPECT_EQ(a.quorum(), b.quorum());
+        EXPECT_EQ(a.schedule().back(), a.quorum());
+    }
+    ASSERT_EQ(a.schedule().size(), tape.size());
+    EXPECT_EQ(a.schedule(), b.schedule());
+}
+
+} // namespace
+} // namespace fmore::fl

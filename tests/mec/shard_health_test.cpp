@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "fmore/fl/metrics.hpp"
@@ -25,8 +26,22 @@ TEST(ShardHealth, EmptyRunSummarizesToZeros) {
     EXPECT_EQ(health.rounds, 0u);
     EXPECT_EQ(health.streaming_rounds, 0u);
     EXPECT_EQ(health.quorum_close_fraction, 0.0);
-    EXPECT_EQ(health.close_p99_s, 0.0);
+    // No streaming rounds -> no close times: the percentiles are NaN, NOT
+    // 0.0 — a run that never streamed must be distinguishable from one
+    // whose rounds all closed at t = 0.
+    EXPECT_TRUE(std::isnan(health.close_p50_s));
+    EXPECT_TRUE(std::isnan(health.close_p99_s));
     EXPECT_EQ(health.rounds_degraded, 0u);
+}
+
+TEST(ShardHealth, BatchOnlyRunKeepsNaNPercentiles) {
+    RunResult result;
+    result.rounds.push_back(RoundMetrics{});
+    result.rounds.push_back(RoundMetrics{});
+    const RoundHealth health = result.health();
+    EXPECT_EQ(health.streaming_rounds, 0u);
+    EXPECT_TRUE(std::isnan(health.close_p50_s));
+    EXPECT_TRUE(std::isnan(health.close_p99_s));
 }
 
 TEST(ShardHealth, CloseReasonMixAndPercentiles) {
