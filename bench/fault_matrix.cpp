@@ -27,12 +27,15 @@
 // happening at positive crash rates. No timing gates: fault-recovery
 // latency is dominated by deliberate stalls and deadlines, not by code.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -44,6 +47,9 @@
 #include "fmore/auction/equilibrium.hpp"
 #include "fmore/auction/scoring.hpp"
 #include "fmore/auction/winner_determination.hpp"
+#include "fmore/core/experiment.hpp"
+#include "fmore/core/run_checkpoint.hpp"
+#include "fmore/fl/metrics.hpp"
 #include "fmore/mec/population_store.hpp"
 #include "fmore/mec/shard_aggregator.hpp"
 #include "fmore/stats/normalizer.hpp"
@@ -224,14 +230,110 @@ MatrixRow run_plan(const PlanSpec& plan_spec, const Market& market, std::size_t 
 }
 
 // ---------------------------------------------------------------------------
+// coordinator_crash: the durable-run scenario. A checkpointed trial runs to
+// completion, a mid-run checkpoint is re-loaded as if the coordinator had
+// been SIGKILLed there, and the resumed run's full metrics tape is diffed
+// field-exact against the reference — `resume_bit_identical` is the
+// headline durability invariant, `recovery_rounds` the work replayed.
+// ---------------------------------------------------------------------------
+
+struct CrashRow {
+    std::size_t rounds = 0;
+    std::size_t kill_round = 0;       ///< checkpoint the resume starts from
+    std::size_t recovery_rounds = 0;  ///< rounds re-executed after resume
+    bool resume_bit_identical = false;
+    double resume_s = 0.0;  ///< wall-clock of restore + replay
+};
+
+bool tapes_equal(const std::vector<fl::RoundMetrics>& a,
+                 const std::vector<fl::RoundMetrics>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const fl::RoundMetrics& x = a[i];
+        const fl::RoundMetrics& y = b[i];
+        if (x.round != y.round || x.test_accuracy != y.test_accuracy
+            || x.test_loss != y.test_loss || x.train_loss != y.train_loss
+            || x.mean_winner_payment != y.mean_winner_payment
+            || x.mean_winner_score != y.mean_winner_score
+            || x.round_seconds != y.round_seconds
+            || x.aggregated_updates != y.aggregated_updates
+            || x.dropped_shards != y.dropped_shards
+            || x.selection.close_reason != y.selection.close_reason
+            || x.selection.close_time_s != y.selection.close_time_s)
+            return false;
+        if (x.selection.selected.size() != y.selection.selected.size())
+            return false;
+        for (std::size_t j = 0; j < x.selection.selected.size(); ++j) {
+            if (x.selection.selected[j].client != y.selection.selected[j].client
+                || x.selection.selected[j].payment
+                       != y.selection.selected[j].payment
+                || x.selection.selected[j].score
+                       != y.selection.selected[j].score)
+                return false;
+        }
+    }
+    return true;
+}
+
+CrashRow run_coordinator_crash(bool smoke) {
+    namespace fs = std::filesystem;
+    const fs::path scratch =
+        fs::temp_directory_path()
+        / ("fmore_fault_matrix_" + std::to_string(::getpid()));
+    fs::create_directories(scratch);
+
+    core::ExperimentSpec spec =
+        core::default_experiment(core::DatasetKind::mnist_o);
+    spec.seed = 0x2026ULL;
+    spec.population.num_nodes = smoke ? 12 : 40;
+    spec.population.data_lo = 10;
+    spec.population.data_hi = 40;
+    spec.auction.winners = smoke ? 4 : 8;
+    spec.training.train_samples = smoke ? 400 : 2000;
+    spec.training.test_samples = smoke ? 120 : 400;
+    spec.training.rounds = smoke ? 6 : 12;
+    spec.training.eval_cap = 200;
+    spec.timing.checkpoint_every = 2;
+    spec.timing.checkpoint_dir = (scratch / "ckpt").string();
+    // Keep every cadence point so the mid-run checkpoint survives retention
+    // until the resume leg re-loads it.
+    spec.timing.checkpoint_keep = spec.training.rounds;
+
+    CrashRow row;
+    row.rounds = spec.training.rounds;
+    // Mid-run, rounded up onto the checkpoint cadence.
+    row.kill_round = spec.training.rounds / 2;
+    row.kill_round += row.kill_round % spec.timing.checkpoint_every;
+    row.recovery_rounds = spec.training.rounds - row.kill_round;
+
+    core::ExperimentTrial reference_trial(spec, /*trial_index=*/0);
+    const fl::RunResult reference =
+        reference_trial.run_resumable("fmore", nullptr);
+
+    const auto start = clock_type::now();
+    const core::RunCheckpoint ckpt = core::load_checkpoint(
+        core::checkpoint_run_dir(spec.timing.checkpoint_dir, "fmore", 0) + "/"
+        + core::checkpoint_filename(row.kill_round));
+    core::ExperimentTrial resumed_trial(spec, /*trial_index=*/0);
+    const fl::RunResult resumed = resumed_trial.run_resumable("fmore", &ckpt);
+    row.resume_s = seconds_since(start);
+
+    row.resume_bit_identical = tapes_equal(reference.rounds, resumed.rounds);
+    std::error_code ec;
+    fs::remove_all(scratch, ec);
+    return row;
+}
+
+// ---------------------------------------------------------------------------
 // Ledger I/O: splice the `faults` section into BENCH_scale.json via the
 // section-bounded helpers (util/json_ledger.hpp) — the section is replaced
 // in place wherever it sits, so the order the co-owning benches run in is
 // irrelevant.
 // ---------------------------------------------------------------------------
 
-std::string render_section(const std::vector<MatrixRow>& rows, bool smoke,
-                           std::size_t n, std::size_t shards, std::size_t rounds) {
+std::string render_section(const std::vector<MatrixRow>& rows,
+                           const CrashRow& crash, bool smoke, std::size_t n,
+                           std::size_t shards, std::size_t rounds) {
     std::ostringstream out;
     char buf[768];
     std::snprintf(buf, sizeof buf,
@@ -265,7 +367,15 @@ std::string render_section(const std::vector<MatrixRow>& rows, bool smoke,
             i + 1 < rows.size() ? "," : "");
         out << buf;
     }
-    out << "    ]\n  }";
+    out << "    ],\n";
+    std::snprintf(buf, sizeof buf,
+                  "    \"coordinator_crash\": {\"rounds\": %zu, "
+                  "\"kill_round\": %zu, \"recovery_rounds\": %zu, "
+                  "\"resume_bit_identical\": %s, \"resume_s\": %.4g}\n  }",
+                  crash.rounds, crash.kill_round, crash.recovery_rounds,
+                  crash.resume_bit_identical ? "true" : "false",
+                  crash.resume_s);
+    out << buf;
     return out.str();
 }
 
@@ -297,13 +407,30 @@ void write_ledger(const std::string& path, const std::string& section) {
 /// frames; plans with positive crash rates evicted AND respawned workers;
 /// the committed section exists with every fresh row name present and
 /// bit-identical.
-bool check_against(const std::string& text, const std::vector<MatrixRow>& rows) {
+bool check_against(const std::string& text, const std::vector<MatrixRow>& rows,
+                   const CrashRow& crash) {
     bool ok = true;
     const std::string section = util::extract_ledger_section(text, "faults");
     if (section.empty()) {
         std::cerr << "fault_matrix --check: committed ledger has no \"faults\""
                      " section\n";
         return false;
+    }
+    if (!crash.resume_bit_identical) {
+        std::cerr << "fault_matrix --check: coordinator_crash resume diverged"
+                     " from the uninterrupted reference run\n";
+        ok = false;
+    }
+    const std::size_t crash_at = section.find("\"coordinator_crash\"");
+    if (crash_at == std::string::npos) {
+        std::cerr << "fault_matrix --check: committed faults section has no"
+                     " coordinator_crash scenario\n";
+        ok = false;
+    } else if (section.find("\"resume_bit_identical\": true", crash_at)
+               == std::string::npos) {
+        std::cerr << "fault_matrix --check: committed coordinator_crash lacks"
+                     " resume_bit_identical = true\n";
+        ok = false;
     }
     for (const MatrixRow& row : rows) {
         if (!row.bit_identity_after_rejoin || row.clean_rounds_compared == 0) {
@@ -405,6 +532,14 @@ int main(int argc, char** argv) {
         rows.push_back(std::move(row));
     }
 
+    const CrashRow crash = run_coordinator_crash(smoke);
+    std::printf(
+        "  %-9s killed at round %zu/%zu  replayed %zu rds in %.2fs  "
+        "identical %s\n",
+        "coordinator_crash", crash.kill_round, crash.rounds,
+        crash.recovery_rounds, crash.resume_s,
+        crash.resume_bit_identical ? "yes" : "NO");
+
     bool ok = true;
     if (!check_path.empty()) {
         std::ifstream in(check_path);
@@ -414,11 +549,11 @@ int main(int argc, char** argv) {
         } else {
             std::stringstream buffer;
             buffer << in.rdbuf();
-            ok = check_against(buffer.str(), rows);
+            ok = check_against(buffer.str(), rows, crash);
         }
     }
     if (check_path.empty() || out_path != check_path)
-        write_ledger(out_path, render_section(rows, smoke, n, shards, rounds));
+        write_ledger(out_path, render_section(rows, crash, smoke, n, shards, rounds));
     else
         std::cout << "(--check against the --out target: ledger left as"
                      " committed)\n";

@@ -24,14 +24,19 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "fmore/core/report.hpp"
+#include "fmore/core/run_checkpoint.hpp"
 #include "fmore/core/scenarios.hpp"
 #include "fmore/core/sweep.hpp"
 #include "fmore/core/trials.hpp"
@@ -52,8 +57,48 @@ int usage(std::ostream& out, int exit_code) {
            "  --sweep key=a,b,c  grid over spec overrides (repeatable; cross\n"
            "                     product, one result table per grid point)\n"
            "  --dump             print the resolved spec (pre-sweep) and exit\n"
-           "  --validate         validate the resolved spec and exit\n";
+           "  --validate         validate the resolved spec and exit\n"
+           "  --resume DIR       continue interrupted runs from the newest valid\n"
+           "                     checkpoints under DIR (a timing.checkpoint_dir);\n"
+           "                     the spec is recovered from the checkpoints, so\n"
+           "                     no scenario/--file is given\n"
+           "  --health           print the end-of-run fl::RoundHealth roll-up\n"
+           "                     (close-reason mix, tail close latency, shard\n"
+           "                     supervision counters) per policy and trial\n";
     return exit_code;
+}
+
+/// Newest valid checkpoint under any `<policy>-t<trial>` run directory of
+/// `base` — the spec source for `--resume` (every run of one scenario
+/// records the same normalized spec text).
+std::optional<core::RunCheckpoint> newest_checkpoint_under(const std::string& base) {
+    std::optional<core::RunCheckpoint> best;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(base, ec)) {
+        if (!entry.is_directory()) continue;
+        std::optional<core::RunCheckpoint> found =
+            core::find_latest_valid(entry.path().string());
+        if (found && (!best || found->completed_rounds > best->completed_rounds))
+            best = std::move(found);
+    }
+    return best;
+}
+
+void print_health(std::ostream& out, const std::string& policy, std::size_t trial,
+                  const fl::RoundHealth& h) {
+    out << "  " << policy << " trial " << trial << ": rounds=" << h.rounds
+        << " streaming=" << h.streaming_rounds;
+    if (h.streaming_rounds > 0) {
+        char buffer[128];
+        std::snprintf(buffer, sizeof buffer,
+                      " quorum=%.0f%% deadline=%.0f%% close_p50=%.2fs close_p99=%.2fs",
+                      100.0 * h.quorum_close_fraction, 100.0 * h.deadline_close_fraction,
+                      h.close_p50_s, h.close_p99_s);
+        out << buffer;
+    }
+    out << " degraded=" << h.rounds_degraded << " evictions=" << h.shard_evictions
+        << " respawns=" << h.shard_respawns << " corrupt_frames=" << h.corrupt_frames
+        << " frame_retries=" << h.frame_retries << '\n';
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -75,8 +120,10 @@ int main(int argc, char** argv) {
     std::size_t trials = core::bench_trial_count();
     std::vector<std::pair<std::string, std::string>> overrides;
     std::vector<core::SweepAxis> sweep_axes;
+    std::string resume_dir;
     bool dump = false;
     bool validate_only = false;
+    bool show_health = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -133,6 +180,10 @@ int main(int argc, char** argv) {
                 std::cerr << "run_scenario: " << error.what() << '\n';
                 return 2;
             }
+        } else if (arg == "--resume") {
+            resume_dir = next_value("--resume");
+        } else if (arg == "--health") {
+            show_health = true;
         } else if (arg == "--dump") {
             dump = true;
         } else if (arg == "--validate") {
@@ -148,17 +199,33 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
-    if (scenario.empty() && spec_file.empty()) return usage(std::cerr, 2);
-    if (!scenario.empty() && !spec_file.empty()) {
-        std::cerr << "run_scenario: both a scenario ('" << scenario
-                  << "') and --file ('" << spec_file
-                  << "') were given; pick one spec source\n";
+    if (scenario.empty() && spec_file.empty() && resume_dir.empty())
+        return usage(std::cerr, 2);
+    if ((!scenario.empty() && !spec_file.empty())
+        || (!resume_dir.empty() && (!scenario.empty() || !spec_file.empty()))) {
+        std::cerr << "run_scenario: a scenario, --file and --resume are all spec "
+                     "sources; pick exactly one\n";
+        return 2;
+    }
+    if (!resume_dir.empty() && !sweep_axes.empty()) {
+        std::cerr << "run_scenario: --resume continues one recorded spec and "
+                     "cannot be combined with --sweep\n";
         return 2;
     }
 
     try {
         core::ExperimentSpec spec;
-        if (!spec_file.empty()) {
+        if (!resume_dir.empty()) {
+            const std::optional<core::RunCheckpoint> newest =
+                newest_checkpoint_under(resume_dir);
+            if (!newest) {
+                std::cerr << "run_scenario: no valid checkpoint under '" << resume_dir
+                          << "' (expected <policy>-t<trial>/ckpt_round_*.fmsnap "
+                             "run directories)\n";
+                return 1;
+            }
+            spec = core::parse_experiment_spec(newest->spec_text);
+        } else if (!spec_file.empty()) {
             std::ifstream in(spec_file);
             if (!in) {
                 std::cerr << "run_scenario: cannot open spec file '" << spec_file
@@ -206,7 +273,9 @@ int main(int argc, char** argv) {
                            : std::vector<std::string>{"fmore", "randfl", "fixfl"};
         }
 
-        const std::string title = scenario.empty() ? spec_file : scenario;
+        const std::string title = !scenario.empty()  ? scenario
+                                  : !spec_file.empty() ? spec_file
+                                                       : resume_dir + " (resumed)";
         bool first = true;
         for (const core::SweepPoint& point : points) {
             if (!first) std::cout << '\n';
@@ -227,12 +296,36 @@ int main(int argc, char** argv) {
             std::cout << "\n\n";
 
             std::vector<core::NamedSeries> all;
+            std::vector<std::pair<std::string, std::vector<fl::RunResult>>> raw_runs;
             for (const std::string& policy : policies) {
-                all.push_back(core::NamedSeries{
-                    core::policy_display_name(policy),
-                    core::averaged_experiment(run_spec, policy, trials)});
+                std::vector<fl::RunResult> runs;
+                if (resume_dir.empty()) {
+                    runs = core::run_experiment_trials(run_spec, policy, trials);
+                } else {
+                    // Resume-or-fresh per (policy, trial): a run directory
+                    // with a valid checkpoint continues mid-tape; anything
+                    // else (missing, torn, corrupted) starts from round 1.
+                    runs = core::run_trials(trials, [&](std::size_t t) {
+                        core::ExperimentTrial trial(run_spec, t);
+                        const std::optional<core::RunCheckpoint> ckpt =
+                            core::find_latest_valid(
+                                core::checkpoint_run_dir(resume_dir, policy, t));
+                        return trial.run_resumable(policy,
+                                                   ckpt ? &*ckpt : nullptr);
+                    });
+                }
+                all.push_back(core::NamedSeries{core::policy_display_name(policy),
+                                                core::average_runs(runs)});
+                if (show_health) raw_runs.emplace_back(policy, std::move(runs));
             }
             core::print_accuracy_loss(std::cout, all);
+
+            if (show_health) {
+                std::cout << "\nround health:\n";
+                for (const auto& [policy, runs] : raw_runs)
+                    for (std::size_t t = 0; t < runs.size(); ++t)
+                        print_health(std::cout, policy, t, runs[t].health());
+            }
 
             if (run_spec.timing.enabled) {
                 std::cout << "\ncumulative training time by round (seconds):\n";

@@ -101,6 +101,11 @@ struct SimulationConfig {
     double learning_rate = 0.08;
     std::size_t eval_cap = 1000;
 
+    /// Durable-run knobs (see core::TimingSpec, which these mirror).
+    std::size_t checkpoint_every = 0;
+    std::string checkpoint_dir;
+    std::size_t checkpoint_keep = 3;
+
     std::uint64_t seed = 7;
 };
 
@@ -195,6 +200,11 @@ struct RealWorldConfig {
     double arrival_rate_hz = 0.0;
     double latency_discount = 0.0;
     bool adaptive_quorum = false;
+
+    /// Durable-run knobs (see core::TimingSpec, which these mirror).
+    std::size_t checkpoint_every = 0;
+    std::string checkpoint_dir;
+    std::size_t checkpoint_keep = 3;
 
     std::uint64_t seed = 11;
 };

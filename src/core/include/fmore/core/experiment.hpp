@@ -22,6 +22,8 @@
 
 namespace fmore::core {
 
+struct RunCheckpoint;  // run_checkpoint.hpp
+
 /// Which of the paper's two worlds the spec assembles. The kind picks the
 /// scoring family and data split the paper ties to each setup: `simulation`
 /// is the N=100 simulator (two-dimensional scaled-product scoring
@@ -197,6 +199,19 @@ struct TimingSpec {
     /// and a `round_deadline_s` > 0. The schedule is a pure function of
     /// the telemetry history, so replays are byte-identical.
     bool adaptive_quorum = false;
+    /// Durable runs: write a `core::RunCheckpoint` every this many
+    /// completed rounds (0 = checkpointing off). A checkpointed run
+    /// SIGKILLed at any point resumes — via `run_scenario --resume` —
+    /// bit-identical to a never-interrupted twin (see docs/ARCHITECTURE.md,
+    /// "Durability model"). Requires `checkpoint_dir`.
+    std::size_t checkpoint_every = 0;
+    /// Where checkpoint files land: one `<policy>-t<trial>/` subdirectory
+    /// per run, created on demand.
+    std::string checkpoint_dir;
+    /// Keep-last-K retention per run directory (old checkpoints and stale
+    /// `.tmp` files are deleted after each successful write). Must be >= 1
+    /// when checkpointing is on.
+    std::size_t checkpoint_keep = 3;
 };
 
 /// Everything needed to reproduce one experiment, simulator or testbed.
@@ -288,6 +303,15 @@ public:
     [[nodiscard]] fl::RunResult run(const std::string& policy);
     /// Legacy-enum overload.
     [[nodiscard]] fl::RunResult run(Strategy strategy);
+
+    /// `run(policy)` with durable-run support: when `resume_from` is
+    /// non-null the trial restores the checkpointed state and continues
+    /// from the next round (bit-identical to an uninterrupted run); either
+    /// way, `timing.checkpoint_every > 0` writes checkpoints as rounds
+    /// complete. @throws std::invalid_argument when the checkpoint belongs
+    /// to a different spec or policy.
+    [[nodiscard]] fl::RunResult run_resumable(const std::string& policy,
+                                              const RunCheckpoint* resume_from);
 
     /// Sealed-bid score board of the last auction-backed round (Fig. 8).
     [[nodiscard]] const std::vector<double>& last_all_scores() const;

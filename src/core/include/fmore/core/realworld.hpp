@@ -14,6 +14,7 @@
 namespace fmore::core {
 
 struct ExperimentSpec;
+struct RunCheckpoint;
 
 /// The testbed reproduction (Figs. 12-13): 31 heterogeneous nodes behind a
 /// switch, three-dimensional resource auction, and a wall-clock model so
@@ -30,6 +31,15 @@ public:
     [[nodiscard]] fl::RunResult run(const std::string& policy);
     /// Legacy-enum overload.
     [[nodiscard]] fl::RunResult run(Strategy strategy);
+
+    /// `run`, optionally resuming from a loaded checkpoint and writing new
+    /// checkpoints on the config's `checkpoint_every` cadence — across the
+    /// sync, semi-sync/async, sharded and streaming lanes alike. A resumed
+    /// run's tape is bit-identical to a never-interrupted one (see
+    /// docs/ARCHITECTURE.md, "Durability model"). `run(policy)` is exactly
+    /// `run_resumable(policy, nullptr)`.
+    [[nodiscard]] fl::RunResult run_resumable(const std::string& policy,
+                                              const RunCheckpoint* resume_from);
 
     /// Sealed-bid score board of the last auction-backed round.
     [[nodiscard]] const std::vector<double>& last_all_scores() const {
@@ -52,6 +62,7 @@ private:
     void rebuild_population();
 
     RealWorldConfig config_;
+    std::size_t trial_index_;
     std::uint64_t trial_seed_;
     double data_cap_ = 1.0; ///< largest shard size (scoring/cost scale)
     ml::Dataset train_;

@@ -15,6 +15,7 @@
 namespace fmore::core {
 
 struct ExperimentSpec;
+struct RunCheckpoint;
 
 /// One fully-assembled trial of the paper's simulator: dataset, non-IID
 /// shards, MEC population, solved equilibrium strategy, model and
@@ -38,6 +39,14 @@ public:
     /// Legacy-enum overload.
     [[nodiscard]] fl::RunResult run(Strategy strategy);
 
+    /// `run`, optionally resuming from a loaded checkpoint and writing new
+    /// checkpoints on the config's `checkpoint_every` cadence. A resumed
+    /// run's tape is bit-identical to a never-interrupted one (see
+    /// docs/ARCHITECTURE.md, "Durability model"). `run(policy)` is exactly
+    /// `run_resumable(policy, nullptr)`.
+    [[nodiscard]] fl::RunResult run_resumable(const std::string& policy,
+                                              const RunCheckpoint* resume_from);
+
     /// Sealed-bid score board of the last FMore round (Fig. 8 inputs).
     [[nodiscard]] const std::vector<double>& last_all_scores() const {
         return last_all_scores_;
@@ -56,6 +65,7 @@ private:
     void rebuild_population();
 
     SimulationConfig config_;
+    std::size_t trial_index_;
     std::uint64_t trial_seed_;
     ml::Dataset train_;
     ml::Dataset test_;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "fmore/auction/mechanism.hpp"
+#include "fmore/core/run_checkpoint.hpp"
 #include "fmore/fl/policy.hpp"
 #include "fmore/util/fault_injector.hpp"
 
@@ -62,7 +63,10 @@ bool operator==(const TimingSpec& a, const TimingSpec& b) {
            && a.dropout_prob == b.dropout_prob && a.streaming == b.streaming
            && a.arrival_process == b.arrival_process
            && a.arrival_rate_hz == b.arrival_rate_hz
-           && a.adaptive_quorum == b.adaptive_quorum;
+           && a.adaptive_quorum == b.adaptive_quorum
+           && a.checkpoint_every == b.checkpoint_every
+           && a.checkpoint_dir == b.checkpoint_dir
+           && a.checkpoint_keep == b.checkpoint_keep;
 }
 
 bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
@@ -138,6 +142,9 @@ SimulationConfig to_simulation_config(const ExperimentSpec& spec) {
     config.batch_size = spec.training.batch_size;
     config.learning_rate = spec.training.learning_rate;
     config.eval_cap = spec.training.eval_cap;
+    config.checkpoint_every = spec.timing.checkpoint_every;
+    config.checkpoint_dir = spec.timing.checkpoint_dir;
+    config.checkpoint_keep = spec.timing.checkpoint_keep;
     config.seed = spec.seed;
     return config;
 }
@@ -200,6 +207,9 @@ RealWorldConfig to_realworld_config(const ExperimentSpec& spec) {
     config.arrival_rate_hz = spec.timing.arrival_rate_hz;
     config.adaptive_quorum = spec.timing.adaptive_quorum;
     config.latency_discount = spec.auction.latency_discount;
+    config.checkpoint_every = spec.timing.checkpoint_every;
+    config.checkpoint_dir = spec.timing.checkpoint_dir;
+    config.checkpoint_keep = spec.timing.checkpoint_keep;
     config.seed = spec.seed;
     return config;
 }
@@ -244,6 +254,9 @@ ExperimentSpec from_simulation_config(const SimulationConfig& config) {
     spec.training.learning_rate = config.learning_rate;
     spec.training.eval_cap = config.eval_cap;
     spec.timing.enabled = false;
+    spec.timing.checkpoint_every = config.checkpoint_every;
+    spec.timing.checkpoint_dir = config.checkpoint_dir;
+    spec.timing.checkpoint_keep = config.checkpoint_keep;
     return spec;
 }
 
@@ -303,6 +316,9 @@ ExperimentSpec from_realworld_config(const RealWorldConfig& config) {
     spec.timing.arrival_process = config.arrival_process;
     spec.timing.arrival_rate_hz = config.arrival_rate_hz;
     spec.timing.adaptive_quorum = config.adaptive_quorum;
+    spec.timing.checkpoint_every = config.checkpoint_every;
+    spec.timing.checkpoint_dir = config.checkpoint_dir;
+    spec.timing.checkpoint_keep = config.checkpoint_keep;
     return spec;
 }
 
@@ -397,17 +413,22 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
         fail("auction.latency_discount = " + num(auc.latency_discount)
              + ": must be finite and >= 0 (0 disables latency-discounted "
                "pricing)");
+    bool plan_has_shard_faults = false;
     if (!auc.fault_plan.empty()) {
-        if (auc.shards <= 1)
-            fail("auction.fault_plan = '" + auc.fault_plan + "' with auction.shards = "
-                 + std::to_string(auc.shards)
-                 + ": fault injection targets shard workers, so it needs a sharded "
-                   "market (shards > 1)");
         try {
-            (void)util::FaultInjector::from_spec(auc.fault_plan);
+            plan_has_shard_faults =
+                util::FaultInjector::from_spec(auc.fault_plan).has_shard_faults();
         } catch (const std::invalid_argument& error) {
             fail("auction.fault_plan = '" + auc.fault_plan + "': " + error.what());
         }
+        // Coordinator-kill faults (ckill/ckill_mid) target the run itself, not
+        // the shard workers, so they are legal on a monolithic market too.
+        if (plan_has_shard_faults && auc.shards <= 1)
+            fail("auction.fault_plan = '" + auc.fault_plan + "' with auction.shards = "
+                 + std::to_string(auc.shards)
+                 + ": shard-fault injection targets shard workers, so it needs a "
+                   "sharded market (shards > 1); coordinator-only plans "
+                   "(ckill/ckill_mid) are exempt");
     }
     if (bad(auc.shard_respawn_backoff_s) || auc.shard_respawn_backoff_s < 0.0)
         fail("auction.shard_respawn_backoff_s = " + num(auc.shard_respawn_backoff_s)
@@ -524,11 +545,12 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
                    "timing.round_deadline_s / timing.min_updates, not on a "
                    "per-shard timeout; drop shard_timeout_s (the cross-process "
                    "aggregator's real-time read deadline is separate)");
-        if (!auc.fault_plan.empty())
+        if (plan_has_shard_faults)
             fail("auction.fault_plan = '" + auc.fault_plan
-                 + "' with timing.streaming = true: fault injection drives the "
-                   "batch shard supervisor; streaming trials have no in-process "
-                   "shard-drop path — unset timing.streaming or the fault plan");
+                 + "' with timing.streaming = true: shard-fault injection drives "
+                   "the batch shard supervisor; streaming trials have no "
+                   "in-process shard-drop path — unset timing.streaming or the "
+                   "fault plan (coordinator-only ckill/ckill_mid plans are fine)");
         if (auc.shard_quorum > 0)
             fail("auction.shard_quorum = " + std::to_string(auc.shard_quorum)
                  + " with timing.streaming = true: the SHARD quorum guards the "
@@ -568,6 +590,18 @@ std::vector<std::string> validate(const ExperimentSpec& spec) {
         fail("timing.dropout_prob = " + num(timing.dropout_prob)
              + ": must be a probability in [0, 1) (1 would drop every client "
                "forever)");
+    if (timing.checkpoint_every > 0 && timing.checkpoint_dir.empty())
+        fail("timing.checkpoint_every = " + std::to_string(timing.checkpoint_every)
+             + " with an empty timing.checkpoint_dir: checkpoints need a "
+               "directory to land in");
+    if (timing.checkpoint_every > 0 && timing.checkpoint_keep == 0)
+        fail("timing.checkpoint_keep = 0 with timing.checkpoint_every = "
+             + std::to_string(timing.checkpoint_every)
+             + ": retention must keep at least the newest checkpoint");
+    if (timing.checkpoint_every == 0 && !timing.checkpoint_dir.empty())
+        fail("timing.checkpoint_dir = '" + timing.checkpoint_dir
+             + "' with timing.checkpoint_every = 0: set a cadence (rounds per "
+               "checkpoint) or drop the directory");
     return errors;
 }
 
@@ -843,6 +877,13 @@ const std::vector<Field>& fields() {
                   s.timing.adaptive_quorum =
                       parse_bool("timing.adaptive_quorum", v);
               }},
+        FMORE_FIELD_SIZE("timing.checkpoint_every", timing.checkpoint_every),
+        Field{"timing.checkpoint_dir",
+              [](const ExperimentSpec& s) { return s.timing.checkpoint_dir; },
+              [](ExperimentSpec& s, const std::string& v) {
+                  s.timing.checkpoint_dir = v;
+              }},
+        FMORE_FIELD_SIZE("timing.checkpoint_keep", timing.checkpoint_keep),
     };
     return all;
 }
@@ -933,6 +974,23 @@ ExperimentTrial::ExperimentTrial(const ExperimentSpec& spec, std::size_t trial_i
 
 fl::RunResult ExperimentTrial::run(const std::string& policy) {
     return simulation_ ? simulation_->run(policy) : testbed_->run(policy);
+}
+
+fl::RunResult ExperimentTrial::run_resumable(const std::string& policy,
+                                             const RunCheckpoint* resume_from) {
+    if (resume_from) {
+        if (resume_from->policy != policy)
+            throw std::invalid_argument(
+                "ExperimentTrial::run_resumable: checkpoint belongs to policy '"
+                + resume_from->policy + "', not '" + policy + "'");
+        if (!resume_from->spec_text.empty()
+            && !(parse_experiment_spec(resume_from->spec_text) == spec_))
+            throw std::invalid_argument(
+                "ExperimentTrial::run_resumable: checkpoint spec does not match "
+                "this experiment (refusing to resume a different run)");
+    }
+    return simulation_ ? simulation_->run_resumable(policy, resume_from)
+                       : testbed_->run_resumable(policy, resume_from);
 }
 
 fl::RunResult ExperimentTrial::run(Strategy strategy) {

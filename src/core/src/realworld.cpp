@@ -3,7 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "checkpoint_hooks.hpp"
 #include "fmore/core/experiment.hpp"
+#include "fmore/core/run_checkpoint.hpp"
 #include "fmore/fl/async_coordinator.hpp"
 #include "fmore/fl/policy.hpp"
 #include "fmore/fl/selection.hpp"
@@ -37,7 +39,9 @@ std::string equilibrium_cache_key(const RealWorldConfig& config, double data_cap
 } // namespace
 
 RealWorldTrial::RealWorldTrial(const RealWorldConfig& config, std::size_t trial_index)
-    : config_(config), trial_seed_(config.seed + 7000003ULL * (trial_index + 1)) {
+    : config_(config),
+      trial_index_(trial_index),
+      trial_seed_(config.seed + 7000003ULL * (trial_index + 1)) {
     stats::Rng rng(trial_seed_);
 
     // The testbed trains CIFAR-10 (Fig. 12); the proxy dataset mirrors it.
@@ -186,6 +190,11 @@ ml::Model RealWorldTrial::make_model(std::uint64_t seed) const {
 }
 
 fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
+    return run_resumable(policy_name, nullptr);
+}
+
+fl::RunResult RealWorldTrial::run_resumable(const std::string& policy_name,
+                                            const RunCheckpoint* resume_from) {
     rebuild_population();
     ml::Model model = make_model(trial_seed_ ^ 0x5151ULL);
 
@@ -243,9 +252,14 @@ fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
                                    mec::ResourceDim::data_size},
                 /*data_dimension=*/2, config_.market_shards);
             sharded->set_shard_timeout(config_.shard_timeout_s);
-            if (!config_.fault_plan.empty())
-                sharded->set_fault_injector(
-                    util::FaultInjector::from_spec(config_.fault_plan));
+            if (!config_.fault_plan.empty()) {
+                // Coordinator-only plans (ckill/ckill_mid) leave the shard
+                // workers alone, so the selector runs exactly as without a
+                // plan — what the crash harness's uninterrupted twin needs.
+                const util::FaultInjector faults =
+                    util::FaultInjector::from_spec(config_.fault_plan);
+                if (faults.has_shard_faults()) sharded->set_fault_injector(faults);
+            }
             if (config_.shard_quorum > 0)
                 sharded->set_min_live_shards(config_.shard_quorum);
             return sharded;
@@ -273,10 +287,50 @@ fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
     const mec::ClusterTimeModel time_model(*population_, tc, is_auction, factor_rng);
 
     stats::Rng run_rng(trial_seed_ ^ 0xf00dULL);
+
+    // Durable-run harness: restore checkpointed state (the selector, time
+    // model and model weights were just rebuilt exactly as a fresh run
+    // builds them, so restored state + identical construction = identical
+    // draws), then arrange checkpoint writes on the configured cadence.
+    fl::RunControl control;
+    if (resume_from) {
+        population_->restore(resume_from->population);
+        selector->restore_checkpoint(detail::make_selector_checkpoint(*resume_from));
+        detail::restore_rng(run_rng, resume_from->rng_state);
+        control = detail::make_resume_control(*resume_from);
+    }
+    detail::CheckpointWriter writer;
+    // One-shot coordinator-kill: a resumed run never re-arms it (see the
+    // twin comment in simulation.cpp — recovery must converge).
+    if (!resume_from && !config_.fault_plan.empty()) {
+        const util::FaultInjector faults =
+            util::FaultInjector::from_spec(config_.fault_plan);
+        writer.ckill_round = faults.coordinator_kill_round();
+        writer.ckill_mid_round = faults.coordinator_kill_mid_write_round();
+    }
+    const bool durable = config_.checkpoint_every > 0 || writer.ckill_round > 0
+                         || writer.ckill_mid_round > 0;
+    if (durable) {
+        writer.every = config_.checkpoint_every;
+        writer.dir = checkpoint_run_dir(config_.checkpoint_dir, policy_name,
+                                        trial_index_);
+        writer.keep = config_.checkpoint_keep;
+        writer.total_rounds = config_.rounds;
+        writer.spec_text = to_text(from_realworld_config(config_));
+        writer.policy = policy_name;
+        writer.trial_index = trial_index_;
+        writer.run_rng = &run_rng;
+        writer.population = population_.get();
+        writer.selector = selector.get();
+        control.on_round = std::cref(writer);
+    }
+    const fl::RunControl* control_ptr = (resume_from || durable) ? &control : nullptr;
+
     fl::RunResult result;
     if (config_.round_mode == fl::RoundMode::sync) {
         fl::Coordinator coordinator(model, train_, test_, shards_, cc);
-        result = coordinator.run(*selector, run_rng, time_model.as_time_model());
+        result = coordinator.run(*selector, run_rng, time_model.as_time_model(),
+                                 control_ptr);
     } else {
         fl::AsyncCoordinatorConfig ac;
         ac.mode = config_.round_mode;
@@ -292,7 +346,8 @@ fl::RunResult RealWorldTrial::run(const std::string& policy_name) {
         ac.auction_overhead_s = is_auction ? tc.auction_overhead_s : 0.0;
         fl::AsyncCoordinator async_coordinator(model, train_, test_, shards_, cc, ac);
         result = async_coordinator.run_async(*selector, run_rng,
-                                             time_model.as_client_time_model());
+                                             time_model.as_client_time_model(),
+                                             control_ptr);
     }
     if (!result.rounds.empty()
         && !result.rounds.back().selection.all_scores.empty()) {

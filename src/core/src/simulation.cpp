@@ -3,7 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "checkpoint_hooks.hpp"
 #include "fmore/core/experiment.hpp"
+#include "fmore/core/run_checkpoint.hpp"
 #include "fmore/fl/policy.hpp"
 #include "fmore/fl/selection.hpp"
 #include "fmore/mec/auction_selector.hpp"
@@ -101,6 +103,7 @@ std::string to_string(Strategy strategy) {
 
 SimulationTrial::SimulationTrial(const SimulationConfig& config, std::size_t trial_index)
     : config_(config),
+      trial_index_(trial_index),
       trial_seed_(config.seed + 1000003ULL * (trial_index + 1)) {
     stats::Rng rng(trial_seed_);
 
@@ -196,6 +199,11 @@ ml::Model SimulationTrial::make_model(std::uint64_t seed) const {
 }
 
 fl::RunResult SimulationTrial::run(const std::string& policy_name) {
+    return run_resumable(policy_name, nullptr);
+}
+
+fl::RunResult SimulationTrial::run_resumable(const std::string& policy_name,
+                                             const RunCheckpoint* resume_from) {
     // Fresh population state per policy so each sees the same dynamics.
     rebuild_population();
     ml::Model model = make_model(trial_seed_ ^ 0x5151ULL);
@@ -235,9 +243,14 @@ fl::RunResult SimulationTrial::run(const std::string& policy_name) {
                                    mec::ResourceDim::category_proportion},
                 /*data_dimension=*/0, config_.market_shards);
             sharded->set_shard_timeout(config_.shard_timeout_s);
-            if (!config_.fault_plan.empty())
-                sharded->set_fault_injector(
-                    util::FaultInjector::from_spec(config_.fault_plan));
+            if (!config_.fault_plan.empty()) {
+                // Coordinator-only plans (ckill/ckill_mid) leave the shard
+                // workers alone, so the selector runs exactly as without a
+                // plan — what the crash harness's uninterrupted twin needs.
+                const util::FaultInjector faults =
+                    util::FaultInjector::from_spec(config_.fault_plan);
+                if (faults.has_shard_faults()) sharded->set_fault_injector(faults);
+            }
             if (config_.shard_quorum > 0)
                 sharded->set_min_live_shards(config_.shard_quorum);
             return sharded;
@@ -251,7 +264,48 @@ fl::RunResult SimulationTrial::run(const std::string& policy_name) {
     const std::unique_ptr<fl::ClientSelector> selector = policy->make_selector(context);
 
     stats::Rng run_rng(trial_seed_ ^ 0xf00dULL);
-    fl::RunResult result = coordinator.run(*selector, run_rng);
+
+    // Durable-run harness: restore checkpointed state (the selector and
+    // model were just rebuilt exactly as a fresh run builds them, so
+    // restored state + identical construction = identical draws), then
+    // arrange checkpoint writes on the configured cadence.
+    fl::RunControl control;
+    if (resume_from) {
+        population_->restore(resume_from->population);
+        selector->restore_checkpoint(detail::make_selector_checkpoint(*resume_from));
+        detail::restore_rng(run_rng, resume_from->rng_state);
+        control = detail::make_resume_control(*resume_from);
+    }
+    detail::CheckpointWriter writer;
+    // The coordinator-kill fault is one-shot: only a FRESH run arms it.
+    // A resumed run may re-execute the kill round (mid-write kills tear
+    // the checkpoint before it lands), so re-arming would crash-loop the
+    // recovery instead of converging on the uninterrupted twin's tape.
+    if (!resume_from && !config_.fault_plan.empty()) {
+        const util::FaultInjector faults =
+            util::FaultInjector::from_spec(config_.fault_plan);
+        writer.ckill_round = faults.coordinator_kill_round();
+        writer.ckill_mid_round = faults.coordinator_kill_mid_write_round();
+    }
+    const bool durable = config_.checkpoint_every > 0 || writer.ckill_round > 0
+                         || writer.ckill_mid_round > 0;
+    if (durable) {
+        writer.every = config_.checkpoint_every;
+        writer.dir = checkpoint_run_dir(config_.checkpoint_dir, policy_name,
+                                        trial_index_);
+        writer.keep = config_.checkpoint_keep;
+        writer.total_rounds = config_.rounds;
+        writer.spec_text = to_text(from_simulation_config(config_));
+        writer.policy = policy_name;
+        writer.trial_index = trial_index_;
+        writer.run_rng = &run_rng;
+        writer.population = population_.get();
+        writer.selector = selector.get();
+        control.on_round = std::cref(writer);
+    }
+    const fl::RunControl* control_ptr = (resume_from || durable) ? &control : nullptr;
+
+    fl::RunResult result = coordinator.run(*selector, run_rng, nullptr, control_ptr);
     if (!result.rounds.empty()
         && !result.rounds.back().selection.all_scores.empty()) {
         last_all_scores_ = result.rounds.back().selection.all_scores;

@@ -73,9 +73,12 @@ public:
                      CoordinatorConfig config, AsyncCoordinatorConfig async_config);
 
     /// Run `config().rounds` aggregation rounds; `time_model` must be
-    /// non-null (async rounds are meaningless without a clock).
+    /// non-null (async rounds are meaningless without a clock). `control`
+    /// resumes mid-tape — including the in-flight dispatch carry — and/or
+    /// observes each completed round (see `RunControl`).
     [[nodiscard]] RunResult run_async(ClientSelector& selector, stats::Rng& rng,
-                                      const ClientTimeModel& time_model);
+                                      const ClientTimeModel& time_model,
+                                      const RunControl* control = nullptr);
 
     [[nodiscard]] const AsyncCoordinatorConfig& async_config() const { return async_; }
 

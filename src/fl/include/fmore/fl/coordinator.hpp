@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "fmore/fl/metrics.hpp"
+#include "fmore/fl/run_state.hpp"
 #include "fmore/fl/selection.hpp"
 #include "fmore/ml/model.hpp"
 #include "fmore/ml/partition.hpp"
@@ -57,8 +58,11 @@ public:
     Coordinator(ml::Model& model, const ml::Dataset& train, const ml::Dataset& test,
                 std::vector<ml::ClientShard> shards, CoordinatorConfig config);
 
+    /// `control`, when non-null, resumes the run mid-tape and/or observes
+    /// each completed round (see `RunControl`); the default is a fresh run.
     [[nodiscard]] RunResult run(ClientSelector& selector, stats::Rng& rng,
-                                const RoundTimeModel& time_model = nullptr);
+                                const RoundTimeModel& time_model = nullptr,
+                                const RunControl* control = nullptr);
 
     [[nodiscard]] const std::vector<ml::ClientShard>& shards() const { return shards_; }
     [[nodiscard]] const CoordinatorConfig& config() const { return config_; }

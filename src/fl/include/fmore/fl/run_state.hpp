@@ -1,0 +1,75 @@
+#pragma once
+
+/// @file run_state.hpp
+/// The resumable-run seam between the coordinators and the durable-run
+/// subsystem (docs/ARCHITECTURE.md, "Durability model"). A checkpoint saved
+/// after round r captures exactly the state both run loops carry across the
+/// round boundary; `RunControl` injects that state back so round r+1 of a
+/// resumed run replays bit-identically to a never-interrupted one.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fmore/fl/metrics.hpp"
+#include "fmore/ml/model.hpp"
+
+namespace fmore::fl {
+
+/// One dispatched-but-unmerged client training of the async/semi-sync
+/// coordinator, in checkpointable form (mirrors its private `InFlight`
+/// bookkeeping field for field). Sync runs carry none.
+struct InFlightUpdate {
+    std::uint64_t seq = 0;       ///< global dispatch order (aggregation order)
+    std::size_t base_round = 0;  ///< round whose global it trained on
+    double weight = 0.0;         ///< D_i — samples actually trained
+    double arrival = 0.0;        ///< seconds after the current round's start
+    bool dropped = false;
+    std::vector<float> params;
+    ml::TrainStats stats;
+};
+
+/// Selector-side state a checkpoint carries: the blacklist and, for the
+/// streaming lanes, the close telemetry tape the adaptive quorum controller
+/// is a pure function of. Population columns are NOT here — every selector
+/// lane reads the trial-owned population, which the trial snapshots itself.
+struct SelectorCheckpoint {
+    std::vector<std::uint64_t> banned_nodes;
+    /// (close_reason, close_time_s) per completed streaming round, in round
+    /// order — the observations the AdaptiveQuorumController is a pure
+    /// function of; replaying them reconstructs its schedule state exactly.
+    /// The trial rebuilds this from the checkpointed metrics tape.
+    std::vector<std::pair<std::string, double>> close_replay;
+};
+
+/// Resume-and-checkpoint harness for one run. Default-constructed (or
+/// absent) it changes nothing: rounds start at 1 from the model's initial
+/// parameters with an empty tape.
+struct RunControl {
+    /// First round to execute (completed_rounds + 1 when resuming).
+    std::size_t start_round = 1;
+    /// Metrics of the rounds already completed before the restart; the run
+    /// result is the concatenation, so a resumed tape is indistinguishable
+    /// from an uninterrupted one.
+    std::vector<RoundMetrics> prior_rounds;
+    /// Global parameters entering `start_round` (empty = model's current).
+    std::vector<float> global;
+    /// Async lanes only: dispatches still in flight at the checkpoint.
+    std::vector<InFlightUpdate> flight;
+    /// Async lanes only: next dispatch sequence number.
+    std::uint64_t next_seq = 0;
+    /// Called after each completed round with the metrics tape so far and
+    /// the global parameters leaving the round — where the trial writes
+    /// checkpoints (and where the deterministic coordinator-kill faults
+    /// fire). The flight/seq arguments mirror the async carry state (empty
+    /// and 0 for sync runs).
+    std::function<void(std::size_t round, const std::vector<RoundMetrics>& rounds,
+                       const std::vector<float>& global,
+                       const std::vector<InFlightUpdate>& flight,
+                       std::uint64_t next_seq)>
+        on_round;
+};
+
+} // namespace fmore::fl

@@ -75,6 +75,10 @@ struct SelectionRecord {
     std::size_t bid_quorum = 0;
 };
 
+/// Selector state a durable-run checkpoint carries (defined in
+/// run_state.hpp; forward-declared here to keep the include order acyclic).
+struct SelectorCheckpoint;
+
 /// Strategy interface: which K clients train in a given round.
 class ClientSelector {
 public:
@@ -88,6 +92,13 @@ public:
     /// custom auction-style selectors must override it — it is a capability
     /// flag, not a type check.
     [[nodiscard]] virtual bool contracts_data_volume() const { return false; }
+    /// Durable-run hooks: record into / restore from a checkpoint whatever
+    /// per-run state the selector accumulates (bans, adaptive-quorum
+    /// telemetry). Stateless selectors — the baselines — keep the no-op
+    /// defaults; their draws come entirely from the run RNG, which the
+    /// checkpoint captures separately.
+    virtual void save_checkpoint(SelectorCheckpoint&) const {}
+    virtual void restore_checkpoint(const SelectorCheckpoint&) {}
 };
 
 /// RandFL — the classic federated learning baseline: "the aggregator

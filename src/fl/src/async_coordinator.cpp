@@ -48,7 +48,8 @@ AsyncCoordinator::AsyncCoordinator(ml::Model& model, const ml::Dataset& train,
 }
 
 RunResult AsyncCoordinator::run_async(ClientSelector& selector, stats::Rng& rng,
-                                      const ClientTimeModel& time_model) {
+                                      const ClientTimeModel& time_model,
+                                      const RunControl* control) {
     if (!time_model)
         throw std::invalid_argument("AsyncCoordinator: null ClientTimeModel — "
                                     "async rounds need a per-client clock");
@@ -57,9 +58,31 @@ RunResult AsyncCoordinator::run_async(ClientSelector& selector, stats::Rng& rng,
     std::vector<float> global = model_.get_parameters();
     std::vector<InFlight> flight;
     std::uint64_t next_seq = 0;
+    std::size_t first_round = 1;
     constexpr double kNever = std::numeric_limits<double>::infinity();
+    if (control) {
+        first_round = control->start_round;
+        result.rounds = control->prior_rounds;
+        if (!control->global.empty()) {
+            global = control->global;
+            model_.set_parameters(global);
+        }
+        next_seq = control->next_seq;
+        flight.reserve(control->flight.size());
+        for (const InFlightUpdate& u : control->flight) {
+            InFlight entry;
+            entry.seq = u.seq;
+            entry.base_round = u.base_round;
+            entry.weight = u.weight;
+            entry.arrival = u.dropped ? kNever : u.arrival;
+            entry.dropped = u.dropped;
+            entry.params = u.params;
+            entry.stats = u.stats;
+            flight.push_back(std::move(entry));
+        }
+    }
 
-    for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    for (std::size_t round = first_round; round <= config_.rounds; ++round) {
         RoundMetrics metrics;
         metrics.round = round;
         metrics.selection = selector.select(round, config_.winners_per_round, rng);
@@ -288,6 +311,25 @@ RunResult AsyncCoordinator::run_async(ClientSelector& selector, stats::Rng& rng,
             carried.push_back(std::move(entry));
         }
         flight = std::move(carried);
+
+        if (control && control->on_round) {
+            // Snapshot the carry state exactly as the next round will see
+            // it: dropped entries are already gone, arrivals are rebased.
+            std::vector<InFlightUpdate> carry;
+            carry.reserve(flight.size());
+            for (const InFlight& entry : flight) {
+                InFlightUpdate u;
+                u.seq = entry.seq;
+                u.base_round = entry.base_round;
+                u.weight = entry.weight;
+                u.arrival = entry.arrival;
+                u.dropped = entry.dropped;
+                u.params = entry.params;
+                u.stats = entry.stats;
+                carry.push_back(std::move(u));
+            }
+            control->on_round(round, result.rounds, global, carry, next_seq);
+        }
     }
     return result;
 }

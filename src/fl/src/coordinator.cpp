@@ -148,11 +148,20 @@ ml::EvalStats Coordinator::evaluate_global(std::size_t workers,
 }
 
 RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
-                           const RoundTimeModel& time_model) {
+                           const RoundTimeModel& time_model, const RunControl* control) {
     RunResult result;
     std::vector<float> global = model_.get_parameters();
+    std::size_t first_round = 1;
+    if (control) {
+        first_round = control->start_round;
+        result.rounds = control->prior_rounds;
+        if (!control->global.empty()) {
+            global = control->global;
+            model_.set_parameters(global);
+        }
+    }
 
-    for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    for (std::size_t round = first_round; round <= config_.rounds; ++round) {
         RoundMetrics metrics;
         metrics.round = round;
         metrics.selection = selector.select(round, config_.winners_per_round, rng);
@@ -216,6 +225,8 @@ RunResult Coordinator::run(ClientSelector& selector, stats::Rng& rng,
             metrics.round_seconds = time_model(metrics.selection, client_samples);
         }
         result.rounds.push_back(std::move(metrics));
+        if (control && control->on_round)
+            control->on_round(round, result.rounds, global, {}, 0);
     }
     return result;
 }

@@ -7,6 +7,7 @@
 #include "fmore/auction/bid_frame.hpp"
 #include "fmore/auction/equilibrium.hpp"
 #include "fmore/auction/winner_determination.hpp"
+#include "fmore/fl/run_state.hpp"
 #include "fmore/fl/selection.hpp"
 #include "fmore/mec/blacklist.hpp"
 #include "fmore/mec/population.hpp"
@@ -159,6 +160,18 @@ public:
     /// from all later auctions.
     void set_compliance(const ComplianceSpec& spec) { compliance_ = spec; }
     [[nodiscard]] const Blacklist& blacklist() const { return blacklist_; }
+
+    /// Durable-run hooks: the selector's only cross-round state is the
+    /// blacklist (the population is trial-owned and snapshotted there).
+    void save_checkpoint(fl::SelectorCheckpoint& ckpt) const override {
+        for (std::size_t node : blacklist_.banned_ids())
+            ckpt.banned_nodes.push_back(node);
+    }
+    void restore_checkpoint(const fl::SelectorCheckpoint& ckpt) override {
+        blacklist_.clear();
+        for (std::uint64_t node : ckpt.banned_nodes)
+            blacklist_.ban(static_cast<std::size_t>(node));
+    }
 
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 

@@ -31,6 +31,15 @@ public:
         return node < stamp_.size() && stamp_[node] == epoch_;
     }
     [[nodiscard]] std::size_t size() const { return banned_; }
+    /// All currently banned node ids, ascending — what the durable-run
+    /// checkpoint records (O(N) scan; checkpoint cadence, not bid path).
+    [[nodiscard]] std::vector<std::size_t> banned_ids() const {
+        std::vector<std::size_t> ids;
+        ids.reserve(banned_);
+        for (std::size_t node = 0; node < stamp_.size(); ++node)
+            if (stamp_[node] == epoch_) ids.push_back(node);
+        return ids;
+    }
     void clear() {
         ++epoch_;
         banned_ = 0;

@@ -62,6 +62,19 @@ enum class ResourceDim : std::uint8_t {
     cpu,
 };
 
+/// Full mutable state of a PopulationStore, lifted out for the durable-run
+/// checkpoints: the nine columns in declaration order, the global offset,
+/// and the round-salt history (the same tape the shard supervisor replays
+/// to re-sync a respawned worker). `restore` into a store built from the
+/// same spec and seed reproduces it bit for bit.
+struct PopulationSnapshot {
+    std::size_t node_offset = 0;
+    std::vector<std::uint64_t> salt_history;
+    /// theta, data_size, category, bandwidth, cpu, data_cap, category_cap,
+    /// bandwidth_cap, cpu_cap — in that fixed order.
+    std::vector<std::vector<double>> columns;
+};
+
 class PopulationStore {
 public:
     /// Shard-backed population (the experiment engines). Draw order per
@@ -122,6 +135,21 @@ public:
     /// same salt reproduce the unsplit store's `evolve` bit-identically.
     void evolve_with_salt(std::uint64_t salt);
 
+    /// Every round salt this store has applied, in order — what the shard
+    /// supervisor replays into a respawned worker, and what the durable-run
+    /// checkpoint records so a resumed coordinator can prove provenance.
+    [[nodiscard]] const std::vector<std::uint64_t>& salt_history() const {
+        return salt_history_;
+    }
+
+    /// Copy out the full mutable state (columns + offset + salt history).
+    [[nodiscard]] PopulationSnapshot snapshot() const;
+
+    /// Restore state captured by `snapshot` from a same-shaped store.
+    /// @throws std::invalid_argument on size or offset mismatch — a
+    /// checkpoint must never be restored into the wrong population.
+    void restore(const PopulationSnapshot& snap);
+
     /// Partition the store into `boundaries.size() + 1` contiguous shards:
     /// cut points are local row indices, strictly increasing, in
     /// (0, size()). Each shard copies its column slices and carries
@@ -153,6 +181,7 @@ private:
     ResourceDynamics dynamics_{};
     double theta_lo_ = 0.0;
     double theta_hi_ = 0.0;
+    std::vector<std::uint64_t> salt_history_;  ///< round salts applied, in order
     // Current state, one column per resource.
     std::vector<double> theta_;
     std::vector<double> data_size_;

@@ -184,6 +184,9 @@ public:
     [[nodiscard]] std::size_t live_shards() const;
     [[nodiscard]] std::size_t num_shards() const;
     [[nodiscard]] std::size_t population_size() const;
+    /// OS pid of worker `shard` (-1 when evicted/retired). Test hook: the
+    /// fd-hygiene regression counts open descriptors via /proc/<pid>/fd.
+    [[nodiscard]] int worker_pid(std::size_t shard) const;
 
     /// Exclude a node from all future rounds; shipped to its shard with
     /// the next request (and to every respawned worker with its sync).

@@ -137,6 +137,19 @@ public:
         return last_dropped_;
     }
 
+    /// Durable-run hooks: like the monolithic selector, the only
+    /// cross-round state here is the blacklist — the drifting columns live
+    /// in the trial-owned population (view mode, the experiment engines).
+    void save_checkpoint(fl::SelectorCheckpoint& ckpt) const override {
+        for (std::size_t node : blacklist_.banned_ids())
+            ckpt.banned_nodes.push_back(node);
+    }
+    void restore_checkpoint(const fl::SelectorCheckpoint& ckpt) override {
+        blacklist_.clear();
+        for (std::uint64_t node : ckpt.banned_nodes)
+            blacklist_.ban(static_cast<std::size_t>(node));
+    }
+
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
 private:

@@ -106,10 +106,18 @@ public:
     void set_compliance(const ComplianceSpec& spec) { compliance_ = spec; }
     [[nodiscard]] const Blacklist& blacklist() const { return blacklist_; }
 
+    /// Durable-run hooks: bans plus — under `adaptive_quorum` — the close
+    /// telemetry replay that reconstructs the controller's schedule state
+    /// (the controller is a pure function of its observation sequence, so
+    /// replaying the tape restores it exactly).
+    void save_checkpoint(fl::SelectorCheckpoint& ckpt) const override;
+    void restore_checkpoint(const fl::SelectorCheckpoint& ckpt) override;
+
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
 private:
     void ensure_market(std::size_t k);
+    void ensure_adaptive(std::size_t population_size);
 
     MecPopulation& population_;
     const auction::ScoringRule& scoring_;

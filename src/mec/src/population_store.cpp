@@ -145,6 +145,7 @@ void PopulationStore::evolve_node(std::size_t i, std::uint64_t salt) {
 void PopulationStore::evolve_all(std::uint64_t salt, bool parallel) {
     if (dynamics_.theta_jitter > 0.0 && !(theta_lo_ < theta_hi_))
         throw std::invalid_argument("PopulationStore::evolve: bad theta bounds");
+    salt_history_.push_back(salt);
     const std::size_t n = size();
     const std::size_t chunks = (n + kEvolveChunk - 1) / kEvolveChunk;
     const std::size_t workers =
@@ -171,6 +172,42 @@ void PopulationStore::evolve_serial(stats::Rng& rng) {
 
 void PopulationStore::evolve_with_salt(std::uint64_t salt) {
     evolve_all(salt, /*parallel=*/true);
+}
+
+PopulationSnapshot PopulationStore::snapshot() const {
+    PopulationSnapshot snap;
+    snap.node_offset = node_offset_;
+    snap.salt_history = salt_history_;
+    snap.columns = {theta_,    data_size_,    category_,     bandwidth_,
+                    cpu_,      data_cap_,     category_cap_, bandwidth_cap_,
+                    cpu_cap_};
+    return snap;
+}
+
+void PopulationStore::restore(const PopulationSnapshot& snap) {
+    if (snap.columns.size() != 9)
+        throw std::invalid_argument("PopulationStore::restore: expected 9 columns, got "
+                                    + std::to_string(snap.columns.size()));
+    for (const std::vector<double>& col : snap.columns)
+        if (col.size() != size())
+            throw std::invalid_argument(
+                "PopulationStore::restore: snapshot holds " + std::to_string(col.size())
+                + " nodes, store holds " + std::to_string(size()));
+    if (snap.node_offset != node_offset_)
+        throw std::invalid_argument(
+            "PopulationStore::restore: snapshot node_offset "
+            + std::to_string(snap.node_offset) + " != store node_offset "
+            + std::to_string(node_offset_));
+    salt_history_ = snap.salt_history;
+    theta_ = snap.columns[0];
+    data_size_ = snap.columns[1];
+    category_ = snap.columns[2];
+    bandwidth_ = snap.columns[3];
+    cpu_ = snap.columns[4];
+    data_cap_ = snap.columns[5];
+    category_cap_ = snap.columns[6];
+    bandwidth_cap_ = snap.columns[7];
+    cpu_cap_ = snap.columns[8];
 }
 
 namespace {

@@ -1,5 +1,6 @@
 #include "fmore/mec/shard_aggregator.hpp"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -489,6 +490,13 @@ bool ProcessShardAggregator::Impl::spawn(std::size_t s) {
     }
     ::close(down[0]);
     ::close(up[1]);
+    // Coordinator-side pipe ends are close-on-exec: a worker forked LATER
+    // inherits only fds still open at ITS fork (the sibling-close loop in
+    // the child handles those), but any exec'd child of the coordinator —
+    // the crash harness re-launching itself, a user's system() — must not
+    // inherit the market's pipes and silently hold EOF-based shutdown open.
+    (void)::fcntl(down[1], F_SETFD, FD_CLOEXEC);
+    (void)::fcntl(up[0], F_SETFD, FD_CLOEXEC);
     Worker& w = workers[s];
     w.pid = pid;
     w.req_fd = down[1];
@@ -1029,6 +1037,12 @@ std::size_t ProcessShardAggregator::num_shards() const {
 }
 
 std::size_t ProcessShardAggregator::population_size() const { return impl_->n; }
+
+int ProcessShardAggregator::worker_pid(std::size_t shard) const {
+    if (shard >= impl_->workers.size()) return -1;
+    const Impl::Worker& w = impl_->workers[shard];
+    return w.alive ? static_cast<int>(w.pid) : -1;
+}
 
 void ProcessShardAggregator::ban(auction::NodeId node) {
     if (impl_->banned_set.contains(node)) return;

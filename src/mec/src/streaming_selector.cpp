@@ -91,13 +91,7 @@ const auction::AuctionOutcome& StreamingAuctionSelector::run_auction_round(
     // controller's current target. The controller is a pure function of
     // the close telemetry it has observed, so re-running the same trial
     // replays the same quorum schedule byte for byte.
-    if (streaming_.adaptive_quorum && !adaptive_) {
-        fl::AdaptiveQuorumConfig ac;
-        ac.initial = streaming_.quorum;
-        ac.max_quorum = n;
-        ac.deadline_s = streaming_.deadline_s;
-        adaptive_.emplace(ac);
-    }
+    ensure_adaptive(n);
     last_quorum_ = adaptive_ ? adaptive_->quorum() : streaming_.quorum;
 
     auction::StreamingRoundSpec spec;
@@ -169,6 +163,37 @@ double StreamingAuctionSelector::last_close_time_s() const {
 
 std::size_t StreamingAuctionSelector::last_head_churn() const {
     return market_ ? market_->head_churn() : 0;
+}
+
+void StreamingAuctionSelector::ensure_adaptive(std::size_t population_size) {
+    if (streaming_.adaptive_quorum && !adaptive_) {
+        fl::AdaptiveQuorumConfig ac;
+        ac.initial = streaming_.quorum;
+        ac.max_quorum = population_size;
+        ac.deadline_s = streaming_.deadline_s;
+        adaptive_.emplace(ac);
+    }
+}
+
+void StreamingAuctionSelector::save_checkpoint(fl::SelectorCheckpoint& ckpt) const {
+    for (std::size_t node : blacklist_.banned_ids())
+        ckpt.banned_nodes.push_back(node);
+    // The close replay is NOT recorded here: the trial rebuilds it from the
+    // checkpointed metrics tape (every closed round's reason/time already
+    // rides its SelectionRecord), keeping one source of truth.
+}
+
+void StreamingAuctionSelector::restore_checkpoint(const fl::SelectorCheckpoint& ckpt) {
+    blacklist_.clear();
+    for (std::uint64_t node : ckpt.banned_nodes)
+        blacklist_.ban(static_cast<std::size_t>(node));
+    if (streaming_.adaptive_quorum && !ckpt.close_replay.empty()) {
+        adaptive_.reset();
+        ensure_adaptive(population_.size());
+        for (const auto& [reason, close_time_s] : ckpt.close_replay)
+            adaptive_->observe(reason, close_time_s);
+        last_quorum_ = adaptive_->quorum();
+    }
 }
 
 } // namespace fmore::mec

@@ -63,13 +63,36 @@ public:
     ///   stall_s=<sec>   stall duration (default 10)
     ///   delay_s=<sec>   delayed-reply duration (default 0.05)
     /// Probabilities must lie in [0, 1] and sum to at most 1.
+    ///
+    /// Coordinator-kill faults (the durable-run harness) take a *round*,
+    /// not a probability — the crash schedule must be exactly replayable:
+    ///   ckill=<R>       SIGKILL the coordinator right after round R's
+    ///                   checkpoint is durably on disk
+    ///   ckill_mid=<R>   SIGKILL the coordinator *during* round R's
+    ///                   checkpoint write (torn .tmp on disk, previous
+    ///                   checkpoint intact)
+    /// Both kills are ONE-SHOT: a resumed run (which may re-execute round
+    /// R — a mid-write kill tears the checkpoint before it lands) never
+    /// re-arms them, so crash recovery converges instead of crash-looping.
     /// @throws std::invalid_argument on unknown keys or out-of-range values
     [[nodiscard]] static FaultInjector from_spec(const std::string& spec);
 
     [[nodiscard]] bool empty() const;
+    /// True when the plan schedules any *shard* fault (crash/stall/
+    /// truncate/corrupt/delay, seeded or explicit). A coordinator-kill-only
+    /// plan returns false — it needs no sharded market to fire.
+    [[nodiscard]] bool has_shard_faults() const;
     /// Normalized spec string (round-trips through `from_spec`); empty for
     /// event plans and the empty plan.
     [[nodiscard]] const std::string& spec() const { return spec_; }
+
+    /// Round after whose checkpoint the coordinator SIGKILLs itself
+    /// (0 = never).
+    [[nodiscard]] std::size_t coordinator_kill_round() const { return ckill_round_; }
+    /// Round whose checkpoint *write* is interrupted by SIGKILL (0 = never).
+    [[nodiscard]] std::size_t coordinator_kill_mid_write_round() const {
+        return ckill_mid_round_;
+    }
 
     /// The fault shard `shard` commits in round `round` (kind == none for
     /// a clean shard-round). Pure: depends only on the plan and the
@@ -95,6 +118,8 @@ private:
     double p_delay_ = 0.0;
     double stall_s_ = 10.0;
     double delay_s_ = 0.05;
+    std::size_t ckill_round_ = 0;
+    std::size_t ckill_mid_round_ = 0;
 };
 
 } // namespace fmore::util

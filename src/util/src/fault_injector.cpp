@@ -127,11 +127,22 @@ FaultInjector FaultInjector::from_spec(const std::string& spec) {
             plan.stall_s_ = parse_seconds(key, value);
         } else if (key == "delay_s") {
             plan.delay_s_ = parse_seconds(key, value);
+        } else if (key == "ckill" || key == "ckill_mid") {
+            std::size_t round = 0;
+            try {
+                round = std::stoull(value);
+            } catch (const std::exception&) {
+                round = 0;
+            }
+            if (round == 0)
+                throw std::invalid_argument("FaultInjector: " + key + " = '" + value
+                                            + "': must be a round index >= 1");
+            (key == "ckill" ? plan.ckill_round_ : plan.ckill_mid_round_) = round;
         } else {
             throw std::invalid_argument(
                 "FaultInjector: unknown key '" + key
                 + "' (expected seed, crash, stall, truncate, corrupt, delay, "
-                  "stall_s, delay_s)");
+                  "stall_s, delay_s, ckill, ckill_mid)");
         }
     }
     const double total = plan.p_crash_ + plan.p_stall_ + plan.p_truncate_
@@ -152,14 +163,25 @@ FaultInjector FaultInjector::from_spec(const std::string& spec) {
     if (plan.p_delay_ > 0.0) normalized += ",delay=" + format_double(plan.p_delay_);
     if (plan.p_stall_ > 0.0) normalized += ",stall_s=" + format_double(plan.stall_s_);
     if (plan.p_delay_ > 0.0) normalized += ",delay_s=" + format_double(plan.delay_s_);
+    if (plan.ckill_round_ > 0)
+        normalized += ",ckill=" + std::to_string(plan.ckill_round_);
+    if (plan.ckill_mid_round_ > 0)
+        normalized += ",ckill_mid=" + std::to_string(plan.ckill_mid_round_);
     plan.spec_ = normalized;
     return plan;
 }
 
 bool FaultInjector::empty() const {
     if (!events_.empty()) return false;
+    if (ckill_round_ > 0 || ckill_mid_round_ > 0) return false;
     if (!seeded_) return true;
     return p_crash_ + p_stall_ + p_truncate_ + p_bit_flip_ + p_delay_ <= 0.0;
+}
+
+bool FaultInjector::has_shard_faults() const {
+    if (!events_.empty()) return true;
+    if (!seeded_) return false;
+    return p_crash_ + p_stall_ + p_truncate_ + p_bit_flip_ + p_delay_ > 0.0;
 }
 
 FaultEvent FaultInjector::event(std::size_t shard, std::size_t round) const {

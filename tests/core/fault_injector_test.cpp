@@ -130,5 +130,36 @@ TEST(FaultInjector, LatencyModelMapsFaultsToVirtualClock) {
     EXPECT_DOUBLE_EQ(latency(0, 2), 0.01);  // clean shard-round
 }
 
+// ---------------------------------------------------------------------------
+// Coordinator-kill fault class (the crash-recovery harness)
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, CoordinatorKillParsesAndRoundTrips) {
+    const FaultInjector plan = FaultInjector::from_spec("ckill=4,ckill_mid=7");
+    EXPECT_EQ(plan.coordinator_kill_round(), 4u);
+    EXPECT_EQ(plan.coordinator_kill_mid_write_round(), 7u);
+    const FaultInjector again = FaultInjector::from_spec(plan.spec());
+    EXPECT_EQ(again.coordinator_kill_round(), 4u);
+    EXPECT_EQ(again.coordinator_kill_mid_write_round(), 7u);
+}
+
+TEST(FaultInjector, CoordinatorKillIsNotAShardFault) {
+    // A ckill-only plan must not arm the shard-level injector — the resumed
+    // run and its uninterrupted twin would otherwise disagree on whether
+    // the shard market sees a plan at all.
+    const FaultInjector plan = FaultInjector::from_spec("ckill=3");
+    EXPECT_FALSE(plan.empty());
+    EXPECT_FALSE(plan.has_shard_faults());
+    const FaultInjector mixed = FaultInjector::from_spec("ckill=3,crash=0.1");
+    EXPECT_TRUE(mixed.has_shard_faults());
+}
+
+TEST(FaultInjector, CoordinatorKillRejectsRoundZero) {
+    EXPECT_THROW((void)FaultInjector::from_spec("ckill=0"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)FaultInjector::from_spec("ckill_mid=banana"),
+                 std::invalid_argument);
+}
+
 } // namespace
 } // namespace fmore::util

@@ -1,0 +1,72 @@
+// Victim process of the crash-recovery harness (crash_resume_test.cpp and
+// the CI smoke leg). Runs one trial of a spec file under a named policy;
+// when the spec's fault plan carries `ckill=<R>` / `ckill_mid=<R>` the run
+// SIGKILLs itself at round R — the launcher observes the 128+9 status and
+// then proves a resumed run is bit-identical to an uninterrupted twin.
+//
+// Usage: crash_resume_child <spec_file> <policy> <trial_index> [--resume]
+//
+// `--resume` continues from the newest valid checkpoint under the spec's
+// `timing.checkpoint_dir` (exactly what `run_scenario --resume` does).
+// Exit codes: 0 success, 2 usage/I-O error, 3 run error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fmore/core/experiment.hpp"
+#include "fmore/core/run_checkpoint.hpp"
+
+int main(int argc, char** argv) {
+    using namespace fmore;
+    if (argc < 4) {
+        std::fprintf(stderr,
+                     "usage: crash_resume_child <spec_file> <policy> "
+                     "<trial_index> [--resume]\n");
+        return 2;
+    }
+    const std::string spec_path = argv[1];
+    const std::string policy = argv[2];
+    const std::size_t trial_index =
+        static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+    const bool resume = argc > 4 && std::string(argv[4]) == "--resume";
+
+    std::ifstream in(spec_path);
+    if (!in) {
+        std::fprintf(stderr, "crash_resume_child: cannot open spec '%s'\n",
+                     spec_path.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    try {
+        const core::ExperimentSpec spec =
+            core::parse_experiment_spec(text.str());
+        core::ExperimentTrial trial(spec, trial_index);
+        std::optional<core::RunCheckpoint> ckpt;
+        if (resume) {
+            ckpt = core::find_latest_valid(core::checkpoint_run_dir(
+                spec.timing.checkpoint_dir, policy, trial_index));
+            if (!ckpt) {
+                std::fprintf(stderr,
+                             "crash_resume_child: no valid checkpoint under "
+                             "'%s'\n",
+                             spec.timing.checkpoint_dir.c_str());
+                return 3;
+            }
+        }
+        const fl::RunResult result =
+            trial.run_resumable(policy, ckpt ? &*ckpt : nullptr);
+        std::printf("rounds=%zu final_accuracy=%.17g\n", result.rounds.size(),
+                    result.final_accuracy());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "crash_resume_child: %s\n", e.what());
+        return 3;
+    }
+}

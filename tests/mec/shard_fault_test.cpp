@@ -23,6 +23,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -343,6 +344,55 @@ void expect_outcomes_equal(const auction::AuctionOutcome& a,
         EXPECT_EQ(a.ranking[r].bid.node, b.ranking[r].bid.node);
         EXPECT_EQ(a.ranking[r].score, b.ranking[r].score);
         EXPECT_EQ(a.ranking[r].bid.payment, b.ranking[r].bid.payment);
+    }
+}
+
+TEST(ShardFault, WorkerFdTableIsBoundedAndUniform) {
+    // Fork/pipe hygiene regression: each worker must hold exactly its OWN
+    // two pipe ends beyond stdio — no sibling pipe ends (the worker-side
+    // closes) and nothing else leaked from the coordinator. Without the
+    // hygiene, worker i would show 2 + 2*i pipes and the fd table would
+    // grow with the shard count.
+    const Market& m = market();
+    ProcessShardAggregator aggregator(make_store(60, 0x77ULL), *m.scoring,
+                                      *m.strategy, wire_config(6), layout(),
+                                      /*num_shards=*/4,
+                                      /*shard_timeout_s=*/30.0);
+    // One full round before scanning: a worker that replied has certainly
+    // finished its post-fork close() pass, so the /proc walk below cannot
+    // race the worker's own setup.
+    stats::Rng rng(0x77ULL);
+    (void)aggregator.run_round(1, 6, rng);
+
+    namespace fs = std::filesystem;
+    std::vector<std::size_t> pipe_counts;
+    std::vector<std::string> inherited; // non-pipe fds beyond stdio
+    for (std::size_t s = 0; s < aggregator.num_shards(); ++s) {
+        const int pid = aggregator.worker_pid(s);
+        ASSERT_GT(pid, 0) << "worker " << s;
+        std::size_t pipes = 0;
+        std::string others;
+        const fs::path fd_dir = "/proc/" + std::to_string(pid) + "/fd";
+        for (const fs::directory_entry& entry : fs::directory_iterator(fd_dir)) {
+            const int fd = std::stoi(entry.path().filename().string());
+            if (fd <= 2) continue; // stdio, whatever the harness made it
+            std::error_code ec;
+            const std::string target = fs::read_symlink(entry.path(), ec).string();
+            if (ec) continue;
+            if (target.rfind("pipe:", 0) == 0) ++pipes;
+            else others += " " + std::to_string(fd) + "->" + target;
+        }
+        pipe_counts.push_back(pipes);
+        inherited.push_back(others);
+    }
+    for (std::size_t s = 0; s < pipe_counts.size(); ++s) {
+        SCOPED_TRACE("worker " + std::to_string(s));
+        // Exactly its OWN two pipe ends; without the sibling-close hygiene
+        // worker s would hold 2 + 2*s pipe fds.
+        EXPECT_EQ(pipe_counts[s], 2u) << "sibling pipe ends leaked";
+        // Whatever the harness leaves open (ctest log fds etc.) is fork-
+        // uniform; anything beyond worker 0's set leaked from the market.
+        EXPECT_EQ(inherited[s], inherited[0]) << "descriptors leaked";
     }
 }
 
